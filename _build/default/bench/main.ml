@@ -1,0 +1,745 @@
+(* Benchmark harness reproducing every figure of the paper's evaluation
+   (§8) plus the ablations called out in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe              run every experiment (report mode)
+     dune exec bench/main.exe -- fig7a ... run selected experiments
+     dune exec bench/main.exe -- micro     bechamel micro-benchmarks
+     dune exec bench/main.exe -- fast      reduced grids (quick smoke)
+
+   Absolute numbers are not comparable with the paper's C++/2010s-era
+   testbed; EXPERIMENTS.md records the *shapes* (who wins, what grows
+   with what) side by side. *)
+
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Logp = Pti_prob.Logp
+module D = Pti_workload.Dataset
+module Q = Pti_workload.Querygen
+module T = Pti_transform.Transform
+module Engine = Pti_core.Engine
+module G = Pti_core.General_index
+module L = Pti_core.Listing_index
+module A = Pti_core.Approx_index
+module Si = Pti_core.Simple_index
+module Space = Pti_core.Space
+
+let fast = ref false
+let thetas = [ 0.1; 0.2; 0.3; 0.4 ]
+let ns () = if !fast then [ 2_000; 20_000 ] else [ 2_000; 20_000; 100_000; 300_000 ]
+let tau_min_default = 0.1
+let tau_default = 0.2
+let queries_per_length () = if !fast then 10 else 25
+let query_lengths = [ 4; 8; 12; 20 ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Mean seconds per query over a batch, best of three passes. *)
+let per_query run queries =
+  let batch () =
+    let _, t = time (fun () -> List.iter (fun q -> ignore (run q)) queries) in
+    t /. float_of_int (List.length queries)
+  in
+  let a = batch () in
+  let b = batch () in
+  let c = batch () in
+  Float.min a (Float.min b c)
+
+let dataset_cache : (int * int, U.t) Hashtbl.t = Hashtbl.create 16
+
+let dataset ~n ~theta =
+  let key = (n, int_of_float (theta *. 1000.0)) in
+  match Hashtbl.find_opt dataset_cache key with
+  | Some u -> u
+  | None ->
+      let u = D.single (D.default ~total:n ~theta) in
+      Hashtbl.replace dataset_cache key u;
+      u
+
+let docs_cache : (int * int, U.t list) Hashtbl.t = Hashtbl.create 16
+
+let docs ~n ~theta =
+  let key = (n, int_of_float (theta *. 1000.0)) in
+  match Hashtbl.find_opt docs_cache key with
+  | Some d -> d
+  | None ->
+      let d = D.collection (D.default ~total:n ~theta) in
+      Hashtbl.replace docs_cache key d;
+      d
+
+(* The standard mixed-length query workload over a dataset. *)
+let workload u =
+  let rng = Random.State.make [| 1234 |] in
+  List.concat_map
+    (fun m -> Q.patterns rng u ~m ~count:(queries_per_length ()))
+    (List.filter (fun m -> m <= U.length u) query_lengths)
+
+(* ------------------------------------------------------------------ *)
+(* Table printing *)
+
+let print_header title note =
+  Printf.printf "\n== %s ==\n" title;
+  if note <> "" then Printf.printf "   %s\n" note
+
+let print_table ~row_label ~rows ~cols ~cell =
+  Printf.printf "%12s" row_label;
+  List.iter (fun c -> Printf.printf "%12s" c) cols;
+  print_newline ();
+  List.iter
+    (fun (label, values) ->
+      Printf.printf "%12s" label;
+      List.iter (fun v -> Printf.printf "%12s" (cell v)) values;
+      print_newline ())
+    rows
+
+let us v = Printf.sprintf "%.1f" (v *. 1e6)
+let secs v = Printf.sprintf "%.2f" v
+let mb words = Printf.sprintf "%.1f" (Space.mb_of_words words)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7a / 9a / 9c: one pass over the n × θ grid building the
+   substring index once per cell. *)
+
+type n_sweep_cell = {
+  query_us : float;
+  build_s : float;
+  space_words : int;
+  text_len : int;
+}
+
+let n_sweep_general = lazy (
+  List.map
+    (fun n ->
+      ( n,
+        List.map
+          (fun theta ->
+            let u = dataset ~n ~theta in
+            let g, build_s = time (fun () -> G.build ~tau_min:tau_min_default u) in
+            let queries = workload u in
+            let q =
+              per_query (fun p -> G.query g ~pattern:p ~tau:tau_default) queries
+            in
+            let cell =
+              {
+                query_us = q;
+                build_s;
+                space_words = G.size_words g;
+                text_len = T.text_length (G.transform g);
+              }
+            in
+            (theta, cell))
+          thetas ))
+    (ns ()))
+
+let theta_cols = List.map (fun t -> Printf.sprintf "th=%.1f" t) thetas
+
+let fig7a () =
+  print_header "fig7a: substring search query time vs string length n"
+    (Printf.sprintf
+       "mean us/query; tau=%.2f tau_min=%.2f, query lengths %s, %d per length"
+       tau_default tau_min_default
+       (String.concat "," (List.map string_of_int query_lengths))
+       (queries_per_length ()));
+  print_table ~row_label:"n" ~cols:theta_cols
+    ~rows:
+      (List.map
+         (fun (n, cells) ->
+           (string_of_int n, List.map (fun (_, c) -> c.query_us) cells))
+         (Lazy.force n_sweep_general))
+    ~cell:us
+
+let fig9a () =
+  print_header "fig9a: index construction time vs string length n"
+    "seconds (transform + suffix structures + RMQ levels + ladder)";
+  print_table ~row_label:"n" ~cols:theta_cols
+    ~rows:
+      (List.map
+         (fun (n, cells) ->
+           (string_of_int n, List.map (fun (_, c) -> c.build_s) cells))
+         (Lazy.force n_sweep_general))
+    ~cell:secs
+
+let fig9c () =
+  print_header "fig9c: index space vs string length n" "megabytes";
+  print_table ~row_label:"n" ~cols:theta_cols
+    ~rows:
+      (List.map
+         (fun (n, cells) ->
+           ( string_of_int n,
+             List.map (fun (_, c) -> float_of_int c.space_words) cells ))
+         (Lazy.force n_sweep_general))
+    ~cell:(fun w -> mb (int_of_float w));
+  print_header "fig9c (auxiliary): transformed text length N"
+    "positions; the paper's O((1/tau_min)^2 n) blowup in practice";
+  print_table ~row_label:"n" ~cols:theta_cols
+    ~rows:
+      (List.map
+         (fun (n, cells) ->
+           ( string_of_int n,
+             List.map (fun (_, c) -> float_of_int c.text_len) cells ))
+         (Lazy.force n_sweep_general))
+    ~cell:(fun v -> string_of_int (int_of_float v))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8a: listing query time vs n. *)
+
+let fig8a () =
+  print_header "fig8a: string listing query time vs total size n"
+    (Printf.sprintf "mean us/query; Rel_max, tau=%.2f tau_min=%.2f" tau_default
+       tau_min_default);
+  let rows =
+    List.map
+      (fun n ->
+        ( string_of_int n,
+          List.map
+            (fun theta ->
+              let ds = docs ~n ~theta in
+              let l = L.build ~tau_min:tau_min_default ds in
+              let queries = workload (List.hd ds) in
+              per_query (fun p -> L.query l ~pattern:p ~tau:tau_default) queries)
+            thetas ))
+      (ns ())
+  in
+  print_table ~row_label:"n" ~cols:theta_cols ~rows ~cell:us
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7b / 8b: query time vs τ (fixed n, τ_min = 0.1). *)
+
+let tau_sweep = [ 0.10; 0.11; 0.12; 0.13; 0.14 ]
+
+let fig7b () =
+  let n = if !fast then 20_000 else 100_000 in
+  print_header "fig7b: substring search query time vs tau"
+    (Printf.sprintf "mean us/query; n=%d tau_min=0.1" n);
+  let rng = Random.State.make [| 71 |] in
+  let per_theta =
+    List.map
+      (fun theta ->
+        let u = dataset ~n ~theta in
+        (* short patterns: large enough outputs for the τ effect to show *)
+        (G.build ~tau_min:0.1 u, Q.patterns rng u ~m:4 ~count:(4 * queries_per_length ())))
+      thetas
+  in
+  let rows =
+    List.map
+      (fun tau ->
+        ( Printf.sprintf "%.2f" tau,
+          List.map
+            (fun (g, queries) ->
+              per_query (fun p -> G.query g ~pattern:p ~tau) queries)
+            per_theta ))
+      tau_sweep
+  in
+  print_table ~row_label:"tau" ~cols:theta_cols ~rows ~cell:us
+
+let fig8b () =
+  let n = if !fast then 10_000 else 50_000 in
+  print_header "fig8b: string listing query time vs tau"
+    (Printf.sprintf "mean us/query; n=%d tau_min=0.1 Rel_max" n);
+  let rng = Random.State.make [| 72 |] in
+  let per_theta =
+    List.map
+      (fun theta ->
+        let ds = docs ~n ~theta in
+        ( L.build ~tau_min:0.1 ds,
+          Q.patterns rng (List.hd ds) ~m:4 ~count:(4 * queries_per_length ()) ))
+      thetas
+  in
+  let rows =
+    List.map
+      (fun tau ->
+        ( Printf.sprintf "%.2f" tau,
+          List.map
+            (fun (l, queries) ->
+              per_query (fun p -> L.query l ~pattern:p ~tau) queries)
+            per_theta ))
+      tau_sweep
+  in
+  print_table ~row_label:"tau" ~cols:theta_cols ~rows ~cell:us
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7c / 9b (and 8c): sweeping the construction threshold τ_min.
+   One pass records both query time and construction time. *)
+
+let tau_min_sweep = [ 0.05; 0.08; 0.11; 0.14; 0.17; 0.20 ]
+
+let tau_min_cells = lazy (
+  let n = if !fast then 5_000 else 20_000 in
+  ( n,
+    List.map
+      (fun tau_min ->
+        ( tau_min,
+          List.map
+            (fun theta ->
+              let u = dataset ~n ~theta in
+              let g, build_s = time (fun () -> G.build ~tau_min u) in
+              let queries = workload u in
+              let q =
+                per_query
+                  (fun p -> G.query g ~pattern:p ~tau:tau_default)
+                  queries
+              in
+              (q, build_s))
+            thetas ))
+      tau_min_sweep ))
+
+let fig7c () =
+  let n, cells = Lazy.force tau_min_cells in
+  print_header "fig7c: substring search query time vs tau_min"
+    (Printf.sprintf "mean us/query; n=%d tau=%.2f" n tau_default);
+  print_table ~row_label:"tau_min" ~cols:theta_cols
+    ~rows:
+      (List.map
+         (fun (tm, row) ->
+           (Printf.sprintf "%.2f" tm, List.map (fun (q, _) -> q) row))
+         cells)
+    ~cell:us
+
+let fig9b () =
+  let n, cells = Lazy.force tau_min_cells in
+  print_header "fig9b: construction time vs tau_min"
+    (Printf.sprintf "seconds; n=%d (smaller tau_min => larger transform)" n);
+  print_table ~row_label:"tau_min" ~cols:theta_cols
+    ~rows:
+      (List.map
+         (fun (tm, row) ->
+           (Printf.sprintf "%.2f" tm, List.map (fun (_, b) -> b) row))
+         cells)
+    ~cell:secs
+
+let fig8c () =
+  let n = if !fast then 5_000 else 20_000 in
+  print_header "fig8c: string listing query time vs tau_min"
+    (Printf.sprintf "mean us/query; n=%d tau=%.2f Rel_max" n tau_default);
+  let rows =
+    List.map
+      (fun tau_min ->
+        ( Printf.sprintf "%.2f" tau_min,
+          List.map
+            (fun theta ->
+              let ds = docs ~n ~theta in
+              let l = L.build ~tau_min ds in
+              let queries = workload (List.hd ds) in
+              per_query
+                (fun p -> L.query l ~pattern:p ~tau:tau_default)
+                queries)
+            thetas ))
+      tau_min_sweep
+  in
+  print_table ~row_label:"tau_min" ~cols:theta_cols ~rows ~cell:us
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7d / 8d: query time vs pattern length m. *)
+
+let m_sweep = [ 4; 8; 12; 16; 20; 24 ]
+
+let fig7d () =
+  let n = if !fast then 20_000 else 100_000 in
+  print_header "fig7d: substring search query time vs pattern length m"
+    (Printf.sprintf "mean us/query; n=%d tau=%.2f tau_min=%.2f" n tau_default
+       tau_min_default);
+  let per_theta =
+    List.map
+      (fun theta ->
+        let u = dataset ~n ~theta in
+        (G.build ~tau_min:tau_min_default u, u))
+      thetas
+  in
+  let rng = Random.State.make [| 77 |] in
+  let rows =
+    List.map
+      (fun m ->
+        ( string_of_int m,
+          List.map
+            (fun (g, u) ->
+              let queries = Q.patterns rng u ~m ~count:(queries_per_length ()) in
+              per_query (fun p -> G.query g ~pattern:p ~tau:tau_default) queries)
+            per_theta ))
+      m_sweep
+  in
+  print_table ~row_label:"m" ~cols:theta_cols ~rows ~cell:us
+
+let fig8d () =
+  let n = if !fast then 10_000 else 50_000 in
+  print_header "fig8d: string listing query time vs pattern length m"
+    (Printf.sprintf "mean us/query; n=%d tau=%.2f Rel_max" n tau_default);
+  let per_theta =
+    List.map
+      (fun theta ->
+        let ds = docs ~n ~theta in
+        (L.build ~tau_min:tau_min_default ds, List.hd ds))
+      thetas
+  in
+  let rng = Random.State.make [| 78 |] in
+  let rows =
+    List.map
+      (fun m ->
+        ( string_of_int m,
+          List.map
+            (fun (l, d0) ->
+              if m > U.length d0 then nan
+              else begin
+                let queries = Q.patterns rng d0 ~m ~count:(queries_per_length ()) in
+                per_query (fun p -> L.query l ~pattern:p ~tau:tau_default) queries
+              end)
+            per_theta ))
+      (List.filter (fun m -> m <= 20) m_sweep)
+  in
+  print_table ~row_label:"m" ~cols:theta_cols ~rows ~cell:us
+
+(* ------------------------------------------------------------------ *)
+(* Approximate index (§7): accuracy/size/speed trade-off across ε. *)
+
+let approx () =
+  let n = if !fast then 5_000 else 20_000 in
+  let theta = 0.3 in
+  let u = dataset ~n ~theta in
+  let exact = G.build ~tau_min:tau_min_default u in
+  let queries = workload u in
+  print_header "approx: the epsilon-approximate index (§7)"
+    (Printf.sprintf
+       "n=%d theta=%.1f tau=%.2f; 'extra' = reported-but-below-tau answers \
+        (all within eps below tau by the guarantee)"
+       n theta tau_default);
+  Printf.printf "%10s %10s %12s %10s %12s %10s %10s\n" "epsilon" "build_s"
+    "links" "size_MB" "query_us" "hits" "extra";
+  List.iter
+    (fun epsilon ->
+      let a, build_s =
+        time (fun () -> A.build ~epsilon ~tau_min:tau_min_default u)
+      in
+      let q = per_query (fun p -> A.query a ~pattern:p ~tau:tau_default) queries in
+      let hits = ref 0 and extra = ref 0 in
+      List.iter
+        (fun p ->
+          let approx_hits = A.query a ~pattern:p ~tau:tau_default in
+          let exact_hits = G.query exact ~pattern:p ~tau:tau_default in
+          hits := !hits + List.length approx_hits;
+          extra := !extra + (List.length approx_hits - List.length exact_hits))
+        queries;
+      Printf.printf "%10.3f %10.2f %12d %10s %12.1f %10d %10d\n" epsilon build_s
+        (A.n_links a)
+        (mb (A.size_words a))
+        (q *. 1e6) !hits !extra)
+    [ 0.02; 0.05; 0.1; 0.2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let abl_rmq () =
+  let n = if !fast then 5_000 else 20_000 in
+  let u = dataset ~n ~theta:0.3 in
+  print_header "abl_rmq: RMQ implementation ablation (§4.2 / Lemma 1)"
+    (Printf.sprintf "n=%d theta=0.3 tau=%.2f" n tau_default);
+  Printf.printf "%10s %10s %12s %12s\n" "rmq" "build_s" "size_MB" "query_us";
+  List.iter
+    (fun kind ->
+      let config = { Engine.default_config with rmq_kind = kind } in
+      let g, build_s =
+        time (fun () -> G.build ~config ~tau_min:tau_min_default u)
+      in
+      let q =
+        per_query (fun p -> G.query g ~pattern:p ~tau:tau_default) (workload u)
+      in
+      Printf.printf "%10s %10.2f %12s %12.1f\n"
+        (Pti_rmq.Rmq.kind_to_string kind)
+        build_s
+        (mb (G.size_words g))
+        (q *. 1e6))
+    Pti_rmq.Rmq.all_kinds
+
+let abl_ladder () =
+  let n = 1_500 in
+  let u = dataset ~n ~theta:0.3 in
+  print_header "abl_ladder: blocking ladder ablation (long patterns, §2.5)"
+    (Printf.sprintf
+       "n=%d theta=0.3 tau=%.2f; full = the paper's every-size ladder" n
+       tau_default);
+  Printf.printf "%12s %10s %12s %14s %14s\n" "ladder" "build_s" "size_MB"
+    "short_q_us" "long_q_us";
+  let rng = Random.State.make [| 5 |] in
+  let short_queries = Q.patterns rng u ~m:6 ~count:30 in
+  let long_queries =
+    List.concat_map (fun m -> Q.patterns rng u ~m ~count:15) [ 20; 30; 40 ]
+  in
+  List.iter
+    (fun (name, ladder) ->
+      let config = { Engine.default_config with ladder } in
+      let g, build_s =
+        time (fun () -> G.build ~config ~tau_min:tau_min_default u)
+      in
+      let qs =
+        per_query (fun p -> G.query g ~pattern:p ~tau:tau_default) short_queries
+      in
+      let ql =
+        per_query (fun p -> G.query g ~pattern:p ~tau:tau_default) long_queries
+      in
+      Printf.printf "%12s %10.2f %12s %14.1f %14.1f\n" name build_s
+        (mb (G.size_words g))
+        (qs *. 1e6) (ql *. 1e6))
+    [
+      ("geometric", Engine.Ladder_geometric);
+      ("full", Engine.Ladder_full);
+      ("none", Engine.Ladder_none);
+    ]
+
+let abl_baseline () =
+  print_header
+    "abl_baseline: efficient index vs simple scan (§4.1) vs online DP"
+    "mean us/query; theta=0.9 tau=0.8 m=2 (common patterns = large suffix \
+     ranges; high uncertainty = few occurrences clear tau: the regime the RMQ \
+     index is built for); oracle = Li et al.-style index-free scan";
+  Printf.printf "%10s %12s %12s %12s %14s %8s\n" "n" "efficient" "simple"
+    "oracle" "avg_range" "avg_occ";
+  List.iter
+    (fun n ->
+      let u = dataset ~n ~theta:0.9 in
+      let g = G.build ~tau_min:tau_min_default u in
+      let si = Si.build ~tau_min:tau_min_default u in
+      let rng = Random.State.make [| 6 |] in
+      let queries = Q.patterns rng u ~m:2 ~count:(queries_per_length ()) in
+      let tau = 0.8 in
+      let qg = per_query (fun p -> G.query g ~pattern:p ~tau) queries in
+      let qs = per_query (fun p -> Si.query si ~pattern:p ~tau) queries in
+      let qo =
+        per_query
+          (fun p ->
+            Pti_ustring.Oracle.occurrences u ~pattern:p ~tau:(Logp.of_prob tau))
+          queries
+      in
+      let range =
+        List.fold_left (fun acc p -> acc + Si.range_size si ~pattern:p) 0 queries
+        / List.length queries
+      in
+      let occ =
+        List.fold_left
+          (fun acc p -> acc + List.length (G.query g ~pattern:p ~tau))
+          0 queries
+        / List.length queries
+      in
+      Printf.printf "%10d %12.1f %12.1f %12.1f %14d %8d\n" n (qg *. 1e6)
+        (qs *. 1e6) (qo *. 1e6) range occ)
+    (if !fast then [ 2_000; 10_000 ] else [ 2_000; 10_000; 50_000; 200_000 ])
+
+let abl_approx_variants () =
+  let n = if !fast then 5_000 else 20_000 in
+  let u = dataset ~n ~theta:0.3 in
+  let queries = workload u in
+  print_header
+    "abl_approx: per-leaf links vs HSV marking (§7) vs fixed-tau property \
+     baseline (§5.1)"
+    (Printf.sprintf
+       "n=%d theta=0.3 tau=%.2f eps=0.05; property answers only tau = tau_c"
+       n tau_default);
+  Printf.printf "%12s %10s %12s %12s %12s\n" "index" "build_s" "links"
+    "size_MB" "query_us";
+  let a, ta = time (fun () -> A.build ~epsilon:0.05 ~tau_min:tau_min_default u) in
+  let qa = per_query (fun p -> A.query a ~pattern:p ~tau:tau_default) queries in
+  Printf.printf "%12s %10.2f %12d %12s %12.1f\n" "per-leaf" ta (A.n_links a)
+    (mb (A.size_words a)) (qa *. 1e6);
+  let h, th =
+    time (fun () -> Pti_core.Approx_hsv.build ~epsilon:0.05 ~tau_min:tau_min_default u)
+  in
+  let qh =
+    per_query (fun p -> Pti_core.Approx_hsv.query h ~pattern:p ~tau:tau_default) queries
+  in
+  Printf.printf "%12s %10.2f %12d %12s %12.1f\n" "hsv" th
+    (Pti_core.Approx_hsv.n_links h)
+    (mb (Pti_core.Approx_hsv.size_words h))
+    (qh *. 1e6);
+  let pr, tp =
+    time (fun () -> Pti_core.Property_index.build ~tau_c:tau_default u)
+  in
+  let qp =
+    per_query (fun p -> Pti_core.Property_index.query pr ~pattern:p) queries
+  in
+  Printf.printf "%12s %10.2f %12s %12s %12.1f\n" "property" tp "-"
+    (mb (Pti_core.Property_index.size_words pr))
+    (qp *. 1e6)
+
+let abl_range () =
+  let n = if !fast then 5_000 else 20_000 in
+  let u = dataset ~n ~theta:0.3 in
+  let queries = workload u in
+  print_header
+    "abl_range: pattern->range step — SA binary search vs FM-index (the CSA \
+     role of §8.7) vs suffix-tree locus walk (§3.4)"
+    (Printf.sprintf "n=%d theta=0.3 tau=%.2f" n tau_default);
+  Printf.printf "%10s %10s %12s %12s\n" "backend" "build_s" "size_MB" "query_us";
+  List.iter
+    (fun (name, range_search) ->
+      let config = { Engine.default_config with range_search } in
+      let g, build_s =
+        time (fun () -> G.build ~config ~tau_min:tau_min_default u)
+      in
+      let q =
+        per_query (fun p -> G.query g ~pattern:p ~tau:tau_default) queries
+      in
+      Printf.printf "%10s %10.2f %12s %12.1f\n" name build_s
+        (mb (G.size_words g))
+        (q *. 1e6))
+    [
+      ("binary", Engine.Rs_binary);
+      ("fm", Engine.Rs_fm);
+      ("tree", Engine.Rs_tree);
+    ]
+
+let abl_persist () =
+  let n = if !fast then 10_000 else 100_000 in
+  let u = dataset ~n ~theta:0.3 in
+  print_header "abl_persist: building vs loading a persisted index"
+    (Printf.sprintf
+       "n=%d theta=0.3; load rebuilds only the RMQ layer (O(N) per level)" n);
+  let g, build_s = time (fun () -> G.build ~tau_min:tau_min_default u) in
+  let path = Filename.temp_file "pti_bench" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let (), save_s = time (fun () -> G.save g path) in
+      let g', load_s = time (fun () -> G.load path) in
+      let rng = Random.State.make [| 31 |] in
+      let pat = Q.pattern rng u ~m:6 in
+      let same =
+        G.query g ~pattern:pat ~tau:tau_default
+        = G.query g' ~pattern:pat ~tau:tau_default
+      in
+      Printf.printf
+        "%12s %10s %12s %14s %14s\n" "build_s" "save_s" "load_s" "file_MB"
+        "same_answers";
+      Printf.printf "%12.2f %10.2f %12.2f %14.1f %14b\n" build_s save_s load_s
+        (float_of_int (Unix.stat path).Unix.st_size /. (1024.0 *. 1024.0))
+        same)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment family. *)
+
+let micro () =
+  let open Bechamel in
+  let u = dataset ~n:5_000 ~theta:0.3 in
+  let ds = docs ~n:5_000 ~theta:0.3 in
+  let g = G.build ~tau_min:0.1 u in
+  let l = L.build ~tau_min:0.1 ds in
+  let a = A.build ~epsilon:0.05 ~tau_min:0.1 u in
+  let si = Si.build ~tau_min:0.1 u in
+  let rng = Random.State.make [| 9 |] in
+  let short_pat = Q.pattern rng u ~m:6 in
+  let long_pat = Q.pattern rng u ~m:(Engine.max_short (G.engine g) + 4) in
+  let small = dataset ~n:500 ~theta:0.3 in
+  let tests =
+    Test.make_grouped ~name:"pti" ~fmt:"%s %s"
+      [
+        Test.make ~name:"fig7_short_query (exact, m=6)"
+          (Staged.stage (fun () ->
+               ignore (G.query g ~pattern:short_pat ~tau:0.2)));
+        Test.make ~name:"fig7d_long_query (blocking)"
+          (Staged.stage (fun () ->
+               ignore (G.query g ~pattern:long_pat ~tau:0.2)));
+        Test.make ~name:"fig8_listing_query (Rel_max)"
+          (Staged.stage (fun () ->
+               ignore (L.query l ~pattern:short_pat ~tau:0.2)));
+        Test.make ~name:"approx_query (eps=0.05)"
+          (Staged.stage (fun () ->
+               ignore (A.query a ~pattern:short_pat ~tau:0.2)));
+        Test.make ~name:"baseline_simple_scan"
+          (Staged.stage (fun () ->
+               ignore (Si.query si ~pattern:short_pat ~tau:0.2)));
+        Test.make ~name:"baseline_online_dp"
+          (Staged.stage (fun () ->
+               ignore
+                 (Pti_ustring.Oracle.occurrences u ~pattern:short_pat
+                    ~tau:(Logp.of_prob 0.2))));
+        Test.make ~name:"fig9_construction (n=500)"
+          (Staged.stage (fun () -> ignore (G.build ~tau_min:0.1 small)));
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances tests in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  print_header "micro: bechamel micro-benchmarks" "monotonic clock, OLS ns/run";
+  let results = benchmark () in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%12.0f ns" t
+        | _ -> "n/a"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-45s %s\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig7a", fig7a);
+    ("fig7b", fig7b);
+    ("fig7c", fig7c);
+    ("fig7d", fig7d);
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("fig8c", fig8c);
+    ("fig8d", fig8d);
+    ("fig9a", fig9a);
+    ("fig9b", fig9b);
+    ("fig9c", fig9c);
+    ("approx", approx);
+    ("abl_rmq", abl_rmq);
+    ("abl_ladder", abl_ladder);
+    ("abl_baseline", abl_baseline);
+    ("abl_approx", abl_approx_variants);
+    ("abl_range", abl_range);
+    ("abl_persist", abl_persist);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "fast" then begin
+          fast := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> List.map fst experiments
+    | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n experiments) then begin
+              Printf.eprintf "unknown experiment %S; available: %s\n" n
+                (String.concat " " (List.map fst experiments));
+              exit 1
+            end)
+          names;
+        names
+  in
+  Printf.printf
+    "pti benchmark harness%s — experiments: %s\n"
+    (if !fast then " (fast mode)" else "")
+    (String.concat " " selected);
+  let total, elapsed =
+    time (fun () ->
+        List.iter (fun name -> (List.assoc name experiments) ()) selected;
+        List.length selected)
+  in
+  Printf.printf "\n%d experiment(s) in %.1fs\n" total elapsed

@@ -1,0 +1,377 @@
+(* pti — command-line driver for probabilistic threshold indexing.
+
+   Subcommands:
+     gen     generate a synthetic uncertain-string dataset (§8.1)
+     build   build an index and persist it to disk
+     query   substring search in an uncertain string (Problem 1)
+     list    uncertain string listing over a collection (Problem 2)
+     stats   transformation / index statistics
+     worlds  enumerate possible worlds of a small uncertain string
+
+   Dataset files contain one uncertain string per line in the
+   Ustring.parse format ("A:.3,B:.7 C D:.5,E:.5 ..."). A single-line
+   file is one string; a multi-line file is a collection. *)
+
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Logp = Pti_prob.Logp
+module D = Pti_workload.Dataset
+module G = Pti_core.General_index
+module Si = Pti_core.Simple_index
+module A = Pti_core.Approx_index
+module L = Pti_core.Listing_index
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+        let line = String.trim line in
+        go (if line = "" then acc else line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let read_docs path =
+  match List.map U.parse (read_lines path) with
+  | [] -> failwith (path ^ ": empty dataset")
+  | docs -> docs
+
+let read_single path =
+  match read_docs path with
+  | [ u ] -> u
+  | docs ->
+      (* multi-line file: concatenate (no separators) *)
+      fst (U.concat ~sep:None docs)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen total theta docs seed output =
+  let params = { (D.default ~total ~theta) with seed } in
+  let collection = D.collection params in
+  let lines =
+    if docs then List.map U.to_text collection
+    else [ U.to_text (fst (U.concat ~sep:None collection)) ]
+  in
+  let oc = match output with "-" -> stdout | p -> open_out p in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  if output <> "-" then close_out oc;
+  Printf.eprintf "wrote %d position(s) in %d string(s) to %s\n" total
+    (List.length lines) output
+
+(* ------------------------------------------------------------------ *)
+(* query *)
+
+let print_hits hits =
+  if hits = [] then print_endline "no occurrence above the threshold"
+  else
+    List.iter
+      (fun (pos, p) -> Printf.printf "%d\t%s\n" pos (Logp.to_string p))
+      hits
+
+let build_cmd_impl input output tau_min docs_mode relevance =
+  if docs_mode then begin
+    let docs = read_docs input in
+    let rel = if relevance = "or" then L.Rel_or else L.Rel_max in
+    let l, built = time (fun () -> L.build ~relevance:rel ~tau_min docs) in
+    L.save l output;
+    Printf.eprintf "listing index (%d docs) built in %.3fs, saved to %s\n"
+      (L.n_docs l) built output
+  end
+  else begin
+    let u = read_single input in
+    let g, built = time (fun () -> G.build ~tau_min u) in
+    G.save g output;
+    Printf.eprintf "index built in %.3fs (%s), saved to %s\n" built
+      (Pti_core.Space.to_string (G.size_words g))
+      output
+  end
+
+let query input load pattern tau tau_min index_kind epsilon top =
+  match load with
+  | Some path ->
+      let g, loaded = time (fun () -> G.load path) in
+      Printf.eprintf "index loaded in %.3fs\n" loaded;
+      let pat = Sym.of_string pattern in
+      let hits, elapsed =
+        match top with
+        | Some k -> time (fun () -> G.query_top_k g ~pattern:pat ~tau ~k)
+        | None -> time (fun () -> G.query g ~pattern:pat ~tau)
+      in
+      Printf.eprintf "query answered in %.6fs\n" elapsed;
+      print_hits hits
+  | None ->
+  let u = read_single (Option.get input) in
+  let pat = Sym.of_string pattern in
+  let truncate hits =
+    match top with
+    | None -> hits
+    | Some k -> List.filteri (fun i _ -> i < k) hits
+  in
+  let hits, elapsed =
+    match index_kind with
+    | "exact" ->
+        let g, built = time (fun () -> G.build ~tau_min u) in
+        Printf.eprintf "exact index built in %.3fs (%s)\n" built
+          (Pti_core.Space.to_string (G.size_words g));
+        (match top with
+        | Some k -> time (fun () -> G.query_top_k g ~pattern:pat ~tau ~k)
+        | None -> time (fun () -> G.query g ~pattern:pat ~tau))
+    | "simple" ->
+        let s, built = time (fun () -> Si.build ~tau_min u) in
+        Printf.eprintf "simple index built in %.3fs\n" built;
+        let r, e = time (fun () -> Si.query s ~pattern:pat ~tau) in
+        (truncate r, e)
+    | "approx" ->
+        let a, built = time (fun () -> A.build ~epsilon ~tau_min u) in
+        Printf.eprintf "approximate index built in %.3fs (%d links)\n" built
+          (A.n_links a);
+        let r, e = time (fun () -> A.query a ~pattern:pat ~tau) in
+        (truncate r, e)
+    | "hsv" ->
+        let a, built =
+          time (fun () -> Pti_core.Approx_hsv.build ~epsilon ~tau_min u)
+        in
+        Printf.eprintf "hsv approximate index built in %.3fs (%d links)\n"
+          built
+          (Pti_core.Approx_hsv.n_links a);
+        let r, e = time (fun () -> Pti_core.Approx_hsv.query a ~pattern:pat ~tau) in
+        (truncate r, e)
+    | "property" ->
+        let p, built =
+          time (fun () -> Pti_core.Property_index.build ~tau_c:tau u)
+        in
+        Printf.eprintf "property index (tau_c=%g) built in %.3fs\n" tau built;
+        let r, e = time (fun () -> Pti_core.Property_index.query p ~pattern:pat) in
+        (truncate r, e)
+    | "oracle" ->
+        let r, e =
+          time (fun () ->
+              Pti_ustring.Oracle.occurrences u ~pattern:pat
+                ~tau:(Logp.of_prob tau))
+        in
+        (truncate r, e)
+    | other -> failwith ("unknown index kind: " ^ other)
+  in
+  Printf.eprintf "query answered in %.6fs\n" elapsed;
+  print_hits hits
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd input load pattern tau tau_min relevance =
+  let l =
+    match load with
+    | Some path ->
+        let l, loaded = time (fun () -> L.load path) in
+        Printf.eprintf "listing index (%d docs) loaded in %.3fs\n" (L.n_docs l)
+          loaded;
+        l
+    | None ->
+        let docs = read_docs (Option.get input) in
+        let rel =
+          match relevance with
+          | "max" -> L.Rel_max
+          | "or" -> L.Rel_or
+          | other -> failwith ("unknown relevance metric: " ^ other)
+        in
+        let l, built = time (fun () -> L.build ~relevance:rel ~tau_min docs) in
+        Printf.eprintf "listing index over %d document(s) built in %.3fs\n"
+          (L.n_docs l) built;
+        l
+  in
+  let hits, elapsed =
+    time (fun () -> L.query l ~pattern:(Sym.of_string pattern) ~tau)
+  in
+  Printf.eprintf "query answered in %.6fs\n" elapsed;
+  if hits = [] then print_endline "no document above the threshold"
+  else
+    List.iter
+      (fun (doc, p) -> Printf.printf "%d\t%s\n" doc (Logp.to_string p))
+      hits
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats input tau_min =
+  let u = read_single input in
+  Printf.printf "positions:      %d\n" (U.length u);
+  Printf.printf "choices:        %d (max %d per position)\n" (U.n_choices u)
+    (U.max_choices u);
+  Printf.printf "uncertainty:    %.3f\n" (D.uncertainty u);
+  Printf.printf "special:        %b\n" (U.is_special u);
+  let tr, t = time (fun () -> Pti_transform.Transform.build ~tau_min u) in
+  Printf.printf "transform:      %s (%.3fs)\n"
+    (Pti_transform.Transform.stats tr) t;
+  let g, t = time (fun () -> G.build ~tau_min u) in
+  Printf.printf "index:          built in %.3fs\n" t;
+  Printf.printf "index size:     %s\n"
+    (Pti_core.Space.to_string (G.size_words g));
+  Printf.printf "engine:         %s\n" (Pti_core.Engine.stats (G.engine g))
+
+(* ------------------------------------------------------------------ *)
+(* worlds *)
+
+let worlds input limit =
+  let u = read_single input in
+  let ws = Pti_ustring.Worlds.enumerate ~limit u in
+  List.iter
+    (fun (w, p) -> Printf.printf "%s\t%s\n" (Sym.to_string w) (Logp.to_string p))
+    ws;
+  Printf.eprintf "%d possible world(s)\n" (List.length ws)
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing *)
+
+open Cmdliner
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input dataset file.")
+
+let input_opt_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input dataset file.")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:"Load a previously built index instead of building from a \
+              dataset.")
+
+let tau_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "tau" ] ~docv:"TAU" ~doc:"Query probability threshold τ.")
+
+let tau_min_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "tau-min" ] ~docv:"TAU_MIN"
+        ~doc:"Construction-time threshold τ_min (queries need τ ≥ τ_min).")
+
+let pattern_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "p"; "pattern" ] ~docv:"PATTERN" ~doc:"Deterministic query string.")
+
+let gen_cmd =
+  let total =
+    Arg.(value & opt int 10_000 & info [ "total" ] ~doc:"Total positions n.")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.3
+      & info [ "theta" ] ~doc:"Fraction of uncertain positions (0..1).")
+  in
+  let docs =
+    Arg.(
+      value & flag
+      & info [ "docs" ]
+          ~doc:"Write one string per line (collection) instead of one line.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let output =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (- = stdout).")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic uncertain dataset (§8.1).")
+    Term.(const gen $ total $ theta $ docs $ seed $ output)
+
+let query_cmd =
+  let index_kind =
+    Arg.(
+      value & opt string "exact"
+      & info [ "index" ] ~docv:"KIND"
+          ~doc:"Index to use: exact, simple, approx, hsv, property or oracle.")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float 0.05
+      & info [ "epsilon" ] ~doc:"Additive error for the approximate index.")
+  in
+  let top =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"K" ~doc:"Report only the K most probable answers.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Substring search in an uncertain string.")
+    Term.(
+      const query $ input_opt_arg $ load_arg $ pattern_arg $ tau_arg
+      $ tau_min_arg $ index_kind $ epsilon $ top)
+
+let build_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Index file to write.")
+  in
+  let docs_mode =
+    Arg.(
+      value & flag
+      & info [ "docs" ] ~doc:"Build a listing index over the file's lines.")
+  in
+  let relevance =
+    Arg.(
+      value & opt string "max"
+      & info [ "relevance" ] ~doc:"Relevance metric for --docs: max or or.")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build an index and persist it to disk.")
+    Term.(
+      const build_cmd_impl $ input_arg $ output $ tau_min_arg $ docs_mode
+      $ relevance)
+
+let list_cmdliner =
+  let relevance =
+    Arg.(
+      value & opt string "max"
+      & info [ "relevance" ] ~docv:"METRIC" ~doc:"Relevance metric: max or or.")
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List documents containing the pattern (Problem 2).")
+    Term.(
+      const list_cmd $ input_opt_arg $ load_arg $ pattern_arg $ tau_arg
+      $ tau_min_arg $ relevance)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Transformation and index statistics.")
+    Term.(const stats $ input_arg $ tau_min_arg)
+
+let worlds_cmd =
+  let limit =
+    Arg.(
+      value & opt int 10_000
+      & info [ "limit" ] ~doc:"Refuse to enumerate more worlds than this.")
+  in
+  Cmd.v
+    (Cmd.info "worlds" ~doc:"Enumerate possible worlds of a small string.")
+    Term.(const worlds $ input_arg $ limit)
+
+let () =
+  let doc = "probabilistic threshold indexing for uncertain strings" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pti" ~version:"1.0.0" ~doc)
+          [ gen_cmd; build_cmd; query_cmd; list_cmdliner; stats_cmd; worlds_cmd ]))

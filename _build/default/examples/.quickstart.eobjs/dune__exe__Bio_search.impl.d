@@ -1,0 +1,1 @@
+examples/bio_search.ml: Array List Printf Pti_core Pti_prob Pti_ustring Pti_workload Random Unix

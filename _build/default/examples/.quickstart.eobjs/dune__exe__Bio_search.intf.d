@@ -1,0 +1,1 @@
+examples/bio_search.mli:

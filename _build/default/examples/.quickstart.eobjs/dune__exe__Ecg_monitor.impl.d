@@ -1,0 +1,1 @@
+examples/ecg_monitor.ml: Array Float List Printf Pti_core Pti_prob Pti_ustring Pti_workload Random

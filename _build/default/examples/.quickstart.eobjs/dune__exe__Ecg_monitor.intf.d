@@ -1,0 +1,1 @@
+examples/ecg_monitor.mli:

@@ -1,0 +1,1 @@
+examples/event_listing.ml: Array List Printf Pti_core Pti_prob Pti_ustring Random Stdlib String

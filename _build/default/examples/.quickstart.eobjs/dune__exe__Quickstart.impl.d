@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Pti_core Pti_prob Pti_ustring

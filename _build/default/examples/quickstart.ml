@@ -1,0 +1,48 @@
+(* Quickstart: index one uncertain string and run threshold queries.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module U = Pti_ustring.Ustring
+module Logp = Pti_prob.Logp
+module G = Pti_core.General_index
+
+let () =
+  (* The uncertain string of the paper's Figure 3: a protein fragment
+     from aligning genomic sequences, where some positions carry several
+     probable residues. The text format is: positions separated by
+     spaces, choices as CHAR:PROB (bare CHAR means probability 1). *)
+  let s =
+    U.parse
+      "P S:.7,F:.3 F P Q:.5,T:.5 P A:.4,F:.4,P:.2 I:.3,L:.3,F:.1,T:.3 A \
+       S:.5,T:.5 A"
+  in
+  Printf.printf "Indexed uncertain string (%d positions):\n  %s\n\n"
+    (U.length s) (U.to_text s);
+
+  (* Build the substring-search index (§5 of the paper). tau_min is the
+     smallest threshold the index will ever be queried with. *)
+  let index = G.build ~tau_min:0.1 s in
+
+  let run pattern tau =
+    Printf.printf "query (%S, %.2f):\n" pattern tau;
+    match G.query_string index ~pattern ~tau with
+    | [] -> print_endline "  no occurrence above the threshold"
+    | hits ->
+        List.iter
+          (fun (pos, p) ->
+            Printf.printf "  position %d with probability %s\n" pos
+              (Logp.to_string p))
+          hits
+  in
+  (* The worked example from the paper: "AT" matches at position 6 with
+     probability .4*.3 = .12 and at position 8 with 1*.5 = .5; only the
+     latter clears tau = 0.4. *)
+  run "AT" 0.4;
+  run "AT" 0.1;
+  run "SFPQ" 0.3;
+  run "PF" 0.25;
+
+  (* Queries accept any tau >= tau_min; raising tau can only shrink the
+     answer set. *)
+  print_newline ();
+  Printf.printf "index statistics:\n  %s\n" (Pti_core.Engine.stats (G.engine index))

@@ -1,0 +1,1 @@
+lib/core/approx_hsv.ml: Array Hashtbl Link_stab List Printf Pti_prob Pti_rmq Pti_suffix Pti_transform Pti_ustring Stdlib

@@ -1,0 +1,1 @@
+lib/core/approx_index.mli: Pti_prob Pti_rmq Pti_transform Pti_ustring

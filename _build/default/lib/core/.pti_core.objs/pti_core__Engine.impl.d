@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bytes Char Float Hashtbl List Marshal Printf Pti_prob Pti_rmq Pti_succinct Pti_suffix Pti_transform Pti_ustring Seq Stdlib String

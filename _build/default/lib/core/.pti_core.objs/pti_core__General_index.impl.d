@@ -1,0 +1,1 @@
+lib/core/general_index.ml: Engine Fun Pti_prob Pti_transform Pti_ustring

@@ -1,0 +1,1 @@
+lib/core/general_index.mli: Engine Pti_prob Pti_transform Pti_ustring Seq

@@ -1,0 +1,1 @@
+lib/core/link_stab.ml: Array Float Hashtbl List Pti_prob Pti_rmq Stdlib

@@ -1,0 +1,1 @@
+lib/core/link_stab.mli: Pti_prob Pti_rmq

@@ -1,0 +1,1 @@
+lib/core/listing_index.ml: Array Engine Fun List Marshal Printf Pti_prob Pti_rmq Pti_transform Pti_ustring Stdlib

@@ -1,0 +1,1 @@
+lib/core/listing_index.mli: Engine Pti_prob Pti_rmq Pti_ustring Seq

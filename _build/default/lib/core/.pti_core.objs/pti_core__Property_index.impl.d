@@ -1,0 +1,1 @@
+lib/core/property_index.ml: Array Hashtbl List Pti_prob Pti_rmq Pti_suffix Pti_transform Pti_ustring Stdlib

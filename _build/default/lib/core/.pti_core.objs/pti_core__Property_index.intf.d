@@ -1,0 +1,1 @@
+lib/core/property_index.mli: Pti_prob Pti_rmq Pti_ustring

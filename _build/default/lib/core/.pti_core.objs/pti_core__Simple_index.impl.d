@@ -1,0 +1,1 @@
+lib/core/simple_index.ml: Array Float Hashtbl List Pti_prob Pti_suffix Pti_transform Pti_ustring

@@ -1,0 +1,1 @@
+lib/core/simple_index.mli: Pti_prob Pti_ustring

@@ -1,0 +1,1 @@
+lib/core/special_index.ml: Engine Pti_prob Pti_transform Pti_ustring

@@ -1,0 +1,1 @@
+lib/core/special_index.mli: Engine Pti_prob Pti_ustring Seq

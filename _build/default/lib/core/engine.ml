@@ -1,0 +1,587 @@
+module Logp = Pti_prob.Logp
+module Rmq = Pti_rmq.Rmq
+module Sais = Pti_suffix.Sais
+module Lcp = Pti_suffix.Lcp
+module Sa_search = Pti_suffix.Sa_search
+module Transform = Pti_transform.Transform
+module Sym = Pti_ustring.Sym
+
+type ladder = Ladder_geometric | Ladder_full | Ladder_none
+type metric = Max | Or_metric
+type range_search = Rs_binary | Rs_fm | Rs_tree
+
+type config = {
+  rmq_kind : Rmq.kind;
+  ladder : ladder;
+  metric : metric;
+  range_search : range_search;
+}
+
+let default_config =
+  {
+    rmq_kind = Rmq.Succinct;
+    ladder = Ladder_geometric;
+    metric = Max;
+    range_search = Rs_binary;
+  }
+
+(* Max-heap of (priority, a, b, c) used for reporting in non-increasing
+   probability order. *)
+module Heap = struct
+  type t = {
+    mutable keys : float array;
+    mutable payload : (int * int * int) array;
+    mutable len : int;
+  }
+
+  let create () = { keys = Array.make 64 0.0; payload = Array.make 64 (0, 0, 0); len = 0 }
+
+  let swap h i j =
+    let k = h.keys.(i) in
+    h.keys.(i) <- h.keys.(j);
+    h.keys.(j) <- k;
+    let p = h.payload.(i) in
+    h.payload.(i) <- h.payload.(j);
+    h.payload.(j) <- p
+
+  let push h key payload =
+    if h.len = Array.length h.keys then begin
+      let nk = Array.make (2 * h.len) 0.0 in
+      let np = Array.make (2 * h.len) (0, 0, 0) in
+      Array.blit h.keys 0 nk 0 h.len;
+      Array.blit h.payload 0 np 0 h.len;
+      h.keys <- nk;
+      h.payload <- np
+    end;
+    h.keys.(h.len) <- key;
+    h.payload.(h.len) <- payload;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.keys.((!i - 1) / 2) < h.keys.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let key = h.keys.(0) and payload = h.payload.(0) in
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.keys.(0) <- h.keys.(h.len);
+        h.payload.(0) <- h.payload.(h.len);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let best = ref !i in
+          if l < h.len && h.keys.(l) > h.keys.(!best) then best := l;
+          if r < h.len && h.keys.(r) > h.keys.(!best) then best := r;
+          if !best = !i then continue := false
+          else begin
+            swap h !i !best;
+            i := !best
+          end
+        done
+      end;
+      Some (key, payload)
+    end
+end
+
+type t = {
+  tr : Transform.t;
+  cfg : config;
+  key_of_pos : int -> int;
+  text : int array;
+  pos : int array;
+  sa : int array;
+  lcp : int array;
+  n : int;
+  max_short : int;
+  dead : Bytes.t array; (* Max metric: per level, bit set = suppressed slot *)
+  stored : float array array; (* Or metric: per level, metric value per slot *)
+  level_rmq : Rmq.t array;
+  ladder_sizes : int array;
+  ladder_rmq : Rmq.t array;
+  ladder_max : float array array;
+  fm : Pti_succinct.Fm_index.t option;
+  st : Pti_suffix.Suffix_tree.t option;
+}
+
+let ceil_log2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+  go 0 1
+
+(* Exact (correlation-corrected) log probability of the length-[len]
+   window at suffix-array slot [j]; -inf when the window leaves the
+   factor (crosses a separator or the text end). *)
+let slot_value_raw ~tr ~pos ~sa ~n j len =
+  let a = sa.(j) in
+  if a + len > n then neg_infinity
+  else begin
+    let p = pos.(a) in
+    if p < 0 || pos.(a + len - 1) <> p + len - 1 then neg_infinity
+    else Logp.to_log (Transform.window_logp_corrected tr ~pos:a ~len)
+  end
+
+let bit_get b j = Char.code (Bytes.get b (j lsr 3)) land (1 lsl (j land 7)) <> 0
+
+let bit_set b j =
+  Bytes.set b (j lsr 3)
+    (Char.chr (Char.code (Bytes.get b (j lsr 3)) lor (1 lsl (j land 7))))
+
+(* OR metric over a key's distinct positions: sum - product, clamped to
+   [0, 1] (§6; see Oracle.relevance_or). Input: list of (pos, log p). *)
+let or_value entries =
+  let sum = ref 0.0 and prod = ref 1.0 in
+  List.iter
+    (fun (_, l) ->
+      let p = exp l in
+      sum := !sum +. p;
+      prod := !prod *. p)
+    entries;
+  let v = Float.max 0.0 (Float.min 1.0 (!sum -. !prod)) in
+  if v <= 0.0 then neg_infinity else Float.min 0.0 (log v)
+
+(* Everything persistent about an engine: plain data only (no closures),
+   so it can be marshalled. The RMQ structures are *not* part of this —
+   they are rebuilt in O(N) per level from the dead bitmaps / stored
+   arrays at [finish] time, which also keeps the on-disk format small
+   (the paper's discard-the-C_i-array trick, applied to persistence). *)
+type parts = {
+  p_cfg : config;
+  p_tr : Transform.t;
+  p_sa : int array;
+  p_lcp : int array;
+  p_max_short : int;
+  p_dead : Bytes.t array;
+  p_stored : float array array;
+  p_ladder_sizes : int array;
+  p_ladder_max : float array array;
+  p_fm : Pti_succinct.Fm_index.t option;
+  p_st : Pti_suffix.Suffix_tree.t option;
+}
+
+(* Rebuild the query-ready engine from its persistent parts. *)
+let finish ~key_of_pos parts =
+  let tr = parts.p_tr in
+  let text = Transform.text tr in
+  let pos = Transform.pos tr in
+  let n = Array.length text in
+  let sa = parts.p_sa in
+  let config = parts.p_cfg in
+  let dead = parts.p_dead and stored = parts.p_stored in
+  let slot_value j len = slot_value_raw ~tr ~pos ~sa ~n j len in
+  let level_value level j =
+    match config.metric with
+    | Max ->
+        if bit_get dead.(level - 1) j then neg_infinity else slot_value j level
+    | Or_metric -> stored.(level - 1).(j)
+  in
+  let level_rmq =
+    Array.init parts.p_max_short (fun k ->
+        Rmq.build_oracle config.rmq_kind ~value:(level_value (k + 1)) ~len:n)
+  in
+  let ladder_rmq = Array.map (Rmq.build config.rmq_kind) parts.p_ladder_max in
+  {
+    tr;
+    cfg = config;
+    key_of_pos;
+    text;
+    pos;
+    sa;
+    lcp = parts.p_lcp;
+    n;
+    max_short = parts.p_max_short;
+    dead;
+    stored;
+    level_rmq;
+    ladder_sizes = parts.p_ladder_sizes;
+    ladder_rmq;
+    ladder_max = parts.p_ladder_max;
+    fm = parts.p_fm;
+    st = parts.p_st;
+  }
+
+let parts_of t =
+  {
+    p_cfg = t.cfg;
+    p_tr = t.tr;
+    p_sa = t.sa;
+    p_lcp = t.lcp;
+    p_max_short = t.max_short;
+    p_dead = t.dead;
+    p_stored = t.stored;
+    p_ladder_sizes = t.ladder_sizes;
+    p_ladder_max = t.ladder_max;
+    p_fm = t.fm;
+    p_st = t.st;
+  }
+
+let magic = "PTI-ENGINE-1\n"
+
+let save t oc =
+  output_string oc magic;
+  Marshal.to_channel oc (parts_of t) []
+
+let load ~key_of_pos ic =
+  let buf = really_input_string ic (String.length magic) in
+  if buf <> magic then
+    invalid_arg "Engine.load: bad magic (not a pti engine file)";
+  let parts : parts = Marshal.from_channel ic in
+  finish ~key_of_pos parts
+
+let build ?(config = default_config) ~key_of_pos tr =
+  let text = Transform.text tr in
+  let pos = Transform.pos tr in
+  let n = Array.length text in
+  let sa = Sais.suffix_array text in
+  let lcp = Lcp.kasai ~text ~sa in
+  let max_short = Stdlib.max 1 (ceil_log2 (Stdlib.max 2 n)) in
+  let slot_value j len = slot_value_raw ~tr ~pos ~sa ~n j len in
+  let n_levels = max_short in
+  let dead = Array.init n_levels (fun _ -> Bytes.make ((n + 7) / 8) '\000') in
+  let stored =
+    match config.metric with
+    | Max -> [||]
+    | Or_metric -> Array.init n_levels (fun _ -> Array.make n neg_infinity)
+  in
+  (* Per-level duplicate elimination: within each depth-i lcp-group,
+     keep one representative slot per key (Algorithm 3's "duplicate
+     elimination in C_i"). Scratch arrays are reused across groups and
+     levels to keep construction allocation-free on the hot path. *)
+  let scratch_v = Array.make n 0.0 in
+  let scratch_key = Array.make n (-1) in
+  let best = Hashtbl.create 256 in
+  (* key -> representative slot of the current group *)
+  for level = 1 to n_levels do
+    let j = ref 0 in
+    while !j < n do
+      let g0 = !j in
+      let g1 = ref (g0 + 1) in
+      while !g1 < n && lcp.(!g1) >= level do
+        incr g1
+      done;
+      Hashtbl.reset best;
+      for s = g0 to !g1 - 1 do
+        let v = slot_value s level in
+        scratch_v.(s) <- v;
+        if v = neg_infinity then begin
+          bit_set dead.(level - 1) s;
+          scratch_key.(s) <- -1
+        end
+        else begin
+          let key = key_of_pos pos.(sa.(s)) in
+          scratch_key.(s) <- key;
+          match Hashtbl.find_opt best key with
+          | None -> Hashtbl.replace best key s
+          | Some b -> if v > scratch_v.(b) then Hashtbl.replace best key s
+        end
+      done;
+      (match config.metric with
+      | Max ->
+          for s = g0 to !g1 - 1 do
+            if scratch_key.(s) >= 0 && Hashtbl.find best scratch_key.(s) <> s
+            then bit_set dead.(level - 1) s
+          done
+      | Or_metric ->
+          (* Per key, OR-combine over the key's distinct positions and
+             store the result at the representative slot. *)
+          let occ = Hashtbl.create 16 in
+          for s = g0 to !g1 - 1 do
+            if scratch_key.(s) >= 0 then begin
+              let key = scratch_key.(s) in
+              let h =
+                match Hashtbl.find_opt occ key with
+                | Some h -> h
+                | None ->
+                    let h = Hashtbl.create 4 in
+                    Hashtbl.replace occ key h;
+                    h
+              in
+              Hashtbl.replace h pos.(sa.(s)) scratch_v.(s)
+            end
+          done;
+          Hashtbl.iter
+            (fun key h ->
+              let rep = Hashtbl.find best key in
+              let entries = Hashtbl.fold (fun p l acc -> (p, l) :: acc) h [] in
+              stored.(level - 1).(rep) <- or_value entries)
+            occ);
+      j := !g1
+    done
+  done;
+  (* Blocking ladder for long patterns. *)
+  let ladder_sizes =
+    match config.ladder with
+    | Ladder_none -> [||]
+    | Ladder_geometric ->
+        let rec go acc s = if s > n then List.rev acc else go (s :: acc) (2 * s) in
+        Array.of_list (go [] (max_short + 1))
+    | Ladder_full ->
+        if n > 1 lsl 14 then
+          invalid_arg
+            "Engine.build: Ladder_full is quadratic; refusing n > 16384";
+        Array.init (Stdlib.max 0 (n - max_short)) (fun k -> max_short + 1 + k)
+  in
+  let ladder_max =
+    Array.map
+      (fun s ->
+        let nb = (n + s - 1) / s in
+        Array.init nb (fun k ->
+            let lo = k * s and hi = Stdlib.min n ((k + 1) * s) - 1 in
+            let best = ref neg_infinity in
+            for j = lo to hi do
+              let v = slot_value j s in
+              if v > !best then best := v
+            done;
+            !best))
+      ladder_sizes
+  in
+  let fm =
+    match config.range_search with
+    | Rs_fm -> Some (Pti_succinct.Fm_index.create ~sa text)
+    | Rs_binary | Rs_tree -> None
+  in
+  let st =
+    match config.range_search with
+    | Rs_tree -> Some (Pti_suffix.Suffix_tree.build ~sa ~lcp ~text_len:n)
+    | Rs_binary | Rs_fm -> None
+  in
+  finish ~key_of_pos
+    {
+      p_cfg = config;
+      p_tr = tr;
+      p_sa = sa;
+      p_lcp = lcp;
+      p_max_short = max_short;
+      p_dead = dead;
+      p_stored = stored;
+      p_ladder_sizes = ladder_sizes;
+      p_ladder_max = ladder_max;
+      p_fm = fm;
+      p_st = st;
+    }
+
+let transform t = t.tr
+let config t = t.cfg
+let max_short t = t.max_short
+
+let slot_value t j len = slot_value_raw ~tr:t.tr ~pos:t.pos ~sa:t.sa ~n:t.n j len
+
+let level_value t level j =
+  match t.cfg.metric with
+  | Max -> if bit_get t.dead.(level - 1) j then neg_infinity else slot_value t j level
+  | Or_metric -> t.stored.(level - 1).(j)
+
+let validate_pattern pattern =
+  if Array.length pattern = 0 then invalid_arg "Engine.query: empty pattern";
+  Array.iter
+    (fun s ->
+      if s = Sym.separator then
+        invalid_arg "Engine.query: pattern contains the separator symbol")
+    pattern
+
+let raw_range t pattern =
+  match (t.fm, t.st) with
+  | Some fm, _ -> Pti_succinct.Fm_index.range fm ~pattern
+  | _, Some st -> Pti_suffix.Suffix_tree.locus st ~text:t.text ~pattern
+  | None, None -> Sa_search.range ~text:t.text ~sa:t.sa ~pattern
+
+let suffix_range t ~pattern =
+  validate_pattern pattern;
+  raw_range t pattern
+
+(* Report every live slot of the single depth-m group [l, r] whose level
+   value exceeds ltau, in non-increasing value order, via iterative
+   range-maximum extraction (Algorithm 2 / Algorithm 4). Produced as a
+   lazy sequence so top-k consumption stops after k extractions. *)
+let short_stream t ~level ~l ~r ~ltau =
+  let rmq = t.level_rmq.(level - 1) in
+  let heap = Heap.create () in
+  let seed l r =
+    if l <= r then begin
+      let mx = Rmq.query rmq ~l ~r in
+      let v = level_value t level mx in
+      if v > ltau then Heap.push heap v (mx, l, r)
+    end
+  in
+  seed l r;
+  let rec next () =
+    match Heap.pop heap with
+    | None -> Seq.Nil
+    | Some (v, (mx, l, r)) ->
+        let key = t.key_of_pos t.pos.(t.sa.(mx)) in
+        seed l (mx - 1);
+        seed (mx + 1) r;
+        Seq.Cons ((key, Logp.of_log (Float.min 0.0 v)), next)
+  in
+  next
+
+let short_query t ~level ~l ~r ~ltau =
+  List.of_seq (short_stream t ~level ~l ~r ~ltau)
+
+(* Long patterns, Max metric: block filtering with the largest ladder
+   size <= m (upper-bound filter since window probability is
+   non-increasing in length), then exact per-slot verification and
+   per-key aggregation. *)
+let long_query_blocks t ~m ~l ~r ~ltau =
+  let li =
+    let best = ref (-1) in
+    Array.iteri (fun i s -> if s <= m then best := i) t.ladder_sizes;
+    !best
+  in
+  let candidates = Hashtbl.create 64 in
+  let add_candidate j =
+    let v = slot_value t j m in
+    if v > ltau then begin
+      let key = t.key_of_pos t.pos.(t.sa.(j)) in
+      match Hashtbl.find_opt candidates key with
+      | Some bv when bv >= v -> ()
+      | _ -> Hashtbl.replace candidates key v
+    end
+  in
+  if li < 0 then
+    (* No usable ladder entry: scan the whole range. *)
+    for j = l to r do
+      add_candidate j
+    done
+  else begin
+    let s = t.ladder_sizes.(li) in
+    let rmq = t.ladder_rmq.(li) and pb = t.ladder_max.(li) in
+    let bl = l / s and br = r / s in
+    let rec go bl br =
+      if bl <= br then begin
+        let k = Rmq.query rmq ~l:bl ~r:br in
+        if pb.(k) > ltau then begin
+          let lo = Stdlib.max l (k * s) and hi = Stdlib.min r (((k + 1) * s) - 1) in
+          for j = lo to hi do
+            add_candidate j
+          done;
+          go bl (k - 1);
+          go (k + 1) br
+        end
+      end
+    in
+    go bl br
+  end;
+  Hashtbl.fold (fun key v acc -> (key, Logp.of_log (Float.min 0.0 v)) :: acc)
+    candidates []
+  |> List.sort (fun (_, a) (_, b) -> Logp.compare b a)
+
+(* Long patterns, OR metric: the block filter is unsound for OR (a
+   document can clear τ only in combination), so scan the range and
+   aggregate per key over distinct positions — the paper's complex-
+   metric caveat. *)
+let long_query_or t ~m ~l ~r ~ltau =
+  let per_key = Hashtbl.create 64 in
+  for j = l to r do
+    let v = slot_value t j m in
+    if v > neg_infinity then begin
+      let p = t.pos.(t.sa.(j)) in
+      let key = t.key_of_pos p in
+      let positions =
+        match Hashtbl.find_opt per_key key with
+        | Some h -> h
+        | None ->
+            let h = Hashtbl.create 8 in
+            Hashtbl.replace per_key key h;
+            h
+      in
+      Hashtbl.replace positions p v
+    end
+  done;
+  Hashtbl.fold
+    (fun key positions acc ->
+      let entries = Hashtbl.fold (fun p l acc -> (p, l) :: acc) positions [] in
+      let v = or_value entries in
+      if v > ltau then (key, Logp.of_log (Float.min 0.0 v)) :: acc else acc)
+    per_key []
+  |> List.sort (fun (_, a) (_, b) -> Logp.compare b a)
+
+let validate_query t ~pattern ~tau =
+  validate_pattern pattern;
+  let tau_min = Transform.tau_min t.tr in
+  if tau < tau_min -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Engine.query: tau=%g below construction tau_min=%g" tau
+         tau_min);
+  if tau > 1.0 then invalid_arg "Engine.query: tau > 1"
+
+let query t ~pattern ~tau =
+  validate_query t ~pattern ~tau;
+  match raw_range t pattern with
+  | None -> []
+  | Some (l, r) ->
+      let m = Array.length pattern in
+      let ltau = Logp.to_log (Logp.of_prob tau) in
+      if m <= t.max_short then short_query t ~level:m ~l ~r ~ltau
+      else begin
+        match t.cfg.metric with
+        | Max -> long_query_blocks t ~m ~l ~r ~ltau
+        | Or_metric -> long_query_or t ~m ~l ~r ~ltau
+      end
+
+let count t ~pattern ~tau = List.length (query t ~pattern ~tau)
+
+let stream t ~pattern ~tau =
+  validate_query t ~pattern ~tau;
+  match raw_range t pattern with
+  | None -> Seq.empty
+  | Some (l, r) ->
+      let m = Array.length pattern in
+      let ltau = Logp.to_log (Logp.of_prob tau) in
+      if m <= t.max_short then short_stream t ~level:m ~l ~r ~ltau
+      else begin
+        let answers =
+          match t.cfg.metric with
+          | Max -> long_query_blocks t ~m ~l ~r ~ltau
+          | Or_metric -> long_query_or t ~m ~l ~r ~ltau
+        in
+        List.to_seq answers
+      end
+
+let query_top_k t ~pattern ~tau ~k =
+  if k < 0 then invalid_arg "Engine.query_top_k: negative k";
+  List.of_seq (Seq.take k (stream t ~pattern ~tau))
+
+let size_words t =
+  let rmq_words =
+    Array.fold_left (fun acc r -> acc + Rmq.size_words r) 0 t.level_rmq
+    + Array.fold_left (fun acc r -> acc + Rmq.size_words r) 0 t.ladder_rmq
+  in
+  let dead_words = Array.length t.dead * ((t.n / 64) + 1) in
+  let stored_words =
+    Array.fold_left (fun acc a -> acc + Array.length a) 0 t.stored
+  in
+  let ladder_words =
+    Array.fold_left (fun acc a -> acc + Array.length a) 0 t.ladder_max
+  in
+  let fm_words =
+    match t.fm with
+    | None -> 0
+    | Some fm -> Pti_succinct.Fm_index.size_words fm
+  in
+  let st_words =
+    match t.st with
+    | None -> 0
+    | Some st -> Pti_suffix.Suffix_tree.size_words st
+  in
+  (2 * t.n) (* sa + lcp *) + rmq_words + dead_words + stored_words
+  + ladder_words + fm_words + st_words
+  + Transform.size_words t.tr
+
+let stats t =
+  Printf.sprintf
+    "engine: N=%d levels=%d ladder=[%s] metric=%s rmq=%s size=%d words | %s"
+    t.n t.max_short
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int t.ladder_sizes)))
+    (match t.cfg.metric with Max -> "max" | Or_metric -> "or")
+    (Rmq.kind_to_string t.cfg.rmq_kind
+    ^
+    match t.cfg.range_search with
+    | Rs_binary -> ""
+    | Rs_fm -> "+fm"
+    | Rs_tree -> "+tree")
+    (size_words t) (Transform.stats t.tr)

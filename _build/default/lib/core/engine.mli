@@ -1,0 +1,127 @@
+(** Shared query engine over a transformed uncertain string (§4–§6).
+
+    The engine owns the suffix array, LCP array, the per-length
+    probability RMQ structures [RMQ_1 .. RMQ_(log N)] with
+    duplicate-elimination (Algorithms 1 and 3), and the blocking scheme
+    for long patterns. It is parameterised by:
+
+    - a {e key} function mapping original string positions to output
+      identities — the identity for substring search (report positions),
+      the document id for string listing (report documents);
+    - an {e aggregation metric} for slots sharing a key inside one
+      depth-[i] lcp-group: [Max] keeps the most probable slot (substring
+      search, listing with [Rel_max]); [Or_metric] stores the
+      OR-combination Σp − Πp over the key's distinct positions (listing
+      with [Rel_or]; this retains the level value arrays, trading the
+      paper's discard-the-array trick for O(1) verification of the
+      complex metric).
+
+    Queries report, for a pattern [p] and threshold [τ ≥ τ_min], every
+    distinct key whose metric value strictly exceeds [τ], in
+    non-increasing metric order, in O(m log N + occ) for short patterns
+    (m ≤ log N) and O(m·occ_blocks + block) via the blocking ladder for
+    long ones.
+
+    Threshold comparisons are floating point: a match whose probability
+    equals [τ] to within ~1e-12 may fall on either side of the strict
+    comparison, because window probabilities are evaluated as prefix-sum
+    differences of logarithms. *)
+
+module Logp = Pti_prob.Logp
+
+type ladder =
+  | Ladder_geometric
+      (** Block sizes log N, 2 log N, 4 log N, … — O(N) words total,
+          construction O(N log N); queries use the largest size ≤ m
+          (sound upper-bound filtering; see DESIGN.md §2.5). *)
+  | Ladder_full
+      (** The paper's sizes log N .. N. Θ(N²) construction work — only
+          for small inputs / the ablation benchmark. *)
+  | Ladder_none
+      (** No blocking structure; long patterns scan the suffix range. *)
+
+type metric = Max | Or_metric
+
+type range_search =
+  | Rs_binary
+      (** Suffix-array binary search, O(m log N) with text access. *)
+  | Rs_fm
+      (** FM-index backward search, O(m log σ) without text access —
+          the compressed-suffix-array role of §8.7. Adds the wavelet
+          tree of the BWT to the index. *)
+  | Rs_tree
+      (** Suffix-tree locus walk, O(m + σ) — the literal §3.4 method.
+          Adds the materialised suffix tree to the index. *)
+
+type config = {
+  rmq_kind : Pti_rmq.Rmq.kind;
+  ladder : ladder;
+  metric : metric;
+  range_search : range_search;
+}
+
+val default_config : config
+(** Succinct RMQ, geometric ladder, [Max] metric, binary search. *)
+
+type t
+
+val build :
+  ?config:config ->
+  key_of_pos:(int -> int) ->
+  Pti_transform.Transform.t ->
+  t
+(** [key_of_pos] maps an original uncertain-string position to the
+    output key; it must be total on positions occurring in the
+    transform. *)
+
+val transform : t -> Pti_transform.Transform.t
+val config : t -> config
+val max_short : t -> int
+(** ⌈log₂ N⌉: the short/long pattern boundary. *)
+
+val suffix_range : t -> pattern:Pti_ustring.Sym.t array -> (int * int) option
+
+val query :
+  t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list
+(** Distinct keys with metric value strictly above [tau], most probable
+    first. Raises [Invalid_argument] if [tau < tau_min] of the
+    transform, or if the pattern is empty or contains the separator. *)
+
+val count : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> int
+
+val stream :
+  t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) Seq.t
+(** Like {!query}, but lazily: answers are produced on demand in
+    non-increasing metric order, so consuming a prefix of the sequence
+    costs time proportional to that prefix (for short patterns; long
+    patterns materialise the answer first). The sequence is ephemeral —
+    it captures mutable traversal state and must be consumed at most
+    once. *)
+
+val query_top_k :
+  t -> pattern:Pti_ustring.Sym.t array -> tau:float -> k:int ->
+  (int * Logp.t) list
+(** The [k] most probable answers above [tau] (fewer if fewer exist).
+    For short patterns this stops after [k] range-maximum extractions —
+    the top-k flavour of the Hon–Shah–Vitter framework the paper builds
+    on (§7). *)
+
+val size_words : t -> int
+val stats : t -> string
+
+(** {2 Persistence}
+
+    The engine's data (transform, suffix/LCP arrays, duplicate-
+    elimination bitmaps, ladder maxima, optional FM-index) is saved as
+    marshalled plain data behind a magic header; the RMQ structures are
+    rebuilt from it at load time in O(N) per level — loading skips the
+    expensive construction passes (SA-IS and the per-level duplicate
+    elimination). Caveats of OCaml marshalling apply: files are specific
+    to the OCaml version and must come from a trusted source. *)
+
+val save : t -> out_channel -> unit
+
+val load : key_of_pos:(int -> int) -> in_channel -> t
+(** [key_of_pos] must be the same mapping used at build time (the
+    identity for substring indexes; wrappers persist what they need to
+    reconstruct theirs). Raises [Invalid_argument] on a bad header. *)

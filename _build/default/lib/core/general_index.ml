@@ -1,0 +1,32 @@
+module Logp = Pti_prob.Logp
+module Ustring = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Transform = Pti_transform.Transform
+
+type t = { engine : Engine.t }
+
+let build ?config ?max_text_len ~tau_min u =
+  if Ustring.length u = 0 then invalid_arg "General_index.build: empty string";
+  let tr = Transform.build ?max_text_len ~tau_min u in
+  { engine = Engine.build ?config ~key_of_pos:(fun p -> p) tr }
+
+let query t ~pattern ~tau = Engine.query t.engine ~pattern ~tau
+let query_string t ~pattern ~tau = query t ~pattern:(Sym.of_string pattern) ~tau
+let count t ~pattern ~tau = Engine.count t.engine ~pattern ~tau
+let stream t ~pattern ~tau = Engine.stream t.engine ~pattern ~tau
+let query_top_k t ~pattern ~tau ~k = Engine.query_top_k t.engine ~pattern ~tau ~k
+let source t = Transform.source (Engine.transform t.engine)
+let tau_min t = Transform.tau_min (Engine.transform t.engine)
+let transform t = Engine.transform t.engine
+let engine t = t.engine
+let size_words t = Engine.size_words t.engine
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      Engine.save t.engine oc)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      { engine = Engine.load ~key_of_pos:(fun p -> p) ic })

@@ -1,0 +1,52 @@
+(** Substring searching in general uncertain strings (§5, Problem 1).
+
+    Built for a construction-time threshold [tau_min]; answers queries
+    for any τ ≥ [tau_min]. The general string is transformed into a
+    special one (maximal factors, Lemma 2), indexed like §4, and
+    duplicate occurrences introduced by the transformation are
+    eliminated per level at construction and per query for long
+    patterns. Reported positions are positions of the {e original}
+    uncertain string. *)
+
+module Logp = Pti_prob.Logp
+
+type t
+
+val build :
+  ?config:Engine.config ->
+  ?max_text_len:int ->
+  tau_min:float ->
+  Pti_ustring.Ustring.t ->
+  t
+
+val query :
+  t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list
+(** Distinct starting positions with matching probability strictly above
+    [tau ≥ tau_min], most probable first. Raises [Invalid_argument] if
+    [tau < tau_min]. *)
+
+val query_string : t -> pattern:string -> tau:float -> (int * Logp.t) list
+val count : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> int
+
+val stream :
+  t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) Seq.t
+(** Lazy, most-probable-first; ephemeral (see {!Engine.stream}). *)
+
+val query_top_k :
+  t -> pattern:Pti_ustring.Sym.t array -> tau:float -> k:int ->
+  (int * Logp.t) list
+(** The [k] most probable occurrences above [tau]. *)
+
+val source : t -> Pti_ustring.Ustring.t
+val tau_min : t -> float
+val transform : t -> Pti_transform.Transform.t
+val engine : t -> Engine.t
+val size_words : t -> int
+
+val save : t -> string -> unit
+(** Persist the index to a file (see {!Engine.save} for format and
+    caveats). *)
+
+val load : string -> t
+(** Load a previously saved index; skips the expensive construction
+    passes. *)

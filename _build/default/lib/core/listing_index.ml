@@ -1,0 +1,85 @@
+module Logp = Pti_prob.Logp
+module Ustring = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Transform = Pti_transform.Transform
+
+type relevance = Rel_max | Rel_or
+
+type t = {
+  engine : Engine.t;
+  docs : Ustring.t array;
+  relevance : relevance;
+}
+
+let build ?(rmq_kind = Pti_rmq.Rmq.Succinct) ?(ladder = Engine.Ladder_geometric)
+    ?(relevance = Rel_max) ?max_text_len ~tau_min docs =
+  if docs = [] then invalid_arg "Listing_index.build: empty collection";
+  List.iteri
+    (fun k d ->
+      if Ustring.length d = 0 then
+        invalid_arg (Printf.sprintf "Listing_index.build: empty document %d" k))
+    docs;
+  let concatenated, starts = Ustring.concat ~sep:(Some Sym.separator) docs in
+  let total = Ustring.length concatenated in
+  (* Map original (concatenated) positions to document ids. *)
+  let doc_of = Array.make total (-1) in
+  let n_docs = Array.length starts in
+  List.iteri
+    (fun k d ->
+      let s = starts.(k) in
+      for i = s to s + Ustring.length d - 1 do
+        doc_of.(i) <- k
+      done)
+    docs;
+  ignore n_docs;
+  let tr = Transform.build ?max_text_len ~tau_min concatenated in
+  let metric =
+    match relevance with Rel_max -> Engine.Max | Rel_or -> Engine.Or_metric
+  in
+  let config = { Engine.default_config with rmq_kind; ladder; metric } in
+  let engine = Engine.build ~config ~key_of_pos:(fun p -> doc_of.(p)) tr in
+  { engine; docs = Array.of_list docs; relevance }
+
+let n_docs t = Array.length t.docs
+let doc t k = t.docs.(k)
+let query t ~pattern ~tau = Engine.query t.engine ~pattern ~tau
+let query_string t ~pattern ~tau = query t ~pattern:(Sym.of_string pattern) ~tau
+let count t ~pattern ~tau = Engine.count t.engine ~pattern ~tau
+let stream t ~pattern ~tau = Engine.stream t.engine ~pattern ~tau
+let query_top_k t ~pattern ~tau ~k = Engine.query_top_k t.engine ~pattern ~tau ~k
+let relevance t = t.relevance
+let engine t = t.engine
+let size_words t = Engine.size_words t.engine
+
+(* The engine's key function maps original (concatenated) positions to
+   document ids; it is reconstructed from the persisted documents. *)
+let doc_map docs =
+  let total =
+    Array.fold_left (fun acc d -> acc + Ustring.length d) 0 docs
+    + Stdlib.max 0 (Array.length docs - 1)
+  in
+  let doc_of = Array.make total (-1) in
+  let off = ref 0 in
+  Array.iteri
+    (fun k d ->
+      if k > 0 then incr off (* separator *);
+      for _ = 1 to Ustring.length d do
+        doc_of.(!off) <- k;
+        incr off
+      done)
+    docs;
+  doc_of
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      Marshal.to_channel oc (t.docs, t.relevance) [];
+      Engine.save t.engine oc)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let docs, relevance = (Marshal.from_channel ic : Ustring.t array * relevance) in
+      let doc_of = doc_map docs in
+      let engine = Engine.load ~key_of_pos:(fun p -> doc_of.(p)) ic in
+      { engine; docs; relevance })

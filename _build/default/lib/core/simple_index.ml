@@ -1,0 +1,72 @@
+module Logp = Pti_prob.Logp
+module Ustring = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Transform = Pti_transform.Transform
+module Sais = Pti_suffix.Sais
+module Sa_search = Pti_suffix.Sa_search
+
+type t = {
+  tr : Transform.t;
+  text : int array;
+  pos : int array;
+  sa : int array;
+  n : int;
+}
+
+let of_transform tr =
+  let text = Transform.text tr in
+  { tr; text; pos = Transform.pos tr; sa = Sais.suffix_array text; n = Array.length text }
+
+let build_special u =
+  if Ustring.length u = 0 then invalid_arg "Simple_index.build_special: empty";
+  of_transform (Transform.identity u)
+
+let build ?max_text_len ~tau_min u =
+  if Ustring.length u = 0 then invalid_arg "Simple_index.build: empty";
+  of_transform (Transform.build ?max_text_len ~tau_min u)
+
+let validate_pattern pattern =
+  if Array.length pattern = 0 then invalid_arg "Simple_index.query: empty pattern";
+  Array.iter
+    (fun s ->
+      if s = Sym.separator then
+        invalid_arg "Simple_index.query: pattern contains the separator")
+    pattern
+
+let query t ~pattern ~tau =
+  validate_pattern pattern;
+  if tau < Transform.tau_min t.tr -. 1e-12 then
+    invalid_arg "Simple_index.query: tau below construction tau_min";
+  match Sa_search.range ~text:t.text ~sa:t.sa ~pattern with
+  | None -> []
+  | Some (l, r) ->
+      let m = Array.length pattern in
+      let ltau = Logp.to_log (Logp.of_prob tau) in
+      let best = Hashtbl.create 64 in
+      for j = l to r do
+        let a = t.sa.(j) in
+        if a + m <= t.n && t.pos.(a) >= 0 && t.pos.(a + m - 1) = t.pos.(a) + m - 1
+        then begin
+          let v = Logp.to_log (Transform.window_logp_corrected t.tr ~pos:a ~len:m) in
+          if v > ltau then begin
+            let key = t.pos.(a) in
+            match Hashtbl.find_opt best key with
+            | Some bv when bv >= v -> ()
+            | _ -> Hashtbl.replace best key v
+          end
+        end
+      done;
+      Hashtbl.fold
+        (fun key v acc -> (key, Logp.of_log (Float.min 0.0 v)) :: acc)
+        best []
+      |> List.sort (fun (_, a) (_, b) -> Logp.compare b a)
+
+let query_string t ~pattern ~tau = query t ~pattern:(Sym.of_string pattern) ~tau
+let count t ~pattern ~tau = List.length (query t ~pattern ~tau)
+
+let range_size t ~pattern =
+  match Sa_search.range ~text:t.text ~sa:t.sa ~pattern with
+  | None -> 0
+  | Some (l, r) -> r - l + 1
+
+let size_words t = Array.length t.sa + Transform.size_words t.tr

@@ -1,0 +1,30 @@
+(** The "simple index" baseline (§4.1): suffix array plus probability
+    array, scanning {e every} suffix in the pattern's range and checking
+    its probability — no RMQ structures, so query time is proportional
+    to the full range size rather than the output size. Kept as the
+    comparison point for the efficient index (ablation benchmark). *)
+
+module Logp = Pti_prob.Logp
+
+type t
+
+val build_special : Pti_ustring.Ustring.t -> t
+(** §4.1 as written: a special uncertain string, no transformation,
+    arbitrary τ. *)
+
+val build : ?max_text_len:int -> tau_min:float -> Pti_ustring.Ustring.t -> t
+(** General strings via the §5 transformation (with per-query duplicate
+    elimination). *)
+
+val query :
+  t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list
+(** Distinct original positions with probability strictly above [tau],
+    most probable first. *)
+
+val query_string : t -> pattern:string -> tau:float -> (int * Logp.t) list
+val count : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> int
+val range_size : t -> pattern:Pti_ustring.Sym.t array -> int
+(** Number of suffixes the scan visits for this pattern (the quantity
+    the RMQ index avoids). *)
+
+val size_words : t -> int

@@ -1,0 +1,11 @@
+let bytes_of_words w = 8 * w
+
+let mb_of_words w = float_of_int (bytes_of_words w) /. (1024.0 *. 1024.0)
+
+let pp_words ppf w =
+  let b = bytes_of_words w in
+  if b < 1024 then Format.fprintf ppf "%d B" b
+  else if b < 1024 * 1024 then Format.fprintf ppf "%.1f KB" (float_of_int b /. 1024.0)
+  else Format.fprintf ppf "%.1f MB" (mb_of_words w)
+
+let to_string w = Format.asprintf "%a" pp_words w

@@ -1,0 +1,13 @@
+(** Space accounting helpers for the Fig 9(c) experiment.
+
+    All structures report their footprint in machine words via their
+    [size_words] functions; this module converts and pretty-prints. *)
+
+val bytes_of_words : int -> int
+(** 8 bytes per word (64-bit). *)
+
+val mb_of_words : int -> float
+val pp_words : Format.formatter -> int -> unit
+(** Human-readable, e.g. "12.4 MB". *)
+
+val to_string : int -> string

@@ -1,0 +1,1 @@
+lib/prob/logp.ml: Float Format Printf

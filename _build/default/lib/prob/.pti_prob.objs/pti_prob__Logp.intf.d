@@ -1,0 +1,1 @@
+lib/prob/logp.mli: Format

@@ -1,0 +1,1 @@
+lib/prob/parray.ml: Array Float Logp Printf

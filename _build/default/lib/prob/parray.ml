@@ -1,0 +1,41 @@
+type t = {
+  cum : float array; (* cum.(i) = sum of finite logs of positions [0..i-1] *)
+  zeros : int array; (* zeros.(i) = number of zero-probability positions in [0..i-1] *)
+  logs : Logp.t array; (* per-position values, for [get] *)
+}
+
+let of_logps logs =
+  let n = Array.length logs in
+  let cum = Array.make (n + 1) 0.0 in
+  let zeros = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let l = Logp.to_log logs.(i) in
+    if Logp.is_zero logs.(i) then begin
+      cum.(i + 1) <- cum.(i);
+      zeros.(i + 1) <- zeros.(i) + 1
+    end
+    else begin
+      cum.(i + 1) <- cum.(i) +. l;
+      zeros.(i + 1) <- zeros.(i)
+    end
+  done;
+  { cum; zeros; logs = Array.copy logs }
+
+let of_probs probs = of_logps (Array.map Logp.of_prob probs)
+
+let length t = Array.length t.logs
+
+let get t i = t.logs.(i)
+
+let window t ~pos ~len =
+  let n = length t in
+  if len < 1 || pos < 0 || pos + len > n then
+    invalid_arg
+      (Printf.sprintf "Parray.window: pos=%d len=%d out of [0,%d)" pos len n);
+  if t.zeros.(pos + len) - t.zeros.(pos) > 0 then Logp.zero
+  else Logp.of_log (Float.min 0.0 (t.cum.(pos + len) -. t.cum.(pos)))
+
+let prefix t j =
+  if j < 0 || j > length t then invalid_arg "Parray.prefix: out of range";
+  if t.zeros.(j) > 0 then Logp.zero
+  else Logp.of_log (Float.min 0.0 t.cum.(j))

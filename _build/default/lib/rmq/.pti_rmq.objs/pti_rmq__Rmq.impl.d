@@ -1,0 +1,1 @@
+lib/rmq/rmq.ml: Rmq_naive Rmq_sparse Rmq_succinct

@@ -1,0 +1,1 @@
+lib/rmq/rmq.mli: Rmq_intf Rmq_naive Rmq_sparse Rmq_succinct

@@ -1,0 +1,1 @@
+lib/rmq/rmq_intf.ml:

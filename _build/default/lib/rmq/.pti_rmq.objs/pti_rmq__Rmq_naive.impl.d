@@ -1,0 +1,1 @@
+lib/rmq/rmq_naive.ml: Array Printf

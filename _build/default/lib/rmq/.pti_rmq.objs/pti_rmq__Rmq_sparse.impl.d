@@ -1,0 +1,1 @@
+lib/rmq/rmq_sparse.ml: Array Printf Stdlib

@@ -1,0 +1,1 @@
+lib/rmq/rmq_succinct.ml: Array Bytes Char Hashtbl Printf Rmq_sparse Stdlib

@@ -1,0 +1,51 @@
+type kind = Naive | Sparse | Succinct
+
+let kind_of_string = function
+  | "naive" -> Some Naive
+  | "sparse" -> Some Sparse
+  | "succinct" -> Some Succinct
+  | _ -> None
+
+let kind_to_string = function
+  | Naive -> "naive"
+  | Sparse -> "sparse"
+  | Succinct -> "succinct"
+
+let all_kinds = [ Naive; Sparse; Succinct ]
+
+type t =
+  | N of Rmq_naive.t
+  | Sp of Rmq_sparse.t
+  | Su of Rmq_succinct.t
+
+let build kind a =
+  match kind with
+  | Naive -> N (Rmq_naive.build a)
+  | Sparse -> Sp (Rmq_sparse.build a)
+  | Succinct -> Su (Rmq_succinct.build a)
+
+let build_oracle kind ~value ~len =
+  match kind with
+  | Naive -> N (Rmq_naive.build_oracle ~value ~len)
+  | Sparse -> Sp (Rmq_sparse.build_oracle ~value ~len)
+  | Succinct -> Su (Rmq_succinct.build_oracle ~value ~len)
+
+let length = function
+  | N t -> Rmq_naive.length t
+  | Sp t -> Rmq_sparse.length t
+  | Su t -> Rmq_succinct.length t
+
+let query t ~l ~r =
+  match t with
+  | N t -> Rmq_naive.query t ~l ~r
+  | Sp t -> Rmq_sparse.query t ~l ~r
+  | Su t -> Rmq_succinct.query t ~l ~r
+
+let size_words = function
+  | N t -> Rmq_naive.size_words t
+  | Sp t -> Rmq_sparse.size_words t
+  | Su t -> Rmq_succinct.size_words t
+
+module Naive_impl = Rmq_naive
+module Sparse_impl = Rmq_sparse
+module Succinct_impl = Rmq_succinct

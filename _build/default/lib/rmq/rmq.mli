@@ -1,0 +1,35 @@
+(** Range-maximum queries over (virtual) float arrays.
+
+    Front end over three interchangeable implementations (see
+    {!Rmq_intf.S}): a linear-scan oracle, a sparse table and a
+    Fischer–Heun block structure. The index construction of the paper
+    (Lemma 1) uses the succinct variant; the others exist as a testing
+    oracle and a speed/space ablation point. *)
+
+type kind = Naive | Sparse | Succinct
+
+val kind_of_string : string -> kind option
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+type t
+
+val build : kind -> float array -> t
+
+val build_oracle : kind -> value:(int -> float) -> len:int -> t
+(** Builds over the virtual array [value 0 .. value (len-1)]; the oracle
+    is called O(len) times at construction and O(1) times per query. *)
+
+val length : t -> int
+
+val query : t -> l:int -> r:int -> int
+(** Leftmost index of the maximum in the inclusive range [\[l, r\]]. *)
+
+val size_words : t -> int
+
+(** Direct access to the implementations, mainly for tests and
+    benchmarks. *)
+
+module Naive_impl : Rmq_intf.S with type t = Rmq_naive.t
+module Sparse_impl : Rmq_intf.S with type t = Rmq_sparse.t
+module Succinct_impl : Rmq_intf.S with type t = Rmq_succinct.t

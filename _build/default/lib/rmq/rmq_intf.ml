@@ -1,0 +1,32 @@
+(** Common signature for range-maximum query structures.
+
+    All implementations answer [query t ~l ~r] = index of the leftmost
+    maximum value in the inclusive index range [\[l, r\]]. Structures are
+    built either from a materialised float array or from a value oracle
+    [int -> float]; the paper's construction (Algorithms 1 and 3) builds
+    an RMQ over each probability array [C_i] and then discards the array,
+    so query-time value access must go through the oracle (used only for
+    O(1) candidate comparisons, never scans). *)
+
+module type S = sig
+  type t
+
+  val build : float array -> t
+  (** [build a] preprocesses [a]. The array is not retained unless the
+      implementation documents otherwise. *)
+
+  val build_oracle : value:(int -> float) -> len:int -> t
+  (** [build_oracle ~value ~len] preprocesses the virtual array
+      [value 0 .. value (len-1)]. [value] may be called during
+      construction (streamed, O(len) calls) and O(1) times per query. *)
+
+  val length : t -> int
+
+  val query : t -> l:int -> r:int -> int
+  (** Leftmost index of the maximum in [\[l, r\]] (inclusive). Raises
+      [Invalid_argument] if [l > r] or the range exceeds the array. *)
+
+  val size_words : t -> int
+  (** Approximate space of the structure in machine words, excluding the
+      value oracle. Feeds the Fig 9(c) space accounting. *)
+end

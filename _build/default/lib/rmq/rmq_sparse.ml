@@ -1,0 +1,55 @@
+(** Sparse-table RMQ: O(n log n) words, O(1) query. The table stores
+    argmax indices; the value oracle is consulted once per query to merge
+    the two overlapping windows (and O(n log n) times at build). *)
+
+type t = {
+  table : int array array; (* table.(k).(i) = leftmost argmax of [i, i + 2^k) *)
+  value : int -> float;
+  len : int;
+}
+
+let floor_log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let build_oracle ~value ~len =
+  if len = 0 then { table = [||]; value; len = 0 }
+  else begin
+    let levels = floor_log2 len + 1 in
+    let table = Array.make levels [||] in
+    table.(0) <- Array.init len (fun i -> i);
+    for k = 1 to levels - 1 do
+      let width = 1 lsl k in
+      let m = len - width + 1 in
+      let prev = table.(k - 1) in
+      let row = Array.make (Stdlib.max m 0) 0 in
+      for i = 0 to m - 1 do
+        let a = prev.(i) and b = prev.(i + (width lsr 1)) in
+        (* strict [>] keeps the leftmost argmax on ties *)
+        row.(i) <- (if value b > value a then b else a)
+      done;
+      table.(k) <- row
+    done;
+    { table; value; len }
+  end
+
+let build a =
+  let a = Array.copy a in
+  build_oracle ~value:(fun i -> a.(i)) ~len:(Array.length a)
+
+let length t = t.len
+
+let query t ~l ~r =
+  if l < 0 || r >= t.len || l > r then
+    invalid_arg
+      (Printf.sprintf "Rmq_sparse.query: [%d,%d] not in [0,%d)" l r t.len);
+  let k = floor_log2 (r - l + 1) in
+  let a = t.table.(k).(l) and b = t.table.(k).(r - (1 lsl k) + 1) in
+  if a = b then a
+  else begin
+    let va = t.value a and vb = t.value b in
+    if vb > va then b else if va > vb then a else Stdlib.min a b
+  end
+
+let size_words t =
+  Array.fold_left (fun acc row -> acc + Array.length row) 3 t.table

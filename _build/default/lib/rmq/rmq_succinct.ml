@@ -1,0 +1,152 @@
+(** Fischer–Heun style block-decomposition RMQ (the practical form of the
+    2n + o(n) bit structure of Lemma 1 in the paper).
+
+    The array is cut into blocks of ~(log n)/2 elements. Each block is
+    summarised by the push/pop signature of its (max-)Cartesian tree; all
+    blocks sharing a signature share one in-block argmax lookup table, so
+    in-block queries never touch the values. Across blocks, the per-block
+    argmax positions are themselves indexed by a recursive instance
+    (falling back to a sparse table once small enough), so total space is
+    O(n) words with tiny constants. The value oracle is consulted only to
+    merge the at most three candidate positions of a query. *)
+
+type top = Sparse of Rmq_sparse.t | Recurse of t
+
+and t = {
+  value : int -> float;
+  len : int;
+  block : int; (* block size *)
+  signatures : int array; (* per block: Cartesian-tree signature *)
+  tables : (int * int, Bytes.t) Hashtbl.t;
+  (* (block_len, signature) -> argmax matrix; entry l*block+r = in-block
+     argmax of [l, r] *)
+  top : top; (* RMQ over per-block argmax positions *)
+  block_argmax : int array; (* global position of each block's leftmost max *)
+}
+
+let floor_log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+(* Push/pop encoding of the max-Cartesian tree of [value base .. value
+   (base+len-1)]: strictly smaller stack tops are popped, so equal values
+   keep the leftmost element as ancestor, matching the leftmost-max rule. *)
+let signature value base len =
+  let stack = Array.make len 0.0 in
+  let sp = ref 0 in
+  let bits = ref 0 in
+  let nbits = ref 0 in
+  for i = 0 to len - 1 do
+    let v = value (base + i) in
+    while !sp > 0 && stack.(!sp - 1) < v do
+      decr sp;
+      incr nbits (* emit 0 *)
+    done;
+    stack.(!sp) <- v;
+    incr sp;
+    bits := !bits lor (1 lsl !nbits);
+    incr nbits
+  done;
+  !bits
+
+(* In-block argmax table computed once per distinct (len, signature) from
+   a witness block; valid for every block with the same signature because
+   argmax positions depend only on the Cartesian tree shape. *)
+let make_table value base len block =
+  let tbl = Bytes.make (block * block) '\000' in
+  for l = 0 to len - 1 do
+    let best = ref l in
+    let best_v = ref (value (base + l)) in
+    Bytes.set tbl ((l * block) + l) (Char.chr l);
+    for r = l + 1 to len - 1 do
+      let v = value (base + r) in
+      if v > !best_v then begin
+        best := r;
+        best_v := v
+      end;
+      Bytes.set tbl ((l * block) + r) (Char.chr !best)
+    done
+  done;
+  tbl
+
+let sparse_cutoff = 4096
+
+let rec build_oracle ~value ~len =
+  let block =
+    Stdlib.max 4 (Stdlib.min 15 ((floor_log2 (Stdlib.max 2 len) + 1) / 2 + 2))
+  in
+  let nblocks = if len = 0 then 0 else (len + block - 1) / block in
+  let signatures = Array.make nblocks 0 in
+  let block_argmax = Array.make nblocks 0 in
+  let tables = Hashtbl.create 64 in
+  for b = 0 to nblocks - 1 do
+    let base = b * block in
+    let blen = Stdlib.min block (len - base) in
+    let s = signature value base blen in
+    signatures.(b) <- s;
+    let key = (blen, s) in
+    if not (Hashtbl.mem tables key) then
+      Hashtbl.replace tables key (make_table value base blen block);
+    let tbl = Hashtbl.find tables key in
+    let local = Char.code (Bytes.get tbl (0 + (blen - 1))) in
+    block_argmax.(b) <- base + local
+  done;
+  let top_value b = value block_argmax.(b) in
+  let top =
+    if nblocks <= sparse_cutoff then
+      Sparse (Rmq_sparse.build_oracle ~value:top_value ~len:nblocks)
+    else Recurse (build_oracle ~value:top_value ~len:nblocks)
+  in
+  { value; len; block; signatures; tables; top; block_argmax }
+
+let build a =
+  let a = Array.copy a in
+  build_oracle ~value:(fun i -> a.(i)) ~len:(Array.length a)
+
+let length t = t.len
+
+let in_block t b l r =
+  (* l, r are in-block offsets within block b; returns global argmax pos *)
+  let base = b * t.block in
+  let blen = Stdlib.min t.block (t.len - base) in
+  let tbl = Hashtbl.find t.tables (blen, t.signatures.(b)) in
+  base + Char.code (Bytes.get tbl ((l * t.block) + r))
+
+let rec query t ~l ~r =
+  if l < 0 || r >= t.len || l > r then
+    invalid_arg
+      (Printf.sprintf "Rmq_succinct.query: [%d,%d] not in [0,%d)" l r t.len);
+  let bl = l / t.block and br = r / t.block in
+  if bl = br then in_block t bl (l mod t.block) (r mod t.block)
+  else begin
+    let left = in_block t bl (l mod t.block) (t.block - 1) in
+    let right = in_block t br 0 (r mod t.block) in
+    let pick a b =
+      let va = t.value a and vb = t.value b in
+      if vb > va then b else if va > vb then a else Stdlib.min a b
+    in
+    let best = pick left right in
+    if br - bl >= 2 then begin
+      let mid_block =
+        match t.top with
+        | Sparse s -> Rmq_sparse.query s ~l:(bl + 1) ~r:(br - 1)
+        | Recurse s -> query s ~l:(bl + 1) ~r:(br - 1)
+      in
+      pick best t.block_argmax.(mid_block)
+    end
+    else best
+  end
+
+let rec size_words t =
+  let table_words =
+    Hashtbl.fold
+      (fun _ bytes acc -> acc + (Bytes.length bytes / 8) + 1)
+      t.tables 0
+  in
+  let top_words =
+    match t.top with
+    | Sparse s -> Rmq_sparse.size_words s
+    | Recurse s -> size_words s
+  in
+  Array.length t.signatures + Array.length t.block_argmax + top_words
+  + table_words + 4

@@ -1,0 +1,1 @@
+lib/succinct/bitvec.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/succinct/fm_index.ml: Array Pti_suffix Stdlib Wavelet

@@ -1,0 +1,1 @@
+lib/succinct/wavelet.ml: Array Bitvec List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/succinct/wavelet.mli:

@@ -1,0 +1,87 @@
+let bits_per_word = 63
+
+type t = {
+  len : int;
+  words : int array; (* 63 bits per entry *)
+  cum : int array; (* cum.(w) = number of set bits in words 0 .. w-1 *)
+}
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let create len f =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  let nwords = (len + bits_per_word - 1) / bits_per_word in
+  let words = Array.make (Stdlib.max 1 nwords) 0 in
+  for i = 0 to len - 1 do
+    if f i then begin
+      let w = i / bits_per_word and b = i mod bits_per_word in
+      words.(w) <- words.(w) lor (1 lsl b)
+    end
+  done;
+  let cum = Array.make (Array.length words + 1) 0 in
+  Array.iteri (fun w x -> cum.(w + 1) <- cum.(w) + popcount x) words;
+  { len; words; cum }
+
+let of_bools a = create (Array.length a) (fun i -> a.(i))
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec.get: out of range";
+  (t.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+
+let rank1 t i =
+  if i < 0 || i > t.len then invalid_arg "Bitvec.rank1: out of range";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let partial =
+    if b = 0 then 0 else popcount (t.words.(w) land ((1 lsl b) - 1))
+  in
+  t.cum.(w) + partial
+
+let rank0 t i = i - rank1 t i
+let count1 t = rank1 t t.len
+
+(* Smallest i with rank (i+1) = k, by binary search over the cumulative
+   word ranks then a word scan. [rank_word w] must be the number of
+   qualifying bits strictly before word w. *)
+let select_gen t k qualifying rank_before =
+  if k < 1 then invalid_arg "Bitvec.select: k < 1";
+  let nwords = Array.length t.words in
+  (* binary search for the word containing the k-th qualifying bit *)
+  let lo = ref 0 and hi = ref nwords in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if rank_before (mid + 1) < k then lo := mid + 1 else hi := mid
+  done;
+  let w = !lo in
+  if w >= nwords then invalid_arg "Bitvec.select: not enough bits";
+  let need = k - rank_before w in
+  let seen = ref 0 in
+  let res = ref (-1) in
+  let base = w * bits_per_word in
+  let limit = Stdlib.min bits_per_word (t.len - base) in
+  (try
+     for b = 0 to limit - 1 do
+       if qualifying ((t.words.(w) lsr b) land 1 = 1) then begin
+         incr seen;
+         if !seen = need then begin
+           res := base + b;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  if !res < 0 then invalid_arg "Bitvec.select: not enough bits";
+  !res
+
+let select1 t k = select_gen t k (fun bit -> bit) (fun w -> t.cum.(w))
+
+let select0 t k =
+  (* clamp to [len]: padding bits of the final word are not zeros *)
+  select_gen t k
+    (fun bit -> not bit)
+    (fun w -> Stdlib.min (w * bits_per_word) t.len - t.cum.(w))
+
+let size_words t = Array.length t.words + Array.length t.cum + 2

@@ -1,0 +1,26 @@
+(** FM-index: backward pattern search over the Burrows–Wheeler
+    transform, with the wavelet tree providing rank.
+
+    Stand-in for the compressed suffix array the paper uses for the
+    pattern → suffix-range step in §8.7 (Belazzougui–Navarro): counting
+    and range queries in O(m log σ) without touching the text,
+    n·log σ + o(n log σ) bits of payload. Suffix ranges are reported in
+    the coordinates of the plain suffix array of the text (as produced
+    by {!Pti_suffix.Sais.suffix_array}), so results are interchangeable
+    with {!Pti_suffix.Sa_search}. *)
+
+type t
+
+val create : ?sa:int array -> int array -> t
+(** [create text] builds the BWT (via SA-IS unless [sa] — the suffix
+    array of [text] — is supplied) and its wavelet tree. Symbols must be
+    ≥ 1. *)
+
+val length : t -> int
+
+val range : t -> pattern:int array -> (int * int) option
+(** Suffix range of the pattern, inclusive, in plain-SA coordinates;
+    [None] if absent. The empty pattern matches everywhere. *)
+
+val count : t -> pattern:int array -> int
+val size_words : t -> int

@@ -1,0 +1,125 @@
+type t = {
+  n : int;
+  sigma : int;
+  nlevels : int;
+  levels : Bitvec.t array; (* levels.(k): bit (nlevels-1-k) of each symbol *)
+}
+
+let ceil_log2 v =
+  let rec go acc x = if x >= v then acc else go (acc + 1) (2 * x) in
+  go 0 1
+
+let build ~sigma seq =
+  if sigma < 1 then invalid_arg "Wavelet.build: sigma < 1";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= sigma then
+        invalid_arg (Printf.sprintf "Wavelet.build: symbol %d not in [0,%d)" s sigma))
+    seq;
+  let n = Array.length seq in
+  let nlevels = Stdlib.max 1 (ceil_log2 sigma) in
+  let bits = Array.init nlevels (fun _ -> Array.make n false) in
+  (* recursive stable partition per node; [arr] holds this node's
+     symbols, written at absolute offset [st] *)
+  let rec fill level st arr =
+    if level < nlevels && Array.length arr > 0 then begin
+      let shift = nlevels - 1 - level in
+      let zeros = ref [] and ones = ref [] in
+      Array.iteri
+        (fun idx sym ->
+          if (sym lsr shift) land 1 = 1 then begin
+            bits.(level).(st + idx) <- true;
+            ones := sym :: !ones
+          end
+          else zeros := sym :: !zeros)
+        arr;
+      let zeros = Array.of_list (List.rev !zeros) in
+      let ones = Array.of_list (List.rev !ones) in
+      fill (level + 1) st zeros;
+      fill (level + 1) (st + Array.length zeros) ones
+    end
+  in
+  fill 0 0 (Array.copy seq);
+  { n; sigma; nlevels; levels = Array.map Bitvec.of_bools bits }
+
+let length t = t.n
+let sigma t = t.sigma
+
+let access t i =
+  if i < 0 || i >= t.n then invalid_arg "Wavelet.access: out of range";
+  let st = ref 0 and en = ref t.n and p = ref i and sym = ref 0 in
+  for level = 0 to t.nlevels - 1 do
+    let lvl = t.levels.(level) in
+    let ones_node = Bitvec.rank1 lvl !en - Bitvec.rank1 lvl !st in
+    let z = !en - !st - ones_node in
+    let ones_to_p = Bitvec.rank1 lvl !p - Bitvec.rank1 lvl !st in
+    if Bitvec.get lvl !p then begin
+      sym := (!sym lsl 1) lor 1;
+      p := !st + z + ones_to_p;
+      st := !st + z
+    end
+    else begin
+      sym := !sym lsl 1;
+      p := !st + (!p - !st - ones_to_p);
+      en := !st + z
+    end
+  done;
+  !sym
+
+let rank t ~sym i =
+  if i < 0 || i > t.n then invalid_arg "Wavelet.rank: out of range";
+  if sym < 0 || sym >= t.sigma then 0
+  else begin
+    let st = ref 0 and en = ref t.n and p = ref i in
+    (try
+       for level = 0 to t.nlevels - 1 do
+         let lvl = t.levels.(level) in
+         let ones_node = Bitvec.rank1 lvl !en - Bitvec.rank1 lvl !st in
+         let z = !en - !st - ones_node in
+         let ones_to_p = Bitvec.rank1 lvl !p - Bitvec.rank1 lvl !st in
+         if (sym lsr (t.nlevels - 1 - level)) land 1 = 1 then begin
+           p := !st + z + ones_to_p;
+           st := !st + z
+         end
+         else begin
+           p := !st + (!p - !st - ones_to_p);
+           en := !st + z
+         end;
+         if !st >= !en then raise Exit
+       done
+     with Exit -> ());
+    !p - !st
+  end
+
+let count t ~sym = rank t ~sym t.n
+
+let select t ~sym k =
+  if k < 1 then invalid_arg "Wavelet.select: k < 1";
+  if sym < 0 || sym >= t.sigma || count t ~sym < k then
+    invalid_arg "Wavelet.select: not enough occurrences";
+  (* descend recording each level's node start and branch bit *)
+  let path = Array.make t.nlevels (0, false) in
+  let st = ref 0 and en = ref t.n in
+  for level = 0 to t.nlevels - 1 do
+    let lvl = t.levels.(level) in
+    let ones_node = Bitvec.rank1 lvl !en - Bitvec.rank1 lvl !st in
+    let z = !en - !st - ones_node in
+    let bit = (sym lsr (t.nlevels - 1 - level)) land 1 = 1 in
+    path.(level) <- (!st, bit);
+    if bit then st := !st + z else en := !st + z
+  done;
+  (* ascend: convert the (k-1)-th leaf offset into parent offsets *)
+  let off = ref (k - 1) in
+  for level = t.nlevels - 1 downto 0 do
+    let lvl = t.levels.(level) in
+    let node_st, bit = path.(level) in
+    let abs =
+      if bit then Bitvec.select1 lvl (Bitvec.rank1 lvl node_st + !off + 1)
+      else Bitvec.select0 lvl (Bitvec.rank0 lvl node_st + !off + 1)
+    in
+    off := abs - node_st
+  done;
+  !off
+
+let size_words t =
+  Array.fold_left (fun acc b -> acc + Bitvec.size_words b) 4 t.levels

@@ -1,0 +1,28 @@
+(** Pointerless (levelwise) wavelet tree over an integer sequence.
+
+    Supports O(log σ) [access], [rank] and [select], the machinery
+    behind FM-index backward search. Symbols must lie in [0, σ). Space:
+    ~2·n·⌈log₂ σ⌉ bits plus per-level counters. *)
+
+type t
+
+val build : sigma:int -> int array -> t
+(** Raises [Invalid_argument] on a symbol outside [0, sigma). *)
+
+val length : t -> int
+val sigma : t -> int
+
+val access : t -> int -> int
+(** The symbol at a position. O(log σ). *)
+
+val rank : t -> sym:int -> int -> int
+(** [rank t ~sym i] = occurrences of [sym] in positions [0 .. i-1].
+    O(log σ). *)
+
+val select : t -> sym:int -> int -> int
+(** [select t ~sym k] = position of the k-th occurrence (1-indexed).
+    Raises [Invalid_argument] if there are fewer than [k]. O(log² σ·n)
+    flavour (per-level select). *)
+
+val count : t -> sym:int -> int
+val size_words : t -> int

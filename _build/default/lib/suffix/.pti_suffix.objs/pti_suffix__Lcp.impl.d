@@ -1,0 +1,1 @@
+lib/suffix/lcp.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/suffix/sa_doubling.ml: Array

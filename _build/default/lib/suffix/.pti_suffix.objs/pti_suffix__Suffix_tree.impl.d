@@ -1,0 +1,1 @@
+lib/suffix/suffix_tree.ml: Array Hashtbl List Stdlib

@@ -1,0 +1,76 @@
+type t = {
+  up : int array array; (* up.(k).(v) = 2^k-th ancestor, -1 above root *)
+  depth : int array; (* hop depth *)
+  levels : int;
+}
+
+let build ~parent ~root =
+  let n = Array.length parent in
+  let depth = Array.make n (-1) in
+  depth.(root) <- 0;
+  (* Iterative depth computation: follow parent chains, memoizing. *)
+  let stack = ref [] in
+  for v = 0 to n - 1 do
+    if depth.(v) < 0 then begin
+      let u = ref v in
+      while depth.(!u) < 0 do
+        stack := !u :: !stack;
+        u := parent.(!u)
+      done;
+      let d = ref depth.(!u) in
+      List.iter
+        (fun w ->
+          incr d;
+          depth.(w) <- !d)
+        !stack;
+      stack := []
+    end
+  done;
+  let maxd = Array.fold_left Stdlib.max 0 depth in
+  let levels =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    1 + go 0 (Stdlib.max 1 maxd)
+  in
+  let up = Array.make levels [||] in
+  up.(0) <- Array.copy parent;
+  for k = 1 to levels - 1 do
+    let prev = up.(k - 1) in
+    up.(k) <-
+      Array.init n (fun v ->
+          let mid = prev.(v) in
+          if mid < 0 then -1 else prev.(mid))
+  done;
+  { up; depth; levels }
+
+let tree_depth t v = t.depth.(v)
+
+let ancestor_at t v target_depth =
+  let u = ref v in
+  let diff = ref (t.depth.(v) - target_depth) in
+  let k = ref 0 in
+  while !diff > 0 do
+    if !diff land 1 = 1 then u := t.up.(!k).(!u);
+    diff := !diff lsr 1;
+    incr k
+  done;
+  !u
+
+let query t a b =
+  let a, b =
+    if t.depth.(a) >= t.depth.(b) then (ancestor_at t a t.depth.(b), b)
+    else (a, ancestor_at t b t.depth.(a))
+  in
+  if a = b then a
+  else begin
+    let a = ref a and b = ref b in
+    for k = t.levels - 1 downto 0 do
+      if t.up.(k).(!a) <> t.up.(k).(!b) then begin
+        a := t.up.(k).(!a);
+        b := t.up.(k).(!b)
+      end
+    done;
+    t.up.(0).(!a)
+  end
+
+let is_ancestor t ~anc ~desc =
+  t.depth.(desc) >= t.depth.(anc) && ancestor_at t desc t.depth.(anc) = anc

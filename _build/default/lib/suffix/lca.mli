@@ -1,0 +1,18 @@
+(** Lowest common ancestors by binary lifting.
+
+    Works over any parent-pointer tree (here: suffix tree nodes).
+    O(n log n) construction, O(log n) per query. Used when marking the
+    approximate index' link structure (§7: an internal node is marked
+    with position id [d] when it is the LCA of two leaves marked [d]). *)
+
+type t
+
+val build : parent:int array -> root:int -> t
+(** [parent.(root) = -1]; every other node's parent chain must reach
+    [root]. *)
+
+val query : t -> int -> int -> int
+val tree_depth : t -> int -> int
+
+val is_ancestor : t -> anc:int -> desc:int -> bool
+(** Reflexive: [is_ancestor ~anc:v ~desc:v = true]. *)

@@ -1,0 +1,25 @@
+let rank_of_sa sa =
+  let n = Array.length sa in
+  let rank = Array.make n 0 in
+  for i = 0 to n - 1 do
+    rank.(sa.(i)) <- i
+  done;
+  rank
+
+let kasai ~text ~sa =
+  let n = Array.length sa in
+  let rank = rank_of_sa sa in
+  let lcp = Array.make (Stdlib.max n 1) 0 in
+  let h = ref 0 in
+  for i = 0 to n - 1 do
+    if rank.(i) > 0 then begin
+      let j = sa.(rank.(i) - 1) in
+      while i + !h < n && j + !h < n && text.(i + !h) = text.(j + !h) do
+        incr h
+      done;
+      lcp.(rank.(i)) <- !h;
+      if !h > 0 then decr h
+    end
+    else h := 0
+  done;
+  if n = 0 then [||] else lcp

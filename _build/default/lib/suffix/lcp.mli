@@ -1,0 +1,10 @@
+(** Longest-common-prefix array (Kasai et al., O(n)).
+
+    [kasai ~text ~sa] returns [lcp] with [lcp.(0) = 0] and, for
+    [i >= 1], [lcp.(i)] = length of the longest common prefix of the
+    suffixes [sa.(i-1)] and [sa.(i)]. *)
+
+val kasai : text:int array -> sa:int array -> int array
+
+val rank_of_sa : int array -> int array
+(** Inverse permutation: [rank.(sa.(i)) = i]. *)

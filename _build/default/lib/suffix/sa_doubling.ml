@@ -1,0 +1,27 @@
+let suffix_array text =
+  let n = Array.length text in
+  if n = 0 then [||]
+  else begin
+    let sa = Array.init n (fun i -> i) in
+    let rank = Array.copy text in
+    let tmp = Array.make n 0 in
+    let k = ref 1 in
+    let rank_at i = if i >= n then -1 else rank.(i) in
+    let compare_pair a b =
+      let c = compare rank.(a) rank.(b) in
+      if c <> 0 then c else compare (rank_at (a + !k)) (rank_at (b + !k))
+    in
+    let continue = ref true in
+    while !continue do
+      Array.sort compare_pair sa;
+      tmp.(sa.(0)) <- 0;
+      for i = 1 to n - 1 do
+        tmp.(sa.(i)) <-
+          (tmp.(sa.(i - 1)) + if compare_pair sa.(i - 1) sa.(i) = 0 then 0 else 1)
+      done;
+      Array.blit tmp 0 rank 0 n;
+      if rank.(sa.(n - 1)) = n - 1 || !k >= n then continue := false
+      else k := !k * 2
+    done;
+    sa
+  end

@@ -1,0 +1,8 @@
+(** Prefix-doubling suffix array (Manber–Myers style, O(n log² n)).
+
+    Slower than {!Sais} but independent of it; serves as the testing
+    oracle for the SA-IS implementation and as a fallback readable
+    reference. Same input/output convention as {!Sais.suffix_array},
+    except symbols may be any non-negative integers. *)
+
+val suffix_array : int array -> int array

@@ -1,0 +1,51 @@
+(* Compare [pattern] against the suffix starting at [pos]:
+   -1 / 0 / +1 as the suffix is lexicographically smaller than / prefixed
+   by / greater than the pattern. *)
+let compare_suffix ~text ~pattern pos =
+  let n = Array.length text and m = Array.length pattern in
+  let rec go off =
+    if off = m then 0
+    else if pos + off >= n then -1 (* suffix ended: smaller than pattern *)
+    else begin
+      let c = compare text.(pos + off) pattern.(off) in
+      if c <> 0 then c else go (off + 1)
+    end
+  in
+  go 0
+
+let range ~text ~sa ~pattern =
+  let n = Array.length sa in
+  if n = 0 then None
+  else if Array.length pattern = 0 then Some (0, n - 1)
+  else begin
+    (* lo = first suffix >= pattern (i.e. not smaller), scanning for the
+       first position where compare >= 0 *)
+    let lo =
+      let l = ref 0 and r = ref n in
+      while !l < !r do
+        let mid = (!l + !r) / 2 in
+        if compare_suffix ~text ~pattern sa.(mid) < 0 then l := mid + 1
+        else r := mid
+      done;
+      !l
+    in
+    (* hi = first suffix strictly greater than every pattern-prefixed
+       suffix: first position with compare > 0 *)
+    let hi =
+      let l = ref lo and r = ref n in
+      while !l < !r do
+        let mid = (!l + !r) / 2 in
+        if compare_suffix ~text ~pattern sa.(mid) <= 0 then l := mid + 1
+        else r := mid
+      done;
+      !l
+    in
+    if lo >= hi then None
+    else if compare_suffix ~text ~pattern sa.(lo) = 0 then Some (lo, hi - 1)
+    else None
+  end
+
+let count ~text ~sa ~pattern =
+  match range ~text ~sa ~pattern with
+  | None -> 0
+  | Some (sp, ep) -> ep - sp + 1

@@ -1,0 +1,15 @@
+(** Pattern search on a suffix array.
+
+    Finds the *suffix range* of a pattern: the maximal range
+    [\[sp, ep\]] of suffix-array positions whose suffixes start with the
+    pattern, in O(m log n) symbol comparisons. This is the
+    pattern→range step the paper performs with a suffix tree /
+    compressed suffix array (§3.4); only constants differ. *)
+
+val range :
+  text:int array -> sa:int array -> pattern:int array -> (int * int) option
+(** [range ~text ~sa ~pattern] is [Some (sp, ep)] (inclusive) or [None]
+    if the pattern does not occur. The empty pattern matches everywhere:
+    [Some (0, n-1)] (or [None] on an empty text). *)
+
+val count : text:int array -> sa:int array -> pattern:int array -> int

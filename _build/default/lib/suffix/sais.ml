@@ -1,0 +1,164 @@
+(* SA-IS: induced sorting with LMS substrings (Nong, Zhang, Chan 2009).
+
+   [core s k] computes the suffix array of [s], an int array over
+   alphabet [0..k-1] whose last symbol is 0, occurring nowhere else and
+   strictly smaller than every other symbol. *)
+
+let rec core s k =
+  let n = Array.length s in
+  let sa = Array.make n (-1) in
+  if n = 1 then begin
+    sa.(0) <- 0;
+    sa
+  end
+  else begin
+    (* S/L types: t.(i) = true iff suffix i is S-type. *)
+    let t = Array.make n false in
+    t.(n - 1) <- true;
+    for i = n - 2 downto 0 do
+      t.(i) <- s.(i) < s.(i + 1) || (s.(i) = s.(i + 1) && t.(i + 1))
+    done;
+    let is_lms i = i > 0 && t.(i) && not t.(i - 1) in
+    let bucket_sizes = Array.make k 0 in
+    Array.iter (fun c -> bucket_sizes.(c) <- bucket_sizes.(c) + 1) s;
+    let bucket_heads () =
+      let b = Array.make k 0 in
+      let sum = ref 0 in
+      for c = 0 to k - 1 do
+        b.(c) <- !sum;
+        sum := !sum + bucket_sizes.(c)
+      done;
+      b
+    in
+    let bucket_tails () =
+      let b = Array.make k 0 in
+      let sum = ref 0 in
+      for c = 0 to k - 1 do
+        sum := !sum + bucket_sizes.(c);
+        b.(c) <- !sum
+      done;
+      b
+    in
+    (* Induce the full SA from LMS suffixes placed (in the order given,
+       filled backwards from bucket tails) then L-pass then S-pass. *)
+    let induce place_lms =
+      Array.fill sa 0 n (-1);
+      let tails = bucket_tails () in
+      place_lms tails;
+      let heads = bucket_heads () in
+      for j = 0 to n - 1 do
+        let i = sa.(j) in
+        if i > 0 && not t.(i - 1) then begin
+          let c = s.(i - 1) in
+          sa.(heads.(c)) <- i - 1;
+          heads.(c) <- heads.(c) + 1
+        end
+      done;
+      let tails = bucket_tails () in
+      for j = n - 1 downto 0 do
+        let i = sa.(j) in
+        if i > 0 && t.(i - 1) then begin
+          let c = s.(i - 1) in
+          tails.(c) <- tails.(c) - 1;
+          sa.(tails.(c)) <- i - 1
+        end
+      done
+    in
+    (* Pass 1: place LMS positions in text order (any order is fine for
+       sorting LMS substrings). *)
+    let lms = ref [] in
+    for i = n - 1 downto 1 do
+      if is_lms i then lms := i :: !lms
+    done;
+    let lms = Array.of_list !lms in
+    let nlms = Array.length lms in
+    induce (fun tails ->
+        for j = nlms - 1 downto 0 do
+          let i = lms.(j) in
+          let c = s.(i) in
+          tails.(c) <- tails.(c) - 1;
+          sa.(tails.(c)) <- i
+        done);
+    (* Extract LMS substrings in sorted order and name them. *)
+    let sorted_lms = Array.make nlms 0 in
+    let idx = ref 0 in
+    for j = 0 to n - 1 do
+      if is_lms sa.(j) then begin
+        sorted_lms.(!idx) <- sa.(j);
+        incr idx
+      end
+    done;
+    (* Compare two LMS substrings (start to next LMS position,
+       inclusive). *)
+    let next_lms = Array.make (n + 1) n in
+    let last = ref n in
+    for i = n - 1 downto 1 do
+      if is_lms i then begin
+        next_lms.(i) <- !last;
+        last := i
+      end
+    done;
+    let lms_equal a b =
+      if a = b then true
+      else begin
+        let ea = Stdlib.min n (next_lms.(a)) and eb = Stdlib.min n (next_lms.(b)) in
+        let la = ea - a and lb = eb - b in
+        if la <> lb then false
+        else begin
+          let rec go off =
+            if off > la then true
+            else if a + off >= n || b + off >= n then a + off >= n && b + off >= n
+            else if s.(a + off) <> s.(b + off) || t.(a + off) <> t.(b + off)
+            then false
+            else go (off + 1)
+          in
+          go 0
+        end
+      end
+    in
+    let names = Array.make n (-1) in
+    let name = ref 0 in
+    if nlms > 0 then begin
+      names.(sorted_lms.(0)) <- 0;
+      for j = 1 to nlms - 1 do
+        if not (lms_equal sorted_lms.(j - 1) sorted_lms.(j)) then incr name;
+        names.(sorted_lms.(j)) <- !name
+      done
+    end;
+    let distinct = !name + 1 in
+    (* Order of LMS suffixes: recurse on the reduced string if names
+       repeat, otherwise read off directly. *)
+    let lms_order =
+      if distinct = nlms then begin
+        (* all distinct: sorted substring order = sorted suffix order *)
+        sorted_lms
+      end
+      else begin
+        let reduced = Array.map (fun i -> names.(i)) lms in
+        let rsa = core reduced distinct in
+        Array.map (fun j -> lms.(j)) rsa
+      end
+    in
+    induce (fun tails ->
+        for j = Array.length lms_order - 1 downto 0 do
+          let i = lms_order.(j) in
+          let c = s.(i) in
+          tails.(c) <- tails.(c) - 1;
+          sa.(tails.(c)) <- i
+        done);
+    sa
+  end
+
+let suffix_array text =
+  let n = Array.length text in
+  let maxc = Array.fold_left Stdlib.max 0 text in
+  Array.iteri
+    (fun i c ->
+      if c < 1 then
+        invalid_arg (Printf.sprintf "Sais.suffix_array: symbol %d at %d < 1" c i))
+    text;
+  let s = Array.make (n + 1) 0 in
+  Array.blit text 0 s 0 n;
+  let sa = core s (maxc + 1) in
+  (* Drop the sentinel suffix (always first). *)
+  Array.sub sa 1 n

@@ -1,0 +1,11 @@
+(** Linear-time suffix array construction (SA-IS, Nong–Zhang–Chan).
+
+    Input is a text over positive integer symbols; a unique sentinel 0
+    (smaller than every symbol) is appended internally and removed from
+    the result, so the returned array is a permutation of [0 .. n-1] with
+    suffixes compared by the usual "end of string is smallest" rule. *)
+
+val suffix_array : int array -> int array
+(** [suffix_array text] where every [text.(i) >= 1]. O(n + K) time and
+    space, K = max symbol + 1. Raises [Invalid_argument] on a symbol
+    [< 1]. *)

@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Array Float List Printf Pti_prob Pti_ustring Stdlib

@@ -1,0 +1,1 @@
+lib/transform/transform.mli: Pti_prob Pti_ustring

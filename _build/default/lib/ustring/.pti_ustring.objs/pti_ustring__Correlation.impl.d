@@ -1,0 +1,1 @@
+lib/ustring/correlation.ml: Hashtbl List Printf Sym

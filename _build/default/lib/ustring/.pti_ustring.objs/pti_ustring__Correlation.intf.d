@@ -1,0 +1,1 @@
+lib/ustring/correlation.mli: Sym

@@ -1,0 +1,1 @@
+lib/ustring/oracle.ml: Array Correlation Float List Pti_prob Ustring

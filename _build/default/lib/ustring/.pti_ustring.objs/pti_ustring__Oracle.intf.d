@@ -1,0 +1,1 @@
+lib/ustring/oracle.mli: Pti_prob Sym Ustring

@@ -1,0 +1,1 @@
+lib/ustring/sym.ml: Array Char Format Printf String

@@ -1,0 +1,1 @@
+lib/ustring/sym.mli: Format

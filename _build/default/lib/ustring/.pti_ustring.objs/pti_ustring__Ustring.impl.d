@@ -1,0 +1,1 @@
+lib/ustring/ustring.ml: Array Buffer Correlation Float Format Hashtbl List Printf Pti_prob Random Stdlib String Sym

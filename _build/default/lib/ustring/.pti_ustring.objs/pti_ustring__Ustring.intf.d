@@ -1,0 +1,1 @@
+lib/ustring/ustring.mli: Correlation Format Pti_prob Random Sym

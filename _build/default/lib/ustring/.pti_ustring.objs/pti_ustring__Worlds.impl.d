@@ -1,0 +1,1 @@
+lib/ustring/worlds.ml: Array Correlation Float List Oracle Printf Pti_prob Ustring

@@ -1,0 +1,1 @@
+lib/ustring/worlds.mli: Pti_prob Sym Ustring

@@ -1,0 +1,47 @@
+(** Correlation among string positions (§3.3 of the paper).
+
+    A rule ties the probability of symbol [dep_sym] at position
+    [dep_pos] to what happens at position [src_pos]:
+
+    - if the matched window covers [src_pos] and the matched character
+      there is [src_sym], the conditional probability [p_present]
+      applies;
+    - if the window covers [src_pos] with a different character,
+      [p_absent] applies;
+    - if [src_pos] lies outside the window, the marginal mixture
+      [pr(src_sym) * p_present + (1 - pr(src_sym)) * p_absent] applies —
+      which is exactly the marginal stored in the position distribution.
+
+    At most one rule may target a given [(dep_pos, dep_sym)] pair, and a
+    rule's source may not itself be the dependent of another rule
+    (no chained correlations — same restriction as the paper's examples). *)
+
+type rule = {
+  dep_pos : int;
+  dep_sym : Sym.t;
+  src_pos : int;
+  src_sym : Sym.t;
+  p_present : float; (** pr(dep_sym at dep_pos | src_sym at src_pos) *)
+  p_absent : float; (** pr(dep_sym at dep_pos | not src_sym at src_pos) *)
+}
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val of_rules : rule list -> t
+(** Validates pairwise constraints; raises [Invalid_argument] on
+    duplicate targets, chained correlations, [dep_pos = src_pos], or
+    probabilities outside [0, 1]. *)
+
+val rules : t -> rule list
+
+val find : t -> dep_pos:int -> dep_sym:Sym.t -> rule option
+(** The rule targeting this (position, symbol), if any. *)
+
+val marginal : rule -> src_prob:float -> float
+(** The mixture probability the rule induces given the marginal
+    probability of the source symbol. *)
+
+val affecting_window : t -> pos:int -> len:int -> rule list
+(** Rules whose [dep_pos] falls inside [\[pos, pos+len)]. *)

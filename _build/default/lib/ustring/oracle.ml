@@ -1,0 +1,100 @@
+(* Exact matching probabilities, computed directly from the uncertain
+   string. This is the dynamic-programming/online baseline of Li et al.
+   (related work, "Algorithmic Approach"): no index, O(n * m) per query.
+   It doubles as the ground truth for every index in the test suite. *)
+
+module Logp = Pti_prob.Logp
+
+(* Probability of the pattern matching at [pos], following the paper's
+   correlation semantics (§3.3, §4.1): the probability of a correlated
+   character is its conditional p+/p- when the window covers the source
+   position, and the stored marginal mixture otherwise; uncorrelated
+   characters contribute their marginals. *)
+let occurrence_logp u ~pattern ~pos =
+  let n = Ustring.length u and m = Array.length pattern in
+  if m = 0 then invalid_arg "Oracle.occurrence_logp: empty pattern";
+  if pos < 0 || pos + m > n then Logp.zero
+  else begin
+    let corr = Ustring.correlations u in
+    let acc = ref Logp.one in
+    (try
+       for k = 0 to m - 1 do
+         let j = pos + k in
+         let sym = pattern.(k) in
+         let p =
+           match Correlation.find corr ~dep_pos:j ~dep_sym:sym with
+           | None -> Ustring.prob u ~pos:j ~sym
+           | Some r ->
+               if r.src_pos >= pos && r.src_pos < pos + m then
+                 if pattern.(r.src_pos - pos) = r.src_sym then r.p_present
+                 else r.p_absent
+               else Ustring.prob u ~pos:j ~sym
+         in
+         if p <= 0.0 then begin
+           acc := Logp.zero;
+           raise Exit
+         end;
+         acc := Logp.mul !acc (Logp.of_prob p)
+       done
+     with Exit -> ());
+    !acc
+  end
+
+(* Marginal-only variant: what the index's probability arrays encode
+   before the query-time correlation correction. *)
+let occurrence_logp_marginal u ~pattern ~pos =
+  let n = Ustring.length u and m = Array.length pattern in
+  if m = 0 then invalid_arg "Oracle.occurrence_logp_marginal: empty pattern";
+  if pos < 0 || pos + m > n then Logp.zero
+  else begin
+    let acc = ref Logp.one in
+    (try
+       for k = 0 to m - 1 do
+         let p = Ustring.prob u ~pos:(pos + k) ~sym:pattern.(k) in
+         if p <= 0.0 then begin
+           acc := Logp.zero;
+           raise Exit
+         end;
+         acc := Logp.mul !acc (Logp.of_prob p)
+       done
+     with Exit -> ());
+    !acc
+  end
+
+(* All positions where the pattern matches with probability > tau,
+   in increasing position order. *)
+let occurrences u ~pattern ~tau =
+  let n = Ustring.length u and m = Array.length pattern in
+  let acc = ref [] in
+  for pos = n - m downto 0 do
+    let p = occurrence_logp u ~pattern ~pos in
+    if Logp.(p > tau) then acc := (pos, p) :: !acc
+  done;
+  !acc
+
+let count u ~pattern ~tau = List.length (occurrences u ~pattern ~tau)
+
+(* Relevance metrics for string listing (§6). [Rel_max] is the maximum
+   occurrence probability; [Rel_or] is sum - product over all nonzero
+   occurrence probabilities. *)
+let relevance_max u ~pattern =
+  let n = Ustring.length u and m = Array.length pattern in
+  let best = ref Logp.zero in
+  for pos = 0 to n - m do
+    best := Logp.max !best (occurrence_logp u ~pattern ~pos)
+  done;
+  !best
+
+let relevance_or u ~pattern =
+  let n = Ustring.length u and m = Array.length pattern in
+  let sum = ref 0.0 and prod = ref 1.0 and any = ref false in
+  for pos = 0 to n - m do
+    let p = Logp.to_prob (occurrence_logp u ~pattern ~pos) in
+    if p > 0.0 then begin
+      any := true;
+      sum := !sum +. p;
+      prod := !prod *. p
+    end
+  done;
+  if not !any then Logp.zero
+  else Logp.of_prob (Float.max 0.0 (Float.min 1.0 (!sum -. !prod)))

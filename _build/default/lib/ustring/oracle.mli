@@ -1,0 +1,36 @@
+(** Index-free exact matching (the online/DP baseline and the ground
+    truth of the test suite).
+
+    All thresholds use strict comparison ([probability > tau]), matching
+    the paper's query definition "probability of occurrence greater than
+    τ". *)
+
+module Logp = Pti_prob.Logp
+
+val occurrence_logp : Ustring.t -> pattern:Sym.t array -> pos:int -> Logp.t
+(** Probability that [pattern] matches at [pos], with the correlation
+    semantics of §3.3/§4.1 (conditional probability when the window
+    covers the source position, marginal mixture otherwise). [Logp.zero]
+    when the window does not fit. *)
+
+val occurrence_logp_marginal :
+  Ustring.t -> pattern:Sym.t array -> pos:int -> Logp.t
+(** Same, ignoring correlation rules (pure product of marginals); this
+    is the quantity the index's probability arrays encode before the
+    query-time correction. *)
+
+val occurrences :
+  Ustring.t -> pattern:Sym.t array -> tau:Logp.t -> (int * Logp.t) list
+(** All matches with probability strictly above [tau], in increasing
+    position order. O(n·m). *)
+
+val count : Ustring.t -> pattern:Sym.t array -> tau:Logp.t -> int
+
+val relevance_max : Ustring.t -> pattern:Sym.t array -> Logp.t
+(** Maximum occurrence probability over all positions ([Rel_max]). *)
+
+val relevance_or : Ustring.t -> pattern:Sym.t array -> Logp.t
+(** [Rel_or] = Σp − Πp over all nonzero occurrence probabilities,
+    clamped into [0, 1] (the paper's OR metric can exceed 1 for three or
+    more occurrences; clamping never changes a threshold comparison
+    against a probability τ ≤ 1). *)

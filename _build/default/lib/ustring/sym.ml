@@ -1,0 +1,22 @@
+type t = int
+
+let separator = 1
+
+let of_char c =
+  let code = Char.code c in
+  if code <= 1 then invalid_arg "Sym.of_char: reserved code"
+  else code
+
+let to_char t =
+  if t = separator then '$'
+  else if t > 1 && t < 256 then Char.chr t
+  else invalid_arg (Printf.sprintf "Sym.to_char: %d not a byte symbol" t)
+
+let of_string s = Array.init (String.length s) (fun i -> of_char s.[i])
+
+let to_string a =
+  String.init (Array.length a) (fun i -> to_char a.(i))
+
+let is_separator t = t = separator
+
+let pp ppf t = Format.pp_print_char ppf (to_char t)

@@ -1,0 +1,24 @@
+(** Symbols of the indexed alphabet.
+
+    A symbol is a positive integer. Character symbols are byte codes
+    (so ≥ 32 for printable text); code {!separator} = 1 is reserved for
+    the factor/document separators introduced by the transformation and
+    never collides with a character symbol. *)
+
+type t = int
+
+val separator : t
+(** The reserved separator symbol (1). *)
+
+val of_char : char -> t
+(** Byte code of the character; raises [Invalid_argument] on ['\000'] or
+    ['\001']. *)
+
+val to_char : t -> char
+(** Printable form; {!separator} prints as ['$'], non-byte symbols raise
+    [Invalid_argument]. *)
+
+val of_string : string -> t array
+val to_string : t array -> string
+val is_separator : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+module Logp = Pti_prob.Logp
+
+let count u =
+  let n = Ustring.length u in
+  let rec go acc i =
+    if i = n then acc
+    else begin
+      let c = Array.length (Ustring.choices u i) in
+      if acc > max_int / c then max_int else go (acc * c) (i + 1)
+    end
+  in
+  go 1 0
+
+(* Upper bound on the probability any window can assign to [sym] at
+   [pos]: the marginal, or for a correlated character the best of its
+   marginal and both conditionals. Used to prune DFS soundly. *)
+let upper_bound u ~pos ~sym =
+  let marg = Ustring.prob u ~pos ~sym in
+  match Correlation.find (Ustring.correlations u) ~dep_pos:pos ~dep_sym:sym with
+  | None -> marg
+  | Some r -> Float.max marg (Float.max r.p_present r.p_absent)
+
+let enumerate ?(limit = 1_000_000) u =
+  let n = Ustring.length u in
+  let total = count u in
+  if total > limit then
+    invalid_arg
+      (Printf.sprintf "Worlds.enumerate: %d worlds exceed limit %d" total limit);
+  let buf = Array.make n 0 in
+  let acc = ref [] in
+  let rec go i =
+    if i = n then begin
+      let w = Array.copy buf in
+      let p = Oracle.occurrence_logp u ~pattern:w ~pos:0 in
+      acc := (w, p) :: !acc
+    end
+    else
+      Array.iter
+        (fun (c : Ustring.choice) ->
+          buf.(i) <- c.sym;
+          go (i + 1))
+        (Ustring.choices u i)
+  in
+  if n = 0 then []
+  else begin
+    go 0;
+    List.rev !acc
+  end
+
+let matched_strings_at u ~pos ~len ~tau =
+  let n = Ustring.length u in
+  if len < 1 || pos < 0 || pos + len > n then []
+  else begin
+    let buf = Array.make len 0 in
+    let acc = ref [] in
+    let rec go i ub =
+      if Logp.(ub <= tau) then ()
+      else if i = len then begin
+        let w = Array.copy buf in
+        let p = Oracle.occurrence_logp u ~pattern:w ~pos in
+        if Logp.(p > tau) then acc := (w, p) :: !acc
+      end
+      else
+        Array.iter
+          (fun (c : Ustring.choice) ->
+            buf.(i) <- c.sym;
+            let b = upper_bound u ~pos:(pos + i) ~sym:c.sym in
+            go (i + 1) (Logp.mul ub (Logp.of_prob_unchecked b)))
+          (Ustring.choices u (pos + i))
+    in
+    go 0 Logp.one;
+    List.rev !acc
+  end

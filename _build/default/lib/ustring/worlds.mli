@@ -1,0 +1,25 @@
+(** Possible-world semantics (§1, Figure 1(b)).
+
+    Exponential-size enumeration, intended for examples and for testing
+    the indexes on small strings. *)
+
+module Logp = Pti_prob.Logp
+
+val count : Ustring.t -> int
+(** Number of possible worlds (product of per-position choice counts);
+    saturates at [max_int]. *)
+
+val enumerate : ?limit:int -> Ustring.t -> (Sym.t array * Logp.t) list
+(** All possible worlds with their probabilities, lexicographic in the
+    order choices are listed. Raises [Invalid_argument] if there are
+    more than [limit] (default 1_000_000) worlds. With correlation
+    rules, a world's probability uses the conditional probability for
+    dependent characters (so the paper's occurrence probabilities are
+    recovered as sums over worlds). *)
+
+val matched_strings_at :
+  Ustring.t -> pos:int -> len:int -> tau:Logp.t ->
+  (Sym.t array * Logp.t) list
+(** All deterministic strings of length [len] that match at [pos] with
+    probability strictly above [tau], by DFS with upper-bound pruning.
+    Probabilities are exact ({!Oracle.occurrence_logp}). *)

@@ -1,0 +1,1 @@
+lib/workload/dataset.ml: Array Float Hashtbl List Neighborhood Protein_source Pti_ustring Random Stdlib String

@@ -1,0 +1,1 @@
+lib/workload/neighborhood.ml: Array Bytes Hashtbl List Option Protein_source Random Stdlib String

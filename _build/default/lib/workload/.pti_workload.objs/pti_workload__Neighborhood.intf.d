@@ -1,0 +1,1 @@
+lib/workload/neighborhood.mli: Random

@@ -1,0 +1,1 @@
+lib/workload/protein_source.ml: Array Bytes List Random Stdlib String

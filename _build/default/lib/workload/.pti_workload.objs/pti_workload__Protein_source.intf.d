@@ -1,0 +1,1 @@
+lib/workload/protein_source.mli: Random

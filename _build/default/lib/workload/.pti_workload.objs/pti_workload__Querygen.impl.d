@@ -1,0 +1,1 @@
+lib/workload/querygen.ml: Array List Printf Pti_ustring Random

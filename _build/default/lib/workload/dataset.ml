@@ -1,0 +1,148 @@
+module Ustring = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Correlation = Pti_ustring.Correlation
+
+type params = {
+  total : int;
+  theta : float;
+  max_choices : int;
+  edit_distance : int;
+  neighborhood_size : int;
+  min_len : int;
+  max_len : int;
+  seed : int;
+}
+
+let default ~total ~theta =
+  {
+    total;
+    theta;
+    max_choices = 5;
+    edit_distance = 4;
+    neighborhood_size = 12;
+    min_len = 20;
+    max_len = 45;
+    seed = 42;
+  }
+
+let validate p =
+  if p.total < 1 then invalid_arg "Dataset: total < 1";
+  if p.theta < 0.0 || p.theta > 1.0 then invalid_arg "Dataset: theta not in [0,1]";
+  if p.max_choices < 1 then invalid_arg "Dataset: max_choices < 1"
+
+let uncertain_string_of rng p s =
+  (* Choose the uncertain columns up front and make the sampled
+     neighbourhood actually disagree there, so the realised uncertainty
+     fraction tracks θ. *)
+  let len = String.length s in
+  let uncertain = Array.init len (fun _ -> Random.State.float rng 1.0 < p.theta) in
+  let columns =
+    Array.of_list
+      (List.filter (fun i -> uncertain.(i)) (List.init len (fun i -> i)))
+  in
+  let neighbors =
+    s
+    :: List.init (Stdlib.max 1 (p.neighborhood_size - 1)) (fun _ ->
+           Neighborhood.perturb_columns rng
+             (Neighborhood.perturb rng s ~dist:p.edit_distance)
+             ~columns ~rate:0.5)
+  in
+  let position i =
+    if uncertain.(i) then begin
+      let pdf =
+        Neighborhood.column_pdf neighbors ~column:i ~max_choices:p.max_choices
+      in
+      Array.of_list
+        (List.map (fun (c, prob) -> { Ustring.sym = Sym.of_char c; prob }) pdf)
+    end
+    else [| { Ustring.sym = Sym.of_char s.[i]; prob = 1.0 } |]
+  in
+  Ustring.make (Array.init len position)
+
+let collection p =
+  validate p;
+  let rng = Random.State.make [| p.seed |] in
+  let strings =
+    Protein_source.generate_strings rng ~total:p.total ~min_len:p.min_len
+      ~max_len:p.max_len
+  in
+  List.map (uncertain_string_of rng p) strings
+
+let single p =
+  let docs = collection p in
+  let u, _starts = Ustring.concat ~sep:None docs in
+  u
+
+let uncertainty u =
+  let n = Ustring.length u in
+  if n = 0 then 0.0
+  else begin
+    let unc = ref 0 in
+    for i = 0 to n - 1 do
+      if Array.length (Ustring.choices u i) > 1 then incr unc
+    done;
+    float_of_int !unc /. float_of_int n
+  end
+
+(* Draw a correlation rule consistent with the existing marginals: given
+   the dependent symbol's marginal m and the source symbol's probability
+   q, any conditional pair with q*p+ + (1-q)*p- = m works; p+ ranges over
+   [max(0, (m-(1-q))/q), min(1, m/q)]. *)
+let add_random_correlations rng u ~count =
+  let n = Ustring.length u in
+  let existing = Correlation.rules (Ustring.correlations u) in
+  let used_dep = Hashtbl.create 16 in
+  let used_src = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Correlation.rule) ->
+      Hashtbl.replace used_dep r.dep_pos ();
+      Hashtbl.replace used_src r.src_pos ())
+    existing;
+  let rules = ref existing in
+  let attempts = 20 * count in
+  let added = ref 0 in
+  let attempt () =
+    let dep_pos = Random.State.int rng n in
+    let src_pos = Random.State.int rng n in
+    if
+      dep_pos <> src_pos
+      && (not (Hashtbl.mem used_dep dep_pos))
+      && (not (Hashtbl.mem used_src dep_pos))
+      && not (Hashtbl.mem used_dep src_pos)
+    then begin
+      let deps = Ustring.choices u dep_pos in
+      let srcs = Ustring.choices u src_pos in
+      let dep = deps.(Random.State.int rng (Array.length deps)) in
+      let src = srcs.(Random.State.int rng (Array.length srcs)) in
+      let m = dep.prob and q = src.prob in
+      if q > 0.0 && q < 1.0 then begin
+        let lo = Float.max 0.0 ((m -. (1.0 -. q)) /. q) in
+        let hi = Float.min 1.0 (m /. q) in
+        if hi -. lo > 1e-9 then begin
+          let p_present = lo +. Random.State.float rng (hi -. lo) in
+          let p_absent = (m -. (q *. p_present)) /. (1.0 -. q) in
+          let p_absent = Float.max 0.0 (Float.min 1.0 p_absent) in
+          rules :=
+            {
+              Correlation.dep_pos;
+              dep_sym = dep.sym;
+              src_pos;
+              src_sym = src.sym;
+              p_present;
+              p_absent;
+            }
+            :: !rules;
+          Hashtbl.replace used_dep dep_pos ();
+          Hashtbl.replace used_src src_pos ();
+          incr added
+        end
+      end
+    end
+  in
+  let tries = ref 0 in
+  while !added < count && !tries < attempts do
+    incr tries;
+    attempt ()
+  done;
+  let positions = Array.init n (fun i -> Array.copy (Ustring.choices u i)) in
+  Ustring.make ~correlations:!rules positions

@@ -1,0 +1,42 @@
+(** The synthetic dataset of §8.1.
+
+    Pipeline: a protein-like base sequence over |Σ| = 22 is broken into
+    strings with normally distributed lengths in [20, 45]; for each
+    string [s] an edit-distance-4 neighbourhood [A(s)] is sampled; a
+    fraction θ of positions become uncertain, their pdf given by the
+    normalized letter frequencies of the corresponding column of
+    [A(s)], truncated to at most 5 choices. The remaining positions stay
+    deterministic. *)
+
+type params = {
+  total : int; (** total number of positions, the paper's n *)
+  theta : float; (** fraction of uncertain positions, 0.1 .. 0.5 *)
+  max_choices : int; (** choices per uncertain position (paper: 5) *)
+  edit_distance : int; (** neighbourhood radius (paper: 4) *)
+  neighborhood_size : int; (** sampled neighbours per string *)
+  min_len : int; (** 20 *)
+  max_len : int; (** 45 *)
+  seed : int;
+}
+
+val default : total:int -> theta:float -> params
+(** max_choices 5, edit distance 4, neighbourhood 12, lengths [20,45],
+    seed 42. *)
+
+val collection : params -> Pti_ustring.Ustring.t list
+(** The uncertain string collection (input of Problem 2). *)
+
+val single : params -> Pti_ustring.Ustring.t
+(** The collection concatenated into one uncertain string of [total]
+    positions, no separators (input of Problem 1). *)
+
+val add_random_correlations :
+  Random.State.t -> Pti_ustring.Ustring.t -> count:int ->
+  Pti_ustring.Ustring.t
+(** Rebuilds the string with [count] random correlation rules whose
+    conditionals are consistent with the existing marginals (for
+    correlation tests and examples). Rules that cannot be placed are
+    skipped, so fewer than [count] may be added. *)
+
+val uncertainty : Pti_ustring.Ustring.t -> float
+(** Fraction of positions with more than one choice (the realised θ). *)

@@ -1,0 +1,49 @@
+let perturb rng s ~dist =
+  let n = String.length s in
+  if n = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let edits = Random.State.int rng (dist + 1) in
+    for _ = 1 to edits do
+      let i = Random.State.int rng n in
+      let c =
+        Protein_source.alphabet.[Random.State.int rng Protein_source.alphabet_size]
+      in
+      Bytes.set b i c
+    done;
+    Bytes.to_string b
+  end
+
+let perturb_columns rng s ~columns ~rate =
+  let b = Bytes.of_string s in
+  Array.iter
+    (fun i ->
+      if i < Bytes.length b && Random.State.float rng 1.0 < rate then
+        Bytes.set b i
+          Protein_source.alphabet.[Random.State.int rng
+                                     Protein_source.alphabet_size])
+    columns;
+  Bytes.to_string b
+
+let neighborhood rng s ~size ~dist =
+  s :: List.init (Stdlib.max 0 (size - 1)) (fun _ -> perturb rng s ~dist)
+
+let column_pdf neighbors ~column ~max_choices =
+  if max_choices < 1 then invalid_arg "Neighborhood.column_pdf: max_choices < 1";
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if column < String.length s then begin
+        let c = s.[column] in
+        Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
+      end)
+    neighbors;
+  let entries = Hashtbl.fold (fun c k acc -> (c, k) :: acc) counts [] in
+  let entries =
+    List.sort (fun (c1, k1) (c2, k2) -> if k1 <> k2 then compare k2 k1 else compare c1 c2) entries
+  in
+  let entries =
+    List.filteri (fun i _ -> i < max_choices) entries
+  in
+  let total = List.fold_left (fun acc (_, k) -> acc + k) 0 entries in
+  List.map (fun (c, k) -> (c, float_of_int k /. float_of_int total)) entries

@@ -1,0 +1,31 @@
+(** Edit-distance neighbourhoods for building per-position character
+    distributions (§8.1).
+
+    The paper, for each string [s], collects a set [A(s)] of strings
+    within edit distance 4 of [s] and derives each position's pdf from
+    the normalized letter frequencies at that position across [A(s)].
+    We sample the neighbourhood (random substitutions — columns stay
+    aligned, which is what "the i-th position of all the strings in
+    A(s)" requires; the paper aligned its neighbours the same way) and
+    compute the same column statistics. *)
+
+val perturb : Random.State.t -> string -> dist:int -> string
+(** A random string at substitution distance ≤ [dist] from the input
+    (positions and replacement letters uniform; replacement letters come
+    from {!Protein_source.alphabet}). *)
+
+val perturb_columns :
+  Random.State.t -> string -> columns:int array -> rate:float -> string
+(** Additionally substitutes each listed column with probability
+    [rate]. Used to concentrate neighbourhood disagreement on the
+    columns chosen to become uncertain, so the realised uncertainty
+    fraction matches the requested θ. *)
+
+val neighborhood : Random.State.t -> string -> size:int -> dist:int -> string list
+(** [size] sampled neighbours, always including the string itself. *)
+
+val column_pdf :
+  string list -> column:int -> max_choices:int -> (char * float) list
+(** Normalized letter frequencies of [column] across the neighbourhood,
+    truncated to the [max_choices] most frequent letters and
+    renormalized. Frequencies sum to 1; most frequent first. *)

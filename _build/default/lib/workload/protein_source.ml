@@ -1,0 +1,70 @@
+let alphabet = "ARNDCQEGHILKMFPSTWYVBZ"
+let alphabet_size = String.length alphabet
+
+(* UniProt-style residue composition (percent), B/Z tiny. *)
+let raw_frequencies =
+  [|
+    8.25; 5.53; 4.06; 5.45; 1.37; 3.93; 6.75; 7.07; 2.27; 5.96; 9.66; 5.84;
+    2.42; 3.86; 4.70; 6.56; 5.34; 1.08; 2.92; 6.87; 0.04; 0.04;
+  |]
+
+let frequencies =
+  let total = Array.fold_left ( +. ) 0.0 raw_frequencies in
+  Array.map (fun f -> f /. total) raw_frequencies
+
+let cumulative =
+  let c = Array.make alphabet_size 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i f ->
+      acc := !acc +. f;
+      c.(i) <- !acc)
+    frequencies;
+  c
+
+let draw rng =
+  let x = Random.State.float rng 1.0 in
+  let rec go i =
+    if i >= alphabet_size - 1 || cumulative.(i) >= x then i else go (i + 1)
+  in
+  alphabet.[go 0]
+
+(* Mild local correlation: with probability [repeat_bias] the next
+   residue repeats one of the previous two — protein sequences have
+   low-complexity regions, and repeated substrings are what make suffix
+   structures earn their keep. *)
+let repeat_bias = 0.15
+
+let generate rng ~len =
+  if len < 0 then invalid_arg "Protein_source.generate: negative length";
+  let buf = Bytes.create len in
+  for i = 0 to len - 1 do
+    let c =
+      if i >= 2 && Random.State.float rng 1.0 < repeat_bias then
+        Bytes.get buf (i - 1 - Random.State.int rng 2)
+      else draw rng
+    in
+    Bytes.set buf i c
+  done;
+  Bytes.to_string buf
+
+(* Approximate normal sample via the sum of three uniforms (Irwin–Hall),
+   rescaled to the clip range. *)
+let normal_length rng ~min_len ~max_len =
+  let u () = Random.State.float rng 1.0 in
+  let z = (u () +. u () +. u ()) /. 3.0 in
+  let len = min_len + int_of_float (z *. float_of_int (max_len - min_len)) in
+  Stdlib.min max_len (Stdlib.max min_len len)
+
+let generate_strings rng ~total ~min_len ~max_len =
+  if min_len < 1 || max_len < min_len then
+    invalid_arg "Protein_source.generate_strings: bad length range";
+  let base = generate rng ~len:total in
+  let rec go acc off =
+    if off >= total then List.rev acc
+    else begin
+      let len = Stdlib.min (normal_length rng ~min_len ~max_len) (total - off) in
+      go (String.sub base off len :: acc) (off + len)
+    end
+  in
+  go [] 0

@@ -1,0 +1,29 @@
+(** Synthetic protein-like sequence source.
+
+    The paper's dataset (§8.1) starts from a concatenated mouse+human
+    protein sequence (|Σ| = 22). That data is not shipped here, so this
+    module synthesises a base sequence over the same 22-letter alphabet
+    (20 amino acids plus the ambiguity codes B and Z) with realistic
+    residue composition and mild local correlation (order-1 Markov blend
+    between the stationary composition and a repeat bias), which is the
+    only aspect of the source the evaluation depends on. See DESIGN.md
+    §4, Substitutions. *)
+
+val alphabet : string
+(** The 22 residue letters. *)
+
+val alphabet_size : int
+
+val frequencies : float array
+(** Stationary residue frequencies (sums to 1), aligned with
+    {!alphabet}. *)
+
+val generate : Random.State.t -> len:int -> string
+(** A random protein-like sequence of exactly [len] residues. *)
+
+val generate_strings :
+  Random.State.t -> total:int -> min_len:int -> max_len:int -> string list
+(** Breaks a generated base sequence into strings whose lengths follow
+    an approximately normal distribution clipped to
+    [\[min_len, max_len\]] (§8.1: "approximately a normal distribution
+    in the range of \[20, 45\]"), with total length [total]. *)

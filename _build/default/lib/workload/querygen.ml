@@ -1,0 +1,27 @@
+module Ustring = Pti_ustring.Ustring
+
+let pattern rng u ~m =
+  let n = Ustring.length u in
+  if m < 1 || m > n then
+    invalid_arg (Printf.sprintf "Querygen.pattern: m=%d not in [1,%d]" m n);
+  let start = Random.State.int rng (n - m + 1) in
+  Array.init m (fun o ->
+      let cs = Ustring.choices u (start + o) in
+      (* roulette over the marginals *)
+      let x = Random.State.float rng 1.0 in
+      let rec go i acc =
+        if i >= Array.length cs - 1 then cs.(Array.length cs - 1).sym
+        else begin
+          let acc = acc +. cs.(i).prob in
+          if x <= acc then cs.(i).sym else go (i + 1) acc
+        end
+      in
+      go 0 0.0)
+
+let patterns rng u ~m ~count = List.init count (fun _ -> pattern rng u ~m)
+
+let pattern_batch rng u ~lengths ~per_length =
+  let n = Ustring.length u in
+  lengths
+  |> List.filter (fun m -> m >= 1 && m <= n)
+  |> List.map (fun m -> (m, patterns rng u ~m ~count:per_length))

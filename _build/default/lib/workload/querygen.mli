@@ -1,0 +1,20 @@
+(** Query workloads.
+
+    The evaluation queries substrings that plausibly occur: each pattern
+    is drawn by picking a random starting position and following the
+    marginal distribution through [m] positions (so likely worlds yield
+    likely patterns). *)
+
+val pattern : Random.State.t -> Pti_ustring.Ustring.t -> m:int -> Pti_ustring.Sym.t array
+(** Raises [Invalid_argument] if [m] exceeds the string length or
+    [m < 1]. *)
+
+val patterns :
+  Random.State.t -> Pti_ustring.Ustring.t -> m:int -> count:int ->
+  Pti_ustring.Sym.t array list
+
+val pattern_batch :
+  Random.State.t -> Pti_ustring.Ustring.t -> lengths:int list -> per_length:int ->
+  (int * Pti_ustring.Sym.t array list) list
+(** For each requested length, [per_length] patterns (lengths exceeding
+    the string are dropped). *)

@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Array Char List Printf Pti_core Pti_prob Pti_test_helpers Pti_ustring Pti_workload QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Char Filename Float Fun List Printf Pti_core Pti_prob Pti_rmq Pti_test_helpers Pti_ustring Pti_workload QCheck2 QCheck_alcotest Random Seq String Sys

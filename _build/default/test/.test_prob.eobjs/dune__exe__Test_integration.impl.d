@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Char List Pti_core Pti_prob Pti_test_helpers Pti_ustring Pti_workload Random

@@ -1,0 +1,1 @@
+test/test_listing.ml: Alcotest Array Float List Pti_core Pti_prob Pti_test_helpers Pti_ustring QCheck2 QCheck_alcotest Random

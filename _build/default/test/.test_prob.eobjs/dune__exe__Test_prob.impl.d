@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Float List Printf Pti_prob Pti_test_helpers QCheck2 QCheck_alcotest

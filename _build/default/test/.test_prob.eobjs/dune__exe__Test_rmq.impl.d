@@ -1,0 +1,1 @@
+test/test_rmq.ml: Alcotest Array List Printf Pti_rmq QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_succinct.ml: Alcotest Array Char List Pti_core Pti_succinct Pti_suffix Pti_test_helpers QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_suffix.ml: Alcotest Array Char List Printf Pti_suffix QCheck2 QCheck_alcotest Random Stdlib String

@@ -1,0 +1,1 @@
+test/test_ustring.ml: Alcotest Array Float List Printf Pti_prob Pti_test_helpers Pti_ustring QCheck2 QCheck_alcotest Random

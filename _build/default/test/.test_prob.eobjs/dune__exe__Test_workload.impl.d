@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Hashtbl List Printf Pti_prob Pti_test_helpers Pti_ustring Pti_workload String

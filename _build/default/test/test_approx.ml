@@ -1,0 +1,337 @@
+(* Tests for Approx_index (§7): the two-sided guarantee
+   (completeness above τ, soundness above τ − ε), the value bound
+   (true ≤ reported ≤ true + ε), behaviour across ε, and link count
+   scaling. *)
+
+module U = Pti_ustring.Ustring
+module Oracle = Pti_ustring.Oracle
+module Logp = Pti_prob.Logp
+module A = Pti_core.Approx_index
+module Ah = Pti_core.Approx_hsv
+module P = Pti_core.Property_index
+module G = Pti_core.General_index
+module H = Pti_test_helpers
+
+(* run the same guarantee checks against either approximate variant *)
+type variant = { name : string; build : epsilon:float -> tau_min:float -> U.t -> pattern:int array -> tau:float -> (int * Logp.t) list }
+
+let leaf_variant =
+  { name = "per-leaf";
+    build = (fun ~epsilon ~tau_min u ~pattern ~tau ->
+      A.query (A.build ~epsilon ~tau_min u) ~pattern ~tau) }
+
+let hsv_variant =
+  { name = "hsv";
+    build = (fun ~epsilon ~tau_min u ~pattern ~tau ->
+      Ah.query (Ah.build ~epsilon ~tau_min u) ~pattern ~tau) }
+
+let check_guarantees u a ~pat ~tau ~eps =
+  let got = A.query a ~pattern:pat ~tau in
+  let got_pos = List.map fst got in
+  (* completeness: every true match above tau is reported *)
+  List.iter
+    (fun (p, _) ->
+      if not (List.mem p got_pos) then
+        Alcotest.failf "missing true match at %d (tau=%g eps=%g)" p tau eps)
+    (Oracle.occurrences u ~pattern:pat ~tau:(Logp.of_prob tau));
+  (* soundness + value bound *)
+  List.iter
+    (fun (p, v) ->
+      let true_p = Logp.to_prob (Oracle.occurrence_logp u ~pattern:pat ~pos:p) in
+      let vp = Logp.to_prob v in
+      if true_p <= tau -. eps -. 1e-9 then
+        Alcotest.failf "reported %d with true prob %g <= tau - eps = %g" p
+          true_p (tau -. eps);
+      if vp < true_p -. 1e-9 || vp > true_p +. eps +. 1e-9 then
+        Alcotest.failf "value %g outside [true, true+eps] = [%g, %g]" vp true_p
+          (true_p +. eps))
+    got;
+  H.check_sorted_desc "approx" got
+
+let test_guarantees_random () =
+  let rng = H.rng_of_seed 81 in
+  for _ = 1 to 200 do
+    let n = 2 + Random.State.int rng 35 in
+    let u = H.random_ustring rng n 4 3 in
+    let tau_min = 0.05 +. Random.State.float rng 0.2 in
+    let eps = 0.02 +. Random.State.float rng 0.25 in
+    let tau = tau_min +. Random.State.float rng (0.9 -. tau_min) in
+    let a = A.build ~epsilon:eps ~tau_min u in
+    let pat = H.random_pattern rng u 12 in
+    check_guarantees u a ~pat ~tau ~eps
+  done
+
+let test_guarantees_correlated () =
+  let rng = H.rng_of_seed 82 in
+  for _ = 1 to 60 do
+    let n = 4 + Random.State.int rng 15 in
+    let u = H.random_ustring rng n 3 3 in
+    let u = Pti_workload.Dataset.add_random_correlations rng u ~count:2 in
+    let tau_min = 0.05 +. Random.State.float rng 0.2 in
+    let eps = 0.05 +. Random.State.float rng 0.2 in
+    let tau = tau_min +. Random.State.float rng (0.8 -. tau_min) in
+    let a = A.build ~epsilon:eps ~tau_min u in
+    let pat = H.random_pattern rng u 8 in
+    check_guarantees u a ~pat ~tau ~eps
+  done
+
+let test_small_epsilon_equals_exact () =
+  (* with ε below the smallest probability gap, the approximate index
+     reports exactly the exact index's positions *)
+  let rng = H.rng_of_seed 83 in
+  for _ = 1 to 60 do
+    let n = 2 + Random.State.int rng 20 in
+    let u = H.random_ustring rng n 3 2 in
+    let tau_min = 0.1 in
+    let g = G.build ~tau_min u in
+    let a = A.build ~epsilon:1e-9 ~tau_min u in
+    let pat = H.random_pattern rng u 8 in
+    let tau = 0.1 +. Random.State.float rng 0.6 in
+    Alcotest.(check (list int))
+      "tiny epsilon = exact"
+      (H.sorted_fst (G.query g ~pattern:pat ~tau))
+      (H.sorted_fst (A.query a ~pattern:pat ~tau))
+  done
+
+let test_links_scale_with_epsilon () =
+  let u = H.random_ustring (H.rng_of_seed 84) 200 4 3 in
+  let tight = A.build ~epsilon:0.01 ~tau_min:0.05 u in
+  let loose = A.build ~epsilon:0.3 ~tau_min:0.05 u in
+  Alcotest.(check bool)
+    (Printf.sprintf "links %d (eps=.01) > %d (eps=.3)" (A.n_links tight)
+       (A.n_links loose))
+    true
+    (A.n_links tight > A.n_links loose);
+  Alcotest.(check bool) "sizes positive" true
+    (A.size_words tight > 0 && A.size_words loose > 0);
+  Alcotest.(check bool) "stats" true (String.length (A.stats tight) > 0)
+
+let test_all_pattern_lengths () =
+  (* unlike the exact index, the approximate one has no special long-
+     pattern machinery: probe every length on one string *)
+  let rng = H.rng_of_seed 85 in
+  let u = H.random_ustring rng 40 3 2 in
+  let tau_min = 0.02 and eps = 0.1 in
+  let a = A.build ~epsilon:eps ~tau_min u in
+  for m = 1 to 40 do
+    let pat = H.pattern_at rng u ~start:0 ~m in
+    check_guarantees u a ~pat ~tau:0.15 ~eps
+  done
+
+let test_validation () =
+  let u = H.random_ustring (H.rng_of_seed 86) 10 3 2 in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "epsilon 0" true
+    (raises (fun () -> ignore (A.build ~epsilon:0.0 ~tau_min:0.1 u)));
+  Alcotest.(check bool) "epsilon 1" true
+    (raises (fun () -> ignore (A.build ~epsilon:1.0 ~tau_min:0.1 u)));
+  let a = A.build ~epsilon:0.1 ~tau_min:0.2 u in
+  Alcotest.(check bool) "tau below tau_min" true
+    (raises (fun () -> ignore (A.query a ~pattern:[| Char.code 'A' |] ~tau:0.1)));
+  Alcotest.(check bool) "empty pattern" true
+    (raises (fun () -> ignore (A.query a ~pattern:[||] ~tau:0.5)));
+  Alcotest.(check (float 1e-12)) "epsilon accessor" 0.1 (A.epsilon a);
+  Alcotest.(check (float 1e-12)) "tau_min accessor" 0.2 (A.tau_min a)
+
+let prop_guarantees =
+  QCheck2.Test.make ~name:"approx guarantees (qcheck)" ~count:100
+    QCheck2.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* n = int_range 2 25 in
+      let* eps = float_range 0.02 0.3 in
+      return (seed, n, eps))
+    (fun (seed, n, eps) ->
+      let rng = H.rng_of_seed seed in
+      let u = H.random_ustring rng n 4 3 in
+      let tau_min = 0.1 in
+      let tau = 0.1 +. Random.State.float rng 0.7 in
+      let a = A.build ~epsilon:eps ~tau_min u in
+      let pat = H.random_pattern rng u 8 in
+      try
+        check_guarantees u a ~pat ~tau ~eps;
+        true
+      with _ -> false)
+
+(* Guarantee checks applied to a raw result list. *)
+let check_result_guarantees u ~pat ~tau ~eps got =
+  let got_pos = List.map fst got in
+  List.iter
+    (fun (p, _) ->
+      if not (List.mem p got_pos) then
+        Alcotest.failf "missing true match at %d (tau=%g eps=%g)" p tau eps)
+    (Oracle.occurrences u ~pattern:pat ~tau:(Logp.of_prob tau));
+  List.iter
+    (fun (p, v) ->
+      let true_p = Logp.to_prob (Oracle.occurrence_logp u ~pattern:pat ~pos:p) in
+      let vp = Logp.to_prob v in
+      if true_p <= tau -. eps -. 1e-9 then
+        Alcotest.failf "reported %d with true prob %g <= tau - eps" p true_p;
+      if vp < true_p -. 1e-9 || vp > true_p +. eps +. 1e-9 then
+        Alcotest.failf "value %g outside [true, true+eps]" vp)
+    got
+
+let test_variant_guarantees variant () =
+  let rng = H.rng_of_seed 87 in
+  for _ = 1 to 100 do
+    let n = 2 + Random.State.int rng 30 in
+    let u = H.random_ustring rng n 4 3 in
+    let tau_min = 0.05 +. Random.State.float rng 0.2 in
+    let eps = 0.02 +. Random.State.float rng 0.25 in
+    let tau = tau_min +. Random.State.float rng (0.9 -. tau_min) in
+    let pat = H.random_pattern rng u 10 in
+    let got = variant.build ~epsilon:eps ~tau_min u ~pattern:pat ~tau in
+    check_result_guarantees u ~pat ~tau ~eps got
+  done
+
+(* Both variants agree outside the gray zone (tau - eps, tau]. *)
+let test_variants_agree () =
+  let rng = H.rng_of_seed 88 in
+  for _ = 1 to 80 do
+    let n = 2 + Random.State.int rng 30 in
+    let u = H.random_ustring rng n 4 3 in
+    let tau_min = 0.1 and eps = 0.1 in
+    let tau = 0.1 +. Random.State.float rng 0.6 in
+    let pat = H.random_pattern rng u 8 in
+    let a = A.build ~epsilon:eps ~tau_min u in
+    let h = Ah.build ~epsilon:eps ~tau_min u in
+    let ga = H.sorted_fst (A.query a ~pattern:pat ~tau) in
+    let gh = H.sorted_fst (Ah.query h ~pattern:pat ~tau) in
+    let sym_diff =
+      List.filter (fun p -> not (List.mem p gh)) ga
+      @ List.filter (fun p -> not (List.mem p ga)) gh
+    in
+    List.iter
+      (fun p ->
+        let tp = Logp.to_prob (Oracle.occurrence_logp u ~pattern:pat ~pos:p) in
+        if tp > tau +. 1e-9 || tp <= tau -. eps -. 1e-9 then
+          Alcotest.failf "variants disagree outside gray zone at %d (%g)" p tp)
+      sym_diff
+  done
+
+let test_hsv_fewer_links () =
+  let u = H.random_ustring (H.rng_of_seed 89) 150 4 3 in
+  let a = A.build ~epsilon:0.05 ~tau_min:0.1 u in
+  let h = Ah.build ~epsilon:0.05 ~tau_min:0.1 u in
+  Alcotest.(check bool)
+    (Printf.sprintf "hsv %d <= per-leaf %d links" (Ah.n_links h) (A.n_links a))
+    true
+    (Ah.n_links h <= A.n_links a);
+  Alcotest.(check bool) "marks counted" true (Ah.n_marks h > 0);
+  Alcotest.(check bool) "stats" true (String.length (Ah.stats h) > 0)
+
+(* Property-matching baseline: exact at its fixed threshold. *)
+let test_property_exact () =
+  let rng = H.rng_of_seed 90 in
+  for trial = 1 to 150 do
+    let n = 2 + Random.State.int rng 30 in
+    let u = H.random_ustring rng n 4 3 in
+    let u =
+      if trial mod 3 = 0 then
+        Pti_workload.Dataset.add_random_correlations rng u ~count:2
+      else u
+    in
+    let tau_c = 0.05 +. Random.State.float rng 0.4 in
+    let p = P.build ~tau_c u in
+    Alcotest.(check (float 1e-12)) "tau_c accessor" tau_c (P.tau_c p);
+    let pat = H.random_pattern rng u 10 in
+    let want =
+      H.sorted_fst (Oracle.occurrences u ~pattern:pat ~tau:(Logp.of_prob tau_c))
+    in
+    Alcotest.(check (list int)) "property = oracle" want
+      (H.sorted_fst (P.query p ~pattern:pat));
+    Alcotest.(check int) "count" (List.length want) (P.count p ~pattern:pat)
+  done
+
+let test_property_probabilities () =
+  let rng = H.rng_of_seed 91 in
+  for _ = 1 to 50 do
+    let u = H.random_ustring rng (2 + Random.State.int rng 20) 3 3 in
+    let p = P.build ~tau_c:0.15 u in
+    let pat = H.random_pattern rng u 6 in
+    List.iter
+      (fun (pos, lp) ->
+        let w = Oracle.occurrence_logp u ~pattern:pat ~pos in
+        if not (Logp.approx_equal ~eps:1e-9 lp w) then
+          Alcotest.failf "property prob mismatch at %d" pos)
+      (P.query p ~pattern:pat)
+  done
+
+(* Link_stab.epsilon_partition unit properties: segments tile the depth
+   range (until pruning), drops within segments stay <= epsilon, and the
+   stored value is the probability at the segment's first depth. *)
+let test_epsilon_partition () =
+  let rng = H.rng_of_seed 92 in
+  for _ = 1 to 200 do
+    let hi = 1 + Random.State.int rng 40 in
+    (* a random non-increasing profile in (0, 1] *)
+    let profile = Array.make (hi + 1) 1.0 in
+    for k = 1 to hi do
+      profile.(k) <-
+        profile.(k - 1) *. (0.7 +. Random.State.float rng 0.3)
+    done;
+    let epsilon = 0.01 +. Random.State.float rng 0.3 in
+    let segments = ref [] in
+    Pti_core.Link_stab.epsilon_partition ~epsilon ~floor:0.0
+      ~prob:(fun k -> profile.(k))
+      ~lo_depth:0 ~hi_depth:hi
+      (fun t o v -> segments := (t, o, v) :: !segments);
+    let segments = List.rev !segments in
+    (* tiling: consecutive, starting at 0, ending at hi *)
+    let rec check_tiling expected = function
+      | [] -> Alcotest.(check int) "tiles to hi" hi expected
+      | (t, o, v) :: rest ->
+          Alcotest.(check int) "contiguous" expected t;
+          Alcotest.(check bool) "non-empty" true (o > t);
+          Alcotest.(check (float 1e-12)) "value = prob at first depth"
+            profile.(t + 1) v;
+          Alcotest.(check bool) "drop within epsilon" true
+            (v -. profile.(o) <= epsilon +. 1e-12);
+          check_tiling o rest
+    in
+    check_tiling 0 segments
+  done;
+  (* pruning: a floor above the whole profile yields nothing *)
+  let segments = ref 0 in
+  Pti_core.Link_stab.epsilon_partition ~epsilon:0.1 ~floor:0.99
+    ~prob:(fun _ -> 0.5)
+    ~lo_depth:0 ~hi_depth:10
+    (fun _ _ _ -> incr segments);
+  Alcotest.(check int) "floor prunes all" 0 !segments
+
+let () =
+  Alcotest.run "pti_approx"
+    [
+      ( "guarantees",
+        [
+          Alcotest.test_case "random strings" `Quick test_guarantees_random;
+          Alcotest.test_case "with correlations" `Quick test_guarantees_correlated;
+          Alcotest.test_case "all pattern lengths" `Quick test_all_pattern_lengths;
+          QCheck_alcotest.to_alcotest prop_guarantees;
+        ] );
+      ( "epsilon",
+        [
+          Alcotest.test_case "tiny epsilon = exact index" `Quick
+            test_small_epsilon_equals_exact;
+          Alcotest.test_case "link count scales" `Quick test_links_scale_with_epsilon;
+        ] );
+      ("api", [ Alcotest.test_case "validation" `Quick test_validation ]);
+      ( "hsv_variant",
+        [
+          Alcotest.test_case "per-leaf guarantees (shared check)" `Quick
+            (test_variant_guarantees leaf_variant);
+          Alcotest.test_case "hsv guarantees" `Quick
+            (test_variant_guarantees hsv_variant);
+          Alcotest.test_case "variants agree outside gray zone" `Quick
+            test_variants_agree;
+          Alcotest.test_case "hsv marking reduces links" `Quick
+            test_hsv_fewer_links;
+        ] );
+      ( "link_stab",
+        [ Alcotest.test_case "epsilon partition properties" `Quick test_epsilon_partition ] );
+      ( "property_baseline",
+        [
+          Alcotest.test_case "exact at fixed tau_c" `Quick test_property_exact;
+          Alcotest.test_case "probabilities exact" `Quick
+            test_property_probabilities;
+        ] );
+    ]

@@ -1,0 +1,249 @@
+(* Integration tests: the full pipeline (workload → transform → indexes
+   → queries) on medium-sized instances, with every index cross-checked
+   against the others and against the oracle. *)
+
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Oracle = Pti_ustring.Oracle
+module Logp = Pti_prob.Logp
+module D = Pti_workload.Dataset
+module Q = Pti_workload.Querygen
+module G = Pti_core.General_index
+module Si = Pti_core.Simple_index
+module A = Pti_core.Approx_index
+module L = Pti_core.Listing_index
+module H = Pti_test_helpers
+
+let tau_min = 0.1
+
+let test_pipeline_medium () =
+  let u = D.single (D.default ~total:2500 ~theta:0.3) in
+  let g = G.build ~tau_min u in
+  let si = Si.build ~tau_min u in
+  let a = A.build ~epsilon:0.05 ~tau_min u in
+  let rng = H.rng_of_seed 101 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun pat ->
+          List.iter
+            (fun tau ->
+              let want =
+                H.sorted_fst (Oracle.occurrences u ~pattern:pat ~tau:(Logp.of_prob tau))
+              in
+              let got_g = H.sorted_fst (G.query g ~pattern:pat ~tau) in
+              let got_si = H.sorted_fst (Si.query si ~pattern:pat ~tau) in
+              Alcotest.(check (list int)) "general = oracle" want got_g;
+              Alcotest.(check (list int)) "simple = oracle" want got_si;
+              (* approximate: superset of exact, subset of tau - eps *)
+              let got_a = H.sorted_fst (A.query a ~pattern:pat ~tau) in
+              List.iter
+                (fun p ->
+                  if not (List.mem p got_a) then
+                    Alcotest.failf "approx missed position %d" p)
+                want;
+              let relaxed =
+                H.sorted_fst
+                  (Oracle.occurrences u ~pattern:pat
+                     ~tau:(Logp.of_prob (tau -. 0.05 -. 1e-9)))
+              in
+              List.iter
+                (fun p ->
+                  if not (List.mem p relaxed) then
+                    Alcotest.failf "approx over-reported position %d" p)
+                got_a)
+            (* τ values chosen off the lattice of exact probability
+               products: at a colliding τ (e.g. exactly 0.1 when some
+               occurrence has probability exactly 0.1) the strict
+               comparison is decided by float rounding, which the
+               index's prefix sums and the oracle's direct sums may
+               round differently. *)
+            [ 0.1003; 0.2007; 0.4001 ])
+        (Q.patterns rng u ~m ~count:6))
+    [ 2; 4; 8; 16 ]
+
+let test_listing_pipeline () =
+  let docs = D.collection (D.default ~total:1500 ~theta:0.3) in
+  let l = L.build ~tau_min docs in
+  let rng = H.rng_of_seed 102 in
+  let d0 = List.nth docs (Random.State.int rng (List.length docs)) in
+  List.iter
+    (fun m ->
+      if m <= U.length d0 then
+        List.iter
+          (fun pat ->
+            let tau = 0.15 in
+            let want =
+              List.concat
+                (List.mapi
+                   (fun k d ->
+                     if Logp.to_prob (Oracle.relevance_max d ~pattern:pat) > tau
+                     then [ k ]
+                     else [])
+                   docs)
+            in
+            Alcotest.(check (list int)) "listing = per-doc oracle" want
+              (H.sorted_fst (L.query l ~pattern:pat ~tau)))
+          (Q.patterns rng d0 ~m ~count:5))
+    [ 2; 4; 8 ]
+
+(* §2's biological-sequence motivation, end to end on the Figure 3
+   string. *)
+let test_motivation_example () =
+  let s =
+    U.parse
+      "P S:.7,F:.3 F P Q:.5,T:.5 P A:.4,F:.4,P:.2 I:.3,L:.3,F:.1,T:.3 A \
+       S:.5,T:.5 A"
+  in
+  let g = G.build ~tau_min:0.1 s in
+  (* query (AT, 0.4): only position 8 qualifies (1 * .5 = .5); position 6
+     has .4 * .3 = .12 *)
+  let got = G.query_string g ~pattern:"AT" ~tau:0.4 in
+  Alcotest.(check (list int)) "positions" [ 8 ] (List.map fst got);
+  Alcotest.(check (float 1e-9)) "probability" 0.5 (Logp.to_prob (snd (List.hd got)));
+  Alcotest.(check (list int)) "lower threshold finds both" [ 6; 8 ]
+    (H.sorted_fst (G.query_string g ~pattern:"AT" ~tau:0.1));
+  (* SFPQ occurs at 1 with .35 *)
+  let sfpq = G.query_string g ~pattern:"SFPQ" ~tau:0.3 in
+  Alcotest.(check (list int)) "SFPQ" [ 1 ] (List.map fst sfpq)
+
+(* Determinism: building twice yields identical answers, and queries do
+   not mutate the index. *)
+let test_determinism () =
+  let u = D.single (D.default ~total:800 ~theta:0.2) in
+  let g1 = G.build ~tau_min u in
+  let g2 = G.build ~tau_min u in
+  let rng = H.rng_of_seed 103 in
+  for _ = 1 to 30 do
+    let pat = Q.pattern rng u ~m:(1 + Random.State.int rng 10) in
+    let r1 = G.query g1 ~pattern:pat ~tau:0.2 in
+    let r2 = G.query g2 ~pattern:pat ~tau:0.2 in
+    let r1' = G.query g1 ~pattern:pat ~tau:0.2 in
+    Alcotest.(check bool) "same build same answers" true (r1 = r2);
+    Alcotest.(check bool) "query idempotent" true (r1 = r1')
+  done
+
+(* Raising tau can only shrink the answer set (monotonicity), and every
+   answer set is contained in the tau_min answer set. *)
+let test_tau_monotonicity () =
+  let u = D.single (D.default ~total:600 ~theta:0.4) in
+  let g = G.build ~tau_min u in
+  let rng = H.rng_of_seed 104 in
+  for _ = 1 to 40 do
+    let pat = Q.pattern rng u ~m:(1 + Random.State.int rng 6) in
+    let taus = [ 0.1; 0.15; 0.25; 0.4; 0.7 ] in
+    let results = List.map (fun tau -> H.sorted_fst (G.query g ~pattern:pat ~tau)) taus in
+    let rec check = function
+      | bigger :: (smaller :: _ as rest) ->
+          List.iter
+            (fun p ->
+              if not (List.mem p bigger) then
+                Alcotest.fail "higher tau produced new answer")
+            smaller;
+          check rest
+      | _ -> ()
+    in
+    check results
+  done
+
+(* The special index and the general index agree when the input happens
+   to be special. *)
+let test_special_general_consistency () =
+  let rng = H.rng_of_seed 105 in
+  for _ = 1 to 40 do
+    let n = 5 + Random.State.int rng 40 in
+    let u =
+      U.make
+        (Array.init n (fun _ ->
+             [|
+               {
+                 U.sym = Char.code 'A' + Random.State.int rng 3;
+                 prob = 0.3 +. Random.State.float rng 0.7;
+               };
+             |]))
+    in
+    let sp = Pti_core.Special_index.build u in
+    let g = G.build ~tau_min:0.1 u in
+    let pat = H.random_pattern rng u 8 in
+    let tau = 0.1 +. Random.State.float rng 0.6 in
+    Alcotest.(check (list int))
+      "special = general"
+      (H.sorted_fst (Pti_core.Special_index.query sp ~pattern:pat ~tau))
+      (H.sorted_fst (G.query g ~pattern:pat ~tau))
+  done
+
+let test_correlated_pipeline () =
+  let rng = H.rng_of_seed 106 in
+  let u = D.single (D.default ~total:400 ~theta:0.4) in
+  let u = D.add_random_correlations rng u ~count:20 in
+  let g = G.build ~tau_min u in
+  for _ = 1 to 50 do
+    let pat = Q.pattern rng u ~m:(1 + Random.State.int rng 6) in
+    let tau = 0.1 +. Random.State.float rng 0.5 in
+    Alcotest.(check (list int))
+      "correlated pipeline = oracle"
+      (H.sorted_fst (Oracle.occurrences u ~pattern:pat ~tau:(Logp.of_prob tau)))
+      (H.sorted_fst (G.query g ~pattern:pat ~tau))
+  done
+
+(* Large-scale stress: build at realistic size and spot-check sampled
+   queries against the (slow) oracle, exercising every index at once. *)
+let test_stress_large () =
+  let u = D.single (D.default ~total:30_000 ~theta:0.35) in
+  let g = G.build ~tau_min u in
+  let a = A.build ~epsilon:0.05 ~tau_min u in
+  let docs = D.collection (D.default ~total:10_000 ~theta:0.35) in
+  let l = L.build ~tau_min docs in
+  let rng = H.rng_of_seed 107 in
+  for _ = 1 to 40 do
+    let m = 2 + Random.State.int rng 12 in
+    let pat = Q.pattern rng u ~m in
+    let tau = 0.1 +. Random.State.float rng 0.6 in
+    let want =
+      H.sorted_fst (Oracle.occurrences u ~pattern:pat ~tau:(Logp.of_prob tau))
+    in
+    Alcotest.(check (list int)) "stress general = oracle" want
+      (H.sorted_fst (G.query g ~pattern:pat ~tau));
+    (* approximate superset check *)
+    let approx = H.sorted_fst (A.query a ~pattern:pat ~tau) in
+    List.iter
+      (fun p ->
+        if not (List.mem p approx) then
+          Alcotest.failf "stress: approx missed %d" p)
+      want
+  done;
+  for _ = 1 to 15 do
+    let d0 = List.nth docs (Random.State.int rng (List.length docs)) in
+    let pat = Q.pattern rng d0 ~m:(2 + Random.State.int rng 6) in
+    let tau = 0.15 in
+    let want =
+      List.concat
+        (List.mapi
+           (fun k d ->
+             if Logp.to_prob (Oracle.relevance_max d ~pattern:pat) > tau then
+               [ k ]
+             else [])
+           docs)
+    in
+    Alcotest.(check (list int)) "stress listing = oracle" want
+      (H.sorted_fst (L.query l ~pattern:pat ~tau))
+  done
+
+let () =
+  Alcotest.run "pti_integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "substring indexes on workload" `Slow test_pipeline_medium;
+          Alcotest.test_case "listing on workload" `Slow test_listing_pipeline;
+          Alcotest.test_case "correlated workload" `Quick test_correlated_pipeline;
+          Alcotest.test_case "large-scale stress" `Slow test_stress_large;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "§2 motivation example" `Quick test_motivation_example;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "tau monotonicity" `Quick test_tau_monotonicity;
+          Alcotest.test_case "special = general" `Quick test_special_general_consistency;
+        ] );
+    ]

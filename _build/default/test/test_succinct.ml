@@ -1,0 +1,173 @@
+(* Tests for Pti_succinct: bit vector rank/select, wavelet tree, and the
+   FM-index (which must agree with suffix-array binary search on every
+   pattern). *)
+
+module Bv = Pti_succinct.Bitvec
+module Wt = Pti_succinct.Wavelet
+module Fm = Pti_succinct.Fm_index
+module Sais = Pti_suffix.Sais
+module Sa_search = Pti_suffix.Sa_search
+module H = Pti_test_helpers
+
+let test_bitvec_exhaustive () =
+  let rng = H.rng_of_seed 111 in
+  for _ = 1 to 100 do
+    let n = Random.State.int rng 300 in
+    let bools = Array.init n (fun _ -> Random.State.bool rng) in
+    let bv = Bv.of_bools bools in
+    Alcotest.(check int) "length" n (Bv.length bv);
+    let r1 = ref 0 in
+    for i = 0 to n do
+      Alcotest.(check int) "rank1" !r1 (Bv.rank1 bv i);
+      Alcotest.(check int) "rank0" (i - !r1) (Bv.rank0 bv i);
+      if i < n then begin
+        Alcotest.(check bool) "get" bools.(i) (Bv.get bv i);
+        if bools.(i) then incr r1
+      end
+    done;
+    Alcotest.(check int) "count1" !r1 (Bv.count1 bv);
+    let ones = ref 0 and zeros = ref 0 in
+    Array.iteri
+      (fun i b ->
+        if b then begin
+          incr ones;
+          Alcotest.(check int) "select1" i (Bv.select1 bv !ones)
+        end
+        else begin
+          incr zeros;
+          Alcotest.(check int) "select0" i (Bv.select0 bv !zeros)
+        end)
+      bools
+  done
+
+let test_bitvec_edges () =
+  let bv = Bv.of_bools [||] in
+  Alcotest.(check int) "empty rank" 0 (Bv.rank1 bv 0);
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "select on empty" true (raises (fun () -> ignore (Bv.select1 bv 1)));
+  let all1 = Bv.create 130 (fun _ -> true) in
+  Alcotest.(check int) "all ones rank" 130 (Bv.rank1 all1 130);
+  Alcotest.(check int) "all ones select" 129 (Bv.select1 all1 130);
+  Alcotest.(check bool) "select0 none" true (raises (fun () -> ignore (Bv.select0 all1 1)));
+  (* word-boundary sizes *)
+  List.iter
+    (fun n ->
+      let bv = Bv.create n (fun i -> i mod 2 = 0) in
+      Alcotest.(check int) "alternating rank" ((n + 1) / 2) (Bv.rank1 bv n))
+    [ 62; 63; 64; 126; 127 ]
+
+let test_wavelet_matches_naive () =
+  let rng = H.rng_of_seed 112 in
+  for _ = 1 to 60 do
+    let n = Random.State.int rng 150 in
+    let sigma = 1 + Random.State.int rng 50 in
+    let seq = Array.init n (fun _ -> Random.State.int rng sigma) in
+    let wt = Wt.build ~sigma seq in
+    Alcotest.(check int) "length" n (Wt.length wt);
+    for i = 0 to n - 1 do
+      Alcotest.(check int) "access" seq.(i) (Wt.access wt i)
+    done;
+    for sym = 0 to sigma - 1 do
+      let cnt = ref 0 in
+      for i = 0 to n do
+        Alcotest.(check int) "rank" !cnt (Wt.rank wt ~sym i);
+        if i < n && seq.(i) = sym then begin
+          incr cnt;
+          Alcotest.(check int) "select" i (Wt.select wt ~sym !cnt)
+        end
+      done;
+      Alcotest.(check int) "count" !cnt (Wt.count wt ~sym)
+    done
+  done
+
+let test_wavelet_validation () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "symbol out of range" true
+    (raises (fun () -> ignore (Wt.build ~sigma:4 [| 0; 4 |])));
+  Alcotest.(check bool) "select too many" true
+    (raises (fun () -> ignore (Wt.select (Wt.build ~sigma:2 [| 0; 1 |]) ~sym:0 2)))
+
+let test_fm_matches_binary_search () =
+  let rng = H.rng_of_seed 113 in
+  for _ = 1 to 150 do
+    let n = 1 + Random.State.int rng 120 in
+    let k = 1 + Random.State.int rng 5 in
+    let text = Array.init n (fun _ -> 1 + Random.State.int rng k) in
+    let sa = Sais.suffix_array text in
+    let fm = Fm.create ~sa text in
+    Alcotest.(check int) "length" n (Fm.length fm);
+    for _ = 1 to 25 do
+      let m = 1 + Random.State.int rng 8 in
+      (* include symbols slightly outside the alphabet *)
+      let pat = Array.init m (fun _ -> 1 + Random.State.int rng (k + 1)) in
+      Alcotest.(check bool) "range agrees" true
+        (Fm.range fm ~pattern:pat = Sa_search.range ~text ~sa ~pattern:pat);
+      Alcotest.(check int) "count agrees"
+        (Sa_search.count ~text ~sa ~pattern:pat)
+        (Fm.count fm ~pattern:pat)
+    done;
+    Alcotest.(check bool) "empty pattern" true
+      (Fm.range fm ~pattern:[||] = Some (0, n - 1))
+  done
+
+let test_fm_without_sa () =
+  let text = Array.map Char.code (Array.init 11 (String.get "abracadabra")) in
+  let fm = Fm.create text in
+  Alcotest.(check int) "abra twice" 2 (Fm.count fm ~pattern:(Array.map Char.code [| 'a'; 'b'; 'r'; 'a' |]))
+
+(* The engine produces identical answers with either range-search
+   backend (also covered by the config cross-product in test_core). *)
+let test_fm_in_engine () =
+  let rng = H.rng_of_seed 114 in
+  for _ = 1 to 40 do
+    let u = H.random_ustring rng (5 + Random.State.int rng 30) 4 3 in
+    let binary = Pti_core.General_index.build ~tau_min:0.1 u in
+    let fm =
+      Pti_core.General_index.build
+        ~config:{ Pti_core.Engine.default_config with range_search = Pti_core.Engine.Rs_fm }
+        ~tau_min:0.1 u
+    in
+    let pat = H.random_pattern rng u 8 in
+    let tau = 0.1 +. Random.State.float rng 0.6 in
+    Alcotest.(check (list int)) "fm = binary"
+      (H.sorted_fst (Pti_core.General_index.query binary ~pattern:pat ~tau))
+      (H.sorted_fst (Pti_core.General_index.query fm ~pattern:pat ~tau))
+  done
+
+let prop_bitvec =
+  QCheck2.Test.make ~name:"bitvec rank1 = naive (qcheck)" ~count:300
+    QCheck2.Gen.(
+      let* n = int_range 0 200 in
+      let* bools = array_repeat n bool in
+      let* i = int_range 0 n in
+      return (bools, i))
+    (fun (bools, i) ->
+      let want = ref 0 in
+      for j = 0 to i - 1 do
+        if bools.(j) then incr want
+      done;
+      Bv.rank1 (Bv.of_bools bools) i = !want)
+
+let () =
+  Alcotest.run "pti_succinct"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "rank/select vs naive" `Quick test_bitvec_exhaustive;
+          Alcotest.test_case "edges" `Quick test_bitvec_edges;
+          QCheck_alcotest.to_alcotest prop_bitvec;
+        ] );
+      ( "wavelet",
+        [
+          Alcotest.test_case "access/rank/select vs naive" `Quick
+            test_wavelet_matches_naive;
+          Alcotest.test_case "validation" `Quick test_wavelet_validation;
+        ] );
+      ( "fm_index",
+        [
+          Alcotest.test_case "ranges = binary search" `Quick
+            test_fm_matches_binary_search;
+          Alcotest.test_case "builds own SA" `Quick test_fm_without_sa;
+          Alcotest.test_case "engine backend equivalence" `Quick test_fm_in_engine;
+        ] );
+    ]

@@ -1,0 +1,318 @@
+(* Tests for Pti_suffix: SA-IS vs the doubling oracle and a naive sort,
+   Kasai LCP, pattern search, the lcp-interval suffix tree, and LCA. *)
+
+module Sais = Pti_suffix.Sais
+module Sa_doubling = Pti_suffix.Sa_doubling
+module Lcp = Pti_suffix.Lcp
+module Sa_search = Pti_suffix.Sa_search
+module St = Pti_suffix.Suffix_tree
+module Lca = Pti_suffix.Lca
+
+let of_string s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+let naive_sa text =
+  let n = Array.length text in
+  (* compare as lists: element-wise lexicographic with shorter-prefix
+     smaller (array polymorphic compare orders by length first) *)
+  let suffix i = Array.to_list (Array.sub text i (n - i)) in
+  let sa = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (suffix a) (suffix b)) sa;
+  sa
+
+let int_array = Alcotest.(array int)
+
+let test_sais_known () =
+  (* banana: suffixes sorted: a(5) ana(3) anana(1) banana(0) na(4) nana(2) *)
+  Alcotest.check int_array "banana" [| 5; 3; 1; 0; 4; 2 |]
+    (Sais.suffix_array (of_string "banana"));
+  Alcotest.check int_array "single" [| 0 |] (Sais.suffix_array [| 7 |]);
+  Alcotest.check int_array "aaaa" [| 3; 2; 1; 0 |]
+    (Sais.suffix_array (of_string "aaaa"));
+  Alcotest.check int_array "abab" [| 2; 0; 3; 1 |]
+    (Sais.suffix_array (of_string "abab"));
+  Alcotest.check int_array "mississippi"
+    (naive_sa (of_string "mississippi"))
+    (Sais.suffix_array (of_string "mississippi"))
+
+let test_sais_rejects () =
+  Alcotest.(check bool) "zero symbol rejected" true
+    (try
+       ignore (Sais.suffix_array [| 1; 0; 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sais_vs_doubling () =
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 300 do
+    let n = 1 + Random.State.int rng 150 in
+    let k = 1 + Random.State.int rng 6 in
+    let text = Array.init n (fun _ -> 1 + Random.State.int rng k) in
+    let sa1 = Sais.suffix_array text in
+    let sa2 = Sa_doubling.suffix_array text in
+    Alcotest.check int_array "sais = doubling" sa2 sa1;
+    Alcotest.check int_array "sais = naive sort" (naive_sa text) sa1
+  done
+
+let test_sais_large_repetitive () =
+  (* deep LMS recursion: fibonacci-style string *)
+  let rec fib a b k = if k = 0 then a else fib (a ^ b) a (k - 1) in
+  let text = of_string (fib "a" "b" 18) in
+  let sa = Sais.suffix_array text in
+  Alcotest.check int_array "fibonacci string" (Sa_doubling.suffix_array text) sa
+
+let naive_lcp text sa =
+  let n = Array.length sa in
+  let lcp = Array.make (Stdlib.max n 1) 0 in
+  for i = 1 to n - 1 do
+    let a = sa.(i - 1) and b = sa.(i) in
+    let rec go off =
+      if a + off < n && b + off < n && text.(a + off) = text.(b + off) then
+        go (off + 1)
+      else off
+    in
+    lcp.(i) <- go 0
+  done;
+  lcp
+
+let test_kasai () =
+  let rng = Random.State.make [| 12 |] in
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int rng 120 in
+    let text = Array.init n (fun _ -> 1 + Random.State.int rng 4) in
+    let sa = Sais.suffix_array text in
+    Alcotest.check int_array "kasai = naive" (naive_lcp text sa)
+      (Lcp.kasai ~text ~sa)
+  done
+
+let test_rank () =
+  let sa = [| 5; 3; 1; 0; 4; 2 |] in
+  let rank = Lcp.rank_of_sa sa in
+  Array.iteri (fun i s -> Alcotest.(check int) "rank" i rank.(s)) sa
+
+let naive_occurrences text pat =
+  let n = Array.length text and m = Array.length pat in
+  let out = ref [] in
+  for p = n - m downto 0 do
+    if Array.sub text p m = pat then out := p :: !out
+  done;
+  !out
+
+let test_search () =
+  let rng = Random.State.make [| 13 |] in
+  for _ = 1 to 300 do
+    let n = 1 + Random.State.int rng 100 in
+    let k = 1 + Random.State.int rng 3 in
+    let text = Array.init n (fun _ -> 1 + Random.State.int rng k) in
+    let sa = Sais.suffix_array text in
+    let m = 1 + Random.State.int rng 6 in
+    let pat = Array.init m (fun _ -> 1 + Random.State.int rng k) in
+    let want = naive_occurrences text pat in
+    let got =
+      match Sa_search.range ~text ~sa ~pattern:pat with
+      | None -> []
+      | Some (sp, ep) ->
+          List.sort compare (List.init (ep - sp + 1) (fun i -> sa.(sp + i)))
+    in
+    Alcotest.(check (list int)) "occurrences" want got;
+    Alcotest.(check int) "count" (List.length want)
+      (Sa_search.count ~text ~sa ~pattern:pat)
+  done
+
+let test_search_edges () =
+  let text = of_string "abracadabra" in
+  let sa = Sais.suffix_array text in
+  Alcotest.(check bool) "empty pattern matches all" true
+    (Sa_search.range ~text ~sa ~pattern:[||] = Some (0, 10));
+  Alcotest.(check bool) "absent pattern" true
+    (Sa_search.range ~text ~sa ~pattern:(of_string "xyz") = None);
+  Alcotest.(check bool) "pattern longer than text" true
+    (Sa_search.range ~text ~sa ~pattern:(of_string "abracadabraabra") = None);
+  Alcotest.(check int) "abra occurs twice" 2
+    (Sa_search.count ~text ~sa ~pattern:(of_string "abra"))
+
+(* Suffix tree invariants checked on random strings:
+   - parent intervals contain child intervals;
+   - string depth strictly increases on internal edges (leaves may have
+     zero-length edges when one suffix prefixes another);
+   - node_of_interval returns a node matching the queried range;
+   - the root covers everything. *)
+let test_suffix_tree_invariants () =
+  let rng = Random.State.make [| 14 |] in
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int rng 80 in
+    let text = Array.init n (fun _ -> 1 + Random.State.int rng 3) in
+    let sa = Sais.suffix_array text in
+    let lcp = Lcp.kasai ~text ~sa in
+    let st = St.build ~sa ~lcp ~text_len:n in
+    Alcotest.(check int) "n_leaves" n (St.n_leaves st);
+    Alcotest.(check bool) "root interval" true (St.interval st (St.root st) = (0, n - 1));
+    St.fold_nodes st ~init:() ~f:(fun () v ->
+        if v <> St.root st then begin
+          let p = St.parent st v in
+          let l, r = St.interval st v and pl, pr = St.interval st p in
+          if not (pl <= l && r <= pr) then
+            Alcotest.failf "interval not nested: node %d" v;
+          let ok =
+            if St.is_leaf st v then St.str_depth st p <= St.str_depth st v
+            else St.str_depth st p < St.str_depth st v
+          in
+          if not ok then Alcotest.failf "depth not increasing: node %d" v
+        end
+        else if St.parent st v <> -1 then Alcotest.fail "root has a parent")
+  done
+
+let test_suffix_tree_locus () =
+  let rng = Random.State.make [| 15 |] in
+  for _ = 1 to 150 do
+    let n = 2 + Random.State.int rng 60 in
+    let text = Array.init n (fun _ -> 1 + Random.State.int rng 3) in
+    let sa = Sais.suffix_array text in
+    let lcp = Lcp.kasai ~text ~sa in
+    let st = St.build ~sa ~lcp ~text_len:n in
+    (* the suffix range of any pattern must resolve to a node whose
+       interval is exactly that range *)
+    let m = 1 + Random.State.int rng (Stdlib.min 5 n) in
+    let start = Random.State.int rng (n - m + 1) in
+    let pat = Array.sub text start m in
+    match Sa_search.range ~text ~sa ~pattern:pat with
+    | None -> Alcotest.fail "extracted pattern must occur"
+    | Some (l, r) -> (
+        match St.node_of_interval st ~l ~r with
+        | None -> Alcotest.failf "locus of existing pattern not found"
+        | Some v ->
+            Alcotest.(check bool) "interval matches" true (St.interval st v = (l, r));
+            Alcotest.(check bool) "deep enough" true (St.str_depth st v >= m))
+  done
+
+(* the O(m) locus walk returns exactly the binary-search range *)
+let test_locus_walk () =
+  let rng = Random.State.make [| 18 |] in
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int rng 80 in
+    let k = 1 + Random.State.int rng 4 in
+    let text = Array.init n (fun _ -> 1 + Random.State.int rng k) in
+    let sa = Sais.suffix_array text in
+    let lcp = Lcp.kasai ~text ~sa in
+    let st = St.build ~sa ~lcp ~text_len:n in
+    for _ = 1 to 30 do
+      let m = 1 + Random.State.int rng 8 in
+      (* mix of occurring and absent patterns *)
+      let pat = Array.init m (fun _ -> 1 + Random.State.int rng (k + 1)) in
+      Alcotest.(check bool) "locus = binary search" true
+        (St.locus st ~text ~pattern:pat = Sa_search.range ~text ~sa ~pattern:pat)
+    done;
+    Alcotest.(check bool) "empty pattern" true
+      (St.locus st ~text ~pattern:[||] = Some (0, n - 1));
+    (* children are consistent with parents *)
+    St.fold_nodes st ~init:() ~f:(fun () v ->
+        List.iter
+          (fun c ->
+            Alcotest.(check int) "child's parent" v (St.parent st c))
+          (St.children st v))
+  done
+
+let test_leaf_suffix_maps () =
+  let text = of_string "banana" in
+  let sa = Sais.suffix_array text in
+  let lcp = Lcp.kasai ~text ~sa in
+  let st = St.build ~sa ~lcp ~text_len:6 in
+  for j = 0 to 5 do
+    Alcotest.(check int) "roundtrip" j (St.leaf_of_suffix st (St.suffix_of_leaf st j))
+  done
+
+let naive_lca parent a b =
+  let rec ancestors v = if v = -1 then [] else v :: ancestors parent.(v) in
+  let aa = ancestors a in
+  let rec find = function
+    | [] -> Alcotest.fail "no common ancestor"
+    | v :: rest -> if List.mem v aa then v else find rest
+  in
+  find (ancestors b)
+
+let test_lca () =
+  let rng = Random.State.make [| 16 |] in
+  for _ = 1 to 100 do
+    (* random tree via random parent assignment *)
+    let n = 2 + Random.State.int rng 60 in
+    let parent = Array.make n (-1) in
+    for v = 1 to n - 1 do
+      parent.(v) <- Random.State.int rng v
+    done;
+    let lca = Lca.build ~parent ~root:0 in
+    for _ = 1 to 50 do
+      let a = Random.State.int rng n and b = Random.State.int rng n in
+      Alcotest.(check int) "lca = naive" (naive_lca parent a b) (Lca.query lca a b)
+    done;
+    (* ancestor relation *)
+    for _ = 1 to 30 do
+      let a = Random.State.int rng n and b = Random.State.int rng n in
+      let want = naive_lca parent a b = a in
+      Alcotest.(check bool) "is_ancestor" want (Lca.is_ancestor lca ~anc:a ~desc:b)
+    done
+  done
+
+let test_lca_on_suffix_tree () =
+  let text = of_string "abracadabra" in
+  let sa = Sais.suffix_array text in
+  let lcp = Lcp.kasai ~text ~sa in
+  let st = St.build ~sa ~lcp ~text_len:(Array.length text) in
+  let parent = Array.init (St.n_nodes st) (fun v -> St.parent st v) in
+  let lca = Lca.build ~parent ~root:(St.root st) in
+  (* LCA of two leaves has string depth = lcp of their suffixes *)
+  let n = Array.length text in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = Lca.query lca i j in
+      let mn = ref max_int in
+      for k = i + 1 to j do
+        mn := Stdlib.min !mn lcp.(k)
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "lca depth leaves %d %d" i j)
+        !mn (St.str_depth st v)
+    done
+  done
+
+let prop_sais =
+  QCheck2.Test.make ~name:"sais = doubling (qcheck)" ~count:300
+    QCheck2.Gen.(
+      let* n = int_range 1 80 in
+      array_repeat n (int_range 1 4))
+    (fun text -> Sais.suffix_array text = Sa_doubling.suffix_array text)
+
+let () =
+  Alcotest.run "pti_suffix"
+    [
+      ( "sais",
+        [
+          Alcotest.test_case "known strings" `Quick test_sais_known;
+          Alcotest.test_case "rejects bad symbols" `Quick test_sais_rejects;
+          Alcotest.test_case "vs doubling + naive" `Quick test_sais_vs_doubling;
+          Alcotest.test_case "repetitive (deep recursion)" `Quick
+            test_sais_large_repetitive;
+          QCheck_alcotest.to_alcotest prop_sais;
+        ] );
+      ( "lcp",
+        [
+          Alcotest.test_case "kasai vs naive" `Quick test_kasai;
+          Alcotest.test_case "rank" `Quick test_rank;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "vs naive scan" `Quick test_search;
+          Alcotest.test_case "edge cases" `Quick test_search_edges;
+        ] );
+      ( "suffix_tree",
+        [
+          Alcotest.test_case "structural invariants" `Quick
+            test_suffix_tree_invariants;
+          Alcotest.test_case "locus lookup" `Quick test_suffix_tree_locus;
+          Alcotest.test_case "leaf/suffix maps" `Quick test_leaf_suffix_maps;
+          Alcotest.test_case "locus walk = binary search" `Quick test_locus_walk;
+        ] );
+      ( "lca",
+        [
+          Alcotest.test_case "random trees vs naive" `Quick test_lca;
+          Alcotest.test_case "suffix tree LCA = lcp" `Quick test_lca_on_suffix_tree;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for Pti_transform: the general→special transformation must
+   conserve every substring whose probability reaches τ_min (Lemma 2),
+   map positions faithfully, reproduce exact probabilities, and collapse
+   to linear size on deterministic inputs. *)
+
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Worlds = Pti_ustring.Worlds
+module Oracle = Pti_ustring.Oracle
+module Logp = Pti_prob.Logp
+module T = Pti_transform.Transform
+module H = Pti_test_helpers
+
+(* Does [w] occur in the transform at a text position mapped to original
+   position [i]? Returns the text position if so. *)
+let find_occurrence tr ~w ~i =
+  let text = T.text tr and pos = T.pos tr in
+  let len = Array.length w in
+  let n = Array.length text in
+  let rec go a =
+    if a + len > n then None
+    else if pos.(a) = i && Array.sub text a len = w then Some a
+    else go (a + 1)
+  in
+  go 0
+
+let check_conservation u tau_min =
+  let tr = T.build ~tau_min u in
+  let n = U.length u in
+  let tau = Logp.of_prob tau_min in
+  for i = 0 to n - 1 do
+    for len = 1 to n - i do
+      List.iter
+        (fun (w, p) ->
+          match find_occurrence tr ~w ~i with
+          | None ->
+              Alcotest.failf "missing: %s at %d (prob %s, tau_min %g)"
+                (Sym.to_string w) i (Logp.to_string p) tau_min
+          | Some a ->
+              let got = T.window_logp_corrected tr ~pos:a ~len in
+              let want = Oracle.occurrence_logp u ~pattern:w ~pos:i in
+              if not (Logp.approx_equal ~eps:1e-9 got want) then
+                Alcotest.failf "probability mismatch at %d: %s vs %s" i
+                  (Logp.to_string got) (Logp.to_string want))
+        (Worlds.matched_strings_at u ~pos:i ~len ~tau)
+    done
+  done;
+  tr
+
+let test_conservation_random () =
+  let rng = H.rng_of_seed 41 in
+  for _ = 1 to 120 do
+    let n = 1 + Random.State.int rng 20 in
+    let u = H.random_ustring rng n 4 3 in
+    let tau_min = 0.05 +. Random.State.float rng 0.35 in
+    ignore (check_conservation u tau_min)
+  done
+
+let test_conservation_correlated () =
+  let rng = H.rng_of_seed 42 in
+  for _ = 1 to 60 do
+    let n = 3 + Random.State.int rng 12 in
+    let u = H.random_ustring rng n 3 3 in
+    let u = Pti_workload.Dataset.add_random_correlations rng u ~count:2 in
+    let tau_min = 0.05 +. Random.State.float rng 0.3 in
+    ignore (check_conservation u tau_min)
+  done
+
+let test_deterministic_collapses () =
+  (* A deterministic string of length n must transform to n + 1 text
+     positions (one factor + separator), not Θ(n²). *)
+  let u = U.of_string (String.make 200 'A' ^ String.concat "" (List.init 100 (fun i -> String.make 1 (Char.chr (65 + (i mod 20)))))) in
+  let tr = T.build ~tau_min:0.5 u in
+  Alcotest.(check int) "one factor" 1 (T.n_factors tr);
+  Alcotest.(check int) "linear text" (U.length u + 1) (T.text_length tr)
+
+let test_pos_structure () =
+  let rng = H.rng_of_seed 43 in
+  for _ = 1 to 50 do
+    let u = H.random_ustring rng (2 + Random.State.int rng 15) 3 3 in
+    let tr = T.build ~tau_min:0.2 u in
+    let text = T.text tr and pos = T.pos tr in
+    let n = Array.length text in
+    (* separators carry pos -1, factors carry consecutive positions, and
+       the text ends with a separator *)
+    Alcotest.(check int) "ends with separator" Sym.separator text.(n - 1);
+    for a = 0 to n - 1 do
+      if Sym.is_separator text.(a) then
+        Alcotest.(check int) "separator pos" (-1) pos.(a)
+      else begin
+        Alcotest.(check bool) "pos in range" true
+          (pos.(a) >= 0 && pos.(a) < U.length u);
+        if a + 1 < n && not (Sym.is_separator text.(a + 1)) then
+          Alcotest.(check int) "consecutive" (pos.(a) + 1) pos.(a + 1);
+        (* the emitted symbol must be a choice at that position *)
+        Alcotest.(check bool) "symbol is a choice" true
+          (U.prob u ~pos:pos.(a) ~sym:text.(a) > 0.0)
+      end
+    done
+  done
+
+let test_factor_probability_floor () =
+  (* every emitted factor has (upper-bound) probability >= tau_min: in
+     the absence of correlations the marginal window of each full factor
+     reaches tau_min *)
+  let rng = H.rng_of_seed 44 in
+  for _ = 1 to 50 do
+    let u = H.random_ustring rng (2 + Random.State.int rng 15) 3 3 in
+    let tau_min = 0.1 +. Random.State.float rng 0.3 in
+    let tr = T.build ~tau_min u in
+    let text = T.text tr in
+    let n = Array.length text in
+    let a = ref 0 in
+    while !a < n do
+      if not (Sym.is_separator text.(!a)) then begin
+        let b = ref !a in
+        while not (Sym.is_separator text.(!b)) do
+          incr b
+        done;
+        let w = T.window_logp tr ~pos:!a ~len:(!b - !a) in
+        if Logp.to_prob w < tau_min -. 1e-9 then
+          Alcotest.failf "factor below tau_min: %s < %g" (Logp.to_string w)
+            tau_min;
+        a := !b
+      end
+      else incr a
+    done
+  done
+
+let test_identity () =
+  let special = U.parse "A:.4 B:.7 C:.5 D" in
+  let tr = T.identity special in
+  Alcotest.(check int) "text = positions" 4 (T.text_length tr);
+  Alcotest.(check (float 1e-12)) "tau_min 0" 0.0 (T.tau_min tr);
+  Alcotest.(check int) "pos identity" 2 (T.original_pos tr 2);
+  Alcotest.(check (float 1e-9)) "window" (0.7 *. 0.5)
+    (Logp.to_prob (T.window_logp tr ~pos:1 ~len:2));
+  Alcotest.(check bool) "general rejected" true
+    (try
+       ignore (T.identity (U.parse "A:.5,B:.5"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_bad_args () =
+  let u = U.parse "A:.5,B:.5" in
+  List.iter
+    (fun tau ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tau_min %g rejected" tau)
+        true
+        (try
+           ignore (T.build ~tau_min:tau u);
+           false
+         with Invalid_argument _ -> true))
+    [ 0.0; -0.5; 1.5 ];
+  Alcotest.(check bool) "max_text_len enforced" true
+    (try
+       ignore
+         (T.build ~max_text_len:3
+            ~tau_min:0.01
+            (H.random_ustring (H.rng_of_seed 9) 10 4 3));
+       false
+     with Failure _ -> true)
+
+let test_blowup_bounded () =
+  (* text length stays within the theoretical O((1/τ_min)² n) bound on
+     workload-like inputs (and far below it in practice) *)
+  let u = Pti_workload.Dataset.single (Pti_workload.Dataset.default ~total:2000 ~theta:0.3) in
+  let tau_min = 0.1 in
+  let tr = T.build ~tau_min u in
+  let bound = int_of_float ((1.0 /. tau_min) ** 2.0) * (U.length u + 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "text %d within bound %d" (T.text_length tr) bound)
+    true
+    (T.text_length tr <= bound)
+
+let test_running_example_appendix_b () =
+  (* Appendix B's string: S[1]={Q .7, S .3}, S[2]={Q .3, P .7}, S[3]={P 1},
+     S[4]={A .4, F .3, P .2, Q .1}. With τ_min = 0.1, every substring with
+     probability ≥ .1 must be conserved; e.g. "QPPA" at 0 (prob .196),
+     "QQP" at 0 (prob .21), "PA" at 2 (prob .4). *)
+  let s = U.parse "Q:.7,S:.3 Q:.3,P:.7 P A:.4,F:.3,P:.2,Q:.1" in
+  let tr = T.build ~tau_min:0.1 s in
+  List.iter
+    (fun (w, i, p) ->
+      match find_occurrence tr ~w:(Sym.of_string w) ~i with
+      | None -> Alcotest.failf "missing %s at %d" w i
+      | Some a ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "prob of %s" w)
+            p
+            (Logp.to_prob
+               (T.window_logp_corrected tr ~pos:a ~len:(String.length w))))
+    [
+      ("QPPA", 0, 0.7 *. 0.7 *. 1.0 *. 0.4);
+      ("QQP", 0, 0.7 *. 0.3 *. 1.0);
+      ("QPPF", 0, 0.7 *. 0.7 *. 1.0 *. 0.3);
+      ("PA", 2, 1.0 *. 0.4);
+      ("PPA", 1, 0.7 *. 1.0 *. 0.4);
+    ]
+
+let prop_conservation =
+  QCheck2.Test.make ~name:"lemma 2 substring conservation (qcheck)" ~count:60
+    QCheck2.Gen.(
+      let* seed = int_range 0 100000 in
+      let* n = int_range 1 12 in
+      let* tau = float_range 0.05 0.4 in
+      return (seed, n, tau))
+    (fun (seed, n, tau_min) ->
+      let u = H.random_ustring (H.rng_of_seed seed) n 3 3 in
+      try
+        ignore (check_conservation u tau_min);
+        true
+      with _ -> false)
+
+let () =
+  Alcotest.run "pti_transform"
+    [
+      ( "conservation",
+        [
+          Alcotest.test_case "random strings" `Quick test_conservation_random;
+          Alcotest.test_case "with correlations" `Quick test_conservation_correlated;
+          Alcotest.test_case "appendix B example" `Quick test_running_example_appendix_b;
+          QCheck_alcotest.to_alcotest prop_conservation;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "deterministic collapses" `Quick test_deterministic_collapses;
+          Alcotest.test_case "pos array structure" `Quick test_pos_structure;
+          Alcotest.test_case "factors reach tau_min" `Quick test_factor_probability_floor;
+          Alcotest.test_case "blowup bounded" `Slow test_blowup_bounded;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "identity transform" `Quick test_identity;
+          Alcotest.test_case "argument validation" `Quick test_bad_args;
+        ] );
+    ]

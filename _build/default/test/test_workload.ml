@@ -1,0 +1,190 @@
+(* Tests for Pti_workload: the §8.1 dataset generator and query
+   workloads. *)
+
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module P = Pti_workload.Protein_source
+module N = Pti_workload.Neighborhood
+module D = Pti_workload.Dataset
+module Q = Pti_workload.Querygen
+module H = Pti_test_helpers
+
+let test_alphabet () =
+  Alcotest.(check int) "22 letters" 22 P.alphabet_size;
+  Alcotest.(check int) "frequencies align" 22 (Array.length P.frequencies);
+  Alcotest.(check (float 1e-9)) "frequencies sum to 1" 1.0
+    (Array.fold_left ( +. ) 0.0 P.frequencies);
+  (* distinct letters *)
+  let seen = Hashtbl.create 22 in
+  String.iter
+    (fun c ->
+      if Hashtbl.mem seen c then Alcotest.fail "duplicate letter";
+      Hashtbl.replace seen c ())
+    P.alphabet
+
+let test_generate () =
+  let rng = H.rng_of_seed 91 in
+  let s = P.generate rng ~len:5000 in
+  Alcotest.(check int) "length" 5000 (String.length s);
+  String.iter
+    (fun c ->
+      if not (String.contains P.alphabet c) then
+        Alcotest.failf "letter %c outside alphabet" c)
+    s;
+  (* composition sanity: leucine (L) should be among the most common *)
+  let count c = String.fold_left (fun acc x -> if x = c then acc + 1 else acc) 0 s in
+  Alcotest.(check bool) "L more frequent than W" true (count 'L' > count 'W')
+
+let test_generate_strings () =
+  let rng = H.rng_of_seed 92 in
+  let strings = P.generate_strings rng ~total:10_000 ~min_len:20 ~max_len:45 in
+  let total = List.fold_left (fun acc s -> acc + String.length s) 0 strings in
+  Alcotest.(check int) "total preserved" 10_000 total;
+  List.iteri
+    (fun i s ->
+      (* the last fragment may be shorter *)
+      if i < List.length strings - 1 then begin
+        if String.length s < 20 || String.length s > 45 then
+          Alcotest.failf "length %d outside [20,45]" (String.length s)
+      end)
+    strings
+
+let test_perturb () =
+  let rng = H.rng_of_seed 93 in
+  let s = P.generate rng ~len:30 in
+  for _ = 1 to 50 do
+    let t = N.perturb rng s ~dist:4 in
+    Alcotest.(check int) "same length" 30 (String.length t);
+    let diff = ref 0 in
+    String.iteri (fun i c -> if c <> t.[i] then incr diff) s;
+    Alcotest.(check bool) "at most 4 substitutions" true (!diff <= 4)
+  done
+
+let test_column_pdf () =
+  let neighbors = [ "AAB"; "AAB"; "ACB"; "ADB" ] in
+  let pdf = N.column_pdf neighbors ~column:1 ~max_choices:5 in
+  Alcotest.(check int) "three letters" 3 (List.length pdf);
+  (match pdf with
+  | (c, p) :: _ ->
+      Alcotest.(check char) "most frequent first" 'A' c;
+      Alcotest.(check (float 1e-9)) "freq" 0.5 p
+  | [] -> Alcotest.fail "empty pdf");
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0
+    (List.fold_left (fun acc (_, p) -> acc +. p) 0.0 pdf);
+  (* truncation renormalises *)
+  let pdf2 = N.column_pdf neighbors ~column:1 ~max_choices:2 in
+  Alcotest.(check int) "truncated" 2 (List.length pdf2);
+  Alcotest.(check (float 1e-9)) "renormalised" 1.0
+    (List.fold_left (fun acc (_, p) -> acc +. p) 0.0 pdf2)
+
+let test_dataset_shape () =
+  let p = D.default ~total:3000 ~theta:0.3 in
+  let docs = D.collection p in
+  let total = List.fold_left (fun acc d -> acc + U.length d) 0 docs in
+  Alcotest.(check int) "total positions" 3000 total;
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "validates" true (U.validate d = Ok ());
+      Alcotest.(check bool) "max 5 choices" true (U.max_choices d <= 5))
+    docs;
+  let u = D.single p in
+  Alcotest.(check int) "single length" 3000 (U.length u)
+
+let test_dataset_theta () =
+  List.iter
+    (fun theta ->
+      let u = D.single (D.default ~total:5000 ~theta) in
+      let realised = D.uncertainty u in
+      Alcotest.(check bool)
+        (Printf.sprintf "theta %.1f realised %.3f" theta realised)
+        true
+        (Float.abs (realised -. theta) < 0.05))
+    [ 0.1; 0.3; 0.5 ]
+
+let test_dataset_deterministic_seed () =
+  let p = D.default ~total:500 ~theta:0.2 in
+  let a = D.single p and b = D.single p in
+  Alcotest.(check string) "same seed same data" (U.to_text a) (U.to_text b);
+  let c = D.single { p with seed = 7 } in
+  Alcotest.(check bool) "different seed differs" true (U.to_text a <> U.to_text c)
+
+let test_correlations_injection () =
+  let rng = H.rng_of_seed 94 in
+  let u = H.random_ustring rng 30 4 3 in
+  let u' = D.add_random_correlations rng u ~count:5 in
+  let rules = Pti_ustring.Correlation.rules (U.correlations u') in
+  Alcotest.(check bool) "some rules added" true (List.length rules > 0);
+  (* marginals unchanged — make validated rule consistency *)
+  for i = 0 to U.length u - 1 do
+    Array.iter
+      (fun (c : U.choice) ->
+        Alcotest.(check (float 1e-9)) "marginal preserved" c.prob
+          (U.prob u' ~pos:i ~sym:c.sym))
+      (U.choices u i)
+  done
+
+let test_querygen () =
+  let rng = H.rng_of_seed 95 in
+  let u = D.single (D.default ~total:1000 ~theta:0.3) in
+  List.iter
+    (fun m ->
+      let pats = Q.patterns rng u ~m ~count:20 in
+      Alcotest.(check int) "count" 20 (List.length pats);
+      List.iter
+        (fun p ->
+          Alcotest.(check int) "length" m (Array.length p);
+          Array.iter
+            (fun s ->
+              if Sym.is_separator s then Alcotest.fail "separator in pattern")
+            p)
+        pats)
+    [ 1; 4; 10; 40 ];
+  let batch = Q.pattern_batch rng u ~lengths:[ 4; 10; 5000 ] ~per_length:3 in
+  Alcotest.(check int) "overlong lengths dropped" 2 (List.length batch)
+
+let test_querygen_patterns_occur () =
+  (* patterns drawn from marginals must have nonzero marginal probability
+     at their source position — check that at least some of them match
+     with decent probability *)
+  let rng = H.rng_of_seed 96 in
+  let u = D.single (D.default ~total:500 ~theta:0.2) in
+  let hits = ref 0 in
+  for _ = 1 to 30 do
+    let pat = Q.pattern rng u ~m:4 in
+    if
+      Pti_ustring.Oracle.occurrences u ~pattern:pat
+        ~tau:(Pti_prob.Logp.of_prob 0.1)
+      <> []
+    then incr hits
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/30 queries match" !hits)
+    true (!hits > 10)
+
+let () =
+  Alcotest.run "pti_workload"
+    [
+      ( "protein_source",
+        [
+          Alcotest.test_case "alphabet" `Quick test_alphabet;
+          Alcotest.test_case "generation" `Quick test_generate;
+          Alcotest.test_case "string breaking" `Quick test_generate_strings;
+        ] );
+      ( "neighborhood",
+        [
+          Alcotest.test_case "perturbation" `Quick test_perturb;
+          Alcotest.test_case "column pdf" `Quick test_column_pdf;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "shape" `Quick test_dataset_shape;
+          Alcotest.test_case "theta tracking" `Quick test_dataset_theta;
+          Alcotest.test_case "seeded determinism" `Quick test_dataset_deterministic_seed;
+          Alcotest.test_case "correlation injection" `Quick test_correlations_injection;
+        ] );
+      ( "querygen",
+        [
+          Alcotest.test_case "pattern shapes" `Quick test_querygen;
+          Alcotest.test_case "patterns actually occur" `Quick test_querygen_patterns_occur;
+        ] );
+    ]
