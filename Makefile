@@ -1,0 +1,18 @@
+.PHONY: check check-par bench bench-par clean
+
+check:
+	dune build @all
+	dune runtest
+
+# Re-run the whole test suite with the domain pool actually engaged.
+check-par:
+	PTI_DOMAINS=4 dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+bench-par:
+	dune exec bench/main.exe -- par
+
+clean:
+	dune clean

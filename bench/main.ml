@@ -614,6 +614,133 @@ let abl_persist () =
         same)
 
 (* ------------------------------------------------------------------ *)
+(* par: multicore construction and batched queries on OCaml 5 domains.
+   Sweeps domain counts {1, 2, 4, max}, reports build/query speedups
+   against the sequential path, verifies the engines are byte-identical
+   and writes machine-readable BENCH_PAR.json. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let engine_file_bytes e =
+  let path = Filename.temp_file "pti_bench_par" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Engine.save e oc);
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+let par () =
+  let n = if !fast then 20_000 else 100_000 in
+  let theta = 0.3 in
+  let tau_min = tau_min_default in
+  let u = dataset ~n ~theta in
+  let tr, transform_s = time (fun () -> T.build ~tau_min u) in
+  let text_len = T.text_length tr in
+  let max_d = Pti_parallel.num_domains () in
+  let domain_counts =
+    List.sort_uniq compare (List.filter (fun d -> d <= Stdlib.max 4 max_d) [ 1; 2; 4; max_d ])
+  in
+  print_header "par: multicore index construction and batched queries"
+    (Printf.sprintf
+       "n=%d theta=%.1f tau_min=%.2f text N=%d; recommended domains=%d \
+        (PTI_DOMAINS overrides); transform (sequential, shared): %.2fs"
+       n theta tau_min text_len max_d transform_s);
+  let rng = Random.State.make [| 4242 |] in
+  let patterns =
+    Array.of_list
+      (List.concat_map
+         (fun m ->
+           List.map
+             (fun p -> (p, tau_default))
+             (Q.patterns rng u ~m ~count:(8 * queries_per_length ())))
+         (List.filter (fun m -> m <= n) query_lengths))
+  in
+  let key_of_pos p = p in
+  let results =
+    List.map
+      (fun d ->
+        let e, build_s =
+          time (fun () -> Engine.build ~domains:d ~key_of_pos tr)
+        in
+        let batch () =
+          let _, t =
+            time (fun () -> ignore (Engine.query_batch ~domains:d e ~patterns))
+          in
+          t /. float_of_int (Array.length patterns)
+        in
+        let q1 = batch () in
+        let q2 = batch () in
+        let q3 = batch () in
+        let query_us = Float.min q1 (Float.min q2 q3) *. 1e6 in
+        (d, e, build_s, query_us))
+      domain_counts
+  in
+  let _, e1, build1, query1 =
+    List.find (fun (d, _, _, _) -> d = 1) results
+  in
+  let reference = engine_file_bytes e1 in
+  let rows =
+    List.map
+      (fun (d, e, build_s, query_us) ->
+        let identical = String.equal reference (engine_file_bytes e) in
+        (d, build_s, query_us, identical))
+      results
+  in
+  Printf.printf "%10s %12s %12s %12s %12s %12s\n" "domains" "build_s"
+    "speedup" "query_us" "speedup" "identical";
+  List.iter
+    (fun (d, build_s, query_us, identical) ->
+      Printf.printf "%10d %12.2f %12.2f %12.1f %12.2f %12b\n" d build_s
+        (build1 /. build_s) query_us (query1 /. query_us) identical)
+    rows;
+  let oc = open_out "BENCH_PAR.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"par\",\n  \"n\": %d,\n  \"theta\": %g,\n\
+        \  \"tau_min\": %g,\n  \"text_len\": %d,\n  \"n_queries\": %d,\n\
+        \  \"recommended_domains\": %d,\n  \"transform_s\": %.4f,\n\
+        \  \"note\": \"%s\",\n  \"results\": [\n"
+        n theta tau_min text_len (Array.length patterns) max_d transform_s
+        (json_escape
+           ("engine build only; the shared general->special transform is \
+             sequential. speedups are vs domains=1 on this machine."
+           ^
+           if max_d <= 1 then
+             " WARNING: this host exposes a single core \
+              (recommended_domains=1), so domain counts > 1 oversubscribe \
+              it and speedups cannot exceed 1; rerun on a multicore host."
+           else ""));
+      List.iteri
+        (fun i (d, build_s, query_us, identical) ->
+          Printf.fprintf oc
+            "    {\"domains\": %d, \"build_s\": %.4f, \"build_speedup\": \
+             %.3f, \"query_us_per_query\": %.2f, \"query_speedup\": %.3f, \
+             \"identical_parts\": %b}%s\n"
+            d build_s (build1 /. build_s) query_us (query1 /. query_us)
+            identical
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "   wrote BENCH_PAR.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family. *)
 
 let micro () =
@@ -704,6 +831,7 @@ let experiments =
     ("abl_approx", abl_approx_variants);
     ("abl_range", abl_range);
     ("abl_persist", abl_persist);
+    ("par", par);
     ("micro", micro);
   ]
 

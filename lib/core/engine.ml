@@ -1,4 +1,5 @@
 module Logp = Pti_prob.Logp
+module Par = Pti_parallel
 module Rmq = Pti_rmq.Rmq
 module Sais = Pti_suffix.Sais
 module Lcp = Pti_suffix.Lcp
@@ -162,8 +163,12 @@ type parts = {
   p_st : Pti_suffix.Suffix_tree.t option;
 }
 
-(* Rebuild the query-ready engine from its persistent parts. *)
-let finish ~key_of_pos parts =
+(* Rebuild the query-ready engine from its persistent parts. The
+   per-level RMQ structures are mutually independent (each reads only
+   its own dead bitmap / stored array plus shared read-only data), as
+   are the per-size ladder RMQs, so both rebuilds shard levels across
+   the domain pool. *)
+let finish ?domains ~key_of_pos parts =
   let tr = parts.p_tr in
   let text = Transform.text tr in
   let pos = Transform.pos tr in
@@ -179,10 +184,15 @@ let finish ~key_of_pos parts =
     | Or_metric -> stored.(level - 1).(j)
   in
   let level_rmq =
-    Array.init parts.p_max_short (fun k ->
+    Par.parallel_map_array ?domains ~chunk:1
+      (fun k ->
         Rmq.build_oracle config.rmq_kind ~value:(level_value (k + 1)) ~len:n)
+      (Array.init parts.p_max_short (fun k -> k))
   in
-  let ladder_rmq = Array.map (Rmq.build config.rmq_kind) parts.p_ladder_max in
+  let ladder_rmq =
+    Par.parallel_map_array ?domains ~chunk:1 (Rmq.build config.rmq_kind)
+      parts.p_ladder_max
+  in
   {
     tr;
     cfg = config;
@@ -218,20 +228,20 @@ let parts_of t =
     p_st = t.st;
   }
 
-let magic = "PTI-ENGINE-1\n"
+let magic = "PTI-ENGINE-2\n"
 
 let save t oc =
   output_string oc magic;
   Marshal.to_channel oc (parts_of t) []
 
-let load ~key_of_pos ic =
+let load ?domains ~key_of_pos ic =
   let buf = really_input_string ic (String.length magic) in
   if buf <> magic then
     invalid_arg "Engine.load: bad magic (not a pti engine file)";
   let parts : parts = Marshal.from_channel ic in
-  finish ~key_of_pos parts
+  finish ?domains ~key_of_pos parts
 
-let build ?(config = default_config) ~key_of_pos tr =
+let build ?(config = default_config) ?domains ~key_of_pos tr =
   let text = Transform.text tr in
   let pos = Transform.pos tr in
   let n = Array.length text in
@@ -248,69 +258,72 @@ let build ?(config = default_config) ~key_of_pos tr =
   in
   (* Per-level duplicate elimination: within each depth-i lcp-group,
      keep one representative slot per key (Algorithm 3's "duplicate
-     elimination in C_i"). Scratch arrays are reused across groups and
-     levels to keep construction allocation-free on the hot path. *)
-  let scratch_v = Array.make n 0.0 in
-  let scratch_key = Array.make n (-1) in
-  let best = Hashtbl.create 256 in
-  (* key -> representative slot of the current group *)
-  for level = 1 to n_levels do
-    let j = ref 0 in
-    while !j < n do
-      let g0 = !j in
-      let g1 = ref (g0 + 1) in
-      while !g1 < n && lcp.(!g1) >= level do
-        incr g1
-      done;
-      Hashtbl.reset best;
-      for s = g0 to !g1 - 1 do
-        let v = slot_value s level in
-        scratch_v.(s) <- v;
-        if v = neg_infinity then begin
-          bit_set dead.(level - 1) s;
-          scratch_key.(s) <- -1
-        end
-        else begin
-          let key = key_of_pos pos.(sa.(s)) in
-          scratch_key.(s) <- key;
-          match Hashtbl.find_opt best key with
-          | None -> Hashtbl.replace best key s
-          | Some b -> if v > scratch_v.(b) then Hashtbl.replace best key s
-        end
-      done;
-      (match config.metric with
-      | Max ->
-          for s = g0 to !g1 - 1 do
-            if scratch_key.(s) >= 0 && Hashtbl.find best scratch_key.(s) <> s
-            then bit_set dead.(level - 1) s
-          done
-      | Or_metric ->
-          (* Per key, OR-combine over the key's distinct positions and
-             store the result at the representative slot. *)
-          let occ = Hashtbl.create 16 in
-          for s = g0 to !g1 - 1 do
-            if scratch_key.(s) >= 0 then begin
-              let key = scratch_key.(s) in
-              let h =
-                match Hashtbl.find_opt occ key with
-                | Some h -> h
-                | None ->
-                    let h = Hashtbl.create 4 in
-                    Hashtbl.replace occ key h;
-                    h
-              in
-              Hashtbl.replace h pos.(sa.(s)) scratch_v.(s)
-            end
-          done;
-          Hashtbl.iter
-            (fun key h ->
-              let rep = Hashtbl.find best key in
-              let entries = Hashtbl.fold (fun p l acc -> (p, l) :: acc) h [] in
-              stored.(level - 1).(rep) <- or_value entries)
-            occ);
-      j := !g1
-    done
-  done;
+     elimination in C_i"). Levels are mutually independent — level i
+     reads only shared immutable data (sa, lcp, pos, the transform) and
+     writes only dead.(i-1) / stored.(i-1) — so they are sharded across
+     the domain pool. Scratch arrays are per-domain and reused across
+     groups and levels to keep construction allocation-free on the hot
+     path. *)
+  Par.parallel_for_init ?domains ~chunk:1 ~start:1 ~finish:n_levels
+    ~init:(fun () ->
+      (* (values, keys, key -> representative slot of current group) *)
+      (Array.make n 0.0, Array.make n (-1), Hashtbl.create 256))
+    (fun (scratch_v, scratch_key, best) level ->
+      let j = ref 0 in
+      while !j < n do
+        let g0 = !j in
+        let g1 = ref (g0 + 1) in
+        while !g1 < n && lcp.(!g1) >= level do
+          incr g1
+        done;
+        Hashtbl.reset best;
+        for s = g0 to !g1 - 1 do
+          let v = slot_value s level in
+          scratch_v.(s) <- v;
+          if v = neg_infinity then begin
+            bit_set dead.(level - 1) s;
+            scratch_key.(s) <- -1
+          end
+          else begin
+            let key = key_of_pos pos.(sa.(s)) in
+            scratch_key.(s) <- key;
+            match Hashtbl.find_opt best key with
+            | None -> Hashtbl.replace best key s
+            | Some b -> if v > scratch_v.(b) then Hashtbl.replace best key s
+          end
+        done;
+        (match config.metric with
+        | Max ->
+            for s = g0 to !g1 - 1 do
+              if scratch_key.(s) >= 0 && Hashtbl.find best scratch_key.(s) <> s
+              then bit_set dead.(level - 1) s
+            done
+        | Or_metric ->
+            (* Per key, OR-combine over the key's distinct positions and
+               store the result at the representative slot. *)
+            let occ = Hashtbl.create 16 in
+            for s = g0 to !g1 - 1 do
+              if scratch_key.(s) >= 0 then begin
+                let key = scratch_key.(s) in
+                let h =
+                  match Hashtbl.find_opt occ key with
+                  | Some h -> h
+                  | None ->
+                      let h = Hashtbl.create 4 in
+                      Hashtbl.replace occ key h;
+                      h
+                in
+                Hashtbl.replace h pos.(sa.(s)) scratch_v.(s)
+              end
+            done;
+            Hashtbl.iter
+              (fun key h ->
+                let rep = Hashtbl.find best key in
+                let entries = Hashtbl.fold (fun p l acc -> (p, l) :: acc) h [] in
+                stored.(level - 1).(rep) <- or_value entries)
+              occ);
+        j := !g1
+      done);
   (* Blocking ladder for long patterns. *)
   let ladder_sizes =
     match config.ladder with
@@ -324,8 +337,10 @@ let build ?(config = default_config) ~key_of_pos tr =
             "Engine.build: Ladder_full is quadratic; refusing n > 16384";
         Array.init (Stdlib.max 0 (n - max_short)) (fun k -> max_short + 1 + k)
   in
+  (* Each ladder size costs O(n) slot probes and owns its output array,
+     so the per-size block maxima are computed in parallel too. *)
   let ladder_max =
-    Array.map
+    Par.parallel_map_array ?domains ~chunk:1
       (fun s ->
         let nb = (n + s - 1) / s in
         Array.init nb (fun k ->
@@ -348,7 +363,7 @@ let build ?(config = default_config) ~key_of_pos tr =
     | Rs_tree -> Some (Pti_suffix.Suffix_tree.build ~sa ~lcp ~text_len:n)
     | Rs_binary | Rs_fm -> None
   in
-  finish ~key_of_pos
+  finish ?domains ~key_of_pos
     {
       p_cfg = config;
       p_tr = tr;
@@ -545,12 +560,26 @@ let query_top_k t ~pattern ~tau ~k =
   if k < 0 then invalid_arg "Engine.query_top_k: negative k";
   List.of_seq (Seq.take k (stream t ~pattern ~tau))
 
+(* Queries only read the engine (suffix/LCP arrays, RMQ structures,
+   bitmaps, the transform — all immutable after [finish]); per-query
+   traversal state (heaps, hash tables) is allocated locally. So a batch
+   shards across the pool with no locking, each query writing only its
+   own result slot. *)
+let query_batch ?domains t ~patterns =
+  let nq = Array.length patterns in
+  let out = Array.make nq [] in
+  Par.parallel_for ?domains ~start:0 ~finish:(nq - 1) (fun i ->
+      let pattern, tau = patterns.(i) in
+      out.(i) <- query t ~pattern ~tau);
+  out
+
 let size_words t =
   let rmq_words =
     Array.fold_left (fun acc r -> acc + Rmq.size_words r) 0 t.level_rmq
     + Array.fold_left (fun acc r -> acc + Rmq.size_words r) 0 t.ladder_rmq
   in
-  let dead_words = Array.length t.dead * ((t.n / 64) + 1) in
+  (* each dead bitmap is (n+7)/8 bytes, i.e. ceil(bytes/8) words *)
+  let dead_words = Array.length t.dead * ((((t.n + 7) / 8) + 7) / 8) in
   let stored_words =
     Array.fold_left (fun acc a -> acc + Array.length a) 0 t.stored
   in

@@ -67,12 +67,23 @@ type t
 
 val build :
   ?config:config ->
+  ?domains:int ->
   key_of_pos:(int -> int) ->
   Pti_transform.Transform.t ->
   t
 (** [key_of_pos] maps an original uncertain-string position to the
     output key; it must be total on positions occurring in the
-    transform. *)
+    transform. It may be called concurrently from several domains and
+    must be pure (every supplied key function is a plain array/identity
+    lookup).
+
+    [?domains] sets the construction parallelism (default:
+    [Pti_parallel.num_domains ()], i.e. [PTI_DOMAINS] or the hardware
+    count). The per-level duplicate-elimination sweeps, the ladder block
+    maxima and the per-level RMQ builds run one level per domain; the
+    result is byte-identical for every domain count because each level
+    owns its outputs outright. [domains:1] runs the exact sequential
+    code path. *)
 
 val transform : t -> Pti_transform.Transform.t
 val config : t -> config
@@ -106,6 +117,21 @@ val query_top_k :
     the top-k flavour of the Hon–Shah–Vitter framework the paper builds
     on (§7). *)
 
+val query_batch :
+  ?domains:int ->
+  t ->
+  patterns:(Pti_ustring.Sym.t array * float) array ->
+  (int * Logp.t) list array
+(** [query_batch t ~patterns] answers [patterns.(i) = (pattern, tau)]
+    into slot [i] of the result, sharding the batch across the domain
+    pool ([?domains] as in {!build}). Safe without any locking because
+    queries only {e read} the engine: every structure ([sa], [lcp], the
+    RMQs, bitmaps, the transform) is immutable after construction, and
+    per-query traversal state is allocated per query. Results are
+    identical to mapping {!query} over the batch, for every domain
+    count. Raises (the first) [Invalid_argument] raised by an invalid
+    pattern/τ in the batch. *)
+
 val size_words : t -> int
 val stats : t -> string
 
@@ -121,7 +147,9 @@ val stats : t -> string
 
 val save : t -> out_channel -> unit
 
-val load : key_of_pos:(int -> int) -> in_channel -> t
+val load : ?domains:int -> key_of_pos:(int -> int) -> in_channel -> t
 (** [key_of_pos] must be the same mapping used at build time (the
     identity for substring indexes; wrappers persist what they need to
-    reconstruct theirs). Raises [Invalid_argument] on a bad header. *)
+    reconstruct theirs). Raises [Invalid_argument] on a bad header.
+    The per-level RMQ rebuild is sharded across domains exactly as in
+    {!build}. *)

@@ -5,12 +5,13 @@ module Transform = Pti_transform.Transform
 
 type t = { engine : Engine.t }
 
-let build ?config ?max_text_len ~tau_min u =
+let build ?config ?domains ?max_text_len ~tau_min u =
   if Ustring.length u = 0 then invalid_arg "General_index.build: empty string";
   let tr = Transform.build ?max_text_len ~tau_min u in
-  { engine = Engine.build ?config ~key_of_pos:(fun p -> p) tr }
+  { engine = Engine.build ?config ?domains ~key_of_pos:(fun p -> p) tr }
 
 let query t ~pattern ~tau = Engine.query t.engine ~pattern ~tau
+let query_batch ?domains t ~patterns = Engine.query_batch ?domains t.engine ~patterns
 let query_string t ~pattern ~tau = query t ~pattern:(Sym.of_string pattern) ~tau
 let count t ~pattern ~tau = Engine.count t.engine ~pattern ~tau
 let stream t ~pattern ~tau = Engine.stream t.engine ~pattern ~tau
@@ -26,7 +27,7 @@ let save t path =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       Engine.save t.engine oc)
 
-let load path =
+let load ?domains path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      { engine = Engine.load ~key_of_pos:(fun p -> p) ic })
+      { engine = Engine.load ?domains ~key_of_pos:(fun p -> p) ic })

@@ -14,16 +14,27 @@ type t
 
 val build :
   ?config:Engine.config ->
+  ?domains:int ->
   ?max_text_len:int ->
   tau_min:float ->
   Pti_ustring.Ustring.t ->
   t
+(** [?domains] sets construction parallelism (see {!Engine.build});
+    the built index is byte-identical for every domain count. *)
 
 val query :
   t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list
 (** Distinct starting positions with matching probability strictly above
     [tau ≥ tau_min], most probable first. Raises [Invalid_argument] if
     [tau < tau_min]. *)
+
+val query_batch :
+  ?domains:int ->
+  t ->
+  patterns:(Pti_ustring.Sym.t array * float) array ->
+  (int * Logp.t) list array
+(** Batched {!query} sharded across the domain pool; see
+    {!Engine.query_batch}. *)
 
 val query_string : t -> pattern:string -> tau:float -> (int * Logp.t) list
 val count : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> int
@@ -47,6 +58,6 @@ val save : t -> string -> unit
 (** Persist the index to a file (see {!Engine.save} for format and
     caveats). *)
 
-val load : string -> t
+val load : ?domains:int -> string -> t
 (** Load a previously saved index; skips the expensive construction
-    passes. *)
+    passes. The RMQ rebuild is sharded across [?domains]. *)

@@ -12,7 +12,7 @@ type t = {
 }
 
 let build ?(rmq_kind = Pti_rmq.Rmq.Succinct) ?(ladder = Engine.Ladder_geometric)
-    ?(relevance = Rel_max) ?max_text_len ~tau_min docs =
+    ?(relevance = Rel_max) ?domains ?max_text_len ~tau_min docs =
   if docs = [] then invalid_arg "Listing_index.build: empty collection";
   List.iteri
     (fun k d ->
@@ -37,12 +37,13 @@ let build ?(rmq_kind = Pti_rmq.Rmq.Succinct) ?(ladder = Engine.Ladder_geometric)
     match relevance with Rel_max -> Engine.Max | Rel_or -> Engine.Or_metric
   in
   let config = { Engine.default_config with rmq_kind; ladder; metric } in
-  let engine = Engine.build ~config ~key_of_pos:(fun p -> doc_of.(p)) tr in
+  let engine = Engine.build ~config ?domains ~key_of_pos:(fun p -> doc_of.(p)) tr in
   { engine; docs = Array.of_list docs; relevance }
 
 let n_docs t = Array.length t.docs
 let doc t k = t.docs.(k)
 let query t ~pattern ~tau = Engine.query t.engine ~pattern ~tau
+let query_batch ?domains t ~patterns = Engine.query_batch ?domains t.engine ~patterns
 let query_string t ~pattern ~tau = query t ~pattern:(Sym.of_string pattern) ~tau
 let count t ~pattern ~tau = Engine.count t.engine ~pattern ~tau
 let stream t ~pattern ~tau = Engine.stream t.engine ~pattern ~tau
@@ -76,10 +77,10 @@ let save t path =
       Marshal.to_channel oc (t.docs, t.relevance) [];
       Engine.save t.engine oc)
 
-let load path =
+let load ?domains path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
       let docs, relevance = (Marshal.from_channel ic : Ustring.t array * relevance) in
       let doc_of = doc_map docs in
-      let engine = Engine.load ~key_of_pos:(fun p -> doc_of.(p)) ic in
+      let engine = Engine.load ?domains ~key_of_pos:(fun p -> doc_of.(p)) ic in
       { engine; docs; relevance })

@@ -31,13 +31,15 @@ val build :
   ?rmq_kind:Pti_rmq.Rmq.kind ->
   ?ladder:Engine.ladder ->
   ?relevance:relevance ->
+  ?domains:int ->
   ?max_text_len:int ->
   tau_min:float ->
   Pti_ustring.Ustring.t list ->
   t
 (** Default relevance is [Rel_max]. [Rel_or] retains per-level value
     arrays (O(N log N) floats) — see DESIGN.md §2.6. Raises
-    [Invalid_argument] on an empty collection or empty documents. *)
+    [Invalid_argument] on an empty collection or empty documents.
+    [?domains] sets construction parallelism (see {!Engine.build}). *)
 
 val n_docs : t -> int
 val doc : t -> int -> Pti_ustring.Ustring.t
@@ -46,6 +48,14 @@ val query :
   t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list
 (** Document ids whose relevance for the pattern strictly exceeds [tau],
     most relevant first. *)
+
+val query_batch :
+  ?domains:int ->
+  t ->
+  patterns:(Pti_ustring.Sym.t array * float) array ->
+  (int * Logp.t) list array
+(** Batched {!query} sharded across the domain pool; see
+    {!Engine.query_batch}. *)
 
 val query_string : t -> pattern:string -> tau:float -> (int * Logp.t) list
 val count : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> int
@@ -67,4 +77,4 @@ val save : t -> string -> unit
 (** Persist the index (documents, relevance metric and engine data) to
     a file; see {!Engine.save} for format and caveats. *)
 
-val load : string -> t
+val load : ?domains:int -> string -> t

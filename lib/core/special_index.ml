@@ -5,12 +5,13 @@ module Transform = Pti_transform.Transform
 
 type t = { engine : Engine.t }
 
-let build ?config u =
+let build ?config ?domains u =
   if Ustring.length u = 0 then invalid_arg "Special_index.build: empty string";
   let tr = Transform.identity u in
-  { engine = Engine.build ?config ~key_of_pos:(fun p -> p) tr }
+  { engine = Engine.build ?config ?domains ~key_of_pos:(fun p -> p) tr }
 
 let query t ~pattern ~tau = Engine.query t.engine ~pattern ~tau
+let query_batch ?domains t ~patterns = Engine.query_batch ?domains t.engine ~patterns
 let query_string t ~pattern ~tau = query t ~pattern:(Sym.of_string pattern) ~tau
 let count t ~pattern ~tau = Engine.count t.engine ~pattern ~tau
 let stream t ~pattern ~tau = Engine.stream t.engine ~pattern ~tau

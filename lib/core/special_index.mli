@@ -11,14 +11,23 @@ module Logp = Pti_prob.Logp
 
 type t
 
-val build : ?config:Engine.config -> Pti_ustring.Ustring.t -> t
+val build : ?config:Engine.config -> ?domains:int -> Pti_ustring.Ustring.t -> t
 (** Raises [Invalid_argument] if the string is not special or is
-    empty. *)
+    empty. [?domains] sets construction parallelism (see
+    {!Engine.build}). *)
 
 val query :
   t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list
 (** Starting positions where the pattern matches with probability
     strictly above [tau], most probable first. *)
+
+val query_batch :
+  ?domains:int ->
+  t ->
+  patterns:(Pti_ustring.Sym.t array * float) array ->
+  (int * Logp.t) list array
+(** Batched {!query} sharded across the domain pool; see
+    {!Engine.query_batch}. *)
 
 val query_string : t -> pattern:string -> tau:float -> (int * Logp.t) list
 val count : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> int

@@ -1,0 +1,265 @@
+(* Persistent domain pool. One pool per process, created lazily and
+   grown on demand up to [max_domains - 1] workers; the calling domain
+   always participates in the region it submits, so a degree-d region
+   uses d-1 workers + the caller.
+
+   Protocol: regions are serialized by [region_m]. The submitter
+   publishes a job as (generation, body, tickets); every worker
+   observes each generation exactly once and either grabs a ticket
+   (joining the region) or skips it, so a region runs on exactly the
+   requested number of domains even when the pool is larger. Work
+   *within* a region is distributed by an atomic chunk counter inside
+   the body closure, not by the pool. *)
+
+let max_domains = 128
+
+let parse_domains s =
+  match int_of_string_opt (String.trim s) with
+  | Some d when d >= 1 -> Stdlib.min d max_domains
+  | Some _ -> 1
+  | None -> 1
+
+let num_domains () =
+  match Sys.getenv_opt "PTI_DOMAINS" with
+  | Some s -> parse_domains s
+  | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+
+type pool = {
+  m : Mutex.t;
+  ready : Condition.t; (* a new generation was published *)
+  finished : Condition.t; (* the current region fully drained *)
+  region_m : Mutex.t; (* serializes regions *)
+  mutable workers : unit Domain.t list;
+  mutable n_workers : int;
+  mutable generation : int;
+  mutable body : unit -> unit;
+  mutable tickets : int; (* workers still allowed to join the region *)
+  mutable running : int; (* workers inside the region's body *)
+  mutable exn : (exn * Printexc.raw_backtrace) option;
+  mutable shutdown : bool;
+}
+
+(* True inside a pool worker: nested parallel calls degrade to the
+   sequential path instead of deadlocking on [region_m]. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let record_exn p e bt =
+  Mutex.lock p.m;
+  if p.exn = None then p.exn <- Some (e, bt);
+  Mutex.unlock p.m
+
+let rec worker_loop p gen =
+  Mutex.lock p.m;
+  while p.generation = gen && not p.shutdown do
+    Condition.wait p.ready p.m
+  done;
+  if p.shutdown then Mutex.unlock p.m
+  else begin
+    let gen = p.generation in
+    let job =
+      if p.tickets > 0 then begin
+        p.tickets <- p.tickets - 1;
+        p.running <- p.running + 1;
+        Some p.body
+      end
+      else None
+    in
+    Mutex.unlock p.m;
+    (match job with
+    | None -> ()
+    | Some body ->
+        (try body ()
+         with e -> record_exn p e (Printexc.get_raw_backtrace ()));
+        Mutex.lock p.m;
+        p.running <- p.running - 1;
+        if p.running = 0 && p.tickets = 0 then Condition.broadcast p.finished;
+        Mutex.unlock p.m);
+    worker_loop p gen
+  end
+
+let the_pool : pool option ref = ref None
+let pool_m = Mutex.create ()
+let at_exit_registered = ref false
+
+let create_pool () =
+  {
+    m = Mutex.create ();
+    ready = Condition.create ();
+    finished = Condition.create ();
+    region_m = Mutex.create ();
+    workers = [];
+    n_workers = 0;
+    generation = 0;
+    body = ignore;
+    tickets = 0;
+    running = 0;
+    exn = None;
+    shutdown = false;
+  }
+
+let shutdown_pool p =
+  Mutex.lock p.m;
+  p.shutdown <- true;
+  Condition.broadcast p.ready;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.workers
+
+let shutdown () =
+  Mutex.lock pool_m;
+  let p = !the_pool in
+  the_pool := None;
+  Mutex.unlock pool_m;
+  Option.iter shutdown_pool p
+
+let get_pool () =
+  Mutex.lock pool_m;
+  let p =
+    match !the_pool with
+    | Some p -> p
+    | None ->
+        let p = create_pool () in
+        the_pool := Some p;
+        if not !at_exit_registered then begin
+          at_exit_registered := true;
+          Stdlib.at_exit shutdown
+        end;
+        p
+  in
+  Mutex.unlock pool_m;
+  p
+
+(* Grow the pool to [n] workers. Called with [region_m] held and no
+   region in flight, so [p.generation] is stable. *)
+let ensure_workers p n =
+  let n = Stdlib.min n (max_domains - 1) in
+  while p.n_workers < n do
+    Mutex.lock p.m;
+    let gen = p.generation in
+    Mutex.unlock p.m;
+    let d =
+      Domain.spawn (fun () ->
+          Domain.DLS.set in_worker true;
+          worker_loop p gen)
+    in
+    p.workers <- d :: p.workers;
+    p.n_workers <- p.n_workers + 1
+  done
+
+(* Run [body] on [participants] domains: this one plus
+   [participants - 1] pool workers. Each participant calls [body ()]
+   once; the body is expected to self-distribute work (chunk counter). *)
+let region ~participants body =
+  let p = get_pool () in
+  Mutex.lock p.region_m;
+  ensure_workers p (participants - 1);
+  let participants = Stdlib.min participants (p.n_workers + 1) in
+  Mutex.lock p.m;
+  p.body <- body;
+  p.exn <- None;
+  p.tickets <- participants - 1;
+  p.generation <- p.generation + 1;
+  Condition.broadcast p.ready;
+  Mutex.unlock p.m;
+  (try body () with e -> record_exn p e (Printexc.get_raw_backtrace ()));
+  Mutex.lock p.m;
+  while p.running > 0 || p.tickets > 0 do
+    Condition.wait p.finished p.m
+  done;
+  let ex = p.exn in
+  p.exn <- None;
+  p.body <- ignore;
+  Mutex.unlock p.m;
+  Mutex.unlock p.region_m;
+  match ex with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let resolve_domains ?domains n =
+  if n <= 1 then 1
+  else begin
+    let d =
+      match domains with
+      | Some d -> if d < 1 then 1 else Stdlib.min d max_domains
+      | None -> num_domains ()
+    in
+    let d = Stdlib.min d n in
+    if Domain.DLS.get in_worker then 1 else d
+  end
+
+let parallel_for_init ?domains ?chunk ~start ~finish ~init body =
+  let n = finish - start + 1 in
+  if n > 0 then begin
+    let d = resolve_domains ?domains n in
+    if d <= 1 then begin
+      (* exact sequential path: no pool, plain loop *)
+      let st = init () in
+      for i = start to finish do
+        body st i
+      done
+    end
+    else begin
+      let csize =
+        match chunk with
+        | Some c -> Stdlib.max 1 c
+        | None -> Stdlib.max 1 ((n + (4 * d) - 1) / (4 * d))
+      in
+      let n_chunks = (n + csize - 1) / csize in
+      let next = Atomic.make 0 in
+      let work () =
+        (* one private state per participating domain, created lazily so
+           participants that never get a chunk allocate nothing *)
+        let st = ref None in
+        let rec loop () =
+          let c = Atomic.fetch_and_add next 1 in
+          if c < n_chunks then begin
+            let s =
+              match !st with
+              | Some s -> s
+              | None ->
+                  let s = init () in
+                  st := Some s;
+                  s
+            in
+            let lo = start + (c * csize) in
+            let hi = Stdlib.min finish (lo + csize - 1) in
+            for i = lo to hi do
+              body s i
+            done;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      region ~participants:d work
+    end
+  end
+
+let parallel_for ?domains ?chunk ~start ~finish f =
+  let n = finish - start + 1 in
+  if n > 0 then begin
+    let d = resolve_domains ?domains n in
+    if d <= 1 then
+      for i = start to finish do
+        f i
+      done
+    else
+      parallel_for_init ~domains:d ?chunk ~start ~finish
+        ~init:(fun () -> ())
+        (fun () i -> f i)
+  end
+
+let parallel_map_array ?domains ?chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let d = resolve_domains ?domains n in
+    if d <= 1 then Array.map f a
+    else begin
+      let out = Array.make n None in
+      parallel_for ~domains:d ?chunk ~start:0 ~finish:(n - 1) (fun i ->
+          out.(i) <- Some (f a.(i)));
+      Array.map
+        (function Some v -> v | None -> assert false)
+        out
+    end
+  end

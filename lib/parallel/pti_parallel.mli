@@ -1,0 +1,72 @@
+(** A small, dependency-free parallel runtime on OCaml 5 domains.
+
+    One process-wide pool of worker domains is created lazily on the
+    first parallel call and reused for every subsequent one (spawning a
+    domain costs ~ms; index construction issues many short parallel
+    regions). The pool is built on stdlib [Domain]/[Mutex]/[Condition]
+    only.
+
+    Work distribution is dynamic (chunks handed out from an atomic
+    counter), so callers must only submit bodies whose iterations are
+    mutually independent — each iteration may write exclusively to state
+    it owns (e.g. its own slot of a result array). Under that contract
+    every combinator is deterministic: results do not depend on the
+    number of domains or on scheduling.
+
+    Degree of parallelism, in decreasing precedence:
+
+    - the [?domains] argument of each combinator;
+    - the [PTI_DOMAINS] environment variable (garbage, [0] or negative
+      values fall back to [1], i.e. sequential);
+    - [Domain.recommended_domain_count ()].
+
+    With an effective degree of 1 every combinator takes the exact
+    sequential code path: no pool is created, no domain is spawned, and
+    iteration order is the plain left-to-right loop. Parallel calls
+    issued from inside a pool worker (accidental nesting) also degrade
+    to the sequential path instead of deadlocking. *)
+
+val num_domains : unit -> int
+(** The default degree of parallelism: [PTI_DOMAINS] if set (parsed
+    with {!parse_domains}), else [Domain.recommended_domain_count ()].
+    Always >= 1. *)
+
+val parse_domains : string -> int
+(** Parse a [PTI_DOMAINS]-style value. Garbage, [0] and negative values
+    fall back to [1]; positive values are capped at {!max_domains}. *)
+
+val max_domains : int
+(** Hard cap on the pool size (worker domains are real OS threads). *)
+
+val parallel_for :
+  ?domains:int -> ?chunk:int -> start:int -> finish:int -> (int -> unit) ->
+  unit
+(** [parallel_for ~start ~finish f] runs [f i] for every
+    [start <= i <= finish] (inclusive, empty when [finish < start]).
+    [?chunk] overrides the grain of work distribution (default:
+    range / (4 * domains)). Exceptions raised by iterations are
+    re-raised in the caller (first one wins); remaining chunks may still
+    run. *)
+
+val parallel_for_init :
+  ?domains:int ->
+  ?chunk:int ->
+  start:int ->
+  finish:int ->
+  init:(unit -> 'a) ->
+  ('a -> int -> unit) ->
+  unit
+(** Like {!parallel_for}, but each participating domain lazily creates
+    one private state value with [init] and passes it to every iteration
+    it executes — the idiom for reusable scratch buffers (sequential
+    path: one [init], one plain loop). The state must not be shared
+    outside the iterations that own it. *)
+
+val parallel_map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_array f a] is [Array.map f a] with the applications
+    of [f] distributed over the pool. [f] must be safe to call
+    concurrently. *)
+
+val shutdown : unit -> unit
+(** Join all pool workers. Called automatically [at_exit]; exposed for
+    tests. Subsequent parallel calls recreate the pool. *)

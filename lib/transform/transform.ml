@@ -46,6 +46,11 @@ type t = {
   parray : Parray.t;
   n_factors : int;
   n_skipped : int;
+  has_correlations : bool;
+      (* cached [not (Correlation.is_empty (Ustring.correlations source))]:
+         [window_logp_corrected] is called O(N log N) times during index
+         construction and must not pay the correlation lookup when the
+         rule set is empty *)
 }
 
 (* An emitted factor: start position in the source and its symbols. *)
@@ -178,6 +183,7 @@ let build ?max_text_len ~tau_min u =
     parray;
     n_factors = !n_factors;
     n_skipped = !n_skipped;
+    has_correlations = not (Correlation.is_empty corr);
   }
 
 let identity u =
@@ -199,6 +205,7 @@ let identity u =
     parray = Parray.of_logps logs;
     n_factors = 1;
     n_skipped = 0;
+    has_correlations = not (Correlation.is_empty (Ustring.correlations u));
   }
 
 let source t = t.source
@@ -211,35 +218,40 @@ let parray t = t.parray
 
 let window_logp t ~pos ~len = Parray.window t.parray ~pos ~len
 
+let has_correlations t = t.has_correlations
+
 let window_logp_corrected t ~pos:a ~len =
-  let base = window_logp t ~pos:a ~len in
-  let corr = Ustring.correlations t.source in
-  if Correlation.is_empty corr || Logp.is_zero base then base
+  if not t.has_correlations then window_logp t ~pos:a ~len
   else begin
-    let orig = t.pos.(a) in
-    let rules = Correlation.affecting_window corr ~pos:orig ~len in
-    let adjust acc (r : Correlation.rule) =
-      if r.src_pos >= orig && r.src_pos < orig + len then begin
-        (* Source inside the window: replace the dependent character's
-           marginal with the conditional chosen by the window content. *)
-        let dep_sym_actual = t.text.(a + (r.dep_pos - orig)) in
-        if dep_sym_actual <> r.dep_sym then acc
-        else begin
-          let src_sym_actual = t.text.(a + (r.src_pos - orig)) in
-          let cond =
-            if src_sym_actual = r.src_sym then r.p_present else r.p_absent
-          in
-          if cond <= 0.0 then neg_infinity
+    let base = window_logp t ~pos:a ~len in
+    if Logp.is_zero base then base
+    else begin
+      let corr = Ustring.correlations t.source in
+      let orig = t.pos.(a) in
+      let rules = Correlation.affecting_window corr ~pos:orig ~len in
+      let adjust acc (r : Correlation.rule) =
+        if r.src_pos >= orig && r.src_pos < orig + len then begin
+          (* Source inside the window: replace the dependent character's
+             marginal with the conditional chosen by the window content. *)
+          let dep_sym_actual = t.text.(a + (r.dep_pos - orig)) in
+          if dep_sym_actual <> r.dep_sym then acc
           else begin
-            let marg = Ustring.prob t.source ~pos:r.dep_pos ~sym:r.dep_sym in
-            acc -. log marg +. log cond
+            let src_sym_actual = t.text.(a + (r.src_pos - orig)) in
+            let cond =
+              if src_sym_actual = r.src_sym then r.p_present else r.p_absent
+            in
+            if cond <= 0.0 then neg_infinity
+            else begin
+              let marg = Ustring.prob t.source ~pos:r.dep_pos ~sym:r.dep_sym in
+              acc -. log marg +. log cond
+            end
           end
         end
-      end
-      else acc (* source outside: the stored marginal mixture is exact *)
-    in
-    let raw = List.fold_left adjust (Logp.to_log base) rules in
-    if raw = neg_infinity then Logp.zero else Logp.of_log (Float.min 0.0 raw)
+        else acc (* source outside: the stored marginal mixture is exact *)
+      in
+      let raw = List.fold_left adjust (Logp.to_log base) rules in
+      if raw = neg_infinity then Logp.zero else Logp.of_log (Float.min 0.0 raw)
+    end
   end
 
 let factor_suffix_lengths t =

@@ -70,6 +70,11 @@ val parray : t -> Pti_prob.Parray.t
 val window_logp : t -> pos:int -> len:int -> Pti_prob.Logp.t
 (** Marginal window product in the text. O(1). *)
 
+val has_correlations : t -> bool
+(** Whether the source string carries any correlation rule; cached at
+    construction so the hot window-probability path can skip the
+    correlation machinery entirely on correlation-free inputs. *)
+
 val window_logp_corrected : t -> pos:int -> len:int -> Pti_prob.Logp.t
 (** Window product with the correlation correction of §4.1 applied
     (conditional probability when the source position falls inside the

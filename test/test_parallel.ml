@@ -1,0 +1,269 @@
+(* Tests for the Pti_parallel domain pool and for the determinism of
+   parallel index construction: building with any number of domains
+   must produce byte-identical persisted engines and identical query
+   answers, because every parallel loop writes only to state its
+   iteration owns. *)
+
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Logp = Pti_prob.Logp
+module Engine = Pti_core.Engine
+module G = Pti_core.General_index
+module L = Pti_core.Listing_index
+module Par = Pti_parallel
+module H = Pti_test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* The pool combinators themselves. *)
+
+let test_parallel_for () =
+  List.iter
+    (fun domains ->
+      let n = 1000 in
+      let a = Array.make n (-1) in
+      Par.parallel_for ~domains ~start:0 ~finish:(n - 1) (fun i ->
+          a.(i) <- i * i);
+      Array.iteri
+        (fun i v -> Alcotest.(check int) "slot" (i * i) v)
+        a;
+      (* empty and single-element ranges *)
+      Par.parallel_for ~domains ~start:5 ~finish:4 (fun _ ->
+          Alcotest.fail "body run on empty range");
+      let hit = ref 0 in
+      Par.parallel_for ~domains ~start:7 ~finish:7 (fun i ->
+          if i = 7 then incr hit);
+      Alcotest.(check int) "single iteration" 1 !hit)
+    [ 1; 2; 4 ]
+
+let test_parallel_map () =
+  List.iter
+    (fun domains ->
+      let a = Array.init 257 (fun i -> i) in
+      let b = Par.parallel_map_array ~domains (fun x -> (2 * x) + 1) a in
+      Alcotest.(check (array int)) "map" (Array.map (fun x -> (2 * x) + 1) a) b;
+      Alcotest.(check (array int)) "empty" [||]
+        (Par.parallel_map_array ~domains (fun x -> x) [||]))
+    [ 1; 3 ]
+
+let test_parallel_for_init () =
+  List.iter
+    (fun domains ->
+      (* every iteration sees a per-domain state created by init, and
+         every index is visited exactly once *)
+      let visited = Array.make 201 0 in
+      let inits = Atomic.make 0 in
+      Par.parallel_for_init ~domains ~chunk:7 ~start:0 ~finish:200
+        ~init:(fun () ->
+          ignore (Atomic.fetch_and_add inits 1);
+          Buffer.create 8)
+        (fun buf i ->
+          Buffer.add_char buf 'x';
+          visited.(i) <- visited.(i) + 1);
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int) (Printf.sprintf "visited %d once" i) 1 c)
+        visited;
+      Alcotest.(check bool) "at most one init per domain" true
+        (Atomic.get inits >= 1 && Atomic.get inits <= domains))
+    [ 1; 2; 4 ]
+
+let test_exceptions_propagate () =
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool) "exception reraised" true
+        (try
+           Par.parallel_for ~domains ~start:0 ~finish:99 (fun i ->
+               if i = 63 then failwith "boom");
+           false
+         with Failure m -> m = "boom"))
+    [ 1; 4 ]
+
+let test_parse_domains () =
+  List.iter
+    (fun (s, want) ->
+      Alcotest.(check int) (Printf.sprintf "parse %S" s) want
+        (Par.parse_domains s))
+    [
+      ("garbage", 1);
+      ("", 1);
+      ("0", 1);
+      ("-3", 1);
+      ("1", 1);
+      ("4", 4);
+      (" 8 ", 8);
+      ("2x", 1);
+      ("3.5", 1);
+      ("100000", Par.max_domains);
+    ]
+
+let test_env_fallback () =
+  (* PTI_DOMAINS drives num_domains; garbage / 0 / negative fall back
+     to 1 (sequential), unset falls back to the hardware count. *)
+  let with_env v f =
+    Unix.putenv "PTI_DOMAINS" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "PTI_DOMAINS" "") f
+  in
+  with_env "3" (fun () ->
+      Alcotest.(check int) "PTI_DOMAINS=3" 3 (Par.num_domains ()));
+  with_env "garbage" (fun () ->
+      Alcotest.(check int) "PTI_DOMAINS=garbage" 1 (Par.num_domains ()));
+  with_env "0" (fun () ->
+      Alcotest.(check int) "PTI_DOMAINS=0" 1 (Par.num_domains ()));
+  with_env "-2" (fun () ->
+      Alcotest.(check int) "PTI_DOMAINS=-2" 1 (Par.num_domains ()));
+  (* empty string is garbage too *)
+  Alcotest.(check int) "PTI_DOMAINS=empty" 1 (Par.num_domains ())
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of parallel construction. *)
+
+let engine_bytes g =
+  let path = Filename.temp_file "pti_par" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      G.save g path;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+let domain_counts = [ 1; 2; 4 ]
+
+let test_build_determinism metric () =
+  let rng = H.rng_of_seed 91 in
+  for _ = 1 to 8 do
+    let n = 30 + Random.State.int rng 60 in
+    let u = H.random_ustring rng n 4 3 in
+    let u = Pti_workload.Dataset.add_random_correlations rng u ~count:4 in
+    let config = { Engine.default_config with metric } in
+    let built =
+      List.map (fun d -> (d, G.build ~config ~domains:d ~tau_min:0.1 u))
+        domain_counts
+    in
+    let reference = engine_bytes (snd (List.hd built)) in
+    List.iter
+      (fun (d, g) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "parts byte-identical at domains=%d" d)
+          true
+          (String.equal reference (engine_bytes g)))
+      (List.tl built);
+    (* identical query / query_batch / query_top_k answers *)
+    let patterns =
+      Array.init 12 (fun _ ->
+          (H.random_pattern rng u 10, 0.1 +. Random.State.float rng 0.6))
+    in
+    let g1 = snd (List.hd built) in
+    let want = Array.map (fun (p, tau) -> G.query g1 ~pattern:p ~tau) patterns in
+    List.iter
+      (fun (d, g) ->
+        Array.iteri
+          (fun i (p, tau) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "query identical at domains=%d" d)
+              true
+              (G.query g ~pattern:p ~tau = want.(i)))
+          patterns;
+        List.iter
+          (fun bd ->
+            Alcotest.(check bool)
+              (Printf.sprintf "query_batch domains=%d/%d" d bd)
+              true
+              (G.query_batch ~domains:bd g ~patterns = want))
+          domain_counts;
+        Array.iter
+          (fun (p, tau) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "top-k identical at domains=%d" d)
+              true
+              (G.query_top_k g ~pattern:p ~tau ~k:3
+              = G.query_top_k g1 ~pattern:p ~tau ~k:3))
+          patterns)
+      built
+  done
+
+let test_listing_determinism () =
+  (* Or_metric exercises the per-group OR aggregation (float sums whose
+     order must not depend on scheduling) through the listing index. *)
+  let rng = H.rng_of_seed 92 in
+  for _ = 1 to 6 do
+    let docs =
+      List.init (3 + Random.State.int rng 3) (fun _ ->
+          H.random_ustring rng (10 + Random.State.int rng 20) 3 2)
+    in
+    List.iter
+      (fun relevance ->
+        let built =
+          List.map
+            (fun d -> L.build ~relevance ~domains:d ~tau_min:0.1 docs)
+            domain_counts
+        in
+        let l1 = List.hd built in
+        for _ = 1 to 10 do
+          let d0 = List.nth docs (Random.State.int rng (List.length docs)) in
+          let pat = H.random_pattern rng d0 6 in
+          let tau = 0.1 +. Random.State.float rng 0.5 in
+          let want = L.query l1 ~pattern:pat ~tau in
+          List.iter
+            (fun l ->
+              Alcotest.(check bool) "listing identical" true
+                (L.query l ~pattern:pat ~tau = want))
+            built
+        done)
+      [ L.Rel_max; L.Rel_or ]
+  done
+
+let test_load_parallel () =
+  (* Engine.load with several domains = parallel RMQ rebuild; answers
+     must match the freshly built index. *)
+  let rng = H.rng_of_seed 93 in
+  let u = H.random_ustring rng 60 4 3 in
+  let g = G.build ~tau_min:0.1 u in
+  let path = Filename.temp_file "pti_par" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      G.save g path;
+      List.iter
+        (fun d ->
+          let g' = G.load ~domains:d path in
+          for _ = 1 to 15 do
+            let pat = H.random_pattern rng u 8 in
+            let tau = 0.1 +. Random.State.float rng 0.6 in
+            Alcotest.(check bool)
+              (Printf.sprintf "loaded (domains=%d) answers identically" d)
+              true
+              (G.query g' ~pattern:pat ~tau = G.query g ~pattern:pat ~tau)
+          done)
+        domain_counts)
+
+let () =
+  Alcotest.run "pti_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "parallel_map_array" `Quick test_parallel_map;
+          Alcotest.test_case "parallel_for_init state" `Quick
+            test_parallel_for_init;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exceptions_propagate;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "parse_domains" `Quick test_parse_domains;
+          Alcotest.test_case "PTI_DOMAINS fallback" `Quick test_env_fallback;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "Max engine byte-identical across domains" `Quick
+            (test_build_determinism Engine.Max);
+          Alcotest.test_case "Or engine byte-identical across domains" `Quick
+            (test_build_determinism Engine.Or_metric);
+          Alcotest.test_case "listing identical across domains" `Quick
+            test_listing_determinism;
+          Alcotest.test_case "parallel load answers identically" `Quick
+            test_load_parallel;
+        ] );
+    ]
