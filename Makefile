@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par clean
+.PHONY: check check-par bench bench-par bench-io clean
 
 check:
 	dune build @all
@@ -13,6 +13,10 @@ bench:
 
 bench-par:
 	dune exec bench/main.exe -- par
+
+# Persistence: legacy marshal load vs mmap open; writes BENCH_IO.json.
+bench-io:
+	dune exec bench/main.exe -- io
 
 clean:
 	dune clean

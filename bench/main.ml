@@ -635,10 +635,7 @@ let engine_file_bytes e =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Engine.save e oc);
+      Engine.save e path;
       let ic = open_in_bin path in
       Fun.protect
         ~finally:(fun () -> close_in ic)
@@ -741,6 +738,114 @@ let par () =
   Printf.printf "   wrote BENCH_PAR.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* io: persistence cost model — PTI-ENGINE-3 mmap open vs the legacy
+   marshalled format. Measures save time, file size, and the
+   load-to-first-query latency on a fresh index handle: the legacy path
+   unmarshals every array and rebuilds the RMQ layer, the mmap path is a
+   page mapping plus (by default) one checksum pass, and with
+   ~verify:false nothing but the envelope parse. Writes BENCH_IO.json. *)
+
+let io () =
+  let ns_io =
+    if !fast then [ 10_000; 100_000 ] else [ 10_000; 100_000; 1_000_000 ]
+  in
+  let theta = 0.3 in
+  print_header
+    "io: index persistence — legacy marshal load vs zero-copy mmap open"
+    (Printf.sprintf
+       "theta=%.1f tau_min=%.2f; latencies are load-to-first-query on a \
+        fresh handle"
+       theta tau_min_default);
+  Printf.printf "%10s %8s %8s %9s %9s %11s %11s %11s %9s\n" "n" "build_s"
+    "save_s" "file_MB" "legacy_MB" "legacy_ms" "mmap_ms" "noverify_ms"
+    "speedup";
+  let rng = Random.State.make [| 97 |] in
+  let rows =
+    List.map
+      (fun n ->
+        let u = dataset ~n ~theta in
+        let g, build_s = time (fun () -> G.build ~tau_min:tau_min_default u) in
+        let pat = Q.pattern rng u ~m:8 in
+        let first_query g' = ignore (G.query g' ~pattern:pat ~tau:tau_default) in
+        let path = Filename.temp_file "pti_bench_io" ".idx" in
+        let legacy_path = Filename.temp_file "pti_bench_io" ".idx2" in
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.remove path;
+            Sys.remove legacy_path)
+          (fun () ->
+            let (), save_s = time (fun () -> G.save g path) in
+            let (), legacy_save_s = time (fun () -> G.save_legacy g legacy_path) in
+            let file_b = (Unix.stat path).Unix.st_size in
+            let legacy_b = (Unix.stat legacy_path).Unix.st_size in
+            let to_first_query load =
+              let g', load_s = time load in
+              let (), q_s = time (fun () -> first_query g') in
+              (load_s, q_s)
+            in
+            let legacy_load_s, legacy_q_s =
+              to_first_query (fun () -> G.load legacy_path)
+            in
+            let open_s, open_q_s = to_first_query (fun () -> G.load path) in
+            let raw_open_s, raw_q_s =
+              to_first_query (fun () -> G.load ~verify:false path)
+            in
+            let legacy_total = legacy_load_s +. legacy_q_s in
+            let mmap_total = open_s +. open_q_s in
+            let raw_total = raw_open_s +. raw_q_s in
+            let speedup = legacy_total /. mmap_total in
+            Printf.printf
+              "%10d %8.2f %8.2f %9.1f %9.1f %11.2f %11.2f %11.2f %9.1f\n" n
+              build_s save_s
+              (float_of_int file_b /. (1024. *. 1024.))
+              (float_of_int legacy_b /. (1024. *. 1024.))
+              (legacy_total *. 1e3) (mmap_total *. 1e3) (raw_total *. 1e3)
+              speedup;
+            ( n, build_s, save_s, legacy_save_s, file_b, legacy_b,
+              legacy_load_s, legacy_q_s, open_s, open_q_s, raw_open_s,
+              raw_q_s )))
+      ns_io
+  in
+  let oc = open_out "BENCH_IO.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"io\",\n  \"theta\": %g,\n  \"tau_min\": %g,\n\
+        \  \"note\": \"%s\",\n  \"results\": [\n"
+        theta tau_min_default
+        (json_escape
+           "latencies in seconds, sizes in bytes; *_to_first_query = fresh \
+            handle open/load plus one 8-symbol query. legacy = marshalled \
+            PTI-ENGINE-2 (unmarshal + RMQ rebuild); mmap = PTI-ENGINE-3 \
+            container opened read-only via map_file (default: one checksum \
+            pass; noverify trusts array sections).");
+      List.iteri
+        (fun i
+             ( n, build_s, save_s, legacy_save_s, file_b, legacy_b,
+               legacy_load_s, legacy_q_s, open_s, open_q_s, raw_open_s,
+               raw_q_s ) ->
+          let legacy_total = legacy_load_s +. legacy_q_s in
+          let mmap_total = open_s +. open_q_s in
+          Printf.fprintf oc
+            "    {\"n\": %d, \"build_s\": %.4f, \"save_s\": %.4f, \
+             \"legacy_save_s\": %.4f, \"file_bytes\": %d, \
+             \"legacy_file_bytes\": %d, \"legacy_load_s\": %.6f, \
+             \"legacy_first_query_s\": %.6f, \"legacy_to_first_query_s\": \
+             %.6f, \"mmap_open_s\": %.6f, \"mmap_first_query_s\": %.6f, \
+             \"mmap_to_first_query_s\": %.6f, \"mmap_noverify_open_s\": \
+             %.6f, \"mmap_noverify_first_query_s\": %.6f, \
+             \"speedup_to_first_query\": %.2f}%s\n"
+            n build_s save_s legacy_save_s file_b legacy_b legacy_load_s
+            legacy_q_s legacy_total open_s open_q_s mmap_total raw_open_s
+            raw_q_s
+            (legacy_total /. mmap_total)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "   wrote BENCH_IO.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family. *)
 
 let micro () =
@@ -831,6 +936,7 @@ let experiments =
     ("abl_approx", abl_approx_variants);
     ("abl_range", abl_range);
     ("abl_persist", abl_persist);
+    ("io", io);
     ("par", par);
     ("micro", micro);
   ]

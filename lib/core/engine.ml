@@ -6,6 +6,7 @@ module Lcp = Pti_suffix.Lcp
 module Sa_search = Pti_suffix.Sa_search
 module Transform = Pti_transform.Transform
 module Sym = Pti_ustring.Sym
+module S = Pti_storage
 
 type ladder = Ladder_geometric | Ladder_full | Ladder_none
 type metric = Max | Or_metric
@@ -89,22 +90,27 @@ module Heap = struct
     end
 end
 
+(* Every array the query path reads is a storage view: heap-backed right
+   after [build], a section of the mapped index file after [load]. One
+   code path, zero per-access allocation either way, and a mapped engine
+   shares its pages with every domain and OS process serving the same
+   file. *)
 type t = {
   tr : Transform.t;
   cfg : config;
   key_of_pos : int -> int;
-  text : int array;
-  pos : int array;
-  sa : int array;
-  lcp : int array;
+  text : S.ints;
+  pos : S.ints;
+  sa : S.ints;
+  lcp : S.ints;
   n : int;
   max_short : int;
-  dead : Bytes.t array; (* Max metric: per level, bit set = suppressed slot *)
-  stored : float array array; (* Or metric: per level, metric value per slot *)
+  dead : S.Bits.t array; (* Max metric: per level, bit set = suppressed slot *)
+  stored : S.floats array; (* Or metric: per level, metric value per slot *)
   level_rmq : Rmq.t array;
   ladder_sizes : int array;
   ladder_rmq : Rmq.t array;
-  ladder_max : float array array;
+  ladder_max : S.floats array;
   fm : Pti_succinct.Fm_index.t option;
   st : Pti_suffix.Suffix_tree.t option;
 }
@@ -117,15 +123,13 @@ let ceil_log2 n =
    window at suffix-array slot [j]; -inf when the window leaves the
    factor (crosses a separator or the text end). *)
 let slot_value_raw ~tr ~pos ~sa ~n j len =
-  let a = sa.(j) in
+  let a = S.Ints.get sa j in
   if a + len > n then neg_infinity
   else begin
-    let p = pos.(a) in
-    if p < 0 || pos.(a + len - 1) <> p + len - 1 then neg_infinity
+    let p = S.Ints.get pos a in
+    if p < 0 || S.Ints.get pos (a + len - 1) <> p + len - 1 then neg_infinity
     else Logp.to_log (Transform.window_logp_corrected tr ~pos:a ~len)
   end
-
-let bit_get b j = Char.code (Bytes.get b (j lsr 3)) land (1 lsl (j land 7)) <> 0
 
 let bit_set b j =
   Bytes.set b (j lsr 3)
@@ -144,54 +148,62 @@ let or_value entries =
   let v = Float.max 0.0 (Float.min 1.0 (!sum -. !prod)) in
   if v <= 0.0 then neg_infinity else Float.min 0.0 (log v)
 
-(* Everything persistent about an engine: plain data only (no closures),
-   so it can be marshalled. The RMQ structures are *not* part of this —
-   they are rebuilt in O(N) per level from the dead bitmaps / stored
-   arrays at [finish] time, which also keeps the on-disk format small
-   (the paper's discard-the-C_i-array trick, applied to persistence). *)
-type parts = {
-  p_cfg : config;
-  p_tr : Transform.t;
-  p_sa : int array;
-  p_lcp : int array;
-  p_max_short : int;
-  p_dead : Bytes.t array;
-  p_stored : float array array;
-  p_ladder_sizes : int array;
-  p_ladder_max : float array array;
-  p_fm : Pti_succinct.Fm_index.t option;
-  p_st : Pti_suffix.Suffix_tree.t option;
+(* The level-[level] metric value of suffix-array slot [j]: what the
+   per-level RMQs index. Shared between construction, legacy rebuild and
+   mmap reopen so every path attaches the same oracle. *)
+let make_level_value ~metric ~dead ~stored ~slot_value level j =
+  match metric with
+  | Max ->
+      if S.Bits.get dead.(level - 1) j then neg_infinity else slot_value j level
+  | Or_metric -> S.Floats.get stored.(level - 1) j
+
+(* Everything persistent about an engine except the RMQ structures, with
+   every array already in storage form. [finish] turns this into a
+   query-ready engine by (re)building the RMQs — O(N) per level, used by
+   [build] and by the legacy-format load; the mmap path reopens the
+   persisted RMQs instead. *)
+type pieces = {
+  c_cfg : config;
+  c_tr : Transform.t;
+  c_sa : S.ints;
+  c_lcp : S.ints;
+  c_max_short : int;
+  c_dead : S.Bits.t array;
+  c_stored : S.floats array;
+  c_ladder_sizes : int array;
+  c_ladder_max : S.floats array;
+  c_fm : Pti_succinct.Fm_index.t option;
+  c_st : Pti_suffix.Suffix_tree.t option;
 }
 
-(* Rebuild the query-ready engine from its persistent parts. The
-   per-level RMQ structures are mutually independent (each reads only
-   its own dead bitmap / stored array plus shared read-only data), as
-   are the per-size ladder RMQs, so both rebuilds shard levels across
+(* The per-level RMQ structures are mutually independent (each reads
+   only its own dead bitmap / stored array plus shared read-only data),
+   as are the per-size ladder RMQs, so both builds shard levels across
    the domain pool. *)
-let finish ?domains ~key_of_pos parts =
-  let tr = parts.p_tr in
-  let text = Transform.text tr in
-  let pos = Transform.pos tr in
-  let n = Array.length text in
-  let sa = parts.p_sa in
-  let config = parts.p_cfg in
-  let dead = parts.p_dead and stored = parts.p_stored in
+let finish ?domains ~key_of_pos pieces =
+  let tr = pieces.c_tr in
+  let text = Transform.text_storage tr in
+  let pos = Transform.pos_storage tr in
+  let n = S.Ints.length text in
+  let sa = pieces.c_sa in
+  let config = pieces.c_cfg in
+  let dead = pieces.c_dead and stored = pieces.c_stored in
   let slot_value j len = slot_value_raw ~tr ~pos ~sa ~n j len in
-  let level_value level j =
-    match config.metric with
-    | Max ->
-        if bit_get dead.(level - 1) j then neg_infinity else slot_value j level
-    | Or_metric -> stored.(level - 1).(j)
+  let level_value =
+    make_level_value ~metric:config.metric ~dead ~stored ~slot_value
   in
   let level_rmq =
     Par.parallel_map_array ?domains ~chunk:1
       (fun k ->
         Rmq.build_oracle config.rmq_kind ~value:(level_value (k + 1)) ~len:n)
-      (Array.init parts.p_max_short (fun k -> k))
+      (Array.init pieces.c_max_short (fun k -> k))
   in
   let ladder_rmq =
-    Par.parallel_map_array ?domains ~chunk:1 (Rmq.build config.rmq_kind)
-      parts.p_ladder_max
+    Par.parallel_map_array ?domains ~chunk:1
+      (fun pb ->
+        Rmq.build_oracle config.rmq_kind ~value:(S.Floats.get pb)
+          ~len:(S.Floats.length pb))
+      pieces.c_ladder_max
   in
   {
     tr;
@@ -200,46 +212,18 @@ let finish ?domains ~key_of_pos parts =
     text;
     pos;
     sa;
-    lcp = parts.p_lcp;
+    lcp = pieces.c_lcp;
     n;
-    max_short = parts.p_max_short;
+    max_short = pieces.c_max_short;
     dead;
     stored;
     level_rmq;
-    ladder_sizes = parts.p_ladder_sizes;
+    ladder_sizes = pieces.c_ladder_sizes;
     ladder_rmq;
-    ladder_max = parts.p_ladder_max;
-    fm = parts.p_fm;
-    st = parts.p_st;
+    ladder_max = pieces.c_ladder_max;
+    fm = pieces.c_fm;
+    st = pieces.c_st;
   }
-
-let parts_of t =
-  {
-    p_cfg = t.cfg;
-    p_tr = t.tr;
-    p_sa = t.sa;
-    p_lcp = t.lcp;
-    p_max_short = t.max_short;
-    p_dead = t.dead;
-    p_stored = t.stored;
-    p_ladder_sizes = t.ladder_sizes;
-    p_ladder_max = t.ladder_max;
-    p_fm = t.fm;
-    p_st = t.st;
-  }
-
-let magic = "PTI-ENGINE-2\n"
-
-let save t oc =
-  output_string oc magic;
-  Marshal.to_channel oc (parts_of t) []
-
-let load ?domains ~key_of_pos ic =
-  let buf = really_input_string ic (String.length magic) in
-  if buf <> magic then
-    invalid_arg "Engine.load: bad magic (not a pti engine file)";
-  let parts : parts = Marshal.from_channel ic in
-  finish ?domains ~key_of_pos parts
 
 let build ?(config = default_config) ?domains ~key_of_pos tr =
   let text = Transform.text tr in
@@ -248,7 +232,9 @@ let build ?(config = default_config) ?domains ~key_of_pos tr =
   let sa = Sais.suffix_array text in
   let lcp = Lcp.kasai ~text ~sa in
   let max_short = Stdlib.max 1 (ceil_log2 (Stdlib.max 2 n)) in
-  let slot_value j len = slot_value_raw ~tr ~pos ~sa ~n j len in
+  let sa_s = S.Ints.of_array sa in
+  let pos_s = Transform.pos_storage tr in
+  let slot_value j len = slot_value_raw ~tr ~pos:pos_s ~sa:sa_s ~n j len in
   let n_levels = max_short in
   let dead = Array.init n_levels (fun _ -> Bytes.make ((n + 7) / 8) '\000') in
   let stored =
@@ -365,17 +351,17 @@ let build ?(config = default_config) ?domains ~key_of_pos tr =
   in
   finish ?domains ~key_of_pos
     {
-      p_cfg = config;
-      p_tr = tr;
-      p_sa = sa;
-      p_lcp = lcp;
-      p_max_short = max_short;
-      p_dead = dead;
-      p_stored = stored;
-      p_ladder_sizes = ladder_sizes;
-      p_ladder_max = ladder_max;
-      p_fm = fm;
-      p_st = st;
+      c_cfg = config;
+      c_tr = tr;
+      c_sa = sa_s;
+      c_lcp = S.Ints.of_array lcp;
+      c_max_short = max_short;
+      c_dead = Array.map S.Bits.of_bytes dead;
+      c_stored = Array.map S.Floats.of_array stored;
+      c_ladder_sizes = ladder_sizes;
+      c_ladder_max = Array.map S.Floats.of_array ladder_max;
+      c_fm = fm;
+      c_st = st;
     }
 
 let transform t = t.tr
@@ -385,9 +371,8 @@ let max_short t = t.max_short
 let slot_value t j len = slot_value_raw ~tr:t.tr ~pos:t.pos ~sa:t.sa ~n:t.n j len
 
 let level_value t level j =
-  match t.cfg.metric with
-  | Max -> if bit_get t.dead.(level - 1) j then neg_infinity else slot_value t j level
-  | Or_metric -> t.stored.(level - 1).(j)
+  make_level_value ~metric:t.cfg.metric ~dead:t.dead ~stored:t.stored
+    ~slot_value:(slot_value t) level j
 
 let validate_pattern pattern =
   if Array.length pattern = 0 then invalid_arg "Engine.query: empty pattern";
@@ -400,8 +385,8 @@ let validate_pattern pattern =
 let raw_range t pattern =
   match (t.fm, t.st) with
   | Some fm, _ -> Pti_succinct.Fm_index.range fm ~pattern
-  | _, Some st -> Pti_suffix.Suffix_tree.locus st ~text:t.text ~pattern
-  | None, None -> Sa_search.range ~text:t.text ~sa:t.sa ~pattern
+  | _, Some st -> Pti_suffix.Suffix_tree.locus_storage st ~text:t.text ~pattern
+  | None, None -> Sa_search.Ba.range ~text:t.text ~sa:t.sa ~pattern
 
 let suffix_range t ~pattern =
   validate_pattern pattern;
@@ -426,7 +411,7 @@ let short_stream t ~level ~l ~r ~ltau =
     match Heap.pop heap with
     | None -> Seq.Nil
     | Some (v, (mx, l, r)) ->
-        let key = t.key_of_pos t.pos.(t.sa.(mx)) in
+        let key = t.key_of_pos (S.Ints.get t.pos (S.Ints.get t.sa mx)) in
         seed l (mx - 1);
         seed (mx + 1) r;
         Seq.Cons ((key, Logp.of_log (Float.min 0.0 v)), next)
@@ -450,7 +435,7 @@ let long_query_blocks t ~m ~l ~r ~ltau =
   let add_candidate j =
     let v = slot_value t j m in
     if v > ltau then begin
-      let key = t.key_of_pos t.pos.(t.sa.(j)) in
+      let key = t.key_of_pos (S.Ints.get t.pos (S.Ints.get t.sa j)) in
       match Hashtbl.find_opt candidates key with
       | Some bv when bv >= v -> ()
       | _ -> Hashtbl.replace candidates key v
@@ -468,7 +453,7 @@ let long_query_blocks t ~m ~l ~r ~ltau =
     let rec go bl br =
       if bl <= br then begin
         let k = Rmq.query rmq ~l:bl ~r:br in
-        if pb.(k) > ltau then begin
+        if S.Floats.get pb k > ltau then begin
           let lo = Stdlib.max l (k * s) and hi = Stdlib.min r (((k + 1) * s) - 1) in
           for j = lo to hi do
             add_candidate j
@@ -493,7 +478,7 @@ let long_query_or t ~m ~l ~r ~ltau =
   for j = l to r do
     let v = slot_value t j m in
     if v > neg_infinity then begin
-      let p = t.pos.(t.sa.(j)) in
+      let p = S.Ints.get t.pos (S.Ints.get t.sa j) in
       let key = t.key_of_pos p in
       let positions =
         match Hashtbl.find_opt per_key key with
@@ -581,10 +566,10 @@ let size_words t =
   (* each dead bitmap is (n+7)/8 bytes, i.e. ceil(bytes/8) words *)
   let dead_words = Array.length t.dead * ((((t.n + 7) / 8) + 7) / 8) in
   let stored_words =
-    Array.fold_left (fun acc a -> acc + Array.length a) 0 t.stored
+    Array.fold_left (fun acc a -> acc + S.Floats.length a) 0 t.stored
   in
   let ladder_words =
-    Array.fold_left (fun acc a -> acc + Array.length a) 0 t.ladder_max
+    Array.fold_left (fun acc a -> acc + S.Floats.length a) 0 t.ladder_max
   in
   let fm_words =
     match t.fm with
@@ -614,3 +599,256 @@ let stats t =
     | Rs_fm -> "+fm"
     | Rs_tree -> "+tree")
     (size_words t) (Transform.stats t.tr)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: PTI-ENGINE-3 container format.
+
+   Every engine array becomes a named section of a {!Pti_storage}
+   container; the RMQ index arrays are persisted too, so [load] is a
+   page mapping plus oracle re-attachment — no SA-IS, no duplicate
+   elimination, no RMQ rebuild. Section order is fixed, so saving the
+   same engine always produces byte-identical files (the parallel test
+   suite relies on this across domain counts). *)
+
+let magic = S.magic
+
+let save_to_writer t w =
+  S.Writer.add_bytes w "cfg" (Marshal.to_string t.cfg []);
+  S.Writer.add_ints w "meta" [| t.n; t.max_short |];
+  Transform.save_parts w t.tr;
+  S.Writer.add_ints_ba w "sa" t.sa;
+  S.Writer.add_ints_ba w "lcp" t.lcp;
+  (match t.cfg.metric with
+  | Max ->
+      Array.iteri
+        (fun i b -> S.Writer.add_bits w (Printf.sprintf "dead.%d" (i + 1)) b)
+        t.dead
+  | Or_metric ->
+      Array.iteri
+        (fun i a ->
+          S.Writer.add_floats_ba w (Printf.sprintf "stored.%d" (i + 1)) a)
+        t.stored);
+  S.Writer.add_ints w "ladder.sizes" t.ladder_sizes;
+  Array.iteri
+    (fun i a -> S.Writer.add_floats_ba w (Printf.sprintf "ladder.max.%d" (i + 1)) a)
+    t.ladder_max;
+  Array.iteri
+    (fun i r -> Rmq.save_parts w ~prefix:(Printf.sprintf "rmq.level.%d" (i + 1)) r)
+    t.level_rmq;
+  Array.iteri
+    (fun i r -> Rmq.save_parts w ~prefix:(Printf.sprintf "rmq.ladder.%d" (i + 1)) r)
+    t.ladder_rmq;
+  (match t.fm with
+  | None -> ()
+  | Some fm -> S.Writer.add_bytes w "fm" (Marshal.to_string fm []));
+  match t.st with
+  | None -> ()
+  | Some st -> S.Writer.add_bytes w "st" (Marshal.to_string st [])
+
+let save ?extra t path =
+  let w = S.Writer.create path in
+  save_to_writer t w;
+  (match extra with None -> () | Some f -> f w);
+  S.Writer.close w
+
+let open_reader ~key_of_pos r =
+  let cfg : config = Marshal.from_string (S.Reader.blob r "cfg") 0 in
+  let meta = S.Reader.ints r "meta" in
+  if S.Ints.length meta <> 2 then
+    raise (S.Corrupt { section = "meta"; reason = "engine meta has wrong arity" });
+  let n = S.Ints.get meta 0 and max_short = S.Ints.get meta 1 in
+  let tr = Transform.open_parts r in
+  let text = Transform.text_storage tr in
+  let pos = Transform.pos_storage tr in
+  if S.Ints.length text <> n then
+    raise
+      (S.Corrupt
+         {
+           section = "meta";
+           reason =
+             Printf.sprintf "text length %d does not match declared N=%d"
+               (S.Ints.length text) n;
+         });
+  let sa = S.Reader.ints r "sa" in
+  let lcp = S.Reader.ints r "lcp" in
+  if S.Ints.length sa <> n || S.Ints.length lcp <> n then
+    raise
+      (S.Corrupt
+         { section = "sa"; reason = "suffix/LCP array length mismatch with N" });
+  let dead, stored =
+    match cfg.metric with
+    | Max ->
+        ( Array.init max_short (fun i ->
+              S.Reader.bits r (Printf.sprintf "dead.%d" (i + 1))),
+          [||] )
+    | Or_metric ->
+        ( [||],
+          Array.init max_short (fun i ->
+              S.Reader.floats r (Printf.sprintf "stored.%d" (i + 1))) )
+  in
+  let ladder_sizes = S.Ints.to_array (S.Reader.ints r "ladder.sizes") in
+  let ladder_max =
+    Array.init (Array.length ladder_sizes) (fun i ->
+        S.Reader.floats r (Printf.sprintf "ladder.max.%d" (i + 1)))
+  in
+  let slot_value j len = slot_value_raw ~tr ~pos ~sa ~n j len in
+  let level_value =
+    make_level_value ~metric:cfg.metric ~dead ~stored ~slot_value
+  in
+  let level_rmq =
+    Array.init max_short (fun i ->
+        Rmq.open_parts r
+          ~prefix:(Printf.sprintf "rmq.level.%d" (i + 1))
+          ~value:(level_value (i + 1)))
+  in
+  let ladder_rmq =
+    Array.init (Array.length ladder_sizes) (fun i ->
+        Rmq.open_parts r
+          ~prefix:(Printf.sprintf "rmq.ladder.%d" (i + 1))
+          ~value:(S.Floats.get ladder_max.(i)))
+  in
+  let fm =
+    if S.Reader.has r "fm" then
+      Some (Marshal.from_string (S.Reader.blob r "fm") 0)
+    else None
+  in
+  let st =
+    if S.Reader.has r "st" then
+      Some (Marshal.from_string (S.Reader.blob r "st") 0)
+    else None
+  in
+  {
+    tr;
+    cfg;
+    key_of_pos;
+    text;
+    pos;
+    sa;
+    lcp;
+    n;
+    max_short;
+    dead;
+    stored;
+    level_rmq;
+    ladder_sizes;
+    ladder_rmq;
+    ladder_max;
+    fm;
+    st;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Legacy PTI-ENGINE-2 format: a magic line followed by one [Marshal]ed
+   record of plain heap arrays; RMQs were rebuilt at every load.
+
+   Deprecated — kept only so pre-existing index files keep loading (and
+   as the baseline of the io benchmark). [Marshal] is structural, so the
+   mirror records below decode files written against the old record
+   definitions. *)
+
+module Legacy = struct
+  type parray = { cum : float array; zeros : int array; logs : float array }
+
+  type transform = {
+    source : Pti_ustring.Ustring.t;
+    tau_min : float;
+    text : int array;
+    pos : int array;
+    parray : parray;
+    n_factors : int;
+    n_skipped : int;
+    has_correlations : bool;
+  }
+
+  type parts = {
+    p_cfg : config;
+    p_tr : transform;
+    p_sa : int array;
+    p_lcp : int array;
+    p_max_short : int;
+    p_dead : Bytes.t array;
+    p_stored : float array array;
+    p_ladder_sizes : int array;
+    p_ladder_max : float array array;
+    p_fm : Pti_succinct.Fm_index.t option;
+    p_st : Pti_suffix.Suffix_tree.t option;
+  }
+end
+
+let legacy_magic = "PTI-ENGINE-2\n"
+
+let save_legacy_channel t oc =
+  let cum, zeros, logs = Pti_prob.Parray.raw (Transform.parray t.tr) in
+  let legacy_tr =
+    {
+      Legacy.source = Transform.source t.tr;
+      tau_min = Transform.tau_min t.tr;
+      text = S.Ints.to_array t.text;
+      pos = S.Ints.to_array t.pos;
+      parray =
+        {
+          Legacy.cum = S.Floats.to_array cum;
+          zeros = S.Ints.to_array zeros;
+          logs = S.Floats.to_array logs;
+        };
+      n_factors = Transform.n_factors t.tr;
+      n_skipped = Transform.n_skipped t.tr;
+      has_correlations = Transform.has_correlations t.tr;
+    }
+  in
+  let parts =
+    {
+      Legacy.p_cfg = t.cfg;
+      p_tr = legacy_tr;
+      p_sa = S.Ints.to_array t.sa;
+      p_lcp = S.Ints.to_array t.lcp;
+      p_max_short = t.max_short;
+      p_dead = Array.map S.Bits.to_bytes t.dead;
+      p_stored = Array.map S.Floats.to_array t.stored;
+      p_ladder_sizes = t.ladder_sizes;
+      p_ladder_max = Array.map S.Floats.to_array t.ladder_max;
+      p_fm = t.fm;
+      p_st = t.st;
+    }
+  in
+  output_string oc legacy_magic;
+  Marshal.to_channel oc parts []
+
+let save_legacy t path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      save_legacy_channel t oc)
+
+let load_legacy_channel ?domains ~key_of_pos ic =
+  let buf = really_input_string ic (String.length legacy_magic) in
+  if buf <> legacy_magic then
+    invalid_arg "Engine.load: bad magic (not a pti engine file)";
+  let parts : Legacy.parts = Marshal.from_channel ic in
+  let tr =
+    Transform.of_legacy ~source:parts.p_tr.source ~tau_min:parts.p_tr.tau_min
+      ~text:parts.p_tr.text ~pos:parts.p_tr.pos ~logs:parts.p_tr.parray.logs
+      ~n_factors:parts.p_tr.n_factors ~n_skipped:parts.p_tr.n_skipped
+  in
+  finish ?domains ~key_of_pos
+    {
+      c_cfg = parts.p_cfg;
+      c_tr = tr;
+      c_sa = S.Ints.of_array parts.p_sa;
+      c_lcp = S.Ints.of_array parts.p_lcp;
+      c_max_short = parts.p_max_short;
+      c_dead = Array.map S.Bits.of_bytes parts.p_dead;
+      c_stored = Array.map S.Floats.of_array parts.p_stored;
+      c_ladder_sizes = parts.p_ladder_sizes;
+      c_ladder_max = Array.map S.Floats.of_array parts.p_ladder_max;
+      c_fm = parts.p_fm;
+      c_st = parts.p_st;
+    }
+
+let load ?domains ?verify ~key_of_pos path =
+  if S.file_has_magic path then
+    open_reader ~key_of_pos (S.Reader.open_file ?verify path)
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        load_legacy_channel ?domains ~key_of_pos ic)
+  end

@@ -137,19 +137,62 @@ val stats : t -> string
 
 (** {2 Persistence}
 
-    The engine's data (transform, suffix/LCP arrays, duplicate-
-    elimination bitmaps, ladder maxima, optional FM-index) is saved as
-    marshalled plain data behind a magic header; the RMQ structures are
-    rebuilt from it at load time in O(N) per level — loading skips the
-    expensive construction passes (SA-IS and the per-level duplicate
-    elimination). Caveats of OCaml marshalling apply: files are specific
-    to the OCaml version and must come from a trusted source. *)
+    An engine saves into a {!Pti_storage} container ("PTI-ENGINE-3"):
+    every array — transform, suffix/LCP arrays, duplicate-elimination
+    bitmaps, OR-metric value arrays, ladder maxima, and the RMQ index
+    tables — becomes a named, checksummed, 8-byte-aligned section
+    (DESIGN.md §8). {!load} memory-maps the file and reads the sections
+    in place: no deserialization, no RMQ rebuild, open time independent
+    of N up to the optional checksum pass. Mapped engines are immutable
+    and page-cache-shared, so concurrent domains ({!query_batch}) and
+    separate OS processes serving the same file share one physical copy.
+    Only the source string and the optional FM-index / suffix tree
+    remain [Marshal] blobs (the source is deserialized lazily, eagerly
+    only for correlated inputs).
 
-val save : t -> out_channel -> unit
+    The previous "PTI-ENGINE-2" format (one [Marshal]ed record, RMQs
+    rebuilt at load) is deprecated but still read transparently by
+    {!load}; {!save_legacy} keeps writing it for migration tests and
+    the io benchmark baseline. *)
 
-val load : ?domains:int -> key_of_pos:(int -> int) -> in_channel -> t
-(** [key_of_pos] must be the same mapping used at build time (the
-    identity for substring indexes; wrappers persist what they need to
-    reconstruct theirs). Raises [Invalid_argument] on a bad header.
-    The per-level RMQ rebuild is sharded across domains exactly as in
-    {!build}. *)
+val save : ?extra:(Pti_storage.Writer.t -> unit) -> t -> string -> unit
+(** Write the engine to [path]. [extra] may append wrapper-owned
+    sections (e.g. the listing index' document blobs) to the same
+    container before it is laid out and checksummed. Identical engines
+    produce byte-identical files. *)
+
+val load :
+  ?domains:int ->
+  ?verify:bool ->
+  key_of_pos:(int -> int) ->
+  string ->
+  t
+(** Open an index file, dispatching on its magic: "PTI-ENGINE-3" files
+    are memory-mapped ([verify] as in {!Pti_storage.Reader.open_file};
+    [domains] is irrelevant — nothing is rebuilt); legacy "PTI-ENGINE-2"
+    files take the deprecated unmarshal-and-rebuild path ([domains]
+    shards the RMQ rebuild, [verify] is ignored). [key_of_pos] must be
+    the same mapping used at build time (the identity for substring
+    indexes; wrappers persist what they need to reconstruct theirs).
+    Raises {!Pti_storage.Corrupt} on a damaged container,
+    [Invalid_argument] on an unrecognized magic. *)
+
+val open_reader : key_of_pos:(int -> int) -> Pti_storage.Reader.t -> t
+(** {!load} for an already-open container — wrappers use this to read
+    their own sections from the same reader. *)
+
+val magic : string
+(** The current container magic, [Pti_storage.magic]. *)
+
+val legacy_magic : string
+(** ["PTI-ENGINE-2\n"]. *)
+
+val save_legacy : t -> string -> unit
+(** Write the deprecated marshalled format (for migration tests and the
+    legacy-vs-mmap benchmark). *)
+
+val save_legacy_channel : t -> out_channel -> unit
+val load_legacy_channel :
+  ?domains:int -> key_of_pos:(int -> int) -> in_channel -> t
+(** Channel-level legacy access for wrappers whose old format prepended
+    their own marshalled data to the engine stream. *)

@@ -22,12 +22,8 @@ let transform t = Engine.transform t.engine
 let engine t = t.engine
 let size_words t = Engine.size_words t.engine
 
-let save t path =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      Engine.save t.engine oc)
+let save t path = Engine.save t.engine path
+let save_legacy t path = Engine.save_legacy t.engine path
 
-let load ?domains path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      { engine = Engine.load ?domains ~key_of_pos:(fun p -> p) ic })
+let load ?domains ?verify path =
+  { engine = Engine.load ?domains ?verify ~key_of_pos:(fun p -> p) path }

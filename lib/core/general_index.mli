@@ -55,9 +55,12 @@ val engine : t -> Engine.t
 val size_words : t -> int
 
 val save : t -> string -> unit
-(** Persist the index to a file (see {!Engine.save} for format and
-    caveats). *)
+(** Persist the index as a "PTI-ENGINE-3" container (see {!Engine.save}). *)
 
-val load : ?domains:int -> string -> t
-(** Load a previously saved index; skips the expensive construction
-    passes. The RMQ rebuild is sharded across [?domains]. *)
+val save_legacy : t -> string -> unit
+(** Write the deprecated "PTI-ENGINE-2" marshalled format. *)
+
+val load : ?domains:int -> ?verify:bool -> string -> t
+(** Open a saved index: current-format files are memory-mapped with no
+    rebuild work at all; legacy files are unmarshalled and their RMQs
+    rebuilt across [?domains]. See {!Engine.load}. *)

@@ -2,12 +2,16 @@ module Logp = Pti_prob.Logp
 module Ustring = Pti_ustring.Ustring
 module Sym = Pti_ustring.Sym
 module Transform = Pti_transform.Transform
+module S = Pti_storage
 
 type relevance = Rel_max | Rel_or
 
 type t = {
   engine : Engine.t;
-  docs : Ustring.t array;
+  docs : Ustring.t array Lazy.t;
+      (* lazy so opening a mapped index does not deserialize the
+         document blobs until a caller actually asks for one *)
+  n_docs : int;
   relevance : relevance;
 }
 
@@ -38,10 +42,11 @@ let build ?(rmq_kind = Pti_rmq.Rmq.Succinct) ?(ladder = Engine.Ladder_geometric)
   in
   let config = { Engine.default_config with rmq_kind; ladder; metric } in
   let engine = Engine.build ~config ?domains ~key_of_pos:(fun p -> doc_of.(p)) tr in
-  { engine; docs = Array.of_list docs; relevance }
+  let docs = Array.of_list docs in
+  { engine; docs = Lazy.from_val docs; n_docs = Array.length docs; relevance }
 
-let n_docs t = Array.length t.docs
-let doc t k = t.docs.(k)
+let n_docs t = t.n_docs
+let doc t k = (Lazy.force t.docs).(k)
 let query t ~pattern ~tau = Engine.query t.engine ~pattern ~tau
 let query_batch ?domains t ~patterns = Engine.query_batch ?domains t.engine ~patterns
 let query_string t ~pattern ~tau = query t ~pattern:(Sym.of_string pattern) ~tau
@@ -71,16 +76,49 @@ let doc_map docs =
     docs;
   doc_of
 
+(* Listing-owned sections of the engine container: the relevance metric
+   and document count ("listing.meta"), the original-position → document
+   map ("listing.doc_of", read zero-copy to rebuild [key_of_pos]), and
+   the documents themselves as a lazily-deserialized blob
+   ("listing.docs"). *)
 let save t path =
+  let docs = Lazy.force t.docs in
+  Engine.save t.engine path ~extra:(fun w ->
+      S.Writer.add_bytes w "listing.meta"
+        (Marshal.to_string (t.relevance, t.n_docs) []);
+      S.Writer.add_ints w "listing.doc_of" (doc_map docs);
+      S.Writer.add_bytes w "listing.docs" (Marshal.to_string docs []))
+
+(* Legacy format: [Marshal (docs, relevance)] followed by the legacy
+   engine stream in the same file. *)
+let save_legacy t path =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      Marshal.to_channel oc (t.docs, t.relevance) [];
-      Engine.save t.engine oc)
+      Marshal.to_channel oc (Lazy.force t.docs, t.relevance) [];
+      Engine.save_legacy_channel t.engine oc)
 
-let load ?domains path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      let docs, relevance = (Marshal.from_channel ic : Ustring.t array * relevance) in
-      let doc_of = doc_map docs in
-      let engine = Engine.load ?domains ~key_of_pos:(fun p -> doc_of.(p)) ic in
-      { engine; docs; relevance })
+let load ?domains ?verify path =
+  if S.file_has_magic path then begin
+    let r = S.Reader.open_file ?verify path in
+    let relevance, n_docs =
+      (Marshal.from_string (S.Reader.blob r "listing.meta") 0 : relevance * int)
+    in
+    let doc_of = S.Reader.ints r "listing.doc_of" in
+    let engine = Engine.open_reader ~key_of_pos:(S.Ints.get doc_of) r in
+    let docs = lazy (Marshal.from_string (S.Reader.blob r "listing.docs") 0) in
+    { engine; docs; n_docs; relevance }
+  end
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        let docs, relevance =
+          (Marshal.from_channel ic : Ustring.t array * relevance)
+        in
+        let doc_of = doc_map docs in
+        let engine =
+          Engine.load_legacy_channel ?domains
+            ~key_of_pos:(fun p -> doc_of.(p))
+            ic
+        in
+        { engine; docs = Lazy.from_val docs; n_docs = Array.length docs; relevance })
+  end

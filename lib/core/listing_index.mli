@@ -74,7 +74,14 @@ val engine : t -> Engine.t
 val size_words : t -> int
 
 val save : t -> string -> unit
-(** Persist the index (documents, relevance metric and engine data) to
-    a file; see {!Engine.save} for format and caveats. *)
+(** Persist the index (documents, relevance metric, position→document
+    map and engine data) into one "PTI-ENGINE-3" container; see
+    {!Engine.save}. *)
 
-val load : ?domains:int -> string -> t
+val save_legacy : t -> string -> unit
+(** Write the deprecated marshalled format. *)
+
+val load : ?domains:int -> ?verify:bool -> string -> t
+(** Open a saved index; current-format files are memory-mapped, with
+    the documents deserialized lazily on first {!doc} access. Legacy
+    files take the unmarshal-and-rebuild path. See {!Engine.load}. *)

@@ -19,3 +19,8 @@ let query_top_k t ~pattern ~tau ~k = Engine.query_top_k t.engine ~pattern ~tau ~
 let source t = Transform.source (Engine.transform t.engine)
 let engine t = t.engine
 let size_words t = Engine.size_words t.engine
+
+let save t path = Engine.save t.engine path
+
+let load ?domains ?verify path =
+  { engine = Engine.load ?domains ?verify ~key_of_pos:(fun p -> p) path }

@@ -43,3 +43,10 @@ val query_top_k :
 val source : t -> Pti_ustring.Ustring.t
 val engine : t -> Engine.t
 val size_words : t -> int
+
+val save : t -> string -> unit
+(** Persist the index as a "PTI-ENGINE-3" container (see {!Engine.save}). *)
+
+val load : ?domains:int -> ?verify:bool -> string -> t
+(** Open a saved index; current-format files are memory-mapped. See
+    {!Engine.load}. *)

@@ -1,7 +1,9 @@
+module S = Pti_storage
+
 type t = {
-  cum : float array; (* cum.(i) = sum of finite logs of positions [0..i-1] *)
-  zeros : int array; (* zeros.(i) = number of zero-probability positions in [0..i-1] *)
-  logs : Logp.t array; (* per-position values, for [get] *)
+  cum : S.floats; (* cum.(i) = sum of finite logs of positions [0..i-1] *)
+  zeros : S.ints; (* zeros.(i) = number of zero-probability positions in [0..i-1] *)
+  logs : S.floats; (* per-position raw log values, for [get] *)
 }
 
 let of_logps logs =
@@ -19,23 +21,40 @@ let of_logps logs =
       zeros.(i + 1) <- zeros.(i)
     end
   done;
-  { cum; zeros; logs = Array.copy logs }
+  {
+    cum = S.Floats.of_array cum;
+    zeros = S.Ints.of_array zeros;
+    logs = S.Floats.of_array (Array.map Logp.to_log logs);
+  }
 
 let of_probs probs = of_logps (Array.map Logp.of_prob probs)
 
-let length t = Array.length t.logs
+let length t = S.Floats.length t.logs
 
-let get t i = t.logs.(i)
+let get t i = Logp.of_log (S.Floats.get t.logs i)
 
 let window t ~pos ~len =
   let n = length t in
   if len < 1 || pos < 0 || pos + len > n then
     invalid_arg
       (Printf.sprintf "Parray.window: pos=%d len=%d out of [0,%d)" pos len n);
-  if t.zeros.(pos + len) - t.zeros.(pos) > 0 then Logp.zero
-  else Logp.of_log (Float.min 0.0 (t.cum.(pos + len) -. t.cum.(pos)))
+  if S.Ints.unsafe_get t.zeros (pos + len) - S.Ints.unsafe_get t.zeros pos > 0
+  then Logp.zero
+  else
+    Logp.of_log
+      (Float.min 0.0 (S.Floats.unsafe_get t.cum (pos + len) -. S.Floats.unsafe_get t.cum pos))
 
 let prefix t j =
   if j < 0 || j > length t then invalid_arg "Parray.prefix: out of range";
-  if t.zeros.(j) > 0 then Logp.zero
-  else Logp.of_log (Float.min 0.0 t.cum.(j))
+  if S.Ints.get t.zeros j > 0 then Logp.zero
+  else Logp.of_log (Float.min 0.0 (S.Floats.get t.cum j))
+
+let raw t = (t.cum, t.zeros, t.logs)
+
+let of_storage ~cum ~zeros ~logs =
+  let n = S.Floats.length logs in
+  if S.Floats.length cum <> n + 1 || S.Ints.length zeros <> n + 1 then
+    invalid_arg "Parray.of_storage: inconsistent section lengths";
+  { cum; zeros; logs }
+
+let raw_logs t = S.Floats.to_array t.logs

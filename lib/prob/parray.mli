@@ -31,3 +31,25 @@ val window : t -> pos:int -> len:int -> Logp.t
 val prefix : t -> int -> Logp.t
 (** [prefix t j] is the product of positions [0..j-1]; [prefix t 0] is
     {!Logp.one}. *)
+
+(** {2 Storage backing}
+
+    The internal arrays are {!Pti_storage} views, so a prefix-product
+    array can be served zero-copy from a mapped index file; the
+    accessors below exist for the persistence layer only. *)
+
+val raw : t -> Pti_storage.floats * Pti_storage.ints * Pti_storage.floats
+(** [(cum, zeros, logs)] — the cumulative log sums (length n+1), the
+    zero-probability prefix counts (length n+1) and the raw per-position
+    log values (length n). *)
+
+val of_storage :
+  cum:Pti_storage.floats ->
+  zeros:Pti_storage.ints ->
+  logs:Pti_storage.floats ->
+  t
+(** Rebuild from views previously obtained via {!raw} (typically mapped
+    from a file). Raises [Invalid_argument] on inconsistent lengths. *)
+
+val raw_logs : t -> float array
+(** Heap copy of the raw log values (legacy persistence only). *)

@@ -46,6 +46,32 @@ let size_words = function
   | Sp t -> Rmq_sparse.size_words t
   | Su t -> Rmq_succinct.size_words t
 
+(* Persistence: the index arrays go into container sections under
+   [prefix]; the value oracle is a closure and is re-attached by the
+   caller at open time. [prefix ^ ".kind"] = [kind tag; len]
+   (".meta" belongs to the implementations). *)
+
+let save_parts w ~prefix t =
+  let tag = match t with N _ -> 0 | Sp _ -> 1 | Su _ -> 2 in
+  Pti_storage.Writer.add_ints w (prefix ^ ".kind") [| tag; length t |];
+  match t with
+  | N n -> Rmq_naive.save_parts w ~prefix n
+  | Sp s -> Rmq_sparse.save_parts w ~prefix s
+  | Su s -> Rmq_succinct.save_parts w ~prefix s
+
+let open_parts r ~prefix ~value =
+  let module S = Pti_storage in
+  let fail reason = raise (S.Corrupt { section = prefix ^ ".kind"; reason }) in
+  let meta = S.Reader.ints r (prefix ^ ".kind") in
+  if S.Ints.length meta <> 2 then fail "RMQ meta has wrong arity";
+  let tag = S.Ints.get meta 0 and len = S.Ints.get meta 1 in
+  if len < 0 then fail "negative RMQ length";
+  match tag with
+  | 0 -> N (Rmq_naive.open_parts r ~prefix ~value ~len)
+  | 1 -> Sp (Rmq_sparse.open_parts r ~prefix ~value ~len)
+  | 2 -> Su (Rmq_succinct.open_parts r ~prefix ~value ~len)
+  | k -> fail (Printf.sprintf "unknown RMQ kind tag %d" k)
+
 module Naive_impl = Rmq_naive
 module Sparse_impl = Rmq_sparse
 module Succinct_impl = Rmq_succinct

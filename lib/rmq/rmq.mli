@@ -27,8 +27,24 @@ val query : t -> l:int -> r:int -> int
 
 val size_words : t -> int
 
-(** Direct access to the implementations, mainly for tests and
-    benchmarks. *)
+(** {2 Persistence}
+
+    An RMQ's index arrays (sparse-table rows, Fischer–Heun signatures
+    and shared in-block tables, …) serialize into {!Pti_storage}
+    sections under a caller-chosen [prefix] and are read back as
+    zero-copy views of the mapped file. The value oracle is a closure
+    and cannot be persisted: the caller re-supplies it at open time (the
+    engine re-attaches oracles over its own mapped probability
+    sections). *)
+
+val save_parts : Pti_storage.Writer.t -> prefix:string -> t -> unit
+
+val open_parts :
+  Pti_storage.Reader.t -> prefix:string -> value:(int -> float) -> t
+(** Raises {!Pti_storage.Corrupt} on missing/damaged sections. The
+    reconstructed structure answers queries identically to the one
+    saved, provided [value] agrees with the oracle used at build
+    time. *)
 
 module Naive_impl : Rmq_intf.S with type t = Rmq_naive.t
 module Sparse_impl : Rmq_intf.S with type t = Rmq_sparse.t

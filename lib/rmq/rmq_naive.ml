@@ -29,3 +29,7 @@ let query t ~l ~r =
   !best
 
 let size_words _ = 2
+
+(* Nothing beyond the length to persist: the structure is the oracle. *)
+let save_parts _w ~prefix:_ _t = ()
+let open_parts _r ~prefix:_ ~value ~len = { value; len }

@@ -1,0 +1,406 @@
+exception Corrupt of { section : string; reason : string }
+
+let corrupt section fmt =
+  Printf.ksprintf (fun reason -> raise (Corrupt { section; reason })) fmt
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type bytes_view =
+  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module Ints = struct
+  let empty : ints = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0
+
+  let create n : ints =
+    let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    Bigarray.Array1.fill b 0;
+    b
+
+  let set (b : ints) i v = Bigarray.Array1.set b i v
+
+  let of_array a : ints =
+    let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+    Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
+    b
+
+  let to_array (b : ints) = Array.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
+  let length (b : ints) = Bigarray.Array1.dim b
+  let get (b : ints) i = Bigarray.Array1.get b i
+  let unsafe_get (b : ints) i = Bigarray.Array1.unsafe_get b i
+  let sub (b : ints) off len : ints = Bigarray.Array1.sub b off len
+end
+
+module Floats = struct
+  let empty : floats = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+
+  let create n : floats =
+    let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+    Bigarray.Array1.fill b 0.0;
+    b
+
+  let set (b : floats) i v = Bigarray.Array1.set b i v
+
+  let of_array a : floats =
+    let b =
+      Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (Array.length a)
+    in
+    Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
+    b
+
+  let to_array (b : floats) =
+    Array.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
+
+  let length (b : floats) = Bigarray.Array1.dim b
+  let get (b : floats) i = Bigarray.Array1.get b i
+  let unsafe_get (b : floats) i = Bigarray.Array1.unsafe_get b i
+end
+
+module Bits = struct
+  type t = bytes_view
+
+  let of_bytes by : t =
+    let n = Bytes.length by in
+    let b = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set b i (Char.code (Bytes.unsafe_get by i))
+    done;
+    b
+
+  let to_bytes (b : t) =
+    Bytes.init (Bigarray.Array1.dim b) (fun i ->
+        Char.unsafe_chr (Bigarray.Array1.get b i))
+
+  let byte_length (b : t) = Bigarray.Array1.dim b
+
+  let get (b : t) j =
+    Bigarray.Array1.get b (j lsr 3) land (1 lsl (j land 7)) <> 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Container layout.
+
+   All words are 64-bit little-endian. Values are read back through
+   [Bigarray.int] views, which truncate each word to OCaml's 63-bit
+   native int; the checksum below therefore works in native-int
+   arithmetic on both sides so the write- and read-side computations
+   agree bit for bit. *)
+
+let magic = "PTI-ENGINE-3\n"
+let magic_padded = magic ^ String.make (16 - String.length magic) '\000'
+let header_bytes = 48
+let sentinel = 0x0123456789ABCDEF
+let k_ints = 0
+let k_floats = 1
+let k_bytes = 2
+
+let kind_name = function
+  | 0 -> "ints"
+  | 1 -> "floats"
+  | 2 -> "bytes"
+  | k -> Printf.sprintf "unknown-%d" k
+
+let pad8 x = (x + 7) land lnot 7
+
+(* FNV-1a over 63-bit words, seeded; wraps mod 2^63 deterministically. *)
+let checksum_seed = 0x1505_7151_1505_7151
+let fnv_prime = 0x100000001B3
+
+let file_has_magic path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (String.length magic) with
+          | s -> String.equal s magic
+          | exception End_of_file -> false)
+
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  type payload =
+    | P_ints of int array
+    | P_ints_ba of ints
+    | P_floats of float array
+    | P_floats_ba of floats
+    | P_bytes of string
+    | P_bits of Bits.t
+
+  type t = {
+    w_path : string;
+    mutable rev_sections : (string * int * payload) list; (* name, kind, payload *)
+    mutable names : string list;
+  }
+
+  let create path = { w_path = path; rev_sections = []; names = [] }
+
+  let add w name kind payload =
+    if List.mem name w.names then
+      invalid_arg (Printf.sprintf "Pti_storage.Writer: duplicate section %S" name);
+    if String.length name = 0 || String.length name > 255 then
+      invalid_arg "Pti_storage.Writer: section name must be 1..255 bytes";
+    w.names <- name :: w.names;
+    w.rev_sections <- (name, kind, payload) :: w.rev_sections
+
+  let add_ints w name a = add w name k_ints (P_ints a)
+  let add_ints_ba w name a = add w name k_ints (P_ints_ba a)
+  let add_floats w name a = add w name k_floats (P_floats a)
+  let add_floats_ba w name a = add w name k_floats (P_floats_ba a)
+  let add_bytes w name s = add w name k_bytes (P_bytes s)
+  let add_bits w name b = add w name k_bytes (P_bits b)
+
+  let payload_bytes = function
+    | P_ints a -> 8 * Array.length a
+    | P_ints_ba a -> 8 * Ints.length a
+    | P_floats a -> 8 * Array.length a
+    | P_floats_ba a -> 8 * Floats.length a
+    | P_bytes s -> String.length s
+    | P_bits b -> Bits.byte_length b
+
+  let write_payload buf off = function
+    | P_ints a ->
+        Array.iteri
+          (fun i v -> Bytes.set_int64_le buf (off + (8 * i)) (Int64.of_int v))
+          a
+    | P_ints_ba a ->
+        for i = 0 to Ints.length a - 1 do
+          Bytes.set_int64_le buf (off + (8 * i)) (Int64.of_int (Ints.unsafe_get a i))
+        done
+    | P_floats a ->
+        Array.iteri
+          (fun i v -> Bytes.set_int64_le buf (off + (8 * i)) (Int64.bits_of_float v))
+          a
+    | P_floats_ba a ->
+        for i = 0 to Floats.length a - 1 do
+          Bytes.set_int64_le buf (off + (8 * i))
+            (Int64.bits_of_float (Floats.unsafe_get a i))
+        done
+    | P_bytes s -> Bytes.blit_string s 0 buf off (String.length s)
+    | P_bits b ->
+        for i = 0 to Bits.byte_length b - 1 do
+          Bytes.unsafe_set buf (off + i)
+            (Char.unsafe_chr (Bigarray.Array1.unsafe_get b i))
+        done
+
+  (* Checksum over the padded word range [off, off + padded_len), both
+     multiples of 8. *)
+  let checksum buf ~off ~len =
+    let h = ref checksum_seed in
+    let words = pad8 len / 8 in
+    for i = 0 to words - 1 do
+      let w = Int64.to_int (Bytes.get_int64_le buf (off + (8 * i))) in
+      h := (!h lxor w) * fnv_prime
+    done;
+    !h
+
+  let close w =
+    let sections = List.rev w.rev_sections in
+    (* Section layout. *)
+    let cursor = ref header_bytes in
+    let laid =
+      List.map
+        (fun (name, kind, payload) ->
+          let off = !cursor in
+          let len = payload_bytes payload in
+          cursor := off + pad8 len;
+          (name, kind, payload, off, len))
+        sections
+    in
+    let table_off = !cursor in
+    let entry_bytes name = 8 + pad8 (String.length name) + (8 * 4) in
+    let table_bytes =
+      List.fold_left (fun acc (name, _, _, _, _) -> acc + entry_bytes name) 0 laid
+    in
+    let total = table_off + table_bytes + 8 (* table checksum *) in
+    let buf = Bytes.make total '\000' in
+    (* Header. *)
+    Bytes.blit_string magic_padded 0 buf 0 16;
+    Bytes.set_int64_le buf 16 (Int64.of_int sentinel);
+    Bytes.set_int64_le buf 24 (Int64.of_int (List.length laid));
+    Bytes.set_int64_le buf 32 (Int64.of_int table_off);
+    Bytes.set_int64_le buf 40 (Int64.of_int total);
+    (* Payloads. *)
+    List.iter (fun (_, _, payload, off, _) -> write_payload buf off payload) laid;
+    (* Section table. *)
+    let tc = ref table_off in
+    List.iter
+      (fun (name, kind, _, off, len) ->
+        let sum = checksum buf ~off ~len in
+        Bytes.set_int64_le buf !tc (Int64.of_int (String.length name));
+        Bytes.blit_string name 0 buf (!tc + 8) (String.length name);
+        let p = !tc + 8 + pad8 (String.length name) in
+        Bytes.set_int64_le buf p (Int64.of_int kind);
+        Bytes.set_int64_le buf (p + 8) (Int64.of_int off);
+        Bytes.set_int64_le buf (p + 16) (Int64.of_int len);
+        Bytes.set_int64_le buf (p + 24) (Int64.of_int sum);
+        tc := p + 32)
+      laid;
+    let table_sum = checksum buf ~off:table_off ~len:table_bytes in
+    Bytes.set_int64_le buf (total - 8) (Int64.of_int table_sum);
+    let oc = open_out_bin w.w_path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_bytes oc buf)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Reader = struct
+  type section = {
+    s_kind : int;
+    s_off : int;
+    s_len : int;
+    s_sum : int;
+    mutable s_verified : bool;
+  }
+
+  type t = {
+    r_path : string;
+    bytes_v : bytes_view;
+    ints_v : ints;
+    floats_v : floats;
+    tbl : (string, section) Hashtbl.t;
+    order : string list;
+  }
+
+  (* Checksum over the mapped words; must mirror Writer.checksum. *)
+  let checksum_view (ints_v : ints) ~off ~len =
+    let h = ref checksum_seed in
+    let w0 = off / 8 in
+    let words = pad8 len / 8 in
+    for i = 0 to words - 1 do
+      h := (!h lxor Ints.unsafe_get ints_v (w0 + i)) * fnv_prime
+    done;
+    !h
+
+  let verify_section r name s =
+    if not s.s_verified then begin
+      let sum = checksum_view r.ints_v ~off:s.s_off ~len:s.s_len in
+      if sum <> s.s_sum then
+        corrupt name "checksum mismatch (expected %x, computed %x)" s.s_sum sum;
+      s.s_verified <- true
+    end
+
+  let open_file ?(verify = true) path =
+    let fd =
+      try Unix.openfile path [ Unix.O_RDONLY ] 0
+      with Unix.Unix_error (e, _, _) ->
+        corrupt "header" "cannot open %s: %s" path (Unix.error_message e)
+    in
+    let size = (Unix.fstat fd).Unix.st_size in
+    let map () =
+      if size < header_bytes + 8 then
+        corrupt "header" "file is %d bytes, smaller than any index (truncated?)"
+          size;
+      if size mod 8 <> 0 then
+        corrupt "header" "file size %d is not a multiple of 8 (truncated?)" size;
+      let ga kind dim = Unix.map_file fd kind Bigarray.c_layout false [| dim |] in
+      let bytes_v = Bigarray.array1_of_genarray (ga Bigarray.int8_unsigned size) in
+      let ints_v = Bigarray.array1_of_genarray (ga Bigarray.int (size / 8)) in
+      let floats_v =
+        Bigarray.array1_of_genarray (ga Bigarray.float64 (size / 8))
+      in
+      (bytes_v, ints_v, floats_v)
+    in
+    let bytes_v, ints_v, floats_v =
+      Fun.protect ~finally:(fun () -> Unix.close fd) map
+    in
+    for i = 0 to 15 do
+      if Bigarray.Array1.get bytes_v i <> Char.code magic_padded.[i] then
+        corrupt "header" "bad magic (not a %s index file)" (String.trim magic)
+    done;
+    let word i = Ints.get ints_v i in
+    if word 2 <> sentinel then
+      corrupt "header"
+        "byte-order sentinel mismatch: file written on an incompatible host \
+         (big-endian or non-64-bit)";
+    let n_sections = word 3 in
+    let table_off = word 4 in
+    let total = word 5 in
+    if total <> size then
+      corrupt "header"
+        "file is %d bytes but the header declares %d (truncated or grown)" size
+        total;
+    if n_sections < 0 || table_off < header_bytes || table_off > size - 8
+       || table_off mod 8 <> 0
+    then corrupt "header" "section table offset %d out of bounds" table_off;
+    (* Verify the table checksum before trusting any entry. *)
+    let table_len = size - 8 - table_off in
+    let declared_sum = word ((size / 8) - 1) in
+    let sum = checksum_view ints_v ~off:table_off ~len:table_len in
+    if sum <> declared_sum then
+      corrupt "section-table" "checksum mismatch (index truncated or modified)";
+    let tbl = Hashtbl.create 64 in
+    let order = ref [] in
+    let cursor = ref table_off in
+    for _ = 1 to n_sections do
+      if !cursor + 8 > table_off + table_len then
+        corrupt "section-table" "table overruns the file";
+      let name_len = word (!cursor / 8) in
+      if name_len <= 0 || name_len > 255
+         || !cursor + 8 + pad8 name_len + 32 > table_off + table_len
+      then corrupt "section-table" "malformed entry (name length %d)" name_len;
+      let name =
+        String.init name_len (fun i ->
+            Char.chr (Bigarray.Array1.get bytes_v (!cursor + 8 + i)))
+      in
+      let p = (!cursor + 8 + pad8 name_len) / 8 in
+      let s_kind = word p in
+      let s_off = word (p + 1) in
+      let s_len = word (p + 2) in
+      let s_sum = word (p + 3) in
+      if s_kind < 0 || s_kind > k_bytes then
+        corrupt name "unknown section kind %d" s_kind;
+      if s_off < header_bytes || s_len < 0 || s_off mod 8 <> 0
+         || s_off + pad8 s_len > table_off
+      then corrupt name "section bounds [%d, %d) out of range" s_off (s_off + s_len);
+      if Hashtbl.mem tbl name then corrupt name "duplicate section";
+      Hashtbl.replace tbl name
+        { s_kind; s_off; s_len; s_sum; s_verified = false };
+      order := name :: !order;
+      cursor := (p + 4) * 8
+    done;
+    let r =
+      { r_path = path; bytes_v; ints_v; floats_v; tbl; order = List.rev !order }
+    in
+    if verify then
+      List.iter (fun name -> verify_section r name (Hashtbl.find r.tbl name)) r.order;
+    r
+
+  let path r = r.r_path
+  let has r name = Hashtbl.mem r.tbl name
+  let sections r = r.order
+
+  let find r name =
+    match Hashtbl.find_opt r.tbl name with
+    | Some s -> s
+    | None -> corrupt name "section missing from %s" r.r_path
+
+  let expect_kind name s kind =
+    if s.s_kind <> kind then
+      corrupt name "section has kind %s, expected %s" (kind_name s.s_kind)
+        (kind_name kind)
+
+  let ints r name : ints =
+    let s = find r name in
+    expect_kind name s k_ints;
+    Ints.sub r.ints_v (s.s_off / 8) (s.s_len / 8)
+
+  let floats r name : floats =
+    let s = find r name in
+    expect_kind name s k_floats;
+    Bigarray.Array1.sub r.floats_v (s.s_off / 8) (s.s_len / 8)
+
+  let bits r name : Bits.t =
+    let s = find r name in
+    expect_kind name s k_bytes;
+    Bigarray.Array1.sub r.bytes_v s.s_off s.s_len
+
+  let blob r name =
+    let s = find r name in
+    expect_kind name s k_bytes;
+    verify_section r name s;
+    String.init s.s_len (fun i -> Char.chr (Bigarray.Array1.get r.bytes_v (s.s_off + i)))
+end

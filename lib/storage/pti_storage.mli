@@ -1,0 +1,150 @@
+(** Zero-copy index storage: a versioned flat binary container opened
+    read-only via [Unix.map_file] into [Bigarray] views.
+
+    The container is a sequence of named, 8-byte-aligned sections behind
+    a fixed header (see DESIGN.md §8 for the byte-level layout):
+
+    {v
+    magic "PTI-ENGINE-3\n" (16 bytes, zero padded)
+    byte-order/int-width sentinel, section count,
+    section-table offset, total file size        (one 64-bit word each)
+    ... sections, each padded to a multiple of 8 bytes ...
+    section table: (name, kind, offset, length, checksum) per section
+    table checksum
+    v}
+
+    Everything except the opaque [bytes] payloads is written as 64-bit
+    little-endian words, so a mapped file is readable in place as
+    [Bigarray.int] / [Bigarray.float64] arrays on any 64-bit
+    little-endian host (the sentinel word rejects other hosts instead of
+    silently misreading). Opening a file costs page mapping plus — by
+    default — one streaming checksum pass; no per-element
+    deserialization ever happens, and because mapped sections are
+    immutable and page-cache-shared, any number of domains or OS
+    processes serve one physical copy of the index. *)
+
+(** Raised when an index file is truncated, has the wrong magic, fails a
+    checksum, or declares an out-of-bounds section. [section] names the
+    offending section ("header" / "section-table" for the envelope). *)
+exception Corrupt of { section : string; reason : string }
+
+(** {2 Array views}
+
+    These are the accessor types the query path reads through: either a
+    fresh heap-backed [Bigarray] (just-constructed engines) or a view
+    into the mapped file (opened engines) — one code path, zero
+    per-access allocation either way. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type bytes_view =
+  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module Ints : sig
+  val empty : ints
+
+  val create : int -> ints
+  (** A fresh zero-filled heap-backed array, for structures built
+      in place (mapped views are never mutated). *)
+
+  val set : ints -> int -> int -> unit
+  val of_array : int array -> ints
+  val to_array : ints -> int array
+  val length : ints -> int
+  val get : ints -> int -> int
+  val unsafe_get : ints -> int -> int
+  val sub : ints -> int -> int -> ints
+  (** [sub a off len]: a view sharing storage, like [Bigarray.Array1.sub]. *)
+end
+
+module Floats : sig
+  val empty : floats
+  val create : int -> floats
+  (** A fresh zero-filled heap-backed array; see {!Ints.create}. *)
+
+  val set : floats -> int -> float -> unit
+  val of_array : float array -> floats
+  val to_array : floats -> float array
+  val length : floats -> int
+  val get : floats -> int -> float
+  val unsafe_get : floats -> int -> float
+end
+
+(** Bit vectors over raw bytes (bit [j] = bit [j land 7] of byte
+    [j lsr 3]), matching the engine's duplicate-elimination bitmaps. *)
+module Bits : sig
+  type t = bytes_view
+
+  val of_bytes : Bytes.t -> t
+  val to_bytes : t -> Bytes.t
+  val byte_length : t -> int
+  val get : t -> int -> bool
+end
+
+val magic : string
+(** ["PTI-ENGINE-3\n"] — the container magic, also the first bytes of
+    the file. *)
+
+val file_has_magic : string -> bool
+(** Whether the file at this path starts with {!magic} (false for
+    missing/short files) — used to dispatch legacy formats. *)
+
+(** {2 Writing} *)
+
+module Writer : sig
+  type t
+
+  val create : string -> t
+  (** Start a container at this path. Sections are buffered in memory
+      and the file is written on {!close}. *)
+
+  val add_ints : t -> string -> int array -> unit
+  val add_ints_ba : t -> string -> ints -> unit
+  val add_floats : t -> string -> float array -> unit
+  val add_floats_ba : t -> string -> floats -> unit
+
+  val add_bytes : t -> string -> string -> unit
+  (** An opaque byte payload (readable back via {!Reader.blob} or
+      {!Reader.bits}). *)
+
+  val add_bits : t -> string -> Bits.t -> unit
+
+  val close : t -> unit
+  (** Lay out, checksum and write the file. Section order is the
+      [add_*] call order, so identical engines produce byte-identical
+      files. Raises [Invalid_argument] on duplicate section names. *)
+end
+
+(** {2 Reading (mmap)} *)
+
+module Reader : sig
+  type t
+
+  val open_file : ?verify:bool -> string -> t
+  (** Map the file and parse the header and section table, raising
+      {!Corrupt} on any structural problem. With [verify] (default
+      [true]) every section's checksum is verified eagerly — one
+      sequential pass over the mapping; with [~verify:false] only the
+      envelope is checked and array sections are trusted (blob sections
+      are still verified lazily before deserialization, so a corrupt
+      file can produce wrong query answers but never undefined
+      behaviour). *)
+
+  val path : t -> string
+  val has : t -> string -> bool
+  val sections : t -> string list
+  (** Section names in file order. *)
+
+  val ints : t -> string -> ints
+  val floats : t -> string -> floats
+  (** Zero-copy views of an array section. Raise {!Corrupt} if the
+      section is missing or has the wrong kind. *)
+
+  val bits : t -> string -> Bits.t
+  (** Zero-copy byte view of a bytes section. *)
+
+  val blob : t -> string -> string
+  (** Copy of a bytes section, checksum-verified first even when the
+      reader was opened with [~verify:false] (blobs feed [Marshal]). *)
+end

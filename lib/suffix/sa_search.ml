@@ -13,7 +13,7 @@ let compare_suffix ~text ~pattern pos =
   in
   go 0
 
-let range ~text ~sa ~pattern =
+let range_naive ~text ~sa ~pattern =
   let n = Array.length sa in
   if n = 0 then None
   else if Array.length pattern = 0 then Some (0, n - 1)
@@ -45,7 +45,95 @@ let range ~text ~sa ~pattern =
     else None
   end
 
-let count ~text ~sa ~pattern =
-  match range ~text ~sa ~pattern with
-  | None -> 0
-  | Some (sp, ep) -> ep - sp + 1
+module type ARR = sig
+  type t
+
+  val length : t -> int
+  val get : t -> int -> int
+end
+
+module Make (Text : ARR) (Sa : ARR) = struct
+  (* Compare resuming at symbol [off] — the caller guarantees the first
+     [off] symbols of the suffix equal the pattern's. Returns the
+     comparison together with the number of pattern symbols matched,
+     which lower-bounds lcp(pattern, suffix). *)
+  let compare_from ~text ~pattern ~pos ~off =
+    let n = Text.length text and m = Array.length pattern in
+    let rec go off =
+      if off = m then (0, off)
+      else if pos + off >= n then (-1, off)
+      else begin
+        let c = compare (Text.get text (pos + off)) pattern.(off) in
+        if c < 0 then (-1, off) else if c > 0 then (1, off) else go (off + 1)
+      end
+    in
+    go off
+
+  (* Manber–Myers accelerated binary search: [llcp] ([rlcp]) lower-bounds
+     the lcp of the pattern with the suffix just outside the left (right)
+     end of the live range. Any suffix inside the range sits between the
+     two fences lexicographically, so its lcp with the pattern is at
+     least min(llcp, rlcp) and the comparison can resume there. On a
+     text with long repeats this drops the per-probe cost from O(m) to
+     O(fresh symbols), O(m + log n) total per boundary in practice. *)
+  let search_boundary ~text ~sa ~pattern ~from ~stop_le =
+    let n = Sa.length sa in
+    let l = ref from and r = ref n and llcp = ref 0 and rlcp = ref 0 in
+    while !l < !r do
+      let mid = (!l + !r) / 2 in
+      let c, h =
+        compare_from ~text ~pattern ~pos:(Sa.get sa mid)
+          ~off:(Stdlib.min !llcp !rlcp)
+      in
+      if c < 0 || (stop_le && c = 0) then begin
+        l := mid + 1;
+        llcp := h
+      end
+      else begin
+        r := mid;
+        rlcp := h
+      end
+    done;
+    !l
+
+  let range ~text ~sa ~pattern =
+    let n = Sa.length sa in
+    if n = 0 then None
+    else if Array.length pattern = 0 then Some (0, n - 1)
+    else begin
+      (* lo = first suffix >= pattern; hi = first suffix > every
+         pattern-prefixed suffix *)
+      let lo = search_boundary ~text ~sa ~pattern ~from:0 ~stop_le:false in
+      let hi = search_boundary ~text ~sa ~pattern ~from:lo ~stop_le:true in
+      if lo >= hi then None
+      else begin
+        let c, _ = compare_from ~text ~pattern ~pos:(Sa.get sa lo) ~off:0 in
+        if c = 0 then Some (lo, hi - 1) else None
+      end
+    end
+
+  let count ~text ~sa ~pattern =
+    match range ~text ~sa ~pattern with
+    | None -> 0
+    | Some (sp, ep) -> ep - sp + 1
+end
+
+module Heap_arr = struct
+  type t = int array
+
+  let length = Array.length
+  let get a i = a.(i)
+end
+
+module Ba_arr = struct
+  type t = Pti_storage.ints
+
+  let length = Pti_storage.Ints.length
+  let get = Pti_storage.Ints.get
+end
+
+module Heap = Make (Heap_arr) (Heap_arr)
+module Ba = Make (Ba_arr) (Ba_arr)
+
+let range = Heap.range
+let count = Heap.count

@@ -2,9 +2,41 @@
 
     Finds the *suffix range* of a pattern: the maximal range
     [\[sp, ep\]] of suffix-array positions whose suffixes start with the
-    pattern, in O(m log n) symbol comparisons. This is the
-    pattern→range step the paper performs with a suffix tree /
-    compressed suffix array (§3.4); only constants differ. *)
+    pattern. This is the pattern→range step the paper performs with a
+    suffix tree / compressed suffix array (§3.4); only constants differ.
+
+    The search is the Manber–Myers accelerated binary search: each
+    boundary probe maintains lcp lower bounds with the two fence
+    suffixes and resumes symbol comparison at their minimum, so on
+    repetitive texts a probe costs O(fresh symbols) instead of O(m).
+    The generic {!Make} functor runs the same search over any array
+    representation — plain [int array]s for just-built indexes,
+    {!Pti_storage.ints} views for memory-mapped ones ({!Ba}). *)
+
+module type ARR = sig
+  type t
+
+  val length : t -> int
+  val get : t -> int -> int
+end
+
+module Make (Text : ARR) (Sa : ARR) : sig
+  val range :
+    text:Text.t -> sa:Sa.t -> pattern:int array -> (int * int) option
+
+  val count : text:Text.t -> sa:Sa.t -> pattern:int array -> int
+end
+
+module Ba : sig
+  val range :
+    text:Pti_storage.ints ->
+    sa:Pti_storage.ints ->
+    pattern:int array ->
+    (int * int) option
+
+  val count :
+    text:Pti_storage.ints -> sa:Pti_storage.ints -> pattern:int array -> int
+end
 
 val range :
   text:int array -> sa:int array -> pattern:int array -> (int * int) option
@@ -13,3 +45,9 @@ val range :
     [Some (0, n-1)] (or [None] on an empty text). *)
 
 val count : text:int array -> sa:int array -> pattern:int array -> int
+
+val range_naive :
+  text:int array -> sa:int array -> pattern:int array -> (int * int) option
+(** The plain binary search restarting every comparison at symbol 0 —
+    O(m log n) always. Kept as the oracle for testing and benchmarking
+    the accelerated search. *)

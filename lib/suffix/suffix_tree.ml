@@ -201,9 +201,8 @@ let children t v =
     (t.child_start.(v + 1) - t.child_start.(v))
     (fun i -> t.child_list.(t.child_start.(v) + i))
 
-let locus t ~text ~pattern =
+let locus_gen t ~text_len ~text_get ~pattern =
   let m = Array.length pattern in
-  let text_len = Array.length text in
   if m = 0 then Some (0, t.n - 1)
   else begin
     (* Descend from the root, consuming the pattern along edge labels.
@@ -220,7 +219,7 @@ let locus t ~text ~pattern =
           else begin
             let c = t.child_list.(i) in
             let edge_pos = t.sa.(t.lb.(c)) + t.depth.(v) in
-            if edge_pos < text_len && text.(edge_pos) = want then Some c
+            if edge_pos < text_len && text_get edge_pos = want then Some c
             else pick (i + 1)
           end
         in
@@ -233,7 +232,8 @@ let locus t ~text ~pattern =
             let rec cmp off =
               if off = take then true
               else if
-                base + off < text_len && text.(base + off) = pattern.(matched + off)
+                base + off < text_len
+                && text_get (base + off) = pattern.(matched + off)
               then cmp (off + 1)
               else false
             in
@@ -242,6 +242,17 @@ let locus t ~text ~pattern =
     in
     descend (root t) 0
   end
+
+let locus t ~text ~pattern =
+  locus_gen t ~text_len:(Array.length text)
+    ~text_get:(fun i -> text.(i))
+    ~pattern
+
+let locus_storage t ~text ~pattern =
+  locus_gen t
+    ~text_len:(Pti_storage.Ints.length text)
+    ~text_get:(Pti_storage.Ints.get text)
+    ~pattern
 
 let size_words t =
   (4 * n_nodes t) + (2 * t.n) + (2 * Hashtbl.length t.by_interval)

@@ -57,4 +57,9 @@ val locus :
     Result agrees exactly with {!Sa_search.range}. The empty pattern
     matches everywhere. *)
 
+val locus_storage :
+  t -> text:Pti_storage.ints -> pattern:int array -> (int * int) option
+(** {!locus} with the text read from a storage view (e.g. the mapped
+    text section of an index file). *)
+
 val size_words : t -> int

@@ -3,6 +3,7 @@ module Parray = Pti_prob.Parray
 module Ustring = Pti_ustring.Ustring
 module Sym = Pti_ustring.Sym
 module Correlation = Pti_ustring.Correlation
+module S = Pti_storage
 
 module Ivec = struct
   type t = { mutable a : int array; mutable len : int }
@@ -39,10 +40,12 @@ module Fvec = struct
 end
 
 type t = {
-  source : Ustring.t;
+  source : Ustring.t Lazy.t;
+      (* lazy so that a mapped index can answer correlation-free queries
+         without ever deserializing the source string's Marshal blob *)
   tau_min : float;
-  text : Sym.t array;
-  pos : int array;
+  text : S.ints;
+  pos : S.ints;
   parray : Parray.t;
   n_factors : int;
   n_skipped : int;
@@ -176,10 +179,10 @@ let build ?max_text_len ~tau_min u =
   let logs = Fvec.to_array logs in
   let parray = Parray.of_logps (Array.map Logp.of_log logs) in
   {
-    source = u;
+    source = Lazy.from_val u;
     tau_min;
-    text;
-    pos;
+    text = S.Ints.of_array text;
+    pos = S.Ints.of_array pos;
     parray;
     n_factors = !n_factors;
     n_skipped = !n_skipped;
@@ -198,22 +201,24 @@ let identity u =
     logs.(i) <- Logp.of_prob c.prob
   done;
   {
-    source = u;
+    source = Lazy.from_val u;
     tau_min = 0.0;
-    text;
-    pos = Array.init n (fun i -> i);
+    text = S.Ints.of_array text;
+    pos = S.Ints.of_array (Array.init n (fun i -> i));
     parray = Parray.of_logps logs;
     n_factors = 1;
     n_skipped = 0;
     has_correlations = not (Correlation.is_empty (Ustring.correlations u));
   }
 
-let source t = t.source
+let source t = Lazy.force t.source
 let tau_min t = t.tau_min
-let text t = t.text
-let text_length t = Array.length t.text
-let pos t = t.pos
-let original_pos t i = t.pos.(i)
+let text t = S.Ints.to_array t.text
+let text_storage t = t.text
+let text_length t = S.Ints.length t.text
+let pos t = S.Ints.to_array t.pos
+let pos_storage t = t.pos
+let original_pos t i = S.Ints.get t.pos i
 let parray t = t.parray
 
 let window_logp t ~pos ~len = Parray.window t.parray ~pos ~len
@@ -226,23 +231,24 @@ let window_logp_corrected t ~pos:a ~len =
     let base = window_logp t ~pos:a ~len in
     if Logp.is_zero base then base
     else begin
-      let corr = Ustring.correlations t.source in
-      let orig = t.pos.(a) in
+      let src = Lazy.force t.source in
+      let corr = Ustring.correlations src in
+      let orig = S.Ints.get t.pos a in
       let rules = Correlation.affecting_window corr ~pos:orig ~len in
       let adjust acc (r : Correlation.rule) =
         if r.src_pos >= orig && r.src_pos < orig + len then begin
           (* Source inside the window: replace the dependent character's
              marginal with the conditional chosen by the window content. *)
-          let dep_sym_actual = t.text.(a + (r.dep_pos - orig)) in
+          let dep_sym_actual = S.Ints.get t.text (a + (r.dep_pos - orig)) in
           if dep_sym_actual <> r.dep_sym then acc
           else begin
-            let src_sym_actual = t.text.(a + (r.src_pos - orig)) in
+            let src_sym_actual = S.Ints.get t.text (a + (r.src_pos - orig)) in
             let cond =
               if src_sym_actual = r.src_sym then r.p_present else r.p_absent
             in
             if cond <= 0.0 then neg_infinity
             else begin
-              let marg = Ustring.prob t.source ~pos:r.dep_pos ~sym:r.dep_sym in
+              let marg = Ustring.prob src ~pos:r.dep_pos ~sym:r.dep_sym in
               acc -. log marg +. log cond
             end
           end
@@ -255,11 +261,11 @@ let window_logp_corrected t ~pos:a ~len =
   end
 
 let factor_suffix_lengths t =
-  let n = Array.length t.text in
+  let n = S.Ints.length t.text in
   let flen = Array.make n 0 in
   for a = n - 1 downto 0 do
-    if t.pos.(a) < 0 then flen.(a) <- 0
-    else if a + 1 < n && t.pos.(a + 1) = t.pos.(a) + 1 then
+    if S.Ints.get t.pos a < 0 then flen.(a) <- 0
+    else if a + 1 < n && S.Ints.get t.pos (a + 1) = S.Ints.get t.pos a + 1 then
       flen.(a) <- 1 + flen.(a + 1)
     else flen.(a) <- 1
   done;
@@ -269,14 +275,76 @@ let n_factors t = t.n_factors
 let n_skipped t = t.n_skipped
 
 let stats t =
+  let src = Lazy.force t.source in
   Printf.sprintf
     "transform: source=%d positions -> text=%d (factors=%d, skipped=%d, \
      tau_min=%g, blowup=%.2fx)"
-    (Ustring.length t.source) (Array.length t.text) t.n_factors t.n_skipped
+    (Ustring.length src) (S.Ints.length t.text) t.n_factors t.n_skipped
     t.tau_min
-    (float_of_int (Array.length t.text)
-    /. float_of_int (Stdlib.max 1 (Ustring.length t.source)))
+    (float_of_int (S.Ints.length t.text)
+    /. float_of_int (Stdlib.max 1 (Ustring.length src)))
 
 let size_words t =
-  (2 * Array.length t.text) + (3 * Array.length t.text) + 8
+  (2 * S.Ints.length t.text) + (3 * S.Ints.length t.text) + 8
 (* text + pos ints, parray ~3 words/position *)
+
+(* {2 Persistence} *)
+
+type meta = {
+  m_tau_min : float;
+  m_n_factors : int;
+  m_n_skipped : int;
+  m_has_correlations : bool;
+}
+
+let save_parts w t =
+  let cum, zeros, logs = Parray.raw t.parray in
+  S.Writer.add_bytes w "tr.meta"
+    (Marshal.to_string
+       {
+         m_tau_min = t.tau_min;
+         m_n_factors = t.n_factors;
+         m_n_skipped = t.n_skipped;
+         m_has_correlations = t.has_correlations;
+       }
+       []);
+  S.Writer.add_ints_ba w "tr.text" t.text;
+  S.Writer.add_ints_ba w "tr.pos" t.pos;
+  S.Writer.add_floats_ba w "tr.cum" cum;
+  S.Writer.add_ints_ba w "tr.zeros" zeros;
+  S.Writer.add_floats_ba w "tr.logs" logs;
+  S.Writer.add_bytes w "tr.source" (Marshal.to_string (Lazy.force t.source) [])
+
+let open_parts r =
+  let m : meta = Marshal.from_string (S.Reader.blob r "tr.meta") 0 in
+  let source = lazy (Marshal.from_string (S.Reader.blob r "tr.source") 0) in
+  (* Correlated engines touch the source on the query path, so pay the
+     deserialization up front rather than on the first query. *)
+  if m.m_has_correlations then ignore (Lazy.force source);
+  {
+    source;
+    tau_min = m.m_tau_min;
+    text = S.Reader.ints r "tr.text";
+    pos = S.Reader.ints r "tr.pos";
+    parray =
+      Parray.of_storage
+        ~cum:(S.Reader.floats r "tr.cum")
+        ~zeros:(S.Reader.ints r "tr.zeros")
+        ~logs:(S.Reader.floats r "tr.logs");
+    n_factors = m.m_n_factors;
+    n_skipped = m.m_n_skipped;
+    has_correlations = m.m_has_correlations;
+  }
+
+let of_legacy ~source ~tau_min ~text ~pos ~logs ~n_factors ~n_skipped =
+  {
+    source = Lazy.from_val source;
+    tau_min;
+    text = S.Ints.of_array text;
+    pos = S.Ints.of_array pos;
+    parray = Parray.of_logps (Array.map Logp.of_log logs);
+    n_factors;
+    n_skipped;
+    has_correlations =
+      not (Correlation.is_empty (Ustring.correlations source));
+  }

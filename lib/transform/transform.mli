@@ -51,14 +51,22 @@ val source : t -> Pti_ustring.Ustring.t
 val tau_min : t -> float
 
 val text : t -> Pti_ustring.Sym.t array
-(** The transformed text, ending with a separator. Shared, do not
+(** The transformed text, ending with a separator, as a fresh heap
+    copy. Prefer {!text_storage} on hot paths. *)
+
+val text_storage : t -> Pti_storage.ints
+(** The transformed text as a storage view — heap-backed on a
+    just-built transform, a mapped file section on an opened one. Do not
     mutate. *)
 
 val text_length : t -> int
 
 val pos : t -> int array
-(** Position-transformation array; [-1] at separators. Shared, do not
-    mutate. *)
+(** Position-transformation array; [-1] at separators. Fresh heap
+    copy; prefer {!pos_storage} on hot paths. *)
+
+val pos_storage : t -> Pti_storage.ints
+(** Storage view of the position-transformation array. Do not mutate. *)
 
 val original_pos : t -> int -> int
 
@@ -95,3 +103,29 @@ val stats : t -> string
 (** One-line human-readable summary. *)
 
 val size_words : t -> int
+
+(** {2 Persistence}
+
+    A transform serializes into named sections of a {!Pti_storage}
+    container ([tr.meta], [tr.text], [tr.pos], [tr.cum], [tr.zeros],
+    [tr.logs], [tr.source]). All array sections are read back as
+    zero-copy views; the source string is a [Marshal] blob deserialized
+    lazily — eagerly only when the transform carries correlation rules,
+    because those are consulted on the query path. *)
+
+val save_parts : Pti_storage.Writer.t -> t -> unit
+
+val open_parts : Pti_storage.Reader.t -> t
+(** Raises {!Pti_storage.Corrupt} if a section is missing or damaged. *)
+
+val of_legacy :
+  source:Pti_ustring.Ustring.t ->
+  tau_min:float ->
+  text:int array ->
+  pos:int array ->
+  logs:float array ->
+  n_factors:int ->
+  n_skipped:int ->
+  t
+(** Rebuild from the fields of a legacy ("PTI-ENGINE-2") marshalled
+    index; the prefix-product array is recomputed from the raw logs. *)

@@ -130,6 +130,58 @@ let test_search_edges () =
   Alcotest.(check int) "abra occurs twice" 2
     (Sa_search.count ~text ~sa ~pattern:(of_string "abra"))
 
+(* The Manber–Myers accelerated search against the restart-every-probe
+   oracle on adversarially repetitive texts — the inputs where the lcp
+   bookkeeping actually kicks in (long shared prefixes between the
+   pattern and both fences) and where an off-by-one in the resume
+   offset would misplace a boundary. *)
+let test_search_manber_myers_adversarial () =
+  let fib k =
+    let rec go a b k = if k = 0 then a else go (a ^ b) a (k - 1) in
+    go "a" "b" k
+  in
+  let texts =
+    [
+      Array.make 400 1 (* unary: every suffix prefixes every longer one *);
+      Array.init 400 (fun i -> 1 + (i / 100)) (* aaa...bbb...ccc...ddd *);
+      Array.init 400 (fun i -> 1 + (i mod 2)) (* ababab... *);
+      Array.init 401 (fun i -> if i = 400 then 3 else 1 + (i mod 2));
+      of_string (fib 12) (* fibonacci word: maximal repetitiveness *);
+      Array.init 300 (fun i -> 1 + (i mod 3)) (* abcabc... *);
+    ]
+  in
+  let rng = Random.State.make [| 15 |] in
+  List.iter
+    (fun text ->
+      let n = Array.length text in
+      let sa = Sais.suffix_array text in
+      let check pat =
+        Alcotest.(check bool) "manber-myers = naive" true
+          (Sa_search.range ~text ~sa ~pattern:pat
+          = Sa_search.range_naive ~text ~sa ~pattern:pat)
+      in
+      (* substrings of all lengths, including near-full-text *)
+      List.iter
+        (fun m ->
+          for _ = 1 to 20 do
+            let start = Random.State.int rng (n - m + 1) in
+            check (Array.sub text start m)
+          done)
+        (List.filter (fun m -> m <= n) [ 1; 2; 3; 7; n / 2; n - 1; n ]);
+      (* perturbed substrings: match a long prefix, then diverge *)
+      for _ = 1 to 60 do
+        let m = 2 + Random.State.int rng (Stdlib.min n 60 - 1) in
+        let start = Random.State.int rng (n - m + 1) in
+        let pat = Array.sub text start m in
+        pat.(m - 1 - Random.State.int rng (Stdlib.min m 3)) <-
+          1 + Random.State.int rng 4;
+        check pat
+      done;
+      (* pattern = text extended past the end *)
+      check (Array.append text [| 1 |]);
+      check (Array.append text [| 9 |]))
+    texts
+
 (* Suffix tree invariants checked on random strings:
    - parent intervals contain child intervals;
    - string depth strictly increases on internal edges (leaves may have
@@ -301,6 +353,8 @@ let () =
         [
           Alcotest.test_case "vs naive scan" `Quick test_search;
           Alcotest.test_case "edge cases" `Quick test_search_edges;
+          Alcotest.test_case "manber-myers on repetitive texts" `Quick
+            test_search_manber_myers_adversarial;
         ] );
       ( "suffix_tree",
         [
