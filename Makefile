@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par bench-io clean
+.PHONY: check check-par bench bench-par bench-io bench-space clean
 
 check:
 	dune build @all
@@ -17,6 +17,10 @@ bench-par:
 # Persistence: legacy marshal load vs mmap open; writes BENCH_IO.json.
 bench-io:
 	dune exec bench/main.exe -- io
+
+# Space: packed PTI-ENGINE-4 vs 64-bit V3 containers; writes BENCH_SPACE.json.
+bench-space:
+	dune exec bench/main.exe -- space
 
 clean:
 	dune clean

@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- fig7a ... run selected experiments
      dune exec bench/main.exe -- micro     bechamel micro-benchmarks
      dune exec bench/main.exe -- fast      reduced grids (quick smoke)
+     dune exec bench/main.exe -- smoke ... CI-sized grids (n <= 5e3)
 
    Absolute numbers are not comparable with the paper's C++/2010s-era
    testbed; EXPERIMENTS.md records the *shapes* (who wins, what grows
@@ -25,6 +26,7 @@ module Si = Pti_core.Simple_index
 module Space = Pti_core.Space
 
 let fast = ref false
+let smoke = ref false (* CI-sized grids (n <= 5e3); implies fast *)
 let thetas = [ 0.1; 0.2; 0.3; 0.4 ]
 let ns () = if !fast then [ 2_000; 20_000 ] else [ 2_000; 20_000; 100_000; 300_000 ]
 let tau_min_default = 0.1
@@ -592,7 +594,8 @@ let abl_persist () =
   let u = dataset ~n ~theta:0.3 in
   print_header "abl_persist: building vs loading a persisted index"
     (Printf.sprintf
-       "n=%d theta=0.3; load rebuilds only the RMQ layer (O(N) per level)" n);
+       "n=%d theta=0.3; load is a checksummed mmap open of the packed container"
+       n);
   let g, build_s = time (fun () -> G.build ~tau_min:tau_min_default u) in
   let path = Filename.temp_file "pti_bench" ".idx" in
   Fun.protect
@@ -618,6 +621,13 @@ let abl_persist () =
    Sweeps domain counts {1, 2, 4, max}, reports build/query speedups
    against the sequential path, verifies the engines are byte-identical
    and writes machine-readable BENCH_PAR.json. *)
+
+(* Host parallelism descriptor included in every bench JSON: downstream
+   comparisons must discard speedup numbers from single-core hosts. *)
+let host_json_fields () =
+  let d = Pti_parallel.num_domains () in
+  Printf.sprintf "\"recommended_domains\": %d,\n  \"single_core\": %b," d
+    (d <= 1)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -712,9 +722,11 @@ let par () =
       Printf.fprintf oc
         "{\n  \"experiment\": \"par\",\n  \"n\": %d,\n  \"theta\": %g,\n\
         \  \"tau_min\": %g,\n  \"text_len\": %d,\n  \"n_queries\": %d,\n\
-        \  \"recommended_domains\": %d,\n  \"transform_s\": %.4f,\n\
+        \  \"recommended_domains\": %d,\n  \"single_core\": %b,\n\
+        \  \"transform_s\": %.4f,\n\
         \  \"note\": \"%s\",\n  \"results\": [\n"
-        n theta tau_min text_len (Array.length patterns) max_d transform_s
+        n theta tau_min text_len (Array.length patterns) max_d (max_d <= 1)
+        transform_s
         (json_escape
            ("engine build only; the shared general->special transform is \
              sequential. speedups are vs domains=1 on this machine."
@@ -738,7 +750,7 @@ let par () =
   Printf.printf "   wrote BENCH_PAR.json\n"
 
 (* ------------------------------------------------------------------ *)
-(* io: persistence cost model — PTI-ENGINE-3 mmap open vs the legacy
+(* io: persistence cost model — PTI-ENGINE-4 mmap open vs the legacy
    marshalled format. Measures save time, file size, and the
    load-to-first-query latency on a fresh index handle: the legacy path
    unmarshals every array and rebuilds the RMQ layer, the mmap path is a
@@ -747,7 +759,9 @@ let par () =
 
 let io () =
   let ns_io =
-    if !fast then [ 10_000; 100_000 ] else [ 10_000; 100_000; 1_000_000 ]
+    if !smoke then [ 2_000; 5_000 ]
+    else if !fast then [ 10_000; 100_000 ]
+    else [ 10_000; 100_000; 1_000_000 ]
   in
   let theta = 0.3 in
   print_header
@@ -812,14 +826,15 @@ let io () =
     (fun () ->
       Printf.fprintf oc
         "{\n  \"experiment\": \"io\",\n  \"theta\": %g,\n  \"tau_min\": %g,\n\
+        \  %s\n\
         \  \"note\": \"%s\",\n  \"results\": [\n"
-        theta tau_min_default
+        theta tau_min_default (host_json_fields ())
         (json_escape
            "latencies in seconds, sizes in bytes; *_to_first_query = fresh \
             handle open/load plus one 8-symbol query. legacy = marshalled \
-            PTI-ENGINE-2 (unmarshal + RMQ rebuild); mmap = PTI-ENGINE-3 \
-            container opened read-only via map_file (default: one checksum \
-            pass; noverify trusts array sections).");
+            PTI-ENGINE-2 (unmarshal + RMQ rebuild); mmap = PTI-ENGINE-4 \
+            packed container opened read-only via map_file (default: one \
+            checksum pass; noverify trusts array sections).");
       List.iteri
         (fun i
              ( n, build_s, save_s, legacy_save_s, file_b, legacy_b,
@@ -844,6 +859,117 @@ let io () =
         rows;
       Printf.fprintf oc "  ]\n}\n");
   Printf.printf "   wrote BENCH_IO.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* space: minimal-width packed sections (PTI-ENGINE-4) vs the all-64-bit
+   V3 layout of the same engine — file bytes, 8-byte words per
+   transformed-text position (Fig 9(c)'s unit), and the save / open /
+   query latencies of both containers. Writes BENCH_SPACE.json. *)
+
+let space () =
+  let ns_sp =
+    if !smoke then [ 2_000; 5_000 ]
+    else if !fast then [ 10_000; 100_000 ]
+    else [ 10_000; 100_000; 1_000_000 ]
+  in
+  let theta = 0.3 in
+  print_header
+    "space: packed (PTI-ENGINE-4) vs 64-bit (V3) containers"
+    (Printf.sprintf
+       "theta=%.1f tau_min=%.2f; paper Fig 9(c) target is ~10.5 words per \
+        transformed-text position"
+       theta tau_min_default);
+  Printf.printf "%10s %10s %10s %7s %7s %8s %8s %9s %9s %9s %9s\n" "n"
+    "packed_MB" "v3_MB" "ratio" "wpp" "save_s" "v3sav_s" "open_ms" "v3opn_ms"
+    "q_us" "v3q_us";
+  let rows =
+    List.map
+      (fun n ->
+        let u = dataset ~n ~theta in
+        let g, build_s = time (fun () -> G.build ~tau_min:tau_min_default u) in
+        let text_len = T.text_length (G.transform g) in
+        let queries = workload u in
+        let packed_path = Filename.temp_file "pti_bench_space" ".idx" in
+        let v3_path = Filename.temp_file "pti_bench_space" ".idx3" in
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.remove packed_path;
+            Sys.remove v3_path)
+          (fun () ->
+            let (), save_s = time (fun () -> G.save g packed_path) in
+            let (), v3_save_s =
+              time (fun () -> G.save ~format:Pti_storage.V3 g v3_path)
+            in
+            let packed_b = (Unix.stat packed_path).Unix.st_size in
+            let v3_b = (Unix.stat v3_path).Unix.st_size in
+            let open_and_query path =
+              let g', open_s = time (fun () -> G.load path) in
+              let q_us =
+                per_query
+                  (fun p -> G.query g' ~pattern:p ~tau:tau_default)
+                  queries
+                *. 1e6
+              in
+              (open_s, q_us)
+            in
+            let open_s, q_us = open_and_query packed_path in
+            let v3_open_s, v3_q_us = open_and_query v3_path in
+            let wpp =
+              Space.words_per_position ~bytes:packed_b ~positions:text_len
+            in
+            let v3_wpp =
+              Space.words_per_position ~bytes:v3_b ~positions:text_len
+            in
+            Printf.printf
+              "%10d %10.2f %10.2f %7.2f %7.2f %8.2f %8.2f %9.2f %9.2f %9.1f \
+               %9.1f\n"
+              n
+              (float_of_int packed_b /. (1024. *. 1024.))
+              (float_of_int v3_b /. (1024. *. 1024.))
+              (float_of_int packed_b /. float_of_int v3_b)
+              wpp save_s v3_save_s (open_s *. 1e3) (v3_open_s *. 1e3) q_us
+              v3_q_us;
+            ( n, text_len, build_s, save_s, v3_save_s, packed_b, v3_b, wpp,
+              v3_wpp, open_s, v3_open_s, q_us, v3_q_us )))
+      ns_sp
+  in
+  let oc = open_out "BENCH_SPACE.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"space\",\n  \"theta\": %g,\n\
+        \  \"tau_min\": %g,\n\
+        \  %s\n\
+        \  \"note\": \"%s\",\n  \"results\": [\n"
+        theta tau_min_default (host_json_fields ())
+        (json_escape
+           "packed = PTI-ENGINE-4 (minimal-width u8/u16/u32/u64 sections, \
+            streaming save); v3 = same engine written with the all-64-bit \
+            V3 layout. words_per_position = file bytes / 8 / transformed \
+            text length, the unit of the paper's Fig 9(c) (~10.5 for the \
+            paper's index). query latencies are mean us per query over the \
+            standard mixed-length workload on the reopened mmap engine, \
+            best of three passes.");
+      List.iteri
+        (fun i
+             ( n, text_len, build_s, save_s, v3_save_s, packed_b, v3_b, wpp,
+               v3_wpp, open_s, v3_open_s, q_us, v3_q_us ) ->
+          Printf.fprintf oc
+            "    {\"n\": %d, \"text_len\": %d, \"build_s\": %.4f, \
+             \"packed_save_s\": %.4f, \"v3_save_s\": %.4f, \
+             \"packed_file_bytes\": %d, \"v3_file_bytes\": %d, \
+             \"bytes_ratio\": %.4f, \"packed_words_per_position\": %.3f, \
+             \"v3_words_per_position\": %.3f, \"packed_open_s\": %.6f, \
+             \"v3_open_s\": %.6f, \"packed_query_us\": %.2f, \
+             \"v3_query_us\": %.2f}%s\n"
+            n text_len build_s save_s v3_save_s packed_b v3_b
+            (float_of_int packed_b /. float_of_int v3_b)
+            wpp v3_wpp open_s v3_open_s q_us v3_q_us
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "   wrote BENCH_SPACE.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family. *)
@@ -937,6 +1063,7 @@ let experiments =
     ("abl_range", abl_range);
     ("abl_persist", abl_persist);
     ("io", io);
+    ("space", space);
     ("par", par);
     ("micro", micro);
   ]
@@ -946,11 +1073,15 @@ let () =
   let args =
     List.filter
       (fun a ->
-        if a = "fast" then begin
-          fast := true;
-          false
-        end
-        else true)
+        match a with
+        | "fast" ->
+            fast := true;
+            false
+        | "smoke" ->
+            fast := true;
+            smoke := true;
+            false
+        | _ -> true)
       args
   in
   let selected =

@@ -91,7 +91,7 @@ let build_cmd_impl input output tau_min docs_mode relevance =
     let g, built = time (fun () -> G.build ~tau_min u) in
     G.save g output;
     Printf.eprintf "index built in %.3fs (%s), saved to %s\n" built
-      (Pti_core.Space.to_string (G.size_words g))
+      (Pti_core.Space.bytes_to_string (G.size_bytes g))
       output
   end
 
@@ -201,7 +201,38 @@ let list_cmd input load pattern tau tau_min relevance =
 (* ------------------------------------------------------------------ *)
 (* stats *)
 
-let stats input tau_min =
+module S = Pti_storage
+
+(* Section table of a saved container: name, kind, element width,
+   sentinel bias, bytes, element count, checksum status. *)
+let container_stats path =
+  if not (S.file_has_magic path) then
+    failwith
+      (path
+     ^ ": not a PTI-ENGINE container (legacy marshal files have no section \
+        table)");
+  let r = S.Reader.open_file ~verify:false path in
+  let infos = S.Reader.table r in
+  let payload =
+    List.fold_left (fun a i -> a + i.S.Reader.si_bytes) 0 infos
+  in
+  Printf.printf "container:  PTI-ENGINE-%d  %s\n" (S.Reader.version r) path;
+  Printf.printf "sections:   %d  (%s payload, %s file)\n" (List.length infos)
+    (Pti_core.Space.bytes_to_string payload)
+    (Pti_core.Space.bytes_to_string
+       (let st = Unix.stat path in
+        st.Unix.st_size));
+  Printf.printf "%-22s %-7s %5s %4s %12s %12s  %s\n" "name" "kind" "width"
+    "bias" "bytes" "elems" "checksum";
+  List.iter
+    (fun i ->
+      Printf.printf "%-22s %-7s %5d %4d %12d %12d  %s\n" i.S.Reader.si_name
+        i.S.Reader.si_kind i.S.Reader.si_width i.S.Reader.si_bias
+        i.S.Reader.si_bytes i.S.Reader.si_elems
+        (if i.S.Reader.si_checksum_ok then "ok" else "FAILED"))
+    infos
+
+let dataset_stats input tau_min =
   let u = read_single input in
   Printf.printf "positions:      %d\n" (U.length u);
   Printf.printf "choices:        %d (max %d per position)\n" (U.n_choices u)
@@ -214,8 +245,15 @@ let stats input tau_min =
   let g, t = time (fun () -> G.build ~tau_min u) in
   Printf.printf "index:          built in %.3fs\n" t;
   Printf.printf "index size:     %s\n"
-    (Pti_core.Space.to_string (G.size_words g));
+    (Pti_core.Space.bytes_to_string (G.size_bytes g));
   Printf.printf "engine:         %s\n" (Pti_core.Engine.stats (G.engine g))
+
+let stats index_file input tau_min =
+  match (index_file, input) with
+  | Some path, _ -> container_stats path
+  | None, Some input -> dataset_stats input tau_min
+  | None, None ->
+      failwith "stats: pass an INDEX_FILE argument or a dataset via -i"
 
 (* ------------------------------------------------------------------ *)
 (* worlds *)
@@ -355,9 +393,21 @@ let list_cmdliner =
       $ tau_min_arg $ relevance)
 
 let stats_cmd =
+  let index_file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"INDEX_FILE"
+          ~doc:
+            "Saved index container: print its section table (name, kind, \
+             width, bytes, checksum status) instead of dataset statistics.")
+  in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Transformation and index statistics.")
-    Term.(const stats $ input_arg $ tau_min_arg)
+    (Cmd.info "stats"
+       ~doc:
+         "Transformation/index statistics of a dataset (-i), or the section \
+          table of a saved index container (positional INDEX_FILE).")
+    Term.(const stats $ index_file $ input_opt_arg $ tau_min_arg)
 
 let worlds_cmd =
   let limit =

@@ -585,6 +585,37 @@ let size_words t =
   + ladder_words + fm_words + st_words
   + Transform.size_words t.tr
 
+(* Byte-accurate accounting: packed views count at their packed width.
+   The FM-index and suffix tree are heap structures persisted as
+   Marshal blobs; their word estimate times 8 stands in for bytes. *)
+let size_bytes t =
+  let rmq_bytes =
+    Array.fold_left (fun acc r -> acc + Rmq.size_bytes r) 0 t.level_rmq
+    + Array.fold_left (fun acc r -> acc + Rmq.size_bytes r) 0 t.ladder_rmq
+  in
+  let dead_bytes =
+    Array.fold_left (fun acc b -> acc + S.Bits.byte_length b) 0 t.dead
+  in
+  let stored_bytes =
+    Array.fold_left (fun acc a -> acc + S.Floats.byte_size a) 0 t.stored
+  in
+  let ladder_bytes =
+    Array.fold_left (fun acc a -> acc + S.Floats.byte_size a) 0 t.ladder_max
+  in
+  let fm_bytes =
+    match t.fm with
+    | None -> 0
+    | Some fm -> 8 * Pti_succinct.Fm_index.size_words fm
+  in
+  let st_bytes =
+    match t.st with
+    | None -> 0
+    | Some st -> 8 * Pti_suffix.Suffix_tree.size_words st
+  in
+  S.Ints.byte_size t.sa + S.Ints.byte_size t.lcp + rmq_bytes + dead_bytes
+  + stored_bytes + ladder_bytes + fm_bytes + st_bytes
+  + Transform.size_bytes t.tr
+
 let stats t =
   Printf.sprintf
     "engine: N=%d levels=%d ladder=[%s] metric=%s rmq=%s size=%d words | %s"
@@ -601,7 +632,8 @@ let stats t =
     (size_words t) (Transform.stats t.tr)
 
 (* ------------------------------------------------------------------ *)
-(* Persistence: PTI-ENGINE-3 container format.
+(* Persistence: PTI-ENGINE-4 container format (minimal-width packed
+   sections; ENGINE-3 and legacy ENGINE-2 files still load).
 
    Every engine array becomes a named section of a {!Pti_storage}
    container; the RMQ index arrays are persisted too, so [load] is a
@@ -645,8 +677,8 @@ let save_to_writer t w =
   | None -> ()
   | Some st -> S.Writer.add_bytes w "st" (Marshal.to_string st [])
 
-let save ?extra t path =
-  let w = S.Writer.create path in
+let save ?format ?extra t path =
+  let w = S.Writer.create ?format path in
   save_to_writer t w;
   (match extra with None -> () | Some f -> f w);
   S.Writer.close w

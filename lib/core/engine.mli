@@ -133,16 +133,25 @@ val query_batch :
     pattern/τ in the batch. *)
 
 val size_words : t -> int
+(** Historical 8-bytes-per-element space estimate; prefer
+    {!size_bytes}. *)
+
+val size_bytes : t -> int
+(** Byte-accurate space of the engine's structures in their current
+    representation — packed (mapped) views count at their packed
+    width, heap-built views at 8 bytes per element. *)
+
 val stats : t -> string
 
 (** {2 Persistence}
 
-    An engine saves into a {!Pti_storage} container ("PTI-ENGINE-3"):
+    An engine saves into a {!Pti_storage} container ("PTI-ENGINE-4"):
     every array — transform, suffix/LCP arrays, duplicate-elimination
     bitmaps, OR-metric value arrays, ladder maxima, and the RMQ index
     tables — becomes a named, checksummed, 8-byte-aligned section
-    (DESIGN.md §8). {!load} memory-maps the file and reads the sections
-    in place: no deserialization, no RMQ rebuild, open time independent
+    packed at the minimal byte width covering its values (DESIGN.md
+    §8–§9). {!load} memory-maps the file and reads the sections in
+    place: no deserialization, no RMQ rebuild, open time independent
     of N up to the optional checksum pass. Mapped engines are immutable
     and page-cache-shared, so concurrent domains ({!query_batch}) and
     separate OS processes serving the same file share one physical copy.
@@ -150,13 +159,21 @@ val stats : t -> string
     remain [Marshal] blobs (the source is deserialized lazily, eagerly
     only for correlated inputs).
 
-    The previous "PTI-ENGINE-2" format (one [Marshal]ed record, RMQs
-    rebuilt at load) is deprecated but still read transparently by
-    {!load}; {!save_legacy} keeps writing it for migration tests and
-    the io benchmark baseline. *)
+    Earlier formats still read transparently through {!load}:
+    "PTI-ENGINE-3" containers (same layout, every element a 64-bit
+    word) and the deprecated "PTI-ENGINE-2" format (one [Marshal]ed
+    record, RMQs rebuilt at load); {!save_legacy} keeps writing the
+    latter for migration tests and the io benchmark baseline. *)
 
-val save : ?extra:(Pti_storage.Writer.t -> unit) -> t -> string -> unit
-(** Write the engine to [path]. [extra] may append wrapper-owned
+val save :
+  ?format:Pti_storage.format ->
+  ?extra:(Pti_storage.Writer.t -> unit) ->
+  t ->
+  string ->
+  unit
+(** Write the engine to [path] (default format {!Pti_storage.V4},
+    packed; [~format:V3] writes the previous all-64-bit layout, e.g.
+    for benchmarking packing itself). [extra] may append wrapper-owned
     sections (e.g. the listing index' document blobs) to the same
     container before it is laid out and checksummed. Identical engines
     produce byte-identical files. *)
@@ -167,7 +184,8 @@ val load :
   key_of_pos:(int -> int) ->
   string ->
   t
-(** Open an index file, dispatching on its magic: "PTI-ENGINE-3" files
+(** Open an index file, dispatching on its magic: "PTI-ENGINE-4" and
+    "PTI-ENGINE-3" files
     are memory-mapped ([verify] as in {!Pti_storage.Reader.open_file};
     [domains] is irrelevant — nothing is rebuilt); legacy "PTI-ENGINE-2"
     files take the deprecated unmarshal-and-rebuild path ([domains]

@@ -21,8 +21,9 @@ let tau_min t = Transform.tau_min (Engine.transform t.engine)
 let transform t = Engine.transform t.engine
 let engine t = t.engine
 let size_words t = Engine.size_words t.engine
+let size_bytes t = Engine.size_bytes t.engine
 
-let save t path = Engine.save t.engine path
+let save ?format t path = Engine.save ?format t.engine path
 let save_legacy t path = Engine.save_legacy t.engine path
 
 let load ?domains ?verify path =

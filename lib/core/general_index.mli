@@ -54,8 +54,12 @@ val transform : t -> Pti_transform.Transform.t
 val engine : t -> Engine.t
 val size_words : t -> int
 
-val save : t -> string -> unit
-(** Persist the index as a "PTI-ENGINE-3" container (see {!Engine.save}). *)
+val size_bytes : t -> int
+(** Byte-accurate space accounting; see {!Engine.size_bytes}. *)
+
+val save : ?format:Pti_storage.format -> t -> string -> unit
+(** Persist the index as a "PTI-ENGINE-4" container (see {!Engine.save};
+    [~format:V3] writes the previous all-64-bit layout). *)
 
 val save_legacy : t -> string -> unit
 (** Write the deprecated "PTI-ENGINE-2" marshalled format. *)

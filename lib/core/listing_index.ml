@@ -56,6 +56,7 @@ let query_top_k t ~pattern ~tau ~k = Engine.query_top_k t.engine ~pattern ~tau ~
 let relevance t = t.relevance
 let engine t = t.engine
 let size_words t = Engine.size_words t.engine
+let size_bytes t = Engine.size_bytes t.engine
 
 (* The engine's key function maps original (concatenated) positions to
    document ids; it is reconstructed from the persisted documents. *)
@@ -81,9 +82,9 @@ let doc_map docs =
    map ("listing.doc_of", read zero-copy to rebuild [key_of_pos]), and
    the documents themselves as a lazily-deserialized blob
    ("listing.docs"). *)
-let save t path =
+let save ?format t path =
   let docs = Lazy.force t.docs in
-  Engine.save t.engine path ~extra:(fun w ->
+  Engine.save ?format t.engine path ~extra:(fun w ->
       S.Writer.add_bytes w "listing.meta"
         (Marshal.to_string (t.relevance, t.n_docs) []);
       S.Writer.add_ints w "listing.doc_of" (doc_map docs);

@@ -73,9 +73,12 @@ val relevance : t -> relevance
 val engine : t -> Engine.t
 val size_words : t -> int
 
-val save : t -> string -> unit
+val size_bytes : t -> int
+(** Byte-accurate space accounting; see {!Engine.size_bytes}. *)
+
+val save : ?format:Pti_storage.format -> t -> string -> unit
 (** Persist the index (documents, relevance metric, position→document
-    map and engine data) into one "PTI-ENGINE-3" container; see
+    map and engine data) into one "PTI-ENGINE-4" container; see
     {!Engine.save}. *)
 
 val save_legacy : t -> string -> unit

@@ -1,11 +1,16 @@
 let bytes_of_words w = 8 * w
-
 let mb_of_words w = float_of_int (bytes_of_words w) /. (1024.0 *. 1024.0)
+let mb_of_bytes b = float_of_int b /. (1024.0 *. 1024.0)
 
-let pp_words ppf w =
-  let b = bytes_of_words w in
+let pp_bytes ppf b =
   if b < 1024 then Format.fprintf ppf "%d B" b
-  else if b < 1024 * 1024 then Format.fprintf ppf "%.1f KB" (float_of_int b /. 1024.0)
-  else Format.fprintf ppf "%.1f MB" (mb_of_words w)
+  else if b < 1024 * 1024 then
+    Format.fprintf ppf "%.1f KB" (float_of_int b /. 1024.0)
+  else Format.fprintf ppf "%.1f MB" (mb_of_bytes b)
 
+let pp_words ppf w = pp_bytes ppf (bytes_of_words w)
 let to_string w = Format.asprintf "%a" pp_words w
+let bytes_to_string b = Format.asprintf "%a" pp_bytes b
+
+let words_per_position ~bytes ~positions =
+  if positions <= 0 then 0.0 else float_of_int bytes /. 8.0 /. float_of_int positions

@@ -1,13 +1,27 @@
 (** Space accounting helpers for the Fig 9(c) experiment.
 
-    All structures report their footprint in machine words via their
-    [size_words] functions; this module converts and pretty-prints. *)
+    Structures report byte-accurate footprints via their [size_bytes]
+    functions (packed sections count at their packed width); the older
+    [size_words] estimates assume 8 bytes per element. This module
+    converts and pretty-prints both. *)
 
 val bytes_of_words : int -> int
-(** 8 bytes per word (64-bit). *)
+(** 8 bytes per word (64-bit) — for the historical [size_words]
+    accounting only; packed sections are narrower. *)
 
 val mb_of_words : int -> float
+val mb_of_bytes : int -> float
+
 val pp_words : Format.formatter -> int -> unit
 (** Human-readable, e.g. "12.4 MB". *)
 
+val pp_bytes : Format.formatter -> int -> unit
+
 val to_string : int -> string
+(** [to_string w] pretty-prints a word count (8 bytes each). *)
+
+val bytes_to_string : int -> string
+
+val words_per_position : bytes:int -> positions:int -> float
+(** Fig 9(c)'s unit: 8-byte machine words of index per transformed-text
+    position ([0.] if [positions = 0]). *)

@@ -19,8 +19,9 @@ let query_top_k t ~pattern ~tau ~k = Engine.query_top_k t.engine ~pattern ~tau ~
 let source t = Transform.source (Engine.transform t.engine)
 let engine t = t.engine
 let size_words t = Engine.size_words t.engine
+let size_bytes t = Engine.size_bytes t.engine
 
-let save t path = Engine.save t.engine path
+let save ?format t path = Engine.save ?format t.engine path
 
 let load ?domains ?verify path =
   { engine = Engine.load ?domains ?verify ~key_of_pos:(fun p -> p) path }

@@ -49,6 +49,10 @@ let prefix t j =
   if S.Ints.get t.zeros j > 0 then Logp.zero
   else Logp.of_log (Float.min 0.0 (S.Floats.get t.cum j))
 
+let size_bytes t =
+  S.Floats.byte_size t.cum + S.Ints.byte_size t.zeros
+  + S.Floats.byte_size t.logs
+
 let raw t = (t.cum, t.zeros, t.logs)
 
 let of_storage ~cum ~zeros ~logs =

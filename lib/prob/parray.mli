@@ -32,6 +32,10 @@ val prefix : t -> int -> Logp.t
 (** [prefix t j] is the product of positions [0..j-1]; [prefix t 0] is
     {!Logp.one}. *)
 
+val size_bytes : t -> int
+(** Exact bytes of the three backing arrays in their current
+    representation (packed views count at their packed width). *)
+
 (** {2 Storage backing}
 
     The internal arrays are {!Pti_storage} views, so a prefix-product

@@ -46,6 +46,11 @@ let size_words = function
   | Sp t -> Rmq_sparse.size_words t
   | Su t -> Rmq_succinct.size_words t
 
+let size_bytes = function
+  | N t -> Rmq_naive.size_bytes t
+  | Sp t -> Rmq_sparse.size_bytes t
+  | Su t -> Rmq_succinct.size_bytes t
+
 (* Persistence: the index arrays go into container sections under
    [prefix]; the value oracle is a closure and is re-attached by the
    caller at open time. [prefix ^ ".kind"] = [kind tag; len]

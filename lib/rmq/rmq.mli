@@ -27,6 +27,10 @@ val query : t -> l:int -> r:int -> int
 
 val size_words : t -> int
 
+val size_bytes : t -> int
+(** Exact bytes of the index arrays in their current representation
+    (packed views count at their packed width), excluding the oracle. *)
+
 (** {2 Persistence}
 
     An RMQ's index arrays (sparse-table rows, Fischer–Heun signatures

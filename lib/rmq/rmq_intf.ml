@@ -29,4 +29,9 @@ module type S = sig
   val size_words : t -> int
   (** Approximate space of the structure in machine words, excluding the
       value oracle. Feeds the Fig 9(c) space accounting. *)
+
+  val size_bytes : t -> int
+  (** Exact bytes of the structure's index arrays in their current
+      representation (packed views count at their packed width),
+      excluding the value oracle. *)
 end

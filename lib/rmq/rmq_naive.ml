@@ -29,6 +29,7 @@ let query t ~l ~r =
   !best
 
 let size_words _ = 2
+let size_bytes _ = 16
 
 (* Nothing beyond the length to persist: the structure is the oracle. *)
 let save_parts _w ~prefix:_ _t = ()

@@ -76,6 +76,7 @@ let query t ~l ~r =
   end
 
 let size_words t = S.Ints.length t.flat + Array.length t.offsets + 3
+let size_bytes t = S.Ints.byte_size t.flat + (8 * Array.length t.offsets) + 24
 
 let save_parts w ~prefix t = S.Writer.add_ints_ba w (prefix ^ ".flat") t.flat
 

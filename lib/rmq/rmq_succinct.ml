@@ -179,6 +179,16 @@ let rec size_words t =
   + S.Ints.length t.block_argmax
   + top_words + table_words + 4
 
+let rec size_bytes t =
+  let top_bytes =
+    match t.top with
+    | Sparse s -> Rmq_sparse.size_bytes s
+    | Recurse s -> size_bytes s
+  in
+  S.Ints.byte_size t.tbl_off
+  + S.Ints.byte_size t.block_argmax
+  + Bigarray.Array1.dim t.tbl_data + top_bytes + 32
+
 (* Sections under [prefix]: ".meta" = [block; n_tables; top tag],
    ".off" and ".bam" int arrays, ".tbl" the concatenated in-block
    matrices, and the top structure under [prefix ^ ".top"]. *)

@@ -3,57 +3,128 @@ exception Corrupt of { section : string; reason : string }
 let corrupt section fmt =
   Printf.ksprintf (fun reason -> raise (Corrupt { section; reason })) fmt
 
-type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
-type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type i64_arr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u8_arr = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u16_arr = (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u32_arr = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f64_arr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f32_arr = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-type bytes_view =
-  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(* An int view is either a native 63-bit array (heap-built structures,
+   and u64 file sections) or a minimal-width packed section of the
+   mapped file. Packed sections store [v + bias] as an unsigned
+   [width]-byte integer; [bias] is 1 exactly when the section holds -1
+   sentinels (separator positions in pos/doc_of arrays) and 0
+   otherwise, so [get] is one load, one subtract. *)
+type ints =
+  | I64 of i64_arr
+  | U8 of u8_arr * int (* data, bias *)
+  | U16 of u16_arr * int
+  | U32 of u32_arr * int
+
+type floats = F64 of f64_arr | F32 of f32_arr
+
+type bytes_view = u8_arr
 
 module Ints = struct
-  let empty : ints = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0
+  let empty : ints =
+    I64 (Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0)
 
   let create n : ints =
     let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
     Bigarray.Array1.fill b 0;
-    b
+    I64 b
 
-  let set (b : ints) i v = Bigarray.Array1.set b i v
+  let set (b : ints) i v =
+    match b with
+    | I64 a -> Bigarray.Array1.set a i v
+    | U8 _ | U16 _ | U32 _ ->
+        invalid_arg "Pti_storage.Ints.set: packed views are read-only"
 
   let of_array a : ints =
-    let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+    let b =
+      Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a)
+    in
     Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
-    b
+    I64 b
 
-  let to_array (b : ints) = Array.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
-  let length (b : ints) = Bigarray.Array1.dim b
-  let get (b : ints) i = Bigarray.Array1.get b i
-  let unsafe_get (b : ints) i = Bigarray.Array1.unsafe_get b i
-  let sub (b : ints) off len : ints = Bigarray.Array1.sub b off len
+  let length (b : ints) =
+    match b with
+    | I64 a -> Bigarray.Array1.dim a
+    | U8 (a, _) -> Bigarray.Array1.dim a
+    | U16 (a, _) -> Bigarray.Array1.dim a
+    | U32 (a, _) -> Bigarray.Array1.dim a
+
+  let get (b : ints) i =
+    match b with
+    | I64 a -> Bigarray.Array1.get a i
+    | U8 (a, bias) -> Bigarray.Array1.get a i - bias
+    | U16 (a, bias) -> Bigarray.Array1.get a i - bias
+    | U32 (a, bias) ->
+        (Int32.to_int (Bigarray.Array1.get a i) land 0xFFFFFFFF) - bias
+
+  let unsafe_get (b : ints) i =
+    match b with
+    | I64 a -> Bigarray.Array1.unsafe_get a i
+    | U8 (a, bias) -> Bigarray.Array1.unsafe_get a i - bias
+    | U16 (a, bias) -> Bigarray.Array1.unsafe_get a i - bias
+    | U32 (a, bias) ->
+        (Int32.to_int (Bigarray.Array1.unsafe_get a i) land 0xFFFFFFFF) - bias
+
+  let to_array (b : ints) = Array.init (length b) (get b)
+
+  let sub (b : ints) off len : ints =
+    match b with
+    | I64 a -> I64 (Bigarray.Array1.sub a off len)
+    | U8 (a, bias) -> U8 (Bigarray.Array1.sub a off len, bias)
+    | U16 (a, bias) -> U16 (Bigarray.Array1.sub a off len, bias)
+    | U32 (a, bias) -> U32 (Bigarray.Array1.sub a off len, bias)
+
+  let width (b : ints) =
+    match b with I64 _ -> 8 | U8 _ -> 1 | U16 _ -> 2 | U32 _ -> 4
+
+  let byte_size (b : ints) = width b * length b
 end
 
 module Floats = struct
-  let empty : floats = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+  let empty : floats =
+    F64 (Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0)
 
   let create n : floats =
     let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
     Bigarray.Array1.fill b 0.0;
-    b
+    F64 b
 
-  let set (b : floats) i v = Bigarray.Array1.set b i v
+  let set (b : floats) i v =
+    match b with
+    | F64 a -> Bigarray.Array1.set a i v
+    | F32 _ -> invalid_arg "Pti_storage.Floats.set: packed views are read-only"
 
   let of_array a : floats =
     let b =
       Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (Array.length a)
     in
     Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
-    b
+    F64 b
 
-  let to_array (b : floats) =
-    Array.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
+  let length (b : floats) =
+    match b with
+    | F64 a -> Bigarray.Array1.dim a
+    | F32 a -> Bigarray.Array1.dim a
 
-  let length (b : floats) = Bigarray.Array1.dim b
-  let get (b : floats) i = Bigarray.Array1.get b i
-  let unsafe_get (b : floats) i = Bigarray.Array1.unsafe_get b i
+  let get (b : floats) i =
+    match b with
+    | F64 a -> Bigarray.Array1.get a i
+    | F32 a -> Bigarray.Array1.get a i
+
+  let unsafe_get (b : floats) i =
+    match b with
+    | F64 a -> Bigarray.Array1.unsafe_get a i
+    | F32 a -> Bigarray.Array1.unsafe_get a i
+
+  let to_array (b : floats) = Array.init (length b) (get b)
+  let width (b : floats) = match b with F64 _ -> 8 | F32 _ -> 4
+  let byte_size (b : floats) = width b * length b
 end
 
 module Bits = struct
@@ -80,14 +151,23 @@ end
 (* ------------------------------------------------------------------ *)
 (* Container layout.
 
-   All words are 64-bit little-endian. Values are read back through
-   [Bigarray.int] views, which truncate each word to OCaml's 63-bit
-   native int; the checksum below therefore works in native-int
-   arithmetic on both sides so the write- and read-side computations
-   agree bit for bit. *)
+   The envelope (header, section table, checksums) is 64-bit
+   little-endian words. Since version 4, int and float payloads are
+   stored at the minimal byte width covering the section's value range
+   (u8/u16/u32/u64 and f64/f32); version-3 files store every array
+   element as a full 64-bit word and still load transparently.
 
-let magic = "PTI-ENGINE-3\n"
-let magic_padded = magic ^ String.make (16 - String.length magic) '\000'
+   Values are read back through [Bigarray] views; checksums work in
+   native-int (63-bit) arithmetic on both sides so the write- and
+   read-side computations agree bit for bit. *)
+
+type format = V3 | V4
+
+let magic = "PTI-ENGINE-4\n"
+let magic_v3 = "PTI-ENGINE-3\n"
+let pad_magic m = m ^ String.make (16 - String.length m) '\000'
+let magic_padded = pad_magic magic
+let magic_v3_padded = pad_magic magic_v3
 let header_bytes = 48
 let sentinel = 0x0123456789ABCDEF
 let k_ints = 0
@@ -114,7 +194,7 @@ let file_has_magic path =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           match really_input_string ic (String.length magic) with
-          | s -> String.equal s magic
+          | s -> String.equal s magic || String.equal s magic_v3
           | exception End_of_file -> false)
 
 (* ------------------------------------------------------------------ *)
@@ -130,119 +210,274 @@ module Writer = struct
 
   type t = {
     w_path : string;
-    mutable rev_sections : (string * int * payload) list; (* name, kind, payload *)
+    w_format : format;
+    mutable rev_sections : (string * int * bool * payload) list;
+        (* name, kind, f32 requested, payload *)
     mutable names : string list;
   }
 
-  let create path = { w_path = path; rev_sections = []; names = [] }
+  let create ?(format = V4) path =
+    { w_path = path; w_format = format; rev_sections = []; names = [] }
 
-  let add w name kind payload =
+  let add w name kind f32 payload =
     if List.mem name w.names then
       invalid_arg (Printf.sprintf "Pti_storage.Writer: duplicate section %S" name);
     if String.length name = 0 || String.length name > 255 then
       invalid_arg "Pti_storage.Writer: section name must be 1..255 bytes";
+    if f32 && w.w_format = V3 then
+      invalid_arg "Pti_storage.Writer: float32 sections need the V4 format";
     w.names <- name :: w.names;
-    w.rev_sections <- (name, kind, payload) :: w.rev_sections
+    w.rev_sections <- (name, kind, f32, payload) :: w.rev_sections
 
-  let add_ints w name a = add w name k_ints (P_ints a)
-  let add_ints_ba w name a = add w name k_ints (P_ints_ba a)
-  let add_floats w name a = add w name k_floats (P_floats a)
-  let add_floats_ba w name a = add w name k_floats (P_floats_ba a)
-  let add_bytes w name s = add w name k_bytes (P_bytes s)
-  let add_bits w name b = add w name k_bytes (P_bits b)
+  let add_ints w name a = add w name k_ints false (P_ints a)
+  let add_ints_ba w name a = add w name k_ints false (P_ints_ba a)
+  let add_floats ?(f32 = false) w name a = add w name k_floats f32 (P_floats a)
 
-  let payload_bytes = function
-    | P_ints a -> 8 * Array.length a
-    | P_ints_ba a -> 8 * Ints.length a
-    | P_floats a -> 8 * Array.length a
-    | P_floats_ba a -> 8 * Floats.length a
+  let add_floats_ba ?(f32 = false) w name a =
+    add w name k_floats f32 (P_floats_ba a)
+
+  let add_bytes w name s = add w name k_bytes false (P_bytes s)
+  let add_bits w name b = add w name k_bytes false (P_bits b)
+
+  let payload_elems = function
+    | P_ints a -> Array.length a
+    | P_ints_ba a -> Ints.length a
+    | P_floats a -> Array.length a
+    | P_floats_ba a -> Floats.length a
     | P_bytes s -> String.length s
     | P_bits b -> Bits.byte_length b
 
-  let write_payload buf off = function
+  (* Minimal-width selection. Sections whose only negative value is the
+     -1 sentinel are stored biased by +1; anything more negative (or
+     large enough that the bias would overflow) falls back to raw
+     64-bit words, exactly the pre-v4 encoding. *)
+  let int_width pack (lo, hi) =
+    if not pack then (8, 0)
+    else if lo > hi then (1, 0) (* empty section *)
+    else if lo < -1 || hi = max_int then (8, 0)
+    else begin
+      let bias = if lo < 0 then 1 else 0 in
+      let hi = hi + bias in
+      if hi < 0x100 then (1, bias)
+      else if hi < 0x10000 then (2, bias)
+      else if hi < 0x1_0000_0000 then (4, bias)
+      else (8, 0)
+    end
+
+  let int_bounds_arr a =
+    let lo = ref max_int and hi = ref min_int in
+    Array.iter
+      (fun v ->
+        if v < !lo then lo := v;
+        if v > !hi then hi := v)
+      a;
+    (!lo, !hi)
+
+  let int_bounds_ba a =
+    let lo = ref max_int and hi = ref min_int in
+    for i = 0 to Ints.length a - 1 do
+      let v = Ints.unsafe_get a i in
+      if v < !lo then lo := v;
+      if v > !hi then hi := v
+    done;
+    (!lo, !hi)
+
+  (* Byte width and sentinel bias of a section, chosen from its values. *)
+  let section_width w kind f32 payload =
+    let pack = w.w_format = V4 in
+    match (kind, payload) with
+    | _, P_bytes _ | _, P_bits _ -> (1, 0)
+    | _, P_floats _ | _, P_floats_ba _ -> ((if pack && f32 then 4 else 8), 0)
+    | _, P_ints a -> int_width pack (int_bounds_arr a)
+    | _, P_ints_ba a -> int_width pack (int_bounds_ba a)
+
+  (* ---------------------------------------------------------------- *)
+  (* Streaming emitter: fixed-size chunked writes with the per-section
+     FNV checksum folded incrementally as bytes are produced, so [close]
+     is O(bytes written) with O(chunk) memory — no whole-file buffer.
+
+     The checksum is over 64-bit words of the padded payload; partial
+     words accumulate little-endian in [acc]/[nacc] and fold when full.
+     Sections start 8-aligned and are zero-padded to 8, so [nacc] is 0
+     at every section boundary. *)
+
+  let chunk_bytes = 1 lsl 18 (* 256 KiB, a multiple of 8 *)
+
+  type stream = {
+    oc : out_channel;
+    buf : Bytes.t;
+    mutable pos : int; (* fill of [buf] *)
+    mutable h : int; (* running checksum of the current section *)
+    mutable acc : int; (* partial checksum word, little-endian *)
+    mutable nacc : int; (* bytes accumulated in [acc] *)
+  }
+
+  let stream oc =
+    { oc; buf = Bytes.create chunk_bytes; pos = 0; h = 0; acc = 0; nacc = 0 }
+
+  let flush st =
+    if st.pos > 0 then begin
+      output st.oc st.buf 0 st.pos;
+      st.pos <- 0
+    end
+
+  let ensure st need = if st.pos + need > chunk_bytes then flush st
+  let fold st w = st.h <- (st.h lxor w) * fnv_prime
+
+  let acc_bytes st v nbytes =
+    st.acc <- st.acc lor (v lsl (8 * st.nacc));
+    st.nacc <- st.nacc + nbytes;
+    if st.nacc = 8 then begin
+      fold st st.acc;
+      st.acc <- 0;
+      st.nacc <- 0
+    end
+
+  let put8 st v =
+    ensure st 1;
+    Bytes.unsafe_set st.buf st.pos (Char.unsafe_chr v);
+    st.pos <- st.pos + 1;
+    acc_bytes st v 1
+
+  let put16 st v =
+    ensure st 2;
+    Bytes.set_uint16_le st.buf st.pos v;
+    st.pos <- st.pos + 2;
+    acc_bytes st v 2
+
+  let put32 st v =
+    ensure st 4;
+    Bytes.set_int32_le st.buf st.pos (Int32.of_int v);
+    st.pos <- st.pos + 4;
+    acc_bytes st v 4
+
+  (* Full words only ever start 8-aligned, so [acc] is empty here and
+     the checksum word is the native int itself. *)
+  let put64 st v =
+    ensure st 8;
+    Bytes.set_int64_le st.buf st.pos (Int64.of_int v);
+    st.pos <- st.pos + 8;
+    fold st v
+
+  let put_bits64 st bits =
+    ensure st 8;
+    Bytes.set_int64_le st.buf st.pos bits;
+    st.pos <- st.pos + 8;
+    fold st (Int64.to_int bits)
+
+  let begin_section st =
+    st.h <- checksum_seed;
+    st.acc <- 0;
+    st.nacc <- 0
+
+  let put_ints st ~width ~bias ~len get =
+    match width with
+    | 1 -> for i = 0 to len - 1 do put8 st (get i + bias) done
+    | 2 -> for i = 0 to len - 1 do put16 st (get i + bias) done
+    | 4 -> for i = 0 to len - 1 do put32 st (get i + bias) done
+    | _ -> for i = 0 to len - 1 do put64 st (get i) done
+
+  let put_floats st ~width ~len get =
+    if width = 4 then
+      for i = 0 to len - 1 do
+        put32 st (Int32.to_int (Int32.bits_of_float (get i)) land 0xFFFFFFFF)
+      done
+    else
+      for i = 0 to len - 1 do
+        put_bits64 st (Int64.bits_of_float (get i))
+      done
+
+  let put_payload st ~width ~bias = function
     | P_ints a ->
-        Array.iteri
-          (fun i v -> Bytes.set_int64_le buf (off + (8 * i)) (Int64.of_int v))
-          a
+        put_ints st ~width ~bias ~len:(Array.length a) (Array.unsafe_get a)
     | P_ints_ba a ->
-        for i = 0 to Ints.length a - 1 do
-          Bytes.set_int64_le buf (off + (8 * i)) (Int64.of_int (Ints.unsafe_get a i))
-        done
+        put_ints st ~width ~bias ~len:(Ints.length a) (Ints.unsafe_get a)
     | P_floats a ->
-        Array.iteri
-          (fun i v -> Bytes.set_int64_le buf (off + (8 * i)) (Int64.bits_of_float v))
-          a
+        put_floats st ~width ~len:(Array.length a) (Array.unsafe_get a)
     | P_floats_ba a ->
-        for i = 0 to Floats.length a - 1 do
-          Bytes.set_int64_le buf (off + (8 * i))
-            (Int64.bits_of_float (Floats.unsafe_get a i))
+        put_floats st ~width ~len:(Floats.length a) (Floats.unsafe_get a)
+    | P_bytes s ->
+        for i = 0 to String.length s - 1 do
+          put8 st (Char.code (String.unsafe_get s i))
         done
-    | P_bytes s -> Bytes.blit_string s 0 buf off (String.length s)
     | P_bits b ->
         for i = 0 to Bits.byte_length b - 1 do
-          Bytes.unsafe_set buf (off + i)
-            (Char.unsafe_chr (Bigarray.Array1.unsafe_get b i))
+          put8 st (Bigarray.Array1.unsafe_get b i)
         done
 
-  (* Checksum over the padded word range [off, off + padded_len), both
-     multiples of 8. *)
-  let checksum buf ~off ~len =
-    let h = ref checksum_seed in
-    let words = pad8 len / 8 in
-    for i = 0 to words - 1 do
-      let w = Int64.to_int (Bytes.get_int64_le buf (off + (8 * i))) in
-      h := (!h lxor w) * fnv_prime
-    done;
-    !h
-
   let close w =
+    let v4 = w.w_format = V4 in
     let sections = List.rev w.rev_sections in
-    (* Section layout. *)
+    (* Layout pass: choose widths, lay sections end to end. *)
     let cursor = ref header_bytes in
     let laid =
       List.map
-        (fun (name, kind, payload) ->
+        (fun (name, kind, f32, payload) ->
+          let width, bias = section_width w kind f32 payload in
           let off = !cursor in
-          let len = payload_bytes payload in
+          let len = width * payload_elems payload in
           cursor := off + pad8 len;
-          (name, kind, payload, off, len))
+          (name, kind, payload, width, bias, off, len))
         sections
     in
     let table_off = !cursor in
-    let entry_bytes name = 8 + pad8 (String.length name) + (8 * 4) in
+    let entry_words = if v4 then 6 else 4 in
+    let entry_bytes name = 8 + pad8 (String.length name) + (8 * entry_words) in
     let table_bytes =
-      List.fold_left (fun acc (name, _, _, _, _) -> acc + entry_bytes name) 0 laid
+      List.fold_left
+        (fun acc (name, _, _, _, _, _, _) -> acc + entry_bytes name)
+        0 laid
     in
     let total = table_off + table_bytes + 8 (* table checksum *) in
-    let buf = Bytes.make total '\000' in
-    (* Header. *)
-    Bytes.blit_string magic_padded 0 buf 0 16;
-    Bytes.set_int64_le buf 16 (Int64.of_int sentinel);
-    Bytes.set_int64_le buf 24 (Int64.of_int (List.length laid));
-    Bytes.set_int64_le buf 32 (Int64.of_int table_off);
-    Bytes.set_int64_le buf 40 (Int64.of_int total);
-    (* Payloads. *)
-    List.iter (fun (_, _, payload, off, _) -> write_payload buf off payload) laid;
-    (* Section table. *)
-    let tc = ref table_off in
-    List.iter
-      (fun (name, kind, _, off, len) ->
-        let sum = checksum buf ~off ~len in
-        Bytes.set_int64_le buf !tc (Int64.of_int (String.length name));
-        Bytes.blit_string name 0 buf (!tc + 8) (String.length name);
-        let p = !tc + 8 + pad8 (String.length name) in
-        Bytes.set_int64_le buf p (Int64.of_int kind);
-        Bytes.set_int64_le buf (p + 8) (Int64.of_int off);
-        Bytes.set_int64_le buf (p + 16) (Int64.of_int len);
-        Bytes.set_int64_le buf (p + 24) (Int64.of_int sum);
-        tc := p + 32)
-      laid;
-    let table_sum = checksum buf ~off:table_off ~len:table_bytes in
-    Bytes.set_int64_le buf (total - 8) (Int64.of_int table_sum);
     let oc = open_out_bin w.w_path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> output_bytes oc buf)
+      (fun () ->
+        let st = stream oc in
+        (* Header (not covered by any section checksum). *)
+        let header = Bytes.make header_bytes '\000' in
+        Bytes.blit_string
+          (if v4 then magic_padded else magic_v3_padded)
+          0 header 0 16;
+        Bytes.set_int64_le header 16 (Int64.of_int sentinel);
+        Bytes.set_int64_le header 24 (Int64.of_int (List.length laid));
+        Bytes.set_int64_le header 32 (Int64.of_int table_off);
+        Bytes.set_int64_le header 40 (Int64.of_int total);
+        Bytes.blit header 0 st.buf 0 header_bytes;
+        st.pos <- header_bytes;
+        (* Payloads, collecting each section's checksum as it streams. *)
+        let sums =
+          List.map
+            (fun (_, _, payload, width, bias, _, len) ->
+              begin_section st;
+              put_payload st ~width ~bias payload;
+              for _ = 1 to pad8 len - len do
+                put8 st 0
+              done;
+              st.h)
+            laid
+        in
+        (* Section table, checksummed by the same incremental fold. *)
+        begin_section st;
+        List.iter2
+          (fun (name, kind, _, width, bias, off, len) sum ->
+            put64 st (String.length name);
+            String.iter (fun c -> put8 st (Char.code c)) name;
+            for _ = 1 to pad8 (String.length name) - String.length name do
+              put8 st 0
+            done;
+            put64 st kind;
+            put64 st off;
+            put64 st len;
+            put64 st sum;
+            if v4 then begin
+              put64 st width;
+              put64 st bias
+            end)
+          laid sums;
+        let table_sum = st.h in
+        put64 st table_sum;
+        flush st)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -251,27 +486,33 @@ module Reader = struct
   type section = {
     s_kind : int;
     s_off : int;
-    s_len : int;
+    s_len : int; (* payload bytes *)
     s_sum : int;
+    s_width : int;
+    s_bias : int;
     mutable s_verified : bool;
   }
 
   type t = {
     r_path : string;
+    r_version : int; (* 3 or 4 *)
     bytes_v : bytes_view;
-    ints_v : ints;
-    floats_v : floats;
+    ints_v : i64_arr;
+    floats_v : f64_arr;
+    u16_v : u16_arr;
+    u32_v : u32_arr;
+    f32_v : f32_arr;
     tbl : (string, section) Hashtbl.t;
     order : string list;
   }
 
-  (* Checksum over the mapped words; must mirror Writer.checksum. *)
-  let checksum_view (ints_v : ints) ~off ~len =
+  (* Checksum over the mapped words; must mirror the Writer's fold. *)
+  let checksum_view (ints_v : i64_arr) ~off ~len =
     let h = ref checksum_seed in
     let w0 = off / 8 in
     let words = pad8 len / 8 in
     for i = 0 to words - 1 do
-      h := (!h lxor Ints.unsafe_get ints_v (w0 + i)) * fnv_prime
+      h := (!h lxor Bigarray.Array1.unsafe_get ints_v (w0 + i)) * fnv_prime
     done;
     !h
 
@@ -302,16 +543,30 @@ module Reader = struct
       let floats_v =
         Bigarray.array1_of_genarray (ga Bigarray.float64 (size / 8))
       in
-      (bytes_v, ints_v, floats_v)
+      let u16_v =
+        Bigarray.array1_of_genarray (ga Bigarray.int16_unsigned (size / 2))
+      in
+      let u32_v = Bigarray.array1_of_genarray (ga Bigarray.int32 (size / 4)) in
+      let f32_v = Bigarray.array1_of_genarray (ga Bigarray.float32 (size / 4)) in
+      (bytes_v, ints_v, floats_v, u16_v, u32_v, f32_v)
     in
-    let bytes_v, ints_v, floats_v =
+    let bytes_v, ints_v, floats_v, u16_v, u32_v, f32_v =
       Fun.protect ~finally:(fun () -> Unix.close fd) map
     in
-    for i = 0 to 15 do
-      if Bigarray.Array1.get bytes_v i <> Char.code magic_padded.[i] then
+    let matches m =
+      let ok = ref true in
+      for i = 0 to 15 do
+        if Bigarray.Array1.get bytes_v i <> Char.code m.[i] then ok := false
+      done;
+      !ok
+    in
+    let version =
+      if matches magic_padded then 4
+      else if matches magic_v3_padded then 3
+      else
         corrupt "header" "bad magic (not a %s index file)" (String.trim magic)
-    done;
-    let word i = Ints.get ints_v i in
+    in
+    let word i = Bigarray.Array1.get ints_v i in
     if word 2 <> sentinel then
       corrupt "header"
         "byte-order sentinel mismatch: file written on an incompatible host \
@@ -332,6 +587,7 @@ module Reader = struct
     let sum = checksum_view ints_v ~off:table_off ~len:table_len in
     if sum <> declared_sum then
       corrupt "section-table" "checksum mismatch (index truncated or modified)";
+    let entry_words = if version = 4 then 6 else 4 in
     let tbl = Hashtbl.create 64 in
     let order = ref [] in
     let cursor = ref table_off in
@@ -340,7 +596,8 @@ module Reader = struct
         corrupt "section-table" "table overruns the file";
       let name_len = word (!cursor / 8) in
       if name_len <= 0 || name_len > 255
-         || !cursor + 8 + pad8 name_len + 32 > table_off + table_len
+         || !cursor + 8 + pad8 name_len + (8 * entry_words)
+            > table_off + table_len
       then corrupt "section-table" "malformed entry (name length %d)" name_len;
       let name =
         String.init name_len (fun i ->
@@ -351,25 +608,55 @@ module Reader = struct
       let s_off = word (p + 1) in
       let s_len = word (p + 2) in
       let s_sum = word (p + 3) in
+      let s_width, s_bias =
+        if version = 4 then (word (p + 4), word (p + 5))
+        else ((if s_kind = k_bytes then 1 else 8), 0)
+      in
       if s_kind < 0 || s_kind > k_bytes then
         corrupt name "unknown section kind %d" s_kind;
       if s_off < header_bytes || s_len < 0 || s_off mod 8 <> 0
          || s_off + pad8 s_len > table_off
       then corrupt name "section bounds [%d, %d) out of range" s_off (s_off + s_len);
+      let width_ok =
+        match s_kind with
+        | 0 -> s_width = 1 || s_width = 2 || s_width = 4 || s_width = 8
+        | 1 -> s_width = 4 || s_width = 8
+        | _ -> s_width = 1
+      in
+      if not width_ok then
+        corrupt name "unsupported width %d for kind %s" s_width
+          (kind_name s_kind);
+      if s_bias < 0 || s_bias > 1 || (s_bias = 1 && s_width = 8) then
+        corrupt name "unsupported sentinel bias %d" s_bias;
+      if s_len mod s_width <> 0 then
+        corrupt name "section length %d is not a multiple of its width %d"
+          s_len s_width;
       if Hashtbl.mem tbl name then corrupt name "duplicate section";
       Hashtbl.replace tbl name
-        { s_kind; s_off; s_len; s_sum; s_verified = false };
+        { s_kind; s_off; s_len; s_sum; s_width; s_bias; s_verified = false };
       order := name :: !order;
-      cursor := (p + 4) * 8
+      cursor := (p + entry_words) * 8
     done;
     let r =
-      { r_path = path; bytes_v; ints_v; floats_v; tbl; order = List.rev !order }
+      {
+        r_path = path;
+        r_version = version;
+        bytes_v;
+        ints_v;
+        floats_v;
+        u16_v;
+        u32_v;
+        f32_v;
+        tbl;
+        order = List.rev !order;
+      }
     in
     if verify then
       List.iter (fun name -> verify_section r name (Hashtbl.find r.tbl name)) r.order;
     r
 
   let path r = r.r_path
+  let version r = r.r_version
   let has r name = Hashtbl.mem r.tbl name
   let sections r = r.order
 
@@ -386,12 +673,19 @@ module Reader = struct
   let ints r name : ints =
     let s = find r name in
     expect_kind name s k_ints;
-    Ints.sub r.ints_v (s.s_off / 8) (s.s_len / 8)
+    let elems = s.s_len / s.s_width in
+    match s.s_width with
+    | 1 -> U8 (Bigarray.Array1.sub r.bytes_v s.s_off elems, s.s_bias)
+    | 2 -> U16 (Bigarray.Array1.sub r.u16_v (s.s_off / 2) elems, s.s_bias)
+    | 4 -> U32 (Bigarray.Array1.sub r.u32_v (s.s_off / 4) elems, s.s_bias)
+    | _ -> I64 (Bigarray.Array1.sub r.ints_v (s.s_off / 8) elems)
 
   let floats r name : floats =
     let s = find r name in
     expect_kind name s k_floats;
-    Bigarray.Array1.sub r.floats_v (s.s_off / 8) (s.s_len / 8)
+    let elems = s.s_len / s.s_width in
+    if s.s_width = 4 then F32 (Bigarray.Array1.sub r.f32_v (s.s_off / 4) elems)
+    else F64 (Bigarray.Array1.sub r.floats_v (s.s_off / 8) elems)
 
   let bits r name : Bits.t =
     let s = find r name in
@@ -403,4 +697,35 @@ module Reader = struct
     expect_kind name s k_bytes;
     verify_section r name s;
     String.init s.s_len (fun i -> Char.chr (Bigarray.Array1.get r.bytes_v (s.s_off + i)))
+
+  type section_info = {
+    si_name : string;
+    si_kind : string;
+    si_width : int;
+    si_bias : int;
+    si_off : int;
+    si_bytes : int;
+    si_elems : int;
+    si_checksum_ok : bool;
+  }
+
+  let table r =
+    List.map
+      (fun name ->
+        let s = Hashtbl.find r.tbl name in
+        let ok =
+          s.s_verified
+          || checksum_view r.ints_v ~off:s.s_off ~len:s.s_len = s.s_sum
+        in
+        {
+          si_name = name;
+          si_kind = kind_name s.s_kind;
+          si_width = s.s_width;
+          si_bias = s.s_bias;
+          si_off = s.s_off;
+          si_bytes = s.s_len;
+          si_elems = (if s.s_kind = k_bytes then s.s_len else s.s_len / s.s_width);
+          si_checksum_ok = ok;
+        })
+      r.order
 end

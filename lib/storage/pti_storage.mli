@@ -2,22 +2,26 @@
     read-only via [Unix.map_file] into [Bigarray] views.
 
     The container is a sequence of named, 8-byte-aligned sections behind
-    a fixed header (see DESIGN.md §8 for the byte-level layout):
+    a fixed header (see DESIGN.md §8–§9 for the byte-level layout):
 
     {v
-    magic "PTI-ENGINE-3\n" (16 bytes, zero padded)
+    magic "PTI-ENGINE-4\n" (16 bytes, zero padded)
     byte-order/int-width sentinel, section count,
     section-table offset, total file size        (one 64-bit word each)
     ... sections, each padded to a multiple of 8 bytes ...
-    section table: (name, kind, offset, length, checksum) per section
+    section table: (name, kind, offset, length, checksum,
+                    width, bias) per section
     table checksum
     v}
 
-    Everything except the opaque [bytes] payloads is written as 64-bit
-    little-endian words, so a mapped file is readable in place as
-    [Bigarray.int] / [Bigarray.float64] arrays on any 64-bit
-    little-endian host (the sentinel word rejects other hosts instead of
-    silently misreading). Opening a file costs page mapping plus — by
+    The envelope (header, table, checksums) is 64-bit little-endian
+    words. Since version 4, array payloads are packed at the minimal
+    byte width covering the section's value range (u8/u16/u32/u64 ints,
+    f64 and opt-in f32 floats), with an explicit +1 bias for sections
+    whose only negative value is a [-1] sentinel; version-3 files (all
+    elements stored as full 64-bit words) still load transparently. The
+    sentinel word rejects big-endian or non-64-bit hosts instead of
+    silently misreading. Opening a file costs page mapping plus — by
     default — one streaming checksum pass; no per-element
     deserialization ever happens, and because mapped sections are
     immutable and page-cache-shared, any number of domains or OS
@@ -31,15 +35,31 @@ exception Corrupt of { section : string; reason : string }
 (** {2 Array views}
 
     These are the accessor types the query path reads through: either a
-    fresh heap-backed [Bigarray] (just-constructed engines) or a view
-    into the mapped file (opened engines) — one code path, zero
-    per-access allocation either way. *)
+    fresh heap-backed [Bigarray] (just-constructed engines) or a
+    possibly-packed view into the mapped file (opened engines) — one
+    code path, zero per-access allocation either way. Only heap-built
+    ([I64]/[F64]) views are mutable; packed views come from mapped
+    files, which are immutable. *)
 
-type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
-type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type i64_arr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u8_arr = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u16_arr = (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+type u32_arr = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f64_arr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f32_arr = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-type bytes_view =
-  (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Packed int views store [v + bias] as an unsigned [width]-byte
+    integer; [bias] is 1 exactly when the section holds [-1] sentinels
+    (e.g. separator positions in pos/doc_of arrays) and 0 otherwise. *)
+type ints =
+  | I64 of i64_arr
+  | U8 of u8_arr * int  (** data, bias *)
+  | U16 of u16_arr * int
+  | U32 of u32_arr * int
+
+type floats = F64 of f64_arr | F32 of f32_arr
+
+type bytes_view = u8_arr
 
 module Ints : sig
   val empty : ints
@@ -49,26 +69,43 @@ module Ints : sig
       in place (mapped views are never mutated). *)
 
   val set : ints -> int -> int -> unit
+  (** Raises [Invalid_argument] on a packed (read-only) view. *)
+
   val of_array : int array -> ints
   val to_array : ints -> int array
   val length : ints -> int
   val get : ints -> int -> int
   val unsafe_get : ints -> int -> int
+
   val sub : ints -> int -> int -> ints
   (** [sub a off len]: a view sharing storage, like [Bigarray.Array1.sub]. *)
+
+  val width : ints -> int
+  (** Bytes per element of the underlying representation (1/2/4/8). *)
+
+  val byte_size : ints -> int
+  (** [width * length]: bytes this view occupies in its backing store. *)
 end
 
 module Floats : sig
   val empty : floats
+
   val create : int -> floats
   (** A fresh zero-filled heap-backed array; see {!Ints.create}. *)
 
   val set : floats -> int -> float -> unit
+  (** Raises [Invalid_argument] on a packed (read-only) view. *)
+
   val of_array : float array -> floats
   val to_array : floats -> float array
   val length : floats -> int
   val get : floats -> int -> float
   val unsafe_get : floats -> int -> float
+
+  val width : floats -> int
+  (** Bytes per element of the underlying representation (4 or 8). *)
+
+  val byte_size : floats -> int
 end
 
 (** Bit vectors over raw bytes (bit [j] = bit [j land 7] of byte
@@ -82,27 +119,41 @@ module Bits : sig
   val get : t -> int -> bool
 end
 
+type format = V3 | V4
+(** Container format to write. [V4] (default) packs array sections to
+    their minimal width; [V3] writes every element as a 64-bit word,
+    byte-identical to files produced before version 4 existed. *)
+
 val magic : string
-(** ["PTI-ENGINE-3\n"] — the container magic, also the first bytes of
-    the file. *)
+(** ["PTI-ENGINE-4\n"] — the current container magic, also the first
+    bytes of a freshly written file. *)
+
+val magic_v3 : string
+(** ["PTI-ENGINE-3\n"] — the previous container magic; such files still
+    load transparently. *)
 
 val file_has_magic : string -> bool
-(** Whether the file at this path starts with {!magic} (false for
-    missing/short files) — used to dispatch legacy formats. *)
+(** Whether the file at this path starts with {!magic} or {!magic_v3}
+    (false for missing/short files) — used to dispatch legacy formats. *)
 
 (** {2 Writing} *)
 
 module Writer : sig
   type t
 
-  val create : string -> t
-  (** Start a container at this path. Sections are buffered in memory
-      and the file is written on {!close}. *)
+  val create : ?format:format -> string -> t
+  (** Start a container at this path (default format {!V4}). Section
+      payloads are referenced, not copied; the file is streamed out on
+      {!close}. *)
 
   val add_ints : t -> string -> int array -> unit
   val add_ints_ba : t -> string -> ints -> unit
-  val add_floats : t -> string -> float array -> unit
-  val add_floats_ba : t -> string -> floats -> unit
+
+  val add_floats : ?f32:bool -> t -> string -> float array -> unit
+  (** With [~f32:true] (V4 only) the section is stored as float32 —
+      opt-in, for sections where the precision loss is provably safe. *)
+
+  val add_floats_ba : ?f32:bool -> t -> string -> floats -> unit
 
   val add_bytes : t -> string -> string -> unit
   (** An opaque byte payload (readable back via {!Reader.blob} or
@@ -111,9 +162,12 @@ module Writer : sig
   val add_bits : t -> string -> Bits.t -> unit
 
   val close : t -> unit
-  (** Lay out, checksum and write the file. Section order is the
-      [add_*] call order, so identical engines produce byte-identical
-      files. Raises [Invalid_argument] on duplicate section names. *)
+  (** Lay out, checksum and write the file as a stream of fixed-size
+      chunks — O(bytes written) time, O(chunk) memory, checksums folded
+      incrementally while streaming. Section order is the [add_*] call
+      order and widths are a pure function of section values, so
+      identical engines produce byte-identical files. Raises
+      [Invalid_argument] on duplicate section names. *)
 end
 
 (** {2 Reading (mmap)} *)
@@ -122,24 +176,29 @@ module Reader : sig
   type t
 
   val open_file : ?verify:bool -> string -> t
-  (** Map the file and parse the header and section table, raising
-      {!Corrupt} on any structural problem. With [verify] (default
-      [true]) every section's checksum is verified eagerly — one
-      sequential pass over the mapping; with [~verify:false] only the
-      envelope is checked and array sections are trusted (blob sections
-      are still verified lazily before deserialization, so a corrupt
-      file can produce wrong query answers but never undefined
+  (** Map the file and parse the header and section table (version 4 or
+      3), raising {!Corrupt} on any structural problem. With [verify]
+      (default [true]) every section's checksum is verified eagerly —
+      one sequential pass over the mapping; with [~verify:false] only
+      the envelope is checked and array sections are trusted (blob
+      sections are still verified lazily before deserialization, so a
+      corrupt file can produce wrong query answers but never undefined
       behaviour). *)
 
   val path : t -> string
+
+  val version : t -> int
+  (** Container version of the underlying file: 3 or 4. *)
+
   val has : t -> string -> bool
+
   val sections : t -> string list
   (** Section names in file order. *)
 
   val ints : t -> string -> ints
   val floats : t -> string -> floats
-  (** Zero-copy views of an array section. Raise {!Corrupt} if the
-      section is missing or has the wrong kind. *)
+  (** Zero-copy (possibly packed) views of an array section. Raise
+      {!Corrupt} if the section is missing or has the wrong kind. *)
 
   val bits : t -> string -> Bits.t
   (** Zero-copy byte view of a bytes section. *)
@@ -147,4 +206,20 @@ module Reader : sig
   val blob : t -> string -> string
   (** Copy of a bytes section, checksum-verified first even when the
       reader was opened with [~verify:false] (blobs feed [Marshal]). *)
+
+  type section_info = {
+    si_name : string;
+    si_kind : string;  (** "ints" / "floats" / "bytes" *)
+    si_width : int;  (** bytes per element *)
+    si_bias : int;  (** 1 if [-1] sentinels are stored biased, else 0 *)
+    si_off : int;  (** payload offset in the file *)
+    si_bytes : int;  (** payload bytes (before 8-byte padding) *)
+    si_elems : int;
+    si_checksum_ok : bool;
+  }
+
+  val table : t -> section_info list
+  (** The section table in file order, with each section's checksum
+      status (recomputing checksums for sections not yet verified) —
+      powers [pti stats <index-file>]. *)
 end

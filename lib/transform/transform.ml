@@ -288,6 +288,10 @@ let size_words t =
   (2 * S.Ints.length t.text) + (3 * S.Ints.length t.text) + 8
 (* text + pos ints, parray ~3 words/position *)
 
+let size_bytes t =
+  S.Ints.byte_size t.text + S.Ints.byte_size t.pos
+  + Parray.size_bytes t.parray + 64
+
 (* {2 Persistence} *)
 
 type meta = {

@@ -103,6 +103,13 @@ val stats : t -> string
 (** One-line human-readable summary. *)
 
 val size_words : t -> int
+(** Approximate space in 8-byte machine words (historical accounting,
+    assumes unpacked arrays); prefer {!size_bytes}. *)
+
+val size_bytes : t -> int
+(** Exact bytes of the transformed text, position map and probability
+    arrays in their current representation (packed views count at
+    their packed width). *)
 
 (** {2 Persistence}
 

@@ -1,9 +1,12 @@
-(* Tests for the PTI-ENGINE-3 container (Pti_storage) and the
+(* Tests for the PTI-ENGINE-4 container (Pti_storage) and the
    zero-copy engine persistence built on it:
 
    - container roundtrips and typed [Corrupt] rejection of truncated,
      wrong-magic and bit-flipped files, with the offending section
      named;
+   - minimal-width packing: u8/u16/u32 boundary values and -1
+     sentinels through packed views, packed-section corruption, the
+     V3 writer, and the float32 opt-in;
    - heap-built vs reopened-mmap engines answering byte-identically
      across the full configuration matrix (metric × range-search ×
      ladder × rmq kind, with and without correlations), including
@@ -97,10 +100,10 @@ let test_container_writer_rejects () =
            false
          with Invalid_argument _ -> true))
 
-(* Bit flips in a container with a known layout: header is 48 bytes,
-   then "xs" (5 words at 48), "fs" (2 words at 88), "blob" (11 bytes at
-   104, padded to 16), then the section table at 120. The reported
-   section must be the one actually hit. *)
+(* Bit flips in a container with a known v4 packed layout: header is 48
+   bytes, then "xs" (5 u8 bytes at 48, padded to 56), "fs" (2 float64
+   words at 56), "blob" (11 bytes at 72, padded to 88), then the section
+   table at 88. The reported section must be the one actually hit. *)
 let test_container_bitflip () =
   let build path =
     let w = S.Writer.create path in
@@ -123,15 +126,16 @@ let test_container_bitflip () =
   check_flip 17 "header" (* sentinel *);
   check_flip 41 "header" (* declared total size *);
   check_flip 50 "xs";
-  check_flip 88 "fs";
-  check_flip 104 "blob";
-  check_flip 115 "blob" (* alignment padding is checksummed too *);
-  check_flip 130 "section-table";
+  check_flip 54 "xs" (* alignment padding is checksummed too *);
+  check_flip 58 "fs";
+  check_flip 74 "blob";
+  check_flip 84 "blob" (* blob padding *);
+  check_flip 100 "section-table";
   (* with ~verify:false array sections are trusted at open time, but
      blobs are still verified before deserialization *)
   with_tmp (fun path ->
       build path;
-      flip_bit path 104;
+      flip_bit path 74;
       let r = S.Reader.open_file ~verify:false path in
       Alcotest.(check (array int))
         "arrays readable unverified" [| 1; 2; 3; 4; 5 |]
@@ -162,6 +166,201 @@ let test_container_truncation () =
           Alcotest.(check (option string))
             "wrong magic" (Some "header")
             (corrupt_section (fun () -> S.Reader.open_file p2))))
+
+(* ------------------------------------------------------------------ *)
+(* Width-adaptive packing: values at the u8/u16/u32 boundaries (and -1
+   sentinels) must pick the expected representation and roundtrip
+   exactly through the packed views. *)
+
+let section_info r name =
+  List.find (fun i -> i.S.Reader.si_name = name) (S.Reader.table r)
+
+let test_packed_widths () =
+  let cases =
+    [
+      ("u8.top", [| 0; 255 |], 1, 0);
+      ("u16.bot", [| 0; 256 |], 2, 0);
+      ("u16.top", [| 7; 65535 |], 2, 0);
+      ("u32.bot", [| 65536 |], 4, 0);
+      ("u32.top", [| 0xFFFFFFFF |], 4, 0);
+      ("u64.bot", [| 0x1_0000_0000 |], 8, 0);
+      ("sent.u8", [| -1; 254 |], 1, 1);
+      ("sent.u8.edge", [| -1; 255 |], 2, 1) (* 255 + bias needs u16 *);
+      ("sent.u16", [| -1; 65534 |], 2, 1);
+      ("sent.u32", [| -1; 0xFFFFFFFE |], 4, 1);
+      ("sent.u64", [| -1; 0xFFFFFFFF |], 8, 0) (* bias would overflow u32 *);
+      ("neg", [| -2; 5 |], 8, 0) (* only -1 sentinels are biased *);
+      ("extremes", [| max_int; min_int |], 8, 0);
+      ("empty", [||], 1, 0);
+    ]
+  in
+  with_tmp (fun path ->
+      let w = S.Writer.create path in
+      List.iter (fun (name, a, _, _) -> S.Writer.add_ints w name a) cases;
+      S.Writer.close w;
+      let r = S.Reader.open_file path in
+      Alcotest.(check int) "version" 4 (S.Reader.version r);
+      List.iter
+        (fun (name, a, width, bias) ->
+          let i = section_info r name in
+          Alcotest.(check int) (name ^ " width") width i.S.Reader.si_width;
+          Alcotest.(check int) (name ^ " bias") bias i.S.Reader.si_bias;
+          Alcotest.(check bool) (name ^ " checksum") true i.S.Reader.si_checksum_ok;
+          let v = S.Reader.ints r name in
+          Alcotest.(check int) (name ^ " view width") width (S.Ints.width v);
+          Alcotest.(check int)
+            (name ^ " byte_size")
+            (width * Array.length a)
+            (S.Ints.byte_size v);
+          Alcotest.(check (array int)) (name ^ " roundtrip") a (S.Ints.to_array v);
+          (* element accessors and sub-views agree with the array *)
+          Array.iteri
+            (fun j x ->
+              Alcotest.(check int) (name ^ " get") x (S.Ints.get v j);
+              Alcotest.(check int)
+                (name ^ " sub.get")
+                x
+                (S.Ints.get (S.Ints.sub v j (Array.length a - j)) 0))
+            a)
+        cases)
+
+(* Random int arrays drawn across all width classes roundtrip exactly. *)
+let test_packed_roundtrip_prop () =
+  let gen =
+    QCheck.Gen.(
+      array_size (int_range 0 64)
+        (oneof
+           [
+             int_range (-1) 300;
+             int_range 0 70000;
+             int_range 0 0x1_0000_0000;
+             oneofl [ -1; 0; 255; 256; 65535; 65536; 0xFFFFFFFF; max_int; min_int ];
+           ]))
+  in
+  let prop a =
+    with_tmp (fun path ->
+        let w = S.Writer.create path in
+        S.Writer.add_ints w "a" a;
+        S.Writer.close w;
+        let r = S.Reader.open_file path in
+        S.Ints.to_array (S.Reader.ints r "a") = a)
+  in
+  let cell =
+    QCheck.Test.make ~count:200 ~name:"packed arrays roundtrip"
+      (QCheck.make ~print:QCheck.Print.(array int) gen)
+      prop
+  in
+  QCheck.Test.check_exn cell
+
+(* Bit flips inside packed payloads are caught by the incremental
+   checksums and name the right section; offsets come from the section
+   table, not hardcoded layout. *)
+let test_packed_corruption () =
+  let build path =
+    let w = S.Writer.create path in
+    S.Writer.add_ints w "bytes8" (Array.init 11 (fun i -> i * 20));
+    S.Writer.add_ints w "words16" (Array.init 7 (fun i -> 300 + i));
+    S.Writer.add_ints w "words32" (Array.init 5 (fun i -> 70000 + i));
+    S.Writer.add_ints w "sentinels" (Array.init 9 (fun i -> i - 1));
+    S.Writer.close w
+  in
+  let offsets =
+    with_tmp (fun path ->
+        build path;
+        let r = S.Reader.open_file path in
+        List.map
+          (fun i -> (i.S.Reader.si_name, i.S.Reader.si_off, i.S.Reader.si_bytes))
+          (S.Reader.table r))
+  in
+  List.iter
+    (fun (name, off, bytes) ->
+      List.iter
+        (fun at ->
+          with_tmp (fun path ->
+              build path;
+              flip_bit path at;
+              Alcotest.(check (option string))
+                (Printf.sprintf "%s flip at %d" name at)
+                (Some name)
+                (corrupt_section (fun () -> S.Reader.open_file path))))
+        [ off; off + bytes - 1 ])
+    offsets;
+  (* truncating a packed container is still rejected *)
+  with_tmp (fun path ->
+      build path;
+      let full = read_file path in
+      with_tmp (fun p2 ->
+          write_file p2 (String.sub full 0 (String.length full - 16));
+          Alcotest.(check bool) "truncated packed container rejected" true
+            (corrupt_section (fun () -> S.Reader.open_file p2) <> None)))
+
+(* The V3 writer still produces loadable 64-bit-per-element files. *)
+let test_v3_writer_roundtrip () =
+  with_tmp (fun path ->
+      let w = S.Writer.create ~format:S.V3 path in
+      S.Writer.add_ints w "xs" [| -1; 0; 255; 65536; max_int |];
+      S.Writer.add_floats w "fs" [| 3.25; -0.5 |];
+      S.Writer.add_bytes w "blob" "legacy width";
+      S.Writer.close w;
+      let r = S.Reader.open_file path in
+      Alcotest.(check int) "version" 3 (S.Reader.version r);
+      let xs = S.Reader.ints r "xs" in
+      Alcotest.(check int) "v3 ints are 8-wide" 8 (S.Ints.width xs);
+      Alcotest.(check (array int))
+        "v3 ints roundtrip"
+        [| -1; 0; 255; 65536; max_int |]
+        (S.Ints.to_array xs);
+      Alcotest.(check (array (float 0.0)))
+        "v3 floats roundtrip" [| 3.25; -0.5 |]
+        (S.Floats.to_array (S.Reader.floats r "fs"));
+      Alcotest.(check string) "v3 blob" "legacy width" (S.Reader.blob r "blob");
+      (* f32 is a v4-only feature *)
+      let w2 = S.Writer.create ~format:S.V3 path in
+      Alcotest.(check bool) "f32 rejected on V3" true
+        (try
+           S.Writer.add_floats ~f32:true w2 "f" [| 1.0 |];
+           false
+         with Invalid_argument _ -> true))
+
+(* float32 sections are opt-in; they halve storage at ~1e-7 relative
+   precision and read back through the same [floats] view. *)
+let test_f32_optin () =
+  with_tmp (fun path ->
+      let a = Array.init 33 (fun i -> log (1.0 +. float_of_int i) /. 7.0) in
+      let w = S.Writer.create path in
+      S.Writer.add_floats ~f32:true w "f32" a;
+      S.Writer.add_floats w "f64" a;
+      S.Writer.close w;
+      let r = S.Reader.open_file path in
+      let i32 = section_info r "f32" and i64 = section_info r "f64" in
+      Alcotest.(check int) "f32 width" 4 i32.S.Reader.si_width;
+      Alcotest.(check int) "f64 width" 8 i64.S.Reader.si_width;
+      let v32 = S.Reader.floats r "f32" in
+      Alcotest.(check int) "f32 view width" 4 (S.Floats.width v32);
+      Alcotest.(check (array (float 1e-6)))
+        "f32 roundtrip within precision" a
+        (S.Floats.to_array v32);
+      Alcotest.(check (array (float 0.0)))
+        "f64 exact" a
+        (S.Floats.to_array (S.Reader.floats r "f64")))
+
+(* A packed container re-saved from its mapped views (as [Engine.save]
+   does on a loaded index) must be byte-identical. *)
+let test_packed_resave () =
+  with_tmp (fun path ->
+      let w = S.Writer.create path in
+      S.Writer.add_ints w "xs" (Array.init 300 (fun i -> i - 1));
+      S.Writer.add_floats w "fs" [| 0.125; 8.5 |];
+      S.Writer.close w;
+      let original = read_file path in
+      let r = S.Reader.open_file path in
+      with_tmp (fun path2 ->
+          let w2 = S.Writer.create path2 in
+          S.Writer.add_ints_ba w2 "xs" (S.Reader.ints r "xs");
+          S.Writer.add_floats_ba w2 "fs" (S.Reader.floats r "fs");
+          S.Writer.close w2;
+          Alcotest.(check bool) "resaved packed container byte-identical" true
+            (String.equal original (read_file path2))))
 
 (* ------------------------------------------------------------------ *)
 (* Engine files: any single-bit flip must surface as [Corrupt] — never
@@ -437,6 +636,20 @@ let () =
             test_container_bitflip;
           Alcotest.test_case "truncation rejected" `Quick
             test_container_truncation;
+        ] );
+      ( "packed",
+        [
+          Alcotest.test_case "width boundaries and sentinels" `Quick
+            test_packed_widths;
+          Alcotest.test_case "random arrays roundtrip" `Quick
+            test_packed_roundtrip_prop;
+          Alcotest.test_case "packed sections detect corruption" `Quick
+            test_packed_corruption;
+          Alcotest.test_case "V3 writer roundtrip" `Quick
+            test_v3_writer_roundtrip;
+          Alcotest.test_case "float32 opt-in" `Quick test_f32_optin;
+          Alcotest.test_case "mapped views re-save byte-identical" `Quick
+            test_packed_resave;
         ] );
       ( "corruption",
         [
