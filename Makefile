@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par bench-io bench-space clean
+.PHONY: check check-par bench bench-par bench-io bench-space bench-serve serve-smoke clean
 
 check:
 	dune build @all
@@ -21,6 +21,17 @@ bench-io:
 # Space: packed PTI-ENGINE-4 vs 64-bit V3 containers; writes BENCH_SPACE.json.
 bench-space:
 	dune exec bench/main.exe -- space
+
+# Serving: loadgen against the TCP daemon, heap vs mmap engines at
+# concurrency 1/8/64; writes BENCH_SERVE.json (with recommended_domains
+# and single_core so single-core numbers are not mistaken for scaling).
+bench-serve:
+	dune exec bench/main.exe -- serve
+
+# End-to-end daemon smoke: gen -> build -> serve -> loadgen --check.
+serve-smoke:
+	dune build bin/pti.exe
+	scripts/serve_smoke.sh
 
 clean:
 	dune clean

@@ -972,6 +972,118 @@ let space () =
   Printf.printf "   wrote BENCH_SPACE.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* serve: the TCP daemon end to end (DESIGN.md §10) — loadgen
+   throughput and client-side latency percentiles at several
+   concurrency levels, with the served engines either heap-resident
+   (built in-process) or behind the mmap container + LRU cache exactly
+   as `pti serve` runs them. Writes BENCH_SERVE.json. *)
+
+let serve_bench () =
+  let module Server = Pti_server.Server in
+  let module Loadgen = Pti_server.Loadgen in
+  let n = if !smoke then 5_000 else if !fast then 20_000 else 100_000 in
+  let theta = 0.3 in
+  let u = dataset ~n ~theta in
+  let ds = docs ~n ~theta in
+  let g = G.build ~tau_min:tau_min_default u in
+  let l = L.build ~tau_min:tau_min_default ds in
+  let gpath = Filename.temp_file "pti_bench_serve" ".idx" in
+  let lpath = Filename.temp_file "pti_bench_serve" ".idx" in
+  let workers = Pti_parallel.num_domains () in
+  let duration_s = if !smoke then 0.5 else if !fast then 1.0 else 2.0 in
+  let concurrencies = [ 1; 8; 64 ] in
+  let mix = { Loadgen.query = 8; top_k = 1; listing = 1 } in
+  print_header "serve: TCP daemon throughput and latency under load"
+    (Printf.sprintf
+       "n=%d theta=%.1f tau=%.2f; %d worker domain(s), mix \
+        query=8,topk=1,listing=1, %.1fs per point; latencies are exact \
+        client-side percentiles"
+       n theta tau_default workers duration_s);
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove gpath;
+      Sys.remove lpath)
+    (fun () ->
+      G.save g gpath;
+      L.save l lpath;
+      let backends =
+        [
+          ("heap", [ Server.Source_general g; Server.Source_listing l ]);
+          ("mmap", [ Server.Source_file gpath; Server.Source_file lpath ]);
+        ]
+      in
+      Printf.printf "%8s %6s %10s %10s %10s %10s %10s %10s %8s\n" "engines"
+        "conc" "req/s" "mean_us" "p50_us" "p95_us" "p99_us" "max_us" "errors";
+      let rows =
+        List.concat_map
+          (fun (backend, sources) ->
+            let config =
+              { Server.default_config with port = 0; workers; queue_cap = 4096 }
+            in
+            let srv = Server.create ~config sources in
+            let d = Domain.spawn (fun () -> Server.run srv) in
+            Fun.protect
+              ~finally:(fun () ->
+                Server.stop srv;
+                Domain.join d)
+              (fun () ->
+                List.map
+                  (fun concurrency ->
+                    let r =
+                      Loadgen.run ~port:(Server.port srv) ~concurrency
+                        ~duration_s ~index:0 ~listing_index:1
+                        ~lengths:[ 4; 8 ] ~tau:tau_default ~mix ~source:u ()
+                    in
+                    let errors =
+                      List.fold_left (fun a (_, c) -> a + c) 0 r.Loadgen.errors
+                      + r.Loadgen.protocol_failures + r.Loadgen.verify_failures
+                    in
+                    Printf.printf
+                      "%8s %6d %10.0f %10.1f %10.1f %10.1f %10.1f %10.1f %8d\n%!"
+                      backend concurrency r.Loadgen.throughput_rps
+                      r.Loadgen.mean_us r.Loadgen.p50_us r.Loadgen.p95_us
+                      r.Loadgen.p99_us r.Loadgen.max_us errors;
+                    (backend, concurrency, r))
+                  concurrencies))
+          backends
+      in
+      let oc = open_out "BENCH_SERVE.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Printf.fprintf oc
+            "{\n  \"experiment\": \"serve\",\n  \"n\": %d,\n\
+            \  \"theta\": %g,\n  \"tau\": %g,\n  \"tau_min\": %g,\n\
+            \  \"workers\": %d,\n  \"duration_s\": %g,\n\
+            \  \"mix\": \"query=8,topk=1,listing=1\",\n\
+            \  %s\n\
+            \  \"note\": \"%s\",\n  \"results\": [\n"
+            n theta tau_default tau_min_default workers duration_s
+            (host_json_fields ())
+            (json_escape
+               ("one server (binary protocol, bounded queue, worker \
+                 domains), one Loadgen client pool per row; heap = engines \
+                 built in-process, mmap = PTI-ENGINE-4 containers resolved \
+                 through the LRU cache. latency percentiles are exact \
+                 client-side measurements."
+               ^
+               if workers <= 1 then
+                 " WARNING: single-core host — the accept loop, the worker \
+                  and the load generator all share one core, so throughput \
+                  is a floor, not a measurement of scaling."
+               else ""));
+          List.iteri
+            (fun i (backend, concurrency, r) ->
+              Printf.fprintf oc
+                "    {\"engines\": \"%s\", \"concurrency\": %d, %s}%s\n"
+                backend concurrency
+                (Loadgen.to_json_fields r)
+                (if i = List.length rows - 1 then "" else ","))
+            rows;
+          Printf.fprintf oc "  ]\n}\n"));
+  Printf.printf "   wrote BENCH_SERVE.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family. *)
 
 let micro () =
@@ -1065,6 +1177,7 @@ let experiments =
     ("io", io);
     ("space", space);
     ("par", par);
+    ("serve", serve_bench);
     ("micro", micro);
   ]
 

@@ -8,6 +8,9 @@
      stats   transformation / index statistics
      worlds  enumerate possible worlds of a small uncertain string
 
+     serve   serve saved indexes over TCP (DESIGN.md §10)
+     loadgen drive a running server with a reproducible query mix
+
    Dataset files contain one uncertain string per line in the
    Ustring.parse format ("A:.3,B:.7 C D:.5,E:.5 ..."). A single-line
    file is one string; a multi-line file is a collection. *)
@@ -51,6 +54,19 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* User errors (τ < τ_min, bad pattern symbols, unknown kinds, corrupt
+   files) exit 2 with a one-line message instead of cmdliner's
+   uncaught-exception backtrace. The server maps the same conditions to
+   typed error replies; the CLI maps them to an exit code. *)
+let run_checked f =
+  try f () with
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+      Printf.eprintf "pti: %s\n" msg;
+      exit 2
+  | Pti_storage.Corrupt { section; reason } ->
+      Printf.eprintf "pti: corrupt index (section %s): %s\n" section reason;
+      exit 2
+
 (* ------------------------------------------------------------------ *)
 (* gen *)
 
@@ -78,6 +94,7 @@ let print_hits hits =
       hits
 
 let build_cmd_impl input output tau_min docs_mode relevance =
+  run_checked @@ fun () ->
   if docs_mode then begin
     let docs = read_docs input in
     let rel = if relevance = "or" then L.Rel_or else L.Rel_max in
@@ -96,6 +113,7 @@ let build_cmd_impl input output tau_min docs_mode relevance =
   end
 
 let query input load pattern tau tau_min index_kind epsilon top =
+  run_checked @@ fun () ->
   match load with
   | Some path ->
       let g, loaded = time (fun () -> G.load path) in
@@ -168,6 +186,7 @@ let query input load pattern tau tau_min index_kind epsilon top =
 (* list *)
 
 let list_cmd input load pattern tau tau_min relevance =
+  run_checked @@ fun () ->
   let l =
     match load with
     | Some path ->
@@ -249,6 +268,7 @@ let dataset_stats input tau_min =
   Printf.printf "engine:         %s\n" (Pti_core.Engine.stats (G.engine g))
 
 let stats index_file input tau_min =
+  run_checked @@ fun () ->
   match (index_file, input) with
   | Some path, _ -> container_stats path
   | None, Some input -> dataset_stats input tau_min
@@ -259,12 +279,86 @@ let stats index_file input tau_min =
 (* worlds *)
 
 let worlds input limit =
+  run_checked @@ fun () ->
   let u = read_single input in
   let ws = Pti_ustring.Worlds.enumerate ~limit u in
   List.iter
     (fun (w, p) -> Printf.printf "%s\t%s\n" (Sym.to_string w) (Logp.to_string p))
     ws;
   Printf.eprintf "%d possible world(s)\n" (List.length ws)
+
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen *)
+
+module Server = Pti_server.Server
+module Loadgen = Pti_server.Loadgen
+
+let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
+    debug_slow =
+  run_checked @@ fun () ->
+  if indexes = [] then failwith "serve: pass at least one index file";
+  let config =
+    {
+      Server.host;
+      port;
+      workers =
+        (match workers with Some w -> w | None -> Pti_parallel.num_domains ());
+      queue_cap;
+      deadline_ms;
+      cache_cap;
+      verify = not no_verify;
+      debug_slow;
+    }
+  in
+  let srv =
+    Server.create ~config (List.map (fun p -> Server.Source_file p) indexes)
+  in
+  (* the port line is machine-read by serve_smoke.sh; keep its shape *)
+  Printf.printf "pti-serve: listening on %s:%d (%d workers, queue %d, \
+                 deadline %.0f ms, %d index(es))\n%!"
+    host (Server.port srv) config.workers config.queue_cap config.deadline_ms
+    (List.length indexes);
+  let stop_handler _ = Server.stop srv in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_handler);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_handler);
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle (fun _ -> Server.request_stats_dump srv));
+  Server.run srv;
+  Printf.eprintf "pti-serve: final stats %s\n" (Server.stats_json srv)
+
+let loadgen input host port concurrency duration requests mix seed tau lengths
+    index listing_index k check =
+  run_checked @@ fun () ->
+  let u = read_single input in
+  let mix = Loadgen.mix_of_string mix in
+  let lengths =
+    List.map
+      (fun s ->
+        match int_of_string_opt (String.trim s) with
+        | Some v -> v
+        | None -> failwith ("loadgen: bad pattern length " ^ s))
+      (String.split_on_char ',' lengths)
+  in
+  (* with a per-client request budget the duration only bounds
+     stragglers; 0 = "auto" keeps budgeted runs deterministic *)
+  let duration_s =
+    if duration > 0.0 then duration
+    else match requests with Some _ -> infinity | None -> 1.0
+  in
+  let r =
+    Loadgen.run ~host ~port ~concurrency ~duration_s
+      ?requests_per_client:requests ~index ?listing_index ~k ~lengths ~tau
+      ~seed ~mix ~source:u ()
+  in
+  print_string (Loadgen.summary r);
+  let failures =
+    List.fold_left (fun a (_, n) -> a + n) 0 r.Loadgen.errors
+    + r.Loadgen.protocol_failures + r.Loadgen.verify_failures
+  in
+  if check && failures > 0 then begin
+    Printf.eprintf "pti-loadgen: %d failure(s) with --check\n" failures;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner plumbing *)
@@ -419,9 +513,140 @@ let worlds_cmd =
     (Cmd.info "worlds" ~doc:"Enumerate possible worlds of a small string.")
     Term.(const worlds $ input_arg $ limit)
 
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind/connect to.")
+
+let port_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+
+let serve_cmd =
+  let indexes =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"INDEX_FILE"
+          ~doc:"Saved index container(s); requests address them by position.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains (default: available cores, PTI_DOMAINS aware).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Bounded request queue; beyond it requests get overloaded \
+                replies.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt float 5000.0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Requests still queued after this long get timeout replies.")
+  in
+  let cache_cap =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-cap" ] ~docv:"N" ~doc:"LRU capacity for open engines.")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ] ~doc:"Skip checksum verification on index load.")
+  in
+  let debug_slow =
+    Arg.(
+      value & flag
+      & info [ "debug-slow" ]
+          ~doc:"Accept the slow debug op (testing aid; off by default).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve saved indexes over TCP.")
+    Term.(
+      const serve $ indexes $ host_arg $ port_arg ~default:7071 $ workers
+      $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow)
+
+let loadgen_cmd =
+  let concurrency =
+    Arg.(
+      value & opt int 8
+      & info [ "c"; "concurrency" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Run length (default 1s, or unbounded when --requests is set).")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client (default: until \
+                                            the duration elapses).")
+  in
+  let mix =
+    Arg.(
+      value & opt string "query=8,topk=1,listing=1"
+      & info [ "mix" ] ~docv:"SPEC"
+          ~doc:"Relative op weights, e.g. query=8,topk=1,listing=1.")
+  in
+  let seed =
+    Arg.(
+      value & opt int Pti_workload.Querygen.default_seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed (runs are reproducible).")
+  in
+  let lengths =
+    Arg.(
+      value & opt string "4,8"
+      & info [ "lengths" ] ~docv:"M,M,..." ~doc:"Pattern lengths to draw from.")
+  in
+  let index =
+    Arg.(
+      value & opt int 0
+      & info [ "index" ] ~docv:"I" ~doc:"Index id to target (serve position).")
+  in
+  let listing_index =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listing-index" ] ~docv:"I"
+          ~doc:"Index id listing ops target (default: --index; set it when \
+                the main index is not a listing container).")
+  in
+  let k =
+    Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"k for top-k requests.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Exit 1 if any request failed or errored.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc:"Generate load against a running pti serve.")
+    Term.(
+      const loadgen $ input_arg $ host_arg $ port_arg ~default:7071
+      $ concurrency $ duration $ requests $ mix $ seed $ tau_arg $ lengths
+      $ index $ listing_index $ k $ check)
+
 let () =
   let doc = "probabilistic threshold indexing for uncertain strings" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pti" ~version:"1.0.0" ~doc)
-          [ gen_cmd; build_cmd; query_cmd; list_cmdliner; stats_cmd; worlds_cmd ]))
+          [
+            gen_cmd;
+            build_cmd;
+            query_cmd;
+            list_cmdliner;
+            stats_cmd;
+            worlds_cmd;
+            serve_cmd;
+            loadgen_cmd;
+          ]))

@@ -248,6 +248,76 @@ let parallel_for ?domains ?chunk ~start ~finish f =
         (fun () i -> f i)
   end
 
+module Bqueue = struct
+  (* Ring buffer under one mutex. Only consumers ever wait (producers
+     fail fast on a full queue), so a single [nonempty] condition
+     suffices; [close] broadcasts it to release all of them. *)
+  type 'a t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    buf : 'a option array;
+    cap : int;
+    mutable head : int; (* next pop *)
+    mutable len : int;
+    mutable closed : bool;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Bqueue.create: capacity < 1";
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      buf = Array.make capacity None;
+      cap = capacity;
+      head = 0;
+      len = 0;
+      closed = false;
+    }
+
+  let try_push q x =
+    Mutex.lock q.m;
+    let ok = (not q.closed) && q.len < q.cap in
+    if ok then begin
+      q.buf.((q.head + q.len) mod q.cap) <- Some x;
+      q.len <- q.len + 1;
+      Condition.signal q.nonempty
+    end;
+    Mutex.unlock q.m;
+    ok
+
+  let pop q =
+    Mutex.lock q.m;
+    while q.len = 0 && not q.closed do
+      Condition.wait q.nonempty q.m
+    done;
+    let r =
+      if q.len = 0 then None
+      else begin
+        let x = q.buf.(q.head) in
+        q.buf.(q.head) <- None;
+        q.head <- (q.head + 1) mod q.cap;
+        q.len <- q.len - 1;
+        x
+      end
+    in
+    Mutex.unlock q.m;
+    r
+
+  let close q =
+    Mutex.lock q.m;
+    q.closed <- true;
+    Condition.broadcast q.nonempty;
+    Mutex.unlock q.m
+
+  let length q =
+    Mutex.lock q.m;
+    let n = q.len in
+    Mutex.unlock q.m;
+    n
+
+  let capacity q = q.cap
+end
+
 let parallel_map_array ?domains ?chunk f a =
   let n = Array.length a in
   if n = 0 then [||]

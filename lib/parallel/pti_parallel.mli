@@ -70,3 +70,36 @@ val parallel_map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array ->
 val shutdown : unit -> unit
 (** Join all pool workers. Called automatically [at_exit]; exposed for
     tests. Subsequent parallel calls recreate the pool. *)
+
+(** A bounded multi-producer multi-consumer queue on stdlib
+    [Mutex]/[Condition], for long-lived pipelines between domains (the
+    combinators above cover bounded fork-join regions; this covers a
+    server's accept-loop → worker-pool hand-off). Producers never block:
+    a full queue refuses the element, so the caller can turn saturation
+    into an explicit backpressure signal instead of unbounded buffering.
+    Consumers block until an element or {!Bqueue.close}. *)
+module Bqueue : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val try_push : 'a t -> 'a -> bool
+  (** Enqueue without blocking: [false] when the queue is full or
+      closed. *)
+
+  val pop : 'a t -> 'a option
+  (** Dequeue, blocking while the queue is empty and open. [None] once
+      the queue is closed {e and} drained (elements pushed before the
+      close are still delivered). *)
+
+  val close : 'a t -> unit
+  (** Reject subsequent pushes and wake every blocked consumer.
+      Idempotent. *)
+
+  val length : 'a t -> int
+  (** Current number of queued elements (a racy snapshot under
+      concurrency, exact when quiescent). *)
+
+  val capacity : 'a t -> int
+end

@@ -1,0 +1,85 @@
+module G = Pti_core.General_index
+module L = Pti_core.Listing_index
+module S = Pti_storage
+
+type handle = General of G.t | Listing of L.t
+
+(* Sniff the container kind from its section table without loading:
+   listing indexes own a "listing.meta" section. Legacy marshal files
+   (no container magic) only ever held general indexes in this
+   codebase's CLI, so they take the general path. *)
+let load_handle ?verify path =
+  let is_listing =
+    S.file_has_magic path
+    && S.Reader.has (S.Reader.open_file ~verify:false path) "listing.meta"
+  in
+  if is_listing then Listing (L.load ?verify path)
+  else General (G.load ?verify path)
+
+type entry = { handle : handle; mutable last_use : int }
+
+type t = {
+  m : Mutex.t;
+  capacity : int;
+  verify : bool;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(verify = true) ~capacity () =
+  if capacity < 1 then invalid_arg "Engine_cache.create: capacity < 1";
+  {
+    m = Mutex.create ();
+    capacity;
+    verify;
+    tbl = Hashtbl.create 8;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun path e ->
+      match !victim with
+      | Some (_, last) when last <= e.last_use -> ()
+      | _ -> victim := Some (path, e.last_use))
+    t.tbl;
+  match !victim with
+  | Some (path, _) -> Hashtbl.remove t.tbl path
+  | None -> ()
+
+let get t ?metrics path =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.tbl path with
+      | Some e ->
+          e.last_use <- t.tick;
+          t.hits <- t.hits + 1;
+          Option.iter Metrics.incr_cache_hit metrics;
+          e.handle
+      | None ->
+          let handle = load_handle ~verify:t.verify path in
+          t.misses <- t.misses + 1;
+          Option.iter Metrics.incr_cache_miss metrics;
+          if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+          Hashtbl.replace t.tbl path { handle; last_use = t.tick };
+          handle)
+
+let hits t =
+  Mutex.lock t.m;
+  let h = t.hits in
+  Mutex.unlock t.m;
+  h
+
+let misses t =
+  Mutex.lock t.m;
+  let m = t.misses in
+  Mutex.unlock t.m;
+  m

@@ -1,0 +1,39 @@
+(** LRU cache of open index engines, keyed by file path.
+
+    Opening a PTI-ENGINE container is cheap (an mmap plus a checksum
+    pass) but not free, and every open handle pins a mapping; the server
+    keeps at most [capacity] files open and evicts the least recently
+    used when a new path arrives. The same physical pages back every
+    handle of a given file (the container is immutable and
+    page-cache-shared), so re-opening after an eviction costs IO only if
+    the pages were reclaimed.
+
+    A loaded handle is classified by sniffing the container's section
+    table: files with a ["listing.meta"] section open as listing
+    indexes, everything else as substring (general) indexes. Legacy
+    marshal files open as general indexes. *)
+
+type handle =
+  | General of Pti_core.General_index.t
+  | Listing of Pti_core.Listing_index.t
+
+val load_handle : ?verify:bool -> string -> handle
+(** Open one file, dispatching on its sections as described above.
+    Raises whatever {!Pti_core.General_index.load} /
+    {!Pti_core.Listing_index.load} raise on damaged files. *)
+
+type t
+
+val create : ?verify:bool -> capacity:int -> unit -> t
+(** [verify] is forwarded to the loaders (default [true]: checksum
+    sections on open). Raises [Invalid_argument] if [capacity < 1]. *)
+
+val get : t -> ?metrics:Metrics.t -> string -> handle
+(** The handle for this path, loading and inserting it on a miss (and
+    evicting the least recently used entry beyond [capacity]). Thread-
+    and domain-safe; the load happens under the cache lock, so
+    concurrent requests for one cold file load it once. Hits/misses are
+    recorded in [metrics] when given. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,252 @@
+(* Threaded load generator; see the mli. Clients are threads, not
+   domains: a client's work between replies is a few microseconds of
+   encoding, so the OS overlaps the blocked receives, while the server
+   side does the parallel (domain) work. *)
+
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Q = Pti_workload.Querygen
+module P = Protocol
+
+type mix = { query : int; top_k : int; listing : int }
+
+let mix_of_string s =
+  let parts = String.split_on_char ',' s in
+  let m = ref { query = 0; top_k = 0; listing = 0 } in
+  List.iter
+    (fun part ->
+      let part = String.trim part in
+      if part <> "" then
+        match String.split_on_char '=' part with
+        | [ key; w ] -> (
+            let w =
+              match int_of_string_opt (String.trim w) with
+              | Some w when w >= 0 -> w
+              | _ -> failwith ("loadgen mix: bad weight in " ^ part)
+            in
+            match String.trim key with
+            | "query" -> m := { !m with query = w }
+            | "topk" | "top_k" -> m := { !m with top_k = w }
+            | "listing" -> m := { !m with listing = w }
+            | k -> failwith ("loadgen mix: unknown kind " ^ k))
+        | _ -> failwith ("loadgen mix: expected kind=weight, got " ^ part))
+    parts;
+  !m
+
+type result = {
+  sent : int;
+  ok : int;
+  errors : (string * int) list;
+  protocol_failures : int;
+  verify_failures : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+(* per-client tallies, merged after the join *)
+type tally = {
+  mutable t_sent : int;
+  mutable t_ok : int;
+  mutable t_errors : (string * int) list;
+  mutable t_protocol_failures : int;
+  mutable t_verify_failures : int;
+  mutable t_latencies : float list;
+}
+
+let new_tally () =
+  {
+    t_sent = 0;
+    t_ok = 0;
+    t_errors = [];
+    t_protocol_failures = 0;
+    t_verify_failures = 0;
+    t_latencies = [];
+  }
+
+let count_error tally kind =
+  let n = try List.assoc kind tally.t_errors with Not_found -> 0 in
+  tally.t_errors <- (kind, n + 1) :: List.remove_assoc kind tally.t_errors
+
+let draw_op rng ~(mix : mix) ~source ~lengths ~tau ~k ~index ~listing_index =
+  let total = mix.query + mix.top_k + mix.listing in
+  let m = List.nth lengths (Random.State.int rng (List.length lengths)) in
+  let pattern = Sym.to_string (Q.pattern rng source ~m) in
+  let x = Random.State.int rng total in
+  if x < mix.query then P.Query { index; pattern; tau }
+  else if x < mix.query + mix.top_k then P.Top_k { index; pattern; tau; k }
+  else P.Listing { index = listing_index; pattern; tau }
+
+let client_loop ~host ~port ~deadline_t ~requests_per_client ~verify ~mix
+    ~source ~lengths ~tau ~k ~index ~listing_index ~rng tally =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  with
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ignore e;
+      tally.t_protocol_failures <- tally.t_protocol_failures + 1
+  | () ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let continue i =
+            (match requests_per_client with
+            | Some n -> i < n
+            | None -> true)
+            && Unix.gettimeofday () < deadline_t
+          in
+          let rec go i =
+            if continue i then begin
+              let op =
+                draw_op rng ~mix ~source ~lengths ~tau ~k ~index ~listing_index
+              in
+              let req = { P.id = i; op } in
+              let t0 = Unix.gettimeofday () in
+              match
+                P.write_all fd (P.encode_request req);
+                P.read_frame fd
+              with
+              | exception (P.Protocol_error _ | Unix.Unix_error _) ->
+                  tally.t_sent <- tally.t_sent + 1;
+                  tally.t_protocol_failures <- tally.t_protocol_failures + 1
+              | None ->
+                  tally.t_sent <- tally.t_sent + 1;
+                  tally.t_protocol_failures <- tally.t_protocol_failures + 1
+              | Some payload ->
+                  let t1 = Unix.gettimeofday () in
+                  tally.t_sent <- tally.t_sent + 1;
+                  tally.t_latencies <- (t1 -. t0) :: tally.t_latencies;
+                  (match P.decode_reply payload with
+                  | id, _ when id <> i ->
+                      tally.t_protocol_failures <-
+                        tally.t_protocol_failures + 1
+                  | _, P.Error (e, _) -> count_error tally (P.err_to_string e)
+                  | _, reply ->
+                      tally.t_ok <- tally.t_ok + 1;
+                      if not (verify op reply) then
+                        tally.t_verify_failures <- tally.t_verify_failures + 1
+                  | exception P.Protocol_error _ ->
+                      tally.t_protocol_failures <-
+                        tally.t_protocol_failures + 1);
+                  go (i + 1)
+            end
+          in
+          go 0)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let run ?(host = "127.0.0.1") ~port ~concurrency ?(duration_s = 1.0)
+    ?requests_per_client ?(verify = fun _ _ -> true) ?(index = 0)
+    ?listing_index ?(k = 5)
+    ?(lengths = [ 4; 8 ]) ?(tau = 0.2) ?(seed = Q.default_seed) ~mix ~source
+    () =
+  if concurrency < 1 then invalid_arg "Loadgen.run: concurrency < 1";
+  if mix.query < 0 || mix.top_k < 0 || mix.listing < 0
+     || mix.query + mix.top_k + mix.listing <= 0
+  then invalid_arg "Loadgen.run: mix needs a positive weight";
+  let lengths = List.filter (fun m -> m >= 1 && m <= U.length source) lengths in
+  if lengths = [] then invalid_arg "Loadgen.run: no usable pattern length";
+  let listing_index = Option.value listing_index ~default:index in
+  let t0 = Unix.gettimeofday () in
+  let deadline_t = t0 +. duration_s in
+  let tallies = Array.init concurrency (fun _ -> new_tally ()) in
+  let threads =
+    List.init concurrency (fun i ->
+        Thread.create
+          (fun () ->
+            let rng = Q.state ~seed ~stream:i () in
+            client_loop ~host ~port ~deadline_t ~requests_per_client ~verify
+              ~mix ~source ~lengths ~tau ~k ~index ~listing_index ~rng
+              tallies.(i))
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let sent = Array.fold_left (fun a t -> a + t.t_sent) 0 tallies in
+  let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
+  let protocol_failures =
+    Array.fold_left (fun a t -> a + t.t_protocol_failures) 0 tallies
+  in
+  let verify_failures =
+    Array.fold_left (fun a t -> a + t.t_verify_failures) 0 tallies
+  in
+  let errors =
+    Array.fold_left
+      (fun acc t ->
+        List.fold_left
+          (fun acc (kind, n) ->
+            let prev = try List.assoc kind acc with Not_found -> 0 in
+            (kind, prev + n) :: List.remove_assoc kind acc)
+          acc t.t_errors)
+      [] tallies
+    |> List.sort compare
+  in
+  let latencies =
+    Array.of_list
+      (Array.fold_left (fun acc t -> t.t_latencies @ acc) [] tallies)
+  in
+  Array.sort compare latencies;
+  let n_lat = Array.length latencies in
+  let mean =
+    if n_lat = 0 then nan
+    else Array.fold_left ( +. ) 0.0 latencies /. float_of_int n_lat
+  in
+  {
+    sent;
+    ok;
+    errors;
+    protocol_failures;
+    verify_failures;
+    elapsed_s;
+    throughput_rps =
+      (if elapsed_s > 0.0 then float_of_int sent /. elapsed_s else nan);
+    mean_us = mean *. 1e6;
+    p50_us = percentile latencies 0.50 *. 1e6;
+    p95_us = percentile latencies 0.95 *. 1e6;
+    p99_us = percentile latencies 0.99 *. 1e6;
+    max_us = (if n_lat = 0 then nan else latencies.(n_lat - 1) *. 1e6);
+  }
+
+let summary r =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "requests:    %d sent, %d ok in %.2fs (%.0f req/s)\n" r.sent
+    r.ok r.elapsed_s r.throughput_rps;
+  Printf.bprintf b "latency:     mean %.1fus  p50 %.1fus  p95 %.1fus  p99 %.1fus  max %.1fus\n"
+    r.mean_us r.p50_us r.p95_us r.p99_us r.max_us;
+  let total_errors =
+    List.fold_left (fun a (_, n) -> a + n) 0 r.errors
+    + r.protocol_failures + r.verify_failures
+  in
+  Printf.bprintf b "errors:      %d" total_errors;
+  if r.errors <> [] then
+    Printf.bprintf b " (%s)"
+      (String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) r.errors));
+  if r.protocol_failures > 0 then
+    Printf.bprintf b " protocol=%d" r.protocol_failures;
+  if r.verify_failures > 0 then
+    Printf.bprintf b " verify=%d" r.verify_failures;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_json_fields r =
+  let errs =
+    String.concat ","
+      (List.map (fun (k, n) -> Printf.sprintf "\"%s\":%d" k n) r.errors)
+  in
+  Printf.sprintf
+    "\"sent\": %d, \"ok\": %d, \"errors\": {%s}, \"protocol_failures\": %d, \
+     \"verify_failures\": %d, \"elapsed_s\": %.4f, \"throughput_rps\": %.1f, \
+     \"mean_us\": %.2f, \"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": \
+     %.2f, \"max_us\": %.2f"
+    r.sent r.ok errs r.protocol_failures r.verify_failures r.elapsed_s
+    r.throughput_rps r.mean_us r.p50_us r.p95_us r.p99_us r.max_us

@@ -1,0 +1,79 @@
+(** Load generator for the serving daemon.
+
+    Opens [concurrency] connections, each driven by its own thread with
+    one outstanding request at a time (so measured latency is pure
+    request latency, and total offered concurrency equals the
+    connection count). Each client draws its operation mix and patterns
+    from a {e deterministic} per-client stream
+    ([Querygen.state ~seed ~stream:client]), so a run with the same
+    seed, dataset and per-client request count replays the exact same
+    request sequence — the property the end-to-end test and
+    [make serve-smoke] rely on.
+
+    Latencies are recorded client-side per request and merged for exact
+    percentiles (unlike the server's bucketed histogram). *)
+
+type mix = { query : int; top_k : int; listing : int }
+(** Relative weights; negative weights are invalid, at least one must
+    be positive. *)
+
+val mix_of_string : string -> mix
+(** Parse ["query=8,topk=1,listing=1"] (missing kinds weigh 0). Raises
+    [Failure] on malformed input. *)
+
+type result = {
+  sent : int;
+  ok : int;
+  errors : (string * int) list;  (** Typed error replies by kind. *)
+  protocol_failures : int;
+      (** Transport-level problems: connect failures, truncated frames,
+          id mismatches. *)
+  verify_failures : int;  (** Responses rejected by [~verify]. *)
+  elapsed_s : float;
+  throughput_rps : float;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+val run :
+  ?host:string ->
+  port:int ->
+  concurrency:int ->
+  ?duration_s:float ->
+  ?requests_per_client:int ->
+  ?verify:(Protocol.op -> Protocol.reply -> bool) ->
+  ?index:int ->
+  ?listing_index:int ->
+  ?k:int ->
+  ?lengths:int list ->
+  ?tau:float ->
+  ?seed:int ->
+  mix:mix ->
+  source:Pti_ustring.Ustring.t ->
+  unit ->
+  result
+(** Run the load. Each client stops after [requests_per_client]
+    requests (default: unbounded) or once [duration_s] elapses
+    (default 1.0; pass [requests_per_client] for fully deterministic
+    runs — duration only bounds stragglers, set it to [infinity] to
+    disable). [source] is the uncertain string patterns are drawn from
+    (drawing from the indexed dataset makes them plausible, §8.1);
+    [lengths] the pattern lengths cycled through (default [[4; 8]]);
+    [tau] the query threshold (default 0.2); [k] the top-k size
+    (default 5); [index] the served index id (default 0) and
+    [listing_index] the id listing ops target (default [index] — point
+    it at a listing container when [index] is a general one); [seed] the
+    workload seed (default {!Pti_workload.Querygen.default_seed}).
+    [verify] is called on every successful reply; a [false] return
+    counts a verify failure. Raises [Invalid_argument] on
+    [concurrency < 1] or an all-zero [mix]. *)
+
+val summary : result -> string
+(** Human-readable multi-line summary. *)
+
+val to_json_fields : result -> string
+(** The result's fields as a JSON fragment ("\"sent\": …, …", no
+    braces) — spliced into BENCH_SERVE.json rows. *)

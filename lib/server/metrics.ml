@@ -1,0 +1,170 @@
+(* Atomic counters + power-of-two latency histograms. Kind and error
+   labels are small closed sets, so each lives in a fixed array indexed
+   by label position; unknown labels fall into a trailing "other"
+   slot rather than raising from a hot path. *)
+
+let kinds = [| "query"; "top_k"; "listing"; "stats"; "ping"; "slow"; "other" |]
+let errs =
+  [| "bad_request"; "bad_index"; "overloaded"; "timeout"; "server_error" |]
+
+let index_of label table =
+  let n = Array.length table in
+  let rec go i = if i >= n - 1 then i else if table.(i) = label then i else go (i + 1) in
+  go 0
+
+let kind_index k = index_of k kinds
+let err_index e = index_of e errs
+
+(* Histogram buckets: bucket i counts latencies in (2^(i-1), 2^i] µs;
+   bucket 0 is <= 1 µs. 28 buckets reach ~134 s. *)
+let n_buckets = 28
+
+let bucket_of_us us =
+  let us = int_of_float us in
+  if us <= 1 then 0
+  else begin
+    let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+    Stdlib.min (n_buckets - 1) (go 0 (us - 1) + 1)
+  end
+
+let bucket_upper_us i = Float.of_int (1 lsl i)
+
+type hist = int Atomic.t array
+
+type t = {
+  started : float;
+  received : int Atomic.t array; (* per kind *)
+  ok : int Atomic.t array; (* per kind *)
+  errors : int Atomic.t array; (* per err *)
+  connections : int Atomic.t;
+  dropped_replies : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  max_queue_depth : int Atomic.t;
+  hists : hist array; (* per kind *)
+}
+
+let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
+
+let create () =
+  {
+    started = Unix.gettimeofday ();
+    received = atomic_array (Array.length kinds);
+    ok = atomic_array (Array.length kinds);
+    errors = atomic_array (Array.length errs);
+    connections = Atomic.make 0;
+    dropped_replies = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    max_queue_depth = Atomic.make 0;
+    hists =
+      Array.init (Array.length kinds) (fun _ -> atomic_array n_buckets);
+  }
+
+let incr a = Atomic.incr a
+
+let incr_received t ~kind = incr t.received.(kind_index kind)
+let incr_ok t ~kind = incr t.ok.(kind_index kind)
+let incr_error t ~err = incr t.errors.(err_index err)
+let incr_overloaded t = incr_error t ~err:"overloaded"
+let incr_timeout t = incr_error t ~err:"timeout"
+let incr_connections t = incr t.connections
+let incr_dropped_replies t = incr t.dropped_replies
+let incr_cache_hit t = incr t.cache_hits
+let incr_cache_miss t = incr t.cache_misses
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let observe_queue_depth t d = atomic_max t.max_queue_depth d
+
+let record_latency t ~kind ~seconds =
+  let h = t.hists.(kind_index kind) in
+  incr h.(bucket_of_us (seconds *. 1e6))
+
+let requests_received t ~kind = Atomic.get t.received.(kind_index kind)
+let requests_ok t ~kind = Atomic.get t.ok.(kind_index kind)
+let errors t ~err = Atomic.get t.errors.(err_index err)
+let overloaded t = errors t ~err:"overloaded"
+let timeouts t = errors t ~err:"timeout"
+
+let hist_total h = Array.fold_left (fun a c -> a + Atomic.get c) 0 h
+
+let percentile_of_hist h q =
+  let total = hist_total h in
+  if total = 0 then nan
+  else begin
+    let target =
+      Stdlib.max 1 (int_of_float (Float.round (q *. float_of_int total)))
+    in
+    let rec go i acc =
+      if i >= n_buckets then bucket_upper_us (n_buckets - 1)
+      else begin
+        let acc = acc + Atomic.get h.(i) in
+        if acc >= target then bucket_upper_us i else go (i + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+let percentile_us t ~kind q = percentile_of_hist t.hists.(kind_index kind) q
+
+let to_json t ~queue_depth =
+  let b = Buffer.create 512 in
+  let field first name v =
+    if not first then Buffer.add_char b ',';
+    Buffer.add_string b (Printf.sprintf "\"%s\":%s" name v)
+  in
+  let obj_of_labels labels values =
+    let bb = Buffer.create 64 in
+    Buffer.add_char bb '{';
+    let wrote = ref false in
+    Array.iteri
+      (fun i label ->
+        let v = Atomic.get values.(i) in
+        if v > 0 then begin
+          if !wrote then Buffer.add_char bb ',';
+          Buffer.add_string bb (Printf.sprintf "\"%s\":%d" label v);
+          wrote := true
+        end)
+      labels;
+    Buffer.add_char bb '}';
+    Buffer.contents bb
+  in
+  Buffer.add_char b '{';
+  field true "uptime_s"
+    (Printf.sprintf "%.3f" (Unix.gettimeofday () -. t.started));
+  field false "connections" (string_of_int (Atomic.get t.connections));
+  field false "requests" (obj_of_labels kinds t.received);
+  field false "ok" (obj_of_labels kinds t.ok);
+  field false "errors" (obj_of_labels errs t.errors);
+  field false "cache"
+    (Printf.sprintf "{\"hits\":%d,\"misses\":%d}" (Atomic.get t.cache_hits)
+       (Atomic.get t.cache_misses));
+  field false "queue"
+    (Printf.sprintf "{\"depth\":%d,\"max_depth\":%d}" queue_depth
+       (Atomic.get t.max_queue_depth));
+  field false "dropped_replies" (string_of_int (Atomic.get t.dropped_replies));
+  let lat = Buffer.create 64 in
+  Buffer.add_char lat '{';
+  let wrote = ref false in
+  Array.iteri
+    (fun i kind ->
+      if hist_total t.hists.(i) > 0 then begin
+        if !wrote then Buffer.add_char lat ',';
+        Buffer.add_string lat
+          (Printf.sprintf
+             "\"%s\":{\"count\":%d,\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f}"
+             kind
+             (hist_total t.hists.(i))
+             (percentile_of_hist t.hists.(i) 0.50)
+             (percentile_of_hist t.hists.(i) 0.95)
+             (percentile_of_hist t.hists.(i) 0.99));
+        wrote := true
+      end)
+    kinds;
+  Buffer.add_char lat '}';
+  field false "latency" (Buffer.contents lat);
+  Buffer.add_char b '}';
+  Buffer.contents b

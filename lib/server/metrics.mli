@@ -1,0 +1,61 @@
+(** Server metrics registry: lock-free counters and latency histograms
+    shared by the accept loop and the worker domains.
+
+    Counters are [Atomic.t] increments. Latencies go into a fixed
+    power-of-two-bucketed histogram (1 µs, 2 µs, … ≈134 s) whose bucket
+    counters are themselves atomic, so recording from any domain is
+    wait-free and percentile reads are approximate only in that a value
+    reports as its bucket's upper bound (≤ 2× the true latency). The
+    load generator computes exact client-side percentiles; this registry
+    is the server's own view, served by the [Stats] request and dumped
+    on SIGUSR1. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording} *)
+
+val incr_received : t -> kind:string -> unit
+(** A request of this kind entered the system (kinds are
+    {!Protocol.op_kind} labels). *)
+
+val incr_ok : t -> kind:string -> unit
+val incr_error : t -> err:string -> unit
+(** A typed error reply was sent ([err] is
+    {!Protocol.err_to_string}). *)
+
+val incr_overloaded : t -> unit
+(** Shorthand for the queue-full reply: counts both the ["overloaded"]
+    error and the dedicated overload counter. *)
+
+val incr_timeout : t -> unit
+val incr_connections : t -> unit
+val incr_dropped_replies : t -> unit
+(** Replies that could not be written (client went away). *)
+
+val incr_cache_hit : t -> unit
+val incr_cache_miss : t -> unit
+
+val observe_queue_depth : t -> int -> unit
+(** Record the queue depth seen at enqueue time (keeps the maximum). *)
+
+val record_latency : t -> kind:string -> seconds:float -> unit
+
+(** {2 Reading} *)
+
+val requests_received : t -> kind:string -> int
+val requests_ok : t -> kind:string -> int
+val errors : t -> err:string -> int
+val overloaded : t -> int
+val timeouts : t -> int
+
+val percentile_us : t -> kind:string -> float -> float
+(** [percentile_us m ~kind q] with [q] in [0, 1]: approximate latency
+    percentile in microseconds over every recorded request of the kind;
+    [nan] when none were recorded. *)
+
+val to_json : t -> queue_depth:int -> string
+(** The whole registry as a JSON object (counters by kind, error
+    counts, cache hit/miss, queue depth now / max, p50/p95/p99 per
+    kind, uptime). *)

@@ -1,0 +1,682 @@
+(* Wire protocol: framed binary with an NDJSON fallback. See the mli
+   for the frame and message layouts. *)
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+type op =
+  | Query of { index : int; pattern : string; tau : float }
+  | Top_k of { index : int; pattern : string; tau : float; k : int }
+  | Listing of { index : int; pattern : string; tau : float }
+  | Stats
+  | Ping
+  | Slow of int
+
+type request = { id : int; op : op }
+
+type err = Bad_request | Bad_index | Overloaded | Timeout | Server_error
+
+type reply =
+  | Hits of (int * float) list
+  | Error of err * string
+  | Stats_reply of string
+  | Pong
+
+let err_to_string = function
+  | Bad_request -> "bad_request"
+  | Bad_index -> "bad_index"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Server_error -> "server_error"
+
+let err_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "bad_index" -> Some Bad_index
+  | "overloaded" -> Some Overloaded
+  | "timeout" -> Some Timeout
+  | "server_error" -> Some Server_error
+  | _ -> None
+
+let op_kind = function
+  | Query _ -> "query"
+  | Top_k _ -> "top_k"
+  | Listing _ -> "listing"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Slow _ -> "slow"
+
+let max_frame = 16 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Binary writers/readers over Buffer / string offsets. All integers
+   big-endian; floats as raw IEEE bits. *)
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let put_u16 b v = Buffer.add_uint16_be b (v land 0xffff)
+let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+let put_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+let put_str16 b s =
+  if String.length s > 0xffff then fail "string field exceeds 65535 bytes";
+  put_u16 b (String.length s);
+  Buffer.add_string b s
+
+type cursor = { payload : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.payload then fail "truncated payload"
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.payload.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  need c 2;
+  let v = String.get_uint16_be c.payload c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.payload c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_be c.payload c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (String.get_int64_be c.payload c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_str16 c =
+  let n = get_u16 c in
+  need c n;
+  let s = String.sub c.payload c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let frame payload_of =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "\000\000\000\000";
+  payload_of b;
+  let len = Buffer.length b - 4 in
+  if len > max_frame then fail "frame exceeds max_frame";
+  let s = Bytes.of_string (Buffer.contents b) in
+  Bytes.set_int32_be s 0 (Int32.of_int len);
+  Bytes.unsafe_to_string s
+
+(* Request payload: op tag u8, id u32, then per-op fields. *)
+
+let tag_query = 1
+let tag_top_k = 2
+let tag_listing = 3
+let tag_stats = 4
+let tag_ping = 5
+let tag_slow = 6
+
+let encode_request { id; op } =
+  frame (fun b ->
+      let tag, rest =
+        match op with
+        | Query { index; pattern; tau } ->
+            ( tag_query,
+              fun () ->
+                put_u16 b index;
+                put_f64 b tau;
+                put_str16 b pattern )
+        | Top_k { index; pattern; tau; k } ->
+            ( tag_top_k,
+              fun () ->
+                put_u16 b index;
+                put_f64 b tau;
+                put_u32 b k;
+                put_str16 b pattern )
+        | Listing { index; pattern; tau } ->
+            ( tag_listing,
+              fun () ->
+                put_u16 b index;
+                put_f64 b tau;
+                put_str16 b pattern )
+        | Stats -> (tag_stats, fun () -> ())
+        | Ping -> (tag_ping, fun () -> ())
+        | Slow ms -> (tag_slow, fun () -> put_u32 b ms)
+      in
+      put_u8 b tag;
+      put_u32 b id;
+      rest ())
+
+let decode_request payload =
+  let c = { payload; pos = 0 } in
+  let tag = get_u8 c in
+  let id = get_u32 c in
+  let op =
+    if tag = tag_query then begin
+      let index = get_u16 c in
+      let tau = get_f64 c in
+      let pattern = get_str16 c in
+      Query { index; pattern; tau }
+    end
+    else if tag = tag_top_k then begin
+      let index = get_u16 c in
+      let tau = get_f64 c in
+      let k = get_u32 c in
+      let pattern = get_str16 c in
+      Top_k { index; pattern; tau; k }
+    end
+    else if tag = tag_listing then begin
+      let index = get_u16 c in
+      let tau = get_f64 c in
+      let pattern = get_str16 c in
+      Listing { index; pattern; tau }
+    end
+    else if tag = tag_stats then Stats
+    else if tag = tag_ping then Ping
+    else if tag = tag_slow then Slow (get_u32 c)
+    else fail "unknown request tag %d" tag
+  in
+  if c.pos <> String.length payload then fail "trailing bytes in request";
+  { id; op }
+
+(* Reply payload: tag u8, id u32, then per-tag fields. *)
+
+let tag_hits = 10
+let tag_error = 11
+let tag_stats_reply = 12
+let tag_pong = 13
+
+let err_code = function
+  | Bad_request -> 0
+  | Bad_index -> 1
+  | Overloaded -> 2
+  | Timeout -> 3
+  | Server_error -> 4
+
+let err_of_code = function
+  | 0 -> Bad_request
+  | 1 -> Bad_index
+  | 2 -> Overloaded
+  | 3 -> Timeout
+  | 4 -> Server_error
+  | c -> fail "unknown error code %d" c
+
+let encode_reply ~id reply =
+  frame (fun b ->
+      match reply with
+      | Hits hits ->
+          put_u8 b tag_hits;
+          put_u32 b id;
+          put_u32 b (List.length hits);
+          List.iter
+            (fun (key, logp) ->
+              put_i64 b key;
+              put_f64 b logp)
+            hits
+      | Error (e, msg) ->
+          put_u8 b tag_error;
+          put_u32 b id;
+          put_u8 b (err_code e);
+          put_str16 b msg
+      | Stats_reply s ->
+          put_u8 b tag_stats_reply;
+          put_u32 b id;
+          put_u32 b (String.length s);
+          Buffer.add_string b s
+      | Pong ->
+          put_u8 b tag_pong;
+          put_u32 b id)
+
+let decode_reply payload =
+  let c = { payload; pos = 0 } in
+  let tag = get_u8 c in
+  let id = get_u32 c in
+  let reply =
+    if tag = tag_hits then begin
+      let n = get_u32 c in
+      if n * 16 > String.length payload then fail "hit count out of bounds";
+      let hits = List.init n (fun _ ->
+          let key = get_i64 c in
+          let logp = get_f64 c in
+          (key, logp))
+      in
+      Hits hits
+    end
+    else if tag = tag_error then begin
+      let e = err_of_code (get_u8 c) in
+      let msg = get_str16 c in
+      Error (e, msg)
+    end
+    else if tag = tag_stats_reply then begin
+      let n = get_u32 c in
+      need c n;
+      let s = String.sub c.payload c.pos n in
+      c.pos <- c.pos + n;
+      Stats_reply s
+    end
+    else if tag = tag_pong then Pong
+    else fail "unknown reply tag %d" tag
+  in
+  if c.pos <> String.length payload then fail "trailing bytes in reply";
+  (id, reply)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking frame IO (clients; the server reads through its own
+   select-loop buffers). *)
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+    end
+  in
+  go 0
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let r = Unix.read fd buf off len in
+      if r = 0 then fail "connection closed mid-frame";
+      go (off + r) (len - r)
+    end
+  in
+  go off len
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  let first = Unix.read fd hdr 0 4 in
+  if first = 0 then None
+  else begin
+    if first < 4 then really_read fd hdr first (4 - first);
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) land 0xffffffff in
+    if len > max_frame then fail "frame length %d exceeds max_frame" len;
+    let payload = Bytes.create len in
+    really_read fd payload 0 len;
+    Some (Bytes.unsafe_to_string payload)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON: just what the fallback needs — objects, arrays,
+   strings, numbers, booleans, null. No dependency on a JSON package. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let buf_escape b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let num_to_string v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.17g" v
+
+  let rec print b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Num v -> Buffer.add_string b (num_to_string v)
+    | Str s -> buf_escape b s
+    | Arr l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            print b v)
+          l;
+        Buffer.add_char b ']'
+    | Obj l ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            buf_escape b k;
+            Buffer.add_char b ':';
+            print b v)
+          l;
+        Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 128 in
+    print b v;
+    Buffer.contents b
+
+  (* parser *)
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos >= n || s.[!pos] <> c then fail "JSON: expected '%c' at %d" c !pos;
+      advance ()
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail "JSON: bad literal at %d" !pos
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "JSON: unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          if !pos >= n then fail "JSON: unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "JSON: truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "JSON: bad \\u escape"
+              in
+              (* we only emit \u00XX for control bytes; decode the
+                 low byte and refuse anything beyond latin-1 *)
+              if code > 0xff then fail "JSON: \\u beyond 0xff unsupported";
+              Buffer.add_char b (Char.chr code)
+          | _ -> fail "JSON: bad escape '\\%c'" e);
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> v
+      | None -> fail "JSON: bad number at %d" start
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "JSON: expected ',' or '}' at %d" !pos
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "JSON: expected ',' or ']' at %d" !pos
+            in
+            Arr (elems [])
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> fail "JSON: empty input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "JSON: trailing garbage at %d" !pos;
+    v
+
+  let mem name = function
+    | Obj fields -> List.assoc_opt name fields
+    | _ -> None
+
+  let num name j =
+    match mem name j with
+    | Some (Num v) -> v
+    | _ -> fail "JSON: missing number field %S" name
+
+  let str name j =
+    match mem name j with
+    | Some (Str v) -> v
+    | _ -> fail "JSON: missing string field %S" name
+
+  let int name j =
+    let v = num name j in
+    if Float.is_integer v then int_of_float v
+    else fail "JSON: field %S is not an integer" name
+
+  let int_default name d j =
+    match mem name j with
+    | None -> d
+    | Some (Num v) when Float.is_integer v -> int_of_float v
+    | Some _ -> fail "JSON: field %S is not an integer" name
+end
+
+let request_to_json { id; op } =
+  let base = [ ("id", Json.Num (float_of_int id)) ] in
+  let fields =
+    match op with
+    | Query { index; pattern; tau } ->
+        base
+        @ [
+            ("op", Json.Str "query");
+            ("index", Json.Num (float_of_int index));
+            ("pattern", Json.Str pattern);
+            ("tau", Json.Num tau);
+          ]
+    | Top_k { index; pattern; tau; k } ->
+        base
+        @ [
+            ("op", Json.Str "top_k");
+            ("index", Json.Num (float_of_int index));
+            ("pattern", Json.Str pattern);
+            ("tau", Json.Num tau);
+            ("k", Json.Num (float_of_int k));
+          ]
+    | Listing { index; pattern; tau } ->
+        base
+        @ [
+            ("op", Json.Str "listing");
+            ("index", Json.Num (float_of_int index));
+            ("pattern", Json.Str pattern);
+            ("tau", Json.Num tau);
+          ]
+    | Stats -> base @ [ ("op", Json.Str "stats") ]
+    | Ping -> base @ [ ("op", Json.Str "ping") ]
+    | Slow ms ->
+        base @ [ ("op", Json.Str "slow"); ("ms", Json.Num (float_of_int ms)) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let request_of_json line =
+  let j = Json.parse line in
+  let id = Json.int_default "id" 0 j in
+  let op =
+    match Json.str "op" j with
+    | "query" ->
+        Query
+          {
+            index = Json.int_default "index" 0 j;
+            pattern = Json.str "pattern" j;
+            tau = Json.num "tau" j;
+          }
+    | "top_k" ->
+        Top_k
+          {
+            index = Json.int_default "index" 0 j;
+            pattern = Json.str "pattern" j;
+            tau = Json.num "tau" j;
+            k = Json.int "k" j;
+          }
+    | "listing" ->
+        Listing
+          {
+            index = Json.int_default "index" 0 j;
+            pattern = Json.str "pattern" j;
+            tau = Json.num "tau" j;
+          }
+    | "stats" -> Stats
+    | "ping" -> Ping
+    | "slow" -> Slow (Json.int "ms" j)
+    | other -> fail "unknown op %S" other
+  in
+  { id; op }
+
+let reply_to_json ~id reply =
+  let id_field = ("id", Json.Num (float_of_int id)) in
+  match reply with
+  | Hits hits ->
+      Json.to_string
+        (Json.Obj
+           [
+             id_field;
+             ( "hits",
+               Json.Arr
+                 (List.map
+                    (fun (key, logp) ->
+                      Json.Arr [ Json.Num (float_of_int key); Json.Num logp ])
+                    hits) );
+           ])
+  | Error (e, msg) ->
+      Json.to_string
+        (Json.Obj
+           [
+             id_field;
+             ("error", Json.Str (err_to_string e));
+             ("message", Json.Str msg);
+           ])
+  | Stats_reply s ->
+      (* splice the pre-rendered stats JSON verbatim *)
+      let b = Buffer.create (String.length s + 32) in
+      Buffer.add_string b "{\"id\":";
+      Buffer.add_string b (Json.num_to_string (float_of_int id));
+      Buffer.add_string b ",\"stats\":";
+      Buffer.add_string b s;
+      Buffer.add_char b '}';
+      Buffer.contents b
+  | Pong -> Json.to_string (Json.Obj [ id_field; ("pong", Json.Bool true) ])
+
+let reply_of_json line =
+  let j = Json.parse line in
+  let id = Json.int_default "id" 0 j in
+  let reply =
+    match Json.mem "hits" j with
+    | Some (Json.Arr hits) ->
+        Hits
+          (List.map
+             (function
+               | Json.Arr [ Json.Num key; Json.Num logp ]
+                 when Float.is_integer key ->
+                   (int_of_float key, logp)
+               | _ -> fail "bad hit element")
+             hits)
+    | Some _ -> fail "bad hits field"
+    | None -> (
+        match Json.mem "error" j with
+        | Some (Json.Str e) -> (
+            match err_of_string e with
+            | Some err ->
+                Error
+                  ( err,
+                    match Json.mem "message" j with
+                    | Some (Json.Str m) -> m
+                    | _ -> "" )
+            | None -> fail "unknown error kind %S" e)
+        | Some _ -> fail "bad error field"
+        | None -> (
+            match Json.mem "stats" j with
+            | Some stats -> Stats_reply (Json.to_string stats)
+            | None -> (
+                match Json.mem "pong" j with
+                | Some (Json.Bool true) -> Pong
+                | _ -> fail "unrecognized reply object")))
+  in
+  (id, reply)

@@ -1,0 +1,102 @@
+(** Wire protocol of the query-serving daemon (DESIGN.md §10).
+
+    Two encodings share one request/reply model:
+
+    - {b binary} (the default): each message is a frame — a 4-byte
+      big-endian payload length followed by the payload. Integers are
+      big-endian fixed width, floats are IEEE-754 doubles sent as their
+      raw 64-bit pattern (lossless: a hit's log-probability decodes to
+      the exact float the engine computed, so clients can compare
+      responses bit-for-bit against direct {!Pti_core.Engine.query}
+      calls);
+    - {b newline-delimited JSON} (the debuggability fallback): one
+      request or reply object per line. A connection whose first byte is
+      ['{'] speaks JSON for its whole lifetime; anything else is binary.
+
+    Replies carry the request's [id] back, so a client may pipeline
+    requests on one connection and match replies out of order. *)
+
+(** Raised by decoders on malformed input (truncated payload, unknown
+    tag, oversized frame, invalid JSON). *)
+exception Protocol_error of string
+
+type op =
+  | Query of { index : int; pattern : string; tau : float }
+      (** Threshold query: every key above [tau] (Problem 1 on substring
+          indexes, Problem 2 on listing indexes). *)
+  | Top_k of { index : int; pattern : string; tau : float; k : int }
+      (** The [k] most probable answers above [tau] (§7 top-k). *)
+  | Listing of { index : int; pattern : string; tau : float }
+      (** Like [Query] but only valid on a listing index — a kind
+          mismatch is a [Bad_request] reply, never a silent fallback. *)
+  | Stats  (** The server's metrics registry as JSON. *)
+  | Ping
+  | Slow of int
+      (** Debug: hold a worker for this many milliseconds. Refused
+          unless the server enables it; exists so tests and the bench
+          can provoke queue overload and deadline expiry
+          deterministically. *)
+
+type request = { id : int; op : op }
+
+type err =
+  | Bad_request  (** Malformed frame, τ < τ_min, bad pattern, kind
+                     mismatch. *)
+  | Bad_index  (** Unknown index id, or the file failed to load. *)
+  | Overloaded  (** The bounded request queue was full — explicit
+                    backpressure, the client should back off. *)
+  | Timeout  (** The request's deadline expired while it was queued. *)
+  | Server_error
+
+type reply =
+  | Hits of (int * float) list
+      (** (key, log-probability) pairs, most probable first — keys are
+          positions (substring index) or document ids (listing index). *)
+  | Error of err * string
+  | Stats_reply of string  (** JSON text. *)
+  | Pong
+
+val err_to_string : err -> string
+val err_of_string : string -> err option
+
+val op_kind : op -> string
+(** Short label for metrics/logging: "query", "top_k", "listing",
+    "stats", "ping", "slow". *)
+
+val max_frame : int
+(** Upper bound on a payload length (16 MiB); longer frames are a
+    {!Protocol_error} on both ends. *)
+
+(** {2 Binary encoding} *)
+
+val encode_request : request -> string
+(** The full frame, header included. *)
+
+val decode_request : string -> request
+(** Decode a frame payload (header already stripped). *)
+
+val encode_reply : id:int -> reply -> string
+val decode_reply : string -> int * reply
+
+(** {2 Blocking frame IO (client side)} *)
+
+val write_all : Unix.file_descr -> string -> unit
+
+val read_frame : Unix.file_descr -> string option
+(** Read one frame payload; [None] on a clean EOF at a frame boundary.
+    Raises {!Protocol_error} on a truncated frame or oversized length. *)
+
+(** {2 JSON encoding}
+
+    Requests: [{"id":1,"op":"query","index":0,"pattern":"AB","tau":0.2}]
+    (plus ["k"] for top_k, ["ms"] for slow). Replies:
+    [{"id":1,"hits":[[pos,logp],...]}], [{"id":1,"error":"timeout",
+    "message":"..."}], [{"id":1,"stats":{...}}], [{"id":1,"pong":true}].
+    Floats print with enough digits to round-trip exactly. *)
+
+val request_to_json : request -> string
+(** One line, newline {e not} included. *)
+
+val request_of_json : string -> request
+val reply_to_json : id:int -> reply -> string
+val reply_of_json : string -> int * reply

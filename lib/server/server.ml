@@ -1,0 +1,390 @@
+(* The serving daemon: select-based accept loop + worker domains behind
+   a bounded request queue. See the mli and DESIGN.md §10. *)
+
+module G = Pti_core.General_index
+module L = Pti_core.Listing_index
+module Sym = Pti_ustring.Sym
+module Logp = Pti_prob.Logp
+module P = Protocol
+module Bq = Pti_parallel.Bqueue
+
+type source =
+  | Source_file of string
+  | Source_general of G.t
+  | Source_listing of L.t
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_cap : int;
+  deadline_ms : float;
+  cache_cap : int;
+  verify : bool;
+  debug_slow : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = Pti_parallel.num_domains ();
+    queue_cap = 1024;
+    deadline_ms = 5000.0;
+    cache_cap = 8;
+    verify = true;
+    debug_slow = false;
+  }
+
+(* One TCP connection. [inbuf] accumulates raw bytes until complete
+   frames (binary) or lines (JSON) can be cut off the front; [mode]
+   latches on the first byte. Workers write replies under [write_m]
+   because several may hold jobs of one pipelined connection. *)
+type conn = {
+  fd : Unix.file_descr;
+  write_m : Mutex.t;
+  mutable inbuf : string;
+  mutable json : bool option;
+  mutable alive : bool;
+}
+
+type job = {
+  jconn : conn;
+  jid : int;
+  jop : P.op;
+  jkind : string;
+  arrival : float;
+  deadline : float;
+}
+
+type t = {
+  cfg : config;
+  sources : source array;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  queue : job Bq.t;
+  cache : Engine_cache.t;
+  metrics : Metrics.t;
+  stop_flag : bool Atomic.t;
+  dump_flag : bool Atomic.t;
+}
+
+let create ?(config = default_config) sources =
+  if sources = [] then invalid_arg "Server.create: no index sources";
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen fd 128
+   with e ->
+     Unix.close fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  {
+    cfg = config;
+    sources = Array.of_list sources;
+    listen_fd = fd;
+    bound_port;
+    queue = Bq.create ~capacity:config.queue_cap;
+    cache = Engine_cache.create ~verify:config.verify
+      ~capacity:config.cache_cap ();
+    metrics = Metrics.create ();
+    stop_flag = Atomic.make false;
+    dump_flag = Atomic.make false;
+  }
+
+let port t = t.bound_port
+let metrics t = t.metrics
+let stop t = Atomic.set t.stop_flag true
+let request_stats_dump t = Atomic.set t.dump_flag true
+
+let stats_json t = Metrics.to_json t.metrics ~queue_depth:(Bq.length t.queue)
+
+(* ------------------------------------------------------------------ *)
+(* Replies *)
+
+let write_reply t conn ~id reply =
+  let data =
+    if conn.json = Some true then P.reply_to_json ~id reply ^ "\n"
+    else P.encode_reply ~id reply
+  in
+  Mutex.lock conn.write_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.write_m)
+    (fun () ->
+      if conn.alive then
+        try P.write_all conn.fd data
+        with Unix.Unix_error _ | Sys_error _ ->
+          conn.alive <- false;
+          Metrics.incr_dropped_replies t.metrics
+      else Metrics.incr_dropped_replies t.metrics)
+
+let error_reply t conn ~id err msg =
+  Metrics.incr_error t.metrics ~err:(P.err_to_string err);
+  write_reply t conn ~id (P.Error (err, msg))
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (worker side) *)
+
+type handle = Engine_cache.handle = General of G.t | Listing of L.t
+
+let resolve t index =
+  if index < 0 || index >= Array.length t.sources then
+    Result.Error
+      (P.Bad_index, Printf.sprintf "no index %d (serving %d)" index
+         (Array.length t.sources))
+  else
+    match t.sources.(index) with
+    | Source_general g -> Ok (General g)
+    | Source_listing l -> Ok (Listing l)
+    | Source_file path -> (
+        try Ok (Engine_cache.get t.cache ~metrics:t.metrics path) with
+        | Pti_storage.Corrupt { section; reason } ->
+            Result.Error
+              ( P.Bad_index,
+                Printf.sprintf "%s: corrupt section %s (%s)" path section
+                  reason )
+        | Sys_error m | Failure m -> Result.Error (P.Bad_index, m)
+        | Unix.Unix_error (e, _, _) ->
+            Result.Error
+              (P.Bad_index, path ^ ": " ^ Unix.error_message e))
+
+let hits_of l = List.map (fun (key, p) -> (key, Logp.to_log p)) l
+
+let execute t op =
+  match op with
+  | P.Query { index; pattern; tau } -> (
+      match resolve t index with
+      | Result.Error (e, m) -> P.Error (e, m)
+      | Ok (General g) ->
+          P.Hits (hits_of (G.query g ~pattern:(Sym.of_string pattern) ~tau))
+      | Ok (Listing l) ->
+          P.Hits (hits_of (L.query l ~pattern:(Sym.of_string pattern) ~tau)))
+  | P.Top_k { index; pattern; tau; k } -> (
+      match resolve t index with
+      | Result.Error (e, m) -> P.Error (e, m)
+      | Ok (General g) ->
+          P.Hits
+            (hits_of (G.query_top_k g ~pattern:(Sym.of_string pattern) ~tau ~k))
+      | Ok (Listing l) ->
+          P.Hits
+            (hits_of (L.query_top_k l ~pattern:(Sym.of_string pattern) ~tau ~k)))
+  | P.Listing { index; pattern; tau } -> (
+      match resolve t index with
+      | Result.Error (e, m) -> P.Error (e, m)
+      | Ok (Listing l) ->
+          P.Hits (hits_of (L.query l ~pattern:(Sym.of_string pattern) ~tau))
+      | Ok (General _) ->
+          P.Error
+            ( P.Bad_request,
+              Printf.sprintf "index %d is not a listing index" index ))
+  | P.Slow ms ->
+      if t.cfg.debug_slow then begin
+        Unix.sleepf (float_of_int ms /. 1000.0);
+        P.Pong
+      end
+      else P.Error (P.Bad_request, "slow op disabled (no --debug-slow)")
+  | P.Stats | P.Ping ->
+      (* answered inline by the accept loop; unreachable here *)
+      P.Error (P.Server_error, "inline op reached a worker")
+
+let worker_loop t =
+  let rec go () =
+    match Bq.pop t.queue with
+    | None -> ()
+    | Some job ->
+        let now = Unix.gettimeofday () in
+        if now > job.deadline then begin
+          Metrics.incr_timeout t.metrics;
+          Metrics.record_latency t.metrics ~kind:job.jkind
+            ~seconds:(now -. job.arrival);
+          write_reply t job.jconn ~id:job.jid
+            (P.Error
+               ( P.Timeout,
+                 Printf.sprintf "deadline (%.0f ms) expired in queue"
+                   t.cfg.deadline_ms ))
+        end
+        else begin
+          let reply =
+            try execute t job.jop with
+            | Invalid_argument m | Failure m -> P.Error (P.Bad_request, m)
+            | Pti_storage.Corrupt { section; reason } ->
+                P.Error
+                  (P.Bad_index, Printf.sprintf "corrupt %s: %s" section reason)
+            | e -> P.Error (P.Server_error, Printexc.to_string e)
+          in
+          (match reply with
+          | P.Error (e, _) ->
+              Metrics.incr_error t.metrics ~err:(P.err_to_string e)
+          | _ -> Metrics.incr_ok t.metrics ~kind:job.jkind);
+          Metrics.record_latency t.metrics ~kind:job.jkind
+            ~seconds:(Unix.gettimeofday () -. job.arrival);
+          write_reply t job.jconn ~id:job.jid reply
+        end;
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop *)
+
+let dispatch t conn (req : P.request) =
+  let kind = P.op_kind req.op in
+  Metrics.incr_received t.metrics ~kind;
+  match req.op with
+  | P.Stats -> write_reply t conn ~id:req.id (P.Stats_reply (stats_json t))
+  | P.Ping ->
+      Metrics.incr_ok t.metrics ~kind;
+      write_reply t conn ~id:req.id P.Pong
+  | _ ->
+      let now = Unix.gettimeofday () in
+      let job =
+        {
+          jconn = conn;
+          jid = req.id;
+          jop = req.op;
+          jkind = kind;
+          arrival = now;
+          deadline = now +. (t.cfg.deadline_ms /. 1000.0);
+        }
+      in
+      if Bq.try_push t.queue job then
+        Metrics.observe_queue_depth t.metrics (Bq.length t.queue)
+      else
+        error_reply t conn ~id:req.id P.Overloaded
+          (Printf.sprintf "request queue full (cap %d)" t.cfg.queue_cap)
+
+(* Cut complete messages off the front of [conn.inbuf]. Returns [false]
+   when the connection must be closed (framing lost). *)
+let process_input t conn =
+  (match conn.json with
+  | Some _ -> ()
+  | None ->
+      if String.length conn.inbuf > 0 then
+        conn.json <- Some (conn.inbuf.[0] = '{'));
+  match conn.json with
+  | None -> true
+  | Some true ->
+      (* newline-delimited JSON; a parse error is answered but the
+         line framing survives, so the connection stays up *)
+      let rec lines () =
+        match String.index_opt conn.inbuf '\n' with
+        | None -> true
+        | Some nl ->
+            let line = String.sub conn.inbuf 0 nl in
+            conn.inbuf <-
+              String.sub conn.inbuf (nl + 1)
+                (String.length conn.inbuf - nl - 1);
+            let line = String.trim line in
+            if line <> "" then begin
+              match P.request_of_json line with
+              | req -> dispatch t conn req
+              | exception P.Protocol_error m ->
+                  error_reply t conn ~id:0 P.Bad_request m
+            end;
+            lines ()
+      in
+      lines ()
+  | Some false ->
+      let rec frames () =
+        let have = String.length conn.inbuf in
+        if have < 4 then true
+        else begin
+          let len =
+            Int32.to_int (String.get_int32_be conn.inbuf 0) land 0xffffffff
+          in
+          if len > P.max_frame then begin
+            error_reply t conn ~id:0 P.Bad_request
+              (Printf.sprintf "frame length %d exceeds limit" len);
+            false
+          end
+          else if have < 4 + len then true
+          else begin
+            let payload = String.sub conn.inbuf 4 len in
+            conn.inbuf <- String.sub conn.inbuf (4 + len) (have - 4 - len);
+            match P.decode_request payload with
+            | req ->
+                dispatch t conn req;
+                frames ()
+            | exception P.Protocol_error m ->
+                (* frame boundary is intact: answer and continue *)
+                error_reply t conn ~id:0 P.Bad_request m;
+                frames ()
+          end
+        end
+      in
+      frames ()
+
+let close_conn conns conn =
+  conn.alive <- false;
+  Hashtbl.remove conns conn.fd;
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let run t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let workers =
+    List.init (Stdlib.max 1 t.cfg.workers) (fun _ ->
+        Domain.spawn (fun () -> worker_loop t))
+  in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let readbuf = Bytes.create 65536 in
+  let accept_one () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Metrics.incr_connections t.metrics;
+        Hashtbl.replace conns fd
+          {
+            fd;
+            write_m = Mutex.create ();
+            inbuf = "";
+            json = None;
+            alive = true;
+          }
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+  in
+  let read_conn conn =
+    match Unix.read conn.fd readbuf 0 (Bytes.length readbuf) with
+    | 0 -> close_conn conns conn
+    | n ->
+        conn.inbuf <- conn.inbuf ^ Bytes.sub_string readbuf 0 n;
+        if not (process_input t conn) then close_conn conns conn
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn conns conn
+  in
+  while not (Atomic.get t.stop_flag) do
+    if Atomic.get t.dump_flag then begin
+      Atomic.set t.dump_flag false;
+      Printf.eprintf "%s\n%!" (stats_json t)
+    end;
+    let fds =
+      t.listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+    in
+    match Unix.select fds [] [] 0.1 with
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.listen_fd then accept_one ()
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some conn -> read_conn conn
+              | None -> ())
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* shutdown: stop accepting, drain the workers, close everything *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Bq.close t.queue;
+  List.iter Domain.join workers;
+  Hashtbl.iter (fun _ conn -> conn.alive <- false) conns;
+  Hashtbl.iter
+    (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+    conns;
+  Hashtbl.reset conns

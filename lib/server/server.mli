@@ -1,0 +1,73 @@
+(** The query-serving daemon (DESIGN.md §10).
+
+    One accept loop (the domain that calls {!run}) multiplexes every
+    connection with [Unix.select], parses complete frames, and hands
+    each request — stamped with an arrival time and a deadline — to a
+    bounded {!Pti_parallel.Bqueue} drained by a pool of worker domains.
+    Queries are pure reads of immutable engines, so workers share
+    handles with no locking; the only synchronisation on the hot path is
+    the queue itself and a per-connection write mutex (replies from
+    different workers may interleave on one pipelined connection).
+
+    Backpressure is explicit: a full queue makes the accept loop answer
+    [Overloaded] immediately instead of buffering or hanging, and a
+    request whose deadline expires while queued is answered [Timeout] by
+    the worker that dequeues it. [Stats] and [Ping] are answered inline
+    by the accept loop so the server stays observable while
+    saturated. *)
+
+type source =
+  | Source_file of string
+      (** Resolved through the engine LRU cache at request time. *)
+  | Source_general of Pti_core.General_index.t
+      (** A pre-built in-memory index (the bench's heap engine). *)
+  | Source_listing of Pti_core.Listing_index.t
+
+type config = {
+  host : string;  (** Bind address (default "127.0.0.1"). *)
+  port : int;  (** 0 picks an ephemeral port; see {!port}. *)
+  workers : int;  (** Worker domains (default
+                      {!Pti_parallel.num_domains}[ ()]). *)
+  queue_cap : int;  (** Request queue bound (default 1024). *)
+  deadline_ms : float;  (** Per-request deadline (default 5000). *)
+  cache_cap : int;  (** Open-engine LRU capacity (default 8). *)
+  verify : bool;  (** Checksum containers on open (default [true]). *)
+  debug_slow : bool;
+      (** Allow the [Slow] debug op (default [false]; tests and the
+          bench enable it to provoke overload/timeouts). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> source list -> t
+(** Bind and listen (so {!port} is known immediately); request index
+    ids are positions in the source list. Raises [Unix.Unix_error] if
+    the address cannot be bound, [Invalid_argument] on an empty source
+    list. File sources are opened lazily at first request, so a
+    missing/corrupt file is a per-request [Bad_index] reply, not a
+    startup failure. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port = 0]). *)
+
+val run : t -> unit
+(** Spawn the workers and serve until {!stop}; joins the workers and
+    closes every socket before returning. Ignores SIGPIPE for the whole
+    process (a client hanging up must not kill the daemon). *)
+
+val stop : t -> unit
+(** Ask {!run} to shut down; safe from any domain, a signal handler
+    included. Idempotent. *)
+
+val request_stats_dump : t -> unit
+(** Make the accept loop print {!stats_json} to stderr at its next
+    iteration — the SIGUSR1 hook (safe from a signal handler: it only
+    sets a flag). *)
+
+val metrics : t -> Metrics.t
+
+val stats_json : t -> string
+(** The metrics registry (plus current queue depth) as JSON — the
+    payload of a [Stats] reply. *)

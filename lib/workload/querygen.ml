@@ -1,5 +1,10 @@
 module Ustring = Pti_ustring.Ustring
 
+let default_seed = 1234
+
+let state ?(seed = default_seed) ?(stream = 0) () =
+  Random.State.make [| seed; stream |]
+
 let pattern rng u ~m =
   let n = Ustring.length u in
   if m < 1 || m > n then
@@ -25,3 +30,6 @@ let pattern_batch rng u ~lengths ~per_length =
   lengths
   |> List.filter (fun m -> m >= 1 && m <= n)
   |> List.map (fun m -> (m, patterns rng u ~m ~count:per_length))
+
+let patterns_seeded ?seed ?stream u ~m ~count =
+  patterns (state ?seed ?stream ()) u ~m ~count

@@ -5,6 +5,17 @@
     marginal distribution through [m] positions (so likely worlds yield
     likely patterns). *)
 
+val default_seed : int
+(** The workload seed used when none is given (1234 — the seed the
+    bench harness has always used). *)
+
+val state : ?seed:int -> ?stream:int -> unit -> Random.State.t
+(** A deterministic generator state: [Random.State.make [| seed;
+    stream |]] (defaults: {!default_seed}, stream 0). [stream]
+    decorrelates several generators sharing one seed — the load
+    generator gives every client its index as the stream, so a run is
+    reproducible end to end while clients draw distinct patterns. *)
+
 val pattern : Random.State.t -> Pti_ustring.Ustring.t -> m:int -> Pti_ustring.Sym.t array
 (** Raises [Invalid_argument] if [m] exceeds the string length or
     [m < 1]. *)
@@ -18,3 +29,9 @@ val pattern_batch :
   (int * Pti_ustring.Sym.t array list) list
 (** For each requested length, [per_length] patterns (lengths exceeding
     the string are dropped). *)
+
+val patterns_seeded :
+  ?seed:int -> ?stream:int -> Pti_ustring.Ustring.t -> m:int -> count:int ->
+  Pti_ustring.Sym.t array list
+(** {!patterns} from a fresh {!state}: two calls with equal seed,
+    stream and arguments return identical patterns. *)

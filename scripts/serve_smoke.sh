@@ -1,0 +1,63 @@
+#!/bin/sh
+# End-to-end smoke test of the serving pipeline:
+#   pti gen -> pti build (general + listing) -> pti serve (background,
+#   ephemeral port) -> pti loadgen --check -> clean shutdown.
+# Exits non-zero if any request fails, any response is dropped, or the
+# server does not come up / shut down cleanly.
+set -eu
+
+PTI=_build/default/bin/pti.exe
+[ -x "$PTI" ] || { echo "serve-smoke: build bin/pti.exe first (dune build bin/pti.exe)" >&2; exit 1; }
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/pti-serve-smoke.XXXXXX")
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -TERM "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: workdir $DIR"
+
+"$PTI" gen --total 3000 --theta 0.3 --seed 7 -o "$DIR/data.txt"
+"$PTI" build -i "$DIR/data.txt" -o "$DIR/general.pti"
+"$PTI" build -i "$DIR/data.txt" --docs -o "$DIR/listing.pti"
+
+# Ephemeral port: the server prints the bound port on its first line.
+"$PTI" serve "$DIR/general.pti" "$DIR/listing.pti" \
+    --port 0 --workers 2 --queue-cap 256 > "$DIR/serve.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+    PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$DIR/serve.log")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve-smoke: server died:" >&2; cat "$DIR/serve.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$PORT" ] || { echo "serve-smoke: server never reported a port" >&2; cat "$DIR/serve.log" >&2; exit 1; }
+echo "serve-smoke: server up on port $PORT (pid $SERVER_PID)"
+
+# Mixed binary-protocol load at concurrency 8; --check exits 1 on any
+# error reply, protocol failure, or verification failure.
+"$PTI" loadgen -i "$DIR/data.txt" --port "$PORT" \
+    --concurrency 8 --requests 200 --mix query=8,topk=1,listing=1 \
+    --listing-index 1 --check
+
+# The stats dump hook (SIGUSR1) must not kill the server.
+kill -USR1 "$SERVER_PID"
+sleep 0.3
+kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve-smoke: server died on SIGUSR1" >&2; exit 1; }
+grep -q '"requests"' "$DIR/serve.log" || { echo "serve-smoke: no stats dump after SIGUSR1" >&2; cat "$DIR/serve.log" >&2; exit 1; }
+
+# Clean shutdown on SIGTERM.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "serve-smoke: OK"

@@ -249,6 +249,42 @@ let test_stream_topk () =
     (G.query_top_k g ~pattern:pat ~tau:0.1 ~k:10_000
     = G.query g ~pattern:pat ~tau:0.1)
 
+(* top-k edges survive persistence: k=0, k beyond the answer set, and
+   tie-break order must all be identical between the freshly built
+   engine and its mmap-loaded copy (ordering may not depend on which
+   representation backs the arrays) *)
+let test_topk_mmap_stability () =
+  (* a uniform string produces many exactly-tied answer probabilities *)
+  let mono = U.parse "A:.9 A:.9 A:.9 A:.9 A:.9 A:.9 A:.9 A:.9" in
+  let rng = H.rng_of_seed 67 in
+  let cases = [ mono; H.random_ustring rng 40 4 3 ] in
+  List.iter
+    (fun u ->
+      let g = G.build ~tau_min:0.1 u in
+      let path = Filename.temp_file "pti_topk" ".idx" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          G.save g path;
+          let g' = G.load path in
+          for _ = 1 to 25 do
+            let m = 1 + Random.State.int rng 4 in
+            let pat = H.random_pattern rng u m in
+            let tau = 0.1 +. Random.State.float rng 0.6 in
+            let full = G.query g ~pattern:pat ~tau in
+            List.iter
+              (fun k ->
+                let heap = G.query_top_k g ~pattern:pat ~tau ~k in
+                let mmapd = G.query_top_k g' ~pattern:pat ~tau ~k in
+                Alcotest.(check bool)
+                  (Printf.sprintf "heap/mmap top-%d identical (ties too)" k)
+                  true (heap = mmapd);
+                Alcotest.(check bool) "prefix of the full ranking" true
+                  (heap = List.filteri (fun i _ -> i < k) full))
+              [ 0; 1; 2; 3; List.length full; List.length full + 50 ]
+          done))
+    cases
+
 let test_stream_lazy () =
   (* consuming only the head of the stream must not visit the rest:
      check it returns the single most probable answer *)
@@ -415,6 +451,8 @@ let () =
       ( "stream",
         [
           Alcotest.test_case "stream/top-k agree with query" `Quick test_stream_topk;
+          Alcotest.test_case "top-k edges stable heap vs mmap" `Quick
+            test_topk_mmap_stability;
           Alcotest.test_case "lazy head" `Quick test_stream_lazy;
         ] );
       ( "edges",

@@ -115,6 +115,89 @@ let test_env_fallback () =
   Alcotest.(check int) "PTI_DOMAINS=empty" 1 (Par.num_domains ())
 
 (* ------------------------------------------------------------------ *)
+(* The bounded queue feeding the server's worker domains. *)
+
+let test_bqueue_basics () =
+  let q = Par.Bqueue.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Par.Bqueue.capacity q);
+  Alcotest.(check int) "empty" 0 (Par.Bqueue.length q);
+  Alcotest.(check bool) "push 1" true (Par.Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Par.Bqueue.try_push q 2);
+  Alcotest.(check bool) "push 3" true (Par.Bqueue.try_push q 3);
+  (* full queue refuses instead of blocking: the server's backpressure *)
+  Alcotest.(check bool) "push refused when full" false (Par.Bqueue.try_push q 4);
+  Alcotest.(check int) "length" 3 (Par.Bqueue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Par.Bqueue.pop q);
+  Alcotest.(check bool) "slot freed" true (Par.Bqueue.try_push q 4);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Par.Bqueue.pop q);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Par.Bqueue.pop q);
+  Alcotest.(check (option int)) "fifo 4" (Some 4) (Par.Bqueue.pop q)
+
+let test_bqueue_close () =
+  let q = Par.Bqueue.create ~capacity:4 in
+  ignore (Par.Bqueue.try_push q "a");
+  ignore (Par.Bqueue.try_push q "b");
+  Par.Bqueue.close q;
+  Alcotest.(check bool) "push after close refused" false
+    (Par.Bqueue.try_push q "c");
+  (* consumers drain what was accepted, then see the close *)
+  Alcotest.(check (option string)) "drain a" (Some "a") (Par.Bqueue.pop q);
+  Alcotest.(check (option string)) "drain b" (Some "b") (Par.Bqueue.pop q);
+  Alcotest.(check (option string)) "closed" None (Par.Bqueue.pop q);
+  Alcotest.(check (option string)) "still closed" None (Par.Bqueue.pop q)
+
+let test_bqueue_concurrent () =
+  (* several producers and consumers; every accepted element is popped
+     exactly once, blocked consumers wake up on close *)
+  let q = Par.Bqueue.create ~capacity:8 in
+  let n_producers = 3 and per_producer = 500 in
+  let accepted = Atomic.make 0 in
+  let sum_pushed = Atomic.make 0 in
+  let producers =
+    List.init n_producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_producer do
+              let v = (p * per_producer) + i in
+              (* spin until accepted — capacity 8 forces real contention *)
+              let rec push () =
+                if Par.Bqueue.try_push q v then begin
+                  Atomic.incr accepted;
+                  ignore (Atomic.fetch_and_add sum_pushed v)
+                end
+                else begin
+                  Domain.cpu_relax ();
+                  push ()
+                end
+              in
+              push ()
+            done))
+  in
+  let sum_popped = Atomic.make 0 in
+  let popped = Atomic.make 0 in
+  let consumers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Par.Bqueue.pop q with
+              | Some v ->
+                  ignore (Atomic.fetch_and_add sum_popped v);
+                  Atomic.incr popped;
+                  loop ()
+              | None -> ()
+            in
+            loop ()))
+  in
+  List.iter Domain.join producers;
+  Par.Bqueue.close q;
+  List.iter Domain.join consumers;
+  Alcotest.(check int) "all accepted" (n_producers * per_producer)
+    (Atomic.get accepted);
+  Alcotest.(check int) "all popped" (Atomic.get accepted) (Atomic.get popped);
+  Alcotest.(check int) "sums agree" (Atomic.get sum_pushed)
+    (Atomic.get sum_popped);
+  Alcotest.(check int) "drained" 0 (Par.Bqueue.length q)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism of parallel construction. *)
 
 let engine_bytes g =
@@ -249,6 +332,13 @@ let () =
             test_parallel_for_init;
           Alcotest.test_case "exceptions propagate" `Quick
             test_exceptions_propagate;
+        ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "fifo and backpressure" `Quick test_bqueue_basics;
+          Alcotest.test_case "close semantics" `Quick test_bqueue_close;
+          Alcotest.test_case "concurrent producers/consumers" `Quick
+            test_bqueue_concurrent;
         ] );
       ( "env",
         [

@@ -1,0 +1,519 @@
+(* Tests for Pti_server: wire protocol roundtrips, the end-to-end
+   daemon (responses byte-for-byte identical to direct engine calls),
+   typed error replies, JSON fallback, the load generator, and the
+   explicit overload / timeout behaviour. *)
+
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module Logp = Pti_prob.Logp
+module G = Pti_core.General_index
+module L = Pti_core.Listing_index
+module D = Pti_workload.Dataset
+module Q = Pti_workload.Querygen
+module P = Pti_server.Protocol
+module Server = Pti_server.Server
+module Loadgen = Pti_server.Loadgen
+module H = Pti_test_helpers
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixture: a general and a listing index saved to disk, plus
+   in-memory copies for computing expected answers. *)
+
+let tau_min = 0.1
+
+let fixture =
+  lazy
+    (let u = D.single (D.default ~total:800 ~theta:0.3) in
+     let docs = D.collection (D.default ~total:600 ~theta:0.3) in
+     let g = G.build ~tau_min u in
+     let l = L.build ~relevance:L.Rel_max ~tau_min docs in
+     let gpath = Filename.temp_file "pti_srv" ".idx" in
+     let lpath = Filename.temp_file "pti_srv" ".idx" in
+     at_exit (fun () ->
+         List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+           [ gpath; lpath ]);
+     G.save g gpath;
+     L.save l lpath;
+     (u, docs, g, l, gpath, lpath))
+
+let base_config workers =
+  { Server.default_config with port = 0; workers; queue_cap = 64 }
+
+let with_server ?(config = base_config 2) sources f =
+  let srv = Server.create ~config sources in
+  let d = Domain.spawn (fun () -> Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Domain.join d)
+    (fun () -> f srv (Server.port srv))
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let with_conn port f =
+  let fd = connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let rpc fd req =
+  P.write_all fd (P.encode_request req);
+  match P.read_frame fd with
+  | Some payload -> P.decode_reply payload
+  | None -> Alcotest.fail "server closed the connection"
+
+(* expected hits of a direct engine call, in wire representation *)
+let wire hits = List.map (fun (key, p) -> (key, Logp.to_log p)) hits
+
+let check_hits name want got =
+  match got with
+  | P.Hits hs ->
+      (* [=] on (int * float) lists: the protocol ships raw IEEE-754
+         bits, so equality must be exact, ties and order included *)
+      Alcotest.(check bool) (name ^ " byte-for-byte") true (hs = want)
+  | P.Error (e, m) ->
+      Alcotest.failf "%s: unexpected error %s (%s)" name (P.err_to_string e) m
+  | _ -> Alcotest.failf "%s: unexpected reply" name
+
+(* ------------------------------------------------------------------ *)
+(* Protocol roundtrips (no server involved) *)
+
+let sample_ops =
+  [
+    P.Query { index = 0; pattern = "ACDE"; tau = 0.25 };
+    P.Query { index = 3; pattern = ""; tau = 1e-300 };
+    P.Top_k { index = 1; pattern = "WW"; tau = 0.5; k = 0 };
+    P.Top_k { index = 0; pattern = "A"; tau = 0.1; k = 10_000 };
+    P.Listing { index = 2; pattern = "KLM"; tau = 0.999999999999 };
+    P.Stats;
+    P.Ping;
+    P.Slow 250;
+  ]
+
+let sample_replies =
+  [
+    P.Hits [];
+    P.Hits [ (0, -0.0); (17, -1.5e-9); (42, Float.log 0.25) ];
+    (* 2^53 - 1: the largest key exact in both encodings (JSON numbers
+       are doubles); real keys are positions or doc ids, far below *)
+    P.Hits [ ((1 lsl 53) - 1, -745.133); (0, Float.log 0.9999999999999999) ];
+    P.Error (P.Bad_request, "tau below tau_min");
+    P.Error (P.Bad_index, "no index 7");
+    P.Error (P.Overloaded, "queue full");
+    P.Error (P.Timeout, "deadline expired");
+    P.Error (P.Server_error, "");
+    P.Stats_reply "{\"uptime_s\":1.5,\"requests\":{}}";
+    P.Pong;
+  ]
+
+let test_binary_roundtrip () =
+  List.iteri
+    (fun i op ->
+      let req = { P.id = (i * 977) + 1; op } in
+      let frame = P.encode_request req in
+      (* frame = 4-byte length header + payload *)
+      let len = Int32.to_int (String.get_int32_be frame 0) in
+      Alcotest.(check int) "header length" (String.length frame - 4) len;
+      let req' = P.decode_request (String.sub frame 4 len) in
+      Alcotest.(check bool) "request roundtrips" true (req = req'))
+    sample_ops;
+  List.iteri
+    (fun i reply ->
+      let frame = P.encode_reply ~id:i reply in
+      let len = Int32.to_int (String.get_int32_be frame 0) in
+      let id, reply' = P.decode_reply (String.sub frame 4 len) in
+      Alcotest.(check int) "id" i id;
+      Alcotest.(check bool) "reply roundtrips (floats bit-exact)" true
+        (reply = reply'))
+    sample_replies;
+  (* binary keys are full-width 64-bit, beyond JSON's 2^53 exactness *)
+  let wide = P.Hits [ (max_int, -1.0); (min_int, 0.0) ] in
+  let frame = P.encode_reply ~id:1 wide in
+  Alcotest.(check bool) "full-width keys" true
+    (P.decode_reply (String.sub frame 4 (String.length frame - 4)) = (1, wide))
+
+let test_json_roundtrip () =
+  List.iteri
+    (fun i op ->
+      match op with
+      | P.Slow _ | P.Stats | P.Ping -> ()
+      | _ ->
+          let req = { P.id = i; op } in
+          let line = P.request_to_json req in
+          Alcotest.(check bool) "request roundtrips" true
+            (P.request_of_json line = req))
+    sample_ops;
+  List.iteri
+    (fun i reply ->
+      match reply with
+      | P.Stats_reply _ -> ()
+      | _ ->
+          let line = P.reply_to_json ~id:i reply in
+          Alcotest.(check bool)
+            (Printf.sprintf "reply %d roundtrips (floats exact)" i)
+            true
+            (P.reply_of_json line = (i, reply)))
+    sample_replies;
+  (* stats replies splice the JSON payload through verbatim *)
+  let id, r = P.reply_of_json (P.reply_to_json ~id:9 (List.nth sample_replies 8)) in
+  Alcotest.(check int) "stats id" 9 id;
+  (match r with
+  | P.Stats_reply s ->
+      Alcotest.(check bool) "stats payload preserved" true
+        (String.length s > 0)
+  | _ -> Alcotest.fail "expected stats reply")
+
+let test_decode_errors () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with P.Protocol_error _ -> true
+  in
+  Alcotest.(check bool) "empty payload" true
+    (raises (fun () -> P.decode_request ""));
+  Alcotest.(check bool) "unknown tag" true
+    (raises (fun () -> P.decode_request "\xff\x00\x00\x00\x01"));
+  let frame = P.encode_request { P.id = 1; op = List.hd sample_ops } in
+  let payload = String.sub frame 4 (String.length frame - 4) in
+  Alcotest.(check bool) "truncated request" true
+    (raises (fun () ->
+         P.decode_request (String.sub payload 0 (String.length payload - 1))));
+  Alcotest.(check bool) "truncated reply" true
+    (raises (fun () -> P.decode_reply "\x00"));
+  Alcotest.(check bool) "bad json" true
+    (raises (fun () -> P.request_of_json "{\"id\":}"));
+  Alcotest.(check bool) "json missing op" true
+    (raises (fun () -> P.request_of_json "{\"id\":1}"))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over TCP *)
+
+let test_e2e_binary () =
+  let u, docs, g, l, gpath, lpath = Lazy.force fixture in
+  with_server [ Server.Source_file gpath; Server.Source_file lpath ]
+    (fun srv port ->
+      with_conn port (fun fd ->
+          let rng = Q.state ~seed:41 () in
+          (* threshold queries, top-k and listings against both index
+             kinds, byte-for-byte against the in-memory engines *)
+          for i = 1 to 30 do
+            let m = 1 + Random.State.int rng 6 in
+            let pat = Sym.to_string (Q.pattern rng u ~m) in
+            let tau = tau_min +. Random.State.float rng 0.7 in
+            let id, reply =
+              rpc fd { P.id = i; op = P.Query { index = 0; pattern = pat; tau } }
+            in
+            Alcotest.(check int) "id echoed" i id;
+            check_hits "query"
+              (wire (G.query g ~pattern:(Sym.of_string pat) ~tau))
+              reply;
+            let k = Random.State.int rng 6 in
+            let _, reply =
+              rpc fd
+                { P.id = i; op = P.Top_k { index = 0; pattern = pat; tau; k } }
+            in
+            check_hits "top_k"
+              (wire (G.query_top_k g ~pattern:(Sym.of_string pat) ~tau ~k))
+              reply
+          done;
+          let d0 = List.hd docs in
+          for i = 1 to 15 do
+            let m = 1 + Random.State.int rng 4 in
+            let pat = Sym.to_string (Q.pattern rng d0 ~m) in
+            let tau = tau_min +. Random.State.float rng 0.7 in
+            let _, reply =
+              rpc fd
+                { P.id = i; op = P.Listing { index = 1; pattern = pat; tau } }
+            in
+            check_hits "listing"
+              (wire (L.query l ~pattern:(Sym.of_string pat) ~tau))
+              reply
+          done;
+          (* typed errors, and the connection survives every one *)
+          let expect_err name want op =
+            match rpc fd { P.id = 99; op } with
+            | _, P.Error (e, _) ->
+                Alcotest.(check string) name (P.err_to_string want)
+                  (P.err_to_string e)
+            | _ -> Alcotest.failf "%s: expected an error reply" name
+          in
+          expect_err "tau below tau_min" P.Bad_request
+            (P.Query { index = 0; pattern = "AC"; tau = tau_min /. 2.0 });
+          expect_err "empty pattern" P.Bad_request
+            (P.Query { index = 0; pattern = ""; tau = 0.5 });
+          expect_err "unknown index" P.Bad_index
+            (P.Query { index = 7; pattern = "AC"; tau = 0.5 });
+          expect_err "negative index" P.Bad_index
+            (P.Query { index = -1; pattern = "AC"; tau = 0.5 });
+          expect_err "listing on general index" P.Bad_request
+            (P.Listing { index = 0; pattern = "AC"; tau = 0.5 });
+          expect_err "slow disabled by default" P.Bad_request (P.Slow 1);
+          (* still alive after all that *)
+          (match rpc fd { P.id = 1000; op = P.Ping } with
+          | 1000, P.Pong -> ()
+          | _ -> Alcotest.fail "ping after errors");
+          (* stats: well-formed JSON-ish payload with our traffic in it *)
+          (match rpc fd { P.id = 7; op = P.Stats } with
+          | 7, P.Stats_reply s ->
+              List.iter
+                (fun needle ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "stats mentions %s" needle)
+                    true (contains s needle))
+                [ "\"requests\""; "\"query\""; "\"latency\""; "\"queue\"";
+                  "\"cache\"" ]
+          | _ -> Alcotest.fail "expected stats reply");
+          (* traffic showed up in the registry *)
+          let m = Server.metrics srv in
+          Alcotest.(check bool) "queries counted" true
+            (Pti_server.Metrics.requests_received m ~kind:"query" > 0)))
+
+let test_e2e_pipelining () =
+  (* many requests written before any reply is read; every reply comes
+     back with the right id and payload *)
+  let u, _, g, _, gpath, _ = Lazy.force fixture in
+  with_server [ Server.Source_file gpath ] (fun _srv port ->
+      with_conn port (fun fd ->
+          let rng = Q.state ~seed:43 () in
+          let reqs =
+            List.init 50 (fun i ->
+                let pat = Sym.to_string (Q.pattern rng u ~m:3) in
+                let tau = tau_min +. Random.State.float rng 0.7 in
+                (i, pat, tau))
+          in
+          List.iter
+            (fun (i, pat, tau) ->
+              P.write_all fd
+                (P.encode_request
+                   { P.id = i; op = P.Query { index = 0; pattern = pat; tau } }))
+            reqs;
+          let got = Hashtbl.create 64 in
+          for _ = 1 to List.length reqs do
+            match P.read_frame fd with
+            | Some payload ->
+                let id, reply = P.decode_reply payload in
+                Alcotest.(check bool) "no duplicate id" false
+                  (Hashtbl.mem got id);
+                Hashtbl.replace got id reply
+            | None -> Alcotest.fail "connection closed mid-pipeline"
+          done;
+          List.iter
+            (fun (i, pat, tau) ->
+              check_hits
+                (Printf.sprintf "pipelined reply %d" i)
+                (wire (G.query g ~pattern:(Sym.of_string pat) ~tau))
+                (Hashtbl.find got i))
+            reqs))
+
+let read_json_line fd =
+  let buf = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> Alcotest.fail "connection closed mid-line"
+    | _ ->
+        if Bytes.get one 0 = '\n' then Buffer.contents buf
+        else begin
+          Buffer.add_char buf (Bytes.get one 0);
+          go ()
+        end
+  in
+  go ()
+
+let test_e2e_json () =
+  let u, _, g, _, gpath, _ = Lazy.force fixture in
+  with_server [ Server.Source_file gpath ] (fun _srv port ->
+      with_conn port (fun fd ->
+          let rng = Q.state ~seed:44 () in
+          for i = 1 to 15 do
+            let pat = Sym.to_string (Q.pattern rng u ~m:4) in
+            let tau = tau_min +. Random.State.float rng 0.7 in
+            let req =
+              { P.id = i; op = P.Query { index = 0; pattern = pat; tau } }
+            in
+            P.write_all fd (P.request_to_json req ^ "\n");
+            let id, reply = P.reply_of_json (read_json_line fd) in
+            Alcotest.(check int) "id echoed" i id;
+            (* %.17g printing round-trips doubles exactly, so even the
+               JSON fallback is bit-for-bit comparable *)
+            check_hits "json query"
+              (wire (G.query g ~pattern:(Sym.of_string pat) ~tau))
+              reply
+          done;
+          (* malformed line answers an error but keeps the connection *)
+          P.write_all fd "{\"id\":oops}\n";
+          (match P.reply_of_json (read_json_line fd) with
+          | _, P.Error (P.Bad_request, _) -> ()
+          | _ -> Alcotest.fail "expected bad_request for malformed json");
+          P.write_all fd
+            (P.request_to_json { P.id = 99; op = P.Ping } ^ "\n");
+          match P.reply_of_json (read_json_line fd) with
+          | 99, P.Pong -> ()
+          | _ -> Alcotest.fail "ping after malformed line"))
+
+let test_loadgen_verified () =
+  (* the acceptance check: concurrency 8, mixed ops, every response
+     verified byte-for-byte against direct engine calls, zero errors *)
+  let u, _, g, l, gpath, lpath = Lazy.force fixture in
+  with_server [ Server.Source_file gpath; Server.Source_file lpath ]
+    (fun _srv port ->
+      let verify op reply =
+        match (op, reply) with
+        | P.Query { index = 0; pattern; tau }, P.Hits hs ->
+            hs = wire (G.query g ~pattern:(Sym.of_string pattern) ~tau)
+        | P.Top_k { index = 0; pattern; tau; k }, P.Hits hs ->
+            hs = wire (G.query_top_k g ~pattern:(Sym.of_string pattern) ~tau ~k)
+        | P.Listing { index = 1; pattern; tau }, P.Hits hs ->
+            hs = wire (L.query l ~pattern:(Sym.of_string pattern) ~tau)
+        | _ -> false
+      in
+      let r =
+        Loadgen.run ~port ~concurrency:8 ~duration_s:infinity
+          ~requests_per_client:40 ~verify ~index:0 ~listing_index:1 ~k:4
+          ~lengths:[ 3; 5 ] ~tau:0.2 ~seed:7
+          ~mix:{ Loadgen.query = 6; top_k = 2; listing = 2 }
+          ~source:u ()
+      in
+      Alcotest.(check int) "all requests sent" (8 * 40) r.Loadgen.sent;
+      Alcotest.(check int) "all ok" r.Loadgen.sent r.Loadgen.ok;
+      Alcotest.(check (list (pair string int))) "no error replies" []
+        r.Loadgen.errors;
+      Alcotest.(check int) "no protocol failures" 0 r.Loadgen.protocol_failures;
+      Alcotest.(check int) "every response verified" 0
+        r.Loadgen.verify_failures;
+      (* determinism satellite: the same seed replays the same load *)
+      let r2 =
+        Loadgen.run ~port ~concurrency:8 ~duration_s:infinity
+          ~requests_per_client:40 ~verify ~index:0 ~listing_index:1 ~k:4
+          ~lengths:[ 3; 5 ] ~tau:0.2 ~seed:7
+          ~mix:{ Loadgen.query = 6; top_k = 2; listing = 2 }
+          ~source:u ()
+      in
+      Alcotest.(check int) "replayed run verifies too" 0
+        (r2.Loadgen.verify_failures + r2.Loadgen.protocol_failures))
+
+let test_overload () =
+  (* one worker held busy + a tiny queue: pipelined requests beyond the
+     cap must get explicit Overloaded replies, while Ping/Stats stay
+     answered inline *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let config =
+    {
+      (base_config 1) with
+      queue_cap = 2;
+      debug_slow = true;
+      deadline_ms = 30_000.0;
+    }
+  in
+  with_server ~config [ Server.Source_general g ] (fun srv port ->
+      with_conn port (fun fd ->
+          P.write_all fd (P.encode_request { P.id = 0; op = P.Slow 400 });
+          (* give the worker a moment to take the slow job *)
+          Unix.sleepf 0.1;
+          let n = 20 in
+          for i = 1 to n do
+            P.write_all fd
+              (P.encode_request
+                 { P.id = i; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } })
+          done;
+          (* the accept loop still answers while the worker is busy *)
+          P.write_all fd (P.encode_request { P.id = 777; op = P.Ping });
+          P.write_all fd (P.encode_request { P.id = 778; op = P.Stats });
+          let overloaded = ref 0 and hits = ref 0 and pong = ref 0 in
+          let stats = ref 0 and inline_before_slow = ref false in
+          for _ = 1 to n + 3 do
+            match P.read_frame fd with
+            | Some payload -> (
+                match P.decode_reply payload with
+                | _, P.Error (P.Overloaded, _) -> incr overloaded
+                | 0, P.Pong ->
+                    incr pong
+                | 777, P.Pong ->
+                    incr pong;
+                    (* the slow op is still running: inline replies beat it *)
+                    if !pong = 1 then inline_before_slow := true
+                | _, P.Stats_reply _ -> incr stats
+                | _, P.Hits _ -> incr hits
+                | _, r ->
+                    Alcotest.failf "unexpected reply %s"
+                      (match r with
+                      | P.Error (e, m) -> P.err_to_string e ^ ": " ^ m
+                      | _ -> "?"))
+            | None -> Alcotest.fail "connection closed under overload"
+          done;
+          Alcotest.(check bool) "some requests overloaded" true
+            (!overloaded > 0);
+          Alcotest.(check bool) "queued requests still answered" true
+            (!hits > 0);
+          Alcotest.(check int) "every request answered exactly once" (n + 3)
+            (!overloaded + !hits + !pong + !stats);
+          Alcotest.(check int) "both pings ponged" 2 !pong;
+          Alcotest.(check int) "stats answered inline" 1 !stats;
+          Alcotest.(check bool) "server observable while saturated" true
+            !inline_before_slow);
+      (* the server counted them too *)
+      Alcotest.(check bool) "overloads counted server-side" true
+        (Pti_server.Metrics.overloaded (Server.metrics srv) > 0))
+
+let test_timeout () =
+  (* a request stuck behind a slow one past its deadline is answered
+     Timeout by the worker that dequeues it *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let config =
+    { (base_config 1) with debug_slow = true; deadline_ms = 80.0 }
+  in
+  with_server ~config [ Server.Source_general g ] (fun _srv port ->
+      with_conn port (fun fd ->
+          P.write_all fd (P.encode_request { P.id = 0; op = P.Slow 400 });
+          Unix.sleepf 0.1;
+          for i = 1 to 3 do
+            P.write_all fd
+              (P.encode_request
+                 { P.id = i; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } })
+          done;
+          let timeouts = ref 0 and pong = ref 0 in
+          for _ = 1 to 4 do
+            match P.read_frame fd with
+            | Some payload -> (
+                match P.decode_reply payload with
+                | _, P.Error (P.Timeout, _) -> incr timeouts
+                | 0, P.Pong -> incr pong
+                | _, P.Hits _ -> ()
+                | _ -> Alcotest.fail "unexpected reply")
+            | None -> Alcotest.fail "connection closed"
+          done;
+          Alcotest.(check int) "slow op completed" 1 !pong;
+          Alcotest.(check int) "queued requests timed out" 3 !timeouts))
+
+let () =
+  Alcotest.run "pti_server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "binary roundtrip" `Quick test_binary_roundtrip;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "binary queries byte-for-byte" `Quick
+            test_e2e_binary;
+          Alcotest.test_case "pipelining" `Quick test_e2e_pipelining;
+          Alcotest.test_case "json fallback" `Quick test_e2e_json;
+          Alcotest.test_case "loadgen verified at concurrency 8" `Quick
+            test_loadgen_verified;
+        ] );
+      ( "pressure",
+        [
+          Alcotest.test_case "overload backpressure" `Quick test_overload;
+          Alcotest.test_case "deadline timeout" `Quick test_timeout;
+        ] );
+    ]

@@ -142,6 +142,26 @@ let test_querygen () =
   let batch = Q.pattern_batch rng u ~lengths:[ 4; 10; 5000 ] ~per_length:3 in
   Alcotest.(check int) "overlong lengths dropped" 2 (List.length batch)
 
+let test_querygen_seeded () =
+  let u = D.single (D.default ~total:400 ~theta:0.3) in
+  let show pats = String.concat "|" (List.map Sym.to_string pats) in
+  (* same seed and stream replay the same patterns *)
+  let a = Q.patterns_seeded ~seed:7 ~stream:3 u ~m:6 ~count:25 in
+  let b = Q.patterns_seeded ~seed:7 ~stream:3 u ~m:6 ~count:25 in
+  Alcotest.(check string) "same seed+stream identical" (show a) (show b);
+  (* defaults are deterministic too *)
+  let d1 = Q.patterns_seeded u ~m:6 ~count:25 in
+  let d2 = Q.patterns_seeded u ~m:6 ~count:25 in
+  Alcotest.(check string) "default seed identical" (show d1) (show d2);
+  (* different seed or stream decorrelates *)
+  let c = Q.patterns_seeded ~seed:8 ~stream:3 u ~m:6 ~count:25 in
+  Alcotest.(check bool) "different seed differs" true (show a <> show c);
+  let e = Q.patterns_seeded ~seed:7 ~stream:4 u ~m:6 ~count:25 in
+  Alcotest.(check bool) "different stream differs" true (show a <> show e);
+  (* the state constructor matches patterns_seeded *)
+  let f = Q.patterns (Q.state ~seed:7 ~stream:3 ()) u ~m:6 ~count:25 in
+  Alcotest.(check string) "state constructor agrees" (show a) (show f)
+
 let test_querygen_patterns_occur () =
   (* patterns drawn from marginals must have nonzero marginal probability
      at their source position — check that at least some of them match
@@ -185,6 +205,7 @@ let () =
       ( "querygen",
         [
           Alcotest.test_case "pattern shapes" `Quick test_querygen;
+          Alcotest.test_case "seeded determinism" `Quick test_querygen_seeded;
           Alcotest.test_case "patterns actually occur" `Quick test_querygen_patterns_occur;
         ] );
     ]
