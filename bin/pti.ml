@@ -292,9 +292,11 @@ let worlds input limit =
 
 module Server = Pti_server.Server
 module Loadgen = Pti_server.Loadgen
+module Ec = Pti_server.Engine_cache
+module SP = Pti_server.Protocol
 
 let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
-    debug_slow =
+    debug_slow send_timeout_ms =
   run_checked @@ fun () ->
   if indexes = [] then failwith "serve: pass at least one index file";
   let config =
@@ -308,6 +310,7 @@ let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
       cache_cap;
       verify = not no_verify;
       debug_slow;
+      send_timeout_ms;
     }
   in
   let srv =
@@ -326,8 +329,47 @@ let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
   Server.run srv;
   Printf.eprintf "pti-serve: final stats %s\n" (Server.stats_json srv)
 
+(* Byte-for-byte verification for [loadgen --verify]: open the served
+   index files locally (in the same position order as [pti serve]) and
+   recompute every reply with a direct engine query. Floats travel as
+   raw IEEE-754 bits, so equality is exact. *)
+let make_verifier files =
+  let handles = Array.of_list (List.map (fun p -> Ec.load_handle p) files) in
+  let wire hits = List.map (fun (key, p) -> (key, Logp.to_log p)) hits in
+  fun op reply ->
+    let check index direct =
+      index >= 0
+      && index < Array.length handles
+      &&
+      match reply with
+      | SP.Hits hs -> (
+          match direct handles.(index) with
+          | Some want -> hs = wire want
+          | None -> false)
+      | _ -> false
+    in
+    try
+      match op with
+      | SP.Query { index; pattern; tau } ->
+          let pattern = Sym.of_string pattern in
+          check index (function
+            | Ec.General g -> Some (G.query g ~pattern ~tau)
+            | Ec.Listing l -> Some (L.query l ~pattern ~tau))
+      | SP.Top_k { index; pattern; tau; k } ->
+          let pattern = Sym.of_string pattern in
+          check index (function
+            | Ec.General g -> Some (G.query_top_k g ~pattern ~tau ~k)
+            | Ec.Listing l -> Some (L.query_top_k l ~pattern ~tau ~k))
+      | SP.Listing { index; pattern; tau } ->
+          let pattern = Sym.of_string pattern in
+          check index (function
+            | Ec.Listing l -> Some (L.query l ~pattern ~tau)
+            | Ec.General _ -> None)
+      | SP.Stats | SP.Ping | SP.Slow _ -> true
+    with _ -> false
+
 let loadgen input host port concurrency duration requests mix seed tau lengths
-    index listing_index k check =
+    index listing_index k check verify_files =
   run_checked @@ fun () ->
   let u = read_single input in
   let mix = Loadgen.mix_of_string mix in
@@ -345,10 +387,13 @@ let loadgen input host port concurrency duration requests mix seed tau lengths
     if duration > 0.0 then duration
     else match requests with Some _ -> infinity | None -> 1.0
   in
+  let verify =
+    match verify_files with [] -> None | files -> Some (make_verifier files)
+  in
   let r =
     Loadgen.run ~host ~port ~concurrency ~duration_s
-      ?requests_per_client:requests ~index ?listing_index ~k ~lengths ~tau
-      ~seed ~mix ~source:u ()
+      ?requests_per_client:requests ?verify ~index ?listing_index ~k ~lengths
+      ~tau ~seed ~mix ~source:u ()
   in
   print_string (Loadgen.summary r);
   let failures =
@@ -566,11 +611,19 @@ let serve_cmd =
       & info [ "debug-slow" ]
           ~doc:"Accept the slow debug op (testing aid; off by default).")
   in
+  let send_timeout_ms =
+    Arg.(
+      value & opt float 5000.0
+      & info [ "send-timeout-ms" ] ~docv:"MS"
+          ~doc:"Drop a client whose reply write stalls this long (0 \
+                disables).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve saved indexes over TCP.")
     Term.(
       const serve $ indexes $ host_arg $ port_arg ~default:7071 $ workers
-      $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow)
+      $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow
+      $ send_timeout_ms)
 
 let loadgen_cmd =
   let concurrency =
@@ -626,14 +679,27 @@ let loadgen_cmd =
   let check =
     Arg.(
       value & flag
-      & info [ "check" ] ~doc:"Exit 1 if any request failed or errored.")
+      & info [ "check" ]
+          ~doc:"Exit 1 if any request failed, errored, or (with --verify) \
+                returned a response that differs from a direct engine \
+                query.")
+  in
+  let verify_files =
+    Arg.(
+      value & opt_all file []
+      & info [ "verify" ] ~docv:"INDEX_FILE"
+          ~doc:"Load this index file locally and check every reply \
+                byte-for-byte against a direct engine query. Repeat in \
+                the same position order as the files passed to pti \
+                serve. Without it, --check only detects error replies \
+                and protocol failures.")
   in
   Cmd.v
     (Cmd.info "loadgen" ~doc:"Generate load against a running pti serve.")
     Term.(
       const loadgen $ input_arg $ host_arg $ port_arg ~default:7071
       $ concurrency $ duration $ requests $ mix $ seed $ tau_arg $ lengths
-      $ index $ listing_index $ k $ check)
+      $ index $ listing_index $ k $ check $ verify_files)
 
 let () =
   let doc = "probabilistic threshold indexing for uncertain strings" in

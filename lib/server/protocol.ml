@@ -47,6 +47,7 @@ let op_kind = function
   | Slow _ -> "slow"
 
 let max_frame = 16 * 1024 * 1024
+let max_json_line = 1024 * 1024
 
 (* ------------------------------------------------------------------ *)
 (* Binary writers/readers over Buffer / string offsets. All integers

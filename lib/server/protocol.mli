@@ -67,6 +67,11 @@ val max_frame : int
 (** Upper bound on a payload length (16 MiB); longer frames are a
     {!Protocol_error} on both ends. *)
 
+val max_json_line : int
+(** Upper bound on a JSON line (1 MiB). The server closes a JSON
+    connection whose pending input exceeds this without a newline —
+    the line-framed fallback must not become an unbounded buffer. *)
+
 (** {2 Binary encoding} *)
 
 val encode_request : request -> string

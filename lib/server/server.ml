@@ -22,6 +22,7 @@ type config = {
   cache_cap : int;
   verify : bool;
   debug_slow : bool;
+  send_timeout_ms : float;
 }
 
 let default_config =
@@ -34,18 +35,33 @@ let default_config =
     cache_cap = 8;
     verify = true;
     debug_slow = false;
+    send_timeout_ms = 5000.0;
   }
 
+(* [Unix.select] rejects fd numbers >= FD_SETSIZE (1024) with EINVAL,
+   so accepted connections are capped safely below it (the slack covers
+   the listen socket, stdio and transient file opens). Beyond the cap,
+   new connections are accepted and immediately closed. *)
+let max_conns = 1000
+
 (* One TCP connection. [inbuf] accumulates raw bytes until complete
-   frames (binary) or lines (JSON) can be cut off the front; [mode]
-   latches on the first byte. Workers write replies under [write_m]
-   because several may hold jobs of one pipelined connection. *)
+   frames (binary) or lines (JSON) can be cut off the front; [scan] is
+   the offset up to which [inbuf] is known to hold no newline (JSON
+   mode), so a client trickling bytes is not rescanned quadratically;
+   [mode] latches on the first byte. Workers write replies under
+   [write_m] because several may hold jobs of one pipelined connection.
+   The fd is closed ONLY while holding [write_m] (see [try_close]): a
+   writer that passed its [alive] check must never hold the fd across a
+   close, or the kernel could reuse the fd number and the stale reply
+   would land in an unrelated client's stream. *)
 type conn = {
   fd : Unix.file_descr;
   write_m : Mutex.t;
-  mutable inbuf : string;
+  inbuf : Buffer.t;
+  mutable scan : int;
   mutable json : bool option;
   mutable alive : bool;
+  mutable closed : bool;
 }
 
 type job = {
@@ -259,71 +275,140 @@ let dispatch t conn (req : P.request) =
         error_reply t conn ~id:req.id P.Overloaded
           (Printf.sprintf "request queue full (cap %d)" t.cfg.queue_cap)
 
+(* Scan [b] for [c] from offset [start] without copying the buffer
+   ([Buffer.nth] is O(1)). *)
+let buffer_index_from b start c =
+  let n = Buffer.length b in
+  let rec go i =
+    if i >= n then None else if Buffer.nth b i = c then Some i else go (i + 1)
+  in
+  go start
+
+(* A JSON connection whose pending input holds no newline is a client
+   that either streams an oversized line or never frames at all; cap it
+   (binary mode is capped by [max_frame]). *)
+let json_line_overflow t conn =
+  if Buffer.length conn.inbuf > P.max_json_line then begin
+    error_reply t conn ~id:0 P.Bad_request
+      (Printf.sprintf "line exceeds %d bytes" P.max_json_line);
+    false
+  end
+  else true
+
 (* Cut complete messages off the front of [conn.inbuf]. Returns [false]
-   when the connection must be closed (framing lost). *)
+   when the connection must be closed (framing lost or input bound
+   exceeded). The buffer is only flattened to a string when at least one
+   complete message is present; incomplete input stays in the buffer. *)
 let process_input t conn =
   (match conn.json with
   | Some _ -> ()
   | None ->
-      if String.length conn.inbuf > 0 then
-        conn.json <- Some (conn.inbuf.[0] = '{'));
+      if Buffer.length conn.inbuf > 0 then
+        conn.json <- Some (Buffer.nth conn.inbuf 0 = '{'));
   match conn.json with
   | None -> true
-  | Some true ->
+  | Some true -> (
       (* newline-delimited JSON; a parse error is answered but the
          line framing survives, so the connection stays up *)
-      let rec lines () =
-        match String.index_opt conn.inbuf '\n' with
-        | None -> true
-        | Some nl ->
-            let line = String.sub conn.inbuf 0 nl in
-            conn.inbuf <-
-              String.sub conn.inbuf (nl + 1)
-                (String.length conn.inbuf - nl - 1);
-            let line = String.trim line in
-            if line <> "" then begin
-              match P.request_of_json line with
-              | req -> dispatch t conn req
-              | exception P.Protocol_error m ->
-                  error_reply t conn ~id:0 P.Bad_request m
-            end;
-            lines ()
-      in
-      lines ()
-  | Some false ->
-      let rec frames () =
-        let have = String.length conn.inbuf in
-        if have < 4 then true
-        else begin
-          let len =
-            Int32.to_int (String.get_int32_be conn.inbuf 0) land 0xffffffff
+      match buffer_index_from conn.inbuf conn.scan '\n' with
+      | None ->
+          conn.scan <- Buffer.length conn.inbuf;
+          json_line_overflow t conn
+      | Some _ ->
+          let data = Buffer.contents conn.inbuf in
+          Buffer.clear conn.inbuf;
+          conn.scan <- 0;
+          let rec lines off =
+            match String.index_from_opt data off '\n' with
+            | None ->
+                Buffer.add_substring conn.inbuf data off
+                  (String.length data - off);
+                conn.scan <- Buffer.length conn.inbuf;
+                json_line_overflow t conn
+            | Some nl ->
+                let line = String.trim (String.sub data off (nl - off)) in
+                if line <> "" then begin
+                  match P.request_of_json line with
+                  | req -> dispatch t conn req
+                  | exception P.Protocol_error m ->
+                      error_reply t conn ~id:0 P.Bad_request m
+                end;
+                lines (nl + 1)
           in
-          if len > P.max_frame then begin
-            error_reply t conn ~id:0 P.Bad_request
-              (Printf.sprintf "frame length %d exceeds limit" len);
-            false
-          end
-          else if have < 4 + len then true
-          else begin
-            let payload = String.sub conn.inbuf 4 len in
-            conn.inbuf <- String.sub conn.inbuf (4 + len) (have - 4 - len);
-            match P.decode_request payload with
-            | req ->
-                dispatch t conn req;
-                frames ()
-            | exception P.Protocol_error m ->
-                (* frame boundary is intact: answer and continue *)
-                error_reply t conn ~id:0 P.Bad_request m;
-                frames ()
-          end
-        end
+          lines 0)
+  | Some false ->
+      let peek_len () =
+        (Char.code (Buffer.nth conn.inbuf 0) lsl 24)
+        lor (Char.code (Buffer.nth conn.inbuf 1) lsl 16)
+        lor (Char.code (Buffer.nth conn.inbuf 2) lsl 8)
+        lor Char.code (Buffer.nth conn.inbuf 3)
       in
-      frames ()
+      let have = Buffer.length conn.inbuf in
+      if have < 4 then true
+      else begin
+        let len = peek_len () in
+        if len > P.max_frame then begin
+          error_reply t conn ~id:0 P.Bad_request
+            (Printf.sprintf "frame length %d exceeds limit" len);
+          false
+        end
+        else if have < 4 + len then true
+        else begin
+          let data = Buffer.contents conn.inbuf in
+          Buffer.clear conn.inbuf;
+          let total = String.length data in
+          let rec frames off =
+            let have = total - off in
+            let stash () =
+              Buffer.add_substring conn.inbuf data off have;
+              true
+            in
+            if have < 4 then stash ()
+            else begin
+              let len =
+                Int32.to_int (String.get_int32_be data off) land 0xffffffff
+              in
+              if len > P.max_frame then begin
+                error_reply t conn ~id:0 P.Bad_request
+                  (Printf.sprintf "frame length %d exceeds limit" len);
+                false
+              end
+              else if have < 4 + len then stash ()
+              else begin
+                let payload = String.sub data (off + 4) len in
+                (match P.decode_request payload with
+                | req -> dispatch t conn req
+                | exception P.Protocol_error m ->
+                    (* frame boundary is intact: answer and continue *)
+                    error_reply t conn ~id:0 P.Bad_request m);
+                frames (off + 4 + len)
+              end
+            end
+          in
+          frames 0
+        end
+      end
 
-let close_conn conns conn =
+(* Close the fd under [write_m] so no writer can hold it across the
+   close; never blocks (the caller retries while a writer is mid-write,
+   which [send_timeout_ms] bounds). Returns [true] once the fd is
+   closed. *)
+let try_close conn =
+  if Mutex.try_lock conn.write_m then begin
+    conn.alive <- false;
+    if not conn.closed then begin
+      conn.closed <- true;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    end;
+    Mutex.unlock conn.write_m;
+    true
+  end
+  else false
+
+let close_conn conns pending conn =
   conn.alive <- false;
   Hashtbl.remove conns conn.fd;
-  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  if not (try_close conn) then pending := conn :: !pending
 
 let run t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -333,37 +418,62 @@ let run t =
         Domain.spawn (fun () -> worker_loop t))
   in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  (* connections removed from [conns] whose fd could not be closed yet
+     because a worker held [write_m]; retried every loop tick *)
+  let pending = ref [] in
   let readbuf = Bytes.create 65536 in
   let accept_one () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
-        Metrics.incr_connections t.metrics;
-        Hashtbl.replace conns fd
-          {
-            fd;
-            write_m = Mutex.create ();
-            inbuf = "";
-            json = None;
-            alive = true;
-          }
+        if Hashtbl.length conns >= max_conns then
+          (* over the select fd budget: shed the connection instead of
+             crashing the event loop with EINVAL at FD_SETSIZE *)
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        else begin
+          Metrics.incr_connections t.metrics;
+          if t.cfg.send_timeout_ms > 0.0 then
+            (try
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO
+                 (t.cfg.send_timeout_ms /. 1000.0)
+             with Unix.Unix_error _ -> ());
+          Hashtbl.replace conns fd
+            {
+              fd;
+              write_m = Mutex.create ();
+              inbuf = Buffer.create 256;
+              scan = 0;
+              json = None;
+              alive = true;
+              closed = false;
+            }
+        end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
         ()
   in
   let read_conn conn =
     match Unix.read conn.fd readbuf 0 (Bytes.length readbuf) with
-    | 0 -> close_conn conns conn
+    | 0 -> close_conn conns pending conn
     | n ->
-        conn.inbuf <- conn.inbuf ^ Bytes.sub_string readbuf 0 n;
-        if not (process_input t conn) then close_conn conns conn
+        Buffer.add_subbytes conn.inbuf readbuf 0 n;
+        if not (process_input t conn) then close_conn conns pending conn
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) -> close_conn conns conn
+    | exception Unix.Unix_error (_, _, _) -> close_conn conns pending conn
   in
   while not (Atomic.get t.stop_flag) do
     if Atomic.get t.dump_flag then begin
       Atomic.set t.dump_flag false;
       Printf.eprintf "%s\n%!" (stats_json t)
     end;
+    (* sweep: close deferred fds, reap connections a worker marked dead
+       (its write failed or timed out) *)
+    pending := List.filter (fun conn -> not (try_close conn)) !pending;
+    let dead =
+      Hashtbl.fold
+        (fun _ conn acc -> if conn.alive then acc else conn :: acc)
+        conns []
+    in
+    List.iter (fun conn -> close_conn conns pending conn) dead;
     let fds =
       t.listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
     in
@@ -379,12 +489,12 @@ let run t =
           readable
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
-  (* shutdown: stop accepting, drain the workers, close everything *)
+  (* shutdown: stop accepting, drain the workers, close everything
+     (workers are joined, so every try_close below succeeds) *)
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Bq.close t.queue;
   List.iter Domain.join workers;
-  Hashtbl.iter (fun _ conn -> conn.alive <- false) conns;
-  Hashtbl.iter
-    (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
-    conns;
+  Hashtbl.iter (fun _ conn -> ignore (try_close conn)) conns;
+  List.iter (fun conn -> ignore (try_close conn)) !pending;
+  pending := [];
   Hashtbl.reset conns

@@ -13,8 +13,16 @@
     [Overloaded] immediately instead of buffering or hanging, and a
     request whose deadline expires while queued is answered [Timeout] by
     the worker that dequeues it. [Stats] and [Ping] are answered inline
-    by the accept loop so the server stays observable while
-    saturated. *)
+    by the accept loop so the server stays observable while saturated.
+
+    Resource bounds: per-connection input is capped ([max_frame] for
+    binary frames, [Protocol.max_json_line] for the JSON fallback),
+    concurrent connections are capped below [FD_SETSIZE] (extra accepts
+    are shed immediately), and replies carry a send timeout
+    ([send_timeout_ms]) so a client that stops reading is dropped rather
+    than pinning a worker. A connection's fd is only ever closed under
+    its write mutex, so a reply in flight can never race a close onto a
+    reused fd number. *)
 
 type source =
   | Source_file of string
@@ -35,6 +43,12 @@ type config = {
   debug_slow : bool;
       (** Allow the [Slow] debug op (default [false]; tests and the
           bench enable it to provoke overload/timeouts). *)
+  send_timeout_ms : float;
+      (** [SO_SNDTIMEO] on accepted sockets (default 5000; [0] disables).
+          A client that stops reading while its socket buffer is full
+          stalls a reply writer for at most this long, after which the
+          write fails and the connection is dropped — one slow client
+          cannot pin the accept loop or the worker pool indefinitely. *)
 }
 
 val default_config : config

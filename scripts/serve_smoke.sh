@@ -43,11 +43,14 @@ done
 [ -n "$PORT" ] || { echo "serve-smoke: server never reported a port" >&2; cat "$DIR/serve.log" >&2; exit 1; }
 echo "serve-smoke: server up on port $PORT (pid $SERVER_PID)"
 
-# Mixed binary-protocol load at concurrency 8; --check exits 1 on any
-# error reply, protocol failure, or verification failure.
+# Mixed binary-protocol load at concurrency 8; --verify loads the same
+# index files locally and checks every reply byte-for-byte against a
+# direct engine query; --check exits 1 on any error reply, protocol
+# failure, or verification failure.
 "$PTI" loadgen -i "$DIR/data.txt" --port "$PORT" \
     --concurrency 8 --requests 200 --mix query=8,topk=1,listing=1 \
-    --listing-index 1 --check
+    --listing-index 1 \
+    --verify "$DIR/general.pti" --verify "$DIR/listing.pti" --check
 
 # The stats dump hook (SIGUSR1) must not kill the server.
 kill -USR1 "$SERVER_PID"

@@ -359,6 +359,39 @@ let test_e2e_json () =
           | 99, P.Pong -> ()
           | _ -> Alcotest.fail "ping after malformed line"))
 
+let test_json_line_cap () =
+  (* a JSON connection streaming past max_json_line without a newline
+     gets a typed bad_request and is dropped — the line-framed fallback
+     must not be an unbounded buffer *)
+  let _, _, _, _, gpath, _ = Lazy.force fixture in
+  with_server [ Server.Source_file gpath ] (fun _srv port ->
+      with_conn port (fun fd ->
+          (* exactly one byte over the cap, so the server consumes all
+             input before erroring (the reply races no RST) *)
+          let n = P.max_json_line + 1 in
+          let chunk = String.make 65536 'x' in
+          P.write_all fd "{";
+          let rec send left =
+            if left > 0 then begin
+              let c = Stdlib.min left (String.length chunk) in
+              P.write_all fd (String.sub chunk 0 c);
+              send (left - c)
+            end
+          in
+          send (n - 1);
+          (match P.reply_of_json (read_json_line fd) with
+          | _, P.Error (P.Bad_request, m) ->
+              Alcotest.(check bool) "names the bound" true
+                (contains m "exceeds")
+          | _ -> Alcotest.fail "expected bad_request for oversized line");
+          let closed =
+            match Unix.read fd (Bytes.create 1) 0 1 with
+            | 0 -> true
+            | _ -> false
+            | exception Unix.Unix_error _ -> true
+          in
+          Alcotest.(check bool) "connection closed" true closed))
+
 let test_loadgen_verified () =
   (* the acceptance check: concurrency 8, mixed ops, every response
      verified byte-for-byte against direct engine calls, zero errors *)
@@ -508,6 +541,7 @@ let () =
             test_e2e_binary;
           Alcotest.test_case "pipelining" `Quick test_e2e_pipelining;
           Alcotest.test_case "json fallback" `Quick test_e2e_json;
+          Alcotest.test_case "json line cap" `Quick test_json_line_cap;
           Alcotest.test_case "loadgen verified at concurrency 8" `Quick
             test_loadgen_verified;
         ] );
