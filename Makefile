@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par bench-io bench-space bench-serve serve-smoke clean
+.PHONY: check check-par bench bench-par bench-io bench-space bench-serve serve-smoke chaos-smoke clean
 
 check:
 	dune build @all
@@ -32,6 +32,13 @@ bench-serve:
 serve-smoke:
 	dune build bin/pti.exe
 	scripts/serve_smoke.sh
+
+# Fault-injection smoke: abort/ENOSPC mid-save leave the old index
+# byte-identical; kill -9 under load + restart is absorbed by
+# loadgen --retry with every reply verified.
+chaos-smoke:
+	dune build bin/pti.exe
+	scripts/chaos_smoke.sh
 
 clean:
 	dune clean

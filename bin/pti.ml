@@ -296,7 +296,7 @@ module Ec = Pti_server.Engine_cache
 module SP = Pti_server.Protocol
 
 let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
-    debug_slow send_timeout_ms =
+    debug_slow send_timeout_ms drain_timeout_ms =
   run_checked @@ fun () ->
   if indexes = [] then failwith "serve: pass at least one index file";
   let config =
@@ -311,6 +311,7 @@ let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
       verify = not no_verify;
       debug_slow;
       send_timeout_ms;
+      drain_timeout_ms;
     }
   in
   let srv =
@@ -326,6 +327,8 @@ let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_handler);
   Sys.set_signal Sys.sigusr1
     (Sys.Signal_handle (fun _ -> Server.request_stats_dump srv));
+  Sys.set_signal Sys.sighup
+    (Sys.Signal_handle (fun _ -> Server.request_reload srv));
   Server.run srv;
   Printf.eprintf "pti-serve: final stats %s\n" (Server.stats_json srv)
 
@@ -369,7 +372,7 @@ let make_verifier files =
     with _ -> false
 
 let loadgen input host port concurrency duration requests mix seed tau lengths
-    index listing_index k check verify_files =
+    index listing_index k check verify_files retry backoff_ms =
   run_checked @@ fun () ->
   let u = read_single input in
   let mix = Loadgen.mix_of_string mix in
@@ -393,7 +396,7 @@ let loadgen input host port concurrency duration requests mix seed tau lengths
   let r =
     Loadgen.run ~host ~port ~concurrency ~duration_s
       ?requests_per_client:requests ?verify ~index ?listing_index ~k ~lengths
-      ~tau ~seed ~mix ~source:u ()
+      ~tau ~seed ~retries:retry ~backoff_ms ~mix ~source:u ()
   in
   print_string (Loadgen.summary r);
   let failures =
@@ -618,12 +621,19 @@ let serve_cmd =
           ~doc:"Drop a client whose reply write stalls this long (0 \
                 disables).")
   in
+  let drain_timeout_ms =
+    Arg.(
+      value & opt float 5000.0
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:"On SIGTERM/SIGINT, let queued requests finish for this \
+                long before answering the rest shutting_down.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve saved indexes over TCP.")
     Term.(
       const serve $ indexes $ host_arg $ port_arg ~default:7071 $ workers
       $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow
-      $ send_timeout_ms)
+      $ send_timeout_ms $ drain_timeout_ms)
 
 let loadgen_cmd =
   let concurrency =
@@ -694,12 +704,27 @@ let loadgen_cmd =
                 serve. Without it, --check only detects error replies \
                 and protocol failures.")
   in
+  let retry =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:"Extra attempts per request on transport failures and \
+                overloaded/timeout/shutting_down replies (reconnecting \
+                as needed), with seeded exponential backoff.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt float 50.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base retry backoff; attempt a waits MS*2^a with ±50% \
+                seeded jitter.")
+  in
   Cmd.v
     (Cmd.info "loadgen" ~doc:"Generate load against a running pti serve.")
     Term.(
       const loadgen $ input_arg $ host_arg $ port_arg ~default:7071
       $ concurrency $ duration $ requests $ mix $ seed $ tau_arg $ lengths
-      $ index $ listing_index $ k $ check $ verify_files)
+      $ index $ listing_index $ k $ check $ verify_files $ retry $ backoff_ms)
 
 let () =
   let doc = "probabilistic threshold indexing for uncertain strings" in

@@ -847,9 +847,7 @@ let save_legacy_channel t oc =
   Marshal.to_channel oc parts []
 
 let save_legacy t path =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      save_legacy_channel t oc)
+  S.atomic_save path (fun oc -> save_legacy_channel t oc)
 
 let load_legacy_channel ?domains ~key_of_pos ic =
   let buf = really_input_string ic (String.length legacy_magic) in

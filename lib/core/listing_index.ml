@@ -93,8 +93,7 @@ let save ?format t path =
 (* Legacy format: [Marshal (docs, relevance)] followed by the legacy
    engine stream in the same file. *)
 let save_legacy t path =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+  S.atomic_save path (fun oc ->
       Marshal.to_channel oc (Lazy.force t.docs, t.relevance) [];
       Engine.save_legacy_channel t.engine oc)
 

@@ -1,0 +1,206 @@
+(* Failpoint registry. The hot path is [hit]: one atomic load of the
+   armed-count when nothing is armed. The slow path takes a global
+   mutex — fault injection is a testing facility, not a throughput
+   path, and a single lock keeps multi-domain hit counting exact. *)
+
+type action =
+  | Raise of Unix.error
+  | Short_write of int
+  | Delay of int
+  | Abort
+  | Noop
+
+type trigger =
+  | Always
+  | Nth of int
+  | Every of int
+  | Prob of float * int
+
+type state = {
+  fp_action : action;
+  fp_trigger : trigger;
+  mutable fp_hits : int;
+  fp_rng : Random.State.t option; (* Prob triggers only *)
+}
+
+let registry : (string, state) Hashtbl.t = Hashtbl.create 8
+let registry_m = Mutex.create ()
+
+(* Number of armed failpoints; [hit] bails on 0 without locking. *)
+let n_armed = Atomic.make 0
+
+let with_registry f =
+  Mutex.lock registry_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_m) f
+
+let arm name action trigger =
+  with_registry (fun () ->
+      if not (Hashtbl.mem registry name) then Atomic.incr n_armed;
+      let rng =
+        match trigger with
+        | Prob (_, seed) ->
+            Some (Random.State.make [| seed; Hashtbl.hash name |])
+        | _ -> None
+      in
+      Hashtbl.replace registry name
+        { fp_action = action; fp_trigger = trigger; fp_hits = 0; fp_rng = rng })
+
+let disarm name =
+  with_registry (fun () ->
+      if Hashtbl.mem registry name then begin
+        Hashtbl.remove registry name;
+        Atomic.decr n_armed
+      end)
+
+let disarm_all () =
+  with_registry (fun () ->
+      Hashtbl.reset registry;
+      Atomic.set n_armed 0)
+
+let hit_count name =
+  if Atomic.get n_armed = 0 then 0
+  else
+    with_registry (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some s -> s.fp_hits
+        | None -> 0)
+
+let fires s =
+  match s.fp_trigger with
+  | Always -> true
+  | Nth n -> s.fp_hits = n
+  | Every k -> k > 0 && s.fp_hits mod k = 0
+  | Prob (p, _) -> (
+      match s.fp_rng with
+      | Some rng -> Random.State.float rng 1.0 < p
+      | None -> false)
+
+let hit_armed name =
+  let action =
+    with_registry (fun () ->
+        match Hashtbl.find_opt registry name with
+        | None -> None
+        | Some s ->
+            s.fp_hits <- s.fp_hits + 1;
+            if fires s then Some s.fp_action else None)
+  in
+  (* apply the action outside the registry lock: Delay must not stall
+     other failpoints and Raise must not leak the mutex *)
+  match action with
+  | None | Some Noop -> None
+  | Some (Raise e) -> raise (Unix.Unix_error (e, name, "failpoint"))
+  | Some (Delay ms) ->
+      Unix.sleepf (float_of_int ms /. 1000.0);
+      None
+  | Some Abort -> Unix._exit 70
+  | Some (Short_write n) -> Some n
+
+let hit name = if Atomic.get n_armed = 0 then None else hit_armed name
+
+(* ------------------------------------------------------------------ *)
+(* PTI_FAILPOINTS parsing *)
+
+let env_var = "PTI_FAILPOINTS"
+
+let errnos =
+  [
+    ("enospc", Unix.ENOSPC);
+    ("eintr", Unix.EINTR);
+    ("eio", Unix.EIO);
+    ("eagain", Unix.EAGAIN);
+    ("epipe", Unix.EPIPE);
+    ("econnreset", Unix.ECONNRESET);
+    ("econnrefused", Unix.ECONNREFUSED);
+    ("emfile", Unix.EMFILE);
+    ("enfile", Unix.ENFILE);
+    ("enoent", Unix.ENOENT);
+    ("eacces", Unix.EACCES);
+    ("enomem", Unix.ENOMEM);
+    ("ebadf", Unix.EBADF);
+    ("einval", Unix.EINVAL);
+  ]
+
+let bad fmt = Printf.ksprintf (fun s -> failwith ("PTI_FAILPOINTS: " ^ s)) fmt
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> v
+  | _ -> bad "bad %s %S" what s
+
+let parse_action s =
+  let errno name =
+    match List.assoc_opt (String.lowercase_ascii name) errnos with
+    | Some e -> Raise e
+    | None -> bad "unknown errno %S" name
+  in
+  match String.split_on_char ':' s with
+  | [ "abort" ] -> Abort
+  | [ "noop" ] -> Noop
+  | [ "short"; n ] -> Short_write (parse_int "short-write size" n)
+  | [ "delay"; ms ] -> Delay (parse_int "delay" ms)
+  | [ "raise"; e ] -> errno e
+  | [ e ] -> errno e
+  | _ -> bad "bad action %S" s
+
+let parse_trigger s =
+  match String.split_on_char ':' s with
+  | [ "every"; k ] ->
+      let k = parse_int "every-k" k in
+      if k < 1 then bad "every:%d must be >= 1" k;
+      Every k
+  | "p" :: p :: rest ->
+      let p =
+        match float_of_string_opt p with
+        | Some p when p >= 0.0 && p <= 1.0 -> p
+        | _ -> bad "bad probability %S" p
+      in
+      let seed =
+        match rest with
+        | [] -> 0
+        | [ s ] -> parse_int "seed" s
+        | _ -> bad "bad trigger %S" s
+      in
+      Prob (p, seed)
+  | [ n ] ->
+      let n = parse_int "hit number" n in
+      if n < 1 then bad "nth trigger %d must be >= 1" n;
+      Nth n
+  | _ -> bad "bad trigger %S" s
+
+let parse_entry s =
+  (* name:action[@trigger]; the action may itself contain ':' *)
+  let spec, trigger =
+    match String.index_opt s '@' with
+    | None -> (s, Always)
+    | Some i ->
+        ( String.sub s 0 i,
+          parse_trigger (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  match String.index_opt spec ':' with
+  | None -> bad "entry %S needs a name:action pair" s
+  | Some i ->
+      let name = String.sub spec 0 i in
+      if name = "" then bad "entry %S has an empty failpoint name" s;
+      let action =
+        parse_action (String.sub spec (i + 1) (String.length spec - i - 1))
+      in
+      (name, action, trigger)
+
+let parse_spec s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun entry ->
+         let entry = String.trim entry in
+         if entry = "" then None else Some (parse_entry entry))
+
+let arm_spec s = List.iter (fun (n, a, t) -> arm n a t) (parse_spec s)
+
+(* Arm from the environment at program start. A chaos run with a typo'd
+   spec must fail loudly, not silently inject nothing. *)
+let () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some spec -> (
+      try arm_spec spec
+      with Failure msg ->
+        Printf.eprintf "pti: %s\n%!" msg;
+        exit 2)

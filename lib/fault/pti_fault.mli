@@ -1,0 +1,85 @@
+(** Deterministic fault injection: a registry of named failpoints
+    (DESIGN.md §11).
+
+    Code that touches the outside world declares a failpoint by calling
+    {!hit} with a well-known name ("storage.write", "server.reply", …)
+    at the moment the fragile operation is about to happen. When the
+    failpoint is unarmed — the production state — {!hit} is one atomic
+    load and a branch; nothing is counted, nothing is allocated. When
+    armed, each call counts as one {e hit} and the failpoint's trigger
+    decides whether its action fires on this hit.
+
+    Failpoints are armed programmatically ({!arm}) by tests, or from the
+    [PTI_FAILPOINTS] environment variable at program start:
+
+    {v
+    PTI_FAILPOINTS=name:action[@trigger][,name:action[@trigger]...]
+
+    action  := <errno> | raise:<errno> | short:<bytes> | delay:<ms>
+             | abort | noop
+    trigger := <n>           fire exactly once, on the nth hit (1-based)
+             | every:<k>     fire on every kth hit
+             | p:<prob>[:<seed>]   fire with this probability, from a
+                                   seeded deterministic stream
+             (omitted: fire on every hit)
+    v}
+
+    Examples: [storage.write:enospc@3] (the third write raises
+    [ENOSPC]), [storage.fsync:eintr@every:2], [storage.write:short:16],
+    [server.reply:delay:50@p:0.1:42], [storage.write:abort@5].
+
+    A malformed [PTI_FAILPOINTS] value terminates the process with exit
+    code 2 at startup — a chaos experiment that silently does nothing is
+    worse than one that refuses to start.
+
+    The registry is a process-wide singleton guarded by a mutex, so
+    failpoints behave identically from any domain or thread. *)
+
+type action =
+  | Raise of Unix.error  (** [hit] raises [Unix_error (e, name, "")]. *)
+  | Short_write of int
+      (** [hit] returns [Some n]: the caller should let at most [n]
+          bytes through this write (the write loop then continues, which
+          is exactly the short-write handling under test). *)
+  | Delay of int  (** [hit] sleeps this many milliseconds. *)
+  | Abort
+      (** [hit] terminates the process immediately via [Unix._exit 70] —
+          no [at_exit], no buffer flushing: a crash. *)
+  | Noop  (** Fires nothing; arms the hit counter for observation. *)
+
+type trigger =
+  | Always
+  | Nth of int  (** Fire exactly once, on the nth hit (1-based). *)
+  | Every of int  (** Fire on hits k, 2k, 3k, … *)
+  | Prob of float * int
+      (** [(p, seed)]: each hit fires with probability [p], drawn from a
+          deterministic stream seeded by [seed] (and the failpoint
+          name), so a run is reproducible. *)
+
+val arm : string -> action -> trigger -> unit
+(** Arm (or re-arm, resetting the hit count) the named failpoint. *)
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+
+val hit : string -> int option
+(** Declare a failpoint. Unarmed: returns [None] after one atomic load.
+    Armed: counts the hit; if the trigger fires, applies the action —
+    [Raise] raises, [Delay] sleeps, [Abort] exits the process,
+    [Short_write n] returns [Some n], [Noop] nothing. Returns [None]
+    whenever no short write is requested. *)
+
+val hit_count : string -> int
+(** Hits observed since the failpoint was (last) armed; 0 if unarmed.
+    Hits are only counted while armed — unarmed callers pay no
+    bookkeeping. *)
+
+val parse_spec : string -> (string * action * trigger) list
+(** Parse a [PTI_FAILPOINTS]-syntax string (see above). Raises
+    [Failure] with a one-line description on malformed input. *)
+
+val arm_spec : string -> unit
+(** [parse_spec] then {!arm} each entry. *)
+
+val env_var : string
+(** ["PTI_FAILPOINTS"], parsed and armed at module initialisation. *)

@@ -68,7 +68,9 @@ let rec worker_loop p gen =
     (match job with
     | None -> ()
     | Some body ->
-        (try body ()
+        (try
+           ignore (Pti_fault.hit "pool.task" : int option);
+           body ()
          with e -> record_exn p e (Printexc.get_raw_backtrace ()));
         Mutex.lock p.m;
         p.running <- p.running - 1;
@@ -160,7 +162,10 @@ let region ~participants body =
   p.generation <- p.generation + 1;
   Condition.broadcast p.ready;
   Mutex.unlock p.m;
-  (try body () with e -> record_exn p e (Printexc.get_raw_backtrace ()));
+  (try
+     ignore (Pti_fault.hit "pool.task" : int option);
+     body ()
+   with e -> record_exn p e (Printexc.get_raw_backtrace ()));
   Mutex.lock p.m;
   while p.running > 0 || p.tickets > 0 do
     Condition.wait p.finished p.m

@@ -9,6 +9,7 @@ type handle = General of G.t | Listing of L.t
    (no container magic) only ever held general indexes in this
    codebase's CLI, so they take the general path. *)
 let load_handle ?verify path =
+  ignore (Pti_fault.hit "cache.open" : int option);
   let is_listing =
     S.file_has_magic path
     && S.Reader.has (S.Reader.open_file ~verify:false path) "listing.meta"
@@ -26,6 +27,7 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable open_failures : int;
 }
 
 let create ?(verify = true) ~capacity () =
@@ -38,6 +40,7 @@ let create ?(verify = true) ~capacity () =
     tick = 0;
     hits = 0;
     misses = 0;
+    open_failures = 0;
   }
 
 let evict_lru t =
@@ -65,12 +68,49 @@ let get t ?metrics path =
           Option.iter Metrics.incr_cache_hit metrics;
           e.handle
       | None ->
-          let handle = load_handle ~verify:t.verify path in
           t.misses <- t.misses + 1;
           Option.iter Metrics.incr_cache_miss metrics;
+          let handle =
+            (* A failed open must not poison the cache: make sure no
+               entry (not even a stale one) survives under this path,
+               count the failure, and let the caller turn the exception
+               into a typed error reply. *)
+            try load_handle ~verify:t.verify path
+            with e ->
+              Hashtbl.remove t.tbl path;
+              t.open_failures <- t.open_failures + 1;
+              Option.iter Metrics.incr_cache_open_failure metrics;
+              raise e
+          in
           if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
           Hashtbl.replace t.tbl path { handle; last_use = t.tick };
           handle)
+
+(* Reopen every cached path and swap in the fresh handle; evict entries
+   whose file no longer opens (deleted, replaced with garbage, corrupt).
+   Used by the SIGHUP hot-reload path: after an index file is atomically
+   rewritten, revalidation picks up the new contents without restarting
+   the daemon. *)
+let revalidate t ?metrics () =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      let paths = Hashtbl.fold (fun p _ acc -> p :: acc) t.tbl [] in
+      List.filter_map
+        (fun path ->
+          match load_handle ~verify:t.verify path with
+          | handle ->
+              (match Hashtbl.find_opt t.tbl path with
+              | Some e -> Hashtbl.replace t.tbl path { e with handle }
+              | None -> ());
+              None
+          | exception e ->
+              Hashtbl.remove t.tbl path;
+              t.open_failures <- t.open_failures + 1;
+              Option.iter Metrics.incr_cache_open_failure metrics;
+              Some (path, e))
+        paths)
 
 let hits t =
   Mutex.lock t.m;
@@ -83,3 +123,9 @@ let misses t =
   let m = t.misses in
   Mutex.unlock t.m;
   m
+
+let open_failures t =
+  Mutex.lock t.m;
+  let f = t.open_failures in
+  Mutex.unlock t.m;
+  f

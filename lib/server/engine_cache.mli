@@ -33,7 +33,21 @@ val get : t -> ?metrics:Metrics.t -> string -> handle
     evicting the least recently used entry beyond [capacity]). Thread-
     and domain-safe; the load happens under the cache lock, so
     concurrent requests for one cold file load it once. Hits/misses are
-    recorded in [metrics] when given. *)
+    recorded in [metrics] when given.
+
+    A load failure (corrupt or missing file) re-raises after making
+    sure no entry remains cached under the path and counting an open
+    failure — a bad file is retried on the next request, never pinned. *)
+
+val revalidate : t -> ?metrics:Metrics.t -> unit -> (string * exn) list
+(** Reopen every cached path: entries whose file still opens are
+    replaced with the freshly loaded handle (picking up an atomically
+    rewritten file), entries whose file no longer opens are evicted and
+    returned with the exception. Drives the server's SIGHUP hot
+    reload. *)
 
 val hits : t -> int
 val misses : t -> int
+
+val open_failures : t -> int
+(** Loads or revalidations that raised. *)

@@ -36,6 +36,7 @@ let mix_of_string s =
 type result = {
   sent : int;
   ok : int;
+  retries : int;
   errors : (string * int) list;
   protocol_failures : int;
   verify_failures : int;
@@ -52,6 +53,7 @@ type result = {
 type tally = {
   mutable t_sent : int;
   mutable t_ok : int;
+  mutable t_retries : int;
   mutable t_errors : (string * int) list;
   mutable t_protocol_failures : int;
   mutable t_verify_failures : int;
@@ -62,6 +64,7 @@ let new_tally () =
   {
     t_sent = 0;
     t_ok = 0;
+    t_retries = 0;
     t_errors = [];
     t_protocol_failures = 0;
     t_verify_failures = 0;
@@ -81,63 +84,139 @@ let draw_op rng ~(mix : mix) ~source ~lengths ~tau ~k ~index ~listing_index =
   else if x < mix.query + mix.top_k then P.Top_k { index; pattern; tau; k }
   else P.Listing { index = listing_index; pattern; tau }
 
+(* ------------------------------------------------------------------ *)
+(* Retry backoff. The jitter comes from a dedicated RNG stream derived
+   from (seed, client) — NOT from the client's workload stream — so
+   retrying never perturbs which operations a seeded run draws, and the
+   delay sequence itself is reproducible. *)
+
+let backoff_rng ~seed ~stream = Random.State.make [| seed; stream; 0xb0ff |]
+
+(* Exponential backoff with full ±50% jitter:
+   backoff_ms · 2^attempt · uniform[0.5, 1.5). *)
+let backoff_delay rng ~backoff_ms ~attempt =
+  backoff_ms
+  *. (2.0 ** float_of_int attempt)
+  *. (0.5 +. Random.State.float rng 1.0)
+
+let backoff_delays ~seed ~stream ~backoff_ms n =
+  let rng = backoff_rng ~seed ~stream in
+  let acc = ref [] in
+  for attempt = 0 to n - 1 do
+    acc := backoff_delay rng ~backoff_ms ~attempt :: !acc
+  done;
+  List.rev !acc
+
+(* One wire attempt's classification: retryable outcomes are transport
+   failures (connection reset/refused, torn frame, EOF mid-stream) and
+   the server's explicit back-off replies; everything else is final. *)
+type attempt_outcome =
+  | A_ok of P.reply
+  | A_final_error of P.err
+  | A_retry_transport
+  | A_retry_typed of P.err
+
 let client_loop ~host ~port ~deadline_t ~requests_per_client ~verify ~mix
-    ~source ~lengths ~tau ~k ~index ~listing_index ~rng tally =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  match
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-  with
-  | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      ignore e;
-      tally.t_protocol_failures <- tally.t_protocol_failures + 1
-  | () ->
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          let continue i =
-            (match requests_per_client with
-            | Some n -> i < n
-            | None -> true)
-            && Unix.gettimeofday () < deadline_t
+    ~source ~lengths ~tau ~k ~index ~listing_index ~rng ~retries ~backoff_ms
+    ~bo_rng tally =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (* one persistent connection, re-established on transport failure *)
+  let conn = ref None in
+  let drop_conn () =
+    match !conn with
+    | Some fd ->
+        conn := None;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ()
+  in
+  let connect () =
+    match !conn with
+    | Some fd -> Some fd
+    | None -> (
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        match P.connect_retry fd addr with
+        | () ->
+            conn := Some fd;
+            Some fd
+        | exception Unix.Unix_error _ ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            None)
+  in
+  let attempt_once req =
+    match connect () with
+    | None -> A_retry_transport
+    | Some fd -> (
+        tally.t_sent <- tally.t_sent + 1;
+        let t0 = Unix.gettimeofday () in
+        match
+          P.write_all fd (P.encode_request req);
+          P.read_frame fd
+        with
+        | exception (P.Protocol_error _ | Unix.Unix_error _) ->
+            drop_conn ();
+            A_retry_transport
+        | None ->
+            drop_conn ();
+            A_retry_transport
+        | Some payload -> (
+            let t1 = Unix.gettimeofday () in
+            tally.t_latencies <- (t1 -. t0) :: tally.t_latencies;
+            match P.decode_reply payload with
+            | exception P.Protocol_error _ ->
+                drop_conn ();
+                A_retry_transport
+            | id, _ when id <> req.P.id ->
+                drop_conn ();
+                A_retry_transport
+            | _, P.Error ((P.Overloaded | P.Timeout) as e, _) ->
+                A_retry_typed e
+            | _, P.Error (P.Shutting_down, _) ->
+                (* the daemon is going away; reconnect (possibly to its
+                   restarted successor) on the next attempt *)
+                drop_conn ();
+                A_retry_typed P.Shutting_down
+            | _, P.Error (e, _) -> A_final_error e
+            | _, reply -> A_ok reply))
+  in
+  Fun.protect ~finally:drop_conn (fun () ->
+      let continue i =
+        (match requests_per_client with Some n -> i < n | None -> true)
+        && Unix.gettimeofday () < deadline_t
+      in
+      let rec go i =
+        if continue i then begin
+          let op =
+            draw_op rng ~mix ~source ~lengths ~tau ~k ~index ~listing_index
           in
-          let rec go i =
-            if continue i then begin
-              let op =
-                draw_op rng ~mix ~source ~lengths ~tau ~k ~index ~listing_index
-              in
-              let req = { P.id = i; op } in
-              let t0 = Unix.gettimeofday () in
-              match
-                P.write_all fd (P.encode_request req);
-                P.read_frame fd
-              with
-              | exception (P.Protocol_error _ | Unix.Unix_error _) ->
-                  tally.t_sent <- tally.t_sent + 1;
-                  tally.t_protocol_failures <- tally.t_protocol_failures + 1
-              | None ->
-                  tally.t_sent <- tally.t_sent + 1;
-                  tally.t_protocol_failures <- tally.t_protocol_failures + 1
-              | Some payload ->
-                  let t1 = Unix.gettimeofday () in
-                  tally.t_sent <- tally.t_sent + 1;
-                  tally.t_latencies <- (t1 -. t0) :: tally.t_latencies;
-                  (match P.decode_reply payload with
-                  | id, _ when id <> i ->
+          let req = { P.id = i; op } in
+          let rec attempt a =
+            match attempt_once req with
+            | A_ok reply ->
+                tally.t_ok <- tally.t_ok + 1;
+                if not (verify op reply) then
+                  tally.t_verify_failures <- tally.t_verify_failures + 1
+            | A_final_error e -> count_error tally (P.err_to_string e)
+            | (A_retry_transport | A_retry_typed _) as r ->
+                if a < retries then begin
+                  tally.t_retries <- tally.t_retries + 1;
+                  Thread.delay
+                    (backoff_delay bo_rng ~backoff_ms ~attempt:a /. 1000.0);
+                  attempt (a + 1)
+                end
+                else begin
+                  match r with
+                  | A_retry_transport ->
                       tally.t_protocol_failures <-
                         tally.t_protocol_failures + 1
-                  | _, P.Error (e, _) -> count_error tally (P.err_to_string e)
-                  | _, reply ->
-                      tally.t_ok <- tally.t_ok + 1;
-                      if not (verify op reply) then
-                        tally.t_verify_failures <- tally.t_verify_failures + 1
-                  | exception P.Protocol_error _ ->
-                      tally.t_protocol_failures <-
-                        tally.t_protocol_failures + 1);
-                  go (i + 1)
-            end
+                  | A_retry_typed e -> count_error tally (P.err_to_string e)
+                  | _ -> ()
+                end
           in
-          go 0)
+          attempt 0;
+          go (i + 1)
+        end
+      in
+      go 0)
 
 let percentile sorted q =
   let n = Array.length sorted in
@@ -147,8 +226,10 @@ let percentile sorted q =
 let run ?(host = "127.0.0.1") ~port ~concurrency ?(duration_s = 1.0)
     ?requests_per_client ?(verify = fun _ _ -> true) ?(index = 0)
     ?listing_index ?(k = 5)
-    ?(lengths = [ 4; 8 ]) ?(tau = 0.2) ?(seed = Q.default_seed) ~mix ~source
-    () =
+    ?(lengths = [ 4; 8 ]) ?(tau = 0.2) ?(seed = Q.default_seed)
+    ?(retries = 0) ?(backoff_ms = 50.0) ~mix ~source () =
+  if retries < 0 then invalid_arg "Loadgen.run: retries < 0";
+  if backoff_ms < 0.0 then invalid_arg "Loadgen.run: backoff_ms < 0";
   if concurrency < 1 then invalid_arg "Loadgen.run: concurrency < 1";
   if mix.query < 0 || mix.top_k < 0 || mix.listing < 0
      || mix.query + mix.top_k + mix.listing <= 0
@@ -164,15 +245,17 @@ let run ?(host = "127.0.0.1") ~port ~concurrency ?(duration_s = 1.0)
         Thread.create
           (fun () ->
             let rng = Q.state ~seed ~stream:i () in
+            let bo_rng = backoff_rng ~seed ~stream:i in
             client_loop ~host ~port ~deadline_t ~requests_per_client ~verify
               ~mix ~source ~lengths ~tau ~k ~index ~listing_index ~rng
-              tallies.(i))
+              ~retries ~backoff_ms ~bo_rng tallies.(i))
           ())
   in
   List.iter Thread.join threads;
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let sent = Array.fold_left (fun a t -> a + t.t_sent) 0 tallies in
   let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
+  let retries = Array.fold_left (fun a t -> a + t.t_retries) 0 tallies in
   let protocol_failures =
     Array.fold_left (fun a t -> a + t.t_protocol_failures) 0 tallies
   in
@@ -203,6 +286,7 @@ let run ?(host = "127.0.0.1") ~port ~concurrency ?(duration_s = 1.0)
   {
     sent;
     ok;
+    retries;
     errors;
     protocol_failures;
     verify_failures;
@@ -220,6 +304,7 @@ let summary r =
   let b = Buffer.create 256 in
   Printf.bprintf b "requests:    %d sent, %d ok in %.2fs (%.0f req/s)\n" r.sent
     r.ok r.elapsed_s r.throughput_rps;
+  if r.retries > 0 then Printf.bprintf b "retries:     %d\n" r.retries;
   Printf.bprintf b "latency:     mean %.1fus  p50 %.1fus  p95 %.1fus  p99 %.1fus  max %.1fus\n"
     r.mean_us r.p50_us r.p95_us r.p99_us r.max_us;
   let total_errors =
@@ -244,9 +329,9 @@ let to_json_fields r =
       (List.map (fun (k, n) -> Printf.sprintf "\"%s\":%d" k n) r.errors)
   in
   Printf.sprintf
-    "\"sent\": %d, \"ok\": %d, \"errors\": {%s}, \"protocol_failures\": %d, \
-     \"verify_failures\": %d, \"elapsed_s\": %.4f, \"throughput_rps\": %.1f, \
-     \"mean_us\": %.2f, \"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": \
-     %.2f, \"max_us\": %.2f"
-    r.sent r.ok errs r.protocol_failures r.verify_failures r.elapsed_s
-    r.throughput_rps r.mean_us r.p50_us r.p95_us r.p99_us r.max_us
+    "\"sent\": %d, \"ok\": %d, \"retries\": %d, \"errors\": {%s}, \
+     \"protocol_failures\": %d, \"verify_failures\": %d, \"elapsed_s\": \
+     %.4f, \"throughput_rps\": %.1f, \"mean_us\": %.2f, \"p50_us\": %.2f, \
+     \"p95_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f"
+    r.sent r.ok r.retries errs r.protocol_failures r.verify_failures
+    r.elapsed_s r.throughput_rps r.mean_us r.p50_us r.p95_us r.p99_us r.max_us

@@ -23,11 +23,14 @@ val mix_of_string : string -> mix
 
 type result = {
   sent : int;
-  ok : int;
-  errors : (string * int) list;  (** Typed error replies by kind. *)
+  ok : int;  (** Requests that eventually succeeded (retries included). *)
+  retries : int;  (** Extra wire attempts made by the retry policy. *)
+  errors : (string * int) list;
+      (** Typed error replies by kind, counted only when a request
+          exhausted its retries (or the error is not retryable). *)
   protocol_failures : int;
       (** Transport-level problems: connect failures, truncated frames,
-          id mismatches. *)
+          id mismatches — counted only after retries are exhausted. *)
   verify_failures : int;  (** Responses rejected by [~verify]. *)
   elapsed_s : float;
   throughput_rps : float;
@@ -51,6 +54,8 @@ val run :
   ?lengths:int list ->
   ?tau:float ->
   ?seed:int ->
+  ?retries:int ->
+  ?backoff_ms:float ->
   mix:mix ->
   source:Pti_ustring.Ustring.t ->
   unit ->
@@ -68,8 +73,26 @@ val run :
     it at a listing container when [index] is a general one); [seed] the
     workload seed (default {!Pti_workload.Querygen.default_seed}).
     [verify] is called on every successful reply; a [false] return
-    counts a verify failure. Raises [Invalid_argument] on
-    [concurrency < 1] or an all-zero [mix]. *)
+    counts a verify failure.
+
+    [retries] (default 0) is the number of {e extra} attempts granted
+    per request when the outcome is retryable — a transport failure
+    (connect refused/reset, torn frame, EOF mid-stream) or a typed
+    [Overloaded]/[Timeout]/[Shutting_down] reply. Attempt [a] waits
+    [backoff_ms · 2^a · uniform[0.5, 1.5)] ms first (default base
+    50 ms); the jitter is drawn from a dedicated per-client stream
+    derived from [seed], so retrying never changes which operations the
+    workload stream draws ({!backoff_delays} exposes the exact
+    sequence). Transport failures drop and re-establish the
+    connection — this is what lets a run ride out a daemon restart.
+
+    Raises [Invalid_argument] on [concurrency < 1], an all-zero [mix],
+    [retries < 0] or [backoff_ms < 0]. *)
+
+val backoff_delays :
+  seed:int -> stream:int -> backoff_ms:float -> int -> float list
+(** The deterministic backoff delays (ms) client [stream] would use for
+    attempts [0..n-1] — pure; for tests and capacity planning. *)
 
 val summary : result -> string
 (** Human-readable multi-line summary. *)

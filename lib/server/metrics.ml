@@ -5,7 +5,14 @@
 
 let kinds = [| "query"; "top_k"; "listing"; "stats"; "ping"; "slow"; "other" |]
 let errs =
-  [| "bad_request"; "bad_index"; "overloaded"; "timeout"; "server_error" |]
+  [|
+    "bad_request";
+    "bad_index";
+    "overloaded";
+    "timeout";
+    "server_error";
+    "shutting_down";
+  |]
 
 let index_of label table =
   let n = Array.length table in
@@ -40,6 +47,10 @@ type t = {
   dropped_replies : int Atomic.t;
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
+  cache_open_failures : int Atomic.t;
+  worker_deaths : int Atomic.t;
+  accept_failures : int Atomic.t;
+  reloads : int Atomic.t;
   max_queue_depth : int Atomic.t;
   hists : hist array; (* per kind *)
 }
@@ -56,6 +67,10 @@ let create () =
     dropped_replies = Atomic.make 0;
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
+    cache_open_failures = Atomic.make 0;
+    worker_deaths = Atomic.make 0;
+    accept_failures = Atomic.make 0;
+    reloads = Atomic.make 0;
     max_queue_depth = Atomic.make 0;
     hists =
       Array.init (Array.length kinds) (fun _ -> atomic_array n_buckets);
@@ -72,6 +87,14 @@ let incr_connections t = incr t.connections
 let incr_dropped_replies t = incr t.dropped_replies
 let incr_cache_hit t = incr t.cache_hits
 let incr_cache_miss t = incr t.cache_misses
+let incr_cache_open_failure t = incr t.cache_open_failures
+let incr_worker_death t = incr t.worker_deaths
+let incr_accept_failure t = incr t.accept_failures
+let incr_reload t = incr t.reloads
+let cache_open_failures t = Atomic.get t.cache_open_failures
+let worker_deaths t = Atomic.get t.worker_deaths
+let accept_failures t = Atomic.get t.accept_failures
+let reloads t = Atomic.get t.reloads
 
 let rec atomic_max a v =
   let cur = Atomic.get a in
@@ -140,12 +163,17 @@ let to_json t ~queue_depth =
   field false "ok" (obj_of_labels kinds t.ok);
   field false "errors" (obj_of_labels errs t.errors);
   field false "cache"
-    (Printf.sprintf "{\"hits\":%d,\"misses\":%d}" (Atomic.get t.cache_hits)
-       (Atomic.get t.cache_misses));
+    (Printf.sprintf "{\"hits\":%d,\"misses\":%d,\"open_failures\":%d}"
+       (Atomic.get t.cache_hits)
+       (Atomic.get t.cache_misses)
+       (Atomic.get t.cache_open_failures));
   field false "queue"
     (Printf.sprintf "{\"depth\":%d,\"max_depth\":%d}" queue_depth
        (Atomic.get t.max_queue_depth));
   field false "dropped_replies" (string_of_int (Atomic.get t.dropped_replies));
+  field false "worker_deaths" (string_of_int (Atomic.get t.worker_deaths));
+  field false "accept_failures" (string_of_int (Atomic.get t.accept_failures));
+  field false "reloads" (string_of_int (Atomic.get t.reloads));
   let lat = Buffer.create 64 in
   Buffer.add_char lat '{';
   let wrote = ref false in

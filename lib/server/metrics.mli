@@ -37,6 +37,20 @@ val incr_dropped_replies : t -> unit
 val incr_cache_hit : t -> unit
 val incr_cache_miss : t -> unit
 
+val incr_cache_open_failure : t -> unit
+(** A cached index failed to open or revalidate (corrupt or missing
+    file) and was evicted. *)
+
+val incr_worker_death : t -> unit
+(** A worker domain died on an uncaught exception and was respawned. *)
+
+val incr_accept_failure : t -> unit
+(** [accept] failed with a real error (not EAGAIN/EINTR); the server
+    kept listening. *)
+
+val incr_reload : t -> unit
+(** A SIGHUP-triggered cache revalidation completed. *)
+
 val observe_queue_depth : t -> int -> unit
 (** Record the queue depth seen at enqueue time (keeps the maximum). *)
 
@@ -49,6 +63,10 @@ val requests_ok : t -> kind:string -> int
 val errors : t -> err:string -> int
 val overloaded : t -> int
 val timeouts : t -> int
+val cache_open_failures : t -> int
+val worker_deaths : t -> int
+val accept_failures : t -> int
+val reloads : t -> int
 
 val percentile_us : t -> kind:string -> float -> float
 (** [percentile_us m ~kind q] with [q] in [0, 1]: approximate latency

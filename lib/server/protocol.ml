@@ -15,7 +15,13 @@ type op =
 
 type request = { id : int; op : op }
 
-type err = Bad_request | Bad_index | Overloaded | Timeout | Server_error
+type err =
+  | Bad_request
+  | Bad_index
+  | Overloaded
+  | Timeout
+  | Server_error
+  | Shutting_down
 
 type reply =
   | Hits of (int * float) list
@@ -29,6 +35,7 @@ let err_to_string = function
   | Overloaded -> "overloaded"
   | Timeout -> "timeout"
   | Server_error -> "server_error"
+  | Shutting_down -> "shutting_down"
 
 let err_of_string = function
   | "bad_request" -> Some Bad_request
@@ -36,6 +43,7 @@ let err_of_string = function
   | "overloaded" -> Some Overloaded
   | "timeout" -> Some Timeout
   | "server_error" -> Some Server_error
+  | "shutting_down" -> Some Shutting_down
   | _ -> None
 
 let op_kind = function
@@ -201,6 +209,7 @@ let err_code = function
   | Overloaded -> 2
   | Timeout -> 3
   | Server_error -> 4
+  | Shutting_down -> 5
 
 let err_of_code = function
   | 0 -> Bad_request
@@ -208,6 +217,7 @@ let err_of_code = function
   | 2 -> Overloaded
   | 3 -> Timeout
   | 4 -> Server_error
+  | 5 -> Shutting_down
   | c -> fail "unknown error code %d" c
 
 let encode_reply ~id reply =
@@ -273,12 +283,21 @@ let decode_reply payload =
 (* Blocking frame IO (clients; the server reads through its own
    select-loop buffers). *)
 
+(* A signal (SIGHUP asking for a reload, a profiler tick) must not turn
+   into a torn frame, so every blocking call retries EINTR. *)
+let rec read_retry fd buf off len =
+  try Unix.read fd buf off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf off len
+
 let write_all fd s =
   let n = String.length s in
   let b = Bytes.unsafe_of_string s in
   let rec go off =
     if off < n then begin
-      let w = Unix.write fd b off (n - off) in
+      let w =
+        try Unix.write fd b off (n - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
       go (off + w)
     end
   in
@@ -287,16 +306,32 @@ let write_all fd s =
 let really_read fd buf off len =
   let rec go off len =
     if len > 0 then begin
-      let r = Unix.read fd buf off len in
+      let r = read_retry fd buf off len in
       if r = 0 then fail "connection closed mid-frame";
       go (off + r) (len - r)
     end
   in
   go off len
 
+let connect_retry fd addr =
+  try Unix.connect fd addr with
+  | Unix.Unix_error (Unix.EISCONN, _, _) -> ()
+  | Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* POSIX: an interrupted connect completes asynchronously — wait
+         for writability, then surface the real outcome. *)
+      let rec wait () =
+        match Unix.select [] [ fd ] [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        | _ -> ()
+      in
+      wait ();
+      (match Unix.getsockopt_error fd with
+      | Some err -> raise (Unix.Unix_error (err, "connect", ""))
+      | None -> ())
+
 let read_frame fd =
   let hdr = Bytes.create 4 in
-  let first = Unix.read fd hdr 0 4 in
+  let first = read_retry fd hdr 0 4 in
   if first = 0 then None
   else begin
     if first < 4 then really_read fd hdr first (4 - first);

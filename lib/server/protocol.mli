@@ -47,6 +47,10 @@ type err =
                     backpressure, the client should back off. *)
   | Timeout  (** The request's deadline expired while it was queued. *)
   | Server_error
+  | Shutting_down
+      (** The server received SIGTERM and is draining: requests already
+          queued still complete (within the drain window), new ones get
+          this typed refusal so clients fail over instead of hanging. *)
 
 type reply =
   | Hits of (int * float) list
@@ -83,13 +87,23 @@ val decode_request : string -> request
 val encode_reply : id:int -> reply -> string
 val decode_reply : string -> int * reply
 
-(** {2 Blocking frame IO (client side)} *)
+(** {2 Blocking frame IO (client side)}
+
+    All blocking calls retry [EINTR] internally: a signal delivered to
+    a client (or to a test harness forking children) never tears a
+    frame. *)
 
 val write_all : Unix.file_descr -> string -> unit
 
 val read_frame : Unix.file_descr -> string option
 (** Read one frame payload; [None] on a clean EOF at a frame boundary.
     Raises {!Protocol_error} on a truncated frame or oversized length. *)
+
+val connect_retry : Unix.file_descr -> Unix.sockaddr -> unit
+(** [Unix.connect] with correct [EINTR] handling: an interrupted
+    connect keeps completing in the background, so this waits for
+    writability and reports the socket's real error (or success)
+    instead of retrying the syscall, which would fail spuriously. *)
 
 (** {2 JSON encoding}
 

@@ -23,6 +23,7 @@ type config = {
   verify : bool;
   debug_slow : bool;
   send_timeout_ms : float;
+  drain_timeout_ms : float;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     verify = true;
     debug_slow = false;
     send_timeout_ms = 5000.0;
+    drain_timeout_ms = 5000.0;
   }
 
 (* [Unix.select] rejects fd numbers >= FD_SETSIZE (1024) with EINVAL,
@@ -83,6 +85,12 @@ type t = {
   metrics : Metrics.t;
   stop_flag : bool Atomic.t;
   dump_flag : bool Atomic.t;
+  reload_flag : bool Atomic.t;
+  (* wall-clock instant after which draining workers stop executing
+     queued jobs and answer [Shutting_down]; infinity while serving *)
+  drain_deadline : float Atomic.t;
+  workers_m : Mutex.t;
+  mutable workers : unit Domain.t list;
 }
 
 let create ?(config = default_config) sources =
@@ -112,12 +120,17 @@ let create ?(config = default_config) sources =
     metrics = Metrics.create ();
     stop_flag = Atomic.make false;
     dump_flag = Atomic.make false;
+    reload_flag = Atomic.make false;
+    drain_deadline = Atomic.make infinity;
+    workers_m = Mutex.create ();
+    workers = [];
   }
 
 let port t = t.bound_port
 let metrics t = t.metrics
 let stop t = Atomic.set t.stop_flag true
 let request_stats_dump t = Atomic.set t.dump_flag true
+let request_reload t = Atomic.set t.reload_flag true
 
 let stats_json t = Metrics.to_json t.metrics ~queue_depth:(Bq.length t.queue)
 
@@ -134,7 +147,16 @@ let write_reply t conn ~id reply =
     ~finally:(fun () -> Mutex.unlock conn.write_m)
     (fun () ->
       if conn.alive then
-        try P.write_all conn.fd data
+        try
+          (match Pti_fault.hit "server.reply" with
+          | Some short ->
+              (* injected torn reply: a prefix goes out, then the
+                 "connection" breaks *)
+              P.write_all conn.fd
+                (String.sub data 0 (Stdlib.min short (String.length data)));
+              raise (Unix.Unix_error (Unix.EPIPE, "write", "failpoint"))
+          | None -> ());
+          P.write_all conn.fd data
         with Unix.Unix_error _ | Sys_error _ ->
           conn.alive <- false;
           Metrics.incr_dropped_replies t.metrics
@@ -165,7 +187,8 @@ let resolve t index =
               ( P.Bad_index,
                 Printf.sprintf "%s: corrupt section %s (%s)" path section
                   reason )
-        | Sys_error m | Failure m -> Result.Error (P.Bad_index, m)
+        | Sys_error m | Failure m | Invalid_argument m ->
+            Result.Error (P.Bad_index, m)
         | Unix.Unix_error (e, _, _) ->
             Result.Error
               (P.Bad_index, path ^ ": " ^ Unix.error_message e))
@@ -211,11 +234,20 @@ let execute t op =
 
 let worker_loop t =
   let rec go () =
+    (* [server.worker] simulates a worker domain dying on a poisoned
+       task; the uncaught exception is logged, counted and the domain
+       respawned by [worker_shell] below *)
+    ignore (Pti_fault.hit "server.worker" : int option);
     match Bq.pop t.queue with
     | None -> ()
     | Some job ->
         let now = Unix.gettimeofday () in
-        if now > job.deadline then begin
+        if now > Atomic.get t.drain_deadline then begin
+          Metrics.incr_error t.metrics ~err:"shutting_down";
+          write_reply t job.jconn ~id:job.jid
+            (P.Error (P.Shutting_down, "drain timeout expired"))
+        end
+        else if now > job.deadline then begin
           Metrics.incr_timeout t.metrics;
           Metrics.record_latency t.metrics ~kind:job.jkind
             ~seconds:(now -. job.arrival);
@@ -246,6 +278,39 @@ let worker_loop t =
   in
   go ()
 
+(* A worker domain that dies on an uncaught exception is logged,
+   counted and replaced — one poisoned request must not silently shrink
+   the pool. No respawn once shutdown has begun (the queue is closing;
+   the drain deadline bounds any leftover work). *)
+let rec spawn_worker t =
+  let d = Domain.spawn (fun () -> worker_shell t) in
+  Mutex.lock t.workers_m;
+  t.workers <- d :: t.workers;
+  Mutex.unlock t.workers_m
+
+and worker_shell t =
+  try worker_loop t
+  with e ->
+    Printf.eprintf "pti: worker domain died: %s\n%!" (Printexc.to_string e);
+    Metrics.incr_worker_death t.metrics;
+    if not (Atomic.get t.stop_flag) then spawn_worker t
+
+(* Join every worker, including respawns registered while joining: a
+   dying worker registers its replacement before its domain exits, so
+   re-snapshotting until the list stays empty cannot miss one. *)
+let join_workers t =
+  let rec drain () =
+    Mutex.lock t.workers_m;
+    let ds = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.workers_m;
+    if ds <> [] then begin
+      List.iter Domain.join ds;
+      drain ()
+    end
+  in
+  drain ()
+
 (* ------------------------------------------------------------------ *)
 (* Accept loop *)
 
@@ -257,6 +322,10 @@ let dispatch t conn (req : P.request) =
   | P.Ping ->
       Metrics.incr_ok t.metrics ~kind;
       write_reply t conn ~id:req.id P.Pong
+  | _ when Atomic.get t.stop_flag ->
+      (* draining: queued work still completes, new work is refused with
+         a typed reply so clients fail over instead of hanging *)
+      error_reply t conn ~id:req.id P.Shutting_down "server is draining"
   | _ ->
       let now = Unix.gettimeofday () in
       let job =
@@ -413,17 +482,19 @@ let close_conn conns pending conn =
 let run t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let workers =
-    List.init (Stdlib.max 1 t.cfg.workers) (fun _ ->
-        Domain.spawn (fun () -> worker_loop t))
-  in
+  for _ = 1 to Stdlib.max 1 t.cfg.workers do
+    spawn_worker t
+  done;
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
   (* connections removed from [conns] whose fd could not be closed yet
      because a worker held [write_m]; retried every loop tick *)
   let pending = ref [] in
   let readbuf = Bytes.create 65536 in
   let accept_one () =
-    match Unix.accept t.listen_fd with
+    match
+      ignore (Pti_fault.hit "server.accept" : int option);
+      Unix.accept t.listen_fd
+    with
     | fd, _ ->
         if Hashtbl.length conns >= max_conns then
           (* over the select fd budget: shed the connection instead of
@@ -450,6 +521,10 @@ let run t =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
         ()
+    | exception Unix.Unix_error (_, _, _) ->
+        (* transient accept failure (EMFILE, ECONNABORTED, an injected
+           fault): count it and keep listening — the loop must survive *)
+        Metrics.incr_accept_failure t.metrics
   in
   let read_conn conn =
     match Unix.read conn.fd readbuf 0 (Bytes.length readbuf) with
@@ -460,10 +535,22 @@ let run t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (_, _, _) -> close_conn conns pending conn
   in
-  while not (Atomic.get t.stop_flag) do
+  (* One event-loop iteration, shared by the serving and draining
+     phases (draining no longer watches the listen socket). *)
+  let tick ~listening timeout =
     if Atomic.get t.dump_flag then begin
       Atomic.set t.dump_flag false;
       Printf.eprintf "%s\n%!" (stats_json t)
+    end;
+    if Atomic.get t.reload_flag then begin
+      Atomic.set t.reload_flag false;
+      let evicted = Engine_cache.revalidate t.cache ~metrics:t.metrics () in
+      List.iter
+        (fun (path, e) ->
+          Printf.eprintf "pti: reload evicted %s: %s\n%!" path
+            (Printexc.to_string e))
+        evicted;
+      Metrics.incr_reload t.metrics
     end;
     (* sweep: close deferred fds, reap connections a worker marked dead
        (its write failed or timed out) *)
@@ -474,26 +561,39 @@ let run t =
         conns []
     in
     List.iter (fun conn -> close_conn conns pending conn) dead;
-    let fds =
-      t.listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
-    in
-    match Unix.select fds [] [] 0.1 with
+    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    let fds = if listening then t.listen_fd :: fds else fds in
+    match Unix.select fds [] [] timeout with
     | readable, _, _ ->
         List.iter
           (fun fd ->
-            if fd = t.listen_fd then accept_one ()
+            if listening && fd = t.listen_fd then accept_one ()
             else
               match Hashtbl.find_opt conns fd with
               | Some conn -> read_conn conn
               | None -> ())
           readable
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  while not (Atomic.get t.stop_flag) do
+    tick ~listening:true 0.1
   done;
-  (* shutdown: stop accepting, drain the workers, close everything
-     (workers are joined, so every try_close below succeeds) *)
+  (* graceful drain: stop accepting; requests already queued keep
+     completing until the queue is empty or the drain window closes
+     (workers answer [Shutting_down] past the deadline); connections
+     are still read so drained replies flush and late requests get
+     their typed refusal from [dispatch] *)
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  let drain_deadline =
+    Unix.gettimeofday () +. (Stdlib.max 0.0 t.cfg.drain_timeout_ms /. 1000.0)
+  in
+  Atomic.set t.drain_deadline drain_deadline;
+  while Bq.length t.queue > 0 && Unix.gettimeofday () < drain_deadline do
+    tick ~listening:false 0.05
+  done;
   Bq.close t.queue;
-  List.iter Domain.join workers;
+  join_workers t;
+  (* workers are joined, so every try_close below succeeds *)
   Hashtbl.iter (fun _ conn -> ignore (try_close conn)) conns;
   List.iter (fun conn -> ignore (try_close conn)) !pending;
   pending := [];

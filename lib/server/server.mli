@@ -49,6 +49,11 @@ type config = {
           stalls a reply writer for at most this long, after which the
           write fails and the connection is dropped — one slow client
           cannot pin the accept loop or the worker pool indefinitely. *)
+  drain_timeout_ms : float;
+      (** How long {!stop} lets already-queued requests keep completing
+          before the rest are answered [Shutting_down] (default 5000).
+          New requests arriving during the drain are refused with
+          [Shutting_down] immediately. *)
 }
 
 val default_config : config
@@ -72,8 +77,19 @@ val run : t -> unit
     process (a client hanging up must not kill the daemon). *)
 
 val stop : t -> unit
-(** Ask {!run} to shut down; safe from any domain, a signal handler
-    included. Idempotent. *)
+(** Ask {!run} to drain and shut down; safe from any domain, a signal
+    handler included (the SIGTERM/SIGINT hook). Idempotent. {!run}
+    stops accepting, lets queued requests finish for at most
+    [drain_timeout_ms], answers the remainder [Shutting_down], then
+    joins the workers and closes every socket. *)
+
+val request_reload : t -> unit
+(** Make the accept loop revalidate every cached index file at its next
+    iteration — the SIGHUP hook (safe from a signal handler: it only
+    sets a flag). Files atomically rewritten since they were opened are
+    reopened; files now missing or corrupt are evicted (and logged), so
+    subsequent requests get a typed [Bad_index] reply instead of stale
+    or poisoned data. *)
 
 val request_stats_dump : t -> unit
 (** Make the accept loop print {!stats_json} to stderr at its next

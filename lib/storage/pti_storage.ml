@@ -186,6 +186,80 @@ let pad8 x = (x + 7) land lnot 7
 let checksum_seed = 0x1505_7151_1505_7151
 let fnv_prime = 0x100000001B3
 
+(* ------------------------------------------------------------------ *)
+(* Durable IO: EINTR-retrying, failpoint-instrumented primitives for
+   the atomic save path (DESIGN.md §11). Failpoint names:
+   "storage.write", "storage.fsync", "storage.rename" on the writer,
+   "storage.open" on the reader. *)
+
+let fp_write = "storage.write"
+let fp_fsync = "storage.fsync"
+let fp_rename = "storage.rename"
+let fp_open = "storage.open"
+
+(* Write the whole range, retrying EINTR and continuing after short
+   writes — real ones or [Short_write]-injected ones. *)
+let write_retry fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n =
+        match
+          match Pti_fault.hit fp_write with
+          | Some short ->
+              Unix.write fd buf off (Stdlib.min len (Stdlib.max 1 short))
+          | None -> Unix.write fd buf off len
+        with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let rec fsync_retry fd =
+  try
+    ignore (Pti_fault.hit fp_fsync : int option);
+    Unix.fsync fd
+  with Unix.Unix_error (Unix.EINTR, _, _) -> fsync_retry fd
+
+let rec rename_retry src dst =
+  try
+    ignore (Pti_fault.hit fp_rename : int option);
+    Unix.rename src dst
+  with Unix.Unix_error (Unix.EINTR, _, _) -> rename_retry src dst
+
+(* Flush the directory so the rename itself survives a crash.
+   Filesystems that cannot fsync a directory are tolerated (the data
+   fsync already happened); real IO errors still propagate. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try fsync_retry fd
+          with Unix.Unix_error ((Unix.EINVAL | Unix.EROFS), _, _) -> ())
+
+let temp_path path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let atomic_save path f =
+  let tmp = temp_path path in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         f oc;
+         flush oc;
+         fsync_retry (Unix.descr_of_out_channel oc));
+     rename_retry tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  fsync_dir path
+
 let file_has_magic path =
   match open_in_bin path with
   | exception Sys_error _ -> false
@@ -304,7 +378,7 @@ module Writer = struct
   let chunk_bytes = 1 lsl 18 (* 256 KiB, a multiple of 8 *)
 
   type stream = {
-    oc : out_channel;
+    fd : Unix.file_descr;
     buf : Bytes.t;
     mutable pos : int; (* fill of [buf] *)
     mutable h : int; (* running checksum of the current section *)
@@ -312,12 +386,12 @@ module Writer = struct
     mutable nacc : int; (* bytes accumulated in [acc] *)
   }
 
-  let stream oc =
-    { oc; buf = Bytes.create chunk_bytes; pos = 0; h = 0; acc = 0; nacc = 0 }
+  let stream fd =
+    { fd; buf = Bytes.create chunk_bytes; pos = 0; h = 0; acc = 0; nacc = 0 }
 
   let flush st =
     if st.pos > 0 then begin
-      output st.oc st.buf 0 st.pos;
+      write_retry st.fd st.buf 0 st.pos;
       st.pos <- 0
     end
 
@@ -429,11 +503,8 @@ module Writer = struct
         0 laid
     in
     let total = table_off + table_bytes + 8 (* table checksum *) in
-    let oc = open_out_bin w.w_path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        let st = stream oc in
+    let emit fd =
+        let st = stream fd in
         (* Header (not covered by any section checksum). *)
         let header = Bytes.make header_bytes '\000' in
         Bytes.blit_string
@@ -477,7 +548,29 @@ module Writer = struct
           laid sums;
         let table_sum = st.h in
         put64 st table_sum;
-        flush st)
+        flush st
+    in
+    (* Atomic save: stream into a temp file in the destination
+       directory, fsync it, rename over the destination, fsync the
+       directory. Any failure before the rename leaves the old file
+       byte-identical; a failure after it leaves the new file complete. *)
+    let tmp = temp_path w.w_path in
+    (try
+       let fd =
+         Unix.openfile tmp
+           [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+           0o644
+       in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+         (fun () ->
+           emit fd;
+           fsync_retry fd);
+       rename_retry tmp w.w_path
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    fsync_dir w.w_path
 end
 
 (* ------------------------------------------------------------------ *)
@@ -526,7 +619,9 @@ module Reader = struct
 
   let open_file ?(verify = true) path =
     let fd =
-      try Unix.openfile path [ Unix.O_RDONLY ] 0
+      try
+        ignore (Pti_fault.hit fp_open : int option);
+        Unix.openfile path [ Unix.O_RDONLY ] 0
       with Unix.Unix_error (e, _, _) ->
         corrupt "header" "cannot open %s: %s" path (Unix.error_message e)
     in

@@ -138,6 +138,21 @@ val file_has_magic : string -> bool
 
 (** {2 Writing} *)
 
+val atomic_save : string -> (out_channel -> unit) -> unit
+(** [atomic_save path f] runs [f] on an output channel backed by a
+    temporary file ([path.tmp.<pid>] in the same directory), then
+    fsyncs, renames it over [path] and fsyncs the directory. The
+    destination is always either the complete old file or the complete
+    new one — never a partial write. On failure the temp file is
+    unlinked and the exception re-raised. [EINTR] is retried on every
+    write, fsync and rename. Used for legacy (pre-container) formats;
+    {!Writer.close} follows the same protocol natively. *)
+
+val temp_path : string -> string
+(** The temporary sibling [atomic_save] and {!Writer.close} stream
+    into before renaming ([path.tmp.<pid>]) — exposed so tests can
+    assert no temp files survive a failed save. *)
+
 module Writer : sig
   type t
 
@@ -167,7 +182,13 @@ module Writer : sig
       incrementally while streaming. Section order is the [add_*] call
       order and widths are a pure function of section values, so
       identical engines produce byte-identical files. Raises
-      [Invalid_argument] on duplicate section names. *)
+      [Invalid_argument] on duplicate section names.
+
+      The write is crash-safe: the stream goes to a temp file which is
+      fsynced and renamed over the destination (then the directory is
+      fsynced), so a crash or error at any point leaves the destination
+      either old-complete or new-complete. Failpoints ["storage.write"],
+      ["storage.fsync"] and ["storage.rename"] instrument the path. *)
 end
 
 (** {2 Reading (mmap)} *)

@@ -1,0 +1,114 @@
+#!/bin/sh
+# Chaos smoke test: the fault-injection story end to end.
+#   1. Crash (abort) and ENOSPC mid-save via PTI_FAILPOINTS must leave
+#      the destination index byte-identical to the previous version.
+#   2. kill -9 the serving daemon under load, restart it on the same
+#      port: a loadgen run with --retry rides out the outage and
+#      finishes with every reply verified.
+# Exits non-zero on any violated invariant.
+set -eu
+
+PTI=_build/default/bin/pti.exe
+[ -x "$PTI" ] || { echo "chaos-smoke: build bin/pti.exe first (dune build bin/pti.exe)" >&2; exit 1; }
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/pti-chaos-smoke.XXXXXX")
+SERVER_PID=""
+LOADGEN_PID=""
+cleanup() {
+    for pid in "$SERVER_PID" "$LOADGEN_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill -TERM "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "chaos-smoke: workdir $DIR"
+
+# ------------------------------------------------------------------
+# Crash-safe saves: 3000 positions make a multi-chunk (~2 MB)
+# container, so the 5th/3rd write really lands mid-stream.
+
+"$PTI" gen --total 3000 --theta 0.3 --seed 7 -o "$DIR/data.txt"
+"$PTI" build -i "$DIR/data.txt" -o "$DIR/idx.pti"
+cp "$DIR/idx.pti" "$DIR/baseline.pti"
+
+# Process aborts (as by kill -9) in the middle of the container stream.
+rc=0
+PTI_FAILPOINTS="storage.write:abort@5" \
+    "$PTI" build -i "$DIR/data.txt" -o "$DIR/idx.pti" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 70 ] || { echo "chaos-smoke: abort failpoint: expected exit 70, got $rc" >&2; exit 1; }
+cmp -s "$DIR/idx.pti" "$DIR/baseline.pti" || { echo "chaos-smoke: index changed across an aborted save" >&2; exit 1; }
+"$PTI" stats "$DIR/idx.pti" >/dev/null || { echo "chaos-smoke: index unreadable after aborted save" >&2; exit 1; }
+echo "chaos-smoke: abort mid-save left the old index byte-identical"
+
+# ENOSPC mid-stream: the failed save must clean up its temp file too.
+rc=0
+PTI_FAILPOINTS="storage.write:enospc@3" \
+    "$PTI" build -i "$DIR/data.txt" -o "$DIR/idx.pti" >/dev/null 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || { echo "chaos-smoke: ENOSPC failpoint: build should have failed" >&2; exit 1; }
+cmp -s "$DIR/idx.pti" "$DIR/baseline.pti" || { echo "chaos-smoke: index changed across a failed save" >&2; exit 1; }
+echo "chaos-smoke: ENOSPC mid-save left the old index byte-identical"
+
+# ------------------------------------------------------------------
+# kill -9 the daemon under load; --retry rides out the restart.
+
+start_server() { # $1 = port (0 = ephemeral)
+    "$PTI" serve "$DIR/idx.pti" --port "$1" --workers 2 --queue-cap 256 \
+        >> "$DIR/serve.log" 2>&1 &
+    SERVER_PID=$!
+}
+
+wait_port() {
+    PORT=""
+    i=0
+    while [ $i -lt 100 ]; do
+        PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$DIR/serve.log" | tail -n 1)
+        [ -n "$PORT" ] && return 0
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "chaos-smoke: server died:" >&2; cat "$DIR/serve.log" >&2; exit 1; }
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "chaos-smoke: server never reported a port" >&2
+    cat "$DIR/serve.log" >&2
+    exit 1
+}
+
+start_server 0
+wait_port
+echo "chaos-smoke: server up on port $PORT (pid $SERVER_PID)"
+
+# Enough requests to straddle the kill/restart below (the daemon
+# sustains >20k req/s on this dataset, so the run takes O(seconds));
+# generous retry budget so every client survives the outage.
+"$PTI" loadgen -i "$DIR/data.txt" --port "$PORT" \
+    --concurrency 4 --requests 20000 --mix query=8,topk=2 \
+    --retry 20 --backoff-ms 50 \
+    --verify "$DIR/idx.pti" --check > "$DIR/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+
+sleep 0.2
+kill -KILL "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+echo "chaos-smoke: daemon killed -9 under load, restarting on port $PORT"
+start_server "$PORT"
+
+rc=0
+wait "$LOADGEN_PID" || rc=$?
+LOADGEN_PID=""
+if [ "$rc" -ne 0 ]; then
+    echo "chaos-smoke: loadgen failed across the daemon restart (exit $rc):" >&2
+    cat "$DIR/loadgen.log" >&2
+    exit 1
+fi
+grep -q "retries:" "$DIR/loadgen.log" || { echo "chaos-smoke: loadgen never retried — kill/restart not exercised?" >&2; cat "$DIR/loadgen.log" >&2; exit 1; }
+echo "chaos-smoke: loadgen rode out the restart with every reply verified"
+
+# Clean SIGTERM drain of the restarted daemon.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "chaos-smoke: OK"

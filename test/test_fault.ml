@@ -1,0 +1,141 @@
+(* Tests for the Pti_fault failpoint registry: spec parsing, trigger
+   semantics, determinism and the unarmed fast path. Every test disarms
+   on exit so the global registry never leaks into other suites. *)
+
+module F = Pti_fault
+
+let with_clean f =
+  F.disarm_all ();
+  Fun.protect ~finally:F.disarm_all f
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+let test_parse_specs () =
+  let check_one spec name action trigger =
+    match F.parse_spec spec with
+    | [ (n, a, t) ] ->
+        Alcotest.(check string) (spec ^ " name") name n;
+        Alcotest.(check bool) (spec ^ " action") true (a = action);
+        Alcotest.(check bool) (spec ^ " trigger") true (t = trigger)
+    | l ->
+        Alcotest.failf "%s: expected one entry, got %d" spec (List.length l)
+  in
+  check_one "storage.write:enospc" "storage.write" (F.Raise Unix.ENOSPC)
+    F.Always;
+  check_one "storage.write:raise:eio@3" "storage.write" (F.Raise Unix.EIO)
+    (F.Nth 3);
+  check_one "storage.write:short:16@every:2" "storage.write"
+    (F.Short_write 16) (F.Every 2);
+  check_one "server.reply:delay:50@p:0.25:7" "server.reply" (F.Delay 50)
+    (F.Prob (0.25, 7));
+  check_one "storage.write:abort@5" "storage.write" F.Abort (F.Nth 5);
+  check_one "x:noop" "x" F.Noop F.Always;
+  (* several comma-separated entries, blanks tolerated *)
+  (match F.parse_spec " a:eio , b:abort@2 ,," with
+  | [ ("a", F.Raise Unix.EIO, F.Always); ("b", F.Abort, F.Nth 2) ] -> ()
+  | _ -> Alcotest.fail "multi-entry spec misparsed");
+  Alcotest.(check bool) "empty spec parses to nothing" true
+    (F.parse_spec "" = [])
+
+let test_parse_errors () =
+  let bad spec =
+    match F.parse_spec spec with
+    | exception Failure m ->
+        Alcotest.(check bool)
+          (spec ^ " error mentions env var") true
+          (String.length m >= 14 && String.sub m 0 14 = "PTI_FAILPOINTS")
+    | _ -> Alcotest.failf "%s: expected Failure" spec
+  in
+  bad "no-action-here";
+  bad "x:unknownerrno";
+  bad "x:short:notanint";
+  bad "x:delay:-5";
+  bad "x:eio@0";
+  bad "x:eio@every:0";
+  bad "x:eio@p:1.5";
+  bad ":eio"
+
+(* ------------------------------------------------------------------ *)
+(* trigger semantics *)
+
+let test_unarmed_is_none () =
+  with_clean (fun () ->
+      Alcotest.(check (option int)) "unarmed hit" None (F.hit "nowhere");
+      Alcotest.(check int) "unarmed count" 0 (F.hit_count "nowhere"))
+
+let test_nth_fires_once () =
+  with_clean (fun () ->
+      F.arm "fp" (F.Raise Unix.EIO) (F.Nth 3);
+      let fired = ref 0 in
+      for _ = 1 to 6 do
+        try ignore (F.hit "fp" : int option)
+        with Unix.Unix_error (Unix.EIO, _, _) -> incr fired
+      done;
+      Alcotest.(check int) "fired exactly once" 1 !fired;
+      Alcotest.(check int) "all hits counted" 6 (F.hit_count "fp"))
+
+let test_every_k () =
+  with_clean (fun () ->
+      F.arm "fp" (F.Short_write 8) (F.Every 2);
+      let outcomes = List.init 6 (fun _ -> F.hit "fp") in
+      Alcotest.(check (list (option int)))
+        "every 2nd hit returns the short write"
+        [ None; Some 8; None; Some 8; None; Some 8 ]
+        outcomes)
+
+let test_prob_deterministic () =
+  with_clean (fun () ->
+      let draw () =
+        F.arm "fp" (F.Raise Unix.EIO) (F.Prob (0.5, 42));
+        List.init 64 (fun _ ->
+            match F.hit "fp" with
+            | exception Unix.Unix_error (Unix.EIO, _, _) -> true
+            | _ -> false)
+      in
+      let a = draw () and b = draw () in
+      Alcotest.(check (list bool)) "same seed, same firing pattern" a b;
+      let fires = List.length (List.filter Fun.id a) in
+      Alcotest.(check bool) "p=0.5 fires sometimes, not always" true
+        (fires > 0 && fires < 64))
+
+let test_disarm_and_rearm () =
+  with_clean (fun () ->
+      F.arm "fp" F.Noop F.Always;
+      ignore (F.hit "fp" : int option);
+      ignore (F.hit "fp" : int option);
+      Alcotest.(check int) "counted" 2 (F.hit_count "fp");
+      F.disarm "fp";
+      Alcotest.(check (option int)) "disarmed" None (F.hit "fp");
+      Alcotest.(check int) "count reset with registry" 0 (F.hit_count "fp");
+      F.arm "fp" F.Noop F.Always;
+      ignore (F.hit "fp" : int option);
+      Alcotest.(check int) "re-armed counts afresh" 1 (F.hit_count "fp"))
+
+let test_arm_spec () =
+  with_clean (fun () ->
+      F.arm_spec "a:noop,b:short:4@2";
+      ignore (F.hit "a" : int option);
+      Alcotest.(check int) "a armed" 1 (F.hit_count "a");
+      Alcotest.(check (option int)) "b trigger not yet" None (F.hit "b");
+      Alcotest.(check (option int)) "b fires on 2nd" (Some 4) (F.hit "b"))
+
+let () =
+  Alcotest.run "pti_fault"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "valid specs" `Quick test_parse_specs;
+          Alcotest.test_case "malformed specs" `Quick test_parse_errors;
+        ] );
+      ( "triggers",
+        [
+          Alcotest.test_case "unarmed fast path" `Quick test_unarmed_is_none;
+          Alcotest.test_case "nth fires once" `Quick test_nth_fires_once;
+          Alcotest.test_case "every k" `Quick test_every_k;
+          Alcotest.test_case "prob deterministic" `Quick
+            test_prob_deterministic;
+          Alcotest.test_case "disarm / re-arm" `Quick test_disarm_and_rearm;
+          Alcotest.test_case "arm_spec" `Quick test_arm_spec;
+        ] );
+    ]

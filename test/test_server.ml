@@ -526,6 +526,231 @@ let test_timeout () =
           Alcotest.(check int) "slow op completed" 1 !pong;
           Alcotest.(check int) "queued requests timed out" 3 !timeouts))
 
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation under injected faults *)
+
+module F = Pti_fault
+
+let with_faults f =
+  F.disarm_all ();
+  Fun.protect ~finally:F.disarm_all f
+
+(* Read every reply until the server closes the connection, keyed by
+   request id. *)
+let read_until_close fd =
+  let got = Hashtbl.create 8 in
+  let rec go () =
+    match P.read_frame fd with
+    | Some payload ->
+        let id, reply = P.decode_reply payload in
+        Hashtbl.replace got id reply;
+        go ()
+    | None -> got
+    | exception Unix.Unix_error _ -> got
+  in
+  go ()
+
+let test_drain () =
+  (* SIGTERM semantics: stop() closes the listen socket, lets in-flight
+     and already-queued work complete within the drain window, and
+     answers anything arriving after the flag with Shutting_down *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let config =
+    {
+      (base_config 1) with
+      debug_slow = true;
+      deadline_ms = 30_000.0;
+      drain_timeout_ms = 5_000.0;
+    }
+  in
+  let srv = Server.create ~config [ Server.Source_general g ] in
+  let d = Domain.spawn (fun () -> Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Domain.join d)
+    (fun () ->
+      with_conn (Server.port srv) (fun fd ->
+          P.write_all fd (P.encode_request { P.id = 0; op = P.Slow 300 });
+          Unix.sleepf 0.1;
+          (* queued behind the slow op, must still complete *)
+          P.write_all fd
+            (P.encode_request
+               { P.id = 1; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } });
+          Unix.sleepf 0.05;
+          Server.stop srv;
+          Unix.sleepf 0.02;
+          (* arrives after the stop flag: refused with a typed reply *)
+          P.write_all fd
+            (P.encode_request
+               { P.id = 2; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } });
+          let got = read_until_close fd in
+          (match Hashtbl.find_opt got 0 with
+          | Some P.Pong -> ()
+          | _ -> Alcotest.fail "in-flight slow op did not complete");
+          check_hits "queued request completed during drain"
+            (wire (G.query g ~pattern:(Sym.of_string "A") ~tau:0.5))
+            (Hashtbl.find got 1);
+          match Hashtbl.find_opt got 2 with
+          | Some (P.Error (P.Shutting_down, _)) -> ()
+          | Some _ -> Alcotest.fail "post-stop request got a non-drain reply"
+          | None -> Alcotest.fail "post-stop request got no reply"))
+
+let test_drain_timeout () =
+  (* a drain window too short for the backlog: in-flight work finishes,
+     but jobs still queued past the deadline are answered
+     Shutting_down instead of holding shutdown hostage *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let config =
+    {
+      (base_config 1) with
+      debug_slow = true;
+      deadline_ms = 30_000.0;
+      drain_timeout_ms = 50.0;
+    }
+  in
+  let srv = Server.create ~config [ Server.Source_general g ] in
+  let d = Domain.spawn (fun () -> Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Domain.join d)
+    (fun () ->
+      with_conn (Server.port srv) (fun fd ->
+          P.write_all fd (P.encode_request { P.id = 0; op = P.Slow 400 });
+          Unix.sleepf 0.1;
+          for i = 1 to 2 do
+            P.write_all fd
+              (P.encode_request
+                 { P.id = i; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } })
+          done;
+          Unix.sleepf 0.05;
+          Server.stop srv;
+          let got = read_until_close fd in
+          (match Hashtbl.find_opt got 0 with
+          | Some P.Pong -> ()
+          | _ -> Alcotest.fail "in-flight slow op did not complete");
+          for i = 1 to 2 do
+            match Hashtbl.find_opt got i with
+            | Some (P.Error (P.Shutting_down, _)) -> ()
+            | Some _ ->
+                Alcotest.failf "request %d should expire with shutting_down" i
+            | None -> Alcotest.failf "request %d got no reply" i
+          done))
+
+let test_worker_respawn () =
+  (* a worker domain dying on a poisoned task is replaced, and the
+     replacement serves correct answers; the death is counted *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  with_faults (fun () ->
+      F.arm "server.worker" (F.Raise Unix.EIO) (F.Nth 1);
+      with_server ~config:(base_config 1) [ Server.Source_general g ]
+        (fun srv port ->
+          with_conn port (fun fd ->
+              let _, reply =
+                rpc fd
+                  { P.id = 5; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } }
+              in
+              check_hits "respawned worker answers correctly"
+                (wire (G.query g ~pattern:(Sym.of_string "A") ~tau:0.5))
+                reply);
+          Alcotest.(check int) "worker death counted" 1
+            (Pti_server.Metrics.worker_deaths (Server.metrics srv))))
+
+let test_hot_reload () =
+  (* SIGHUP semantics: request_reload revalidates cached containers; a
+     corrupt one is evicted (typed Bad_index, no stale pin), and once
+     the file is healthy again it is served afresh *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let path = Filename.temp_file "pti_reload" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      G.save g path;
+      let want = wire (G.query g ~pattern:(Sym.of_string "A") ~tau:0.5) in
+      let query fd i =
+        snd (rpc fd { P.id = i; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } })
+      in
+      with_server [ Server.Source_file path ] (fun srv port ->
+          with_conn port (fun fd ->
+              check_hits "served before corruption" want (query fd 1);
+              (* corrupt the file via rename, as a torn external rewrite
+                 would: the old inode stays mapped, so the server keeps
+                 serving stale-but-consistent answers until told *)
+              let garbage = path ^ ".garbage" in
+              let oc = open_out_bin garbage in
+              output_string oc "this is not a PTI container";
+              close_out oc;
+              Sys.rename garbage path;
+              check_hits "stale mapping still serves" want (query fd 2);
+              Server.request_reload srv;
+              Unix.sleepf 0.3;
+              (match query fd 3 with
+              | P.Error (P.Bad_index, _) -> ()
+              | P.Error (e, m) ->
+                  Alcotest.failf "expected bad_index, got %s (%s)"
+                    (P.err_to_string e) m
+              | _ -> Alcotest.fail "corrupt container still served after reload");
+              let m = Server.metrics srv in
+              Alcotest.(check bool) "reload counted" true
+                (Pti_server.Metrics.reloads m >= 1);
+              Alcotest.(check bool) "open failure counted" true
+                (Pti_server.Metrics.cache_open_failures m >= 1);
+              (* heal the file; the next request re-opens it on demand *)
+              G.save g path;
+              check_hits "healed container served again" want (query fd 4))))
+
+let test_loadgen_retry () =
+  (* a dropped reply mid-run: the client sees the torn connection,
+     backs off, reconnects and replays — the run still verifies every
+     answer and reports the retry *)
+  let u, _, g, _, _, _ = Lazy.force fixture in
+  with_faults (fun () ->
+      (* the 3rd reply the server writes is cut short, then the
+         connection breaks *)
+      F.arm "server.reply" (F.Short_write 2) (F.Nth 3);
+      with_server [ Server.Source_general g ] (fun _srv port ->
+          let verify op reply =
+            match (op, reply) with
+            | P.Query { index = 0; pattern; tau }, P.Hits hs ->
+                hs = wire (G.query g ~pattern:(Sym.of_string pattern) ~tau)
+            | P.Top_k { index = 0; pattern; tau; k }, P.Hits hs ->
+                hs = wire (G.query_top_k g ~pattern:(Sym.of_string pattern) ~tau ~k)
+            | _ -> false
+          in
+          let r =
+            Loadgen.run ~port ~concurrency:1 ~duration_s:infinity
+              ~requests_per_client:10 ~verify ~index:0 ~k:4 ~lengths:[ 3 ]
+              ~tau:0.2 ~seed:11 ~retries:3 ~backoff_ms:5.0
+              ~mix:{ Loadgen.query = 3; top_k = 1; listing = 0 }
+              ~source:u ()
+          in
+          Alcotest.(check int) "every request eventually ok" 10 r.Loadgen.ok;
+          Alcotest.(check int) "exactly one retry" 1 r.Loadgen.retries;
+          Alcotest.(check int) "the retry is an extra wire attempt" 11
+            r.Loadgen.sent;
+          Alcotest.(check (list (pair string int))) "no error replies" []
+            r.Loadgen.errors;
+          Alcotest.(check int) "no protocol failures" 0
+            r.Loadgen.protocol_failures;
+          Alcotest.(check int) "all replies verified" 0
+            r.Loadgen.verify_failures))
+
+let test_backoff_determinism () =
+  let a = Loadgen.backoff_delays ~seed:9 ~stream:0 ~backoff_ms:50.0 6 in
+  let b = Loadgen.backoff_delays ~seed:9 ~stream:0 ~backoff_ms:50.0 6 in
+  Alcotest.(check (list (float 0.0))) "same seed+stream, same delays" a b;
+  Alcotest.(check bool) "different stream, different jitter" true
+    (Loadgen.backoff_delays ~seed:9 ~stream:1 ~backoff_ms:50.0 6 <> a);
+  List.iteri
+    (fun attempt d ->
+      let base = 50.0 *. (2.0 ** float_of_int attempt) in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within [0.5b, 1.5b)" attempt)
+        true
+        (d >= 0.5 *. base && d < 1.5 *. base))
+    a
+
 let () =
   Alcotest.run "pti_server"
     [
@@ -549,5 +774,18 @@ let () =
         [
           Alcotest.test_case "overload backpressure" `Quick test_overload;
           Alcotest.test_case "deadline timeout" `Quick test_timeout;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "graceful drain" `Quick test_drain;
+          Alcotest.test_case "drain window expires" `Quick test_drain_timeout;
+          Alcotest.test_case "worker domain respawn" `Quick
+            test_worker_respawn;
+          Alcotest.test_case "hot reload evicts corrupt container" `Quick
+            test_hot_reload;
+          Alcotest.test_case "loadgen rides out a torn reply" `Quick
+            test_loadgen_retry;
+          Alcotest.test_case "backoff is deterministic" `Quick
+            test_backoff_determinism;
         ] );
     ]

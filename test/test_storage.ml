@@ -624,6 +624,206 @@ let test_legacy_roundtrip () =
       Alcotest.(check bool) "legacy listing answers identically" true
         (L.query l ~pattern:pat ~tau:0.3 = L.query l' ~pattern:pat ~tau:0.3))
 
+(* ------------------------------------------------------------------ *)
+(* Crash-safe saves under injected faults: whatever fails and wherever,
+   the destination file is either the old container byte-identical or
+   the new one complete — never a torn hybrid. *)
+
+module F = Pti_fault
+
+let with_faults f =
+  F.disarm_all ();
+  Fun.protect ~finally:F.disarm_all f
+
+(* Two different engines over the same alphabet; [g_old] is what the
+   destination must still hold after a failed overwrite by [g_new]. *)
+let make_engines () =
+  let rng = H.rng_of_seed 1234 in
+  let u1 = H.random_ustring rng 80 4 3 in
+  let u2 = H.random_ustring rng 110 4 3 in
+  (G.build ~tau_min:0.1 u1, G.build ~tau_min:0.1 u2)
+
+let no_temp_left path =
+  Alcotest.(check bool) "temp file unlinked" false
+    (Sys.file_exists (S.temp_path path))
+
+let test_fault_save_keeps_old () =
+  let g_old, g_new = make_engines () in
+  let cases =
+    [
+      ("write enospc", "storage.write:enospc@1");
+      ("file fsync eio", "storage.fsync:eio@1");
+      ("rename eio", "storage.rename:eio@1");
+    ]
+  in
+  List.iter
+    (fun (label, spec) ->
+      with_tmp (fun path ->
+          G.save g_old path;
+          let old_bytes = read_file path in
+          with_faults (fun () ->
+              F.arm_spec spec;
+              (match G.save g_new path with
+              | () -> Alcotest.failf "%s: save should have failed" label
+              | exception Unix.Unix_error _ -> ()));
+          Alcotest.(check bool)
+            (label ^ ": destination byte-identical to the old container")
+            true
+            (read_file path = old_bytes);
+          no_temp_left path;
+          (* and the old container still opens checksum-clean *)
+          let g' = G.load path in
+          let rng = H.rng_of_seed 5 in
+          let pat = H.random_pattern rng (G.source g') 6 in
+          Alcotest.(check bool) (label ^ ": old index still answers") true
+            (G.query g_old ~pattern:pat ~tau:0.3
+            = G.query g' ~pattern:pat ~tau:0.3)))
+    cases
+
+(* ENOSPC in the middle of a multi-chunk stream: the writer flushes in
+   256 KiB chunks, so a big enough container issues several write
+   calls; failing the 3rd lands mid-stream, right at a chunk
+   boundary. *)
+let test_fault_enospc_chunk_boundary () =
+  let g_old, _ = make_engines () in
+  let rng = H.rng_of_seed 4321 in
+  let g_big = G.build ~tau_min:0.1 (H.random_ustring rng 3000 4 3) in
+  with_tmp (fun path ->
+      G.save g_old path;
+      let old_bytes = read_file path in
+      with_faults (fun () ->
+          (* count the clean save's writes first: the boundary case is
+             only meaningful if the container really spans chunks *)
+          F.arm "storage.write" F.Noop F.Always;
+          with_tmp (fun scratch -> G.save g_big scratch);
+          let writes = F.hit_count "storage.write" in
+          Alcotest.(check bool) "container spans several chunked writes"
+            true (writes >= 3);
+          F.disarm_all ();
+          F.arm "storage.write" (F.Raise Unix.ENOSPC) (F.Nth 3);
+          match G.save g_big path with
+          | () -> Alcotest.fail "mid-stream ENOSPC should surface"
+          | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+      Alcotest.(check bool)
+        "destination byte-identical after mid-stream ENOSPC" true
+        (read_file path = old_bytes);
+      no_temp_left path;
+      ignore (G.load path : G.t))
+
+(* A fault *after* the rename (the directory fsync) surfaces the error
+   but must leave the new container complete and valid. *)
+let test_fault_after_rename_leaves_new () =
+  let g_old, g_new = make_engines () in
+  with_tmp (fun path ->
+      G.save g_old path;
+      with_faults (fun () ->
+          (* hit 1 = data-file fsync (passes), hit 2 = directory fsync *)
+          F.arm "storage.fsync" (F.Raise Unix.EIO) (F.Nth 2);
+          match G.save g_new path with
+          | () -> Alcotest.fail "dir-fsync fault should surface"
+          | exception Unix.Unix_error (Unix.EIO, _, _) -> ());
+      no_temp_left path;
+      let expected = with_tmp (fun p2 -> G.save g_new p2; read_file p2) in
+      Alcotest.(check bool) "destination is the complete new container" true
+        (read_file path = expected);
+      ignore (G.load path : G.t))
+
+(* Short writes and EINTR are not failures: the writer resumes and the
+   result is byte-identical to an unfaulted save. *)
+let test_fault_short_write_resumes () =
+  let _, g = make_engines () in
+  let clean = with_tmp (fun p -> G.save g p; read_file p) in
+  List.iter
+    (fun (label, spec) ->
+      with_tmp (fun path ->
+          with_faults (fun () ->
+              F.arm_spec spec;
+              G.save g path;
+              Alcotest.(check bool) (label ^ ": writes were instrumented")
+                true
+                (F.hit_count "storage.write" > 0));
+          Alcotest.(check bool) (label ^ ": byte-identical to clean save")
+            true
+            (read_file path = clean)))
+    [
+      ("short 64", "storage.write:short:64");
+      ("short 1 every 3rd", "storage.write:short:1@every:3");
+      ("eintr every 2nd", "storage.write:eintr@every:2");
+    ]
+
+(* Crash mid-save: re-exec this test binary as a child that arms an
+   abort-on-write failpoint (the hook below) and dies inside the save
+   via Unix._exit 70 — no unwinding, no buffers flushed, as close to
+   kill -9 as a test gets. (A plain fork is off the table: the domain
+   pool's domains are already running by the time this suite runs.)
+   The parent then proves the destination never changed. *)
+let abort_child_env = "PTI_TEST_ABORT_CHILD"
+
+let test_fault_abort_mid_save () =
+  let g_old, _ = make_engines () in
+  with_tmp (fun path ->
+      G.save g_old path;
+      let old_bytes = read_file path in
+      let env =
+        Array.append (Unix.environment ())
+          [| abort_child_env ^ "=" ^ path |]
+      in
+      let exe = Sys.executable_name in
+      let child =
+        Unix.create_process_env exe [| exe |] env Unix.stdin Unix.stdout
+          Unix.stderr
+      in
+      let rec wait () =
+        try Unix.waitpid [] child
+        with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      match wait () with
+      | _, Unix.WEXITED 70 ->
+          (* the crashed save's temp file carries the child's pid *)
+          let orphan = Printf.sprintf "%s.tmp.%d" path child in
+          if Sys.file_exists orphan then Sys.remove orphan;
+          Alcotest.(check bool)
+            "destination byte-identical after mid-save crash" true
+            (read_file path = old_bytes);
+          ignore (G.load path : G.t)
+      | _, status ->
+          let s =
+            match status with
+            | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stop %d" s
+          in
+          Alcotest.failf "child should _exit 70 at the failpoint, got %s" s)
+
+(* The child half of the abort test: runs before Alcotest when the env
+   marker is set, arms the failpoint, and attempts the overwrite that
+   must die mid-write. *)
+let () =
+  match Sys.getenv_opt abort_child_env with
+  | None -> ()
+  | Some path ->
+      F.arm "storage.write" F.Abort (F.Nth 1);
+      let _, g_new = make_engines () in
+      (try G.save g_new path with _ -> ());
+      exit 9 (* only reached if the failpoint did not abort *)
+
+(* The legacy (pre-container) savers share the same atomic_save
+   protocol. *)
+let test_fault_legacy_save_keeps_old () =
+  let g_old, g_new = make_engines () in
+  with_tmp (fun path ->
+      G.save_legacy g_old path;
+      let old_bytes = read_file path in
+      with_faults (fun () ->
+          F.arm "storage.fsync" (F.Raise Unix.EIO) (F.Nth 1);
+          match G.save_legacy g_new path with
+          | () -> Alcotest.fail "legacy save should have failed"
+          | exception Unix.Unix_error (Unix.EIO, _, _) -> ());
+      Alcotest.(check bool) "legacy destination untouched" true
+        (read_file path = old_bytes);
+      no_temp_left path;
+      ignore (G.load path : G.t))
+
 let () =
   Alcotest.run "pti_storage"
     [
@@ -669,4 +869,19 @@ let () =
         ] );
       ( "legacy",
         [ Alcotest.test_case "marshalled format loads" `Quick test_legacy_roundtrip ] );
+      ( "fault",
+        [
+          Alcotest.test_case "failed save keeps old container" `Quick
+            test_fault_save_keeps_old;
+          Alcotest.test_case "ENOSPC at a chunk boundary" `Quick
+            test_fault_enospc_chunk_boundary;
+          Alcotest.test_case "post-rename fault leaves new container" `Quick
+            test_fault_after_rename_leaves_new;
+          Alcotest.test_case "short writes and EINTR resume" `Quick
+            test_fault_short_write_resumes;
+          Alcotest.test_case "abort mid-save (fork)" `Quick
+            test_fault_abort_mid_save;
+          Alcotest.test_case "failed legacy save keeps old file" `Quick
+            test_fault_legacy_save_keeps_old;
+        ] );
     ]
