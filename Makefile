@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par bench-io bench-space bench-serve serve-smoke chaos-smoke clean
+.PHONY: check check-par bench bench-par bench-io bench-space bench-serve bench-multicore serve-smoke chaos-smoke clean
 
 check:
 	dune build @all
@@ -22,11 +22,18 @@ bench-io:
 bench-space:
 	dune exec bench/main.exe -- space
 
-# Serving: loadgen against the TCP daemon, heap vs mmap engines at
-# concurrency 1/8/64; writes BENCH_SERVE.json (with recommended_domains
-# and single_core so single-core numbers are not mistaken for scaling).
+# Serving: loadgen against the TCP daemon — heap vs mmap engines at
+# concurrency 1/8/64 plus the workers x concurrency multicore sweep;
+# writes BENCH_SERVE.json (every reply verified byte-for-byte, with
+# affinity_cores/raw_processor_count so single-core numbers are not
+# mistaken for scaling).
 bench-serve:
 	dune exec bench/main.exe -- serve
+
+# Just the multicore scaling sweep (workers 1/2/4/8 x concurrency
+# 1/8/64/256, mmap backend, verified replies); writes BENCH_SERVE.json.
+bench-multicore:
+	dune exec bench/main.exe -- multicore
 
 # End-to-end daemon smoke: gen -> build -> serve -> loadgen --check.
 serve-smoke:

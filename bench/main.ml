@@ -623,11 +623,19 @@ let abl_persist () =
    and writes machine-readable BENCH_PAR.json. *)
 
 (* Host parallelism descriptor included in every bench JSON: downstream
-   comparisons must discard speedup numbers from single-core hosts. *)
+   comparisons must discard speedup numbers from single-core hosts.
+   [recommended_domains] is affinity-aware (cpuset/taskset restrictions
+   in containerised CI count); [raw_processor_count] is the machine's
+   processor count ignoring the mask — both are recorded so a
+   restricted host is labelled honestly instead of looking multicore. *)
 let host_json_fields () =
   let d = Pti_parallel.num_domains () in
-  Printf.sprintf "\"recommended_domains\": %d,\n  \"single_core\": %b," d
-    (d <= 1)
+  let affinity = Pti_parallel.available_cores () in
+  let raw = Pti_parallel.raw_processor_count () in
+  Printf.sprintf
+    "\"recommended_domains\": %d,\n  \"affinity_cores\": %d,\n  \
+     \"raw_processor_count\": %d,\n  \"single_core\": %b,"
+    d affinity raw (affinity <= 1)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -722,10 +730,10 @@ let par () =
       Printf.fprintf oc
         "{\n  \"experiment\": \"par\",\n  \"n\": %d,\n  \"theta\": %g,\n\
         \  \"tau_min\": %g,\n  \"text_len\": %d,\n  \"n_queries\": %d,\n\
-        \  \"recommended_domains\": %d,\n  \"single_core\": %b,\n\
+        \  %s\n\
         \  \"transform_s\": %.4f,\n\
         \  \"note\": \"%s\",\n  \"results\": [\n"
-        n theta tau_min text_len (Array.length patterns) max_d (max_d <= 1)
+        n theta tau_min text_len (Array.length patterns) (host_json_fields ())
         transform_s
         (json_escape
            ("engine build only; the shared general->special transform is \
@@ -972,15 +980,22 @@ let space () =
   Printf.printf "   wrote BENCH_SPACE.json\n"
 
 (* ------------------------------------------------------------------ *)
-(* serve: the TCP daemon end to end (DESIGN.md §10) — loadgen
-   throughput and client-side latency percentiles at several
-   concurrency levels, with the served engines either heap-resident
-   (built in-process) or behind the mmap container + LRU cache exactly
-   as `pti serve` runs them. Writes BENCH_SERVE.json. *)
+(* serve: the TCP daemon end to end (DESIGN.md §10/§12). Two row
+   families go into BENCH_SERVE.json: "results" — loadgen throughput
+   and client-side latency percentiles at several concurrency levels,
+   heap-resident engines vs the mmap container + sharded LRU cache
+   exactly as `pti serve` runs them — and "multicore" — the scaling
+   sweep (workers 1/2/4/8 × concurrency 1/8/64/256, mmap backend) with
+   byte-for-byte verification of every reply, so batched worker
+   dispatch is proven identical to direct engine queries while it is
+   being measured. The `multicore` experiment alias runs only the
+   sweep. *)
 
-let serve_bench () =
+let serve_bench ?(sweep_only = false) () =
   let module Server = Pti_server.Server in
   let module Loadgen = Pti_server.Loadgen in
+  let module Ec = Pti_server.Engine_cache in
+  let module SP = Pti_server.Protocol in
   let n = if !smoke then 5_000 else if !fast then 20_000 else 100_000 in
   let theta = 0.3 in
   let u = dataset ~n ~theta in
@@ -990,15 +1005,58 @@ let serve_bench () =
   let gpath = Filename.temp_file "pti_bench_serve" ".idx" in
   let lpath = Filename.temp_file "pti_bench_serve" ".idx" in
   let workers = Pti_parallel.num_domains () in
-  let duration_s = if !smoke then 0.5 else if !fast then 1.0 else 2.0 in
+  let cores = Pti_parallel.available_cores () in
+  let duration_s = if !smoke then 0.4 else if !fast then 1.0 else 2.0 in
   let concurrencies = [ 1; 8; 64 ] in
   let mix = { Loadgen.query = 8; top_k = 1; listing = 1 } in
-  print_header "serve: TCP daemon throughput and latency under load"
+  (* Byte-for-byte verification against the in-process engines: floats
+     travel as raw IEEE-754 bits, so [=] on the decoded hits is exact
+     equality with a direct engine query. *)
+  let verifier =
+    let handles = [| Ec.General g; Ec.Listing l |] in
+    let wire hits = List.map (fun (key, p) -> (key, Logp.to_log p)) hits in
+    fun op reply ->
+      let check index direct =
+        index >= 0
+        && index < Array.length handles
+        &&
+        match reply with
+        | SP.Hits hs -> (
+            match direct handles.(index) with
+            | Some want -> hs = wire want
+            | None -> false)
+        | _ -> false
+      in
+      try
+        match op with
+        | SP.Query { index; pattern; tau } ->
+            let pattern = Sym.of_string pattern in
+            check index (function
+              | Ec.General g -> Some (G.query g ~pattern ~tau)
+              | Ec.Listing l -> Some (L.query l ~pattern ~tau))
+        | SP.Top_k { index; pattern; tau; k } ->
+            let pattern = Sym.of_string pattern in
+            check index (function
+              | Ec.General g -> Some (G.query_top_k g ~pattern ~tau ~k)
+              | Ec.Listing l -> Some (L.query_top_k l ~pattern ~tau ~k))
+        | SP.Listing { index; pattern; tau } ->
+            let pattern = Sym.of_string pattern in
+            check index (function
+              | Ec.Listing l -> Some (L.query l ~pattern ~tau)
+              | Ec.General _ -> None)
+        | SP.Stats | SP.Ping | SP.Slow _ -> true
+      with _ -> false
+  in
+  let row_errors (r : Loadgen.result) =
+    List.fold_left (fun a (_, c) -> a + c) 0 r.Loadgen.errors
+    + r.Loadgen.protocol_failures + r.Loadgen.verify_failures
+  in
+  print_header "serve: TCP daemon throughput, latency and scaling"
     (Printf.sprintf
-       "n=%d theta=%.1f tau=%.2f; %d worker domain(s), mix \
-        query=8,topk=1,listing=1, %.1fs per point; latencies are exact \
-        client-side percentiles"
-       n theta tau_default workers duration_s);
+       "n=%d theta=%.1f tau=%.2f; %d worker domain(s) default, %d usable \
+        core(s), mix query=8,topk=1,listing=1, %.1fs per point; every \
+        reply verified byte-for-byte against direct engine queries"
+       n theta tau_default workers cores duration_s);
   Fun.protect
     ~finally:(fun () ->
       Sys.remove gpath;
@@ -1006,19 +1064,19 @@ let serve_bench () =
     (fun () ->
       G.save g gpath;
       L.save l lpath;
-      let backends =
-        [
-          ("heap", [ Server.Source_general g; Server.Source_listing l ]);
-          ("mmap", [ Server.Source_file gpath; Server.Source_file lpath ]);
-        ]
-      in
-      Printf.printf "%8s %6s %10s %10s %10s %10s %10s %10s %8s\n" "engines"
-        "conc" "req/s" "mean_us" "p50_us" "p95_us" "p99_us" "max_us" "errors";
-      let rows =
+      let run_rows ~label ~concurrencies configs =
+        Printf.printf "%10s %8s %6s %10s %10s %10s %10s %8s %8s\n" label
+          "workers" "conc" "req/s" "p50_us" "p95_us" "p99_us" "errors"
+          "verify";
         List.concat_map
-          (fun (backend, sources) ->
+          (fun (tag, w, sources) ->
             let config =
-              { Server.default_config with port = 0; workers; queue_cap = 4096 }
+              {
+                Server.default_config with
+                port = 0;
+                workers = w;
+                queue_cap = 8192;
+              }
             in
             let srv = Server.create ~config sources in
             let d = Domain.spawn (fun () -> Server.run srv) in
@@ -1031,21 +1089,52 @@ let serve_bench () =
                   (fun concurrency ->
                     let r =
                       Loadgen.run ~port:(Server.port srv) ~concurrency
-                        ~duration_s ~index:0 ~listing_index:1
+                        ~duration_s ~verify:verifier ~index:0 ~listing_index:1
                         ~lengths:[ 4; 8 ] ~tau:tau_default ~mix ~source:u ()
                     in
-                    let errors =
-                      List.fold_left (fun a (_, c) -> a + c) 0 r.Loadgen.errors
-                      + r.Loadgen.protocol_failures + r.Loadgen.verify_failures
-                    in
                     Printf.printf
-                      "%8s %6d %10.0f %10.1f %10.1f %10.1f %10.1f %10.1f %8d\n%!"
-                      backend concurrency r.Loadgen.throughput_rps
-                      r.Loadgen.mean_us r.Loadgen.p50_us r.Loadgen.p95_us
-                      r.Loadgen.p99_us r.Loadgen.max_us errors;
-                    (backend, concurrency, r))
+                      "%10s %8d %6d %10.0f %10.1f %10.1f %10.1f %8d %8d\n%!"
+                      tag w concurrency r.Loadgen.throughput_rps
+                      r.Loadgen.p50_us r.Loadgen.p95_us r.Loadgen.p99_us
+                      (row_errors r) r.Loadgen.verify_failures;
+                    (tag, w, concurrency, r))
                   concurrencies))
-          backends
+          configs
+      in
+      let backend_rows =
+        if sweep_only then []
+        else
+          run_rows ~label:"engines" ~concurrencies
+            [
+              ("heap", workers,
+               [ Server.Source_general g; Server.Source_listing l ]);
+              ("mmap", workers,
+               [ Server.Source_file gpath; Server.Source_file lpath ]);
+            ]
+      in
+      let workers_list =
+        if !smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ]
+      in
+      (* the scaling profile proper reaches deeper concurrency than the
+         backend-comparison rows; smoke/fast stop at 64 for CI budget *)
+      let sweep_concurrencies =
+        if !fast then [ 1; 8; 64 ] else [ 1; 8; 64; 256 ]
+      in
+      let mmap_sources = [ Server.Source_file gpath; Server.Source_file lpath ] in
+      let mc_rows =
+        run_rows ~label:"multicore" ~concurrencies:sweep_concurrencies
+          (List.map (fun w -> (Printf.sprintf "w%d" w, w, mmap_sources))
+             workers_list)
+      in
+      let speedup w concurrency r =
+        match
+          List.find_opt (fun (_, w', c', _) -> w' = 1 && c' = concurrency)
+            mc_rows
+        with
+        | Some (_, _, _, base)
+          when w > 1 && base.Loadgen.throughput_rps > 0.0 ->
+            r.Loadgen.throughput_rps /. base.Loadgen.throughput_rps
+        | _ -> 1.0
       in
       let oc = open_out "BENCH_SERVE.json" in
       Fun.protect
@@ -1061,25 +1150,43 @@ let serve_bench () =
             n theta tau_default tau_min_default workers duration_s
             (host_json_fields ())
             (json_escape
-               ("one server (binary protocol, bounded queue, worker \
-                 domains), one Loadgen client pool per row; heap = engines \
-                 built in-process, mmap = PTI-ENGINE-4 containers resolved \
-                 through the LRU cache. latency percentiles are exact \
-                 client-side measurements."
+               ("one server (binary protocol, bounded queue, batched worker \
+                 domains, epoll accept loop), one Loadgen client pool per \
+                 row; heap = engines built in-process, mmap = PTI-ENGINE-4 \
+                 containers resolved through the sharded LRU cache. every \
+                 reply is verified byte-for-byte against a direct engine \
+                 query (verify_failures counts mismatches). latency \
+                 percentiles are exact client-side measurements. multicore \
+                 rows sweep worker domains on the mmap backend; cores is \
+                 the affinity-aware usable core count per row."
                ^
-               if workers <= 1 then
+               if cores <= 1 then
                  " WARNING: single-core host — the accept loop, the worker \
                   and the load generator all share one core, so throughput \
-                  is a floor, not a measurement of scaling."
+                  is a floor and multicore speedups cannot exceed 1; rerun \
+                  on a multicore host."
                else ""));
           List.iteri
-            (fun i (backend, concurrency, r) ->
+            (fun i (backend, _, concurrency, r) ->
               Printf.fprintf oc
                 "    {\"engines\": \"%s\", \"concurrency\": %d, %s}%s\n"
                 backend concurrency
                 (Loadgen.to_json_fields r)
-                (if i = List.length rows - 1 then "" else ","))
-            rows;
+                (if i = List.length backend_rows - 1 then "" else ","))
+            backend_rows;
+          Printf.fprintf oc "  ],\n  \"multicore\": [\n";
+          List.iteri
+            (fun i (_, w, concurrency, r) ->
+              Printf.fprintf oc
+                "    {\"workers\": %d, \"concurrency\": %d, \"cores\": %d, \
+                 \"raw_processor_count\": %d, \"speedup_vs_workers1\": %.3f, \
+                 %s}%s\n"
+                w concurrency cores
+                (Pti_parallel.raw_processor_count ())
+                (speedup w concurrency r)
+                (Loadgen.to_json_fields r)
+                (if i = List.length mc_rows - 1 then "" else ","))
+            mc_rows;
           Printf.fprintf oc "  ]\n}\n"));
   Printf.printf "   wrote BENCH_SERVE.json\n"
 
@@ -1177,7 +1284,11 @@ let experiments =
     ("io", io);
     ("space", space);
     ("par", par);
-    ("serve", serve_bench);
+    ("serve", fun () -> serve_bench ());
+    (* Only the workers × concurrency scaling sweep (the "multicore"
+       rows of BENCH_SERVE.json); "serve" already includes it, so the
+       alias is excluded from the default run-everything selection. *)
+    ("multicore", serve_bench ~sweep_only:true);
     ("micro", micro);
   ]
 
@@ -1199,7 +1310,8 @@ let () =
   in
   let selected =
     match args with
-    | [] -> List.map fst experiments
+    | [] ->
+        List.filter (fun n -> n <> "multicore") (List.map fst experiments)
     | names ->
         List.iter
           (fun n ->

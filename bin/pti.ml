@@ -296,9 +296,13 @@ module Ec = Pti_server.Engine_cache
 module SP = Pti_server.Protocol
 
 let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
-    debug_slow send_timeout_ms drain_timeout_ms =
+    debug_slow send_timeout_ms drain_timeout_ms max_conns max_json_line
+    batch_max =
   run_checked @@ fun () ->
   if indexes = [] then failwith "serve: pass at least one index file";
+  if max_conns < 1 then failwith "serve: --max-conns must be >= 1";
+  if max_json_line < 64 then failwith "serve: --max-json-line must be >= 64";
+  if batch_max < 1 then failwith "serve: --batch-max must be >= 1";
   let config =
     {
       Server.host;
@@ -312,6 +316,9 @@ let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
       debug_slow;
       send_timeout_ms;
       drain_timeout_ms;
+      max_conns;
+      max_json_line;
+      batch_max;
     }
   in
   let srv =
@@ -628,12 +635,42 @@ let serve_cmd =
           ~doc:"On SIGTERM/SIGINT, let queued requests finish for this \
                 long before answering the rest shutting_down.")
   in
+  let max_conns =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent connection cap; accepts beyond it are closed \
+                immediately (counted as connections_shed). The epoll \
+                loop has no FD_SETSIZE ceiling, so this may exceed 1024 \
+                up to the process fd limit. Must be >= 1 (exit 2 \
+                otherwise).")
+  in
+  let max_json_line =
+    Arg.(
+      value & opt int SP.max_json_line
+      & info [ "max-json-line" ] ~docv:"BYTES"
+          ~doc:"Longest accepted line of the newline-delimited JSON \
+                fallback protocol; a connection exceeding it without a \
+                newline is answered bad_request and closed. Must be >= \
+                64 (exit 2 otherwise).")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 32
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Most requests a worker domain drains from the queue in \
+                one batch (compatible queries execute as one \
+                query_batch call; replies are byte-identical to \
+                unbatched dispatch). 1 disables batching. Must be >= 1 \
+                (exit 2 otherwise).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve saved indexes over TCP.")
     Term.(
       const serve $ indexes $ host_arg $ port_arg ~default:7071 $ workers
       $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow
-      $ send_timeout_ms $ drain_timeout_ms)
+      $ send_timeout_ms $ drain_timeout_ms $ max_conns $ max_json_line
+      $ batch_max)
 
 let loadgen_cmd =
   let concurrency =

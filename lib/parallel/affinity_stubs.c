@@ -1,0 +1,35 @@
+/* CPU-affinity-aware core counting.  Domain.recommended_domain_count
+   reports the raw processor count, which overstates what a cpuset- or
+   taskset-restricted process (containerised CI) may actually use; the
+   affinity mask is the truth on Linux. */
+#define _GNU_SOURCE
+#include <caml/mlvalues.h>
+
+#if defined(__linux__)
+#include <sched.h>
+
+CAMLprim value pti_affinity_cores(value unit)
+{
+  cpu_set_t set;
+  (void)unit;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0)
+    return Val_int(CPU_COUNT(&set));
+  return Val_int(-1);
+}
+
+#else
+#include <unistd.h>
+
+CAMLprim value pti_affinity_cores(value unit)
+{
+  (void)unit;
+#ifdef _SC_NPROCESSORS_ONLN
+  {
+    long n = sysconf(_SC_NPROCESSORS_ONLN);
+    if (n >= 1)
+      return Val_int((int)n);
+  }
+#endif
+  return Val_int(-1);
+}
+#endif

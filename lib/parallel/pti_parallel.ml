@@ -19,10 +19,48 @@ let parse_domains s =
   | Some _ -> 1
   | None -> 1
 
+external affinity_mask_cores : unit -> int = "pti_affinity_cores"
+
+let raw_processor_count () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+(* [nproc] honours cpuset/affinity restrictions like the stub does;
+   it is the fallback when [sched_getaffinity] is unavailable. *)
+let nproc_cores () =
+  match
+    let ic = Unix.open_process_in "nproc 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> int_of_string_opt (String.trim line)
+    | _ -> None
+  with
+  | v -> v
+  | exception _ -> None
+
+(* Memoized: the affinity mask is fixed for the process lifetime in
+   every deployment this cares about (a racing first call recomputes
+   the same value, which is benign). *)
+let available_cores_memo = ref None
+
+let available_cores () =
+  match !available_cores_memo with
+  | Some n -> n
+  | None ->
+      let n =
+        match affinity_mask_cores () with
+        | n when n >= 1 -> n
+        | _ -> (
+            match nproc_cores () with
+            | Some n when n >= 1 -> n
+            | _ -> raw_processor_count ())
+      in
+      let n = Stdlib.min n max_domains in
+      available_cores_memo := Some n;
+      n
+
 let num_domains () =
   match Sys.getenv_opt "PTI_DOMAINS" with
   | Some s -> parse_domains s
-  | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+  | None -> Stdlib.max 1 (available_cores ())
 
 type pool = {
   m : Mutex.t;
@@ -303,6 +341,53 @@ module Bqueue = struct
         q.head <- (q.head + 1) mod q.cap;
         q.len <- q.len - 1;
         x
+      end
+    in
+    Mutex.unlock q.m;
+    r
+
+  (* Greedy batched pop: never waits once at least one element is
+     available, so batching amortises dispatch without adding latency.
+     There is no timed [Condition.wait] in the stdlib: an infinite
+     [deadline] blocks on the condition (zero wake-up latency — the
+     server's workers use this and rely on [close] to wake up), a
+     finite one polls the clock at sub-millisecond granularity (tests
+     and callers that must time out). *)
+  let pop_batch q ~max ~deadline =
+    if max < 1 then invalid_arg "Bqueue.pop_batch: max < 1";
+    Mutex.lock q.m;
+    let rec wait () =
+      if q.len > 0 || q.closed then true
+      else if deadline = infinity then begin
+        Condition.wait q.nonempty q.m;
+        wait ()
+      end
+      else begin
+        let now = Unix.gettimeofday () in
+        if now >= deadline then false
+        else begin
+          Mutex.unlock q.m;
+          Unix.sleepf (Float.min 0.0005 (deadline -. now));
+          Mutex.lock q.m;
+          wait ()
+        end
+      end
+    in
+    let r =
+      if not (wait ()) then Some [] (* deadline expired while empty *)
+      else if q.len = 0 then None (* closed and drained *)
+      else begin
+        let n = Stdlib.min max q.len in
+        let items = ref [] in
+        for _ = 1 to n do
+          (match q.buf.(q.head) with
+          | Some x -> items := x :: !items
+          | None -> assert false);
+          q.buf.(q.head) <- None;
+          q.head <- (q.head + 1) mod q.cap;
+          q.len <- q.len - 1
+        done;
+        Some (List.rev !items)
       end
     in
     Mutex.unlock q.m;

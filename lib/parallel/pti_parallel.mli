@@ -28,8 +28,19 @@
 
 val num_domains : unit -> int
 (** The default degree of parallelism: [PTI_DOMAINS] if set (parsed
-    with {!parse_domains}), else [Domain.recommended_domain_count ()].
-    Always >= 1. *)
+    with {!parse_domains}), else {!available_cores}. Always >= 1. *)
+
+val available_cores : unit -> int
+(** Cores this {e process} may actually run on: the CPU affinity mask
+    ([sched_getaffinity], which respects cpusets/taskset — the truth in
+    containerised CI), falling back to [nproc] and finally to
+    {!raw_processor_count}. Memoized; always >= 1. *)
+
+val raw_processor_count : unit -> int
+(** [Domain.recommended_domain_count ()], i.e. the machine's processor
+    count {e ignoring} any affinity restriction. Benchmarks record both
+    this and {!available_cores} so scaling numbers from restricted
+    hosts are labelled honestly. *)
 
 val parse_domains : string -> int
 (** Parse a [PTI_DOMAINS]-style value. Garbage, [0] and negative values
@@ -92,6 +103,18 @@ module Bqueue : sig
   (** Dequeue, blocking while the queue is empty and open. [None] once
       the queue is closed {e and} drained (elements pushed before the
       close are still delivered). *)
+
+  val pop_batch : 'a t -> max:int -> deadline:float -> 'a list option
+  (** Dequeue up to [max] elements in FIFO order, greedily: once at
+      least one element is available, everything already queued (up to
+      [max]) is taken without waiting for more — batching amortises
+      per-element dispatch cost but never delays delivery. Blocks while
+      the queue is empty and open, until [deadline] (a
+      [Unix.gettimeofday] instant; [infinity] blocks indefinitely with
+      zero wake-up latency, a finite deadline is honoured at
+      sub-millisecond granularity). Returns [Some []] when the deadline
+      expired while empty, [None] once the queue is closed and drained.
+      Raises [Invalid_argument] if [max < 1]. *)
 
   val close : 'a t -> unit
   (** Reject subsequent pushes and wake every blocked consumer.

@@ -19,10 +19,13 @@ let load_handle ?verify path =
 
 type entry = { handle : handle; mutable last_use : int }
 
-type t = {
+(* One shard = the whole former cache (own mutex, own LRU clock, own
+   capacity slice, own counters). Paths hash to a fixed shard, so
+   worker domains serving disjoint index files never contend on one
+   lock — the shared-lock hot spot the single-mutex cache had. *)
+type shard = {
   m : Mutex.t;
   capacity : int;
-  verify : bool;
   tbl : (string, entry) Hashtbl.t;
   mutable tick : int;
   mutable hits : int;
@@ -30,45 +33,60 @@ type t = {
   mutable open_failures : int;
 }
 
-let create ?(verify = true) ~capacity () =
+type t = { shards : shard array; verify : bool }
+
+let create ?(verify = true) ~capacity ?(shards = 1) () =
   if capacity < 1 then invalid_arg "Engine_cache.create: capacity < 1";
+  if shards < 1 then invalid_arg "Engine_cache.create: shards < 1";
+  (* capacity is a true global bound: every shard needs at least one
+     slot, so the shard count is capped by the capacity *)
+  let n = Stdlib.min shards capacity in
+  let slice i = (capacity / n) + if i < capacity mod n then 1 else 0 in
   {
-    m = Mutex.create ();
-    capacity;
     verify;
-    tbl = Hashtbl.create 8;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    open_failures = 0;
+    shards =
+      Array.init n (fun i ->
+          {
+            m = Mutex.create ();
+            capacity = slice i;
+            tbl = Hashtbl.create 8;
+            tick = 0;
+            hits = 0;
+            misses = 0;
+            open_failures = 0;
+          });
   }
 
-let evict_lru t =
+let n_shards t = Array.length t.shards
+let shard_of t path = t.shards.(Hashtbl.hash path mod Array.length t.shards)
+
+let evict_lru sh =
   let victim = ref None in
   Hashtbl.iter
     (fun path e ->
       match !victim with
       | Some (_, last) when last <= e.last_use -> ()
       | _ -> victim := Some (path, e.last_use))
-    t.tbl;
+    sh.tbl;
   match !victim with
-  | Some (path, _) -> Hashtbl.remove t.tbl path
+  | Some (path, _) -> Hashtbl.remove sh.tbl path
   | None -> ()
 
 let get t ?metrics path =
-  Mutex.lock t.m;
+  let sh = shard_of t path in
+  Mutex.lock sh.m;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.m)
+    ~finally:(fun () -> Mutex.unlock sh.m)
     (fun () ->
-      t.tick <- t.tick + 1;
-      match Hashtbl.find_opt t.tbl path with
+      sh.tick <- sh.tick + 1;
+      match Hashtbl.find_opt sh.tbl path with
       | Some e ->
-          e.last_use <- t.tick;
-          t.hits <- t.hits + 1;
+          e.last_use <- sh.tick;
+          sh.hits <- sh.hits + 1;
           Option.iter Metrics.incr_cache_hit metrics;
           e.handle
       | None ->
-          t.misses <- t.misses + 1;
+          sh.misses <- sh.misses + 1;
           Option.iter Metrics.incr_cache_miss metrics;
           let handle =
             (* A failed open must not poison the cache: make sure no
@@ -77,55 +95,62 @@ let get t ?metrics path =
                into a typed error reply. *)
             try load_handle ~verify:t.verify path
             with e ->
-              Hashtbl.remove t.tbl path;
-              t.open_failures <- t.open_failures + 1;
+              Hashtbl.remove sh.tbl path;
+              sh.open_failures <- sh.open_failures + 1;
               Option.iter Metrics.incr_cache_open_failure metrics;
               raise e
           in
-          if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
-          Hashtbl.replace t.tbl path { handle; last_use = t.tick };
+          if Hashtbl.length sh.tbl >= sh.capacity then evict_lru sh;
+          Hashtbl.replace sh.tbl path { handle; last_use = sh.tick };
           handle)
 
 (* Reopen every cached path and swap in the fresh handle; evict entries
    whose file no longer opens (deleted, replaced with garbage, corrupt).
    Used by the SIGHUP hot-reload path: after an index file is atomically
    rewritten, revalidation picks up the new contents without restarting
-   the daemon. *)
+   the daemon. Shards are revalidated one at a time — gets on other
+   shards proceed while one shard reloads. *)
 let revalidate t ?metrics () =
-  Mutex.lock t.m;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.m)
-    (fun () ->
-      let paths = Hashtbl.fold (fun p _ acc -> p :: acc) t.tbl [] in
-      List.filter_map
-        (fun path ->
-          match load_handle ~verify:t.verify path with
-          | handle ->
-              (match Hashtbl.find_opt t.tbl path with
-              | Some e -> Hashtbl.replace t.tbl path { e with handle }
-              | None -> ());
-              None
-          | exception e ->
-              Hashtbl.remove t.tbl path;
-              t.open_failures <- t.open_failures + 1;
-              Option.iter Metrics.incr_cache_open_failure metrics;
-              Some (path, e))
-        paths)
+  Array.to_list t.shards
+  |> List.concat_map (fun sh ->
+         Mutex.lock sh.m;
+         Fun.protect
+           ~finally:(fun () -> Mutex.unlock sh.m)
+           (fun () ->
+             let paths = Hashtbl.fold (fun p _ acc -> p :: acc) sh.tbl [] in
+             List.filter_map
+               (fun path ->
+                 match load_handle ~verify:t.verify path with
+                 | handle ->
+                     (match Hashtbl.find_opt sh.tbl path with
+                     | Some e -> Hashtbl.replace sh.tbl path { e with handle }
+                     | None -> ());
+                     None
+                 | exception e ->
+                     Hashtbl.remove sh.tbl path;
+                     sh.open_failures <- sh.open_failures + 1;
+                     Option.iter Metrics.incr_cache_open_failure metrics;
+                     Some (path, e))
+               paths))
 
-let hits t =
-  Mutex.lock t.m;
-  let h = t.hits in
-  Mutex.unlock t.m;
-  h
+let sum_shards t f =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.m;
+      let v = f sh in
+      Mutex.unlock sh.m;
+      acc + v)
+    0 t.shards
 
-let misses t =
-  Mutex.lock t.m;
-  let m = t.misses in
-  Mutex.unlock t.m;
-  m
+let hits t = sum_shards t (fun sh -> sh.hits)
+let misses t = sum_shards t (fun sh -> sh.misses)
+let open_failures t = sum_shards t (fun sh -> sh.open_failures)
 
-let open_failures t =
-  Mutex.lock t.m;
-  let f = t.open_failures in
-  Mutex.unlock t.m;
-  f
+let shard_stats t =
+  Array.map
+    (fun sh ->
+      Mutex.lock sh.m;
+      let v = (sh.hits, sh.misses, sh.open_failures, Hashtbl.length sh.tbl) in
+      Mutex.unlock sh.m;
+      v)
+    t.shards

@@ -1,0 +1,181 @@
+/* Readiness-polling stubs for the server's accept loop: epoll(7) on
+   Linux, poll(2) everywhere.  Both backends compile wherever they
+   exist (the poll fallback is always present), so the OCaml side can
+   select one at runtime and tests exercise the fallback even on hosts
+   that have epoll.
+
+   All fd arguments are immediates (Unix.file_descr is an int on
+   POSIX), so they are extracted before the runtime lock is released
+   around the blocking wait. */
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/signals.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#define PTI_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#endif
+
+CAMLprim value pti_epoll_available(value unit)
+{
+  (void)unit;
+#ifdef PTI_HAVE_EPOLL
+  return Val_true;
+#else
+  return Val_false;
+#endif
+}
+
+#ifdef PTI_HAVE_EPOLL
+
+CAMLprim value pti_epoll_create(value unit)
+{
+  int fd;
+  (void)unit;
+  fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0)
+    caml_failwith("epoll_create1 failed");
+  return Val_int(fd);
+}
+
+CAMLprim value pti_epoll_add(value vep, value vfd)
+{
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  /* Level-triggered readable; ERR/HUP are always reported and the
+     owner discovers them through the subsequent read(). */
+  ev.events = EPOLLIN;
+  ev.data.fd = Int_val(vfd);
+  if (epoll_ctl(Int_val(vep), EPOLL_CTL_ADD, Int_val(vfd), &ev) != 0
+      && errno != EEXIST)
+    caml_failwith("epoll_ctl(ADD) failed");
+  return Val_unit;
+}
+
+CAMLprim value pti_epoll_del(value vep, value vfd)
+{
+  struct epoll_event ev; /* non-NULL event for pre-2.6.9 kernels */
+  memset(&ev, 0, sizeof(ev));
+  /* Removing an fd that is not registered (or already closed) is a
+     no-op: deregistration must be idempotent for the sweep paths. */
+  (void)epoll_ctl(Int_val(vep), EPOLL_CTL_DEL, Int_val(vfd), &ev);
+  return Val_unit;
+}
+
+CAMLprim value pti_epoll_wait_stub(value vep, value vtimeout, value vmax)
+{
+  CAMLparam3(vep, vtimeout, vmax);
+  CAMLlocal1(arr);
+  int ep = Int_val(vep);
+  int timeout = Int_val(vtimeout);
+  int max = Int_val(vmax);
+  int n, i;
+  struct epoll_event *evs;
+  if (max < 1)
+    max = 1;
+  if (max > 4096)
+    max = 4096;
+  evs = malloc((size_t)max * sizeof(*evs));
+  if (evs == NULL)
+    caml_failwith("epoll_wait: out of memory");
+  caml_enter_blocking_section();
+  n = epoll_wait(ep, evs, max, timeout);
+  caml_leave_blocking_section();
+  if (n < 0) {
+    int err = errno;
+    free(evs);
+    if (err == EINTR)
+      CAMLreturn(Atom(0)); /* no events; let OCaml signal handlers run */
+    caml_failwith("epoll_wait failed");
+  }
+  arr = caml_alloc(n, 0);
+  for (i = 0; i < n; i++)
+    Store_field(arr, i, Val_int(evs[i].data.fd));
+  free(evs);
+  CAMLreturn(arr);
+}
+
+#else /* !PTI_HAVE_EPOLL: the epoll entry points exist but refuse */
+
+CAMLprim value pti_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+CAMLprim value pti_epoll_add(value vep, value vfd)
+{
+  (void)vep;
+  (void)vfd;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+CAMLprim value pti_epoll_del(value vep, value vfd)
+{
+  (void)vep;
+  (void)vfd;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+CAMLprim value pti_epoll_wait_stub(value vep, value vtimeout, value vmax)
+{
+  (void)vep;
+  (void)vtimeout;
+  (void)vmax;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+#endif
+
+/* poll(2) backend: the caller passes the full fd set each wait (the
+   OCaml side keeps it and rebuilds only on membership change). */
+CAMLprim value pti_poll_stub(value vfds, value vtimeout)
+{
+  CAMLparam2(vfds, vtimeout);
+  CAMLlocal1(arr);
+  int n = (int)Wosize_val(vfds);
+  int timeout = Int_val(vtimeout);
+  int i, rc, nready, j;
+  struct pollfd *pfds = NULL;
+  if (n > 0) {
+    pfds = malloc((size_t)n * sizeof(*pfds));
+    if (pfds == NULL)
+      caml_failwith("poll: out of memory");
+    for (i = 0; i < n; i++) {
+      pfds[i].fd = Int_val(Field(vfds, i));
+      pfds[i].events = POLLIN;
+      pfds[i].revents = 0;
+    }
+  }
+  caml_enter_blocking_section();
+  rc = poll(pfds, (nfds_t)n, timeout);
+  caml_leave_blocking_section();
+  if (rc < 0) {
+    int err = errno;
+    free(pfds);
+    if (err == EINTR)
+      CAMLreturn(Atom(0));
+    caml_failwith("poll failed");
+  }
+  /* ERR/HUP/NVAL all count as readable: the owner must read() (or
+     find the bad fd) and reap the connection. */
+  nready = 0;
+  for (i = 0; i < n; i++)
+    if (pfds[i].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL))
+      nready++;
+  arr = caml_alloc(nready, 0);
+  j = 0;
+  for (i = 0; i < n; i++)
+    if (pfds[i].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL))
+      Store_field(arr, j++, Val_int(pfds[i].fd));
+  free(pfds);
+  CAMLreturn(arr);
+}

@@ -1,0 +1,60 @@
+(** Readiness polling for the serving daemon's accept loop.
+
+    [Unix.select] caps fd numbers at [FD_SETSIZE] (1024), which forced
+    the server to shed connections; this module wraps raw
+    [epoll_create1]/[epoll_ctl]/[epoll_wait] on Linux, with a [poll(2)]
+    fallback selected at build time on platforms without epoll (both
+    backends compile wherever they exist, so Linux tests exercise the
+    fallback too). Neither backend has an fd-number limit.
+
+    Semantics shared by both backends:
+
+    - {e level-triggered} readable-readiness only: an fd with pending
+      input (or EOF, error, or hang-up — the owner discovers which by
+      reading) is reported from every {!wait} until drained. This
+      matches the previous select loop, so registered fds may stay
+      blocking;
+    - a wait interrupted by a signal ([EINTR]) returns the empty list,
+      so OCaml signal handlers run between waits;
+    - the set is owned by one thread (the accept loop); the module does
+      no locking.
+
+    Not thread-safe. *)
+
+type backend = Epoll | Poll
+
+val epoll_available : bool
+(** Whether this build carries the epoll backend (Linux). *)
+
+type t
+
+val create : ?backend:backend -> unit -> t
+(** New empty readiness set. Default backend: [Epoll] when
+    {!epoll_available} (overridable with the [PTI_FORCE_POLL]
+    environment variable, any value), else [Poll]. Raises
+    [Invalid_argument] if [Epoll] is requested where unavailable. *)
+
+val backend : t -> backend
+val backend_name : t -> string
+
+val add : t -> Unix.file_descr -> unit
+(** Register [fd] for readable-readiness. Adding an fd already in the
+    set is a no-op. Raises [Failure] when registration fails (fd limit,
+    memory) — the caller sheds that connection rather than crashing the
+    loop. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister; idempotent (removing an absent fd is a no-op). Must be
+    called {e before} the fd is closed. *)
+
+val nfds : t -> int
+(** Number of registered fds. *)
+
+val wait : t -> timeout_ms:int -> Unix.file_descr list
+(** Fds currently readable (or at EOF/error/hang-up), blocking up to
+    [timeout_ms] milliseconds ([0] polls, [-1] waits indefinitely).
+    Empty on timeout or [EINTR]. *)
+
+val close : t -> unit
+(** Release the backend (the epoll fd); the set becomes empty.
+    Idempotent. Registered fds are {e not} closed. *)

@@ -22,8 +22,10 @@ let index_of label table =
 let kind_index k = index_of k kinds
 let err_index e = index_of e errs
 
-(* Histogram buckets: bucket i counts latencies in (2^(i-1), 2^i] µs;
-   bucket 0 is <= 1 µs. 28 buckets reach ~134 s. *)
+(* Histogram buckets: bucket i counts values in (2^(i-1), 2^i]; bucket
+   0 is <= 1. For latencies the unit is µs (28 buckets reach ~134 s);
+   the queue-depth and batch-size histograms reuse the same buckets
+   with the value itself as the unit. *)
 let n_buckets = 28
 
 let bucket_of_us us =
@@ -44,6 +46,7 @@ type t = {
   ok : int Atomic.t array; (* per kind *)
   errors : int Atomic.t array; (* per err *)
   connections : int Atomic.t;
+  connections_shed : int Atomic.t;
   dropped_replies : int Atomic.t;
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
@@ -52,7 +55,13 @@ type t = {
   accept_failures : int Atomic.t;
   reloads : int Atomic.t;
   max_queue_depth : int Atomic.t;
-  hists : hist array; (* per kind *)
+  queue_depth_hist : hist; (* depth observed at each enqueue *)
+  batches : int Atomic.t; (* pop_batch rounds executed by workers *)
+  batched_jobs : int Atomic.t; (* jobs delivered through those rounds *)
+  max_batch : int Atomic.t;
+  batch_hist : hist; (* batch sizes *)
+  hists : hist array; (* per kind, unbatched dispatch *)
+  hists_batched : hist array; (* per kind, batched (query_batch) dispatch *)
 }
 
 let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
@@ -64,6 +73,7 @@ let create () =
     ok = atomic_array (Array.length kinds);
     errors = atomic_array (Array.length errs);
     connections = Atomic.make 0;
+    connections_shed = Atomic.make 0;
     dropped_replies = Atomic.make 0;
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
@@ -72,7 +82,13 @@ let create () =
     accept_failures = Atomic.make 0;
     reloads = Atomic.make 0;
     max_queue_depth = Atomic.make 0;
-    hists =
+    queue_depth_hist = atomic_array n_buckets;
+    batches = Atomic.make 0;
+    batched_jobs = Atomic.make 0;
+    max_batch = Atomic.make 0;
+    batch_hist = atomic_array n_buckets;
+    hists = Array.init (Array.length kinds) (fun _ -> atomic_array n_buckets);
+    hists_batched =
       Array.init (Array.length kinds) (fun _ -> atomic_array n_buckets);
   }
 
@@ -84,6 +100,7 @@ let incr_error t ~err = incr t.errors.(err_index err)
 let incr_overloaded t = incr_error t ~err:"overloaded"
 let incr_timeout t = incr_error t ~err:"timeout"
 let incr_connections t = incr t.connections
+let incr_connection_shed t = incr t.connections_shed
 let incr_dropped_replies t = incr t.dropped_replies
 let incr_cache_hit t = incr t.cache_hits
 let incr_cache_miss t = incr t.cache_misses
@@ -95,27 +112,38 @@ let cache_open_failures t = Atomic.get t.cache_open_failures
 let worker_deaths t = Atomic.get t.worker_deaths
 let accept_failures t = Atomic.get t.accept_failures
 let reloads t = Atomic.get t.reloads
+let connections_shed t = Atomic.get t.connections_shed
 
 let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
-let observe_queue_depth t d = atomic_max t.max_queue_depth d
+let observe_queue_depth t d =
+  atomic_max t.max_queue_depth d;
+  incr t.queue_depth_hist.(bucket_of_us (float_of_int d))
 
-let record_latency t ~kind ~seconds =
-  let h = t.hists.(kind_index kind) in
-  incr h.(bucket_of_us (seconds *. 1e6))
+let record_batch_size t n =
+  incr t.batches;
+  ignore (Atomic.fetch_and_add t.batched_jobs n : int);
+  atomic_max t.max_batch n;
+  incr t.batch_hist.(bucket_of_us (float_of_int n))
 
-let requests_received t ~kind = Atomic.get t.received.(kind_index kind)
-let requests_ok t ~kind = Atomic.get t.ok.(kind_index kind)
-let errors t ~err = Atomic.get t.errors.(err_index err)
-let overloaded t = errors t ~err:"overloaded"
-let timeouts t = errors t ~err:"timeout"
+let batches t = Atomic.get t.batches
+let batched_jobs t = Atomic.get t.batched_jobs
+let max_batch_size t = Atomic.get t.max_batch
 
-let hist_total h = Array.fold_left (fun a c -> a + Atomic.get c) 0 h
+let record_latency ?(batched = false) t ~kind ~seconds =
+  let hs = if batched then t.hists_batched else t.hists in
+  incr hs.(kind_index kind).(bucket_of_us (seconds *. 1e6))
 
-let percentile_of_hist h q =
-  let total = hist_total h in
+(* Percentiles are computed over immutable snapshots so the batched and
+   unbatched histograms of one kind can be merged consistently. *)
+let snap h = Array.map Atomic.get h
+let snap_total s = Array.fold_left ( + ) 0 s
+let snap_merge a b = Array.init n_buckets (fun i -> a.(i) + b.(i))
+
+let percentile_of_snap s q =
+  let total = snap_total s in
   if total = 0 then nan
   else begin
     let target =
@@ -124,16 +152,23 @@ let percentile_of_hist h q =
     let rec go i acc =
       if i >= n_buckets then bucket_upper_us (n_buckets - 1)
       else begin
-        let acc = acc + Atomic.get h.(i) in
+        let acc = acc + s.(i) in
         if acc >= target then bucket_upper_us i else go (i + 1) acc
       end
     in
     go 0 0
   end
 
-let percentile_us t ~kind q = percentile_of_hist t.hists.(kind_index kind) q
+let requests_received t ~kind = Atomic.get t.received.(kind_index kind)
+let requests_ok t ~kind = Atomic.get t.ok.(kind_index kind)
+let errors t ~err = Atomic.get t.errors.(err_index err)
+let overloaded t = errors t ~err:"overloaded"
+let timeouts t = errors t ~err:"timeout"
 
-let to_json t ~queue_depth =
+let merged_snap t i = snap_merge (snap t.hists.(i)) (snap t.hists_batched.(i))
+let percentile_us t ~kind q = percentile_of_snap (merged_snap t (kind_index kind)) q
+
+let to_json ?cache_shards t ~queue_depth =
   let b = Buffer.create 512 in
   let field first name v =
     if not first then Buffer.add_char b ',';
@@ -155,10 +190,19 @@ let to_json t ~queue_depth =
     Buffer.add_char bb '}';
     Buffer.contents bb
   in
+  let hist_json s =
+    Printf.sprintf "{\"count\":%d,\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f}"
+      (snap_total s)
+      (percentile_of_snap s 0.50)
+      (percentile_of_snap s 0.95)
+      (percentile_of_snap s 0.99)
+  in
   Buffer.add_char b '{';
   field true "uptime_s"
     (Printf.sprintf "%.3f" (Unix.gettimeofday () -. t.started));
   field false "connections" (string_of_int (Atomic.get t.connections));
+  field false "connections_shed"
+    (string_of_int (Atomic.get t.connections_shed));
   field false "requests" (obj_of_labels kinds t.received);
   field false "ok" (obj_of_labels kinds t.ok);
   field false "errors" (obj_of_labels errs t.errors);
@@ -167,28 +211,72 @@ let to_json t ~queue_depth =
        (Atomic.get t.cache_hits)
        (Atomic.get t.cache_misses)
        (Atomic.get t.cache_open_failures));
-  field false "queue"
-    (Printf.sprintf "{\"depth\":%d,\"max_depth\":%d}" queue_depth
-       (Atomic.get t.max_queue_depth));
+  (match cache_shards with
+  | None -> ()
+  | Some shards ->
+      let bb = Buffer.create 64 in
+      Buffer.add_char bb '[';
+      Array.iteri
+        (fun i (h, m, f, entries) ->
+          if i > 0 then Buffer.add_char bb ',';
+          Buffer.add_string bb
+            (Printf.sprintf
+               "{\"hits\":%d,\"misses\":%d,\"open_failures\":%d,\"entries\":%d}"
+               h m f entries))
+        shards;
+      Buffer.add_char bb ']';
+      field false "cache_shards" (Buffer.contents bb));
+  (let ds = snap t.queue_depth_hist in
+   field false "queue"
+     (Printf.sprintf
+        "{\"depth\":%d,\"max_depth\":%d,\"p50_depth\":%.0f,\"p95_depth\":%.0f}"
+        queue_depth
+        (Atomic.get t.max_queue_depth)
+        (let p = percentile_of_snap ds 0.50 in
+         if Float.is_nan p then 0.0 else p)
+        (let p = percentile_of_snap ds 0.95 in
+         if Float.is_nan p then 0.0 else p)));
+  (let bs = snap t.batch_hist in
+   field false "batches"
+     (Printf.sprintf
+        "{\"count\":%d,\"jobs\":%d,\"max_size\":%d,\"p50_size\":%.0f,\"p95_size\":%.0f}"
+        (Atomic.get t.batches)
+        (Atomic.get t.batched_jobs)
+        (Atomic.get t.max_batch)
+        (let p = percentile_of_snap bs 0.50 in
+         if Float.is_nan p then 0.0 else p)
+        (let p = percentile_of_snap bs 0.95 in
+         if Float.is_nan p then 0.0 else p)));
   field false "dropped_replies" (string_of_int (Atomic.get t.dropped_replies));
   field false "worker_deaths" (string_of_int (Atomic.get t.worker_deaths));
   field false "accept_failures" (string_of_int (Atomic.get t.accept_failures));
   field false "reloads" (string_of_int (Atomic.get t.reloads));
+  (* Latency per op type, with the batched/unbatched split nested so
+     amortised dispatch can be compared against one-at-a-time on the
+     same kind. *)
   let lat = Buffer.create 64 in
   Buffer.add_char lat '{';
   let wrote = ref false in
   Array.iteri
     (fun i kind ->
-      if hist_total t.hists.(i) > 0 then begin
+      let su = snap t.hists.(i) in
+      let sb = snap t.hists_batched.(i) in
+      let merged = snap_merge su sb in
+      if snap_total merged > 0 then begin
         if !wrote then Buffer.add_char lat ',';
         Buffer.add_string lat
           (Printf.sprintf
-             "\"%s\":{\"count\":%d,\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f}"
-             kind
-             (hist_total t.hists.(i))
-             (percentile_of_hist t.hists.(i) 0.50)
-             (percentile_of_hist t.hists.(i) 0.95)
-             (percentile_of_hist t.hists.(i) 0.99));
+             "\"%s\":{\"count\":%d,\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f"
+             kind (snap_total merged)
+             (percentile_of_snap merged 0.50)
+             (percentile_of_snap merged 0.95)
+             (percentile_of_snap merged 0.99));
+        if snap_total su > 0 then
+          Buffer.add_string lat
+            (Printf.sprintf ",\"unbatched\":%s" (hist_json su));
+        if snap_total sb > 0 then
+          Buffer.add_string lat (Printf.sprintf ",\"batched\":%s" (hist_json sb));
+        Buffer.add_char lat '}';
         wrote := true
       end)
     kinds;

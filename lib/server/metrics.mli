@@ -31,6 +31,11 @@ val incr_overloaded : t -> unit
 
 val incr_timeout : t -> unit
 val incr_connections : t -> unit
+
+val incr_connection_shed : t -> unit
+(** An accepted connection was immediately closed because the server is
+    at [--max-conns] (or readiness registration failed). *)
+
 val incr_dropped_replies : t -> unit
 (** Replies that could not be written (client went away). *)
 
@@ -52,9 +57,19 @@ val incr_reload : t -> unit
 (** A SIGHUP-triggered cache revalidation completed. *)
 
 val observe_queue_depth : t -> int -> unit
-(** Record the queue depth seen at enqueue time (keeps the maximum). *)
+(** Record the queue depth seen at enqueue time: keeps the maximum and
+    feeds the depth histogram (the queue-depth gauge in the JSON). *)
 
-val record_latency : t -> kind:string -> seconds:float -> unit
+val record_batch_size : t -> int -> unit
+(** A worker drained a batch of this many jobs in one [pop_batch]
+    round; feeds the batch-size histogram, the batched-jobs counter and
+    the max. *)
+
+val record_latency : ?batched:bool -> t -> kind:string -> seconds:float -> unit
+(** [batched] (default [false]) routes the sample into the per-kind
+    {e batched-dispatch} histogram instead of the unbatched one, so the
+    two execution paths stay comparable per op type; every reader that
+    does not care about the split sees the merged histogram. *)
 
 (** {2 Reading} *)
 
@@ -67,13 +82,28 @@ val cache_open_failures : t -> int
 val worker_deaths : t -> int
 val accept_failures : t -> int
 val reloads : t -> int
+val connections_shed : t -> int
+
+val batches : t -> int
+(** Batched drain rounds executed by workers. *)
+
+val batched_jobs : t -> int
+(** Total jobs delivered through those rounds. *)
+
+val max_batch_size : t -> int
 
 val percentile_us : t -> kind:string -> float -> float
 (** [percentile_us m ~kind q] with [q] in [0, 1]: approximate latency
-    percentile in microseconds over every recorded request of the kind;
-    [nan] when none were recorded. *)
+    percentile in microseconds over every recorded request of the kind
+    (batched and unbatched merged); [nan] when none were recorded. *)
 
-val to_json : t -> queue_depth:int -> string
+val to_json :
+  ?cache_shards:(int * int * int * int) array ->
+  t ->
+  queue_depth:int ->
+  string
 (** The whole registry as a JSON object (counters by kind, error
-    counts, cache hit/miss, queue depth now / max, p50/p95/p99 per
-    kind, uptime). *)
+    counts, cache hit/miss, queue depth gauge + histogram percentiles,
+    batch-size histogram, p50/p95/p99 per kind with the
+    batched/unbatched split, uptime). [cache_shards] (from
+    {!Engine_cache.shard_stats}) adds a per-shard cache stats array. *)

@@ -1,5 +1,6 @@
-(* The serving daemon: select-based accept loop + worker domains behind
-   a bounded request queue. See the mli and DESIGN.md §10. *)
+(* The serving daemon: epoll-based accept loop + worker domains behind
+   a bounded request queue, drained in batches. See the mli and
+   DESIGN.md §10/§12. *)
 
 module G = Pti_core.General_index
 module L = Pti_core.Listing_index
@@ -24,6 +25,9 @@ type config = {
   debug_slow : bool;
   send_timeout_ms : float;
   drain_timeout_ms : float;
+  max_conns : int;
+  max_json_line : int;
+  batch_max : int;
 }
 
 let default_config =
@@ -38,13 +42,10 @@ let default_config =
     debug_slow = false;
     send_timeout_ms = 5000.0;
     drain_timeout_ms = 5000.0;
+    max_conns = 4096;
+    max_json_line = P.max_json_line;
+    batch_max = 32;
   }
-
-(* [Unix.select] rejects fd numbers >= FD_SETSIZE (1024) with EINVAL,
-   so accepted connections are capped safely below it (the slack covers
-   the listen socket, stdio and transient file opens). Beyond the cap,
-   new connections are accepted and immediately closed. *)
-let max_conns = 1000
 
 (* One TCP connection. [inbuf] accumulates raw bytes until complete
    frames (binary) or lines (JSON) can be cut off the front; [scan] is
@@ -95,6 +96,10 @@ type t = {
 
 let create ?(config = default_config) sources =
   if sources = [] then invalid_arg "Server.create: no index sources";
+  if config.max_conns < 1 then invalid_arg "Server.create: max_conns < 1";
+  if config.max_json_line < 64 then
+    invalid_arg "Server.create: max_json_line < 64";
+  if config.batch_max < 1 then invalid_arg "Server.create: batch_max < 1";
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -115,8 +120,9 @@ let create ?(config = default_config) sources =
     listen_fd = fd;
     bound_port;
     queue = Bq.create ~capacity:config.queue_cap;
-    cache = Engine_cache.create ~verify:config.verify
-      ~capacity:config.cache_cap ();
+    cache =
+      Engine_cache.create ~verify:config.verify ~capacity:config.cache_cap
+        ~shards:(Stdlib.max 1 config.workers) ();
     metrics = Metrics.create ();
     stop_flag = Atomic.make false;
     dump_flag = Atomic.make false;
@@ -132,7 +138,9 @@ let stop t = Atomic.set t.stop_flag true
 let request_stats_dump t = Atomic.set t.dump_flag true
 let request_reload t = Atomic.set t.reload_flag true
 
-let stats_json t = Metrics.to_json t.metrics ~queue_depth:(Bq.length t.queue)
+let stats_json t =
+  Metrics.to_json t.metrics ~queue_depth:(Bq.length t.queue)
+    ~cache_shards:(Engine_cache.shard_stats t.cache)
 
 (* ------------------------------------------------------------------ *)
 (* Replies *)
@@ -232,48 +240,140 @@ let execute t op =
       (* answered inline by the accept loop; unreachable here *)
       P.Error (P.Server_error, "inline op reached a worker")
 
+let execute_one t job =
+  try execute t job.jop with
+  | Invalid_argument m | Failure m -> P.Error (P.Bad_request, m)
+  | Pti_storage.Corrupt { section; reason } ->
+      P.Error (P.Bad_index, Printf.sprintf "corrupt %s: %s" section reason)
+  | e -> P.Error (P.Server_error, Printexc.to_string e)
+
+let finish t ~batched job reply =
+  (match reply with
+  | P.Error (e, _) -> Metrics.incr_error t.metrics ~err:(P.err_to_string e)
+  | _ -> Metrics.incr_ok t.metrics ~kind:job.jkind);
+  Metrics.record_latency ~batched t.metrics ~kind:job.jkind
+    ~seconds:(Unix.gettimeofday () -. job.arrival);
+  write_reply t job.jconn ~id:job.jid reply
+
+(* Batched dispatch. Threshold queries (and listing queries) against
+   one index are compatible: they collapse into a single
+   [Engine.query_batch] call, which runs the exact per-pattern [query]
+   code into result slots — replies are byte-for-byte what
+   one-at-a-time dispatch would produce (floats travel as raw IEEE-754
+   bits, and [G.query]/[L.query] are precisely what [query_batch]
+   applies per slot). [~domains:1] keeps the batch on this worker
+   domain: parallelism across requests comes from the worker pool,
+   batching only amortises dispatch, cache lookups and pattern
+   transforms. Anything that can fail per job inside a batch (a bad
+   pattern, τ < τ_min, a kind mismatch) falls back to the
+   one-at-a-time path for the whole group, so error replies are also
+   identical to unbatched dispatch. *)
+type group_key = Gquery of int | Glisting of int
+
+let group_key job =
+  match job.jop with
+  | P.Query { index; _ } -> Some (Gquery index)
+  | P.Listing { index; _ } -> Some (Glisting index)
+  | _ -> None
+
+let run_group t key jobs =
+  let index = match key with Gquery i | Glisting i -> i in
+  match resolve t index with
+  | Result.Error (e, m) -> List.map (fun j -> (j, P.Error (e, m))) jobs
+  | Ok handle -> (
+      match
+        let pattern_of j =
+          match j.jop with
+          | P.Query { pattern; tau; _ } | P.Listing { pattern; tau; _ } ->
+              (Sym.of_string pattern, tau)
+          | _ -> assert false
+        in
+        let patterns = Array.of_list (List.map pattern_of jobs) in
+        let results =
+          match (key, handle) with
+          | Gquery _, General g -> G.query_batch ~domains:1 g ~patterns
+          | (Gquery _ | Glisting _), Listing l ->
+              L.query_batch ~domains:1 l ~patterns
+          | Glisting _, General _ ->
+              (* kind mismatch: identical per-job Bad_request replies
+                 come from the fallback *)
+              raise Exit
+        in
+        List.mapi (fun i j -> (j, P.Hits (hits_of results.(i)))) jobs
+      with
+      | replies -> replies
+      | exception _ -> List.map (fun j -> (j, execute_one t j)) jobs)
+
+let execute_jobs t jobs =
+  match jobs with
+  | [] -> ()
+  | [ job ] -> finish t ~batched:false job (execute_one t job)
+  | _ ->
+      let groups : (group_key, job list ref) Hashtbl.t = Hashtbl.create 8 in
+      let order = ref [] in
+      let singles = ref [] in
+      List.iter
+        (fun job ->
+          match group_key job with
+          | None -> singles := job :: !singles
+          | Some k -> (
+              match Hashtbl.find_opt groups k with
+              | Some r -> r := job :: !r
+              | None ->
+                  Hashtbl.add groups k (ref [ job ]);
+                  order := k :: !order))
+        jobs;
+      List.iter
+        (fun k ->
+          match List.rev !(Hashtbl.find groups k) with
+          | [ j ] -> finish t ~batched:false j (execute_one t j)
+          | group ->
+              List.iter
+                (fun (j, r) -> finish t ~batched:true j r)
+                (run_group t k group))
+        (List.rev !order);
+      List.iter
+        (fun j -> finish t ~batched:false j (execute_one t j))
+        (List.rev !singles)
+
 let worker_loop t =
   let rec go () =
     (* [server.worker] simulates a worker domain dying on a poisoned
        task; the uncaught exception is logged, counted and the domain
        respawned by [worker_shell] below *)
     ignore (Pti_fault.hit "server.worker" : int option);
-    match Bq.pop t.queue with
+    match Bq.pop_batch t.queue ~max:t.cfg.batch_max ~deadline:infinity with
     | None -> ()
-    | Some job ->
+    | Some [] -> go ()
+    | Some jobs ->
+        Metrics.record_batch_size t.metrics (List.length jobs);
         let now = Unix.gettimeofday () in
-        if now > Atomic.get t.drain_deadline then begin
-          Metrics.incr_error t.metrics ~err:"shutting_down";
-          write_reply t job.jconn ~id:job.jid
-            (P.Error (P.Shutting_down, "drain timeout expired"))
-        end
-        else if now > job.deadline then begin
-          Metrics.incr_timeout t.metrics;
-          Metrics.record_latency t.metrics ~kind:job.jkind
-            ~seconds:(now -. job.arrival);
-          write_reply t job.jconn ~id:job.jid
-            (P.Error
-               ( P.Timeout,
-                 Printf.sprintf "deadline (%.0f ms) expired in queue"
-                   t.cfg.deadline_ms ))
-        end
-        else begin
-          let reply =
-            try execute t job.jop with
-            | Invalid_argument m | Failure m -> P.Error (P.Bad_request, m)
-            | Pti_storage.Corrupt { section; reason } ->
-                P.Error
-                  (P.Bad_index, Printf.sprintf "corrupt %s: %s" section reason)
-            | e -> P.Error (P.Server_error, Printexc.to_string e)
-          in
-          (match reply with
-          | P.Error (e, _) ->
-              Metrics.incr_error t.metrics ~err:(P.err_to_string e)
-          | _ -> Metrics.incr_ok t.metrics ~kind:job.jkind);
-          Metrics.record_latency t.metrics ~kind:job.jkind
-            ~seconds:(Unix.gettimeofday () -. job.arrival);
-          write_reply t job.jconn ~id:job.jid reply
-        end;
+        (* drain-expired and deadline-expired jobs get their typed
+           replies first, exactly as the unbatched loop answered them *)
+        let runnable =
+          List.filter
+            (fun job ->
+              if now > Atomic.get t.drain_deadline then begin
+                Metrics.incr_error t.metrics ~err:"shutting_down";
+                write_reply t job.jconn ~id:job.jid
+                  (P.Error (P.Shutting_down, "drain timeout expired"));
+                false
+              end
+              else if now > job.deadline then begin
+                Metrics.incr_timeout t.metrics;
+                Metrics.record_latency t.metrics ~kind:job.jkind
+                  ~seconds:(now -. job.arrival);
+                write_reply t job.jconn ~id:job.jid
+                  (P.Error
+                     ( P.Timeout,
+                       Printf.sprintf "deadline (%.0f ms) expired in queue"
+                         t.cfg.deadline_ms ));
+                false
+              end
+              else true)
+            jobs
+        in
+        execute_jobs t runnable;
         go ()
   in
   go ()
@@ -357,9 +457,9 @@ let buffer_index_from b start c =
    that either streams an oversized line or never frames at all; cap it
    (binary mode is capped by [max_frame]). *)
 let json_line_overflow t conn =
-  if Buffer.length conn.inbuf > P.max_json_line then begin
+  if Buffer.length conn.inbuf > t.cfg.max_json_line then begin
     error_reply t conn ~id:0 P.Bad_request
-      (Printf.sprintf "line exceeds %d bytes" P.max_json_line);
+      (Printf.sprintf "line exceeds %d bytes" t.cfg.max_json_line);
     false
   end
   else true
@@ -474,32 +574,51 @@ let try_close conn =
   end
   else false
 
-let close_conn conns pending conn =
-  conn.alive <- false;
-  Hashtbl.remove conns conn.fd;
-  if not (try_close conn) then pending := conn :: !pending
-
 let run t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   for _ = 1 to Stdlib.max 1 t.cfg.workers do
     spawn_worker t
   done;
+  (* Readiness set: level-triggered readable events, no FD_SETSIZE
+     limit (epoll on Linux, poll elsewhere — see Pti_epoll). Accepted
+     sockets stay blocking (identical read/write semantics to the old
+     select loop); only the listen fd is non-blocking so one readiness
+     event can drain the whole accept backlog. *)
+  let ep = Pti_epoll.create () in
+  Unix.set_nonblock t.listen_fd;
+  Pti_epoll.add ep t.listen_fd;
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
   (* connections removed from [conns] whose fd could not be closed yet
      because a worker held [write_m]; retried every loop tick *)
   let pending = ref [] in
   let readbuf = Bytes.create 65536 in
+  (* deregister from [ep] before the fd can be closed: a closed fd
+     auto-leaves an epoll set, but the poll fallback would keep
+     polling it (POLLNVAL) forever *)
+  let close_conn conn =
+    conn.alive <- false;
+    if Hashtbl.mem conns conn.fd then begin
+      Hashtbl.remove conns conn.fd;
+      Pti_epoll.remove ep conn.fd
+    end;
+    if not (try_close conn) then pending := conn :: !pending
+  in
+  let shed fd =
+    Metrics.incr_connection_shed t.metrics;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  (* Returns [true] when another accept may succeed immediately. *)
   let accept_one () =
     match
       ignore (Pti_fault.hit "server.accept" : int option);
       Unix.accept t.listen_fd
     with
     | fd, _ ->
-        if Hashtbl.length conns >= max_conns then
-          (* over the select fd budget: shed the connection instead of
-             crashing the event loop with EINVAL at FD_SETSIZE *)
-          try Unix.close fd with Unix.Unix_error _ -> ()
+        if Hashtbl.length conns >= t.cfg.max_conns then
+          (* explicit connection cap (--max-conns): shed instead of
+             accumulating fds without bound *)
+          shed fd
         else begin
           Metrics.incr_connections t.metrics;
           if t.cfg.send_timeout_ms > 0.0 then
@@ -507,7 +626,7 @@ let run t =
                Unix.setsockopt_float fd Unix.SO_SNDTIMEO
                  (t.cfg.send_timeout_ms /. 1000.0)
              with Unix.Unix_error _ -> ());
-          Hashtbl.replace conns fd
+          let conn =
             {
               fd;
               write_m = Mutex.create ();
@@ -517,27 +636,47 @@ let run t =
               alive = true;
               closed = false;
             }
-        end
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          in
+          match Pti_epoll.add ep fd with
+          | () -> Hashtbl.replace conns fd conn
+          | exception _ ->
+              (* readiness registration failed (fd limit, memory):
+                 shed this connection, keep the loop alive *)
+              shed fd
+        end;
+        true
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
-        ()
+        false
     | exception Unix.Unix_error (_, _, _) ->
         (* transient accept failure (EMFILE, ECONNABORTED, an injected
-           fault): count it and keep listening — the loop must survive *)
-        Metrics.incr_accept_failure t.metrics
+           fault): count it and keep listening — the loop must survive.
+           Stop the burst; level-triggered readiness re-reports the
+           backlog next tick. *)
+        Metrics.incr_accept_failure t.metrics;
+        false
+  in
+  let accept_burst () =
+    (* drain the accept backlog, bounded so a connect flood cannot
+       starve established connections of reads *)
+    let budget = ref 128 in
+    while accept_one () && !budget > 0 do
+      decr budget
+    done
   in
   let read_conn conn =
     match Unix.read conn.fd readbuf 0 (Bytes.length readbuf) with
-    | 0 -> close_conn conns pending conn
+    | 0 -> close_conn conn
     | n ->
         Buffer.add_subbytes conn.inbuf readbuf 0 n;
-        if not (process_input t conn) then close_conn conns pending conn
+        if not (process_input t conn) then close_conn conn
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) -> close_conn conns pending conn
+    | exception Unix.Unix_error (_, _, _) -> close_conn conn
   in
   (* One event-loop iteration, shared by the serving and draining
      phases (draining no longer watches the listen socket). *)
-  let tick ~listening timeout =
+  let tick ~listening timeout_ms =
     if Atomic.get t.dump_flag then begin
       Atomic.set t.dump_flag false;
       Printf.eprintf "%s\n%!" (stats_json t)
@@ -560,36 +699,32 @@ let run t =
         (fun _ conn acc -> if conn.alive then acc else conn :: acc)
         conns []
     in
-    List.iter (fun conn -> close_conn conns pending conn) dead;
-    let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
-    let fds = if listening then t.listen_fd :: fds else fds in
-    match Unix.select fds [] [] timeout with
-    | readable, _, _ ->
-        List.iter
-          (fun fd ->
-            if listening && fd = t.listen_fd then accept_one ()
-            else
-              match Hashtbl.find_opt conns fd with
-              | Some conn -> read_conn conn
-              | None -> ())
-          readable
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    List.iter close_conn dead;
+    List.iter
+      (fun fd ->
+        if listening && fd = t.listen_fd then accept_burst ()
+        else
+          match Hashtbl.find_opt conns fd with
+          | Some conn -> read_conn conn
+          | None -> ())
+      (Pti_epoll.wait ep ~timeout_ms)
   in
   while not (Atomic.get t.stop_flag) do
-    tick ~listening:true 0.1
+    tick ~listening:true 100
   done;
   (* graceful drain: stop accepting; requests already queued keep
      completing until the queue is empty or the drain window closes
      (workers answer [Shutting_down] past the deadline); connections
      are still read so drained replies flush and late requests get
      their typed refusal from [dispatch] *)
+  Pti_epoll.remove ep t.listen_fd;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   let drain_deadline =
     Unix.gettimeofday () +. (Stdlib.max 0.0 t.cfg.drain_timeout_ms /. 1000.0)
   in
   Atomic.set t.drain_deadline drain_deadline;
   while Bq.length t.queue > 0 && Unix.gettimeofday () < drain_deadline do
-    tick ~listening:false 0.05
+    tick ~listening:false 50
   done;
   Bq.close t.queue;
   join_workers t;
@@ -597,4 +732,5 @@ let run t =
   Hashtbl.iter (fun _ conn -> ignore (try_close conn)) conns;
   List.iter (fun conn -> ignore (try_close conn)) !pending;
   pending := [];
-  Hashtbl.reset conns
+  Hashtbl.reset conns;
+  Pti_epoll.close ep

@@ -1,13 +1,21 @@
-(** The query-serving daemon (DESIGN.md §10).
+(** The query-serving daemon (DESIGN.md §10 and §12).
 
     One accept loop (the domain that calls {!run}) multiplexes every
-    connection with [Unix.select], parses complete frames, and hands
-    each request — stamped with an arrival time and a deadline — to a
-    bounded {!Pti_parallel.Bqueue} drained by a pool of worker domains.
+    connection through a {!Pti_epoll} readiness set (epoll on Linux,
+    poll elsewhere — no [FD_SETSIZE] connection ceiling), parses
+    complete frames, and hands each request — stamped with an arrival
+    time and a deadline — to a bounded {!Pti_parallel.Bqueue}. Worker
+    domains drain the queue in {e batches}
+    ({!Pti_parallel.Bqueue.pop_batch}): threshold/listing queries
+    against one index collapse into a single
+    {!Pti_core.Engine.query_batch} call, amortising dispatch, cache
+    lookup and pattern-transform costs; replies are byte-for-byte
+    identical to one-at-a-time dispatch (§12 gives the argument).
     Queries are pure reads of immutable engines, so workers share
     handles with no locking; the only synchronisation on the hot path is
-    the queue itself and a per-connection write mutex (replies from
-    different workers may interleave on one pipelined connection).
+    the queue itself, the per-shard engine-cache mutexes, and a
+    per-connection write mutex (replies from different workers may
+    interleave on one pipelined connection).
 
     Backpressure is explicit: a full queue makes the accept loop answer
     [Overloaded] immediately instead of buffering or hanging, and a
@@ -16,9 +24,9 @@
     by the accept loop so the server stays observable while saturated.
 
     Resource bounds: per-connection input is capped ([max_frame] for
-    binary frames, [Protocol.max_json_line] for the JSON fallback),
-    concurrent connections are capped below [FD_SETSIZE] (extra accepts
-    are shed immediately), and replies carry a send timeout
+    binary frames, [max_json_line] for the JSON fallback), concurrent
+    connections are capped at [max_conns] (extra accepts are shed
+    immediately and counted), and replies carry a send timeout
     ([send_timeout_ms]) so a client that stops reading is dropped rather
     than pinning a worker. A connection's fd is only ever closed under
     its write mutex, so a reply in flight can never race a close onto a
@@ -54,6 +62,17 @@ type config = {
           before the rest are answered [Shutting_down] (default 5000).
           New requests arriving during the drain are refused with
           [Shutting_down] immediately. *)
+  max_conns : int;
+      (** Concurrent connection cap (default 4096); accepts beyond it
+          are closed immediately and counted as shed. The epoll loop has
+          no [FD_SETSIZE] limit, so this can be raised to whatever the
+          process's fd limit allows. *)
+  max_json_line : int;
+      (** Upper bound on one line of the JSON fallback protocol
+          (default {!Protocol.max_json_line}, 1 MiB). *)
+  batch_max : int;
+      (** Most jobs a worker drains from the queue in one batched pop
+          (default 32). [1] disables batching entirely. *)
 }
 
 val default_config : config
@@ -64,9 +83,11 @@ val create : ?config:config -> source list -> t
 (** Bind and listen (so {!port} is known immediately); request index
     ids are positions in the source list. Raises [Unix.Unix_error] if
     the address cannot be bound, [Invalid_argument] on an empty source
-    list. File sources are opened lazily at first request, so a
-    missing/corrupt file is a per-request [Bad_index] reply, not a
-    startup failure. *)
+    list or invalid bounds ([max_conns < 1], [max_json_line < 64],
+    [batch_max < 1]). File sources are opened lazily at first request,
+    so a missing/corrupt file is a per-request [Bad_index] reply, not a
+    startup failure. The engine cache is sharded per worker domain
+    (paths hash to a shard; see {!Engine_cache.create}). *)
 
 val port : t -> int
 (** The actually bound port (useful with [port = 0]). *)

@@ -197,6 +197,150 @@ let test_bqueue_concurrent () =
     (Atomic.get sum_popped);
   Alcotest.(check int) "drained" 0 (Par.Bqueue.length q)
 
+let test_pop_batch_fifo_and_max () =
+  let q = Par.Bqueue.create ~capacity:8 in
+  List.iter (fun v -> assert (Par.Bqueue.try_push q v)) [ 1; 2; 3; 4; 5 ];
+  (* greedy up to [max], FIFO order preserved *)
+  Alcotest.(check (option (list int)))
+    "batch of 3" (Some [ 1; 2; 3 ])
+    (Par.Bqueue.pop_batch q ~max:3 ~deadline:infinity);
+  (* fewer than max available: take what is there, don't wait for more *)
+  Alcotest.(check (option (list int)))
+    "remainder" (Some [ 4; 5 ])
+    (Par.Bqueue.pop_batch q ~max:10 ~deadline:infinity);
+  Alcotest.(check int) "drained" 0 (Par.Bqueue.length q);
+  (* wrap-around: head has advanced past the middle of the ring *)
+  List.iter (fun v -> assert (Par.Bqueue.try_push q v)) [ 6; 7; 8; 9; 10; 11 ];
+  Alcotest.(check (option (list int)))
+    "wrapped batch" (Some [ 6; 7; 8; 9; 10; 11 ])
+    (Par.Bqueue.pop_batch q ~max:8 ~deadline:infinity);
+  Alcotest.check_raises "max < 1 rejected"
+    (Invalid_argument "Bqueue.pop_batch: max < 1") (fun () ->
+      ignore (Par.Bqueue.pop_batch q ~max:0 ~deadline:infinity))
+
+let test_pop_batch_deadline () =
+  let q = Par.Bqueue.create ~capacity:4 in
+  (* empty queue + past deadline: Some [] (still open), without blocking *)
+  Alcotest.(check (option (list int)))
+    "expired empty" (Some [])
+    (Par.Bqueue.pop_batch q ~max:4 ~deadline:0.0);
+  (* a short future deadline expires and returns Some [] *)
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check (option (list int)))
+    "short wait expires" (Some [])
+    (Par.Bqueue.pop_batch q ~max:4 ~deadline:(t0 +. 0.02));
+  Alcotest.(check bool) "waited until the deadline" true
+    (Unix.gettimeofday () -. t0 >= 0.015);
+  (* items present beat the deadline even when it is already past *)
+  assert (Par.Bqueue.try_push q 42);
+  Alcotest.(check (option (list int)))
+    "items win over expired deadline" (Some [ 42 ])
+    (Par.Bqueue.pop_batch q ~max:4 ~deadline:0.0);
+  (* closed and drained: None, regardless of deadline *)
+  Par.Bqueue.close q;
+  Alcotest.(check (option (list int)))
+    "closed" None
+    (Par.Bqueue.pop_batch q ~max:4 ~deadline:infinity)
+
+let test_pop_batch_close_drains () =
+  let q = Par.Bqueue.create ~capacity:4 in
+  assert (Par.Bqueue.try_push q "a");
+  assert (Par.Bqueue.try_push q "b");
+  Par.Bqueue.close q;
+  Alcotest.(check (option (list string)))
+    "drain after close" (Some [ "a"; "b" ])
+    (Par.Bqueue.pop_batch q ~max:8 ~deadline:infinity);
+  Alcotest.(check (option (list string)))
+    "then None" None
+    (Par.Bqueue.pop_batch q ~max:8 ~deadline:infinity)
+
+let test_pop_batch_blocking_wakeup () =
+  (* a consumer blocked in pop_batch with an infinite deadline is woken
+     by a push, and a second blocked consumer by close *)
+  let q = Par.Bqueue.create ~capacity:4 in
+  let got = Atomic.make [] in
+  let c =
+    Domain.spawn (fun () ->
+        match Par.Bqueue.pop_batch q ~max:4 ~deadline:infinity with
+        | Some items -> Atomic.set got items
+        | None -> ())
+  in
+  Unix.sleepf 0.02;
+  assert (Par.Bqueue.try_push q 7);
+  Domain.join c;
+  Alcotest.(check (list int)) "woken by push" [ 7 ] (Atomic.get got);
+  let woke = Atomic.make false in
+  let c2 =
+    Domain.spawn (fun () ->
+        match Par.Bqueue.pop_batch q ~max:4 ~deadline:infinity with
+        | None -> Atomic.set woke true
+        | Some _ -> ())
+  in
+  Unix.sleepf 0.02;
+  Par.Bqueue.close q;
+  Domain.join c2;
+  Alcotest.(check bool) "woken by close" true (Atomic.get woke)
+
+let test_pop_batch_concurrent () =
+  (* several batch consumers: every accepted element delivered exactly
+     once, in batches of at most [max] *)
+  let q = Par.Bqueue.create ~capacity:16 in
+  let n = 2000 in
+  let popped = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let bad_batch = Atomic.make false in
+  let consumers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Par.Bqueue.pop_batch q ~max:5 ~deadline:infinity with
+              | None -> ()
+              | Some items ->
+                  let len = List.length items in
+                  if len = 0 || len > 5 then Atomic.set bad_batch true;
+                  List.iter
+                    (fun v ->
+                      Atomic.incr popped;
+                      ignore (Atomic.fetch_and_add sum v))
+                    items;
+                  loop ()
+            in
+            loop ()))
+  in
+  let pushed = ref 0 in
+  for v = 1 to n do
+    let rec push () =
+      if Par.Bqueue.try_push q v then pushed := !pushed + v
+      else begin
+        Domain.cpu_relax ();
+        push ()
+      end
+    in
+    push ()
+  done;
+  Par.Bqueue.close q;
+  List.iter Domain.join consumers;
+  Alcotest.(check int) "all delivered" n (Atomic.get popped);
+  Alcotest.(check int) "sum preserved" !pushed (Atomic.get sum);
+  Alcotest.(check bool) "batch sizes in (0, max]" false (Atomic.get bad_batch)
+
+let test_available_cores () =
+  (* affinity-aware detection: both values are sane and consistent, and
+     the affinity-restricted count can never exceed the raw count. *)
+  let cores = Par.available_cores () in
+  let raw = Par.raw_processor_count () in
+  Alcotest.(check bool) "cores >= 1" true (cores >= 1);
+  Alcotest.(check bool) "raw >= 1" true (raw >= 1);
+  Alcotest.(check bool) "cores <= max_domains" true (cores <= Par.max_domains);
+  Alcotest.(check int) "memoized" cores (Par.available_cores ());
+  (* with PTI_DOMAINS genuinely unset, num_domains follows
+     available_cores (putenv cannot unset, so only check when it is) *)
+  match Sys.getenv_opt "PTI_DOMAINS" with
+  | None ->
+      Alcotest.(check int) "num_domains = available_cores" cores
+        (Par.num_domains ())
+  | Some _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Determinism of parallel construction. *)
 
@@ -339,8 +483,23 @@ let () =
           Alcotest.test_case "close semantics" `Quick test_bqueue_close;
           Alcotest.test_case "concurrent producers/consumers" `Quick
             test_bqueue_concurrent;
+          Alcotest.test_case "pop_batch fifo and max" `Quick
+            test_pop_batch_fifo_and_max;
+          Alcotest.test_case "pop_batch deadline expiry" `Quick
+            test_pop_batch_deadline;
+          Alcotest.test_case "pop_batch drains after close" `Quick
+            test_pop_batch_close_drains;
+          Alcotest.test_case "pop_batch blocking wakeup" `Quick
+            test_pop_batch_blocking_wakeup;
+          Alcotest.test_case "pop_batch concurrent consumers" `Quick
+            test_pop_batch_concurrent;
         ] );
       ( "env",
+        [
+          Alcotest.test_case "affinity-aware core detection" `Quick
+            test_available_cores;
+        ]
+        @
         [
           Alcotest.test_case "parse_domains" `Quick test_parse_domains;
           Alcotest.test_case "PTI_DOMAINS fallback" `Quick test_env_fallback;

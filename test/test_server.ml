@@ -657,6 +657,356 @@ let test_worker_respawn () =
           Alcotest.(check int) "worker death counted" 1
             (Pti_server.Metrics.worker_deaths (Server.metrics srv))))
 
+let test_accept_emfile () =
+  (* accept failing with EMFILE (fd exhaustion) must not kill the
+     accept loop: the failure is counted, the backlogged connection is
+     picked up by the next level-triggered readiness report, and the
+     server keeps serving *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  with_faults (fun () ->
+      F.arm "server.accept" (F.Raise Unix.EMFILE) (F.Nth 1);
+      with_server ~config:(base_config 1) [ Server.Source_general g ]
+        (fun srv port ->
+          with_conn port (fun fd ->
+              (match rpc fd { P.id = 3; op = P.Ping } with
+              | 3, P.Pong -> ()
+              | _ -> Alcotest.fail "ping after EMFILE accept failure");
+              let _, reply =
+                rpc fd
+                  { P.id = 4; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } }
+              in
+              check_hits "query after EMFILE"
+                (wire (G.query g ~pattern:(Sym.of_string "A") ~tau:0.5))
+                reply);
+          Alcotest.(check bool) "accept failure counted" true
+            (Pti_server.Metrics.accept_failures (Server.metrics srv) >= 1)))
+
+let test_half_close_midframe () =
+  (* a client that half-closes (shutdown write) after sending only part
+     of a frame: the server must reap the connection on EOF without
+     crashing, without replying, and keep serving other clients *)
+  let _, _, _, _, gpath, _ = Lazy.force fixture in
+  with_server ~config:(base_config 1) [ Server.Source_file gpath ]
+    (fun _srv port ->
+      with_conn port (fun fd ->
+          let frame =
+            P.encode_request
+              { P.id = 9; op = P.Query { index = 0; pattern = "AC"; tau = 0.5 } }
+          in
+          (* 2 of the 4 length-prefix bytes, then half-close *)
+          ignore (Unix.write_substring fd frame 0 2);
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          (match P.read_frame fd with
+          | None -> ()
+          | Some _ -> Alcotest.fail "reply to a truncated frame"
+          | exception Unix.Unix_error _ -> ());
+          (* mid-payload truncation too: full prefix, partial body *)
+          with_conn port (fun fd2 ->
+              ignore (Unix.write_substring fd2 frame 0 (String.length frame - 3));
+              Unix.shutdown fd2 Unix.SHUTDOWN_SEND;
+              match P.read_frame fd2 with
+              | None -> ()
+              | Some _ -> Alcotest.fail "reply to a truncated payload"
+              | exception Unix.Unix_error _ -> ());
+          (* the server is still fine *)
+          with_conn port (fun fd3 ->
+              match rpc fd3 { P.id = 1; op = P.Ping } with
+              | 1, P.Pong -> ()
+              | _ -> Alcotest.fail "ping after half-closed clients")))
+
+let test_partial_length_prefix () =
+  (* a connection readable with only part of the 4-byte length prefix
+     (then a byte-at-a-time trickle of the payload) must neither block
+     the loop nor corrupt framing: the reply is byte-for-byte correct
+     and a second, fast connection is served while the first trickles *)
+  let u, _, g, _, gpath, _ = Lazy.force fixture in
+  with_server ~config:(base_config 1) [ Server.Source_file gpath ]
+    (fun _srv port ->
+      with_conn port (fun slow ->
+          let rng = Q.state ~seed:47 () in
+          let pat = Sym.to_string (Q.pattern rng u ~m:4) in
+          let frame =
+            P.encode_request
+              { P.id = 5; op = P.Query { index = 0; pattern = pat; tau = 0.4 } }
+          in
+          (* one byte of the prefix... *)
+          ignore (Unix.write_substring slow frame 0 1);
+          Unix.sleepf 0.02;
+          (* ...a fast client overtakes the trickler... *)
+          with_conn port (fun fast ->
+              match rpc fast { P.id = 2; op = P.Ping } with
+              | 2, P.Pong -> ()
+              | _ -> Alcotest.fail "fast client blocked behind a trickler");
+          (* ...then the rest, byte by byte *)
+          for i = 1 to String.length frame - 1 do
+            ignore (Unix.write_substring slow frame i 1)
+          done;
+          let id, reply =
+            match P.read_frame slow with
+            | Some payload -> P.decode_reply payload
+            | None -> Alcotest.fail "server dropped the trickled frame"
+          in
+          Alcotest.(check int) "trickled id" 5 id;
+          check_hits "trickled query"
+            (wire (G.query g ~pattern:(Sym.of_string pat) ~tau:0.4))
+            reply))
+
+let test_max_conns_shed () =
+  (* --max-conns: accepts beyond the cap are shed (closed immediately,
+     counted), and a slot freed by a disconnect is reusable *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let config = { (base_config 1) with max_conns = 2 } in
+  with_server ~config [ Server.Source_general g ] (fun srv port ->
+      with_conn port (fun fd1 ->
+          (match rpc fd1 { P.id = 1; op = P.Ping } with
+          | 1, P.Pong -> ()
+          | _ -> Alcotest.fail "conn 1 ping");
+          with_conn port (fun fd2 ->
+              (match rpc fd2 { P.id = 2; op = P.Ping } with
+              | 2, P.Pong -> ()
+              | _ -> Alcotest.fail "conn 2 ping");
+              (* third connection: accepted by the kernel, shed by the
+                 server — we observe EOF/reset instead of a reply *)
+              with_conn port (fun fd3 ->
+                  (try
+                     P.write_all fd3
+                       (P.encode_request { P.id = 3; op = P.Ping })
+                   with Unix.Unix_error _ -> ());
+                  (match P.read_frame fd3 with
+                  | None -> ()
+                  | Some _ -> Alcotest.fail "shed connection got a reply"
+                  | exception Unix.Unix_error _ -> ()
+                  | exception P.Protocol_error _ -> ()));
+              Alcotest.(check bool) "shed counted" true
+                (Pti_server.Metrics.connections_shed (Server.metrics srv) >= 1);
+              (* the first two are unaffected *)
+              match rpc fd2 { P.id = 4; op = P.Ping } with
+              | 4, P.Pong -> ()
+              | _ -> Alcotest.fail "conn 2 ping after shed"));
+      (* both slots now free: a new connection is served again *)
+      Unix.sleepf 0.2;
+      with_conn port (fun fd5 ->
+          match rpc fd5 { P.id = 5; op = P.Ping } with
+          | 5, P.Pong -> ()
+          | _ -> Alcotest.fail "slot not reusable after disconnects"))
+
+let test_many_connections () =
+  (* the point of leaving select: far more than FD_SETSIZE (1024)
+     concurrent connections, no sheds, every one still answered. The
+     target scales down if the process fd limit can't host ~2x that
+     many fds (server + client side live in this one process). *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let target = 1050 in
+  let config = { (base_config 1) with max_conns = 8192; queue_cap = 4096 } in
+  with_server ~config [ Server.Source_general g ] (fun srv port ->
+      let conns = ref [] in
+      let n = ref 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            !conns)
+        (fun () ->
+          (try
+             while !n < target do
+               let fd = connect port in
+               conns := fd :: !conns;
+               incr n;
+               (* pace the flood: a ping round-trip on the newest
+                  connection proves the accept loop has caught up *)
+               if !n mod 128 = 0 then
+                 match rpc fd { P.id = !n; op = P.Ping } with
+                 | _, P.Pong -> ()
+                 | _ -> Alcotest.fail "pacing ping failed"
+             done
+           with Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+             (* client-side fd exhaustion: keep what we got *)
+             ());
+          if !n < target then
+            Printf.printf
+              "fd limit allowed only %d concurrent connections (target %d)\n"
+              !n target;
+          Alcotest.(check bool) "opened a meaningful number" true (!n >= 64);
+          (* every sampled connection still answers — nothing was shed,
+             nothing starved *)
+          List.iteri
+            (fun i fd ->
+              if i mod 97 = 0 then
+                match rpc fd { P.id = i; op = P.Ping } with
+                | id, P.Pong when id = i -> ()
+                | _ -> Alcotest.failf "connection %d unresponsive" i)
+            !conns;
+          Alcotest.(check int) "no sheds" 0
+            (Pti_server.Metrics.connections_shed (Server.metrics srv))))
+
+let test_batched_identity () =
+  (* worker-side batching: stall the single worker behind a Slow op so
+     a burst of pipelined queries piles up in the queue, is drained as
+     one batch, and every reply is byte-for-byte identical to a direct
+     engine call — errors included (a poisoned job in a batch falls the
+     whole group back to one-at-a-time execution) *)
+  let u, docs, g, l, gpath, lpath = Lazy.force fixture in
+  let config =
+    { (base_config 1) with debug_slow = true; queue_cap = 256 }
+  in
+  with_server ~config [ Server.Source_file gpath; Server.Source_file lpath ]
+    (fun srv port ->
+      with_conn port (fun fd ->
+          let rng = Q.state ~seed:53 () in
+          P.write_all fd (P.encode_request { P.id = 0; op = P.Slow 200 });
+          Unix.sleepf 0.05;
+          let d0 = List.hd docs in
+          (* a mixed burst: general queries, listings, and two jobs that
+             must produce typed errors from inside a batch *)
+          let expect =
+            List.init 20 (fun i ->
+                let id = i + 1 in
+                if i = 7 then
+                  ( id,
+                    P.Query { index = 0; pattern = "AC"; tau = tau_min /. 2.0 },
+                    `Err P.Bad_request )
+                else if i = 13 then
+                  ( id,
+                    P.Listing { index = 0; pattern = "AC"; tau = 0.5 },
+                    `Err P.Bad_request )
+                else if i mod 3 = 0 then begin
+                  let pat = Sym.to_string (Q.pattern rng d0 ~m:3) in
+                  let tau = tau_min +. Random.State.float rng 0.6 in
+                  ( id,
+                    P.Listing { index = 1; pattern = pat; tau },
+                    `Hits (wire (L.query l ~pattern:(Sym.of_string pat) ~tau))
+                  )
+                end
+                else begin
+                  let pat = Sym.to_string (Q.pattern rng u ~m:3) in
+                  let tau = tau_min +. Random.State.float rng 0.6 in
+                  ( id,
+                    P.Query { index = 0; pattern = pat; tau },
+                    `Hits (wire (G.query g ~pattern:(Sym.of_string pat) ~tau))
+                  )
+                end)
+          in
+          List.iter
+            (fun (id, op, _) ->
+              P.write_all fd (P.encode_request { P.id = id; op }))
+            expect;
+          let got = Hashtbl.create 32 in
+          for _ = 0 to List.length expect do
+            match P.read_frame fd with
+            | Some payload ->
+                let id, reply = P.decode_reply payload in
+                Hashtbl.replace got id reply
+            | None -> Alcotest.fail "connection closed mid-burst"
+          done;
+          (match Hashtbl.find_opt got 0 with
+          | Some P.Pong -> ()
+          | _ -> Alcotest.fail "slow op did not complete");
+          List.iter
+            (fun (id, _, want) ->
+              match (want, Hashtbl.find_opt got id) with
+              | `Hits hs, Some reply ->
+                  check_hits (Printf.sprintf "batched reply %d" id) hs reply
+              | `Err e, Some (P.Error (e', _)) ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "batched error %d" id)
+                    (P.err_to_string e) (P.err_to_string e')
+              | `Err _, Some _ ->
+                  Alcotest.failf "batched job %d: expected a typed error" id
+              | _, None -> Alcotest.failf "batched job %d got no reply" id)
+            expect;
+          let m = Server.metrics srv in
+          Alcotest.(check bool) "a real batch formed" true
+            (Pti_server.Metrics.max_batch_size m >= 2);
+          Alcotest.(check bool) "batch rounds counted" true
+            (Pti_server.Metrics.batches m >= 1);
+          (* the stats payload exposes the new instrumentation *)
+          match rpc fd { P.id = 99; op = P.Stats } with
+          | _, P.Stats_reply s ->
+              List.iter
+                (fun needle ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "stats mentions %s" needle)
+                    true (contains s needle))
+                [
+                  "\"batches\""; "\"connections_shed\""; "\"cache_shards\"";
+                  "\"batched\"";
+                ]
+          | _ -> Alcotest.fail "expected stats reply"))
+
+let test_cache_shards () =
+  (* the sharded engine cache: a global capacity bound distributed over
+     per-worker shards, correct handles from every shard, revalidation
+     spanning all shards, and per-shard stats that add up *)
+  let module Ec = Pti_server.Engine_cache in
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let paths =
+    List.init 6 (fun _ -> Filename.temp_file "pti_shard" ".idx")
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths)
+    (fun () ->
+      List.iter (fun p -> G.save g p) paths;
+      (* effective shards = min shards capacity: every shard keeps at
+         least one slot *)
+      let tiny = Ec.create ~capacity:2 ~shards:8 () in
+      Alcotest.(check int) "shards capped by capacity" 2 (Ec.n_shards tiny);
+      (* capacity 24 over 4 shards = 6 slots each: ample for 6 paths
+         regardless of how they hash, so warm gets always hit *)
+      let c = Ec.create ~capacity:24 ~shards:4 () in
+      Alcotest.(check int) "requested shards" 4 (Ec.n_shards c);
+      let query_via h =
+        match h with
+        | Ec.General g' -> G.query g' ~pattern:(Sym.of_string "A") ~tau:0.5
+        | Ec.Listing _ -> Alcotest.fail "general container opened as listing"
+      in
+      let want = G.query g ~pattern:(Sym.of_string "A") ~tau:0.5 in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "handle answers identically" true
+            (query_via (Ec.get c p) = want))
+        paths;
+      Alcotest.(check int) "all cold loads missed" (List.length paths)
+        (Ec.misses c);
+      List.iter (fun p -> ignore (Ec.get c p)) paths;
+      Alcotest.(check int) "all warm loads hit" (List.length paths) (Ec.hits c);
+      (* per-shard stats add up to the global counters *)
+      let sh, sm, sf, entries =
+        Array.fold_left
+          (fun (h, m, f, e) (h', m', f', e') -> (h + h', m + m', f + f', e + e'))
+          (0, 0, 0, 0) (Ec.shard_stats c)
+      in
+      Alcotest.(check int) "shard hits sum" (Ec.hits c) sh;
+      Alcotest.(check int) "shard misses sum" (Ec.misses c) sm;
+      Alcotest.(check int) "shard failures sum" (Ec.open_failures c) sf;
+      Alcotest.(check int) "every path cached" (List.length paths) entries;
+      (* corrupt one file: revalidate must find it in whatever shard it
+         lives in, evict it, and leave the others served *)
+      let victim = List.nth paths 3 in
+      let oc = open_out_bin victim in
+      output_string oc "not a container";
+      close_out oc;
+      let evicted = Ec.revalidate c () in
+      Alcotest.(check (list string)) "corrupt path evicted" [ victim ]
+        (List.map fst evicted);
+      List.iteri
+        (fun i p ->
+          if i <> 3 then
+            Alcotest.(check bool)
+              (Printf.sprintf "path %d survives revalidate" i)
+              true
+              (query_via (Ec.get c p) = want))
+        paths;
+      (match Ec.get c victim with
+      | _ -> Alcotest.fail "corrupt container should not open"
+      | exception _ -> ());
+      Alcotest.(check bool) "open failure counted" true
+        (Ec.open_failures c >= 1);
+      (* heal the file: served again on the next get *)
+      G.save g victim;
+      Alcotest.(check bool) "healed path served" true
+        (query_via (Ec.get c victim) = want))
+
 let test_hot_reload () =
   (* SIGHUP semantics: request_reload revalidates cached containers; a
      corrupt one is evicted (typed Bad_index, no stale pin), and once
@@ -774,6 +1124,18 @@ let () =
         [
           Alcotest.test_case "overload backpressure" `Quick test_overload;
           Alcotest.test_case "deadline timeout" `Quick test_timeout;
+          Alcotest.test_case "accept survives EMFILE" `Quick test_accept_emfile;
+          Alcotest.test_case "half-close mid-frame" `Quick
+            test_half_close_midframe;
+          Alcotest.test_case "partial length prefix" `Quick
+            test_partial_length_prefix;
+          Alcotest.test_case "max-conns shed and reuse" `Quick
+            test_max_conns_shed;
+          Alcotest.test_case "beyond FD_SETSIZE connections" `Slow
+            test_many_connections;
+          Alcotest.test_case "batched replies byte-identical" `Quick
+            test_batched_identity;
+          Alcotest.test_case "sharded engine cache" `Quick test_cache_shards;
         ] );
       ( "fault",
         [
