@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par bench-io bench-space bench-serve bench-multicore serve-smoke chaos-smoke clean
+.PHONY: check check-par bench bench-par bench-io bench-space bench-frontier bench-serve bench-multicore serve-smoke chaos-smoke clean
 
 check:
 	dune build @all
@@ -18,9 +18,16 @@ bench-par:
 bench-io:
 	dune exec bench/main.exe -- io
 
-# Space: packed PTI-ENGINE-4 vs 64-bit V3 containers; writes BENCH_SPACE.json.
+# Space–latency frontier: packed PTI-ENGINE-4 vs 64-bit V3 vs succinct
+# containers (words/position, open time, query latency on the same
+# workload, every succinct answer verified against the packed twin);
+# writes BENCH_SPACE.json. bench-frontier is the same experiment under
+# its frontier alias.
 bench-space:
 	dune exec bench/main.exe -- space
+
+bench-frontier:
+	dune exec bench/main.exe -- frontier
 
 # Serving: loadgen against the TCP daemon — heap vs mmap engines at
 # concurrency 1/8/64 plus the workers x concurrency multicore sweep;

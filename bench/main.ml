@@ -869,10 +869,37 @@ let io () =
   Printf.printf "   wrote BENCH_IO.json\n"
 
 (* ------------------------------------------------------------------ *)
-(* space: minimal-width packed sections (PTI-ENGINE-4) vs the all-64-bit
-   V3 layout of the same engine — file bytes, 8-byte words per
-   transformed-text position (Fig 9(c)'s unit), and the save / open /
-   query latencies of both containers. Writes BENCH_SPACE.json. *)
+(* space: the space–latency frontier across the three persisted
+   layouts of the same dataset — packed (PTI-ENGINE-4, minimal-width
+   sections), v3 (all-64-bit layout of the packed engine) and succinct
+   (signature-only block RMQs + FM-index range search, lcp/raw-log
+   sections dropped) — file bytes, 8-byte words per transformed-text
+   position (Fig 9(c)'s unit), and save / open / query latencies of
+   each container. The succinct engine's answers are verified equal to
+   the packed engine's over the whole workload while being measured.
+   Writes BENCH_SPACE.json. *)
+
+type space_row = {
+  sp_n : int;
+  sp_text_len : int;
+  sp_build_s : float;
+  sp_succ_build_s : float;
+  sp_save_s : float;
+  sp_v3_save_s : float;
+  sp_succ_save_s : float;
+  sp_packed_b : int;
+  sp_v3_b : int;
+  sp_succ_b : int;
+  sp_wpp : float;
+  sp_v3_wpp : float;
+  sp_succ_wpp : float;
+  sp_open_s : float;
+  sp_v3_open_s : float;
+  sp_succ_open_s : float;
+  sp_q_us : float;
+  sp_v3_q_us : float;
+  sp_succ_q_us : float;
+}
 
 let space () =
   let ns_sp =
@@ -882,34 +909,43 @@ let space () =
   in
   let theta = 0.3 in
   print_header
-    "space: packed (PTI-ENGINE-4) vs 64-bit (V3) containers"
+    "space: packed (PTI-ENGINE-4) vs 64-bit (V3) vs succinct containers"
     (Printf.sprintf
        "theta=%.1f tau_min=%.2f; paper Fig 9(c) target is ~10.5 words per \
-        transformed-text position"
+        transformed-text position; succinct target < 4"
        theta tau_min_default);
-  Printf.printf "%10s %10s %10s %7s %7s %8s %8s %9s %9s %9s %9s\n" "n"
-    "packed_MB" "v3_MB" "ratio" "wpp" "save_s" "v3sav_s" "open_ms" "v3opn_ms"
-    "q_us" "v3q_us";
+  Printf.printf "%10s %10s %10s %10s %7s %7s %7s %9s %9s %9s %7s\n" "n"
+    "packed_MB" "v3_MB" "succ_MB" "wpp" "v3wpp" "s_wpp" "q_us" "v3q_us"
+    "sq_us" "slow";
   let rows =
     List.map
       (fun n ->
         let u = dataset ~n ~theta in
         let g, build_s = time (fun () -> G.build ~tau_min:tau_min_default u) in
+        let gs, succ_build_s =
+          time (fun () ->
+              G.build ~backend:Pti_core.Engine.Succinct ~tau_min:tau_min_default
+                u)
+        in
         let text_len = T.text_length (G.transform g) in
         let queries = workload u in
         let packed_path = Filename.temp_file "pti_bench_space" ".idx" in
         let v3_path = Filename.temp_file "pti_bench_space" ".idx3" in
+        let succ_path = Filename.temp_file "pti_bench_space" ".idxs" in
         Fun.protect
           ~finally:(fun () ->
             Sys.remove packed_path;
-            Sys.remove v3_path)
+            Sys.remove v3_path;
+            Sys.remove succ_path)
           (fun () ->
             let (), save_s = time (fun () -> G.save g packed_path) in
             let (), v3_save_s =
               time (fun () -> G.save ~format:Pti_storage.V3 g v3_path)
             in
+            let (), succ_save_s = time (fun () -> G.save gs succ_path) in
             let packed_b = (Unix.stat packed_path).Unix.st_size in
             let v3_b = (Unix.stat v3_path).Unix.st_size in
+            let succ_b = (Unix.stat succ_path).Unix.st_size in
             let open_and_query path =
               let g', open_s = time (fun () -> G.load path) in
               let q_us =
@@ -918,27 +954,63 @@ let space () =
                   queries
                 *. 1e6
               in
-              (open_s, q_us)
+              (g', open_s, q_us)
             in
-            let open_s, q_us = open_and_query packed_path in
-            let v3_open_s, v3_q_us = open_and_query v3_path in
+            let gp, open_s, q_us = open_and_query packed_path in
+            let _, v3_open_s, v3_q_us = open_and_query v3_path in
+            let gsucc, succ_open_s, succ_q_us = open_and_query succ_path in
+            (* the frontier is only meaningful if both ends answer
+               identically: verify the mapped succinct engine against the
+               mapped packed engine over the whole workload *)
+            List.iter
+              (fun p ->
+                let want = G.query gp ~pattern:p ~tau:tau_default in
+                let got = G.query gsucc ~pattern:p ~tau:tau_default in
+                if want <> got then
+                  failwith
+                    (Printf.sprintf
+                       "space: succinct/packed mismatch at n=%d on pattern \
+                        of length %d"
+                       n (Array.length p)))
+              queries;
             let wpp =
               Space.words_per_position ~bytes:packed_b ~positions:text_len
             in
             let v3_wpp =
               Space.words_per_position ~bytes:v3_b ~positions:text_len
             in
+            let succ_wpp =
+              Space.words_per_position ~bytes:succ_b ~positions:text_len
+            in
             Printf.printf
-              "%10d %10.2f %10.2f %7.2f %7.2f %8.2f %8.2f %9.2f %9.2f %9.1f \
-               %9.1f\n"
+              "%10d %10.2f %10.2f %10.2f %7.2f %7.2f %7.2f %9.1f %9.1f %9.1f \
+               %6.2fx\n"
               n
               (float_of_int packed_b /. (1024. *. 1024.))
               (float_of_int v3_b /. (1024. *. 1024.))
-              (float_of_int packed_b /. float_of_int v3_b)
-              wpp save_s v3_save_s (open_s *. 1e3) (v3_open_s *. 1e3) q_us
-              v3_q_us;
-            ( n, text_len, build_s, save_s, v3_save_s, packed_b, v3_b, wpp,
-              v3_wpp, open_s, v3_open_s, q_us, v3_q_us )))
+              (float_of_int succ_b /. (1024. *. 1024.))
+              wpp v3_wpp succ_wpp q_us v3_q_us succ_q_us (succ_q_us /. q_us);
+            {
+              sp_n = n;
+              sp_text_len = text_len;
+              sp_build_s = build_s;
+              sp_succ_build_s = succ_build_s;
+              sp_save_s = save_s;
+              sp_v3_save_s = v3_save_s;
+              sp_succ_save_s = succ_save_s;
+              sp_packed_b = packed_b;
+              sp_v3_b = v3_b;
+              sp_succ_b = succ_b;
+              sp_wpp = wpp;
+              sp_v3_wpp = v3_wpp;
+              sp_succ_wpp = succ_wpp;
+              sp_open_s = open_s;
+              sp_v3_open_s = v3_open_s;
+              sp_succ_open_s = succ_open_s;
+              sp_q_us = q_us;
+              sp_v3_q_us = v3_q_us;
+              sp_succ_q_us = succ_q_us;
+            }))
       ns_sp
   in
   let oc = open_out "BENCH_SPACE.json" in
@@ -952,28 +1024,39 @@ let space () =
         \  \"note\": \"%s\",\n  \"results\": [\n"
         theta tau_min_default (host_json_fields ())
         (json_escape
-           "packed = PTI-ENGINE-4 (minimal-width u8/u16/u32/u64 sections, \
+           "three-way space-latency frontier over the same dataset: packed \
+            = PTI-ENGINE-4 (minimal-width u8/u16/u32/u64 sections, \
             streaming save); v3 = same engine written with the all-64-bit \
-            V3 layout. words_per_position = file bytes / 8 / transformed \
-            text length, the unit of the paper's Fig 9(c) (~10.5 for the \
-            paper's index). query latencies are mean us per query over the \
-            standard mixed-length workload on the reopened mmap engine, \
-            best of three passes.");
+            V3 layout; succinct = space-lean serving backend \
+            (signature-only block RMQs at ~2 bits/element/level, FM-index \
+            range search, lcp and raw-log sections dropped), mapped \
+            read-only with no rebuild at open and verified to answer the \
+            whole workload identically to the packed engine. \
+            words_per_position = file bytes / 8 / transformed text length, \
+            the unit of the paper's Fig 9(c) (~10.5 for the paper's index; \
+            succinct targets < 4 at <= 3x packed query latency). query \
+            latencies are mean us per query over the standard mixed-length \
+            workload on the reopened mmap engine, best of three passes.");
       List.iteri
-        (fun i
-             ( n, text_len, build_s, save_s, v3_save_s, packed_b, v3_b, wpp,
-               v3_wpp, open_s, v3_open_s, q_us, v3_q_us ) ->
+        (fun i r ->
           Printf.fprintf oc
             "    {\"n\": %d, \"text_len\": %d, \"build_s\": %.4f, \
-             \"packed_save_s\": %.4f, \"v3_save_s\": %.4f, \
+             \"succinct_build_s\": %.4f, \"packed_save_s\": %.4f, \
+             \"v3_save_s\": %.4f, \"succinct_save_s\": %.4f, \
              \"packed_file_bytes\": %d, \"v3_file_bytes\": %d, \
-             \"bytes_ratio\": %.4f, \"packed_words_per_position\": %.3f, \
-             \"v3_words_per_position\": %.3f, \"packed_open_s\": %.6f, \
-             \"v3_open_s\": %.6f, \"packed_query_us\": %.2f, \
-             \"v3_query_us\": %.2f}%s\n"
-            n text_len build_s save_s v3_save_s packed_b v3_b
-            (float_of_int packed_b /. float_of_int v3_b)
-            wpp v3_wpp open_s v3_open_s q_us v3_q_us
+             \"succinct_file_bytes\": %d, \"bytes_ratio\": %.4f, \
+             \"packed_words_per_position\": %.3f, \
+             \"v3_words_per_position\": %.3f, \
+             \"succinct_words_per_position\": %.3f, \"packed_open_s\": %.6f, \
+             \"v3_open_s\": %.6f, \"succinct_open_s\": %.6f, \
+             \"packed_query_us\": %.2f, \"v3_query_us\": %.2f, \
+             \"succinct_query_us\": %.2f, \"succinct_latency_ratio\": %.3f}%s\n"
+            r.sp_n r.sp_text_len r.sp_build_s r.sp_succ_build_s r.sp_save_s
+            r.sp_v3_save_s r.sp_succ_save_s r.sp_packed_b r.sp_v3_b r.sp_succ_b
+            (float_of_int r.sp_packed_b /. float_of_int r.sp_v3_b)
+            r.sp_wpp r.sp_v3_wpp r.sp_succ_wpp r.sp_open_s r.sp_v3_open_s
+            r.sp_succ_open_s r.sp_q_us r.sp_v3_q_us r.sp_succ_q_us
+            (r.sp_succ_q_us /. r.sp_q_us)
             (if i = List.length rows - 1 then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n}\n");
@@ -1283,6 +1366,10 @@ let experiments =
     ("abl_persist", abl_persist);
     ("io", io);
     ("space", space);
+    (* Alias: the three-way packed/v3/succinct space-latency frontier is
+       the space experiment; named for `make bench-frontier`. Excluded
+       from the default run-everything selection like multicore. *)
+    ("frontier", space);
     ("par", par);
     ("serve", fun () -> serve_bench ());
     (* Only the workers × concurrency scaling sweep (the "multicore"
@@ -1311,7 +1398,9 @@ let () =
   let selected =
     match args with
     | [] ->
-        List.filter (fun n -> n <> "multicore") (List.map fst experiments)
+        List.filter
+          (fun n -> n <> "multicore" && n <> "frontier")
+          (List.map fst experiments)
     | names ->
         List.iter
           (fun n ->

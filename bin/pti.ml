@@ -93,21 +93,32 @@ let print_hits hits =
       (fun (pos, p) -> Printf.printf "%d\t%s\n" pos (Logp.to_string p))
       hits
 
-let build_cmd_impl input output tau_min docs_mode relevance =
+let build_cmd_impl input output tau_min docs_mode relevance backend =
   run_checked @@ fun () ->
+  let backend =
+    match Pti_core.Engine.backend_of_string backend with
+    | Some b -> b
+    | None -> failwith ("unknown backend: " ^ backend ^ " (packed or succinct)")
+  in
   if docs_mode then begin
     let docs = read_docs input in
     let rel = if relevance = "or" then L.Rel_or else L.Rel_max in
-    let l, built = time (fun () -> L.build ~relevance:rel ~tau_min docs) in
+    let l, built =
+      time (fun () -> L.build ~relevance:rel ~backend ~tau_min docs)
+    in
     L.save l output;
-    Printf.eprintf "listing index (%d docs) built in %.3fs, saved to %s\n"
-      (L.n_docs l) built output
+    Printf.eprintf "listing index (%d docs, %s) built in %.3fs, saved to %s\n"
+      (L.n_docs l)
+      (Pti_core.Engine.backend_to_string backend)
+      built output
   end
   else begin
     let u = read_single input in
-    let g, built = time (fun () -> G.build ~tau_min u) in
+    let g, built = time (fun () -> G.build ~backend ~tau_min u) in
     G.save g output;
-    Printf.eprintf "index built in %.3fs (%s), saved to %s\n" built
+    Printf.eprintf "index (%s) built in %.3fs (%s), saved to %s\n"
+      (Pti_core.Engine.backend_to_string backend)
+      built
       (Pti_core.Space.bytes_to_string (G.size_bytes g))
       output
   end
@@ -235,12 +246,28 @@ let container_stats path =
   let payload =
     List.fold_left (fun a i -> a + i.S.Reader.si_bytes) 0 infos
   in
+  let file_bytes = (Unix.stat path).Unix.st_size in
   Printf.printf "container:  PTI-ENGINE-%d  %s\n" (S.Reader.version r) path;
   Printf.printf "sections:   %d  (%s payload, %s file)\n" (List.length infos)
     (Pti_core.Space.bytes_to_string payload)
-    (Pti_core.Space.bytes_to_string
-       (let st = Unix.stat path in
-        st.Unix.st_size));
+    (Pti_core.Space.bytes_to_string file_bytes);
+  (* engine containers: backend kind + space-per-position summary *)
+  (if S.Reader.has r "meta" then
+     let meta = S.Reader.ints r "meta" in
+     let arity = S.Ints.length meta in
+     if arity = 2 || arity = 3 then begin
+       let n = S.Ints.get meta 0 in
+       let backend =
+         match (arity, if arity = 3 then S.Ints.get meta 2 else 0) with
+         | _, 0 -> "packed"
+         | _, 1 -> "succinct"
+         | _, k -> Printf.sprintf "unknown(%d)" k
+       in
+       Printf.printf "backend:    %s  (%.2f words/position over %d positions)\n"
+         backend
+         (Pti_core.Space.words_per_position ~bytes:file_bytes ~positions:n)
+         n
+     end);
   Printf.printf "%-22s %-7s %5s %4s %12s %12s  %s\n" "name" "kind" "width"
     "bias" "bytes" "elems" "checksum";
   List.iter
@@ -523,11 +550,20 @@ let build_cmd =
       value & opt string "max"
       & info [ "relevance" ] ~doc:"Relevance metric for --docs: max or or.")
   in
+  let backend =
+    Arg.(
+      value & opt string "packed"
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Persisted layout: $(b,packed) (every construction artefact, \
+             fastest queries) or $(b,succinct) (signature-only block RMQs + \
+             FM-index range search; smallest container).")
+  in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an index and persist it to disk.")
     Term.(
       const build_cmd_impl $ input_arg $ output $ tau_min_arg $ docs_mode
-      $ relevance)
+      $ relevance $ backend)
 
 let list_cmdliner =
   let relevance =

@@ -27,6 +27,27 @@ let default_config =
     range_search = Rs_binary;
   }
 
+(* Which persisted layout the engine targets. [Packed] keeps every
+   construction artefact; [Succinct] trades a little query latency for
+   space — signature-only block RMQs, FM-index range search, and the
+   redundant lcp / raw-log sections dropped from the container. *)
+type backend = Packed | Succinct
+
+let backend_to_string = function Packed -> "packed" | Succinct -> "succinct"
+
+let backend_of_string = function
+  | "packed" -> Some Packed
+  | "succinct" -> Some Succinct
+  | _ -> None
+
+(* Config overrides implied by a backend; metric/ladder choices are
+   orthogonal and kept. *)
+let backend_config backend cfg =
+  match backend with
+  | Packed -> cfg
+  | Succinct ->
+      { cfg with rmq_kind = Rmq.Block Pti_rmq.Rmq_block.max_block; range_search = Rs_fm }
+
 (* Max-heap of (priority, a, b, c) used for reporting in non-increasing
    probability order. *)
 module Heap = struct
@@ -98,6 +119,7 @@ end
 type t = {
   tr : Transform.t;
   cfg : config;
+  backend : backend;
   key_of_pos : int -> int;
   text : S.ints;
   pos : S.ints;
@@ -164,6 +186,7 @@ let make_level_value ~metric ~dead ~stored ~slot_value level j =
    persisted RMQs instead. *)
 type pieces = {
   c_cfg : config;
+  c_backend : backend;
   c_tr : Transform.t;
   c_sa : S.ints;
   c_lcp : S.ints;
@@ -208,6 +231,7 @@ let finish ?domains ~key_of_pos pieces =
   {
     tr;
     cfg = config;
+    backend = pieces.c_backend;
     key_of_pos;
     text;
     pos;
@@ -225,7 +249,9 @@ let finish ?domains ~key_of_pos pieces =
     st = pieces.c_st;
   }
 
-let build ?(config = default_config) ?domains ~key_of_pos tr =
+let build ?(config = default_config) ?(backend = Packed) ?domains ~key_of_pos
+    tr =
+  let config = backend_config backend config in
   let text = Transform.text tr in
   let pos = Transform.pos tr in
   let n = Array.length text in
@@ -352,6 +378,7 @@ let build ?(config = default_config) ?domains ~key_of_pos tr =
   finish ?domains ~key_of_pos
     {
       c_cfg = config;
+      c_backend = backend;
       c_tr = tr;
       c_sa = sa_s;
       c_lcp = S.Ints.of_array lcp;
@@ -366,6 +393,7 @@ let build ?(config = default_config) ?domains ~key_of_pos tr =
 
 let transform t = t.tr
 let config t = t.cfg
+let backend t = t.backend
 let max_short t = t.max_short
 
 let slot_value t j len = slot_value_raw ~tr:t.tr ~pos:t.pos ~sa:t.sa ~n:t.n j len
@@ -586,8 +614,8 @@ let size_words t =
   + Transform.size_words t.tr
 
 (* Byte-accurate accounting: packed views count at their packed width.
-   The FM-index and suffix tree are heap structures persisted as
-   Marshal blobs; their word estimate times 8 stands in for bytes. *)
+   The suffix tree remains a heap structure persisted as a Marshal blob;
+   its word estimate times 8 stands in for bytes. *)
 let size_bytes t =
   let rmq_bytes =
     Array.fold_left (fun acc r -> acc + Rmq.size_bytes r) 0 t.level_rmq
@@ -605,7 +633,7 @@ let size_bytes t =
   let fm_bytes =
     match t.fm with
     | None -> 0
-    | Some fm -> 8 * Pti_succinct.Fm_index.size_words fm
+    | Some fm -> Pti_succinct.Fm_index.size_bytes fm
   in
   let st_bytes =
     match t.st with
@@ -618,8 +646,11 @@ let size_bytes t =
 
 let stats t =
   Printf.sprintf
-    "engine: N=%d levels=%d ladder=[%s] metric=%s rmq=%s size=%d words | %s"
-    t.n t.max_short
+    "engine: N=%d backend=%s levels=%d ladder=[%s] metric=%s rmq=%s size=%d \
+     words | %s"
+    t.n
+    (backend_to_string t.backend)
+    t.max_short
     (String.concat ","
        (Array.to_list (Array.map string_of_int t.ladder_sizes)))
     (match t.cfg.metric with Max -> "max" | Or_metric -> "or")
@@ -644,12 +675,19 @@ let stats t =
 
 let magic = S.magic
 
+let backend_tag = function Packed -> 0 | Succinct -> 1
+
 let save_to_writer t w =
   S.Writer.add_bytes w "cfg" (Marshal.to_string t.cfg []);
-  S.Writer.add_ints w "meta" [| t.n; t.max_short |];
-  Transform.save_parts w t.tr;
+  S.Writer.add_ints w "meta" [| t.n; t.max_short; backend_tag t.backend |];
+  (* the succinct backend drops sections that are pure construction
+     artefacts: the LCP array and the raw per-position logs are never
+     read on the query path *)
+  Transform.save_parts ~with_logs:(t.backend = Packed) w t.tr;
   S.Writer.add_ints_ba w "sa" t.sa;
-  S.Writer.add_ints_ba w "lcp" t.lcp;
+  (match t.backend with
+  | Packed -> S.Writer.add_ints_ba w "lcp" t.lcp
+  | Succinct -> ());
   (match t.cfg.metric with
   | Max ->
       Array.iteri
@@ -672,7 +710,7 @@ let save_to_writer t w =
     t.ladder_rmq;
   (match t.fm with
   | None -> ()
-  | Some fm -> S.Writer.add_bytes w "fm" (Marshal.to_string fm []));
+  | Some fm -> Pti_succinct.Fm_index.save_parts w ~prefix:"fm" fm);
   match t.st with
   | None -> ()
   | Some st -> S.Writer.add_bytes w "st" (Marshal.to_string st [])
@@ -686,9 +724,24 @@ let save ?format ?extra t path =
 let open_reader ~key_of_pos r =
   let cfg : config = Marshal.from_string (S.Reader.blob r "cfg") 0 in
   let meta = S.Reader.ints r "meta" in
-  if S.Ints.length meta <> 2 then
+  (* arity 2: pre-backend containers, always packed *)
+  if S.Ints.length meta <> 2 && S.Ints.length meta <> 3 then
     raise (S.Corrupt { section = "meta"; reason = "engine meta has wrong arity" });
   let n = S.Ints.get meta 0 and max_short = S.Ints.get meta 1 in
+  let backend =
+    if S.Ints.length meta = 2 then Packed
+    else
+      match S.Ints.get meta 2 with
+      | 0 -> Packed
+      | 1 -> Succinct
+      | k ->
+          raise
+            (S.Corrupt
+               {
+                 section = "meta";
+                 reason = Printf.sprintf "unknown backend tag %d" k;
+               })
+  in
   let tr = Transform.open_parts r in
   let text = Transform.text_storage tr in
   let pos = Transform.pos_storage tr in
@@ -702,8 +755,13 @@ let open_reader ~key_of_pos r =
                (S.Ints.length text) n;
          });
   let sa = S.Reader.ints r "sa" in
-  let lcp = S.Reader.ints r "lcp" in
-  if S.Ints.length sa <> n || S.Ints.length lcp <> n then
+  (* lcp is a construction artefact; succinct containers omit it *)
+  let lcp =
+    if S.Reader.has r "lcp" then S.Reader.ints r "lcp"
+    else S.Ints.of_array [||]
+  in
+  if S.Ints.length sa <> n || (S.Reader.has r "lcp" && S.Ints.length lcp <> n)
+  then
     raise
       (S.Corrupt
          { section = "sa"; reason = "suffix/LCP array length mismatch with N" });
@@ -740,8 +798,15 @@ let open_reader ~key_of_pos r =
           ~value:(S.Floats.get ladder_max.(i)))
   in
   let fm =
-    if S.Reader.has r "fm" then
-      Some (Marshal.from_string (S.Reader.blob r "fm") 0)
+    if S.Reader.has r "fm.meta" then
+      (* current layout: named sections, mapped in place *)
+      Some (Pti_succinct.Fm_index.open_parts r ~prefix:"fm")
+    else if S.Reader.has r "fm" then
+      (* pre-section containers: one Marshal blob of the old heap records *)
+      let legacy : Pti_succinct.Fm_index.Legacy.t =
+        Marshal.from_string (S.Reader.blob r "fm") 0
+      in
+      Some (Pti_succinct.Fm_index.of_legacy legacy)
     else None
   in
   let st =
@@ -752,6 +817,7 @@ let open_reader ~key_of_pos r =
   {
     tr;
     cfg;
+    backend;
     key_of_pos;
     text;
     pos;
@@ -802,7 +868,7 @@ module Legacy = struct
     p_stored : float array array;
     p_ladder_sizes : int array;
     p_ladder_max : float array array;
-    p_fm : Pti_succinct.Fm_index.t option;
+    p_fm : Pti_succinct.Fm_index.Legacy.t option;
     p_st : Pti_suffix.Suffix_tree.t option;
   }
 end
@@ -810,7 +876,7 @@ end
 let legacy_magic = "PTI-ENGINE-2\n"
 
 let save_legacy_channel t oc =
-  let cum, zeros, logs = Pti_prob.Parray.raw (Transform.parray t.tr) in
+  let cum, zeros, _logs = Pti_prob.Parray.raw (Transform.parray t.tr) in
   let legacy_tr =
     {
       Legacy.source = Transform.source t.tr;
@@ -821,7 +887,7 @@ let save_legacy_channel t oc =
         {
           Legacy.cum = S.Floats.to_array cum;
           zeros = S.Ints.to_array zeros;
-          logs = S.Floats.to_array logs;
+          logs = Pti_prob.Parray.raw_logs (Transform.parray t.tr);
         };
       n_factors = Transform.n_factors t.tr;
       n_skipped = Transform.n_skipped t.tr;
@@ -839,7 +905,7 @@ let save_legacy_channel t oc =
       p_stored = Array.map S.Floats.to_array t.stored;
       p_ladder_sizes = t.ladder_sizes;
       p_ladder_max = Array.map S.Floats.to_array t.ladder_max;
-      p_fm = t.fm;
+      p_fm = Option.map Pti_succinct.Fm_index.to_legacy t.fm;
       p_st = t.st;
     }
   in
@@ -862,6 +928,7 @@ let load_legacy_channel ?domains ~key_of_pos ic =
   finish ?domains ~key_of_pos
     {
       c_cfg = parts.p_cfg;
+      c_backend = Packed;
       c_tr = tr;
       c_sa = S.Ints.of_array parts.p_sa;
       c_lcp = S.Ints.of_array parts.p_lcp;
@@ -870,7 +937,7 @@ let load_legacy_channel ?domains ~key_of_pos ic =
       c_stored = Array.map S.Floats.of_array parts.p_stored;
       c_ladder_sizes = parts.p_ladder_sizes;
       c_ladder_max = Array.map S.Floats.of_array parts.p_ladder_max;
-      c_fm = parts.p_fm;
+      c_fm = Option.map Pti_succinct.Fm_index.of_legacy parts.p_fm;
       c_st = parts.p_st;
     }
 

@@ -63,15 +63,36 @@ type config = {
 val default_config : config
 (** Succinct RMQ, geometric ladder, [Max] metric, binary search. *)
 
+type backend =
+  | Packed
+      (** Every construction artefact persisted: Fischer–Heun RMQs, LCP
+          array, raw per-position logs. Fastest queries. *)
+  | Succinct
+      (** Space-lean serving layout: signature-only block RMQs (≈2 bits
+          per element per level), FM-index range search instead of
+          suffix-array binary search, and the LCP / raw-log sections
+          dropped from the container. Targets < 4 words per text
+          position at a small constant-factor query latency cost. *)
+
+val backend_to_string : backend -> string
+val backend_of_string : string -> backend option
+
 type t
 
 val build :
   ?config:config ->
+  ?backend:backend ->
   ?domains:int ->
   key_of_pos:(int -> int) ->
   Pti_transform.Transform.t ->
   t
-(** [key_of_pos] maps an original uncertain-string position to the
+(** [backend] (default [Packed]) selects the persisted layout;
+    [Succinct] overrides the config's [rmq_kind] to the signature-only
+    block RMQ and [range_search] to [Rs_fm] (metric and ladder choices
+    are kept). The backend is recorded in the container header and
+    restored by {!load}.
+
+    [key_of_pos] maps an original uncertain-string position to the
     output key; it must be total on positions occurring in the
     transform. It may be called concurrently from several domains and
     must be pure (every supplied key function is a plain array/identity
@@ -87,6 +108,11 @@ val build :
 
 val transform : t -> Pti_transform.Transform.t
 val config : t -> config
+
+val backend : t -> backend
+(** The layout this engine was built with (or that its container
+    recorded; legacy loads report [Packed]). *)
+
 val max_short : t -> int
 (** ⌈log₂ N⌉: the short/long pattern boundary. *)
 

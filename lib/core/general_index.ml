@@ -5,10 +5,10 @@ module Transform = Pti_transform.Transform
 
 type t = { engine : Engine.t }
 
-let build ?config ?domains ?max_text_len ~tau_min u =
+let build ?config ?backend ?domains ?max_text_len ~tau_min u =
   if Ustring.length u = 0 then invalid_arg "General_index.build: empty string";
   let tr = Transform.build ?max_text_len ~tau_min u in
-  { engine = Engine.build ?config ?domains ~key_of_pos:(fun p -> p) tr }
+  { engine = Engine.build ?config ?backend ?domains ~key_of_pos:(fun p -> p) tr }
 
 let query t ~pattern ~tau = Engine.query t.engine ~pattern ~tau
 let query_batch ?domains t ~patterns = Engine.query_batch ?domains t.engine ~patterns

@@ -14,13 +14,16 @@ type t
 
 val build :
   ?config:Engine.config ->
+  ?backend:Engine.backend ->
   ?domains:int ->
   ?max_text_len:int ->
   tau_min:float ->
   Pti_ustring.Ustring.t ->
   t
-(** [?domains] sets construction parallelism (see {!Engine.build});
-    the built index is byte-identical for every domain count. *)
+(** [?backend] selects the persisted layout (default [Packed]; see
+    {!Engine.backend}). [?domains] sets construction parallelism (see
+    {!Engine.build}); the built index is byte-identical for every domain
+    count. *)
 
 val query :
   t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list

@@ -16,7 +16,7 @@ type t = {
 }
 
 let build ?(rmq_kind = Pti_rmq.Rmq.Succinct) ?(ladder = Engine.Ladder_geometric)
-    ?(relevance = Rel_max) ?domains ?max_text_len ~tau_min docs =
+    ?(relevance = Rel_max) ?backend ?domains ?max_text_len ~tau_min docs =
   if docs = [] then invalid_arg "Listing_index.build: empty collection";
   List.iteri
     (fun k d ->
@@ -41,7 +41,9 @@ let build ?(rmq_kind = Pti_rmq.Rmq.Succinct) ?(ladder = Engine.Ladder_geometric)
     match relevance with Rel_max -> Engine.Max | Rel_or -> Engine.Or_metric
   in
   let config = { Engine.default_config with rmq_kind; ladder; metric } in
-  let engine = Engine.build ~config ?domains ~key_of_pos:(fun p -> doc_of.(p)) tr in
+  let engine =
+    Engine.build ~config ?backend ?domains ~key_of_pos:(fun p -> doc_of.(p)) tr
+  in
   let docs = Array.of_list docs in
   { engine; docs = Lazy.from_val docs; n_docs = Array.length docs; relevance }
 

@@ -31,6 +31,7 @@ val build :
   ?rmq_kind:Pti_rmq.Rmq.kind ->
   ?ladder:Engine.ladder ->
   ?relevance:relevance ->
+  ?backend:Engine.backend ->
   ?domains:int ->
   ?max_text_len:int ->
   tau_min:float ->
@@ -39,6 +40,7 @@ val build :
 (** Default relevance is [Rel_max]. [Rel_or] retains per-level value
     arrays (O(N log N) floats) — see DESIGN.md §2.6. Raises
     [Invalid_argument] on an empty collection or empty documents.
+    [?backend] selects the persisted layout (see {!Engine.backend}).
     [?domains] sets construction parallelism (see {!Engine.build}). *)
 
 val n_docs : t -> int

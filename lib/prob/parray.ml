@@ -1,9 +1,12 @@
 module S = Pti_storage
 
 type t = {
+  n : int;
   cum : S.floats; (* cum.(i) = sum of finite logs of positions [0..i-1] *)
   zeros : S.ints; (* zeros.(i) = number of zero-probability positions in [0..i-1] *)
-  logs : S.floats; (* per-position raw log values, for [get] *)
+  logs : S.floats option; (* per-position raw log values; None when the
+                             container dropped them (succinct backend) —
+                             [get] then derives from cum/zeros diffs *)
 }
 
 let of_logps logs =
@@ -22,16 +25,26 @@ let of_logps logs =
     end
   done;
   {
+    n;
     cum = S.Floats.of_array cum;
     zeros = S.Ints.of_array zeros;
-    logs = S.Floats.of_array (Array.map Logp.to_log logs);
+    logs = Some (S.Floats.of_array (Array.map Logp.to_log logs));
   }
 
 let of_probs probs = of_logps (Array.map Logp.of_prob probs)
 
-let length t = S.Floats.length t.logs
+let length t = t.n
 
-let get t i = Logp.of_log (S.Floats.get t.logs i)
+let derived_log t i =
+  if S.Ints.get t.zeros (i + 1) - S.Ints.get t.zeros i > 0 then neg_infinity
+  else S.Floats.get t.cum (i + 1) -. S.Floats.get t.cum i
+
+let get t i =
+  match t.logs with
+  | Some logs -> Logp.of_log (S.Floats.get logs i)
+  | None ->
+      if i < 0 || i >= t.n then invalid_arg "Parray.get: out of range";
+      Logp.of_log (Float.min 0.0 (derived_log t i))
 
 let window t ~pos ~len =
   let n = length t in
@@ -51,14 +64,21 @@ let prefix t j =
 
 let size_bytes t =
   S.Floats.byte_size t.cum + S.Ints.byte_size t.zeros
-  + S.Floats.byte_size t.logs
+  + (match t.logs with Some l -> S.Floats.byte_size l | None -> 0)
 
 let raw t = (t.cum, t.zeros, t.logs)
 
 let of_storage ~cum ~zeros ~logs =
-  let n = S.Floats.length logs in
-  if S.Floats.length cum <> n + 1 || S.Ints.length zeros <> n + 1 then
+  let n = S.Floats.length cum - 1 in
+  if n < 0 || S.Ints.length zeros <> n + 1 then
     invalid_arg "Parray.of_storage: inconsistent section lengths";
-  { cum; zeros; logs }
+  (match logs with
+  | Some l when S.Floats.length l <> n ->
+      invalid_arg "Parray.of_storage: inconsistent section lengths"
+  | _ -> ());
+  { n; cum; zeros; logs }
 
-let raw_logs t = S.Floats.to_array t.logs
+let raw_logs t =
+  match t.logs with
+  | Some logs -> S.Floats.to_array logs
+  | None -> Array.init t.n (derived_log t)

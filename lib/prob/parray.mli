@@ -42,18 +42,24 @@ val size_bytes : t -> int
     array can be served zero-copy from a mapped index file; the
     accessors below exist for the persistence layer only. *)
 
-val raw : t -> Pti_storage.floats * Pti_storage.ints * Pti_storage.floats
+val raw :
+  t -> Pti_storage.floats * Pti_storage.ints * Pti_storage.floats option
 (** [(cum, zeros, logs)] — the cumulative log sums (length n+1), the
     zero-probability prefix counts (length n+1) and the raw per-position
-    log values (length n). *)
+    log values (length n; [None] when the container dropped them). *)
 
 val of_storage :
   cum:Pti_storage.floats ->
   zeros:Pti_storage.ints ->
-  logs:Pti_storage.floats ->
+  logs:Pti_storage.floats option ->
   t
 (** Rebuild from views previously obtained via {!raw} (typically mapped
-    from a file). Raises [Invalid_argument] on inconsistent lengths. *)
+    from a file). [logs] may be [None] — the succinct backend drops the
+    raw log section; {!get} then derives per-position values from
+    cumulative differences (exact zeros, float-rounded magnitudes) and
+    {!window}/{!prefix} are unaffected. Raises [Invalid_argument] on
+    inconsistent lengths. *)
 
 val raw_logs : t -> float array
-(** Heap copy of the raw log values (legacy persistence only). *)
+(** Heap copy of the raw log values (legacy persistence only); derived
+    from cumulative differences when the raw section was dropped. *)

@@ -1,14 +1,19 @@
 (** Range-maximum queries over (virtual) float arrays.
 
-    Front end over three interchangeable implementations (see
-    {!Rmq_intf.S}): a linear-scan oracle, a sparse table and a
-    Fischer–Heun block structure. The index construction of the paper
-    (Lemma 1) uses the succinct variant; the others exist as a testing
-    oracle and a speed/space ablation point. *)
+    Front end over four interchangeable implementations (see
+    {!Rmq_intf.S}): a linear-scan oracle, a sparse table, a Fischer–Heun
+    block structure and a signature-only block structure ([Block], ≈2
+    bits per element — the space-lean point used by the succinct serving
+    backend). The index construction of the paper (Lemma 1) uses the
+    succinct variant; the others exist as a testing oracle and
+    speed/space ablation points. *)
 
-type kind = Naive | Sparse | Succinct
+type kind = Naive | Sparse | Succinct | Block of int
 
 val kind_of_string : string -> kind option
+(** Recognises ["naive"], ["sparse"], ["succinct"], ["block"]
+    (= [Block 31]) and ["block:N"] for N in [2, 31]. *)
+
 val kind_to_string : kind -> string
 val all_kinds : kind list
 

@@ -2,7 +2,11 @@
 
     Bits are packed into 63-bit words (OCaml ints) with one cumulative
     rank counter per word — n + n/63·63 ≈ 2n bits total. The substrate
-    for {!Wavelet} and {!Fm_index}. *)
+    for {!Wavelet} and {!Fm_index}.
+
+    Both arrays are {!Pti_storage} views, so a bit vector is either
+    heap-backed (just built) or a zero-copy view of a mapped container
+    ({!open_parts}) — one query path, nothing rebuilt at open. *)
 
 type t
 
@@ -27,3 +31,21 @@ val select1 : t -> int -> int
 
 val select0 : t -> int -> int
 val size_words : t -> int
+
+val size_bytes : t -> int
+(** Bytes of the two backing arrays in their current representation. *)
+
+val of_raw :
+  len:int -> words:Pti_storage.ints -> cum:Pti_storage.ints -> t
+(** Reassemble from raw views (legacy-format decoding). Raises
+    [Invalid_argument] on inconsistent lengths. *)
+
+val raw : t -> Pti_storage.ints * Pti_storage.ints
+(** [(words, cum)] — the backing views, for legacy encoding. *)
+
+val save_parts : Pti_storage.Writer.t -> prefix:string -> t -> unit
+(** Persist as container sections [prefix ^ ".meta"/".words"/".cum"]. *)
+
+val open_parts : Pti_storage.Reader.t -> prefix:string -> t
+(** Zero-copy reopen of {!save_parts} output. Raises
+    {!Pti_storage.Corrupt} on missing or inconsistent sections. *)

@@ -4,10 +4,12 @@
    relative order of real suffixes is unchanged), so ranges convert by
    subtracting 1. *)
 
+module S = Pti_storage
+
 type t = {
   n : int; (* length of the original text *)
   wt : Wavelet.t; (* wavelet tree of the BWT (length n + 1) *)
-  c : int array; (* c.(s) = number of BWT symbols < s *)
+  c : S.ints; (* c.(s) = number of BWT symbols < s *)
 }
 
 let create ?sa text =
@@ -32,7 +34,7 @@ let create ?sa text =
   for s = 1 to maxc + 1 do
     c.(s) <- c.(s - 1) + counts.(s - 1)
   done;
-  { n; wt = Wavelet.build ~sigma:(maxc + 1) bwt; c }
+  { n; wt = Wavelet.build ~sigma:(maxc + 1) bwt; c = S.Ints.of_array c }
 
 let length t = t.n
 
@@ -49,9 +51,9 @@ let range t ~pattern =
         let s = pattern.(k) in
         if s >= Wavelet.sigma t.wt || s < 1 then (1, 0)
         else begin
-          let sp' = t.c.(s) + Wavelet.rank t.wt ~sym:s sp in
-          let ep' = t.c.(s) + Wavelet.rank t.wt ~sym:s (ep + 1) - 1 in
-          go (k - 1) sp' ep'
+          let cs = S.Ints.get t.c s in
+          let r_sp, r_ep = Wavelet.rank2 t.wt ~sym:s sp (ep + 1) in
+          go (k - 1) (cs + r_sp) (cs + r_ep - 1)
         end
       end
     in
@@ -66,4 +68,84 @@ let range t ~pattern =
 let count t ~pattern =
   match range t ~pattern with None -> 0 | Some (sp, ep) -> ep - sp + 1
 
-let size_words t = Wavelet.size_words t.wt + Array.length t.c + 2
+let size_words t = Wavelet.size_words t.wt + S.Ints.length t.c + 2
+let size_bytes t = Wavelet.size_bytes t.wt + S.Ints.byte_size t.c + 16
+
+(* {2 Persistence} *)
+
+(* Sections under [prefix]: ".meta" = [n], ".c" the cumulative symbol
+   counts, and the BWT wavelet tree under [prefix ^ ".wt"]. *)
+let save_parts w ~prefix t =
+  S.Writer.add_ints w (prefix ^ ".meta") [| t.n |];
+  S.Writer.add_ints_ba w (prefix ^ ".c") t.c;
+  Wavelet.save_parts w ~prefix:(prefix ^ ".wt") t.wt
+
+let open_parts r ~prefix =
+  let fail section reason = raise (S.Corrupt { section; reason }) in
+  let meta = S.Reader.ints r (prefix ^ ".meta") in
+  if S.Ints.length meta <> 1 then
+    fail (prefix ^ ".meta") "FM meta has wrong arity";
+  let n = S.Ints.get meta 0 in
+  if n < 0 then fail (prefix ^ ".meta") "negative FM length";
+  let c = S.Reader.ints r (prefix ^ ".c") in
+  let wt = Wavelet.open_parts r ~prefix:(prefix ^ ".wt") in
+  if Wavelet.length wt <> n + 1 then
+    fail (prefix ^ ".wt.meta")
+      (Printf.sprintf "BWT wavelet tree has %d symbols, expected %d"
+         (Wavelet.length wt) (n + 1));
+  if S.Ints.length c < 2 then fail (prefix ^ ".c") "C array too short";
+  { n; wt; c }
+
+(* {2 Legacy mirror}
+
+   The record shapes this module used before the storage port — plain
+   heap arrays throughout. [Marshal] is structural, so decoding an old
+   "fm" blob (or a legacy PTI-ENGINE-2 stream) against these mirrors and
+   converting via [of_legacy] keeps every pre-existing index file
+   loadable; [to_legacy] is the reverse direction for writers of the
+   legacy format. *)
+
+module Legacy = struct
+  type bitvec = { b_len : int; b_words : int array; b_cum : int array }
+
+  type wavelet = {
+    w_n : int;
+    w_sigma : int;
+    w_nlevels : int;
+    w_levels : bitvec array;
+  }
+
+  type t = { l_n : int; l_wt : wavelet; l_c : int array }
+end
+
+let of_legacy (l : Legacy.t) =
+  let bitvec (b : Legacy.bitvec) =
+    Bitvec.of_raw ~len:b.b_len ~words:(S.Ints.of_array b.b_words)
+      ~cum:(S.Ints.of_array b.b_cum)
+  in
+  let wt =
+    Wavelet.of_raw ~n:l.l_wt.w_n ~sigma:l.l_wt.w_sigma
+      (Array.map bitvec l.l_wt.w_levels)
+  in
+  { n = l.l_n; wt; c = S.Ints.of_array l.l_c }
+
+let to_legacy t =
+  let bitvec bv =
+    let words, cum = Bitvec.raw bv in
+    {
+      Legacy.b_len = Bitvec.length bv;
+      b_words = S.Ints.to_array words;
+      b_cum = S.Ints.to_array cum;
+    }
+  in
+  {
+    Legacy.l_n = t.n;
+    l_wt =
+      {
+        Legacy.w_n = Wavelet.length t.wt;
+        w_sigma = Wavelet.sigma t.wt;
+        w_nlevels = Array.length (Wavelet.raw_levels t.wt);
+        w_levels = Array.map bitvec (Wavelet.raw_levels t.wt);
+      };
+    l_c = S.Ints.to_array t.c;
+  }

@@ -7,7 +7,12 @@
     n·log σ + o(n log σ) bits of payload. Suffix ranges are reported in
     the coordinates of the plain suffix array of the text (as produced
     by {!Pti_suffix.Sais.suffix_array}), so results are interchangeable
-    with {!Pti_suffix.Sa_search}. *)
+    with {!Pti_suffix.Sa_search}.
+
+    Every array is a {!Pti_storage} view: a built index persists into
+    named container sections ({!save_parts}) and reopens as zero-copy
+    views of the mapped file ({!open_parts}) — no BWT or wavelet
+    reconstruction at open. *)
 
 type t
 
@@ -24,3 +29,34 @@ val range : t -> pattern:int array -> (int * int) option
 
 val count : t -> pattern:int array -> int
 val size_words : t -> int
+
+val size_bytes : t -> int
+(** Bytes of the wavelet tree and count arrays in their current
+    representation. *)
+
+val save_parts : Pti_storage.Writer.t -> prefix:string -> t -> unit
+(** Persist as [prefix ^ ".meta"/".c"] plus the BWT wavelet tree under
+    [prefix ^ ".wt"]. *)
+
+val open_parts : Pti_storage.Reader.t -> prefix:string -> t
+(** Zero-copy reopen of {!save_parts} output. Raises
+    {!Pti_storage.Corrupt} on missing or inconsistent sections. *)
+
+(** Mirror of the heap record shapes this module had before the storage
+    port; exists so [Marshal] blobs written by older code (engine "fm"
+    sections, PTI-ENGINE-2 streams) still decode. *)
+module Legacy : sig
+  type bitvec = { b_len : int; b_words : int array; b_cum : int array }
+
+  type wavelet = {
+    w_n : int;
+    w_sigma : int;
+    w_nlevels : int;
+    w_levels : bitvec array;
+  }
+
+  type t = { l_n : int; l_wt : wavelet; l_c : int array }
+end
+
+val of_legacy : Legacy.t -> t
+val to_legacy : t -> Legacy.t

@@ -1,3 +1,5 @@
+module S = Pti_storage
+
 type t = {
   n : int;
   sigma : int;
@@ -9,6 +11,8 @@ let ceil_log2 v =
   let rec go acc x = if x >= v then acc else go (acc + 1) (2 * x) in
   go 0 1
 
+let nlevels_for sigma = Stdlib.max 1 (ceil_log2 sigma)
+
 let build ~sigma seq =
   if sigma < 1 then invalid_arg "Wavelet.build: sigma < 1";
   Array.iter
@@ -17,30 +21,58 @@ let build ~sigma seq =
         invalid_arg (Printf.sprintf "Wavelet.build: symbol %d not in [0,%d)" s sigma))
     seq;
   let n = Array.length seq in
-  let nlevels = Stdlib.max 1 (ceil_log2 sigma) in
-  let bits = Array.init nlevels (fun _ -> Array.make n false) in
-  (* recursive stable partition per node; [arr] holds this node's
-     symbols, written at absolute offset [st] *)
-  let rec fill level st arr =
-    if level < nlevels && Array.length arr > 0 then begin
-      let shift = nlevels - 1 - level in
-      let zeros = ref [] and ones = ref [] in
-      Array.iteri
-        (fun idx sym ->
-          if (sym lsr shift) land 1 = 1 then begin
-            bits.(level).(st + idx) <- true;
-            ones := sym :: !ones
-          end
-          else zeros := sym :: !zeros)
-        arr;
-      let zeros = Array.of_list (List.rev !zeros) in
-      let ones = Array.of_list (List.rev !ones) in
-      fill (level + 1) st zeros;
-      fill (level + 1) (st + Array.length zeros) ones
-    end
+  let nlevels = nlevels_for sigma in
+  (* Levelwise construction: [cur] holds the node-ordered sequence of
+     level [k] (stably sorted by the top k bits); each node is a maximal
+     run of equal top-k-bit prefixes, stably partitioned by the next bit
+     into [next]. Two O(n) scratch arrays, no per-node allocation. *)
+  let cur = ref (Array.copy seq) in
+  let next = ref (Array.make n 0) in
+  let levels =
+    Array.init nlevels (fun level ->
+        let a = !cur and b = !next in
+        let shift = nlevels - 1 - level in
+        let bv = Bitvec.create n (fun i -> (a.(i) lsr shift) land 1 = 1) in
+        let i = ref 0 in
+        while !i < n do
+          let node = a.(!i) lsr (shift + 1) in
+          let j = ref !i in
+          while !j < n && a.(!j) lsr (shift + 1) = node do
+            incr j
+          done;
+          let p = ref !i in
+          for k = !i to !j - 1 do
+            if (a.(k) lsr shift) land 1 = 0 then begin
+              b.(!p) <- a.(k);
+              incr p
+            end
+          done;
+          for k = !i to !j - 1 do
+            if (a.(k) lsr shift) land 1 = 1 then begin
+              b.(!p) <- a.(k);
+              incr p
+            end
+          done;
+          i := !j
+        done;
+        cur := b;
+        next := a;
+        bv)
   in
-  fill 0 0 (Array.copy seq);
-  { n; sigma; nlevels; levels = Array.map Bitvec.of_bools bits }
+  { n; sigma; nlevels; levels }
+
+let of_raw ~n ~sigma levels =
+  if sigma < 1 then invalid_arg "Wavelet.of_raw: sigma < 1";
+  if Array.length levels <> nlevels_for sigma then
+    invalid_arg "Wavelet.of_raw: wrong level count";
+  Array.iter
+    (fun bv ->
+      if Bitvec.length bv <> n then
+        invalid_arg "Wavelet.of_raw: level length mismatch")
+    levels;
+  { n; sigma; nlevels = Array.length levels; levels }
+
+let raw_levels t = t.levels
 
 let length t = t.n
 let sigma t = t.sigma
@@ -74,9 +106,10 @@ let rank t ~sym i =
     (try
        for level = 0 to t.nlevels - 1 do
          let lvl = t.levels.(level) in
-         let ones_node = Bitvec.rank1 lvl !en - Bitvec.rank1 lvl !st in
+         let r_st = Bitvec.rank1 lvl !st in
+         let ones_node = Bitvec.rank1 lvl !en - r_st in
          let z = !en - !st - ones_node in
-         let ones_to_p = Bitvec.rank1 lvl !p - Bitvec.rank1 lvl !st in
+         let ones_to_p = Bitvec.rank1 lvl !p - r_st in
          if (sym lsr (t.nlevels - 1 - level)) land 1 = 1 then begin
            p := !st + z + ones_to_p;
            st := !st + z
@@ -89,6 +122,41 @@ let rank t ~sym i =
        done
      with Exit -> ());
     !p - !st
+  end
+
+(* Fused two-position rank: both positions descend the same symbol
+   path, so the node boundaries (and their ranks) are computed once —
+   4 bit-vector ranks per level instead of the 6 two [rank] calls
+   would spend. This is the FM backward-search hot path, which ranks
+   the same symbol at both ends of the current range every step. *)
+let rank2 t ~sym i j =
+  if i < 0 || i > t.n || j < 0 || j > t.n then
+    invalid_arg "Wavelet.rank2: out of range";
+  if sym < 0 || sym >= t.sigma then (0, 0)
+  else begin
+    let st = ref 0 and en = ref t.n and pi = ref i and pj = ref j in
+    (try
+       for level = 0 to t.nlevels - 1 do
+         let lvl = t.levels.(level) in
+         let r_st = Bitvec.rank1 lvl !st in
+         let ones_node = Bitvec.rank1 lvl !en - r_st in
+         let z = !en - !st - ones_node in
+         let ones_i = Bitvec.rank1 lvl !pi - r_st in
+         let ones_j = Bitvec.rank1 lvl !pj - r_st in
+         if (sym lsr (t.nlevels - 1 - level)) land 1 = 1 then begin
+           pi := !st + z + ones_i;
+           pj := !st + z + ones_j;
+           st := !st + z
+         end
+         else begin
+           pi := !st + (!pi - !st - ones_i);
+           pj := !st + (!pj - !st - ones_j);
+           en := !st + z
+         end;
+         if !st >= !en then raise Exit
+       done
+     with Exit -> ());
+    (!pi - !st, !pj - !st)
   end
 
 let count t ~sym = rank t ~sym t.n
@@ -123,3 +191,35 @@ let select t ~sym k =
 
 let size_words t =
   Array.fold_left (fun acc b -> acc + Bitvec.size_words b) 4 t.levels
+
+let size_bytes t =
+  Array.fold_left (fun acc b -> acc + Bitvec.size_bytes b) 32 t.levels
+
+(* Sections under [prefix]: ".meta" = [n; sigma], one bit vector per
+   level under ".l<k>" (level bit vectors all have length n; the level
+   count is a pure function of sigma). *)
+let save_parts w ~prefix t =
+  S.Writer.add_ints w (prefix ^ ".meta") [| t.n; t.sigma |];
+  Array.iteri
+    (fun k bv ->
+      Bitvec.save_parts w ~prefix:(Printf.sprintf "%s.l%d" prefix k) bv)
+    t.levels
+
+let open_parts r ~prefix =
+  let fail reason = raise (S.Corrupt { section = prefix ^ ".meta"; reason }) in
+  let meta = S.Reader.ints r (prefix ^ ".meta") in
+  if S.Ints.length meta <> 2 then fail "wavelet meta has wrong arity";
+  let n = S.Ints.get meta 0 and sigma = S.Ints.get meta 1 in
+  if n < 0 || sigma < 1 then fail "wavelet meta out of range";
+  let nlevels = nlevels_for sigma in
+  let levels =
+    Array.init nlevels (fun k ->
+        let bv =
+          Bitvec.open_parts r ~prefix:(Printf.sprintf "%s.l%d" prefix k)
+        in
+        if Bitvec.length bv <> n then
+          fail (Printf.sprintf "level %d has %d bits, expected %d" k
+                  (Bitvec.length bv) n);
+        bv)
+  in
+  { n; sigma; nlevels; levels }

@@ -301,7 +301,7 @@ type meta = {
   m_has_correlations : bool;
 }
 
-let save_parts w t =
+let save_parts ?(with_logs = true) w t =
   let cum, zeros, logs = Parray.raw t.parray in
   S.Writer.add_bytes w "tr.meta"
     (Marshal.to_string
@@ -316,7 +316,11 @@ let save_parts w t =
   S.Writer.add_ints_ba w "tr.pos" t.pos;
   S.Writer.add_floats_ba w "tr.cum" cum;
   S.Writer.add_ints_ba w "tr.zeros" zeros;
-  S.Writer.add_floats_ba w "tr.logs" logs;
+  (* raw per-position logs are redundant with tr.cum/tr.zeros and unused
+     on the query path; space-lean containers drop the section *)
+  (match logs with
+  | Some logs when with_logs -> S.Writer.add_floats_ba w "tr.logs" logs
+  | _ -> ());
   S.Writer.add_bytes w "tr.source" (Marshal.to_string (Lazy.force t.source) [])
 
 let open_parts r =
@@ -334,7 +338,9 @@ let open_parts r =
       Parray.of_storage
         ~cum:(S.Reader.floats r "tr.cum")
         ~zeros:(S.Reader.ints r "tr.zeros")
-        ~logs:(S.Reader.floats r "tr.logs");
+        ~logs:
+          (if S.Reader.has r "tr.logs" then Some (S.Reader.floats r "tr.logs")
+           else None);
     n_factors = m.m_n_factors;
     n_skipped = m.m_n_skipped;
     has_correlations = m.m_has_correlations;

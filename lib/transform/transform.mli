@@ -120,7 +120,11 @@ val size_bytes : t -> int
     lazily — eagerly only when the transform carries correlation rules,
     because those are consulted on the query path. *)
 
-val save_parts : Pti_storage.Writer.t -> t -> unit
+val save_parts : ?with_logs:bool -> Pti_storage.Writer.t -> t -> unit
+(** [with_logs] (default true): whether to write the [tr.logs] raw
+    per-position log section. It is redundant with [tr.cum]/[tr.zeros]
+    and unused on the query path, so space-lean (succinct-backend)
+    containers omit it; {!open_parts} treats it as optional. *)
 
 val open_parts : Pti_storage.Reader.t -> t
 (** Raises {!Pti_storage.Corrupt} if a section is missing or damaged. *)

@@ -52,6 +52,20 @@ PTI_FAILPOINTS="storage.write:enospc@3" \
 cmp -s "$DIR/idx.pti" "$DIR/baseline.pti" || { echo "chaos-smoke: index changed across a failed save" >&2; exit 1; }
 echo "chaos-smoke: ENOSPC mid-save left the old index byte-identical"
 
+# The succinct backend writes a different section set (FM/wavelet/rank
+# directories); its save must follow the same crash-safe rename
+# discipline.
+"$PTI" build -i "$DIR/data.txt" --backend succinct -o "$DIR/succ.pti"
+cp "$DIR/succ.pti" "$DIR/succ-baseline.pti"
+rc=0
+PTI_FAILPOINTS="storage.write:abort@3" \
+    "$PTI" build -i "$DIR/data.txt" --backend succinct -o "$DIR/succ.pti" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 70 ] || { echo "chaos-smoke: succinct abort failpoint: expected exit 70, got $rc" >&2; exit 1; }
+cmp -s "$DIR/succ.pti" "$DIR/succ-baseline.pti" || { echo "chaos-smoke: succinct index changed across an aborted save" >&2; exit 1; }
+"$PTI" stats "$DIR/succ.pti" | grep -q "backend:    succinct" \
+    || { echo "chaos-smoke: succinct index unreadable after aborted save" >&2; exit 1; }
+echo "chaos-smoke: aborted succinct save left the old index byte-identical"
+
 # ------------------------------------------------------------------
 # kill -9 the daemon under load; --retry rides out the restart.
 

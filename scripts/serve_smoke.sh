@@ -25,9 +25,13 @@ echo "serve-smoke: workdir $DIR"
 "$PTI" gen --total 3000 --theta 0.3 --seed 7 -o "$DIR/data.txt"
 "$PTI" build -i "$DIR/data.txt" -o "$DIR/general.pti"
 "$PTI" build -i "$DIR/data.txt" --docs -o "$DIR/listing.pti"
+"$PTI" build -i "$DIR/data.txt" --backend succinct -o "$DIR/succinct.pti"
+"$PTI" stats "$DIR/succinct.pti" | grep -q "backend:    succinct" \
+    || { echo "serve-smoke: stats does not report the succinct backend" >&2; exit 1; }
 
 # Ephemeral port: the server prints the bound port on its first line.
-"$PTI" serve "$DIR/general.pti" "$DIR/listing.pti" \
+# Index 2 is the succinct-backend container, served mmap'd.
+"$PTI" serve "$DIR/general.pti" "$DIR/listing.pti" "$DIR/succinct.pti" \
     --port 0 --workers 2 --queue-cap 256 > "$DIR/serve.log" 2>&1 &
 SERVER_PID=$!
 
@@ -50,7 +54,15 @@ echo "serve-smoke: server up on port $PORT (pid $SERVER_PID)"
 "$PTI" loadgen -i "$DIR/data.txt" --port "$PORT" \
     --concurrency 8 --requests 200 --mix query=8,topk=1,listing=1 \
     --listing-index 1 \
-    --verify "$DIR/general.pti" --verify "$DIR/listing.pti" --check
+    --verify "$DIR/general.pti" --verify "$DIR/listing.pti" \
+    --verify "$DIR/succinct.pti" --check
+
+# Same load against the succinct container: every reply must be
+# byte-identical to a direct query of the mapped FM-backed engine.
+"$PTI" loadgen -i "$DIR/data.txt" --port "$PORT" \
+    --concurrency 8 --requests 200 --mix query=8,topk=1 --index 2 \
+    --verify "$DIR/general.pti" --verify "$DIR/listing.pti" \
+    --verify "$DIR/succinct.pti" --check
 
 # The stats dump hook (SIGUSR1) must not kill the server.
 kill -USR1 "$SERVER_PID"

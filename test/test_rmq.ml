@@ -94,10 +94,13 @@ let test_size_words () =
   let a = Array.init 4096 (fun i -> float_of_int (i mod 13)) in
   let sparse = Rmq.build Sparse a in
   let succinct = Rmq.build Succinct a in
+  let block = Rmq.build (Block 31) a in
   let naive = Rmq.build Naive a in
   Alcotest.(check bool) "naive tiny" true (Rmq.size_words naive < 8);
   Alcotest.(check bool) "succinct smaller than sparse" true
-    (Rmq.size_words succinct < Rmq.size_words sparse)
+    (Rmq.size_words succinct < Rmq.size_words sparse);
+  Alcotest.(check bool) "block smaller than succinct" true
+    (Rmq.size_words block < Rmq.size_words succinct)
 
 (* Large instance exercising the succinct structure's recursive top
    level (cutoff 4096 blocks). *)
@@ -113,6 +116,32 @@ let test_succinct_large () =
       "succinct large" (reference a l r)
       (Rmq.query t ~l ~r)
   done
+
+(* Large instance exercising the block structure's recursive top level
+   (cutoff 2048 blocks): 300k / 31 ≈ 9.7k blocks → one recursion. *)
+let test_block_large () =
+  let n = 300_000 in
+  let rng = Random.State.make [| 6 |] in
+  let a = Array.init n (fun _ -> Random.State.float rng 1.0) in
+  let t = Rmq.build (Block 31) a in
+  for _ = 1 to 500 do
+    let l = Random.State.int rng n in
+    let r = l + Random.State.int rng (n - l) in
+    Alcotest.(check int) "block large" (reference a l r) (Rmq.query t ~l ~r)
+  done
+
+let test_block_strings () =
+  Alcotest.(check bool)
+    "block defaults to 31" true
+    (Rmq.kind_of_string "block" = Some (Rmq.Block 31));
+  Alcotest.(check bool)
+    "block:4 parses" true
+    (Rmq.kind_of_string "block:4" = Some (Rmq.Block 4));
+  Alcotest.(check bool) "block:1 rejected" true (Rmq.kind_of_string "block:1" = None);
+  Alcotest.(check bool)
+    "block:32 rejected" true
+    (Rmq.kind_of_string "block:32" = None);
+  Alcotest.(check bool) "block:x rejected" true (Rmq.kind_of_string "block:x" = None)
 
 let prop_agree kind =
   QCheck2.Test.make
@@ -144,11 +173,16 @@ let () =
       ("naive", cases Rmq.Naive);
       ("sparse", cases Rmq.Sparse);
       ("succinct", cases Rmq.Succinct);
+      ("block", cases (Rmq.Block 31));
+      ("block-small", cases (Rmq.Block 4));
       ( "misc",
         [
           Alcotest.test_case "kind strings" `Quick test_kind_strings;
+          Alcotest.test_case "block kind strings" `Quick test_block_strings;
           Alcotest.test_case "size accounting" `Quick test_size_words;
           Alcotest.test_case "succinct large (recursive top)" `Slow
             test_succinct_large;
+          Alcotest.test_case "block large (recursive top)" `Slow
+            test_block_large;
         ] );
     ]

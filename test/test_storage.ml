@@ -486,6 +486,79 @@ let test_roundtrip_matrix () =
         Pti_rmq.Rmq.all_kinds)
     [ false; true ]
 
+(* The succinct backend: built heap-side, saved as FM/wavelet/rank
+   sections, reopened as mapped views — answers must match the packed
+   twin byte-for-byte, the container header must record the backend,
+   and flips inside the succinct sections must name them. *)
+let test_roundtrip_succinct_backend () =
+  let rng = H.rng_of_seed 78 in
+  for _ = 1 to 6 do
+    let u = H.random_ustring rng (30 + Random.State.int rng 60) 4 3 in
+    let packed = G.build ~tau_min:0.1 u in
+    let succ = G.build ~backend:Engine.Succinct ~tau_min:0.1 u in
+    Alcotest.(check bool) "built backend recorded" true
+      (Engine.backend (G.engine succ) = Engine.Succinct);
+    let queries = patterns_for rng u 8 in
+    check_same_answers "succinct heap = packed heap" packed succ queries;
+    with_tmp (fun path ->
+        G.save succ path;
+        let succ' = G.load path in
+        Alcotest.(check bool) "loaded backend recorded" true
+          (Engine.backend (G.engine succ') = Engine.Succinct);
+        check_same_answers "succinct mmap twin" succ succ' queries;
+        (* the succinct container must not carry the packed-only
+           sections it claims to have dropped *)
+        let r = S.Reader.open_file path in
+        Alcotest.(check bool) "no lcp section" false (S.Reader.has r "lcp");
+        Alcotest.(check bool) "no tr.logs section" false
+          (S.Reader.has r "tr.logs");
+        Alcotest.(check bool) "FM persisted as sections" true
+          (S.Reader.has r "fm.meta"))
+  done
+
+let test_succinct_engine_corruption () =
+  let rng = H.rng_of_seed 79 in
+  let u = H.random_ustring rng 60 4 3 in
+  let g = G.build ~backend:Engine.Succinct ~tau_min:0.1 u in
+  with_tmp (fun path ->
+      G.save g path;
+      let targets =
+        let r = S.Reader.open_file path in
+        List.filter_map
+          (fun i ->
+            let n = i.S.Reader.si_name in
+            if
+              i.S.Reader.si_bytes > 0
+              && (String.length n >= 3 && String.sub n 0 3 = "fm."
+                 || String.length n >= 4 && String.sub n 0 4 = "rmq.")
+            then Some (n, i.S.Reader.si_off)
+            else None)
+          (S.Reader.table r)
+      in
+      Alcotest.(check bool) "succinct sections present" true
+        (List.length targets >= 3);
+      let original = read_file path in
+      List.iter
+        (fun (name, off) ->
+          write_file path original;
+          flip_bit path off;
+          Alcotest.(check (option string))
+            (Printf.sprintf "flip in %s" name)
+            (Some name)
+            (corrupt_section (fun () -> ignore (G.load path))))
+        targets)
+
+(* A succinct engine written through the legacy marshalled format comes
+   back (as a packed-backend engine) answering identically. *)
+let test_succinct_legacy_roundtrip () =
+  let rng = H.rng_of_seed 80 in
+  let u = H.random_ustring rng 50 4 3 in
+  let g = G.build ~backend:Engine.Succinct ~tau_min:0.1 u in
+  with_tmp (fun path ->
+      G.save_legacy g path;
+      let g' = G.load path in
+      check_same_answers "legacy succinct" g g' (patterns_for rng u 10))
+
 (* The Or metric keeps per-level stored-value arrays instead of dead
    bitmaps; exercise both relevance metrics through the listing index,
    with and without correlations. *)
@@ -861,6 +934,12 @@ let () =
       ( "roundtrip",
         [
           Alcotest.test_case "general config matrix" `Slow test_roundtrip_matrix;
+          Alcotest.test_case "succinct backend" `Quick
+            test_roundtrip_succinct_backend;
+          Alcotest.test_case "succinct sections detect corruption" `Quick
+            test_succinct_engine_corruption;
+          Alcotest.test_case "succinct legacy roundtrip" `Quick
+            test_succinct_legacy_roundtrip;
           Alcotest.test_case "listing metrics and correlations" `Slow
             test_roundtrip_listing;
           Alcotest.test_case "special index" `Quick test_roundtrip_special;
