@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par bench-io bench-space bench-frontier bench-serve bench-multicore serve-smoke chaos-smoke clean
+.PHONY: check check-par bench bench-par bench-io bench-space bench-frontier bench-serve bench-multicore bench-hotpath serve-smoke chaos-smoke clean
 
 check:
 	dune build @all
@@ -41,6 +41,16 @@ bench-serve:
 # 1/8/64/256, mmap backend, verified replies); writes BENCH_SERVE.json.
 bench-multicore:
 	dune exec bench/main.exe -- multicore
+
+# Just the zero-allocation/result-cache profile: a repetitive
+# pattern-pool workload at concurrency 8 against packed and succinct
+# mmap containers — one row with the result cache off, a cold + hot
+# pair with it on — every reply verified byte-for-byte and each row
+# recording the server's minor-heap words per request next to the
+# pre-PR pooling baseline; writes the "hotpath" rows of
+# BENCH_SERVE.json (bench-serve includes them too).
+bench-hotpath:
+	dune exec bench/main.exe -- hotpath
 
 # End-to-end daemon smoke: gen -> build -> serve -> loadgen --check.
 serve-smoke:

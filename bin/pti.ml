@@ -324,12 +324,14 @@ module SP = Pti_server.Protocol
 
 let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
     debug_slow send_timeout_ms drain_timeout_ms max_conns max_json_line
-    batch_max =
+    batch_max result_cache_mb no_result_cache =
   run_checked @@ fun () ->
   if indexes = [] then failwith "serve: pass at least one index file";
   if max_conns < 1 then failwith "serve: --max-conns must be >= 1";
   if max_json_line < 64 then failwith "serve: --max-json-line must be >= 64";
   if batch_max < 1 then failwith "serve: --batch-max must be >= 1";
+  if result_cache_mb < 0 then
+    failwith "serve: --result-cache-mb must be >= 0";
   let config =
     {
       Server.host;
@@ -346,6 +348,7 @@ let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
       max_conns;
       max_json_line;
       batch_max;
+      result_cache_mb = (if no_result_cache then 0 else result_cache_mb);
     }
   in
   let srv =
@@ -406,10 +409,15 @@ let make_verifier files =
     with _ -> false
 
 let loadgen input host port concurrency duration requests mix seed tau lengths
-    index listing_index k check verify_files retry backoff_ms =
+    index listing_index k check verify_files retry backoff_ms warmup_ms
+    pattern_pool =
   run_checked @@ fun () ->
   let u = read_single input in
   let mix = Loadgen.mix_of_string mix in
+  if warmup_ms < 0.0 then failwith "loadgen: --warmup-ms must be >= 0";
+  (match pattern_pool with
+  | Some n when n < 1 -> failwith "loadgen: --pattern-pool must be >= 1"
+  | _ -> ());
   let lengths =
     List.map
       (fun s ->
@@ -429,8 +437,9 @@ let loadgen input host port concurrency duration requests mix seed tau lengths
   in
   let r =
     Loadgen.run ~host ~port ~concurrency ~duration_s
-      ?requests_per_client:requests ?verify ~index ?listing_index ~k ~lengths
-      ~tau ~seed ~retries:retry ~backoff_ms ~mix ~source:u ()
+      ?requests_per_client:requests ~warmup_s:(warmup_ms /. 1000.0)
+      ?pattern_pool ?verify ~index ?listing_index ~k ~lengths ~tau ~seed
+      ~retries:retry ~backoff_ms ~mix ~source:u ()
   in
   print_string (Loadgen.summary r);
   let failures =
@@ -700,13 +709,32 @@ let serve_cmd =
                 unbatched dispatch). 1 disables batching. Must be >= 1 \
                 (exit 2 otherwise).")
   in
+  let result_cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "result-cache-mb" ] ~docv:"MIB"
+          ~doc:"Byte budget of the server-side query-result cache \
+                (encoded reply bodies keyed by index/op/pattern/τ/k, \
+                single-flight herd suppression; hits are byte-identical \
+                to direct engine replies). 0 disables it; must be >= 0 \
+                (exit 2 otherwise). The cache is flushed on SIGHUP \
+                revalidation, so reloaded containers never serve stale \
+                bytes.")
+  in
+  let no_result_cache =
+    Arg.(
+      value & flag
+      & info [ "no-result-cache" ]
+          ~doc:"Disable the query-result cache (same as \
+                --result-cache-mb 0).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve saved indexes over TCP.")
     Term.(
       const serve $ indexes $ host_arg $ port_arg ~default:7071 $ workers
       $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow
       $ send_timeout_ms $ drain_timeout_ms $ max_conns $ max_json_line
-      $ batch_max)
+      $ batch_max $ result_cache_mb $ no_result_cache)
 
 let loadgen_cmd =
   let concurrency =
@@ -792,12 +820,37 @@ let loadgen_cmd =
           ~doc:"Base retry backoff; attempt a waits MS*2^a with ±50% \
                 seeded jitter.")
   in
+  let warmup_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "warmup-ms" ] ~docv:"MS"
+          ~doc:"Discard measurements from the run's first MS \
+                milliseconds: requests started inside the window are \
+                excluded from sent/ok counts and the latency \
+                percentiles, and throughput divides by the post-warmup \
+                window only — connection setup and cold server caches \
+                stop polluting steady-state rows. Correctness is never \
+                discarded: warmup replies are still verified and their \
+                failures always count. Must be >= 0 (exit 2 otherwise).")
+  in
+  let pattern_pool =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pattern-pool" ] ~docv:"N"
+          ~doc:"Each client pre-draws N patterns from its seeded stream \
+                and draws every request from that pool — a repetitive, \
+                production-shaped workload (what gives the server's \
+                result cache hits). Default: unlimited fresh patterns. \
+                Must be >= 1 (exit 2 otherwise).")
+  in
   Cmd.v
     (Cmd.info "loadgen" ~doc:"Generate load against a running pti serve.")
     Term.(
       const loadgen $ input_arg $ host_arg $ port_arg ~default:7071
       $ concurrency $ duration $ requests $ mix $ seed $ tau_arg $ lengths
-      $ index $ listing_index $ k $ check $ verify_files $ retry $ backoff_ms)
+      $ index $ listing_index $ k $ check $ verify_files $ retry $ backoff_ms
+      $ warmup_ms $ pattern_pool)
 
 let () =
   let doc = "probabilistic threshold indexing for uncertain strings" in

@@ -75,10 +75,21 @@ let count_error tally kind =
   let n = try List.assoc kind tally.t_errors with Not_found -> 0 in
   tally.t_errors <- (kind, n + 1) :: List.remove_assoc kind tally.t_errors
 
-let draw_op rng ~(mix : mix) ~source ~lengths ~tau ~k ~index ~listing_index =
-  let total = mix.query + mix.top_k + mix.listing in
+let draw_pattern rng ~source ~lengths =
   let m = List.nth lengths (Random.State.int rng (List.length lengths)) in
-  let pattern = Sym.to_string (Q.pattern rng source ~m) in
+  Sym.to_string (Q.pattern rng source ~m)
+
+let draw_op rng ~(mix : mix) ~pool ~source ~lengths ~tau ~k ~index
+    ~listing_index =
+  let total = mix.query + mix.top_k + mix.listing in
+  let pattern =
+    (* a pattern pool makes the stream repetitive (production traffic
+       is; distinct-query bounds are per paper query, §14): patterns
+       are pre-drawn from the same seeded stream, then reused *)
+    match pool with
+    | Some pool -> pool.(Random.State.int rng (Array.length pool))
+    | None -> draw_pattern rng ~source ~lengths
+  in
   let x = Random.State.int rng total in
   if x < mix.query then P.Query { index; pattern; tau }
   else if x < mix.query + mix.top_k then P.Top_k { index; pattern; tau; k }
@@ -116,10 +127,15 @@ type attempt_outcome =
   | A_retry_transport
   | A_retry_typed of P.err
 
-let client_loop ~host ~port ~deadline_t ~requests_per_client ~verify ~mix
-    ~source ~lengths ~tau ~k ~index ~listing_index ~rng ~retries ~backoff_ms
-    ~bo_rng tally =
+let client_loop ~host ~port ~deadline_t ~warm_t ~requests_per_client ~verify
+    ~mix ~pattern_pool ~source ~lengths ~tau ~k ~index ~listing_index ~rng
+    ~retries ~backoff_ms ~bo_rng tally =
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let pool =
+    Option.map
+      (fun n -> Array.init n (fun _ -> draw_pattern rng ~source ~lengths))
+      pattern_pool
+  in
   (* one persistent connection, re-established on transport failure *)
   let conn = ref None in
   let drop_conn () =
@@ -134,6 +150,13 @@ let client_loop ~host ~port ~deadline_t ~requests_per_client ~verify ~mix
     | Some fd -> Some fd
     | None -> (
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (* disable Nagle: a client sends whole small frames and waits
+           for the reply, exactly the write-write-read shape Nagle +
+           delayed ACK punishes — without this, small-frame latency
+           percentiles measure the kernel's 40 ms timer, not the
+           server *)
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
         match P.connect_retry fd addr with
         | () ->
             conn := Some fd;
@@ -142,11 +165,11 @@ let client_loop ~host ~port ~deadline_t ~requests_per_client ~verify ~mix
             (try Unix.close fd with Unix.Unix_error _ -> ());
             None)
   in
-  let attempt_once req =
+  let attempt_once ~measured req =
     match connect () with
     | None -> A_retry_transport
     | Some fd -> (
-        tally.t_sent <- tally.t_sent + 1;
+        if measured then tally.t_sent <- tally.t_sent + 1;
         let t0 = Unix.gettimeofday () in
         match
           P.write_all fd (P.encode_request req);
@@ -160,7 +183,8 @@ let client_loop ~host ~port ~deadline_t ~requests_per_client ~verify ~mix
             A_retry_transport
         | Some payload -> (
             let t1 = Unix.gettimeofday () in
-            tally.t_latencies <- (t1 -. t0) :: tally.t_latencies;
+            if measured then
+              tally.t_latencies <- (t1 -. t0) :: tally.t_latencies;
             match P.decode_reply payload with
             | exception P.Protocol_error _ ->
                 drop_conn ();
@@ -186,19 +210,25 @@ let client_loop ~host ~port ~deadline_t ~requests_per_client ~verify ~mix
       let rec go i =
         if continue i then begin
           let op =
-            draw_op rng ~mix ~source ~lengths ~tau ~k ~index ~listing_index
+            draw_op rng ~mix ~pool ~source ~lengths ~tau ~k ~index
+              ~listing_index
           in
           let req = { P.id = i; op } in
+          (* a request started inside the warmup window is excluded
+             from sent/ok/retry counts and latencies — but its reply is
+             still verified and its errors still counted, so warmup can
+             never hide a correctness failure *)
+          let measured = Unix.gettimeofday () >= warm_t in
           let rec attempt a =
-            match attempt_once req with
+            match attempt_once ~measured req with
             | A_ok reply ->
-                tally.t_ok <- tally.t_ok + 1;
+                if measured then tally.t_ok <- tally.t_ok + 1;
                 if not (verify op reply) then
                   tally.t_verify_failures <- tally.t_verify_failures + 1
             | A_final_error e -> count_error tally (P.err_to_string e)
             | (A_retry_transport | A_retry_typed _) as r ->
                 if a < retries then begin
-                  tally.t_retries <- tally.t_retries + 1;
+                  if measured then tally.t_retries <- tally.t_retries + 1;
                   Thread.delay
                     (backoff_delay bo_rng ~backoff_ms ~attempt:a /. 1000.0);
                   attempt (a + 1)
@@ -224,13 +254,18 @@ let percentile sorted q =
   else sorted.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
 
 let run ?(host = "127.0.0.1") ~port ~concurrency ?(duration_s = 1.0)
-    ?requests_per_client ?(verify = fun _ _ -> true) ?(index = 0)
+    ?requests_per_client ?(warmup_s = 0.0) ?pattern_pool
+    ?(verify = fun _ _ -> true) ?(index = 0)
     ?listing_index ?(k = 5)
     ?(lengths = [ 4; 8 ]) ?(tau = 0.2) ?(seed = Q.default_seed)
     ?(retries = 0) ?(backoff_ms = 50.0) ~mix ~source () =
   if retries < 0 then invalid_arg "Loadgen.run: retries < 0";
   if backoff_ms < 0.0 then invalid_arg "Loadgen.run: backoff_ms < 0";
+  if warmup_s < 0.0 then invalid_arg "Loadgen.run: warmup_s < 0";
   if concurrency < 1 then invalid_arg "Loadgen.run: concurrency < 1";
+  (match pattern_pool with
+  | Some n when n < 1 -> invalid_arg "Loadgen.run: pattern_pool < 1"
+  | _ -> ());
   if mix.query < 0 || mix.top_k < 0 || mix.listing < 0
      || mix.query + mix.top_k + mix.listing <= 0
   then invalid_arg "Loadgen.run: mix needs a positive weight";
@@ -239,6 +274,7 @@ let run ?(host = "127.0.0.1") ~port ~concurrency ?(duration_s = 1.0)
   let listing_index = Option.value listing_index ~default:index in
   let t0 = Unix.gettimeofday () in
   let deadline_t = t0 +. duration_s in
+  let warm_t = t0 +. warmup_s in
   let tallies = Array.init concurrency (fun _ -> new_tally ()) in
   let threads =
     List.init concurrency (fun i ->
@@ -246,13 +282,16 @@ let run ?(host = "127.0.0.1") ~port ~concurrency ?(duration_s = 1.0)
           (fun () ->
             let rng = Q.state ~seed ~stream:i () in
             let bo_rng = backoff_rng ~seed ~stream:i in
-            client_loop ~host ~port ~deadline_t ~requests_per_client ~verify
-              ~mix ~source ~lengths ~tau ~k ~index ~listing_index ~rng
-              ~retries ~backoff_ms ~bo_rng tallies.(i))
+            client_loop ~host ~port ~deadline_t ~warm_t ~requests_per_client
+              ~verify ~mix ~pattern_pool ~source ~lengths ~tau ~k ~index
+              ~listing_index ~rng ~retries ~backoff_ms ~bo_rng tallies.(i))
           ())
   in
   List.iter Thread.join threads;
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (* throughput and rates are over the measured window only *)
+  let elapsed_s =
+    Stdlib.max 0.0 (Unix.gettimeofday () -. t0 -. warmup_s)
+  in
   let sent = Array.fold_left (fun a t -> a + t.t_sent) 0 tallies in
   let ok = Array.fold_left (fun a t -> a + t.t_ok) 0 tallies in
   let retries = Array.fold_left (fun a t -> a + t.t_retries) 0 tallies in

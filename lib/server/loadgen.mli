@@ -47,6 +47,8 @@ val run :
   concurrency:int ->
   ?duration_s:float ->
   ?requests_per_client:int ->
+  ?warmup_s:float ->
+  ?pattern_pool:int ->
   ?verify:(Protocol.op -> Protocol.reply -> bool) ->
   ?index:int ->
   ?listing_index:int ->
@@ -74,6 +76,27 @@ val run :
     workload seed (default {!Pti_workload.Querygen.default_seed}).
     [verify] is called on every successful reply; a [false] return
     counts a verify failure.
+
+    [warmup_s] (default 0) discards measurements from the run's first
+    seconds: requests started inside the window are excluded from
+    [sent]/[ok]/[retries] and the latency percentiles, and
+    [throughput_rps] divides by the post-warmup window only — so
+    connection setup, cold caches and not-yet-warm server state do not
+    pollute steady-state rows. Correctness is never discarded: warmup
+    replies are still verified, and their error/verify/protocol
+    failures always count.
+
+    [pattern_pool] (default: unlimited fresh patterns) makes each
+    client pre-draw this many patterns from its seeded stream and then
+    draw every request's pattern from that pool — a repetitive
+    workload in the shape of production traffic, which is what gives a
+    server-side result cache hits. Determinism is preserved: the pool
+    and the draws both come from the client's workload stream.
+
+    Client sockets set [TCP_NODELAY]: a client writes one small frame
+    and blocks on the reply, the exact pattern Nagle + delayed ACK
+    serialises into 40 ms stalls; without it small-frame latency
+    percentiles measure kernel timers, not the server.
 
     [retries] (default 0) is the number of {e extra} attempts granted
     per request when the outcome is retryable — a transport failure

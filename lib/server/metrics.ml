@@ -62,6 +62,17 @@ type t = {
   batch_hist : hist; (* batch sizes *)
   hists : hist array; (* per kind, unbatched dispatch *)
   hists_batched : hist array; (* per kind, batched (query_batch) dispatch *)
+  (* GC work accumulated across every participating domain (the accept
+     loop and each worker report their own deltas; see [gc_sampler]) *)
+  gc_minor_words : int Atomic.t;
+  gc_major_words : int Atomic.t;
+  gc_minor_collections : int Atomic.t;
+  gc_major_collections : int Atomic.t;
+  (* result-cache counters (see Result_cache) *)
+  rcache_hits : int Atomic.t;
+  rcache_misses : int Atomic.t;
+  rcache_waits : int Atomic.t;
+  rcache_invalidations : int Atomic.t;
 }
 
 let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
@@ -90,6 +101,14 @@ let create () =
     hists = Array.init (Array.length kinds) (fun _ -> atomic_array n_buckets);
     hists_batched =
       Array.init (Array.length kinds) (fun _ -> atomic_array n_buckets);
+    gc_minor_words = Atomic.make 0;
+    gc_major_words = Atomic.make 0;
+    gc_minor_collections = Atomic.make 0;
+    gc_major_collections = Atomic.make 0;
+    rcache_hits = Atomic.make 0;
+    rcache_misses = Atomic.make 0;
+    rcache_waits = Atomic.make 0;
+    rcache_invalidations = Atomic.make 0;
   }
 
 let incr a = Atomic.incr a
@@ -132,6 +151,42 @@ let batches t = Atomic.get t.batches
 let batched_jobs t = Atomic.get t.batched_jobs
 let max_batch_size t = Atomic.get t.max_batch
 
+let add n a = ignore (Atomic.fetch_and_add a n : int)
+
+(* [Gc.quick_stat] counters are per-domain in OCaml 5, so each domain
+   that does request work owns a sampler closure: every call adds the
+   delta since its previous call to the shared atomics. Cheap enough to
+   call once per worker batch / accept-loop tick (quick_stat reads a
+   handful of domain-local fields and allocates one small record). *)
+let gc_sampler t =
+  let last = ref (Gc.quick_stat ()) in
+  fun () ->
+    let now = Gc.quick_stat () in
+    let prev = !last in
+    last := now;
+    add (int_of_float (now.Gc.minor_words -. prev.Gc.minor_words))
+      t.gc_minor_words;
+    add (int_of_float (now.Gc.major_words -. prev.Gc.major_words))
+      t.gc_major_words;
+    add (now.Gc.minor_collections - prev.Gc.minor_collections)
+      t.gc_minor_collections;
+    add (now.Gc.major_collections - prev.Gc.major_collections)
+      t.gc_major_collections
+
+let gc_minor_words t = Atomic.get t.gc_minor_words
+let gc_major_words t = Atomic.get t.gc_major_words
+let gc_minor_collections t = Atomic.get t.gc_minor_collections
+let gc_major_collections t = Atomic.get t.gc_major_collections
+
+let incr_result_cache_hit t = incr t.rcache_hits
+let incr_result_cache_miss t = incr t.rcache_misses
+let incr_result_cache_wait t = incr t.rcache_waits
+let incr_result_cache_invalidation t = incr t.rcache_invalidations
+let result_cache_hits t = Atomic.get t.rcache_hits
+let result_cache_misses t = Atomic.get t.rcache_misses
+let result_cache_waits t = Atomic.get t.rcache_waits
+let result_cache_invalidations t = Atomic.get t.rcache_invalidations
+
 let record_latency ?(batched = false) t ~kind ~seconds =
   let hs = if batched then t.hists_batched else t.hists in
   incr hs.(kind_index kind).(bucket_of_us (seconds *. 1e6))
@@ -168,7 +223,7 @@ let timeouts t = errors t ~err:"timeout"
 let merged_snap t i = snap_merge (snap t.hists.(i)) (snap t.hists_batched.(i))
 let percentile_us t ~kind q = percentile_of_snap (merged_snap t (kind_index kind)) q
 
-let to_json ?cache_shards t ~queue_depth =
+let to_json ?cache_shards ?result_cache t ~queue_depth =
   let b = Buffer.create 512 in
   let field first name v =
     if not first then Buffer.add_char b ',';
@@ -247,6 +302,29 @@ let to_json ?cache_shards t ~queue_depth =
          if Float.is_nan p then 0.0 else p)
         (let p = percentile_of_snap bs 0.95 in
          if Float.is_nan p then 0.0 else p)));
+  field false "result_cache"
+    (Printf.sprintf
+       "{\"hits\":%d,\"misses\":%d,\"single_flight_waits\":%d,\
+        \"invalidations\":%d%s}"
+       (Atomic.get t.rcache_hits)
+       (Atomic.get t.rcache_misses)
+       (Atomic.get t.rcache_waits)
+       (Atomic.get t.rcache_invalidations)
+       (match result_cache with
+       | None -> ""
+       | Some (entries, bytes, capacity_bytes, evictions) ->
+           Printf.sprintf
+             ",\"entries\":%d,\"bytes\":%d,\"capacity_bytes\":%d,\
+              \"evictions\":%d"
+             entries bytes capacity_bytes evictions));
+  field false "gc"
+    (Printf.sprintf
+       "{\"minor_words\":%d,\"major_words\":%d,\"minor_collections\":%d,\
+        \"major_collections\":%d}"
+       (Atomic.get t.gc_minor_words)
+       (Atomic.get t.gc_major_words)
+       (Atomic.get t.gc_minor_collections)
+       (Atomic.get t.gc_major_collections));
   field false "dropped_replies" (string_of_int (Atomic.get t.dropped_replies));
   field false "worker_deaths" (string_of_int (Atomic.get t.worker_deaths));
   field false "accept_failures" (string_of_int (Atomic.get t.accept_failures));

@@ -65,6 +65,30 @@ val record_batch_size : t -> int -> unit
     round; feeds the batch-size histogram, the batched-jobs counter and
     the max. *)
 
+val gc_sampler : t -> unit -> unit
+(** A per-domain GC delta reporter. [Gc] counters are domain-local in
+    OCaml 5, so every domain doing request work (each worker, the
+    accept loop) creates one sampler and calls it periodically (once
+    per drained batch / loop tick); each call adds the words and
+    collections since the sampler's previous call to the registry's
+    shared GC accumulators. The allocation-rate view this gives —
+    minor words per served request — is the regression gauge for the
+    zero-allocation hot path (DESIGN.md §14). *)
+
+val incr_result_cache_hit : t -> unit
+(** A query was answered from the result cache (pre-encoded reply
+    bytes, no engine work). *)
+
+val incr_result_cache_miss : t -> unit
+
+val incr_result_cache_wait : t -> unit
+(** Single-flight herd suppression: a request waited for an identical
+    in-flight computation instead of duplicating it. *)
+
+val incr_result_cache_invalidation : t -> unit
+(** The result cache was flushed (SIGHUP revalidate, or an engine-cache
+    eviction of a corrupt/unopenable container). *)
+
 val record_latency : ?batched:bool -> t -> kind:string -> seconds:float -> unit
 (** [batched] (default [false]) routes the sample into the per-kind
     {e batched-dispatch} histogram instead of the unbatched one, so the
@@ -84,6 +108,21 @@ val accept_failures : t -> int
 val reloads : t -> int
 val connections_shed : t -> int
 
+val gc_minor_words : t -> int
+(** Total minor-heap words allocated by reporting domains (as are the
+    other [gc_] readers; see {!gc_sampler} for who reports). *)
+
+val gc_major_words : t -> int
+(** Major-heap words, promoted words included (the raw [Gc.major_words]
+    view). *)
+
+val gc_minor_collections : t -> int
+val gc_major_collections : t -> int
+val result_cache_hits : t -> int
+val result_cache_misses : t -> int
+val result_cache_waits : t -> int
+val result_cache_invalidations : t -> int
+
 val batches : t -> int
 (** Batched drain rounds executed by workers. *)
 
@@ -99,6 +138,7 @@ val percentile_us : t -> kind:string -> float -> float
 
 val to_json :
   ?cache_shards:(int * int * int * int) array ->
+  ?result_cache:int * int * int * int ->
   t ->
   queue_depth:int ->
   string
@@ -106,4 +146,7 @@ val to_json :
     counts, cache hit/miss, queue depth gauge + histogram percentiles,
     batch-size histogram, p50/p95/p99 per kind with the
     batched/unbatched split, uptime). [cache_shards] (from
-    {!Engine_cache.shard_stats}) adds a per-shard cache stats array. *)
+    {!Engine_cache.shard_stats}) adds a per-shard cache stats array;
+    [result_cache] — (entries, bytes, capacity_bytes, evictions) from
+    {!Result_cache.stats} — adds the result cache's size gauges to its
+    counter object. *)

@@ -58,24 +58,84 @@ let max_frame = 16 * 1024 * 1024
 let max_json_line = 1024 * 1024
 
 (* ------------------------------------------------------------------ *)
-(* Binary writers/readers over Buffer / string offsets. All integers
-   big-endian; floats as raw IEEE bits. *)
+(* Reusable frame writer. A [Wbuf.t] is a growable byte buffer that is
+   reset (not reallocated) between messages, so steady-state encoding
+   through a pooled Wbuf allocates nothing: the per-connection and
+   per-client buffers reach their high-water mark once and are reused
+   for every subsequent frame. Unlike [Buffer], the underlying bytes
+   are exposed for in-place length-header patching and copy-free
+   [write(2)] calls. *)
 
-let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
-let put_u16 b v = Buffer.add_uint16_be b (v land 0xffff)
-let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
-let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
-let put_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+module Wbuf = struct
+  type t = { mutable data : Bytes.t; mutable len : int }
+
+  let create n = { data = Bytes.create (Stdlib.max 16 n); len = 0 }
+  let reset b = b.len <- 0
+  let length b = b.len
+  let contents b = Bytes.sub_string b.data 0 b.len
+
+  let ensure b extra =
+    let need = b.len + extra in
+    if need > Bytes.length b.data then begin
+      let cap = ref (Stdlib.max 16 (2 * Bytes.length b.data)) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      let d = Bytes.create !cap in
+      Bytes.blit b.data 0 d 0 b.len;
+      b.data <- d
+    end
+
+  let add_u8 b v =
+    ensure b 1;
+    Bytes.unsafe_set b.data b.len (Char.unsafe_chr (v land 0xff));
+    b.len <- b.len + 1
+
+  let add_u16 b v =
+    ensure b 2;
+    Bytes.set_uint16_be b.data b.len (v land 0xffff);
+    b.len <- b.len + 2
+
+  let add_u32 b v =
+    ensure b 4;
+    Bytes.set_int32_be b.data b.len (Int32.of_int v);
+    b.len <- b.len + 4
+
+  let add_i64 b v =
+    ensure b 8;
+    Bytes.set_int64_be b.data b.len (Int64.of_int v);
+    b.len <- b.len + 8
+
+  let add_f64 b v =
+    ensure b 8;
+    Bytes.set_int64_be b.data b.len (Int64.bits_of_float v);
+    b.len <- b.len + 8
+
+  let add_string b s =
+    let n = String.length s in
+    ensure b n;
+    Bytes.blit_string s 0 b.data b.len n;
+    b.len <- b.len + n
+
+  (* the raw backing store, for write(2) / header patching; only valid
+     until the next [ensure]-growing add *)
+  let unsafe_data b = b.data
+end
+
+let put_u8 = Wbuf.add_u8
+let put_u16 = Wbuf.add_u16
+let put_u32 = Wbuf.add_u32
+let put_i64 = Wbuf.add_i64
+let put_f64 = Wbuf.add_f64
 
 let put_str16 b s =
   if String.length s > 0xffff then fail "string field exceeds 65535 bytes";
   put_u16 b (String.length s);
-  Buffer.add_string b s
+  Wbuf.add_string b s
 
-type cursor = { payload : string; mutable pos : int }
+type cursor = { payload : string; mutable pos : int; limit : int }
 
-let need c n =
-  if c.pos + n > String.length c.payload then fail "truncated payload"
+let need c n = if c.pos + n > c.limit then fail "truncated payload"
 
 let get_u8 c =
   need c 1;
@@ -114,15 +174,24 @@ let get_str16 c =
   c.pos <- c.pos + n;
   s
 
-let frame payload_of =
-  let b = Buffer.create 64 in
-  Buffer.add_string b "\000\000\000\000";
-  payload_of b;
-  let len = Buffer.length b - 4 in
-  if len > max_frame then fail "frame exceeds max_frame";
-  let s = Bytes.of_string (Buffer.contents b) in
-  Bytes.set_int32_be s 0 (Int32.of_int len);
-  Bytes.unsafe_to_string s
+(* Append one frame to [b]: reserve the 4-byte header, let [payload_of]
+   append the payload, then patch the length in place. On failure the
+   partial frame is rolled back so a pooled buffer is never left
+   holding torn bytes. *)
+let frame_into b payload_of =
+  Wbuf.ensure b 4;
+  let hdr = b.Wbuf.len in
+  b.Wbuf.len <- hdr + 4;
+  (try payload_of b
+   with e ->
+     b.Wbuf.len <- hdr;
+     raise e);
+  let len = b.Wbuf.len - hdr - 4 in
+  if len > max_frame then begin
+    b.Wbuf.len <- hdr;
+    fail "frame exceeds max_frame"
+  end;
+  Bytes.set_int32_be b.Wbuf.data hdr (Int32.of_int len)
 
 (* Request payload: op tag u8, id u32, then per-op fields. *)
 
@@ -133,8 +202,8 @@ let tag_stats = 4
 let tag_ping = 5
 let tag_slow = 6
 
-let encode_request { id; op } =
-  frame (fun b ->
+let encode_request_into wb { id; op } =
+  frame_into wb (fun b ->
       let tag, rest =
         match op with
         | Query { index; pattern; tau } ->
@@ -164,8 +233,13 @@ let encode_request { id; op } =
       put_u32 b id;
       rest ())
 
-let decode_request payload =
-  let c = { payload; pos = 0 } in
+let encode_request req =
+  let b = Wbuf.create 64 in
+  encode_request_into b req;
+  Wbuf.contents b
+
+let decode_request_sub payload ~pos ~len =
+  let c = { payload; pos; limit = pos + len } in
   let tag = get_u8 c in
   let id = get_u32 c in
   let op =
@@ -193,8 +267,11 @@ let decode_request payload =
     else if tag = tag_slow then Slow (get_u32 c)
     else fail "unknown request tag %d" tag
   in
-  if c.pos <> String.length payload then fail "trailing bytes in request";
+  if c.pos <> c.limit then fail "trailing bytes in request";
   { id; op }
+
+let decode_request payload =
+  decode_request_sub payload ~pos:0 ~len:(String.length payload)
 
 (* Reply payload: tag u8, id u32, then per-tag fields. *)
 
@@ -220,34 +297,57 @@ let err_of_code = function
   | 5 -> Shutting_down
   | c -> fail "unknown error code %d" c
 
+let reply_tag = function
+  | Hits _ -> tag_hits
+  | Error _ -> tag_error
+  | Stats_reply _ -> tag_stats_reply
+  | Pong -> tag_pong
+
+(* The per-reply payload after the (tag, id) prefix. Both the direct
+   encoder and the result cache go through this one writer, which is
+   what makes a cached body spliced after a fresh (tag, id) prefix
+   byte-identical to encoding the reply from scratch. *)
+let put_reply_body b reply =
+  match reply with
+  | Hits hits ->
+      put_u32 b (List.length hits);
+      List.iter
+        (fun (key, logp) ->
+          put_i64 b key;
+          put_f64 b logp)
+        hits
+  | Error (e, msg) ->
+      put_u8 b (err_code e);
+      put_str16 b msg
+  | Stats_reply s ->
+      put_u32 b (String.length s);
+      Wbuf.add_string b s
+  | Pong -> ()
+
+let encode_reply_into wb ~id reply =
+  frame_into wb (fun b ->
+      put_u8 b (reply_tag reply);
+      put_u32 b id;
+      put_reply_body b reply)
+
 let encode_reply ~id reply =
-  frame (fun b ->
-      match reply with
-      | Hits hits ->
-          put_u8 b tag_hits;
-          put_u32 b id;
-          put_u32 b (List.length hits);
-          List.iter
-            (fun (key, logp) ->
-              put_i64 b key;
-              put_f64 b logp)
-            hits
-      | Error (e, msg) ->
-          put_u8 b tag_error;
-          put_u32 b id;
-          put_u8 b (err_code e);
-          put_str16 b msg
-      | Stats_reply s ->
-          put_u8 b tag_stats_reply;
-          put_u32 b id;
-          put_u32 b (String.length s);
-          Buffer.add_string b s
-      | Pong ->
-          put_u8 b tag_pong;
-          put_u32 b id)
+  let b = Wbuf.create 64 in
+  encode_reply_into b ~id reply;
+  Wbuf.contents b
+
+let encode_reply_body reply =
+  let b = Wbuf.create 64 in
+  put_reply_body b reply;
+  Wbuf.contents b
+
+let encode_cached_reply_into wb ~id ~tag ~body =
+  frame_into wb (fun b ->
+      put_u8 b tag;
+      put_u32 b id;
+      Wbuf.add_string b body)
 
 let decode_reply payload =
-  let c = { payload; pos = 0 } in
+  let c = { payload; pos = 0; limit = String.length payload } in
   let tag = get_u8 c in
   let id = get_u32 c in
   let reply =
@@ -289,19 +389,24 @@ let rec read_retry fd buf off len =
   try Unix.read fd buf off len
   with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf off len
 
-let write_all fd s =
-  let n = String.length s in
-  let b = Bytes.unsafe_of_string s in
-  let rec go off =
-    if off < n then begin
+let write_sub fd b off len =
+  let rec go off len =
+    if len > 0 then begin
       let w =
-        try Unix.write fd b off (n - off)
+        try Unix.write fd b off len
         with Unix.Unix_error (Unix.EINTR, _, _) -> 0
       in
-      go (off + w)
+      go (off + w) (len - w)
     end
   in
-  go 0
+  go off len
+
+let write_all fd s = write_sub fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* One write(2) straight out of the pooled buffer: no contents copy,
+   and a batch of frames coalesced into the same Wbuf goes out as a
+   single syscall / TCP segment train. *)
+let write_wbuf fd b = write_sub fd (Wbuf.unsafe_data b) 0 (Wbuf.length b)
 
 let really_read fd buf off len =
   let rec go off len =

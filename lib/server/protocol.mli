@@ -76,16 +76,72 @@ val max_json_line : int
     connection whose pending input exceeds this without a newline —
     the line-framed fallback must not become an unbounded buffer. *)
 
+(** {2 Pooled frame writing}
+
+    A {!Wbuf.t} is a growable byte buffer meant to be {e reused}: reset
+    it, append one or more frames, write it out, repeat. After the
+    first few messages it reaches its high-water mark and encoding
+    through it allocates nothing — the server keeps one per connection
+    (its write buffer) and the load generator one per client, so the
+    steady-state hot path encodes with zero fresh heap blocks.
+    Multiple frames appended between resets coalesce into a single
+    {!write_wbuf} syscall. *)
+
+module Wbuf : sig
+  type t
+
+  val create : int -> t
+  (** Initial capacity hint (grows by doubling, never shrinks). *)
+
+  val reset : t -> unit
+  (** Forget the contents, keep the storage. *)
+
+  val length : t -> int
+
+  val add_string : t -> string -> unit
+  (** Append raw bytes (the JSON fallback writes its lines through the
+      same pooled buffer). *)
+
+  val contents : t -> string
+  (** Copy out the contents (allocates; the pooled write path uses
+      {!write_wbuf} instead). *)
+end
+
 (** {2 Binary encoding} *)
 
 val encode_request : request -> string
 (** The full frame, header included. *)
 
+val encode_request_into : Wbuf.t -> request -> unit
+(** Append the full frame to the buffer; the bytes appended are exactly
+    [encode_request req]. *)
+
 val decode_request : string -> request
 (** Decode a frame payload (header already stripped). *)
 
+val decode_request_sub : string -> pos:int -> len:int -> request
+(** Decode a frame payload sitting at [pos, pos+len) of a larger
+    buffer — the server's zero-copy read path, which parses frames in
+    place out of the per-connection read buffer instead of slicing a
+    string per frame. Field strings (patterns) are still copied out. *)
+
 val encode_reply : id:int -> reply -> string
+val encode_reply_into : Wbuf.t -> id:int -> reply -> unit
 val decode_reply : string -> int * reply
+
+val reply_tag : reply -> int
+(** The wire tag this reply encodes under. *)
+
+val encode_reply_body : reply -> string
+(** The payload {e after} the (tag, id) prefix — what the result cache
+    stores, id-independent and shareable across requests. *)
+
+val encode_cached_reply_into : Wbuf.t -> id:int -> tag:int -> body:string -> unit
+(** Append a frame made of a fresh (tag, id) prefix and a cached body.
+    For any [reply], [encode_cached_reply_into b ~id
+    ~tag:(reply_tag reply) ~body:(encode_reply_body reply)] appends
+    exactly the bytes of [encode_reply ~id reply] — the identity the
+    cache's byte-for-byte guarantee rests on (tested). *)
 
 (** {2 Blocking frame IO (client side)}
 
@@ -94,6 +150,10 @@ val decode_reply : string -> int * reply
     frame. *)
 
 val write_all : Unix.file_descr -> string -> unit
+
+val write_wbuf : Unix.file_descr -> Wbuf.t -> unit
+(** Write the buffer's contents straight from its backing store —
+    no copy, one [write(2)] when the kernel accepts it whole. *)
 
 val read_frame : Unix.file_descr -> string option
 (** Read one frame payload; [None] on a clean EOF at a frame boundary.

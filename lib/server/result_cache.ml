@@ -1,0 +1,273 @@
+(* Server-side query-result cache. See the mli for the contract; the
+   implementation notes here cover what the signature can't say.
+
+   Sharding: key hash picks a shard; each shard is an independent
+   (mutex, hashtable, LRU list, byte budget). Contention is therefore
+   1/nshards of a global lock, and a worker holding one shard's lock
+   never blocks lookups on the others.
+
+   LRU: an intrusive circular doubly-linked list with a sentinel. O(1)
+   touch / insert / evict — no O(n) scans, the cache may hold tens of
+   thousands of entries.
+
+   Single-flight: a miss installs an [In_flight] slot before the owner
+   starts computing. Later arrivals for the same key get [Busy] and may
+   {!wait} on the flight's condition variable; the owner's {!fill} (or
+   {!cancel}) settles it exactly once and broadcasts. Waiting is the
+   caller's choice and deliberately a separate call: the server's
+   workers first resolve every lookup in a batch without blocking (so
+   two workers whose batches hold each other's keys cannot deadlock —
+   a worker only waits after it has settled every flight it owns).
+
+   Staleness: [gen] is bumped by {!invalidate} *before* the shards are
+   cleared. A token snapshots [gen] at miss time; {!fill} inserts only
+   if the snapshot is still current, so a computation that raced a
+   reload settles its waiters (they get the reply value, which is as
+   fresh as any non-cached reply that was already executing during the
+   reload) but never leaves bytes from the old container in the cache.
+   [invalidate] also removes In_flight slots, so a request arriving
+   after a reload never joins a pre-reload computation. *)
+
+module P = Protocol
+
+type cached = { ctag : int; cbody : string; creply : P.reply }
+
+type settled = Settled_cached of cached | Settled_reply of P.reply
+
+type flight = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable outcome : settled option;
+}
+
+(* LRU node; [value = None] marks the per-shard sentinel. *)
+type node = {
+  nkey : string;
+  value : cached option;
+  size : int;
+  mutable prev : node;
+  mutable next : node;
+}
+
+let sentinel () =
+  let rec s = { nkey = ""; value = None; size = 0; prev = s; next = s } in
+  s
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev;
+  n.prev <- n;
+  n.next <- n
+
+let push_front head n =
+  n.next <- head.next;
+  n.prev <- head;
+  head.next.prev <- n;
+  head.next <- n
+
+type slot = Ready of node | In_flight of flight
+
+type shard = {
+  m : Mutex.t;
+  tbl : (string, slot) Hashtbl.t;
+  head : node; (* sentinel: head.next = MRU, head.prev = LRU *)
+  cap : int;
+  mutable bytes : int;
+  mutable entries : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable waits : int;
+  mutable evictions : int;
+}
+
+type t = { shards : shard array; gen : int Atomic.t }
+
+type token = { tkey : string; tflight : flight; tgen : int }
+
+type outcome = Hit of cached | Fresh of token | Busy of flight
+
+let create ~capacity_bytes ?(shards = 8) () =
+  if capacity_bytes <= 0 then
+    invalid_arg "Result_cache.create: capacity_bytes must be positive";
+  if shards < 1 then invalid_arg "Result_cache.create: shards must be >= 1";
+  let cap = Stdlib.max 1 (capacity_bytes / shards) in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            m = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            head = sentinel ();
+            cap;
+            bytes = 0;
+            entries = 0;
+            hits = 0;
+            misses = 0;
+            waits = 0;
+            evictions = 0;
+          });
+    gen = Atomic.make 0;
+  }
+
+let shard_of t key =
+  t.shards.(Hashtbl.hash key land max_int mod Array.length t.shards)
+
+(* per-entry accounting: key + body + node/slot bookkeeping overhead *)
+let entry_size key body = String.length key + String.length body + 64
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let find t ?metrics key =
+  let sh = shard_of t key in
+  locked sh.m (fun () ->
+      match Hashtbl.find_opt sh.tbl key with
+      | Some (Ready node) ->
+          unlink node;
+          push_front sh.head node;
+          sh.hits <- sh.hits + 1;
+          Option.iter Metrics.incr_result_cache_hit metrics;
+          Hit (Option.get node.value)
+      | Some (In_flight fl) ->
+          sh.waits <- sh.waits + 1;
+          Option.iter Metrics.incr_result_cache_wait metrics;
+          Busy fl
+      | None ->
+          sh.misses <- sh.misses + 1;
+          Option.iter Metrics.incr_result_cache_miss metrics;
+          let fl =
+            { fm = Mutex.create (); fc = Condition.create (); outcome = None }
+          in
+          Hashtbl.replace sh.tbl key (In_flight fl);
+          Fresh { tkey = key; tflight = fl; tgen = Atomic.get t.gen })
+
+let wait fl =
+  Mutex.lock fl.fm;
+  while fl.outcome = None do
+    Condition.wait fl.fc fl.fm
+  done;
+  let o = Option.get fl.outcome in
+  Mutex.unlock fl.fm;
+  o
+
+let settle fl o =
+  Mutex.lock fl.fm;
+  fl.outcome <- Some o;
+  Condition.broadcast fl.fc;
+  Mutex.unlock fl.fm
+
+(* Remove [token]'s In_flight slot if it is still the one installed —
+   after an invalidate a *new* flight may own the key and must not be
+   disturbed. Caller holds the shard lock. *)
+let remove_own_flight sh token =
+  match Hashtbl.find_opt sh.tbl token.tkey with
+  | Some (In_flight fl) when fl == token.tflight -> Hashtbl.remove sh.tbl token.tkey
+  | _ -> ()
+
+let evict_over_cap sh =
+  while sh.bytes > sh.cap && sh.head.prev != sh.head do
+    let lru = sh.head.prev in
+    unlink lru;
+    Hashtbl.remove sh.tbl lru.nkey;
+    sh.bytes <- sh.bytes - lru.size;
+    sh.entries <- sh.entries - 1;
+    sh.evictions <- sh.evictions + 1
+  done
+
+let fill t token cached =
+  let sh = shard_of t token.tkey in
+  locked sh.m (fun () ->
+      if Atomic.get t.gen = token.tgen then begin
+        match Hashtbl.find_opt sh.tbl token.tkey with
+        | Some (In_flight fl) when fl == token.tflight ->
+            let size = entry_size token.tkey cached.cbody in
+            let node =
+              let rec n =
+                { nkey = token.tkey; value = Some cached; size; prev = n; next = n }
+              in
+              n
+            in
+            push_front sh.head node;
+            Hashtbl.replace sh.tbl token.tkey (Ready node);
+            sh.bytes <- sh.bytes + size;
+            sh.entries <- sh.entries + 1;
+            evict_over_cap sh
+        | _ -> ()
+      end
+      else remove_own_flight sh token);
+  settle token.tflight (Settled_cached cached)
+
+let cancel t token reply =
+  let sh = shard_of t token.tkey in
+  locked sh.m (fun () -> remove_own_flight sh token);
+  settle token.tflight (Settled_reply reply)
+
+let invalidate ?metrics t =
+  Atomic.incr t.gen;
+  Array.iter
+    (fun sh ->
+      locked sh.m (fun () ->
+          Hashtbl.reset sh.tbl;
+          sh.head.prev <- sh.head;
+          sh.head.next <- sh.head;
+          sh.bytes <- 0;
+          sh.entries <- 0))
+    t.shards;
+  Option.iter Metrics.incr_result_cache_invalidation metrics
+
+type stats = {
+  entries : int;
+  bytes : int;
+  capacity_bytes : int;
+  hits : int;
+  misses : int;
+  waits : int;
+  evictions : int;
+}
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+      locked sh.m (fun () ->
+          {
+            entries = acc.entries + sh.entries;
+            bytes = acc.bytes + sh.bytes;
+            capacity_bytes = acc.capacity_bytes + sh.cap;
+            hits = acc.hits + sh.hits;
+            misses = acc.misses + sh.misses;
+            waits = acc.waits + sh.waits;
+            evictions = acc.evictions + sh.evictions;
+          }))
+    {
+      entries = 0;
+      bytes = 0;
+      capacity_bytes = 0;
+      hits = 0;
+      misses = 0;
+      waits = 0;
+      evictions = 0;
+    }
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys. Only engine queries are cacheable: Stats/Ping are
+   trivial, Slow is a debug op. The key packs the full semantic
+   identity of a query — op tag, index id, τ's raw bits (so 0.2 and a
+   float that merely prints as 0.2 never collide), k, pattern. *)
+
+let key op =
+  let pack tag index tau k pattern =
+    let b = Bytes.create (1 + 4 + 8 + 8 + String.length pattern) in
+    Bytes.set_uint8 b 0 tag;
+    Bytes.set_int32_be b 1 (Int32.of_int index);
+    Bytes.set_int64_be b 5 (Int64.bits_of_float tau);
+    Bytes.set_int64_be b 13 (Int64.of_int k);
+    Bytes.blit_string pattern 0 b 21 (String.length pattern);
+    Bytes.unsafe_to_string b
+  in
+  match op with
+  | P.Query { index; pattern; tau } -> Some (pack 1 index tau 0 pattern)
+  | P.Top_k { index; pattern; tau; k } -> Some (pack 2 index tau k pattern)
+  | P.Listing { index; pattern; tau } -> Some (pack 3 index tau 0 pattern)
+  | P.Stats | P.Ping | P.Slow _ -> None

@@ -1,0 +1,92 @@
+(** Server-side query-result cache (DESIGN.md §14).
+
+    A sharded LRU over {e encoded reply bytes}: an entry stores a
+    reply's wire tag, its id-independent binary body
+    ({!Protocol.encode_reply_body}) and the decoded {!Protocol.reply}
+    value (for connections on the JSON fallback). A hit is served by
+    splicing a fresh (length, tag, id) prefix in front of the cached
+    body — byte-identical to encoding the reply from scratch, and with
+    no engine work and no per-hit allocation beyond the frame already
+    pooled in the connection's write buffer.
+
+    Concurrent misses on one key are herd-suppressed ({e single
+    flight}): the first miss returns a {!token} and owns the
+    computation; later arrivals get {!Busy} and can {!wait} for the
+    owner to {!fill} (cacheable result) or {!cancel} (error — errors
+    are never cached). Empty hit lists {e are} cached (negative
+    caching): a no-match reply is as expensive to recompute as a
+    match.
+
+    Invalidation is generational: {!invalidate} bumps a generation
+    counter and clears every shard; tokens carry the generation at
+    miss time and {!fill} drops inserts whose generation is stale, so
+    a computation racing a SIGHUP reload can never re-insert bytes
+    from the pre-reload container. *)
+
+type t
+
+type cached = {
+  ctag : int;  (** {!Protocol.reply_tag} of the cached reply. *)
+  cbody : string;  (** {!Protocol.encode_reply_body} of the reply. *)
+  creply : Protocol.reply;  (** The decoded value, for JSON conns. *)
+}
+
+type token
+(** Ownership of one in-flight computation; must be settled with
+    {!fill} or {!cancel} exactly once, or its waiters block forever. *)
+
+type flight
+(** An in-flight computation owned by someone else. *)
+
+type settled =
+  | Settled_cached of cached
+  | Settled_reply of Protocol.reply
+      (** The owner cancelled (error reply, or stale generation made
+          the result uncacheable) — serve this value directly. *)
+
+type outcome = Hit of cached | Fresh of token | Busy of flight
+
+val create : capacity_bytes:int -> ?shards:int -> unit -> t
+(** [shards] defaults to 8; each shard gets an equal slice of the byte
+    budget and its own lock. Raises [Invalid_argument] on a
+    non-positive capacity or shard count. *)
+
+val find : t -> ?metrics:Metrics.t -> string -> outcome
+(** Non-blocking lookup; records hit/miss/wait in [metrics]. A [Fresh]
+    return installs the in-flight slot — the caller now owes a
+    {!fill}/{!cancel}. Callers that may hold unsettled tokens must not
+    {!wait} before settling them (deadlock discipline; see the server's
+    batch executor). *)
+
+val wait : flight -> settled
+(** Block until the owner settles. *)
+
+val fill : t -> token -> cached -> unit
+(** Insert (unless the generation moved or the slot was superseded) and
+    wake waiters with the cached entry. *)
+
+val cancel : t -> token -> Protocol.reply -> unit
+(** Settle without caching: wake waiters with the reply value. *)
+
+val invalidate : ?metrics:Metrics.t -> t -> unit
+(** Flush everything and fence in-flight computations (their fills
+    become no-ops). Wired to SIGHUP revalidation and to engine-cache
+    corrupt-open evictions; counts an invalidation in [metrics]. *)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  capacity_bytes : int;
+  hits : int;
+  misses : int;
+  waits : int;
+  evictions : int;
+}
+
+val stats : t -> stats
+(** Aggregated over shards (takes each shard lock briefly). *)
+
+val key : Protocol.op -> string option
+(** The cache key for an op, or [None] if the op is not cacheable
+    (Stats, Ping, Slow). The key packs op kind, index id, τ's raw IEEE
+    bits, k and the pattern — the full semantic identity of a query. *)

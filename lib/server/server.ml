@@ -28,6 +28,7 @@ type config = {
   max_conns : int;
   max_json_line : int;
   batch_max : int;
+  result_cache_mb : int;
 }
 
 let default_config =
@@ -45,22 +46,67 @@ let default_config =
     max_conns = 4096;
     max_json_line = P.max_json_line;
     batch_max = 32;
+    result_cache_mb = 64;
   }
 
-(* One TCP connection. [inbuf] accumulates raw bytes until complete
+(* Per-connection read buffer: a growable byte window [start, start+len)
+   that [read(2)] appends to and the framers consume from the front —
+   no intermediate copy, no per-frame string slice. It reaches its
+   high-water mark once and is then reused for the connection's whole
+   lifetime (shrunk back only after an unusually large frame). *)
+type rbuf = { mutable data : Bytes.t; mutable start : int; mutable len : int }
+
+let rbuf_create n = { data = Bytes.create n; start = 0; len = 0 }
+
+(* Make room to append [want] bytes: slide the window to the front when
+   the tail is exhausted (cheap memmove of the unconsumed remainder,
+   usually empty), growing only when a message is larger than the
+   whole buffer. *)
+let rbuf_room rb want =
+  if rb.len = 0 then rb.start <- 0;
+  let cap = Bytes.length rb.data in
+  if rb.start + rb.len + want > cap then
+    if rb.len + want <= cap then begin
+      Bytes.blit rb.data rb.start rb.data 0 rb.len;
+      rb.start <- 0
+    end
+    else begin
+      let ncap = ref (Stdlib.max 16 (2 * cap)) in
+      while !ncap < rb.len + want do
+        ncap := 2 * !ncap
+      done;
+      let d = Bytes.create !ncap in
+      Bytes.blit rb.data rb.start d 0 rb.len;
+      rb.data <- d;
+      rb.start <- 0
+    end
+
+(* After a >1 MiB message drained, give the memory back — one huge
+   frame must not pin a huge buffer per connection forever. *)
+let rbuf_shrink rb =
+  if rb.len = 0 && Bytes.length rb.data > 1024 * 1024 then begin
+    rb.data <- Bytes.create 65536;
+    rb.start <- 0
+  end
+
+(* One TCP connection. [rbuf] accumulates raw bytes until complete
    frames (binary) or lines (JSON) can be cut off the front; [scan] is
-   the offset up to which [inbuf] is known to hold no newline (JSON
-   mode), so a client trickling bytes is not rescanned quadratically;
-   [mode] latches on the first byte. Workers write replies under
-   [write_m] because several may hold jobs of one pipelined connection.
-   The fd is closed ONLY while holding [write_m] (see [try_close]): a
-   writer that passed its [alive] check must never hold the fd across a
-   close, or the kernel could reuse the fd number and the stale reply
-   would land in an unrelated client's stream. *)
+   the offset (relative to [rbuf.start]) up to which the input is known
+   to hold no newline (JSON mode), so a client trickling bytes is not
+   rescanned quadratically; [mode] latches on the first byte. [wbuf] is
+   the pooled reply buffer: replies (a whole batch's worth when jobs of
+   one connection complete together) are encoded into it and written
+   with a single syscall, under [write_m] because several workers may
+   hold jobs of one pipelined connection. The fd is closed ONLY while
+   holding [write_m] (see [try_close]): a writer that passed its
+   [alive] check must never hold the fd across a close, or the kernel
+   could reuse the fd number and the stale reply would land in an
+   unrelated client's stream. *)
 type conn = {
   fd : Unix.file_descr;
   write_m : Mutex.t;
-  inbuf : Buffer.t;
+  rbuf : rbuf;
+  wbuf : P.Wbuf.t;
   mutable scan : int;
   mutable json : bool option;
   mutable alive : bool;
@@ -83,6 +129,7 @@ type t = {
   bound_port : int;
   queue : job Bq.t;
   cache : Engine_cache.t;
+  rcache : Result_cache.t option;
   metrics : Metrics.t;
   stop_flag : bool Atomic.t;
   dump_flag : bool Atomic.t;
@@ -100,6 +147,8 @@ let create ?(config = default_config) sources =
   if config.max_json_line < 64 then
     invalid_arg "Server.create: max_json_line < 64";
   if config.batch_max < 1 then invalid_arg "Server.create: batch_max < 1";
+  if config.result_cache_mb < 0 then
+    invalid_arg "Server.create: result_cache_mb < 0";
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -123,6 +172,13 @@ let create ?(config = default_config) sources =
     cache =
       Engine_cache.create ~verify:config.verify ~capacity:config.cache_cap
         ~shards:(Stdlib.max 1 config.workers) ();
+    rcache =
+      (if config.result_cache_mb = 0 then None
+       else
+         Some
+           (Result_cache.create
+              ~capacity_bytes:(config.result_cache_mb * 1024 * 1024)
+              ~shards:(Stdlib.max 1 config.workers) ()));
     metrics = Metrics.create ();
     stop_flag = Atomic.make false;
     dump_flag = Atomic.make false;
@@ -139,36 +195,80 @@ let request_stats_dump t = Atomic.set t.dump_flag true
 let request_reload t = Atomic.set t.reload_flag true
 
 let stats_json t =
+  let result_cache =
+    Option.map
+      (fun rc ->
+        let s = Result_cache.stats rc in
+        (s.Result_cache.entries, s.bytes, s.capacity_bytes, s.evictions))
+      t.rcache
+  in
   Metrics.to_json t.metrics ~queue_depth:(Bq.length t.queue)
-    ~cache_shards:(Engine_cache.shard_stats t.cache)
+    ~cache_shards:(Engine_cache.shard_stats t.cache) ?result_cache
 
 (* ------------------------------------------------------------------ *)
 (* Replies *)
 
-let write_reply t conn ~id reply =
-  let data =
-    if conn.json = Some true then P.reply_to_json ~id reply ^ "\n"
-    else P.encode_reply ~id reply
-  in
+(* A reply to put on the wire: either a value to encode, or a cache
+   entry whose pre-encoded body is spliced after a fresh (tag, id)
+   prefix — byte-identical to encoding [c.creply] (Protocol guarantees
+   it), with no per-hit work. *)
+type outcome_r = O_value of P.reply | O_cached of Result_cache.cached
+
+(* Write a batch of replies to one connection: encode them all into the
+   connection's pooled write buffer under [write_m], then write once —
+   a batched group's replies leave in a single syscall (and, with
+   TCP_NODELAY, a single segment train) instead of one write per
+   reply. *)
+let write_outcomes t conn items =
+  let n = List.length items in
   Mutex.lock conn.write_m;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.write_m)
     (fun () ->
-      if conn.alive then
+      if conn.alive then begin
+        let b = conn.wbuf in
+        P.Wbuf.reset b;
+        List.iter
+          (fun (id, o) ->
+            if conn.json = Some true then begin
+              let reply =
+                match o with
+                | O_value r -> r
+                | O_cached c -> c.Result_cache.creply
+              in
+              P.Wbuf.add_string b (P.reply_to_json ~id reply);
+              P.Wbuf.add_string b "\n"
+            end
+            else
+              match o with
+              | O_value r -> P.encode_reply_into b ~id r
+              | O_cached c ->
+                  P.encode_cached_reply_into b ~id ~tag:c.Result_cache.ctag
+                    ~body:c.Result_cache.cbody)
+          items;
         try
           (match Pti_fault.hit "server.reply" with
           | Some short ->
               (* injected torn reply: a prefix goes out, then the
                  "connection" breaks *)
               P.write_all conn.fd
-                (String.sub data 0 (Stdlib.min short (String.length data)));
+                (String.sub (P.Wbuf.contents b) 0
+                   (Stdlib.min short (P.Wbuf.length b)));
               raise (Unix.Unix_error (Unix.EPIPE, "write", "failpoint"))
           | None -> ());
-          P.write_all conn.fd data
+          P.write_wbuf conn.fd b
         with Unix.Unix_error _ | Sys_error _ ->
           conn.alive <- false;
+          for _ = 1 to n do
+            Metrics.incr_dropped_replies t.metrics
+          done
+      end
+      else
+        for _ = 1 to n do
           Metrics.incr_dropped_replies t.metrics
-      else Metrics.incr_dropped_replies t.metrics)
+        done)
+
+let write_reply t conn ~id reply = write_outcomes t conn [ (id, O_value reply) ]
 
 let error_reply t conn ~id err msg =
   Metrics.incr_error t.metrics ~err:(P.err_to_string err);
@@ -189,17 +289,27 @@ let resolve t index =
     | Source_general g -> Ok (General g)
     | Source_listing l -> Ok (Listing l)
     | Source_file path -> (
-        try Ok (Engine_cache.get t.cache ~metrics:t.metrics path) with
-        | Pti_storage.Corrupt { section; reason } ->
-            Result.Error
-              ( P.Bad_index,
-                Printf.sprintf "%s: corrupt section %s (%s)" path section
-                  reason )
-        | Sys_error m | Failure m | Invalid_argument m ->
-            Result.Error (P.Bad_index, m)
-        | Unix.Unix_error (e, _, _) ->
-            Result.Error
-              (P.Bad_index, path ^ ": " ^ Unix.error_message e))
+        match Engine_cache.get t.cache ~metrics:t.metrics path with
+        | handle -> Ok handle
+        | exception e ->
+            (* the engine cache just evicted (or refused) a corrupt /
+               unopenable container — cached reply bytes may describe
+               the evicted contents, so flush them too: the result
+               cache must never outlive the handle that produced it *)
+            Option.iter
+              (fun rc -> Result_cache.invalidate ~metrics:t.metrics rc)
+              t.rcache;
+            (match e with
+            | Pti_storage.Corrupt { section; reason } ->
+                Result.Error
+                  ( P.Bad_index,
+                    Printf.sprintf "%s: corrupt section %s (%s)" path section
+                      reason )
+            | Sys_error m | Failure m | Invalid_argument m ->
+                Result.Error (P.Bad_index, m)
+            | Unix.Unix_error (e, _, _) ->
+                Result.Error (P.Bad_index, path ^ ": " ^ Unix.error_message e)
+            | e -> raise e))
 
 let hits_of l = List.map (fun (key, p) -> (key, Logp.to_log p)) l
 
@@ -247,13 +357,13 @@ let execute_one t job =
       P.Error (P.Bad_index, Printf.sprintf "corrupt %s: %s" section reason)
   | e -> P.Error (P.Server_error, Printexc.to_string e)
 
-let finish t ~batched job reply =
-  (match reply with
-  | P.Error (e, _) -> Metrics.incr_error t.metrics ~err:(P.err_to_string e)
-  | _ -> Metrics.incr_ok t.metrics ~kind:job.jkind);
+let record_finish t ~batched job outcome =
+  (match outcome with
+  | O_value (P.Error (e, _)) ->
+      Metrics.incr_error t.metrics ~err:(P.err_to_string e)
+  | O_value _ | O_cached _ -> Metrics.incr_ok t.metrics ~kind:job.jkind);
   Metrics.record_latency ~batched t.metrics ~kind:job.jkind
-    ~seconds:(Unix.gettimeofday () -. job.arrival);
-  write_reply t job.jconn ~id:job.jid reply
+    ~seconds:(Unix.gettimeofday () -. job.arrival)
 
 (* Batched dispatch. Threshold queries (and listing queries) against
    one index are compatible: they collapse into a single
@@ -304,10 +414,12 @@ let run_group t key jobs =
       | replies -> replies
       | exception _ -> List.map (fun j -> (j, execute_one t j)) jobs)
 
-let execute_jobs t jobs =
+(* Execute [jobs] and return every (job, batched?, reply), preserving
+   the grouped batched dispatch above. *)
+let run_jobs t jobs =
   match jobs with
-  | [] -> ()
-  | [ job ] -> finish t ~batched:false job (execute_one t job)
+  | [] -> []
+  | [ job ] -> [ (job, false, execute_one t job) ]
   | _ ->
       let groups : (group_key, job list ref) Hashtbl.t = Hashtbl.create 8 in
       let order = ref [] in
@@ -323,20 +435,144 @@ let execute_jobs t jobs =
                   Hashtbl.add groups k (ref [ job ]);
                   order := k :: !order))
         jobs;
+      let out = ref [] in
       List.iter
         (fun k ->
           match List.rev !(Hashtbl.find groups k) with
-          | [ j ] -> finish t ~batched:false j (execute_one t j)
+          | [ j ] -> out := (j, false, execute_one t j) :: !out
           | group ->
               List.iter
-                (fun (j, r) -> finish t ~batched:true j r)
+                (fun (j, r) -> out := (j, true, r) :: !out)
                 (run_group t k group))
         (List.rev !order);
       List.iter
-        (fun j -> finish t ~batched:false j (execute_one t j))
-        (List.rev !singles)
+        (fun j -> out := (j, false, execute_one t j) :: !out)
+        (List.rev !singles);
+      List.rev !out
+
+(* Drain one batch of jobs through the result cache and the engine.
+
+   Phases (the order is the deadlock discipline — see Result_cache):
+   1. look every job up without blocking. Hits are answered from cached
+      bytes; a [Fresh] token makes this worker the key's owner (same-key
+      duplicates within the batch piggyback on the owner instead of
+      re-probing, so a worker never waits on a flight it owns itself);
+      [Busy] jobs — another worker owns the computation — are deferred.
+   2. execute the owned misses (grouped/batched exactly as before) and
+      settle every token: cacheable replies ([Hits], including empty
+      ones — negative caching) fill the cache, errors cancel so they
+      are never cached; piggybacked duplicates reuse the result.
+   3. only now, owning nothing, wait on other workers' flights.
+   4. flush: replies grouped per connection go out as one coalesced
+      write each.
+
+   Tokens are settled even if execution dies mid-batch (the [finally]
+   cancels leftovers) — an unsettled token would hang its waiters. *)
+let execute_jobs t jobs =
+  match jobs with
+  | [] -> ()
+  | jobs ->
+      let out = ref [] in
+      let emit job ~batched o = out := (job, batched, o) :: !out in
+      let deferred = ref [] in
+      let own : (string, Result_cache.token * job list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let exec = ref [] in
+      (match t.rcache with
+      | None -> exec := List.rev jobs
+      | Some rc ->
+          List.iter
+            (fun job ->
+              match Result_cache.key job.jop with
+              | None -> exec := job :: !exec
+              | Some key -> (
+                  match Hashtbl.find_opt own key with
+                  | Some (_tok, piggy) -> piggy := job :: !piggy
+                  | None -> (
+                      match Result_cache.find rc ~metrics:t.metrics key with
+                      | Result_cache.Hit c -> emit job ~batched:false (O_cached c)
+                      | Result_cache.Busy fl -> deferred := (job, fl) :: !deferred
+                      | Result_cache.Fresh tok ->
+                          Hashtbl.add own key (tok, ref []);
+                          exec := job :: !exec)))
+            jobs);
+      Fun.protect
+        ~finally:(fun () ->
+          match t.rcache with
+          | None -> ()
+          | Some rc ->
+              Hashtbl.iter
+                (fun _ (tok, _) ->
+                  Result_cache.cancel rc tok
+                    (P.Error (P.Server_error, "request dropped")))
+                own)
+        (fun () ->
+          let results = run_jobs t (List.rev !exec) in
+          List.iter
+            (fun (job, batched, reply) ->
+              emit job ~batched (O_value reply);
+              match t.rcache with
+              | None -> ()
+              | Some rc -> (
+                  match Result_cache.key job.jop with
+                  | None -> ()
+                  | Some key -> (
+                      match Hashtbl.find_opt own key with
+                      | None -> ()
+                      | Some (tok, piggy) ->
+                          Hashtbl.remove own key;
+                          (match reply with
+                          | P.Hits _ ->
+                              let cached =
+                                {
+                                  Result_cache.ctag = P.reply_tag reply;
+                                  cbody = P.encode_reply_body reply;
+                                  creply = reply;
+                                }
+                              in
+                              Result_cache.fill rc tok cached;
+                              List.iter
+                                (fun pj -> emit pj ~batched (O_cached cached))
+                                (List.rev !piggy)
+                          | _ ->
+                              Result_cache.cancel rc tok reply;
+                              List.iter
+                                (fun pj -> emit pj ~batched (O_value reply))
+                                (List.rev !piggy)))))
+            results);
+      List.iter
+        (fun (job, fl) ->
+          match Result_cache.wait fl with
+          | Result_cache.Settled_cached c -> emit job ~batched:false (O_cached c)
+          | Result_cache.Settled_reply r -> emit job ~batched:false (O_value r))
+        (List.rev !deferred);
+      let items = List.rev !out in
+      List.iter (fun (job, batched, o) -> record_finish t ~batched job o) items;
+      (* group replies by connection (physical equality; a batch rarely
+         spans more than a handful of conns), one coalesced write each *)
+      let conns = ref [] in
+      List.iter
+        (fun (job, _batched, o) ->
+          let r =
+            match List.find_opt (fun (c, _) -> c == job.jconn) !conns with
+            | Some (_, r) -> r
+            | None ->
+                let r = ref [] in
+                conns := (job.jconn, r) :: !conns;
+                r
+          in
+          r := (job.jid, o) :: !r)
+        items;
+      List.iter
+        (fun (conn, r) -> write_outcomes t conn (List.rev !r))
+        (List.rev !conns)
 
 let worker_loop t =
+  (* flush this domain's GC deltas into the shared registry once per
+     drained batch — outside the per-job path, so the observability
+     itself stays off the hot path *)
+  let gc_flush = Metrics.gc_sampler t.metrics in
   let rec go () =
     (* [server.worker] simulates a worker domain dying on a poisoned
        task; the uncaught exception is logged, counted and the domain
@@ -374,6 +610,7 @@ let worker_loop t =
             jobs
         in
         execute_jobs t runnable;
+        gc_flush ();
         go ()
   in
   go ()
@@ -444,119 +681,94 @@ let dispatch t conn (req : P.request) =
         error_reply t conn ~id:req.id P.Overloaded
           (Printf.sprintf "request queue full (cap %d)" t.cfg.queue_cap)
 
-(* Scan [b] for [c] from offset [start] without copying the buffer
-   ([Buffer.nth] is O(1)). *)
-let buffer_index_from b start c =
-  let n = Buffer.length b in
-  let rec go i =
-    if i >= n then None else if Buffer.nth b i = c then Some i else go (i + 1)
-  in
-  go start
-
 (* A JSON connection whose pending input holds no newline is a client
    that either streams an oversized line or never frames at all; cap it
    (binary mode is capped by [max_frame]). *)
 let json_line_overflow t conn =
-  if Buffer.length conn.inbuf > t.cfg.max_json_line then begin
+  if conn.rbuf.len > t.cfg.max_json_line then begin
     error_reply t conn ~id:0 P.Bad_request
       (Printf.sprintf "line exceeds %d bytes" t.cfg.max_json_line);
     false
   end
   else true
 
-(* Cut complete messages off the front of [conn.inbuf]. Returns [false]
+(* Cut complete binary frames off the front of the read buffer, decoding
+   each payload in place: no flatten, no per-frame slice. The
+   [unsafe_to_string] view is sound because the decode completes before
+   the buffer can be mutated again (the accept loop is the only reader)
+   and every string field is copied out by the decoder. *)
+let rec process_binary t conn =
+  let rb = conn.rbuf in
+  if rb.len < 4 then begin
+    rbuf_shrink rb;
+    true
+  end
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_be rb.data rb.start) land 0xffffffff in
+    if len > P.max_frame then begin
+      error_reply t conn ~id:0 P.Bad_request
+        (Printf.sprintf "frame length %d exceeds limit" len);
+      false
+    end
+    else if rb.len < 4 + len then true
+    else begin
+      (match
+         P.decode_request_sub
+           (Bytes.unsafe_to_string rb.data)
+           ~pos:(rb.start + 4) ~len
+       with
+      | req -> dispatch t conn req
+      | exception P.Protocol_error m ->
+          (* frame boundary is intact: answer and continue *)
+          error_reply t conn ~id:0 P.Bad_request m);
+      rb.start <- rb.start + 4 + len;
+      rb.len <- rb.len - (4 + len);
+      process_binary t conn
+    end
+  end
+
+(* Newline-delimited JSON; a parse error is answered but the line
+   framing survives, so the connection stays up. *)
+let rec process_json t conn =
+  let rb = conn.rbuf in
+  let stop = rb.start + rb.len in
+  let rec find i =
+    if i >= stop then None
+    else if Bytes.get rb.data i = '\n' then Some i
+    else find (i + 1)
+  in
+  match find (rb.start + conn.scan) with
+  | None ->
+      conn.scan <- rb.len;
+      rbuf_shrink rb;
+      json_line_overflow t conn
+  | Some nl ->
+      let line = String.trim (Bytes.sub_string rb.data rb.start (nl - rb.start)) in
+      let consumed = nl - rb.start + 1 in
+      rb.start <- rb.start + consumed;
+      rb.len <- rb.len - consumed;
+      conn.scan <- 0;
+      if line <> "" then begin
+        match P.request_of_json line with
+        | req -> dispatch t conn req
+        | exception P.Protocol_error m ->
+            error_reply t conn ~id:0 P.Bad_request m
+      end;
+      process_json t conn
+
+(* Cut complete messages off the front of [conn.rbuf]. Returns [false]
    when the connection must be closed (framing lost or input bound
-   exceeded). The buffer is only flattened to a string when at least one
-   complete message is present; incomplete input stays in the buffer. *)
+   exceeded). Incomplete input stays buffered. *)
 let process_input t conn =
   (match conn.json with
   | Some _ -> ()
   | None ->
-      if Buffer.length conn.inbuf > 0 then
-        conn.json <- Some (Buffer.nth conn.inbuf 0 = '{'));
+      if conn.rbuf.len > 0 then
+        conn.json <- Some (Bytes.get conn.rbuf.data conn.rbuf.start = '{'));
   match conn.json with
   | None -> true
-  | Some true -> (
-      (* newline-delimited JSON; a parse error is answered but the
-         line framing survives, so the connection stays up *)
-      match buffer_index_from conn.inbuf conn.scan '\n' with
-      | None ->
-          conn.scan <- Buffer.length conn.inbuf;
-          json_line_overflow t conn
-      | Some _ ->
-          let data = Buffer.contents conn.inbuf in
-          Buffer.clear conn.inbuf;
-          conn.scan <- 0;
-          let rec lines off =
-            match String.index_from_opt data off '\n' with
-            | None ->
-                Buffer.add_substring conn.inbuf data off
-                  (String.length data - off);
-                conn.scan <- Buffer.length conn.inbuf;
-                json_line_overflow t conn
-            | Some nl ->
-                let line = String.trim (String.sub data off (nl - off)) in
-                if line <> "" then begin
-                  match P.request_of_json line with
-                  | req -> dispatch t conn req
-                  | exception P.Protocol_error m ->
-                      error_reply t conn ~id:0 P.Bad_request m
-                end;
-                lines (nl + 1)
-          in
-          lines 0)
-  | Some false ->
-      let peek_len () =
-        (Char.code (Buffer.nth conn.inbuf 0) lsl 24)
-        lor (Char.code (Buffer.nth conn.inbuf 1) lsl 16)
-        lor (Char.code (Buffer.nth conn.inbuf 2) lsl 8)
-        lor Char.code (Buffer.nth conn.inbuf 3)
-      in
-      let have = Buffer.length conn.inbuf in
-      if have < 4 then true
-      else begin
-        let len = peek_len () in
-        if len > P.max_frame then begin
-          error_reply t conn ~id:0 P.Bad_request
-            (Printf.sprintf "frame length %d exceeds limit" len);
-          false
-        end
-        else if have < 4 + len then true
-        else begin
-          let data = Buffer.contents conn.inbuf in
-          Buffer.clear conn.inbuf;
-          let total = String.length data in
-          let rec frames off =
-            let have = total - off in
-            let stash () =
-              Buffer.add_substring conn.inbuf data off have;
-              true
-            in
-            if have < 4 then stash ()
-            else begin
-              let len =
-                Int32.to_int (String.get_int32_be data off) land 0xffffffff
-              in
-              if len > P.max_frame then begin
-                error_reply t conn ~id:0 P.Bad_request
-                  (Printf.sprintf "frame length %d exceeds limit" len);
-                false
-              end
-              else if have < 4 + len then stash ()
-              else begin
-                let payload = String.sub data (off + 4) len in
-                (match P.decode_request payload with
-                | req -> dispatch t conn req
-                | exception P.Protocol_error m ->
-                    (* frame boundary is intact: answer and continue *)
-                    error_reply t conn ~id:0 P.Bad_request m);
-                frames (off + 4 + len)
-              end
-            end
-          in
-          frames 0
-        end
-      end
+  | Some true -> process_json t conn
+  | Some false -> process_binary t conn
 
 (* Close the fd under [write_m] so no writer can hold it across the
    close; never blocks (the caller retries while a writer is mid-write,
@@ -592,7 +804,6 @@ let run t =
   (* connections removed from [conns] whose fd could not be closed yet
      because a worker held [write_m]; retried every loop tick *)
   let pending = ref [] in
-  let readbuf = Bytes.create 65536 in
   (* deregister from [ep] before the fd can be closed: a closed fd
      auto-leaves an epoll set, but the poll fallback would keep
      polling it (POLLNVAL) forever *)
@@ -621,6 +832,11 @@ let run t =
           shed fd
         else begin
           Metrics.incr_connections t.metrics;
+          (* replies are small frames written after the request is
+             fully read — Nagle would hold them for the delayed-ACK
+             timer; send them immediately *)
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
           if t.cfg.send_timeout_ms > 0.0 then
             (try
                Unix.setsockopt_float fd Unix.SO_SNDTIMEO
@@ -630,7 +846,8 @@ let run t =
             {
               fd;
               write_m = Mutex.create ();
-              inbuf = Buffer.create 256;
+              rbuf = rbuf_create 4096;
+              wbuf = P.Wbuf.create 1024;
               scan = 0;
               json = None;
               alive = true;
@@ -666,17 +883,25 @@ let run t =
     done
   in
   let read_conn conn =
-    match Unix.read conn.fd readbuf 0 (Bytes.length readbuf) with
+    (* read straight into the connection's pooled buffer — no shared
+       staging copy. Small chunks while the connection only trickles
+       small requests; step up once a large frame is mid-transfer. *)
+    let rb = conn.rbuf in
+    let want = if rb.len >= 4096 then 65536 else 4096 in
+    rbuf_room rb want;
+    match Unix.read conn.fd rb.data (rb.start + rb.len) want with
     | 0 -> close_conn conn
     | n ->
-        Buffer.add_subbytes conn.inbuf readbuf 0 n;
+        rb.len <- rb.len + n;
         if not (process_input t conn) then close_conn conn
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (_, _, _) -> close_conn conn
   in
   (* One event-loop iteration, shared by the serving and draining
      phases (draining no longer watches the listen socket). *)
+  let gc_flush = Metrics.gc_sampler t.metrics in
   let tick ~listening timeout_ms =
+    gc_flush ();
     if Atomic.get t.dump_flag then begin
       Atomic.set t.dump_flag false;
       Printf.eprintf "%s\n%!" (stats_json t)
@@ -689,6 +914,13 @@ let run t =
           Printf.eprintf "pti: reload evicted %s: %s\n%!" path
             (Printexc.to_string e))
         evicted;
+      (* the reload may have swapped container contents under the
+         cached replies: flush them — and fence computations already in
+         flight against the pre-reload handles (generation bump), so a
+         reloaded container can never serve stale cached bytes *)
+      Option.iter
+        (fun rc -> Result_cache.invalidate ~metrics:t.metrics rc)
+        t.rcache;
       Metrics.incr_reload t.metrics
     end;
     (* sweep: close deferred fds, reap connections a worker marked dead

@@ -73,6 +73,16 @@ type config = {
   batch_max : int;
       (** Most jobs a worker drains from the queue in one batched pop
           (default 32). [1] disables batching entirely. *)
+  result_cache_mb : int;
+      (** Byte budget (MiB) of the server-side query-result cache
+          (default 64; [0] disables it). The cache stores {e encoded}
+          reply bodies keyed by the full semantic identity of a query
+          (index, op, pattern, τ bits, k) behind single-flight herd
+          suppression; hits are byte-identical to direct engine replies
+          and skip the engine entirely. It is flushed on SIGHUP
+          revalidation and whenever the engine cache evicts a
+          corrupt/unopenable container, so a reloaded container never
+          serves stale bytes (DESIGN.md §14). *)
 }
 
 val default_config : config

@@ -31,21 +31,27 @@ echo "serve-smoke: workdir $DIR"
 
 # Ephemeral port: the server prints the bound port on its first line.
 # Index 2 is the succinct-backend container, served mmap'd.
-"$PTI" serve "$DIR/general.pti" "$DIR/listing.pti" "$DIR/succinct.pti" \
-    --port 0 --workers 2 --queue-cap 256 > "$DIR/serve.log" 2>&1 &
-SERVER_PID=$!
+# start_server LOGFILE [extra serve flags...]
+start_server() {
+    LOG=$1; shift
+    "$PTI" serve "$DIR/general.pti" "$DIR/listing.pti" "$DIR/succinct.pti" \
+        --port 0 --workers 2 --queue-cap 256 "$@" > "$LOG" 2>&1 &
+    SERVER_PID=$!
+    PORT=""
+    i=0
+    while [ $i -lt 100 ]; do
+        PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG")
+        [ -n "$PORT" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve-smoke: server died:" >&2; cat "$LOG" >&2; exit 1; }
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$PORT" ] || { echo "serve-smoke: server never reported a port" >&2; cat "$LOG" >&2; exit 1; }
+    echo "serve-smoke: server up on port $PORT (pid $SERVER_PID)"
+}
 
-PORT=""
-i=0
-while [ $i -lt 100 ]; do
-    PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$DIR/serve.log")
-    [ -n "$PORT" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve-smoke: server died:" >&2; cat "$DIR/serve.log" >&2; exit 1; }
-    sleep 0.1
-    i=$((i + 1))
-done
-[ -n "$PORT" ] || { echo "serve-smoke: server never reported a port" >&2; cat "$DIR/serve.log" >&2; exit 1; }
-echo "serve-smoke: server up on port $PORT (pid $SERVER_PID)"
+# Phase 1: result cache enabled (the default; made explicit here).
+start_server "$DIR/serve.log" --result-cache-mb 32
 
 # Mixed binary-protocol load at concurrency 8; --verify loads the same
 # index files locally and checks every reply byte-for-byte against a
@@ -64,13 +70,39 @@ echo "serve-smoke: server up on port $PORT (pid $SERVER_PID)"
     --verify "$DIR/general.pti" --verify "$DIR/listing.pti" \
     --verify "$DIR/succinct.pti" --check
 
-# The stats dump hook (SIGUSR1) must not kill the server.
+# Replay the first run verbatim: the per-client streams are
+# deterministic, so every request is now a result-cache hit — and
+# every cached reply must still verify byte-for-byte against a direct
+# engine query.
+"$PTI" loadgen -i "$DIR/data.txt" --port "$PORT" \
+    --concurrency 8 --requests 200 --mix query=8,topk=1,listing=1 \
+    --listing-index 1 \
+    --verify "$DIR/general.pti" --verify "$DIR/listing.pti" \
+    --verify "$DIR/succinct.pti" --check
+
+# The stats dump hook (SIGUSR1) must not kill the server, and must
+# report the result cache that just served the replay.
 kill -USR1 "$SERVER_PID"
 sleep 0.3
 kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve-smoke: server died on SIGUSR1" >&2; exit 1; }
 grep -q '"requests"' "$DIR/serve.log" || { echo "serve-smoke: no stats dump after SIGUSR1" >&2; cat "$DIR/serve.log" >&2; exit 1; }
+grep -q '"result_cache"' "$DIR/serve.log" || { echo "serve-smoke: no result_cache stats in dump" >&2; cat "$DIR/serve.log" >&2; exit 1; }
 
 # Clean shutdown on SIGTERM.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# Phase 2: the same verified load with the result cache disabled —
+# cache on and cache off must both pass byte-for-byte verification.
+start_server "$DIR/serve_nocache.log" --no-result-cache
+
+"$PTI" loadgen -i "$DIR/data.txt" --port "$PORT" \
+    --concurrency 8 --requests 200 --mix query=8,topk=1,listing=1 \
+    --listing-index 1 \
+    --verify "$DIR/general.pti" --verify "$DIR/listing.pti" \
+    --verify "$DIR/succinct.pti" --check
+
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""

@@ -166,7 +166,13 @@ let test_default_backend () =
   Fun.protect
     ~finally:(fun () -> Ep.close t)
     (fun () ->
-      let want = if Ep.epoll_available then Ep.Epoll else Ep.Poll in
+      (* Mirror the selection rule in Ep.create: epoll when available,
+         unless PTI_FORCE_POLL overrides it (as in the CI fallback run). *)
+      let want =
+        if Ep.epoll_available && Sys.getenv_opt "PTI_FORCE_POLL" = None then
+          Ep.Epoll
+        else Ep.Poll
+      in
       Alcotest.(check bool) "default backend" true (Ep.backend t = want);
       Alcotest.(check bool) "backend_name nonempty" true
         (String.length (Ep.backend_name t) > 0))

@@ -1086,6 +1086,247 @@ let test_loadgen_retry () =
           Alcotest.(check int) "all replies verified" 0
             r.Loadgen.verify_failures))
 
+(* ------------------------------------------------------------------ *)
+(* Pooled buffers and the server-side result cache (DESIGN.md §14) *)
+
+let test_pooled_encoding_identity () =
+  (* one Wbuf reused across hundreds of randomized messages must
+     produce, frame by frame, exactly the bytes of the fresh-buffer
+     encoders — the invariant that lets the server pool its write
+     buffers (and splice cached reply bodies) with zero risk to the
+     wire format *)
+  let rng = Random.State.make [| 0x9e37 |] in
+  let b = P.Wbuf.create 16 in
+  let rand_string n =
+    String.init n (fun _ -> Char.chr (32 + Random.State.int rng 95))
+  in
+  let rand_op () =
+    let pattern () = rand_string (1 + Random.State.int rng 12) in
+    match Random.State.int rng 6 with
+    | 0 ->
+        P.Query
+          {
+            index = Random.State.int rng 5;
+            pattern = pattern ();
+            tau = Random.State.float rng 1.0;
+          }
+    | 1 ->
+        P.Top_k
+          {
+            index = Random.State.int rng 5;
+            pattern = pattern ();
+            tau = Random.State.float rng 1.0;
+            k = 1 + Random.State.int rng 50;
+          }
+    | 2 ->
+        P.Listing
+          {
+            index = Random.State.int rng 5;
+            pattern = pattern ();
+            tau = Random.State.float rng 1.0;
+          }
+    | 3 -> P.Stats
+    | 4 -> P.Ping
+    | _ -> P.Slow (Random.State.int rng 100)
+  in
+  let errs =
+    [|
+      P.Bad_request; P.Bad_index; P.Overloaded; P.Timeout; P.Server_error;
+      P.Shutting_down;
+    |]
+  in
+  let rand_reply () =
+    match Random.State.int rng 4 with
+    | 0 ->
+        P.Hits
+          (List.init (Random.State.int rng 40) (fun _ ->
+               ( Random.State.int rng 1_000_000,
+                 -.Random.State.float rng 30.0 )))
+    | 1 ->
+        P.Error
+          ( errs.(Random.State.int rng (Array.length errs)),
+            rand_string (Random.State.int rng 40) )
+    | 2 -> P.Stats_reply (rand_string (Random.State.int rng 200))
+    | _ -> P.Pong
+  in
+  for _ = 1 to 300 do
+    let req = { P.id = Random.State.int rng 1_000_000; op = rand_op () } in
+    P.Wbuf.reset b;
+    P.encode_request_into b req;
+    let fresh = P.encode_request req in
+    Alcotest.(check bool) "request frame identical" true
+      (P.Wbuf.contents b = fresh);
+    (* zero-copy decode out of a larger buffer at a random offset, as
+       the server parses frames in place out of its read window *)
+    let payload = String.sub fresh 4 (String.length fresh - 4) in
+    let pad = rand_string (Random.State.int rng 7) in
+    let embedded = pad ^ payload ^ pad in
+    Alcotest.(check bool) "in-place decode roundtrips" true
+      (P.decode_request_sub embedded ~pos:(String.length pad)
+         ~len:(String.length payload)
+      = req);
+    let id = Random.State.int rng 1_000_000 in
+    let reply = rand_reply () in
+    P.Wbuf.reset b;
+    P.encode_reply_into b ~id reply;
+    let freshr = P.encode_reply ~id reply in
+    Alcotest.(check bool) "reply frame identical" true
+      (P.Wbuf.contents b = freshr);
+    (* the identity the result cache rests on: a cached body spliced
+       after a fresh (tag, id) prefix is exactly the direct encoding *)
+    P.Wbuf.reset b;
+    P.encode_cached_reply_into b ~id ~tag:(P.reply_tag reply)
+      ~body:(P.encode_reply_body reply);
+    Alcotest.(check bool) "cached splice identical" true
+      (P.Wbuf.contents b = freshr)
+  done;
+  (* frames coalesced between resets (a worker writing one batch) are
+     the exact concatenation of the individual fresh frames *)
+  P.Wbuf.reset b;
+  let batch = List.init 7 (fun i -> (i, rand_reply ())) in
+  List.iter (fun (id, r) -> P.encode_reply_into b ~id r) batch;
+  Alcotest.(check bool) "coalesced batch identical" true
+    (P.Wbuf.contents b
+    = String.concat "" (List.map (fun (id, r) -> P.encode_reply ~id r) batch));
+  (* the JSON fallback writes its lines through the same pooled buffer *)
+  P.Wbuf.reset b;
+  let jreply = P.Hits [ (3, -0.25); (9, -1.5) ] in
+  let line = P.reply_to_json ~id:42 jreply ^ "\n" in
+  P.Wbuf.add_string b line;
+  Alcotest.(check string) "json line through wbuf" line (P.Wbuf.contents b)
+
+let test_pooled_large_frames () =
+  (* frames at and over the size limits, through a reused buffer *)
+  let b = P.Wbuf.create 16 in
+  (* a fat hit list, then a near-max u16 pattern *)
+  let big = P.Hits (List.init 50_000 (fun i -> (i, -.float_of_int i /. 7.0))) in
+  P.encode_reply_into b ~id:7 big;
+  let fresh = P.encode_reply ~id:7 big in
+  Alcotest.(check bool) "large reply identical" true
+    (P.Wbuf.contents b = fresh);
+  Alcotest.(check bool) "large reply roundtrips" true
+    (P.decode_reply (String.sub fresh 4 (String.length fresh - 4)) = (7, big));
+  let req =
+    { P.id = 1; op = P.Query { index = 0; pattern = String.make 60_000 'x'; tau = 0.5 } }
+  in
+  P.Wbuf.reset b;
+  P.encode_request_into b req;
+  let freshq = P.encode_request req in
+  Alcotest.(check bool) "long pattern identical" true
+    (P.Wbuf.contents b = freshq);
+  Alcotest.(check bool) "long pattern roundtrips" true
+    (P.decode_request (String.sub freshq 4 (String.length freshq - 4)) = req);
+  (* a payload of exactly max_frame encodes; one byte more is refused
+     and rolled back, leaving the pooled buffer clean for reuse *)
+  P.Wbuf.reset b;
+  let exact = P.Stats_reply (String.make (P.max_frame - 9) 'j') in
+  P.encode_reply_into b ~id:2 exact;
+  Alcotest.(check int) "max-size frame encodes" (4 + P.max_frame)
+    (P.Wbuf.length b);
+  Alcotest.(check bool) "max-size frame identical" true
+    (P.Wbuf.contents b = P.encode_reply ~id:2 exact);
+  P.Wbuf.reset b;
+  P.encode_reply_into b ~id:3 P.Pong;
+  let keep = P.Wbuf.contents b in
+  (match
+     P.encode_reply_into b ~id:4 (P.Stats_reply (String.make (P.max_frame - 8) 'j'))
+   with
+  | () -> Alcotest.fail "oversized frame must be refused"
+  | exception P.Protocol_error _ -> ());
+  Alcotest.(check bool) "oversized frame rolled back" true
+    (P.Wbuf.contents b = keep);
+  P.encode_reply_into b ~id:5 P.Pong;
+  Alcotest.(check bool) "buffer still usable after rollback" true
+    (P.Wbuf.contents b = keep ^ P.encode_reply ~id:5 P.Pong)
+
+let test_result_cache_reload_invalidation () =
+  (* the staleness proof: prime the result cache, atomically replace
+     the container with a byte-different one, SIGHUP-reload — the next
+     query must return the new container's bytes, never the cached old
+     ones *)
+  let u1 = D.single (D.default ~total:800 ~theta:0.3) in
+  let u2 = D.single (D.default ~total:500 ~theta:0.2) in
+  let g1 = G.build ~tau_min u1 in
+  let g2 = G.build ~tau_min u2 in
+  let want1 = wire (G.query g1 ~pattern:(Sym.of_string "A") ~tau:0.5) in
+  let want2 = wire (G.query g2 ~pattern:(Sym.of_string "A") ~tau:0.5) in
+  Alcotest.(check bool) "fixture: answers differ" true (want1 <> want2);
+  let path = Filename.temp_file "pti_rcache" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      G.save g1 path;
+      with_server [ Server.Source_file path ] (fun srv port ->
+          with_conn port (fun fd ->
+              let query i =
+                snd
+                  (rpc fd
+                     { P.id = i; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } })
+              in
+              check_hits "first answer (fills cache)" want1 (query 1);
+              check_hits "second answer (cache hit)" want1 (query 2);
+              let m = Server.metrics srv in
+              Alcotest.(check bool) "the cache was actually serving" true
+                (Pti_server.Metrics.result_cache_hits m >= 1);
+              (* atomic rewrite, as a deployment would do it *)
+              let tmp = path ^ ".new" in
+              G.save g2 tmp;
+              Sys.rename tmp path;
+              Server.request_reload srv;
+              Unix.sleepf 0.3;
+              check_hits "post-reload answer is the new container's"
+                want2 (query 3);
+              Alcotest.(check bool) "invalidation counted" true
+                (Pti_server.Metrics.result_cache_invalidations m >= 1))))
+
+let test_result_cache_open_failure () =
+  (* a fault-injected container-open failure must not poison the
+     result cache: the typed error is never cached, the failure
+     flushes any bytes from the dead handle, and once the failpoint
+     clears the same query serves correct fresh bytes again *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let want = wire (G.query g ~pattern:(Sym.of_string "A") ~tau:0.5) in
+  let path = Filename.temp_file "pti_rcache_fault" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      G.save g path;
+      with_faults (fun () ->
+          with_server [ Server.Source_file path ] (fun srv port ->
+              with_conn port (fun fd ->
+                  let query i =
+                    snd
+                      (rpc fd
+                         {
+                           P.id = i;
+                           op = P.Query { index = 0; pattern = "A"; tau = 0.5 };
+                         })
+                  in
+                  let m = Server.metrics srv in
+                  check_hits "served and cached" want (query 1);
+                  Alcotest.(check bool) "cache primed" true
+                    (Pti_server.Metrics.result_cache_misses m >= 1);
+                  (* every open now fails; the reload evicts the handle
+                     and must flush the result cache with it *)
+                  F.arm "cache.open" (F.Raise Unix.EIO) F.Always;
+                  Server.request_reload srv;
+                  Unix.sleepf 0.3;
+                  (match query 2 with
+                  | P.Error (P.Bad_index, _) -> ()
+                  | P.Error (e, msg) ->
+                      Alcotest.failf "expected bad_index, got %s (%s)"
+                        (P.err_to_string e) msg
+                  | _ ->
+                      Alcotest.fail
+                        "stale cached bytes served after open failure");
+                  Alcotest.(check bool) "result cache flushed" true
+                    (Pti_server.Metrics.result_cache_invalidations m >= 1);
+                  (* errors are never cached: with the failpoint gone
+                     the same key serves correct fresh bytes, then hits *)
+                  F.disarm "cache.open";
+                  check_hits "fresh bytes after heal" want (query 3);
+                  check_hits "and cached again" want (query 4)))))
+
 let test_backoff_determinism () =
   let a = Loadgen.backoff_delays ~seed:9 ~stream:0 ~backoff_ms:50.0 6 in
   let b = Loadgen.backoff_delays ~seed:9 ~stream:0 ~backoff_ms:50.0 6 in
@@ -1109,6 +1350,10 @@ let () =
           Alcotest.test_case "binary roundtrip" `Quick test_binary_roundtrip;
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "pooled buffers byte-identical" `Quick
+            test_pooled_encoding_identity;
+          Alcotest.test_case "pooled large and max-size frames" `Quick
+            test_pooled_large_frames;
         ] );
       ( "e2e",
         [
@@ -1145,6 +1390,10 @@ let () =
             test_worker_respawn;
           Alcotest.test_case "hot reload evicts corrupt container" `Quick
             test_hot_reload;
+          Alcotest.test_case "reload evicts cached replies" `Quick
+            test_result_cache_reload_invalidation;
+          Alcotest.test_case "open failure does not poison result cache"
+            `Quick test_result_cache_open_failure;
           Alcotest.test_case "loadgen rides out a torn reply" `Quick
             test_loadgen_retry;
           Alcotest.test_case "backoff is deterministic" `Quick
