@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par bench-io bench-space bench-frontier bench-serve bench-multicore bench-hotpath serve-smoke chaos-smoke clean
+.PHONY: check check-par bench bench-par bench-io bench-space bench-frontier bench-serve bench-multicore bench-hotpath bench-lsm serve-smoke chaos-smoke clean
 
 check:
 	dune build @all
@@ -51,6 +51,15 @@ bench-multicore:
 # BENCH_SERVE.json (bench-serve includes them too).
 bench-hotpath:
 	dune exec bench/main.exe -- hotpath
+
+# Dynamic corpus (DESIGN.md §15): scatter-gather query latency as the
+# same document set is cut into 1/2/4/8 sealed segments (every cut
+# verified to answer the workload equivalently) plus the throughput of
+# force-compacting the 8-segment corpus back to one; each row carries
+# peak_rss_bytes so the sweep doubles as the space-amortisation
+# profile. Writes BENCH_LSM.json.
+bench-lsm:
+	dune exec bench/main.exe -- lsm
 
 # End-to-end daemon smoke: gen -> build -> serve -> loadgen --check.
 serve-smoke:

@@ -648,6 +648,29 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Peak resident set (VmHWM) of this process in bytes, 0 if unknown
+   (non-Linux). Sampled once per result row as the row completes, so a
+   JSON consumer can read the memory high-water mark each measurement
+   ran under — the space-amortisation gauge the segment/compaction
+   benches report. VmHWM is monotone for the process, so within one
+   experiment the per-row values are a running maximum, not
+   independent footprints. *)
+let peak_rss_bytes () =
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop () =
+          match input_line ic with
+          | line ->
+              (try Scanf.sscanf line "VmHWM: %d kB" (fun kb -> kb * 1024)
+               with Scanf.Scan_failure _ | Failure _ | End_of_file -> loop ())
+          | exception End_of_file -> 0
+        in
+        loop ())
+  with Sys_error _ -> 0
+
 let engine_file_bytes e =
   let path = Filename.temp_file "pti_bench_par" ".idx" in
   Fun.protect
@@ -713,13 +736,13 @@ let par () =
     List.map
       (fun (d, e, build_s, query_us) ->
         let identical = String.equal reference (engine_file_bytes e) in
-        (d, build_s, query_us, identical))
+        (d, build_s, query_us, identical, peak_rss_bytes ()))
       results
   in
   Printf.printf "%10s %12s %12s %12s %12s %12s\n" "domains" "build_s"
     "speedup" "query_us" "speedup" "identical";
   List.iter
-    (fun (d, build_s, query_us, identical) ->
+    (fun (d, build_s, query_us, identical, _) ->
       Printf.printf "%10d %12.2f %12.2f %12.1f %12.2f %12b\n" d build_s
         (build1 /. build_s) query_us (query1 /. query_us) identical)
     rows;
@@ -745,13 +768,13 @@ let par () =
               it and speedups cannot exceed 1; rerun on a multicore host."
            else ""));
       List.iteri
-        (fun i (d, build_s, query_us, identical) ->
+        (fun i (d, build_s, query_us, identical, rss) ->
           Printf.fprintf oc
             "    {\"domains\": %d, \"build_s\": %.4f, \"build_speedup\": \
              %.3f, \"query_us_per_query\": %.2f, \"query_speedup\": %.3f, \
-             \"identical_parts\": %b}%s\n"
+             \"identical_parts\": %b, \"peak_rss_bytes\": %d}%s\n"
             d build_s (build1 /. build_s) query_us (query1 /. query_us)
-            identical
+            identical rss
             (if i = List.length rows - 1 then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n}\n");
@@ -825,7 +848,7 @@ let io () =
               speedup;
             ( n, build_s, save_s, legacy_save_s, file_b, legacy_b,
               legacy_load_s, legacy_q_s, open_s, open_q_s, raw_open_s,
-              raw_q_s )))
+              raw_q_s, peak_rss_bytes () )))
       ns_io
   in
   let oc = open_out "BENCH_IO.json" in
@@ -847,7 +870,7 @@ let io () =
         (fun i
              ( n, build_s, save_s, legacy_save_s, file_b, legacy_b,
                legacy_load_s, legacy_q_s, open_s, open_q_s, raw_open_s,
-               raw_q_s ) ->
+               raw_q_s, rss ) ->
           let legacy_total = legacy_load_s +. legacy_q_s in
           let mmap_total = open_s +. open_q_s in
           Printf.fprintf oc
@@ -858,11 +881,12 @@ let io () =
              %.6f, \"mmap_open_s\": %.6f, \"mmap_first_query_s\": %.6f, \
              \"mmap_to_first_query_s\": %.6f, \"mmap_noverify_open_s\": \
              %.6f, \"mmap_noverify_first_query_s\": %.6f, \
-             \"speedup_to_first_query\": %.2f}%s\n"
+             \"speedup_to_first_query\": %.2f, \"peak_rss_bytes\": %d}%s\n"
             n build_s save_s legacy_save_s file_b legacy_b legacy_load_s
             legacy_q_s legacy_total open_s open_q_s mmap_total raw_open_s
             raw_q_s
             (legacy_total /. mmap_total)
+            rss
             (if i = List.length rows - 1 then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n}\n");
@@ -899,6 +923,7 @@ type space_row = {
   sp_q_us : float;
   sp_v3_q_us : float;
   sp_succ_q_us : float;
+  sp_rss : int;
 }
 
 let space () =
@@ -1010,6 +1035,7 @@ let space () =
               sp_q_us = q_us;
               sp_v3_q_us = v3_q_us;
               sp_succ_q_us = succ_q_us;
+              sp_rss = peak_rss_bytes ();
             }))
       ns_sp
   in
@@ -1050,13 +1076,15 @@ let space () =
              \"succinct_words_per_position\": %.3f, \"packed_open_s\": %.6f, \
              \"v3_open_s\": %.6f, \"succinct_open_s\": %.6f, \
              \"packed_query_us\": %.2f, \"v3_query_us\": %.2f, \
-             \"succinct_query_us\": %.2f, \"succinct_latency_ratio\": %.3f}%s\n"
+             \"succinct_query_us\": %.2f, \"succinct_latency_ratio\": %.3f, \
+             \"peak_rss_bytes\": %d}%s\n"
             r.sp_n r.sp_text_len r.sp_build_s r.sp_succ_build_s r.sp_save_s
             r.sp_v3_save_s r.sp_succ_save_s r.sp_packed_b r.sp_v3_b r.sp_succ_b
             (float_of_int r.sp_packed_b /. float_of_int r.sp_v3_b)
             r.sp_wpp r.sp_v3_wpp r.sp_succ_wpp r.sp_open_s r.sp_v3_open_s
             r.sp_succ_open_s r.sp_q_us r.sp_v3_q_us r.sp_succ_q_us
             (r.sp_succ_q_us /. r.sp_q_us)
+            r.sp_rss
             (if i = List.length rows - 1 then "" else ","))
         rows;
       Printf.fprintf oc "  ]\n}\n");
@@ -1147,6 +1175,8 @@ let serve_bench ?(sweep_only = false) ?(hotpath_only = false) () =
               | Ec.Listing l -> Some (L.query l ~pattern ~tau)
               | Ec.General _ -> None)
         | SP.Stats | SP.Ping | SP.Slow _ -> true
+        (* the serving bench never issues mutations *)
+        | SP.Insert _ | SP.Delete _ | SP.Flush _ -> false
       with _ -> false
   in
   let verifier = make_verifier [| Ec.General g; Ec.Listing l |] in
@@ -1235,7 +1265,7 @@ let serve_bench ?(sweep_only = false) ?(hotpath_only = false) () =
                       tag w concurrency r.Loadgen.throughput_rps
                       r.Loadgen.p50_us r.Loadgen.p95_us r.Loadgen.p99_us
                       (row_errors r) r.Loadgen.verify_failures;
-                    (tag, w, concurrency, r))
+                    (tag, w, concurrency, r, peak_rss_bytes ()))
                   concurrencies))
           configs
       in
@@ -1390,7 +1420,8 @@ let serve_bench ?(sweep_only = false) ?(hotpath_only = false) () =
                           tag phase hp_conc r.Loadgen.throughput_rps
                           r.Loadgen.p50_us r.Loadgen.p99_us (row_errors r)
                           r.Loadgen.verify_failures words_per_req rc_hits;
-                        (tag, phase, cache_mb > 0, rc_hits, words_per_req, r))
+                        ( tag, phase, cache_mb > 0, rc_hits, words_per_req,
+                          r, peak_rss_bytes () ))
                       passes)
               in
               let off_rows = run_passes 0 [ ("cache_off", warm, 2) ] in
@@ -1412,11 +1443,12 @@ let serve_bench ?(sweep_only = false) ?(hotpath_only = false) () =
       let hotpath_summary =
         let find phase =
           List.find_opt
-            (fun (tag, p, _, _, _, _) -> tag = "packed" && p = phase)
+            (fun (tag, p, _, _, _, _, _) -> tag = "packed" && p = phase)
             hotpath_rows
         in
         match (find "cache_off", find "hot") with
-        | Some (_, _, _, _, off_words, off), Some (_, _, _, _, hot_words, hot)
+        | ( Some (_, _, _, _, off_words, off, _),
+            Some (_, _, _, _, hot_words, hot, _) )
           when off.Loadgen.throughput_rps > 0.0 ->
             let speedup =
               hot.Loadgen.throughput_rps /. off.Loadgen.throughput_rps
@@ -1447,10 +1479,10 @@ let serve_bench ?(sweep_only = false) ?(hotpath_only = false) () =
       in
       let speedup w concurrency r =
         match
-          List.find_opt (fun (_, w', c', _) -> w' = 1 && c' = concurrency)
+          List.find_opt (fun (_, w', c', _, _) -> w' = 1 && c' = concurrency)
             mc_rows
         with
-        | Some (_, _, _, base)
+        | Some (_, _, _, base, _)
           when w > 1 && base.Loadgen.throughput_rps > 0.0 ->
             r.Loadgen.throughput_rps /. base.Loadgen.throughput_rps
         | _ -> 1.0
@@ -1486,23 +1518,25 @@ let serve_bench ?(sweep_only = false) ?(hotpath_only = false) () =
                   on a multicore host."
                else ""));
           List.iteri
-            (fun i (backend, _, concurrency, r) ->
+            (fun i (backend, _, concurrency, r, rss) ->
               Printf.fprintf oc
-                "    {\"engines\": \"%s\", \"concurrency\": %d, %s}%s\n"
-                backend concurrency
+                "    {\"engines\": \"%s\", \"concurrency\": %d, \
+                 \"peak_rss_bytes\": %d, %s}%s\n"
+                backend concurrency rss
                 (Loadgen.to_json_fields r)
                 (if i = List.length backend_rows - 1 then "" else ","))
             backend_rows;
           Printf.fprintf oc "  ],\n  \"multicore\": [\n";
           List.iteri
-            (fun i (_, w, concurrency, r) ->
+            (fun i (_, w, concurrency, r, rss) ->
               Printf.fprintf oc
                 "    {\"workers\": %d, \"concurrency\": %d, \"cores\": %d, \
                  \"raw_processor_count\": %d, \"speedup_vs_workers1\": %.3f, \
-                 %s}%s\n"
+                 \"peak_rss_bytes\": %d, %s}%s\n"
                 w concurrency cores
                 (Pti_parallel.raw_processor_count ())
                 (speedup w concurrency r)
+                rss
                 (Loadgen.to_json_fields r)
                 (if i = List.length mc_rows - 1 then "" else ","))
             mc_rows;
@@ -1522,17 +1556,238 @@ let serve_bench ?(sweep_only = false) ?(hotpath_only = false) () =
                 n=100000")
             hotpath_summary;
           List.iteri
-            (fun i (tag, phase, cache_on, rc_hits, words_per_req, r) ->
+            (fun i (tag, phase, cache_on, rc_hits, words_per_req, r, rss) ->
               Printf.fprintf oc
                 "      {\"backend\": \"%s\", \"phase\": \"%s\", \
                  \"result_cache\": %b, \"result_cache_hits\": %d, \
-                 \"minor_words_per_request\": %.1f, %s}%s\n"
-                tag phase cache_on rc_hits words_per_req
+                 \"minor_words_per_request\": %.1f, \"peak_rss_bytes\": %d, \
+                 %s}%s\n"
+                tag phase cache_on rc_hits words_per_req rss
                 (Loadgen.to_json_fields r)
                 (if i = List.length hotpath_rows - 1 then "" else ","))
             hotpath_rows;
           Printf.fprintf oc "    ]\n  }\n}\n"));
   Printf.printf "   wrote BENCH_SERVE.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* lsm: the dynamic corpus (DESIGN.md §15) — scatter-gather query cost
+   as a function of live segment count, and compaction throughput. The
+   same document set is loaded into four corpora sealed into 1/2/4/8
+   segments (auto-seal disabled, explicit seal at each cut), so the
+   only thing that varies across rows is how many mmap engines a query
+   fans over and how many sorted answer lists the bounded-heap merge
+   folds. Every cut is verified to answer the whole workload
+   equivalently — the same live document ids, with relevances agreeing
+   to 1e-9. (Not bit-identical: a document's relevance comes out of
+   prefix accumulations over its segment's concatenated text, so the
+   float association order — and hence the last couple of bits —
+   depends on which documents share the segment. Byte-determinism is
+   per-layout, which is exactly what loadgen --verify checks against a
+   live directory.) The 8-segment corpus is then force-compacted back
+   to one segment (throughput row), after which its answers must again
+   be equivalent. Rows carry peak_rss_bytes so
+   the sweep doubles as the space-amortisation profile: segment files
+   are mmap'd, so resident cost grows with touched pages, not with the
+   sum of file sizes. Writes BENCH_LSM.json (`make bench-lsm`). *)
+
+let lsm () =
+  let module St = Pti_segment.Segment_store in
+  let n = if !smoke then 2_000 else if !fast then 5_000 else 20_000 in
+  let theta = 0.3 in
+  let u = dataset ~n ~theta in
+  let ds = docs ~n ~theta in
+  let ndocs = List.length ds in
+  let segment_counts =
+    List.filter (fun c -> c <= ndocs) [ 1; 2; 4; 8 ]
+  in
+  let rng = Random.State.make [| 2718 |] in
+  let queries =
+    List.concat_map
+      (fun m -> Q.patterns rng u ~m ~count:(queries_per_length ()))
+      [ 4; 8 ]
+  in
+  print_header
+    "lsm: dynamic corpus — scatter-gather latency vs live segment count"
+    (Printf.sprintf
+       "n=%d positions, %d documents, theta=%.1f tau=%.2f tau_min=%.2f, \
+        %d queries; every cut must answer the workload equivalently \
+        (same ids, relevances to 1e-9, τ-boundary docs may flip); \
+        compaction throughput measured force-merging the 8-segment corpus"
+       n ndocs theta tau_default tau_min_default (List.length queries));
+  let tmp_root = Filename.temp_file "pti_bench_lsm" ".d" in
+  Sys.remove tmp_root;
+  Unix.mkdir tmp_root 0o755;
+  let rm_rf dir =
+    ignore
+      (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)) : int)
+  in
+  Fun.protect ~finally:(fun () -> rm_rf tmp_root) @@ fun () ->
+  let config =
+    { (St.default_config ~tau_min:tau_min_default) with memtable_max_docs = 0 }
+  in
+  (* Seal after every ceil(ndocs/cuts) inserts: exactly [cuts] non-empty
+     segments, the last one holding the remainder. *)
+  let build_corpus cuts =
+    let dir = Filename.concat tmp_root (Printf.sprintf "seg%d" cuts) in
+    let s = St.create ~config dir in
+    let per_cut = (ndocs + cuts - 1) / cuts in
+    let (), build_s =
+      time (fun () ->
+          List.iteri
+            (fun i d ->
+              ignore (St.insert s d : int);
+              if (i + 1) mod per_cut = 0 then ignore (St.seal s : bool))
+            ds;
+          ignore (St.seal s : bool))
+    in
+    (s, build_s)
+  in
+  Printf.printf "%10s %10s %12s %12s %12s %11s\n" "segments" "build_s"
+    "query_us" "seg_MB" "equivalent" "peak_rss_MB";
+  let reference = ref [] in
+  let answers s =
+    List.map (fun p -> St.query s ~pattern:p ~tau:tau_default) queries
+  in
+  (* same live ids with relevances to 1e-9 — except that a document
+     whose probability lands exactly on the τ cut may be included by
+     one layout and excluded by another (its last float bits depend on
+     the association order; at n=2e4 a doc at p = τ + 1.5e-13 flips),
+     so an id present on one side only is tolerated iff its probability
+     is within 1e-9 of τ. See the float-association note in the section
+     comment for why this is not bitwise [=]. *)
+  let equivalent a b =
+    let by_id l = List.sort (fun (i, _) (j, _) -> compare i j) l in
+    let close x y =
+      Float.abs (x -. y)
+      <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+    in
+    let at_tau p = close (exp (Logp.to_log p)) tau_default in
+    let rec walk a b =
+      match (a, b) with
+      | [], [] -> true
+      | (_, p) :: rest, [] | [], (_, p) :: rest -> at_tau p && walk rest []
+      | (i, p) :: ra, (j, q) :: rb ->
+          if i = j then close (Logp.to_log p) (Logp.to_log q) && walk ra rb
+          else if i < j then at_tau p && walk ra b
+          else at_tau q && walk a rb
+    in
+    walk (by_id a) (by_id b)
+  in
+  let equivalent_answers got want =
+    List.length got = List.length want && List.for_all2 equivalent got want
+  in
+  let rows =
+    List.map
+      (fun cuts ->
+        let s, build_s = build_corpus cuts in
+        let st = St.stats s in
+        if st.St.st_segments <> cuts then
+          failwith
+            (Printf.sprintf "lsm: expected %d segments, sealed %d" cuts
+               st.St.st_segments);
+        let got = answers s in
+        let equiv =
+          match !reference with
+          | [] ->
+              reference := got;
+              true
+          | want -> equivalent_answers got want
+        in
+        if not equiv then
+          failwith
+            (Printf.sprintf
+               "lsm: %d-segment corpus answers differ from the 1-segment cut"
+               cuts);
+        let q_us =
+          per_query
+            (fun p -> St.query s ~pattern:p ~tau:tau_default)
+            queries
+          *. 1e6
+        in
+        let rss = peak_rss_bytes () in
+        Printf.printf "%10d %10.2f %12.1f %12.2f %12b %11.1f\n" cuts build_s
+          q_us
+          (float_of_int st.St.st_segment_bytes /. (1024. *. 1024.))
+          equiv
+          (float_of_int rss /. (1024. *. 1024.));
+        (cuts, s, build_s, q_us, st, rss))
+      segment_counts
+  in
+  (* compaction throughput: force-merge the most fragmented corpus back
+     to a single segment and require the answers to survive the swap *)
+  let compaction =
+    let cuts, s, _, _, st, _ = List.hd (List.rev rows) in
+    let merged, compact_s = time (fun () -> St.compact ~force:true s) in
+    if not merged then failwith "lsm: forced compaction had nothing to do";
+    let st' = St.stats s in
+    let equivalent_after = equivalent_answers (answers s) !reference in
+    if not equivalent_after then
+      failwith "lsm: answers changed across forced compaction";
+    let docs_per_s =
+      float_of_int st.St.st_live_docs /. Float.max 1e-9 compact_s
+    in
+    Printf.printf
+      "   compaction: %d -> %d segments, %d docs in %.2fs (%.0f docs/s), \
+       answers equivalent: %b\n"
+      cuts st'.St.st_segments st.St.st_live_docs compact_s docs_per_s
+      equivalent_after;
+    ( cuts, st'.St.st_segments, st.St.st_live_docs, compact_s, docs_per_s,
+      equivalent_after, peak_rss_bytes () )
+  in
+  let oc = open_out "BENCH_LSM.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"lsm\",\n  \"n\": %d,\n  \"n_docs\": %d,\n\
+        \  \"theta\": %g,\n  \"tau\": %g,\n  \"tau_min\": %g,\n\
+        \  \"n_queries\": %d,\n\
+        \  %s\n\
+        \  \"note\": \"%s\",\n  \"results\": [\n"
+        n ndocs theta tau_default tau_min_default (List.length queries)
+        (host_json_fields ())
+        (json_escape
+           "one document set, four corpora sealed into 1/2/4/8 segments \
+            (memtable auto-seal disabled, explicit seal at each cut). \
+            query_us_per_query = mean over the mixed 4/8-symbol workload, \
+            best of three passes, scatter-gathered across all live mmap \
+            segments with the bounded-heap merge. every cut's answers are \
+            verified equivalent to the 1-segment cut before being measured \
+            and again after the forced compaction: same live document ids, \
+            relevances agreeing to 1e-9 (a relevance comes out of prefix \
+            accumulations over its segment's concatenated text, so the \
+            float association order depends on the layout and the last \
+            bits can differ; a document whose probability lands exactly on \
+            the τ cut may therefore be included by one layout and not \
+            another, tolerated iff its probability is within 1e-9 of τ; \
+            byte-determinism is per-layout, which is what \
+            loadgen --verify proves against a live directory). \
+            peak_rss_bytes is the process VmHWM when the row completed \
+            (monotone within the run). compaction = force-merge of the \
+            8-segment corpus to one segment; docs_per_s = live docs / \
+            merge seconds.");
+      List.iteri
+        (fun i (cuts, _, build_s, q_us, st, rss) ->
+          Printf.fprintf oc
+            "    {\"segments\": %d, \"build_s\": %.4f, \
+             \"query_us_per_query\": %.2f, \"segment_file_bytes\": %d, \
+             \"live_docs\": %d, \"equivalent_answers\": true, \
+             \"peak_rss_bytes\": %d}%s\n"
+            cuts build_s q_us st.St.st_segment_bytes st.St.st_live_docs rss
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      let ( in_segs, out_segs, live, compact_s, docs_per_s, equivalent_after,
+            rss ) =
+        compaction
+      in
+      Printf.fprintf oc
+        "  ],\n  \"compaction\": {\n\
+        \    \"input_segments\": %d, \"output_segments\": %d, \"docs\": %d,\n\
+        \    \"seconds\": %.4f, \"docs_per_s\": %.1f,\n\
+        \    \"equivalent_answers_after\": %b, \"peak_rss_bytes\": %d\n\
+        \  }\n}\n"
+        in_segs out_segs live compact_s docs_per_s equivalent_after rss);
+  Printf.printf "   wrote BENCH_LSM.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family. *)
@@ -1633,6 +1888,10 @@ let experiments =
     ("frontier", space);
     ("par", par);
     ("serve", fun () -> serve_bench ());
+    (* Dynamic-corpus profile (DESIGN.md §15): scatter-gather latency
+       vs segment count plus compaction throughput; writes
+       BENCH_LSM.json. Named for `make bench-lsm`. *)
+    ("lsm", lsm);
     (* Only the workers × concurrency scaling sweep (the "multicore"
        rows of BENCH_SERVE.json); "serve" already includes it, so the
        alias is excluded from the default run-everything selection. *)

@@ -233,6 +233,24 @@ let list_cmd input load pattern tau tau_min relevance =
 
 module S = Pti_storage
 
+let json_str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
 (* Section table of a saved container: name, kind, element width,
    sentinel bias, bytes, element count, checksum status. *)
 let container_stats path =
@@ -294,11 +312,73 @@ let dataset_stats input tau_min =
     (Pti_core.Space.bytes_to_string (G.size_bytes g));
   Printf.printf "engine:         %s\n" (Pti_core.Engine.stats (G.engine g))
 
-let stats index_file input tau_min =
+let container_stats_json path =
+  if not (S.file_has_magic path) then
+    failwith (path ^ ": not a PTI-ENGINE container");
+  let r = S.Reader.open_file ~verify:false path in
+  let infos = S.Reader.table r in
+  let payload = List.fold_left (fun a i -> a + i.S.Reader.si_bytes) 0 infos in
+  let file_bytes = (Unix.stat path).Unix.st_size in
+  let sections =
+    String.concat ","
+      (List.map
+         (fun i ->
+           Printf.sprintf
+             {|{"name":%s,"kind":%s,"width":%d,"bias":%d,"bytes":%d,"elems":%d,"checksum_ok":%b}|}
+             (json_str i.S.Reader.si_name)
+             (json_str i.S.Reader.si_kind)
+             i.S.Reader.si_width i.S.Reader.si_bias i.S.Reader.si_bytes
+             i.S.Reader.si_elems i.S.Reader.si_checksum_ok)
+         infos)
+  in
+  Printf.printf
+    {|{"container":"PTI-ENGINE-%d","path":%s,"payload_bytes":%d,"file_bytes":%d,"sections":[%s]}|}
+    (S.Reader.version r) (json_str path) payload file_bytes sections;
+  print_newline ()
+
+(* Shared by [pti stats DIR] and [pti corpus stats DIR]. *)
+let corpus_stats ~json dir =
+  let s = Pti_segment.Segment_store.open_dir ~read_only:true dir in
+  let module St = Pti_segment.Segment_store in
+  let st = St.stats s in
+  if json then begin
+    Printf.printf
+      {|{"dir":%s,"generation":%d,"segments":%d,"segment_bytes":%d,"memtable_docs":%d,"memtable_bytes":%d,"live_docs":%d,"tombstones":%d,"tombstone_ratio":%.6f,"next_doc_id":%d}|}
+      (json_str dir) st.St.st_generation st.St.st_segments st.St.st_segment_bytes
+      st.St.st_memtable_docs st.St.st_memtable_bytes st.St.st_live_docs
+      st.St.st_tombstones (St.tombstone_ratio st) st.St.st_next_doc_id;
+    print_newline ()
+  end
+  else begin
+    Printf.printf "corpus:         %s\n" dir;
+    Printf.printf "generation:     %d\n" st.St.st_generation;
+    Printf.printf "segments:       %d (%s)\n" st.St.st_segments
+      (Pti_core.Space.bytes_to_string st.St.st_segment_bytes);
+    Printf.printf "live docs:      %d\n" st.St.st_live_docs;
+    Printf.printf "tombstones:     %d (ratio %.3f)\n" st.St.st_tombstones
+      (St.tombstone_ratio st);
+    Printf.printf "memtable:       %d doc(s)\n" st.St.st_memtable_docs;
+    Printf.printf "next doc id:    %d\n" st.St.st_next_doc_id
+  end
+
+let stats index_file input tau_min json =
   run_checked @@ fun () ->
   match (index_file, input) with
-  | Some path, _ -> container_stats path
-  | None, Some input -> dataset_stats input tau_min
+  | Some path, _ ->
+      if Sys.is_directory path then corpus_stats ~json path
+      else if json then container_stats_json path
+      else container_stats path
+  | None, Some input ->
+      if json then begin
+        let u = read_single input in
+        let g, built = time (fun () -> G.build ~tau_min u) in
+        Printf.printf
+          {|{"positions":%d,"choices":%d,"max_choices":%d,"uncertainty":%.6f,"special":%b,"build_seconds":%.6f,"index_bytes":%d}|}
+          (U.length u) (U.n_choices u) (U.max_choices u) (D.uncertainty u)
+          (U.is_special u) built (G.size_bytes g);
+        print_newline ()
+      end
+      else dataset_stats input tau_min
   | None, None ->
       failwith "stats: pass an INDEX_FILE argument or a dataset via -i"
 
@@ -315,18 +395,100 @@ let worlds input limit =
   Printf.eprintf "%d possible world(s)\n" (List.length ws)
 
 (* ------------------------------------------------------------------ *)
+(* corpus — mutate/inspect a dynamic segment directory (DESIGN.md §15) *)
+
+let corpus_cmd_impl action dir input doc_id tau_min relevance backend mem_max
+    json =
+  run_checked @@ fun () ->
+  let module St = Pti_segment.Segment_store in
+  match action with
+  | "init" ->
+      let relevance =
+        match relevance with
+        | "max" -> L.Rel_max
+        | "or" -> L.Rel_or
+        | other -> failwith ("unknown relevance metric: " ^ other)
+      in
+      let backend =
+        match Pti_core.Engine.backend_of_string backend with
+        | Some b -> b
+        | None ->
+            failwith ("unknown backend: " ^ backend ^ " (packed or succinct)")
+      in
+      let config =
+        {
+          (St.default_config ~tau_min) with
+          relevance;
+          backend;
+          memtable_max_docs = mem_max;
+        }
+      in
+      let s = St.create ~config dir in
+      Printf.eprintf "initialized corpus %s (generation %d)\n" dir
+        (St.generation s)
+  | "insert" ->
+      let input =
+        match input with
+        | Some i -> i
+        | None -> failwith "corpus insert: pass a dataset via -i"
+      in
+      let docs = read_docs input in
+      let s = St.open_dir dir in
+      let ids = List.map (St.insert s) docs in
+      (* the CLI process exits right after: seal, or the documents
+         (memtable-only, volatile) would be lost *)
+      ignore (St.seal s : bool);
+      List.iter (fun id -> Printf.printf "%d\n" id) ids;
+      Printf.eprintf "inserted %d document(s) into %s (generation %d)\n"
+        (List.length ids) dir (St.generation s)
+  | "delete" ->
+      let id =
+        match doc_id with
+        | Some id -> id
+        | None -> failwith "corpus delete: pass --id"
+      in
+      let s = St.open_dir dir in
+      if St.delete s id then
+        Printf.eprintf "deleted document %d (generation %d)\n" id
+          (St.generation s)
+      else begin
+        Printf.eprintf "document %d not found or already dead\n" id;
+        exit 1
+      end
+  | "flush" ->
+      let s = St.open_dir dir in
+      if St.seal s then
+        Printf.eprintf "sealed memtable (generation %d)\n" (St.generation s)
+      else Printf.eprintf "memtable empty; nothing to flush\n"
+  | "compact" ->
+      let s = St.open_dir dir in
+      let did, elapsed = time (fun () -> St.compact ~force:true s) in
+      if did then
+        Printf.eprintf "compacted %s to generation %d in %.3fs\n" dir
+          (St.generation s) elapsed
+      else Printf.eprintf "nothing to compact\n"
+  | "stats" -> corpus_stats ~json dir
+  | other ->
+      failwith
+        ("unknown corpus action: " ^ other
+       ^ " (init, insert, delete, flush, compact or stats)")
+
+(* ------------------------------------------------------------------ *)
 (* serve / loadgen *)
 
 module Server = Pti_server.Server
 module Loadgen = Pti_server.Loadgen
 module Ec = Pti_server.Engine_cache
 module SP = Pti_server.Protocol
+module Store = Pti_segment.Segment_store
 
-let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
-    debug_slow send_timeout_ms drain_timeout_ms max_conns max_json_line
-    batch_max result_cache_mb no_result_cache =
+let serve indexes corpora host port workers queue_cap deadline_ms cache_cap
+    no_verify debug_slow send_timeout_ms drain_timeout_ms max_conns
+    max_json_line batch_max result_cache_mb no_result_cache
+    compact_interval_ms =
   run_checked @@ fun () ->
-  if indexes = [] then failwith "serve: pass at least one index file";
+  if indexes = [] && corpora = [] then
+    failwith "serve: pass at least one index file or --corpus directory";
   if max_conns < 1 then failwith "serve: --max-conns must be >= 1";
   if max_json_line < 64 then failwith "serve: --max-json-line must be >= 64";
   if batch_max < 1 then failwith "serve: --batch-max must be >= 1";
@@ -349,16 +511,24 @@ let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
       max_json_line;
       batch_max;
       result_cache_mb = (if no_result_cache then 0 else result_cache_mb);
+      compact_interval_ms;
     }
   in
-  let srv =
-    Server.create ~config (List.map (fun p -> Server.Source_file p) indexes)
+  (* corpus directories follow the index files in the id space, so
+     existing position-addressed clients are unaffected by --corpus *)
+  let sources =
+    List.map (fun p -> Server.Source_file p) indexes
+    @ List.map
+        (fun dir ->
+          Server.Source_corpus (Store.open_dir ~verify:(not no_verify) dir))
+        corpora
   in
+  let srv = Server.create ~config sources in
   (* the port line is machine-read by serve_smoke.sh; keep its shape *)
   Printf.printf "pti-serve: listening on %s:%d (%d workers, queue %d, \
                  deadline %.0f ms, %d index(es))\n%!"
     host (Server.port srv) config.workers config.queue_cap config.deadline_ms
-    (List.length indexes);
+    (List.length indexes + List.length corpora);
   let stop_handler _ = Server.stop srv in
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop_handler);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_handler);
@@ -372,20 +542,47 @@ let serve indexes host port workers queue_cap deadline_ms cache_cap no_verify
 (* Byte-for-byte verification for [loadgen --verify]: open the served
    index files locally (in the same position order as [pti serve]) and
    recompute every reply with a direct engine query. Floats travel as
-   raw IEEE-754 bits, so equality is exact. *)
+   raw IEEE-754 bits, so equality is exact. A directory argument opens
+   a segment corpus read-only; on a mismatch the corpus reloads its
+   manifest and recomputes once, so a concurrent compaction or an
+   externally committed delete (both answer-preserving or
+   generation-bumping) never reads as a false verification failure. *)
+type verify_backend = V_engine of Ec.handle | V_corpus of Store.t
+
 let make_verifier files =
-  let handles = Array.of_list (List.map (fun p -> Ec.load_handle p) files) in
+  let backends =
+    Array.of_list
+      (List.map
+         (fun p ->
+           if Sys.is_directory p then
+             V_corpus (Store.open_dir ~read_only:true p)
+           else V_engine (Ec.load_handle p))
+         files)
+  in
   let wire hits = List.map (fun (key, p) -> (key, Logp.to_log p)) hits in
   fun op reply ->
     let check index direct =
       index >= 0
-      && index < Array.length handles
+      && index < Array.length backends
       &&
       match reply with
       | SP.Hits hs -> (
-          match direct handles.(index) with
-          | Some want -> hs = wire want
-          | None -> false)
+          match backends.(index) with
+          | V_corpus s -> (
+              match direct (`Corpus s) with
+              | None -> false
+              | Some want ->
+                  hs = wire want
+                  || begin
+                       ignore (Store.reload s : bool);
+                       match direct (`Corpus s) with
+                       | Some want -> hs = wire want
+                       | None -> false
+                     end)
+          | V_engine h -> (
+              match direct (`Engine h) with
+              | Some want -> hs = wire want
+              | None -> false))
       | _ -> false
     in
     try
@@ -393,18 +590,24 @@ let make_verifier files =
       | SP.Query { index; pattern; tau } ->
           let pattern = Sym.of_string pattern in
           check index (function
-            | Ec.General g -> Some (G.query g ~pattern ~tau)
-            | Ec.Listing l -> Some (L.query l ~pattern ~tau))
+            | `Engine (Ec.General g) -> Some (G.query g ~pattern ~tau)
+            | `Engine (Ec.Listing l) -> Some (L.query l ~pattern ~tau)
+            | `Corpus s -> Some (Store.query s ~pattern ~tau))
       | SP.Top_k { index; pattern; tau; k } ->
           let pattern = Sym.of_string pattern in
           check index (function
-            | Ec.General g -> Some (G.query_top_k g ~pattern ~tau ~k)
-            | Ec.Listing l -> Some (L.query_top_k l ~pattern ~tau ~k))
+            | `Engine (Ec.General g) -> Some (G.query_top_k g ~pattern ~tau ~k)
+            | `Engine (Ec.Listing l) -> Some (L.query_top_k l ~pattern ~tau ~k)
+            | `Corpus s -> Some (Store.query_top_k s ~pattern ~tau ~k))
       | SP.Listing { index; pattern; tau } ->
           let pattern = Sym.of_string pattern in
           check index (function
-            | Ec.Listing l -> Some (L.query l ~pattern ~tau)
-            | Ec.General _ -> None)
+            | `Engine (Ec.Listing l) -> Some (L.query l ~pattern ~tau)
+            | `Engine (Ec.General _) -> None
+            | `Corpus s -> Some (Store.query s ~pattern ~tau))
+      | SP.Insert _ | SP.Delete _ | SP.Flush _ -> (
+          (* mutations have no local replay; accept any well-formed ack *)
+          match reply with SP.Ack _ -> true | _ -> false)
       | SP.Stats | SP.Ping | SP.Slow _ -> true
     with _ -> false
 
@@ -586,6 +789,11 @@ let list_cmdliner =
       const list_cmd $ input_opt_arg $ load_arg $ pattern_arg $ tau_arg
       $ tau_min_arg $ relevance)
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
 let stats_cmd =
   let index_file =
     Arg.(
@@ -594,14 +802,68 @@ let stats_cmd =
       & info [] ~docv:"INDEX_FILE"
           ~doc:
             "Saved index container: print its section table (name, kind, \
-             width, bytes, checksum status) instead of dataset statistics.")
+             width, bytes, checksum status) instead of dataset statistics. A \
+             corpus directory prints its manifest/segment statistics.")
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Transformation/index statistics of a dataset (-i), or the section \
-          table of a saved index container (positional INDEX_FILE).")
-    Term.(const stats $ index_file $ input_opt_arg $ tau_min_arg)
+         "Transformation/index statistics of a dataset (-i), the section \
+          table of a saved index container, or the segment statistics of a \
+          corpus directory (positional INDEX_FILE).")
+    Term.(const stats $ index_file $ input_opt_arg $ tau_min_arg $ json_flag)
+
+let corpus_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION"
+          ~doc:"One of $(b,init), $(b,insert), $(b,delete), $(b,flush), \
+                $(b,compact), $(b,stats).")
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Corpus directory.")
+  in
+  let doc_id =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Document id ($(b,delete)).")
+  in
+  let relevance =
+    Arg.(
+      value & opt string "max"
+      & info [ "relevance" ] ~docv:"METRIC"
+          ~doc:"Relevance metric at $(b,init): max or or.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "packed"
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Segment layout at $(b,init): packed or succinct.")
+  in
+  let mem_max =
+    Arg.(
+      value & opt int 256
+      & info [ "memtable-max" ] ~docv:"N"
+          ~doc:"Auto-seal threshold at $(b,init) (0 = only explicit flush).")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Manage a dynamic corpus directory: initialize it, insert documents \
+          from a dataset file (sealed into a segment on exit), tombstone a \
+          document, flush the memtable, force a full compaction, or print \
+          statistics. The same directory can be served live with pti serve \
+          --corpus; a serving daemon picks up external compactions on \
+          SIGHUP.")
+    Term.(
+      const corpus_cmd_impl $ action $ dir $ input_opt_arg $ doc_id
+      $ tau_min_arg $ relevance $ backend $ mem_max $ json_flag)
 
 let worlds_cmd =
   let limit =
@@ -728,13 +990,30 @@ let serve_cmd =
           ~doc:"Disable the query-result cache (same as \
                 --result-cache-mb 0).")
   in
+  let corpora =
+    Arg.(
+      value & opt_all dir []
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Serve a dynamic corpus directory read-write (repeatable): \
+                queries scatter-gather across its memtable and segments, \
+                and insert/delete/flush requests are accepted. Corpus ids \
+                follow the index-file positions. SIGHUP re-reads each \
+                manifest, picking up externally run compactions.")
+  in
+  let compact_interval_ms =
+    Arg.(
+      value & opt float 50.0
+      & info [ "compact-interval-ms" ] ~docv:"MS"
+          ~doc:"Poll period of the background compaction domain over \
+                --corpus sources (0 disables background compaction).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve saved indexes over TCP.")
     Term.(
-      const serve $ indexes $ host_arg $ port_arg ~default:7071 $ workers
-      $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow
+      const serve $ indexes $ corpora $ host_arg $ port_arg ~default:7071
+      $ workers $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow
       $ send_timeout_ms $ drain_timeout_ms $ max_conns $ max_json_line
-      $ batch_max $ result_cache_mb $ no_result_cache)
+      $ batch_max $ result_cache_mb $ no_result_cache $ compact_interval_ms)
 
 let loadgen_cmd =
   let concurrency =
@@ -864,6 +1143,7 @@ let () =
             list_cmdliner;
             stats_cmd;
             worlds_cmd;
+            corpus_cmd;
             serve_cmd;
             loadgen_cmd;
           ]))

@@ -84,13 +84,14 @@ let doc_map docs =
    map ("listing.doc_of", read zero-copy to rebuild [key_of_pos]), and
    the documents themselves as a lazily-deserialized blob
    ("listing.docs"). *)
-let save ?format t path =
+let save ?format ?(extra = fun (_ : S.Writer.t) -> ()) t path =
   let docs = Lazy.force t.docs in
   Engine.save ?format t.engine path ~extra:(fun w ->
       S.Writer.add_bytes w "listing.meta"
         (Marshal.to_string (t.relevance, t.n_docs) []);
       S.Writer.add_ints w "listing.doc_of" (doc_map docs);
-      S.Writer.add_bytes w "listing.docs" (Marshal.to_string docs []))
+      S.Writer.add_bytes w "listing.docs" (Marshal.to_string docs []);
+      extra w)
 
 (* Legacy format: [Marshal (docs, relevance)] followed by the legacy
    engine stream in the same file. *)

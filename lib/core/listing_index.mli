@@ -78,10 +78,17 @@ val size_words : t -> int
 val size_bytes : t -> int
 (** Byte-accurate space accounting; see {!Engine.size_bytes}. *)
 
-val save : ?format:Pti_storage.format -> t -> string -> unit
+val save :
+  ?format:Pti_storage.format ->
+  ?extra:(Pti_storage.Writer.t -> unit) ->
+  t ->
+  string ->
+  unit
 (** Persist the index (documents, relevance metric, position→document
     map and engine data) into one "PTI-ENGINE-4" container; see
-    {!Engine.save}. *)
+    {!Engine.save}. [?extra] appends caller-owned sections after the
+    listing's own (the segment store records its slot → document-id
+    map this way). *)
 
 val save_legacy : t -> string -> unit
 (** Write the deprecated marshalled format. *)

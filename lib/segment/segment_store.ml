@@ -1,0 +1,775 @@
+(* LSM-style segment store. See the mli for the contract and
+   DESIGN.md §15 for the invariants; the notes here cover what the
+   signature can't say.
+
+   Durability protocol: segment containers are written FIRST, the
+   manifest LAST, both through Pti_storage.Writer (tmp + fsync +
+   rename + directory fsync, instrumented by the storage.* failpoints).
+   A crash between the two leaves an orphan segment file that no
+   manifest references — harmless, reclaimed by the next compaction's
+   sweep. In-memory state is mutated only AFTER the manifest rename
+   succeeded, so a failed commit (ENOSPC, injected fault) leaves both
+   the directory and the store exactly at the previous generation.
+
+   Concurrency: one mutex serializes mutations and snapshots. Queries
+   hold it only long enough to (lazily build and) snapshot the
+   memtable engine plus the segment list; the scatter-gather itself
+   runs lock-free on the snapshot. Tombstone bitmaps are never mutated
+   in place — a delete installs a copy — so a snapshot taken before a
+   delete keeps answering from consistent pre-delete state. *)
+
+module Logp = Pti_prob.Logp
+module U = Pti_ustring.Ustring
+module Sym = Pti_ustring.Sym
+module L = Pti_core.Listing_index
+module Engine = Pti_core.Engine
+module S = Pti_storage
+module F = Pti_fault
+
+type config = {
+  tau_min : float;
+  relevance : L.relevance;
+  backend : Engine.backend;
+  memtable_max_docs : int;
+  compact_min_segments : int;
+}
+
+let default_config ~tau_min =
+  {
+    tau_min;
+    relevance = L.Rel_max;
+    backend = Engine.Packed;
+    memtable_max_docs = 256;
+    compact_min_segments = 4;
+  }
+
+(* An immutable sealed segment: a mapped listing container plus its
+   slot → corpus-id section and the manifest-owned tombstone bitmap. *)
+type seg = {
+  sg_name : string;
+  sg_handle : L.t;
+  sg_ids : S.ints; (* local slot -> corpus doc id, strictly ascending *)
+  sg_n : int;
+  sg_tombs : Bytes.t; (* bit j set = slot j dead; copy-on-write *)
+  sg_dead : int;
+  sg_bytes : int; (* container file size, for the size-tiered policy *)
+}
+
+type t = {
+  dir : string;
+  cfg : config;
+  read_only : bool;
+  verify : bool;
+  m : Mutex.t;
+  mutable generation : int;
+  mutable vversion : int;
+  mutable next_doc_id : int;
+  mutable seg_seq : int; (* next segment file number (monotonic) *)
+  mutable segs : seg list; (* manifest order *)
+  mutable mem : (int * U.t) list; (* memtable, newest first *)
+  mutable mem_engine : (L.t * int array) option; (* lazily rebuilt *)
+  mutable compacting : bool;
+}
+
+let manifest_name = "MANIFEST"
+let manifest_path dir = Filename.concat dir manifest_name
+let seg_path t name = Filename.concat t.dir name
+let seg_file_name seq = Printf.sprintf "seg-%06d.pti" seq
+
+let dir t = t.dir
+let generation t = t.generation
+let version t = t.vversion
+
+let is_corpus_dir d =
+  (try Sys.is_directory d with Sys_error _ -> false)
+  && Sys.file_exists (manifest_path d)
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* ------------------------------------------------------------------ *)
+(* Tombstone bitmaps *)
+
+let bitmap_len n = Stdlib.max 1 ((n + 7) / 8)
+
+let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let popcount b n =
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if bit_get b i then incr c
+  done;
+  !c
+
+(* ------------------------------------------------------------------ *)
+(* Manifest: a small PTI-ENGINE-4 container, one per commit. Sections:
+     corpus.meta     ints  [| format; generation; next_doc_id; seg_seq |]
+     corpus.config   bytes (tau_min, relevance, backend tag, thresholds)
+     corpus.segments bytes (marshalled segment file-name array)
+     corpus.counts   ints  (documents per segment)
+     corpus.tombs.<i> bits (per-segment tombstone bitmap)
+   Writing it through Pti_storage.Writer buys checksums, typed Corrupt
+   rejection and the crash-safe rename for free. *)
+
+let manifest_format = 1
+
+let backend_tag = function Engine.Packed -> 0 | Engine.Succinct -> 1
+let backend_of_tag = function
+  | 0 -> Engine.Packed
+  | 1 -> Engine.Succinct
+  | n ->
+      raise
+        (S.Corrupt
+           {
+             section = "corpus.config";
+             reason = Printf.sprintf "unknown backend tag %d" n;
+           })
+
+(* caller holds [t.m]; raises on any write/fsync/rename fault with the
+   destination manifest untouched *)
+let write_manifest ~dir ~cfg ~gen ~next_doc_id ~seg_seq ~segs =
+  let w = S.Writer.create (manifest_path dir) in
+  S.Writer.add_ints w "corpus.meta" [| manifest_format; gen; next_doc_id; seg_seq |];
+  S.Writer.add_bytes w "corpus.config"
+    (Marshal.to_string
+       ( cfg.tau_min,
+         cfg.relevance,
+         backend_tag cfg.backend,
+         cfg.memtable_max_docs,
+         cfg.compact_min_segments )
+       []);
+  S.Writer.add_bytes w "corpus.segments"
+    (Marshal.to_string (Array.of_list (List.map (fun s -> s.sg_name) segs)) []);
+  S.Writer.add_ints w "corpus.counts"
+    (Array.of_list (List.map (fun s -> s.sg_n) segs));
+  List.iteri
+    (fun i s ->
+      S.Writer.add_bits w
+        (Printf.sprintf "corpus.tombs.%d" i)
+        (S.Bits.of_bytes s.sg_tombs))
+    segs;
+  S.Writer.close w
+
+type manifest = {
+  mf_gen : int;
+  mf_next_doc_id : int;
+  mf_seg_seq : int;
+  mf_cfg : config;
+  mf_segs : (string * int * Bytes.t) list; (* name, n_docs, tombstones *)
+}
+
+let corrupt section reason = raise (S.Corrupt { section; reason })
+
+let read_manifest ?(verify = true) dir =
+  let r = S.Reader.open_file ~verify (manifest_path dir) in
+  let meta = S.Reader.ints r "corpus.meta" in
+  if S.Ints.length meta < 4 then corrupt "corpus.meta" "short meta section";
+  if S.Ints.get meta 0 <> manifest_format then
+    corrupt "corpus.meta"
+      (Printf.sprintf "unsupported manifest format %d" (S.Ints.get meta 0));
+  let tau_min, relevance, btag, mem_max, compact_min =
+    (Marshal.from_string (S.Reader.blob r "corpus.config") 0
+      : float * L.relevance * int * int * int)
+  in
+  let names =
+    (Marshal.from_string (S.Reader.blob r "corpus.segments") 0 : string array)
+  in
+  let counts = S.Reader.ints r "corpus.counts" in
+  if S.Ints.length counts <> Array.length names then
+    corrupt "corpus.counts" "segment count mismatch";
+  let segs =
+    List.init (Array.length names) (fun i ->
+        let n = S.Ints.get counts i in
+        let bits = S.Reader.bits r (Printf.sprintf "corpus.tombs.%d" i) in
+        let b = S.Bits.to_bytes bits in
+        if Bytes.length b < bitmap_len n then
+          corrupt
+            (Printf.sprintf "corpus.tombs.%d" i)
+            "tombstone bitmap shorter than segment";
+        (names.(i), n, b))
+  in
+  {
+    mf_gen = S.Ints.get meta 1;
+    mf_next_doc_id = S.Ints.get meta 2;
+    mf_seg_seq = S.Ints.get meta 3;
+    mf_cfg =
+      {
+        tau_min;
+        relevance;
+        backend = backend_of_tag btag;
+        memtable_max_docs = mem_max;
+        compact_min_segments = compact_min;
+      };
+    mf_segs = segs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Segment open/close *)
+
+let file_size path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+
+let open_segment ~dir ~verify (name, n, tombs) =
+  let path = Filename.concat dir name in
+  let handle = L.load ~verify path in
+  if L.n_docs handle <> n then
+    corrupt "segment.docids"
+      (Printf.sprintf "%s: manifest says %d docs, container has %d" name n
+         (L.n_docs handle));
+  (* the id map lives in the same container; the verified open above
+     already checksummed every section, so this reader can skip it *)
+  let r = S.Reader.open_file ~verify:false path in
+  let ids = S.Reader.ints r "segment.docids" in
+  if S.Ints.length ids <> n then
+    corrupt "segment.docids" (name ^ ": id map length mismatch");
+  {
+    sg_name = name;
+    sg_handle = handle;
+    sg_ids = ids;
+    sg_n = n;
+    sg_tombs = tombs;
+    sg_dead = popcount tombs n;
+    sg_bytes = file_size path;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let of_manifest ~dir ~read_only ~verify (m : manifest) =
+  {
+    dir;
+    cfg = m.mf_cfg;
+    read_only;
+    verify;
+    m = Mutex.create ();
+    generation = m.mf_gen;
+    vversion = 0;
+    next_doc_id = m.mf_next_doc_id;
+    seg_seq = m.mf_seg_seq;
+    segs = List.map (open_segment ~dir ~verify) m.mf_segs;
+    mem = [];
+    mem_engine = None;
+    compacting = false;
+  }
+
+let create ?config dir_ =
+  let cfg =
+    match config with Some c -> c | None -> default_config ~tau_min:0.1
+  in
+  if cfg.tau_min <= 0.0 || cfg.tau_min >= 1.0 then
+    invalid_arg "Segment_store.create: tau_min must be in (0, 1)";
+  if Sys.file_exists (manifest_path dir_) then
+    invalid_arg
+      (Printf.sprintf "Segment_store.create: %s already holds a manifest" dir_);
+  if not (Sys.file_exists dir_) then Unix.mkdir dir_ 0o755;
+  write_manifest ~dir:dir_ ~cfg ~gen:0 ~next_doc_id:0 ~seg_seq:0 ~segs:[];
+  of_manifest ~dir:dir_ ~read_only:false ~verify:true
+    {
+      mf_gen = 0;
+      mf_next_doc_id = 0;
+      mf_seg_seq = 0;
+      mf_cfg = cfg;
+      mf_segs = [];
+    }
+
+let open_dir ?(read_only = false) ?(verify = true) dir_ =
+  if not (Sys.file_exists (manifest_path dir_)) then
+    raise (Sys_error (dir_ ^ ": not a corpus directory (no MANIFEST)"));
+  of_manifest ~dir:dir_ ~read_only ~verify (read_manifest ~verify dir_)
+
+(* ------------------------------------------------------------------ *)
+(* Commit: durable manifest first, in-memory state second. The caller
+   passes the full candidate state; nothing is mutated on failure. *)
+
+(* caller holds [t.m] *)
+let commit t ~segs =
+  let gen = t.generation + 1 in
+  write_manifest ~dir:t.dir ~cfg:t.cfg ~gen ~next_doc_id:t.next_doc_id
+    ~seg_seq:t.seg_seq ~segs;
+  t.generation <- gen;
+  t.segs <- segs;
+  t.vversion <- t.vversion + 1
+
+let check_writable t name =
+  if t.read_only then invalid_arg ("Segment_store." ^ name ^ ": read-only store")
+
+(* ------------------------------------------------------------------ *)
+(* Memtable *)
+
+let build_listing t docs =
+  L.build ~relevance:t.cfg.relevance ~backend:t.cfg.backend
+    ~tau_min:t.cfg.tau_min docs
+
+(* caller holds [t.m] *)
+let mem_snapshot t =
+  match (t.mem, t.mem_engine) with
+  | [], _ -> None
+  | _, Some e -> Some e
+  | docs_rev, None ->
+      let docs = List.rev docs_rev in
+      let e =
+        ( build_listing t (List.map snd docs),
+          Array.of_list (List.map fst docs) )
+      in
+      t.mem_engine <- Some e;
+      Some e
+
+(* rough heap footprint of the unsealed documents, for the metrics
+   gauge: choices dominate (a sym + boxed float per choice) *)
+let mem_bytes_estimate docs =
+  List.fold_left
+    (fun acc (_, u) -> acc + 48 + (24 * U.length u) + (32 * U.n_choices u))
+    0 docs
+
+(* ------------------------------------------------------------------ *)
+(* Seal *)
+
+let seal t =
+  check_writable t "seal";
+  locked t (fun () ->
+      match List.rev t.mem with
+      | [] -> false
+      | docs ->
+          ignore (F.hit "segment.seal" : int option);
+          let ids = Array.of_list (List.map fst docs) in
+          let l =
+            match t.mem_engine with
+            | Some (e, _) -> e
+            | None -> build_listing t (List.map snd docs)
+          in
+          let name = seg_file_name t.seg_seq in
+          L.save l (seg_path t name) ~extra:(fun w ->
+              S.Writer.add_ints w "segment.docids" ids);
+          let seg =
+            open_segment ~dir:t.dir ~verify:t.verify
+              (name, Array.length ids, Bytes.make (bitmap_len (Array.length ids)) '\000')
+          in
+          t.seg_seq <- t.seg_seq + 1;
+          (match commit t ~segs:(t.segs @ [ seg ]) with
+          | () -> ()
+          | exception e ->
+              (* the manifest still names the old set; roll the
+                 in-memory reservation back so the next attempt reuses
+                 the (orphaned) file name *)
+              t.seg_seq <- t.seg_seq - 1;
+              raise e);
+          t.mem <- [];
+          t.mem_engine <- None;
+          true)
+
+(* ------------------------------------------------------------------ *)
+(* Insert / delete *)
+
+let insert t u =
+  check_writable t "insert";
+  if U.length u = 0 then invalid_arg "Segment_store.insert: empty document";
+  let id, want_seal =
+    locked t (fun () ->
+        let id = t.next_doc_id in
+        t.next_doc_id <- id + 1;
+        t.mem <- (id, u) :: t.mem;
+        t.mem_engine <- None;
+        t.vversion <- t.vversion + 1;
+        ( id,
+          t.cfg.memtable_max_docs > 0
+          && List.length t.mem >= t.cfg.memtable_max_docs ))
+  in
+  if want_seal then ignore (seal t : bool);
+  id
+
+(* strictly-ascending id map: binary search for [id], None if absent *)
+let slot_of_id ids n id =
+  let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = S.Ints.get ids mid in
+    if v = id then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if v < id then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found >= 0 then Some !found else None
+
+let delete t id =
+  check_writable t "delete";
+  locked t (fun () ->
+      if List.mem_assoc id t.mem then begin
+        t.mem <- List.remove_assoc id t.mem;
+        t.mem_engine <- None;
+        t.vversion <- t.vversion + 1;
+        true
+      end
+      else begin
+        let hit = ref false in
+        let segs' =
+          List.map
+            (fun s ->
+              if !hit then s
+              else
+                match slot_of_id s.sg_ids s.sg_n id with
+                | Some slot when not (bit_get s.sg_tombs slot) ->
+                    hit := true;
+                    let tombs = Bytes.copy s.sg_tombs in
+                    bit_set tombs slot;
+                    { s with sg_tombs = tombs; sg_dead = s.sg_dead + 1 }
+                | _ -> s)
+            t.segs
+        in
+        if !hit then commit t ~segs:segs';
+        !hit
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather read path *)
+
+(* Canonical result order: most probable first, corpus id breaking
+   ties. Every document id occurs in exactly one source, so this total
+   order makes the merged answer independent of how the corpus is cut
+   into segments — the determinism [loadgen --verify] relies on. *)
+let cmp_hit (d1, p1) (d2, p2) =
+  let c = Logp.compare p2 p1 in
+  if c <> 0 then c else Int.compare d1 d2
+
+(* One source's canonically-sorted live hits, ids already corpus-wide. *)
+let seg_hits s ~pattern ~tau =
+  let raw = L.query s.sg_handle ~pattern ~tau in
+  let live =
+    if s.sg_dead = 0 then
+      List.map (fun (slot, p) -> (S.Ints.get s.sg_ids slot, p)) raw
+    else
+      List.filter_map
+        (fun (slot, p) ->
+          if bit_get s.sg_tombs slot then None
+          else Some (S.Ints.get s.sg_ids slot, p))
+        raw
+  in
+  let a = Array.of_list live in
+  Array.sort cmp_hit a;
+  a
+
+let mem_hits (l, ids) ~pattern ~tau =
+  let a =
+    Array.of_list
+      (List.map (fun (slot, p) -> (ids.(slot), p)) (L.query l ~pattern ~tau))
+  in
+  Array.sort cmp_hit a;
+  a
+
+(* Bounded-heap k-way merge of canonically sorted sources: the heap
+   holds one cursor per non-exhausted source (≤ #segments + 1 entries,
+   independent of result size), so top-k stops after k pops without
+   materializing the full union. *)
+let merge_sources ?(limit = max_int) (sources : (int * Logp.t) array array) =
+  let nsrc = Array.length sources in
+  let pos = Array.make nsrc 0 in
+  let heap = Array.make nsrc 0 in
+  let size = ref 0 in
+  let head s = sources.(s).(pos.(s)) in
+  let less a b = cmp_hit (head a) (head b) < 0 in
+  let swap i j =
+    let x = heap.(i) in
+    heap.(i) <- heap.(j);
+    heap.(j) <- x
+  in
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if less heap.(i) heap.(p) then begin
+        swap i p;
+        up p
+      end
+    end
+  in
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let best = ref i in
+    if l < !size && less heap.(l) heap.(!best) then best := l;
+    if r < !size && less heap.(r) heap.(!best) then best := r;
+    if !best <> i then begin
+      swap i !best;
+      down !best
+    end
+  in
+  Array.iteri
+    (fun s src ->
+      if Array.length src > 0 then begin
+        heap.(!size) <- s;
+        incr size;
+        up (!size - 1)
+      end)
+    sources;
+  let out = ref [] in
+  let taken = ref 0 in
+  while !size > 0 && !taken < limit do
+    let s = heap.(0) in
+    out := head s :: !out;
+    incr taken;
+    pos.(s) <- pos.(s) + 1;
+    if pos.(s) >= Array.length sources.(s) then begin
+      size := !size - 1;
+      heap.(0) <- heap.(!size)
+    end;
+    if !size > 0 then down 0
+  done;
+  List.rev !out
+
+(* a consistent read snapshot: the (possibly just built) memtable
+   engine plus the current segment records *)
+let snapshot t = locked t (fun () -> (mem_snapshot t, t.segs))
+
+let gather ?limit t ~pattern ~tau =
+  let mem, segs = snapshot t in
+  let sources =
+    let seg_sources = List.map (fun s -> seg_hits s ~pattern ~tau) segs in
+    match mem with
+    | None -> seg_sources
+    | Some e -> mem_hits e ~pattern ~tau :: seg_sources
+  in
+  merge_sources ?limit (Array.of_list sources)
+
+let query t ~pattern ~tau = gather t ~pattern ~tau
+
+let query_top_k t ~pattern ~tau ~k =
+  if k <= 0 then [] else gather ~limit:k t ~pattern ~tau
+
+let count t ~pattern ~tau = List.length (gather t ~pattern ~tau)
+
+(* ------------------------------------------------------------------ *)
+(* Compaction *)
+
+(* Size-tiered candidate selection: the tier is every segment within
+   2× of the smallest one's size. High overall tombstone ratio makes
+   every segment a candidate (the merge is what reclaims the space). *)
+let dead_live segs =
+  List.fold_left (fun (d, l) s -> (d + s.sg_dead, l + (s.sg_n - s.sg_dead))) (0, 0) segs
+
+let smallest_tier segs =
+  match
+    List.sort (fun a b -> compare (a.sg_bytes, a.sg_name) (b.sg_bytes, b.sg_name)) segs
+  with
+  | [] -> []
+  | smallest :: _ as sorted ->
+      List.filter (fun s -> s.sg_bytes <= 2 * smallest.sg_bytes) sorted
+
+let high_tombstone segs =
+  let dead, live = dead_live segs in
+  dead > 0 && float_of_int dead > 0.3 *. float_of_int (dead + live)
+
+(* caller holds [t.m] *)
+let candidates ~force t =
+  let viable inputs =
+    List.length inputs >= 2 || List.exists (fun s -> s.sg_dead > 0) inputs
+  in
+  let inputs =
+    if force then t.segs
+    else if high_tombstone t.segs then t.segs
+    else begin
+      let tier = smallest_tier t.segs in
+      if List.length tier >= t.cfg.compact_min_segments then tier else []
+    end
+  in
+  if viable inputs then inputs else []
+
+let needs_compaction t = locked t (fun () -> candidates ~force:false t <> [])
+
+(* Survivors of [inputs] under the snapshot bitmaps, ascending by
+   corpus id (inputs hold disjoint id sets, each already ascending). *)
+let survivors inputs =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun slot ->
+          if bit_get s.sg_tombs slot then None
+          else Some (S.Ints.get s.sg_ids slot, L.doc s.sg_handle slot))
+        (List.init s.sg_n Fun.id))
+    inputs
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let compact ?(force = false) t =
+  check_writable t "compact";
+  let picked =
+    locked t (fun () ->
+        if t.compacting then None
+        else
+          match candidates ~force t with
+          | [] -> None
+          | inputs ->
+              t.compacting <- true;
+              let out_seq = t.seg_seq in
+              t.seg_seq <- out_seq + 1;
+              Some (inputs, out_seq))
+  in
+  match picked with
+  | None -> false
+  | Some (inputs, out_seq) ->
+      Fun.protect
+        ~finally:(fun () -> locked t (fun () -> t.compacting <- false))
+        (fun () ->
+          ignore (F.hit "segment.compact" : int option);
+          (* merge outside the lock: the snapshot bitmaps are
+             copy-on-write, so concurrent deletes cannot shift what we
+             read here — they are re-applied at swap time below *)
+          let docs = survivors inputs in
+          let built =
+            match docs with
+            | [] -> None
+            | docs ->
+                let ids = Array.of_list (List.map fst docs) in
+                let l = build_listing t (List.map snd docs) in
+                let name = seg_file_name out_seq in
+                L.save l (seg_path t name) ~extra:(fun w ->
+                    S.Writer.add_ints w "segment.docids" ids);
+                Some name
+          in
+          let input_names = List.map (fun s -> s.sg_name) inputs in
+          let dropped =
+            locked t (fun () ->
+                let out =
+                  match built with
+                  | None -> None
+                  | Some name ->
+                      let seg =
+                        open_segment ~dir:t.dir ~verify:t.verify
+                          ( name,
+                            List.length docs,
+                            Bytes.make (bitmap_len (List.length docs)) '\000' )
+                      in
+                      (* deletes committed while the merge ran live in
+                         the CURRENT input records; tombstone their ids
+                         in the output so they stay dead *)
+                      let tombs = ref seg.sg_tombs in
+                      let dead = ref 0 in
+                      List.iter
+                        (fun cur ->
+                          match
+                            List.find_opt (fun s -> s.sg_name = cur.sg_name) inputs
+                          with
+                          | None -> ()
+                          | Some old ->
+                              for slot = 0 to cur.sg_n - 1 do
+                                if
+                                  bit_get cur.sg_tombs slot
+                                  && not (bit_get old.sg_tombs slot)
+                                then begin
+                                  match
+                                    slot_of_id seg.sg_ids seg.sg_n
+                                      (S.Ints.get cur.sg_ids slot)
+                                  with
+                                  | None -> ()
+                                  | Some oslot ->
+                                      if not (bit_get !tombs oslot) then begin
+                                        if !dead = 0 then tombs := Bytes.copy !tombs;
+                                        bit_set !tombs oslot;
+                                        incr dead
+                                      end
+                                end
+                              done)
+                        t.segs;
+                      Some { seg with sg_tombs = !tombs; sg_dead = !dead }
+                in
+                let keep =
+                  List.filter
+                    (fun s -> not (List.mem s.sg_name input_names))
+                    t.segs
+                in
+                let segs' =
+                  match out with None -> keep | Some seg -> keep @ [ seg ]
+                in
+                commit t ~segs:segs';
+                input_names)
+          in
+          (* the new generation is durable; the inputs are garbage now.
+             Unlinking is pure cleanup — a crash before it leaves
+             orphans that the sweep below reclaims next time *)
+          let referenced =
+            manifest_name :: locked t (fun () -> List.map (fun s -> s.sg_name) t.segs)
+          in
+          List.iter
+            (fun name ->
+              if not (List.mem name referenced) then
+                try Sys.remove (seg_path t name) with Sys_error _ -> ())
+            dropped;
+          (* sweep orphan segment files older transitions left behind *)
+          Array.iter
+            (fun name ->
+              if
+                String.length name > 4
+                && String.sub name 0 4 = "seg-"
+                && Filename.check_suffix name ".pti"
+                && not (List.mem name referenced)
+              then try Sys.remove (seg_path t name) with Sys_error _ -> ())
+            (try Sys.readdir t.dir with Sys_error _ -> [||]);
+          true)
+
+(* ------------------------------------------------------------------ *)
+(* Reload *)
+
+let reload t =
+  let m = read_manifest ~verify:t.verify t.dir in
+  locked t (fun () ->
+      if m.mf_gen = t.generation then false
+      else begin
+        let segs =
+          List.map
+            (fun (name, n, tombs) ->
+              match
+                List.find_opt
+                  (fun s -> s.sg_name = name && s.sg_n = n)
+                  t.segs
+              with
+              | Some s ->
+                  (* same immutable container: keep the mapping, adopt
+                     the manifest's (possibly newer) tombstones *)
+                  { s with sg_tombs = tombs; sg_dead = popcount tombs n }
+              | None -> open_segment ~dir:t.dir ~verify:t.verify (name, n, tombs))
+            m.mf_segs
+        in
+        t.segs <- segs;
+        t.generation <- m.mf_gen;
+        t.next_doc_id <- Stdlib.max t.next_doc_id m.mf_next_doc_id;
+        t.seg_seq <- Stdlib.max t.seg_seq m.mf_seg_seq;
+        t.vversion <- t.vversion + 1;
+        true
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+type stats = {
+  st_generation : int;
+  st_segments : int;
+  st_memtable_docs : int;
+  st_memtable_bytes : int;
+  st_live_docs : int;
+  st_tombstones : int;
+  st_segment_bytes : int;
+  st_next_doc_id : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      let dead, live = dead_live t.segs in
+      {
+        st_generation = t.generation;
+        st_segments = List.length t.segs;
+        st_memtable_docs = List.length t.mem;
+        st_memtable_bytes = mem_bytes_estimate t.mem;
+        st_live_docs = live;
+        st_tombstones = dead;
+        st_segment_bytes = List.fold_left (fun a s -> a + s.sg_bytes) 0 t.segs;
+        st_next_doc_id = t.next_doc_id;
+      })
+
+let tombstone_ratio st =
+  let total = st.st_live_docs + st.st_tombstones in
+  if total = 0 then 0.0 else float_of_int st.st_tombstones /. float_of_int total
+
+(* referenced below to keep Sym in the interface's type expressions
+   without an unused-module warning under strict flags *)
+let _ = (fun (p : Sym.t array) -> p)

@@ -1,0 +1,158 @@
+(** Dynamic corpus: LSM-style segment engines (DESIGN.md §15).
+
+    A {!t} turns the one-shot listing engine into a mutable corpus
+    living in a directory:
+
+    - new documents accumulate in a small heap-built {e memtable}
+      engine (rebuilt lazily; insertion itself is O(1));
+    - {!seal} flushes the memtable through the streaming PTI-ENGINE-4
+      writer into an immutable {e segment} container (packed or
+      succinct, per the store's backend) carrying a slot → document-id
+      section;
+    - a generation-numbered {e manifest} container ([MANIFEST] in the
+      directory) records the live segment set, per-segment tombstone
+      bitmaps and the id allocator. Every transition (seal, delete,
+      compact) writes segment files first and the manifest last, each
+      through the crash-safe tmp+fsync+rename discipline of
+      {!Pti_storage.Writer} — a crash at any failpoint leaves the
+      previous generation fully intact (at worst plus an orphan
+      segment file no manifest references);
+    - {!compact} merges segments size-tiered and retires tombstoned
+      documents.
+
+    The read path is {e scatter-gather}: a query fans across the
+    memtable and every live mmap segment, drops tombstoned documents,
+    and merges the per-source answers (each already sorted by
+    probability) with a bounded heap — descending probability,
+    document id breaking ties. For a fixed manifest generation and
+    memtable state the merged answer is a pure function of the
+    directory contents, so byte-for-byte reply verification
+    ([loadgen --verify] against the corpus directory) holds across
+    processes.
+
+    Concurrency: mutations serialize on an internal lock; queries run
+    lock-free on immutable snapshots (tombstone bitmaps are replaced
+    copy-on-write, never mutated in place), so readers never block
+    writers and vice versa. One process must own mutation of a
+    directory at a time; read-only opens plus {!reload} (the daemon's
+    SIGHUP hook) are how other processes observe externally-compacted
+    manifests. *)
+
+module Logp = Pti_prob.Logp
+module U = Pti_ustring.Ustring
+module L = Pti_core.Listing_index
+
+type config = {
+  tau_min : float;  (** Construction threshold of every engine built. *)
+  relevance : L.relevance;  (** Relevance metric (default [Rel_max]). *)
+  backend : Pti_core.Engine.backend;
+      (** Layout sealed segments are written in (default [Packed]). *)
+  memtable_max_docs : int;
+      (** Auto-{!seal} once the memtable holds this many documents
+          (default 256; [0] disables — seal only on {!seal}). *)
+  compact_min_segments : int;
+      (** {!needs_compaction} triggers once the smallest size tier
+          holds this many segments (default 4). *)
+}
+
+val default_config : tau_min:float -> config
+
+type t
+
+val create : ?config:config -> string -> t
+(** Initialize [dir] as an empty corpus: create the directory if
+    missing and write the generation-0 manifest. Raises
+    [Invalid_argument] if a manifest already exists there. *)
+
+val open_dir : ?read_only:bool -> ?verify:bool -> string -> t
+(** Open an existing corpus directory. [read_only] (default [false])
+    refuses every mutation — the mode verifiers and external readers
+    use. [verify] (default [true]) checksums each container at open.
+    Raises [Sys_error] if there is no manifest,
+    [Pti_storage.Corrupt] if the manifest or a referenced segment is
+    damaged. *)
+
+val dir : t -> string
+
+val generation : t -> int
+(** The durable manifest generation: bumped by every committed seal,
+    delete or compaction. *)
+
+val version : t -> int
+(** Volatile mutation counter: bumped by {e every} visible change,
+    memtable inserts and deletes included (those change query answers
+    without touching the manifest). Cache keys over query results must
+    incorporate this, not {!generation}. *)
+
+val insert : t -> U.t -> int
+(** Add a document; returns its corpus-wide id (ids are never reused).
+    May auto-{!seal} per [memtable_max_docs]. Memtable contents are
+    volatile until sealed: a crash loses unsealed documents (and their
+    ids were never durable). Raises [Invalid_argument] on an empty
+    document or a read-only store. *)
+
+val delete : t -> int -> bool
+(** Remove a document by id: dropped from the memtable if unsealed,
+    else tombstoned in its segment's bitmap and the manifest committed
+    (next generation). Returns [false] if the id is unknown or already
+    dead. *)
+
+val seal : t -> bool
+(** Flush the memtable into a new immutable segment and commit the
+    manifest. Returns [false] (and writes nothing) when the memtable
+    is empty. *)
+
+val needs_compaction : t -> bool
+(** Size-tiered policy: [compact_min_segments] live segments within a
+    2× size band of each other, or ≥ 2 segments with an overall
+    tombstone ratio above 30%. *)
+
+val compact : ?force:bool -> t -> bool
+(** Merge the smallest size tier (every live segment when [force])
+    into one segment, retiring tombstoned documents, then commit the
+    manifest and unlink the inputs. Deletes committed while the merge
+    runs are re-applied to the output before the swap, so they are
+    never resurrected. Returns [false] when there is nothing to do
+    (fewer than two candidate segments). Safe to run concurrently with
+    inserts, deletes and queries; concurrent {!compact} calls
+    serialize to one merge at a time. *)
+
+val reload : t -> bool
+(** Re-read the manifest and swap in its segment set if the on-disk
+    generation moved (an external process sealed or compacted) —
+    the daemon's SIGHUP hook. The local memtable survives. Returns
+    [true] if a new generation was picked up. *)
+
+val query : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list
+(** Live document ids whose relevance for the pattern strictly exceeds
+    [tau] — scatter-gathered across memtable and segments, most
+    relevant first, ids ascending among equals. *)
+
+val query_top_k :
+  t -> pattern:Pti_ustring.Sym.t array -> tau:float -> k:int -> (int * Logp.t) list
+(** The [k] most relevant live documents above [tau] (same order). *)
+
+val count : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> int
+
+type stats = {
+  st_generation : int;
+  st_segments : int;
+  st_memtable_docs : int;
+  st_memtable_bytes : int;  (** Estimated heap bytes of unsealed docs. *)
+  st_live_docs : int;  (** Sealed documents not tombstoned. *)
+  st_tombstones : int;  (** Sealed documents awaiting compaction. *)
+  st_segment_bytes : int;  (** Total bytes of live segment files. *)
+  st_next_doc_id : int;
+}
+
+val stats : t -> stats
+
+val tombstone_ratio : stats -> float
+(** [st_tombstones / (st_live_docs + st_tombstones)] ([0.] when the
+    corpus has no sealed documents). *)
+
+val manifest_name : string
+(** ["MANIFEST"] — the manifest's file name within a corpus dir. *)
+
+val is_corpus_dir : string -> bool
+(** [dir] exists and holds a manifest. *)

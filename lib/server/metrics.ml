@@ -3,7 +3,21 @@
    by label position; unknown labels fall into a trailing "other"
    slot rather than raising from a hot path. *)
 
-let kinds = [| "query"; "top_k"; "listing"; "stats"; "ping"; "slow"; "other" |]
+let kinds =
+  [|
+    "query";
+    "top_k";
+    "listing";
+    "stats";
+    "ping";
+    "slow";
+    "insert";
+    "delete";
+    "flush";
+    "seal";
+    "compact";
+    "other";
+  |]
 let errs =
   [|
     "bad_request";
@@ -223,7 +237,7 @@ let timeouts t = errors t ~err:"timeout"
 let merged_snap t i = snap_merge (snap t.hists.(i)) (snap t.hists_batched.(i))
 let percentile_us t ~kind q = percentile_of_snap (merged_snap t (kind_index kind)) q
 
-let to_json ?cache_shards ?result_cache t ~queue_depth =
+let to_json ?cache_shards ?result_cache ?corpora t ~queue_depth =
   let b = Buffer.create 512 in
   let field first name v =
     if not first then Buffer.add_char b ',';
@@ -325,6 +339,8 @@ let to_json ?cache_shards ?result_cache t ~queue_depth =
        (Atomic.get t.gc_major_words)
        (Atomic.get t.gc_minor_collections)
        (Atomic.get t.gc_major_collections));
+  (* pre-rendered by the server, which owns the segment stores *)
+  (match corpora with None -> () | Some json -> field false "corpora" json);
   field false "dropped_replies" (string_of_int (Atomic.get t.dropped_replies));
   field false "worker_deaths" (string_of_int (Atomic.get t.worker_deaths));
   field false "accept_failures" (string_of_int (Atomic.get t.accept_failures));

@@ -139,6 +139,7 @@ val percentile_us : t -> kind:string -> float -> float
 val to_json :
   ?cache_shards:(int * int * int * int) array ->
   ?result_cache:int * int * int * int ->
+  ?corpora:string ->
   t ->
   queue_depth:int ->
   string
@@ -149,4 +150,5 @@ val to_json :
     {!Engine_cache.shard_stats}) adds a per-shard cache stats array;
     [result_cache] — (entries, bytes, capacity_bytes, evictions) from
     {!Result_cache.stats} — adds the result cache's size gauges to its
-    counter object. *)
+    counter object; [corpora] (pre-rendered JSON, owned by the server)
+    adds the per-corpus segment/memtable/tombstone gauges. *)

@@ -12,6 +12,9 @@ type op =
   | Stats
   | Ping
   | Slow of int
+  | Insert of { index : int; doc : string }
+  | Delete of { index : int; doc_id : int }
+  | Flush of { index : int }
 
 type request = { id : int; op : op }
 
@@ -28,6 +31,7 @@ type reply =
   | Error of err * string
   | Stats_reply of string
   | Pong
+  | Ack of int
 
 let err_to_string = function
   | Bad_request -> "bad_request"
@@ -53,6 +57,9 @@ let op_kind = function
   | Stats -> "stats"
   | Ping -> "ping"
   | Slow _ -> "slow"
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Flush _ -> "flush"
 
 let max_frame = 16 * 1024 * 1024
 let max_json_line = 1024 * 1024
@@ -201,6 +208,9 @@ let tag_listing = 3
 let tag_stats = 4
 let tag_ping = 5
 let tag_slow = 6
+let tag_insert = 7
+let tag_delete = 8
+let tag_flush = 9
 
 let encode_request_into wb { id; op } =
   frame_into wb (fun b ->
@@ -228,6 +238,17 @@ let encode_request_into wb { id; op } =
         | Stats -> (tag_stats, fun () -> ())
         | Ping -> (tag_ping, fun () -> ())
         | Slow ms -> (tag_slow, fun () -> put_u32 b ms)
+        | Insert { index; doc } ->
+            ( tag_insert,
+              fun () ->
+                put_u16 b index;
+                put_str16 b doc )
+        | Delete { index; doc_id } ->
+            ( tag_delete,
+              fun () ->
+                put_u16 b index;
+                put_i64 b doc_id )
+        | Flush { index } -> (tag_flush, fun () -> put_u16 b index)
       in
       put_u8 b tag;
       put_u32 b id;
@@ -265,6 +286,17 @@ let decode_request_sub payload ~pos ~len =
     else if tag = tag_stats then Stats
     else if tag = tag_ping then Ping
     else if tag = tag_slow then Slow (get_u32 c)
+    else if tag = tag_insert then begin
+      let index = get_u16 c in
+      let doc = get_str16 c in
+      Insert { index; doc }
+    end
+    else if tag = tag_delete then begin
+      let index = get_u16 c in
+      let doc_id = get_i64 c in
+      Delete { index; doc_id }
+    end
+    else if tag = tag_flush then Flush { index = get_u16 c }
     else fail "unknown request tag %d" tag
   in
   if c.pos <> c.limit then fail "trailing bytes in request";
@@ -279,6 +311,7 @@ let tag_hits = 10
 let tag_error = 11
 let tag_stats_reply = 12
 let tag_pong = 13
+let tag_ack = 14
 
 let err_code = function
   | Bad_request -> 0
@@ -302,6 +335,7 @@ let reply_tag = function
   | Error _ -> tag_error
   | Stats_reply _ -> tag_stats_reply
   | Pong -> tag_pong
+  | Ack _ -> tag_ack
 
 (* The per-reply payload after the (tag, id) prefix. Both the direct
    encoder and the result cache go through this one writer, which is
@@ -323,6 +357,7 @@ let put_reply_body b reply =
       put_u32 b (String.length s);
       Wbuf.add_string b s
   | Pong -> ()
+  | Ack v -> put_i64 b v
 
 let encode_reply_into wb ~id reply =
   frame_into wb (fun b ->
@@ -374,6 +409,7 @@ let decode_reply payload =
       Stats_reply s
     end
     else if tag = tag_pong then Pong
+    else if tag = tag_ack then Ack (get_i64 c)
     else fail "unknown reply tag %d" tag
   in
   if c.pos <> String.length payload then fail "trailing bytes in reply";
@@ -714,6 +750,23 @@ let request_to_json { id; op } =
     | Ping -> base @ [ ("op", Json.Str "ping") ]
     | Slow ms ->
         base @ [ ("op", Json.Str "slow"); ("ms", Json.Num (float_of_int ms)) ]
+    | Insert { index; doc } ->
+        base
+        @ [
+            ("op", Json.Str "insert");
+            ("index", Json.Num (float_of_int index));
+            ("doc", Json.Str doc);
+          ]
+    | Delete { index; doc_id } ->
+        base
+        @ [
+            ("op", Json.Str "delete");
+            ("index", Json.Num (float_of_int index));
+            ("doc_id", Json.Num (float_of_int doc_id));
+          ]
+    | Flush { index } ->
+        base
+        @ [ ("op", Json.Str "flush"); ("index", Json.Num (float_of_int index)) ]
   in
   Json.to_string (Json.Obj fields)
 
@@ -747,6 +800,13 @@ let request_of_json line =
     | "stats" -> Stats
     | "ping" -> Ping
     | "slow" -> Slow (Json.int "ms" j)
+    | "insert" ->
+        Insert
+          { index = Json.int_default "index" 0 j; doc = Json.str "doc" j }
+    | "delete" ->
+        Delete
+          { index = Json.int_default "index" 0 j; doc_id = Json.int "doc_id" j }
+    | "flush" -> Flush { index = Json.int_default "index" 0 j }
     | other -> fail "unknown op %S" other
   in
   { id; op }
@@ -784,6 +844,8 @@ let reply_to_json ~id reply =
       Buffer.add_char b '}';
       Buffer.contents b
   | Pong -> Json.to_string (Json.Obj [ id_field; ("pong", Json.Bool true) ])
+  | Ack v ->
+      Json.to_string (Json.Obj [ id_field; ("ack", Json.Num (float_of_int v)) ])
 
 let reply_of_json line =
   let j = Json.parse line in
@@ -818,6 +880,10 @@ let reply_of_json line =
             | None -> (
                 match Json.mem "pong" j with
                 | Some (Json.Bool true) -> Pong
-                | _ -> fail "unrecognized reply object")))
+                | _ -> (
+                    match Json.mem "ack" j with
+                    | Some (Json.Num v) when Float.is_integer v ->
+                        Ack (int_of_float v)
+                    | _ -> fail "unrecognized reply object"))))
   in
   (id, reply)

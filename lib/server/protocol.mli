@@ -36,6 +36,17 @@ type op =
           unless the server enables it; exists so tests and the bench
           can provoke queue overload and deadline expiry
           deterministically. *)
+  | Insert of { index : int; doc : string }
+      (** Add a document (compact {!Pti_ustring.Ustring.parse} text,
+          ≤ 65535 bytes) to a dynamic corpus index; replied with
+          [Ack doc_id]. A [Bad_request] on static (file-backed)
+          indexes or malformed documents. *)
+  | Delete of { index : int; doc_id : int }
+      (** Tombstone a document of a dynamic corpus; [Ack 1] if it was
+          live, [Ack 0] if unknown or already dead. *)
+  | Flush of { index : int }
+      (** Seal the corpus memtable into an immutable segment; replied
+          with [Ack generation] (the post-seal manifest generation). *)
 
 type request = { id : int; op : op }
 
@@ -59,13 +70,16 @@ type reply =
   | Error of err * string
   | Stats_reply of string  (** JSON text. *)
   | Pong
+  | Ack of int
+      (** Mutation acknowledged: the new doc id ([Insert]), 0/1
+          ([Delete]), or the manifest generation ([Flush]). *)
 
 val err_to_string : err -> string
 val err_of_string : string -> err option
 
 val op_kind : op -> string
 (** Short label for metrics/logging: "query", "top_k", "listing",
-    "stats", "ping", "slow". *)
+    "stats", "ping", "slow", "insert", "delete", "flush". *)
 
 val max_frame : int
 (** Upper bound on a payload length (16 MiB); longer frames are a

@@ -271,3 +271,6 @@ let key op =
   | P.Top_k { index; pattern; tau; k } -> Some (pack 2 index tau k pattern)
   | P.Listing { index; pattern; tau } -> Some (pack 3 index tau 0 pattern)
   | P.Stats | P.Ping | P.Slow _ -> None
+  (* mutations are never cacheable; their effect on cached query
+     entries is handled by the server's version-suffixed keys *)
+  | P.Insert _ | P.Delete _ | P.Flush _ -> None

@@ -5,14 +5,17 @@
 module G = Pti_core.General_index
 module L = Pti_core.Listing_index
 module Sym = Pti_ustring.Sym
+module U = Pti_ustring.Ustring
 module Logp = Pti_prob.Logp
 module P = Protocol
 module Bq = Pti_parallel.Bqueue
+module Store = Pti_segment.Segment_store
 
 type source =
   | Source_file of string
   | Source_general of G.t
   | Source_listing of L.t
+  | Source_corpus of Store.t
 
 type config = {
   host : string;
@@ -29,6 +32,7 @@ type config = {
   max_json_line : int;
   batch_max : int;
   result_cache_mb : int;
+  compact_interval_ms : float;
 }
 
 let default_config =
@@ -47,6 +51,7 @@ let default_config =
     max_json_line = P.max_json_line;
     batch_max = 32;
     result_cache_mb = 64;
+    compact_interval_ms = 50.0;
   }
 
 (* Per-connection read buffer: a growable byte window [start, start+len)
@@ -194,6 +199,46 @@ let stop t = Atomic.set t.stop_flag true
 let request_stats_dump t = Atomic.set t.dump_flag true
 let request_reload t = Atomic.set t.reload_flag true
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Per-corpus gauges: the LSM health signals operators watch (segment
+   count creeping up = compaction falling behind, tombstone ratio =
+   space awaiting reclaim, memtable bytes = unsealed volatile data). *)
+let corpora_json t =
+  let items =
+    Array.to_list t.sources
+    |> List.filter_map (function
+         | Source_corpus store ->
+             let st = Store.stats store in
+             Some
+               (Printf.sprintf
+                  "{\"dir\":\"%s\",\"generation\":%d,\"segments\":%d,\
+                   \"segment_bytes\":%d,\"memtable_docs\":%d,\
+                   \"memtable_bytes\":%d,\"live_docs\":%d,\"tombstones\":%d,\
+                   \"tombstone_ratio\":%.4f}"
+                  (json_escape (Store.dir store))
+                  st.Store.st_generation st.Store.st_segments
+                  st.Store.st_segment_bytes st.Store.st_memtable_docs
+                  st.Store.st_memtable_bytes st.Store.st_live_docs
+                  st.Store.st_tombstones
+                  (Store.tombstone_ratio st))
+         | _ -> None)
+  in
+  match items with
+  | [] -> None
+  | items -> Some ("[" ^ String.concat "," items ^ "]")
+
 let stats_json t =
   let result_cache =
     Option.map
@@ -204,6 +249,7 @@ let stats_json t =
   in
   Metrics.to_json t.metrics ~queue_depth:(Bq.length t.queue)
     ~cache_shards:(Engine_cache.shard_stats t.cache) ?result_cache
+    ?corpora:(corpora_json t)
 
 (* ------------------------------------------------------------------ *)
 (* Replies *)
@@ -279,6 +325,11 @@ let error_reply t conn ~id err msg =
 
 type handle = Engine_cache.handle = General of G.t | Listing of L.t
 
+(* What an index id resolves to: an immutable engine handle, or a live
+   segment store whose scatter-gather read path replaces the single
+   engine call. *)
+type resolved = R_engine of handle | R_corpus of Store.t
+
 let resolve t index =
   if index < 0 || index >= Array.length t.sources then
     Result.Error
@@ -286,11 +337,12 @@ let resolve t index =
          (Array.length t.sources))
   else
     match t.sources.(index) with
-    | Source_general g -> Ok (General g)
-    | Source_listing l -> Ok (Listing l)
+    | Source_general g -> Ok (R_engine (General g))
+    | Source_listing l -> Ok (R_engine (Listing l))
+    | Source_corpus s -> Ok (R_corpus s)
     | Source_file path -> (
         match Engine_cache.get t.cache ~metrics:t.metrics path with
-        | handle -> Ok handle
+        | handle -> Ok (R_engine handle)
         | exception e ->
             (* the engine cache just evicted (or refused) a corrupt /
                unopenable container — cached reply bytes may describe
@@ -313,33 +365,68 @@ let resolve t index =
 
 let hits_of l = List.map (fun (key, p) -> (key, Logp.to_log p)) l
 
+let corpus_only index =
+  P.Error
+    ( P.Bad_request,
+      Printf.sprintf "index %d is not a dynamic corpus (mutations need --corpus)"
+        index )
+
 let execute t op =
   match op with
   | P.Query { index; pattern; tau } -> (
       match resolve t index with
       | Result.Error (e, m) -> P.Error (e, m)
-      | Ok (General g) ->
+      | Ok (R_engine (General g)) ->
           P.Hits (hits_of (G.query g ~pattern:(Sym.of_string pattern) ~tau))
-      | Ok (Listing l) ->
-          P.Hits (hits_of (L.query l ~pattern:(Sym.of_string pattern) ~tau)))
+      | Ok (R_engine (Listing l)) ->
+          P.Hits (hits_of (L.query l ~pattern:(Sym.of_string pattern) ~tau))
+      | Ok (R_corpus s) ->
+          P.Hits (hits_of (Store.query s ~pattern:(Sym.of_string pattern) ~tau)))
   | P.Top_k { index; pattern; tau; k } -> (
       match resolve t index with
       | Result.Error (e, m) -> P.Error (e, m)
-      | Ok (General g) ->
+      | Ok (R_engine (General g)) ->
           P.Hits
             (hits_of (G.query_top_k g ~pattern:(Sym.of_string pattern) ~tau ~k))
-      | Ok (Listing l) ->
+      | Ok (R_engine (Listing l)) ->
           P.Hits
-            (hits_of (L.query_top_k l ~pattern:(Sym.of_string pattern) ~tau ~k)))
+            (hits_of (L.query_top_k l ~pattern:(Sym.of_string pattern) ~tau ~k))
+      | Ok (R_corpus s) ->
+          P.Hits
+            (hits_of
+               (Store.query_top_k s ~pattern:(Sym.of_string pattern) ~tau ~k)))
   | P.Listing { index; pattern; tau } -> (
       match resolve t index with
       | Result.Error (e, m) -> P.Error (e, m)
-      | Ok (Listing l) ->
+      | Ok (R_engine (Listing l)) ->
           P.Hits (hits_of (L.query l ~pattern:(Sym.of_string pattern) ~tau))
-      | Ok (General _) ->
+      | Ok (R_corpus s) ->
+          (* a corpus IS a listing collection; same reply as Query *)
+          P.Hits (hits_of (Store.query s ~pattern:(Sym.of_string pattern) ~tau))
+      | Ok (R_engine (General _)) ->
           P.Error
             ( P.Bad_request,
               Printf.sprintf "index %d is not a listing index" index ))
+  | P.Insert { index; doc } -> (
+      match resolve t index with
+      | Result.Error (e, m) -> P.Error (e, m)
+      | Ok (R_corpus s) -> P.Ack (Store.insert s (U.parse doc))
+      | Ok (R_engine _) -> corpus_only index)
+  | P.Delete { index; doc_id } -> (
+      match resolve t index with
+      | Result.Error (e, m) -> P.Error (e, m)
+      | Ok (R_corpus s) -> P.Ack (if Store.delete s doc_id then 1 else 0)
+      | Ok (R_engine _) -> corpus_only index)
+  | P.Flush { index } -> (
+      match resolve t index with
+      | Result.Error (e, m) -> P.Error (e, m)
+      | Ok (R_corpus s) ->
+          let t0 = Unix.gettimeofday () in
+          if Store.seal s then
+            Metrics.record_latency t.metrics ~kind:"seal"
+              ~seconds:(Unix.gettimeofday () -. t0);
+          P.Ack (Store.generation s)
+      | Ok (R_engine _) -> corpus_only index)
   | P.Slow ms ->
       if t.cfg.debug_slow then begin
         Unix.sleepf (float_of_int ms /. 1000.0);
@@ -380,17 +467,28 @@ let record_finish t ~batched job outcome =
    identical to unbatched dispatch. *)
 type group_key = Gquery of int | Glisting of int
 
-let group_key job =
+(* Only engine-backed indexes batch: corpus queries take the
+   one-at-a-time path, where scatter-gather across the memtable and
+   segments already amortises internally. *)
+let engine_index t index =
+  index >= 0
+  && index < Array.length t.sources
+  && match t.sources.(index) with Source_corpus _ -> false | _ -> true
+
+let group_key t job =
   match job.jop with
-  | P.Query { index; _ } -> Some (Gquery index)
-  | P.Listing { index; _ } -> Some (Glisting index)
+  | P.Query { index; _ } when engine_index t index -> Some (Gquery index)
+  | P.Listing { index; _ } when engine_index t index -> Some (Glisting index)
   | _ -> None
 
 let run_group t key jobs =
   let index = match key with Gquery i | Glisting i -> i in
   match resolve t index with
   | Result.Error (e, m) -> List.map (fun j -> (j, P.Error (e, m))) jobs
-  | Ok handle -> (
+  | Ok (R_corpus _) ->
+      (* unreachable via [group_key]; stay total and correct anyway *)
+      List.map (fun j -> (j, execute_one t j)) jobs
+  | Ok (R_engine handle) -> (
       match
         let pattern_of j =
           match j.jop with
@@ -426,7 +524,7 @@ let run_jobs t jobs =
       let singles = ref [] in
       List.iter
         (fun job ->
-          match group_key job with
+          match group_key t job with
           | None -> singles := job :: !singles
           | Some k -> (
               match Hashtbl.find_opt groups k with
@@ -468,6 +566,28 @@ let run_jobs t jobs =
 
    Tokens are settled even if execution dies mid-batch (the [finally]
    cancels leftovers) — an unsettled token would hang its waiters. *)
+
+(* Cache key for a job. Corpus-backed indexes suffix the manifest
+   version: a mutation bumps the version, making every old key
+   unreachable (LRU evicts the dead bytes) — the cache never needs a
+   flush to stay coherent with a moving corpus. *)
+let cache_key t op =
+  match Result_cache.key op with
+  | None -> None
+  | Some key -> (
+      let index =
+        match op with
+        | P.Query { index; _ } | P.Top_k { index; _ } | P.Listing { index; _ }
+          ->
+            index
+        | _ -> -1
+      in
+      if index < 0 || index >= Array.length t.sources then Some key
+      else
+        match t.sources.(index) with
+        | Source_corpus s -> Some (key ^ Printf.sprintf "#g%d" (Store.version s))
+        | _ -> Some key)
+
 let execute_jobs t jobs =
   match jobs with
   | [] -> ()
@@ -484,7 +604,7 @@ let execute_jobs t jobs =
       | Some rc ->
           List.iter
             (fun job ->
-              match Result_cache.key job.jop with
+              match cache_key t job.jop with
               | None -> exec := job :: !exec
               | Some key -> (
                   match Hashtbl.find_opt own key with
@@ -515,7 +635,7 @@ let execute_jobs t jobs =
               match t.rcache with
               | None -> ()
               | Some rc -> (
-                  match Result_cache.key job.jop with
+                  match cache_key t job.jop with
                   | None -> ()
                   | Some key -> (
                       match Hashtbl.find_opt own key with
@@ -792,6 +912,37 @@ let run t =
   for _ = 1 to Stdlib.max 1 t.cfg.workers do
     spawn_worker t
   done;
+  (* Background compactor: one domain polling every corpus source's
+     size-tiered policy. Merges run concurrently with serving (queries
+     read immutable snapshots; the store serializes mutations
+     internally), so the only cost the hot path sees is the manifest
+     swap. Disabled when there are no corpora or the interval is 0. *)
+  let corpora =
+    Array.to_list t.sources
+    |> List.filter_map (function Source_corpus s -> Some s | _ -> None)
+  in
+  let compactor =
+    if corpora = [] || t.cfg.compact_interval_ms <= 0.0 then None
+    else
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get t.stop_flag) do
+               List.iter
+                 (fun s ->
+                   try
+                     if Store.needs_compaction s then begin
+                       let t0 = Unix.gettimeofday () in
+                       if Store.compact s then
+                         Metrics.record_latency t.metrics ~kind:"compact"
+                           ~seconds:(Unix.gettimeofday () -. t0)
+                     end
+                   with e ->
+                     Printf.eprintf "pti: compaction %s: %s\n%!" (Store.dir s)
+                       (Printexc.to_string e))
+                 corpora;
+               Unix.sleepf (t.cfg.compact_interval_ms /. 1000.0)
+             done))
+  in
   (* Readiness set: level-triggered readable events, no FD_SETSIZE
      limit (epoll on Linux, poll elsewhere — see Pti_epoll). Accepted
      sockets stay blocking (identical read/write semantics to the old
@@ -908,19 +1059,35 @@ let run t =
     end;
     if Atomic.get t.reload_flag then begin
       Atomic.set t.reload_flag false;
+      (* Order matters: flush the result cache BEFORE the engine cache
+         revalidates. The generation bump fences in-flight fills against
+         pre-reload handles, and doing it first closes the window where
+         a freshly revalidated engine could coexist with cached replies
+         encoding the old container's bytes — a request arriving between
+         the two steps would have served stale hits. (Tested: the
+         invalidation counter must already be bumped when the first
+         engine reopen is observed.) *)
+      Option.iter
+        (fun rc -> Result_cache.invalidate ~metrics:t.metrics rc)
+        t.rcache;
       let evicted = Engine_cache.revalidate t.cache ~metrics:t.metrics () in
       List.iter
         (fun (path, e) ->
           Printf.eprintf "pti: reload evicted %s: %s\n%!" path
             (Printexc.to_string e))
         evicted;
-      (* the reload may have swapped container contents under the
-         cached replies: flush them — and fence computations already in
-         flight against the pre-reload handles (generation bump), so a
-         reloaded container can never serve stale cached bytes *)
-      Option.iter
-        (fun rc -> Result_cache.invalidate ~metrics:t.metrics rc)
-        t.rcache;
+      (* pick up externally produced segment manifests (an offline
+         compaction, a second writer): a reload re-reads each corpus
+         manifest and swaps in the new generation atomically *)
+      Array.iter
+        (function
+          | Source_corpus s -> (
+              try ignore (Store.reload s)
+              with e ->
+                Printf.eprintf "pti: corpus reload %s: %s\n%!" (Store.dir s)
+                  (Printexc.to_string e))
+          | _ -> ())
+        t.sources;
       Metrics.incr_reload t.metrics
     end;
     (* sweep: close deferred fds, reap connections a worker marked dead
@@ -960,6 +1127,7 @@ let run t =
   done;
   Bq.close t.queue;
   join_workers t;
+  Option.iter Domain.join compactor;
   (* workers are joined, so every try_close below succeeds *)
   Hashtbl.iter (fun _ conn -> ignore (try_close conn)) conns;
   List.iter (fun conn -> ignore (try_close conn)) !pending;

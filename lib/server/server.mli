@@ -38,6 +38,15 @@ type source =
   | Source_general of Pti_core.General_index.t
       (** A pre-built in-memory index (the bench's heap engine). *)
   | Source_listing of Pti_core.Listing_index.t
+  | Source_corpus of Pti_segment.Segment_store.t
+      (** A live read-write segment store (DESIGN.md §15): queries
+          scatter-gather across its memtable and segments, and the
+          mutation ops ([Insert]/[Delete]/[Flush]) are accepted. The
+          server owns mutation of the directory while it runs; SIGHUP
+          additionally {!Pti_segment.Segment_store.reload}s the
+          manifest to pick up external compactions. Result-cache keys
+          for corpus queries carry the store's volatile version, so
+          every mutation implicitly invalidates prior cached replies. *)
 
 type config = {
   host : string;  (** Bind address (default "127.0.0.1"). *)
@@ -83,6 +92,13 @@ type config = {
           revalidation and whenever the engine cache evicts a
           corrupt/unopenable container, so a reloaded container never
           serves stale bytes (DESIGN.md §14). *)
+  compact_interval_ms : float;
+      (** Poll period of the background compactor domain (default 50;
+          [0] disables it). The domain is only spawned when at least
+          one source is a [Source_corpus]; each tick it runs
+          {!Pti_segment.Segment_store.compact} on every corpus whose
+          size-tiered policy triggers, recording the merge duration
+          under the ["compact"] latency kind. *)
 }
 
 val default_config : config

@@ -125,4 +125,79 @@ kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
+# ------------------------------------------------------------------
+# Dynamic corpus (DESIGN.md §15): seal and compaction commit through
+# the same tmp+fsync+rename discipline, segment files first and the
+# manifest last. An abort mid-seal or mid-manifest-rename must leave
+# the previous generation fully intact — MANIFEST byte-identical — and
+# the directory must keep serving that generation with byte-for-byte
+# verified replies.
+
+CORP="$DIR/corpus"
+"$PTI" gen --total 2000 --theta 0.3 --seed 11 --docs -o "$DIR/corpus-docs.txt"
+"$PTI" gen --total 1000 --theta 0.3 --seed 12 --docs -o "$DIR/corpus-docs2.txt"
+"$PTI" corpus init "$CORP" --memtable-max 0
+"$PTI" corpus insert "$CORP" -i "$DIR/corpus-docs.txt" > /dev/null
+"$PTI" corpus insert "$CORP" -i "$DIR/corpus-docs2.txt" > /dev/null
+cp "$CORP/MANIFEST" "$DIR/manifest.baseline"
+
+# Abort mid-seal: the crash lands inside the new segment's container
+# stream, before any rename — no segment joins the directory and the
+# manifest is untouched.
+rc=0
+PTI_FAILPOINTS="storage.write:abort@1" \
+    "$PTI" corpus insert "$CORP" -i "$DIR/corpus-docs2.txt" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 70 ] || { echo "chaos-smoke: corpus abort mid-seal: expected exit 70, got $rc" >&2; exit 1; }
+cmp -s "$CORP/MANIFEST" "$DIR/manifest.baseline" || { echo "chaos-smoke: MANIFEST changed across an aborted seal" >&2; exit 1; }
+echo "chaos-smoke: abort mid-seal left the manifest byte-identical"
+
+# Abort mid-manifest-rename during compaction: the merged segment is
+# already renamed into place (rename hit 1 — now an orphan), but the
+# generation flip — the manifest rename, hit 2 — aborts. The old
+# MANIFEST must survive byte-identical, still referencing the input
+# segments (compaction unlinks them only after the commit).
+rc=0
+PTI_FAILPOINTS="storage.rename:abort@2" \
+    "$PTI" corpus compact "$CORP" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 70 ] || { echo "chaos-smoke: corpus abort mid-manifest-rename: expected exit 70, got $rc" >&2; exit 1; }
+cmp -s "$CORP/MANIFEST" "$DIR/manifest.baseline" || { echo "chaos-smoke: MANIFEST changed across an aborted compaction" >&2; exit 1; }
+echo "chaos-smoke: abort mid-manifest-rename left the manifest byte-identical"
+
+# The old generation still serves: every reply byte-for-byte verified
+# against a direct read-only query of the same directory (background
+# compaction off, so the daemon serves exactly the committed layout).
+"$PTI" serve --corpus "$CORP" --port 0 --workers 2 --queue-cap 256 \
+    --compact-interval-ms 0 > "$DIR/corpus-serve.log" 2>&1 &
+SERVER_PID=$!
+i=0
+PORT=""
+while [ $i -lt 100 ]; do
+    PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$DIR/corpus-serve.log")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "chaos-smoke: corpus server died:" >&2; cat "$DIR/corpus-serve.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$PORT" ] || { echo "chaos-smoke: corpus server never reported a port" >&2; cat "$DIR/corpus-serve.log" >&2; exit 1; }
+"$PTI" loadgen -i "$DIR/corpus-docs.txt" --port "$PORT" \
+    --concurrency 4 --requests 500 --mix query=8,topk=2 \
+    --verify "$CORP" --check
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "chaos-smoke: old generation served byte-identical after both aborts"
+
+# A clean compaction must still succeed after the aborted one (the
+# orphan .pti segment the abort left behind is swept by the commit;
+# a *.tmp.<pid> file from the aborted seal may remain as inert debris
+# — it could belong to a live writer, so the sweep never touches it)
+# and leave exactly one live segment container.
+"$PTI" corpus compact "$CORP" 2>/dev/null
+cmp -s "$CORP/MANIFEST" "$DIR/manifest.baseline" && { echo "chaos-smoke: compaction after the aborts committed nothing" >&2; exit 1; }
+segs=$(ls "$CORP" | grep -c '^seg-.*\.pti$') || true
+[ "$segs" -eq 1 ] || { echo "chaos-smoke: expected 1 segment container after full compaction, found $segs" >&2; exit 1; }
+"$PTI" corpus stats "$CORP" --json | grep -q '"segments":1' \
+    || { echo "chaos-smoke: corpus stats disagree after compaction" >&2; exit 1; }
+echo "chaos-smoke: compaction recovered cleanly after the aborted attempts"
+
 echo "chaos-smoke: OK"

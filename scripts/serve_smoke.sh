@@ -107,4 +107,61 @@ kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
+# Phase 3: dynamic corpus (DESIGN.md §15) — init/insert/delete a
+# segment directory, serve it live next to the file-backed indexes,
+# verify every reply byte-for-byte against a direct read-only query of
+# the same directory, compact it from the outside, SIGHUP the daemon
+# to pick the new generation up, and verify again.
+CORP="$DIR/corpus"
+"$PTI" gen --total 2000 --theta 0.3 --seed 8 --docs -o "$DIR/corpus-docs.txt"
+"$PTI" corpus init "$CORP" --memtable-max 0
+"$PTI" corpus insert "$CORP" -i "$DIR/corpus-docs.txt" > "$DIR/corpus-ids.txt"
+"$PTI" corpus insert "$CORP" -i "$DIR/corpus-docs.txt" >> "$DIR/corpus-ids.txt"
+# tombstone one sealed document; the commit bumps the generation
+FIRST_ID=$(head -n 1 "$DIR/corpus-ids.txt")
+"$PTI" corpus delete "$CORP" --id "$FIRST_ID"
+
+# machine-readable stats: pti stats --json on a corpus directory and
+# on a plain container must both emit one-line JSON
+"$PTI" stats "$CORP" --json | grep -q '"segments":2' \
+    || { echo "serve-smoke: corpus stats --json missing segments" >&2; exit 1; }
+"$PTI" stats "$CORP" --json | grep -q '"tombstones":1' \
+    || { echo "serve-smoke: corpus stats --json missing the tombstone" >&2; exit 1; }
+"$PTI" stats "$DIR/general.pti" --json | grep -q '"sections":\[' \
+    || { echo "serve-smoke: container stats --json missing sections" >&2; exit 1; }
+
+# the corpus rides behind the file-backed indexes, so it is index 3;
+# background compaction off so the served layout stays the committed one
+start_server "$DIR/serve_corpus.log" --corpus "$CORP" --compact-interval-ms 0
+
+run_corpus_load() {
+    "$PTI" loadgen -i "$DIR/corpus-docs.txt" --port "$PORT" \
+        --concurrency 4 --requests 200 --mix query=8,topk=2 --index 3 \
+        --verify "$DIR/general.pti" --verify "$DIR/listing.pti" \
+        --verify "$DIR/succinct.pti" --verify "$CORP" --check
+}
+run_corpus_load
+
+# compact from outside the daemon (2 segments -> 1, retiring the
+# tombstone), then SIGHUP: the daemon must reload the manifest and
+# serve the new generation — verified byte-for-byte again
+"$PTI" corpus compact "$CORP"
+"$PTI" stats "$CORP" --json | grep -q '"segments":1' \
+    || { echo "serve-smoke: external compaction did not commit" >&2; exit 1; }
+kill -HUP "$SERVER_PID"
+sleep 0.5
+kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve-smoke: server died on SIGHUP" >&2; cat "$DIR/serve_corpus.log" >&2; exit 1; }
+run_corpus_load
+
+# the SIGUSR1 dump must now include the per-corpus stats block
+kill -USR1 "$SERVER_PID"
+sleep 0.3
+grep -q '"corpora"' "$DIR/serve_corpus.log" \
+    || { echo "serve-smoke: no corpora block in the stats dump" >&2; cat "$DIR/serve_corpus.log" >&2; exit 1; }
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "serve-smoke: corpus phase OK (insert -> serve -> external compact -> SIGHUP -> verified)"
+
 echo "serve-smoke: OK"

@@ -13,6 +13,7 @@ module Q = Pti_workload.Querygen
 module P = Pti_server.Protocol
 module Server = Pti_server.Server
 module Loadgen = Pti_server.Loadgen
+module Store = Pti_segment.Segment_store
 module H = Pti_test_helpers
 
 (* ------------------------------------------------------------------ *)
@@ -95,6 +96,10 @@ let sample_ops =
     P.Stats;
     P.Ping;
     P.Slow 250;
+    P.Insert { index = 1; doc = "A:.3,B:.7 C D:.5,E:.5" };
+    P.Insert { index = 0; doc = "" };
+    P.Delete { index = 2; doc_id = (1 lsl 53) - 1 };
+    P.Flush { index = 65535 };
   ]
 
 let sample_replies =
@@ -111,6 +116,8 @@ let sample_replies =
     P.Error (P.Server_error, "");
     P.Stats_reply "{\"uptime_s\":1.5,\"requests\":{}}";
     P.Pong;
+    P.Ack 0;
+    P.Ack ((1 lsl 53) - 1);
   ]
 
 let test_binary_roundtrip () =
@@ -1327,6 +1334,280 @@ let test_result_cache_open_failure () =
                   check_hits "fresh bytes after heal" want (query 3);
                   check_hits "and cached again" want (query 4)))))
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic corpus serving (DESIGN.md §15) *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "pti_srv_corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)) : int))
+    (fun () -> f dir)
+
+let test_corpus_over_wire () =
+  (* the full mutation lifecycle over one binary connection: inserts
+     ack sequential ids, queries scatter-gather the memtable, flush
+     seals it (acking the new manifest generation) without changing
+     answers, deletes tombstone, and the stats JSON gains the
+     per-corpus gauges *)
+  let docs = D.collection (D.default ~total:400 ~theta:0.3) in
+  with_tmpdir (fun dir ->
+      let config =
+        { (Store.default_config ~tau_min) with memtable_max_docs = 0 }
+      in
+      let store = Store.create ~config dir in
+      with_server [ Server.Source_corpus store ] (fun _srv port ->
+          with_conn port (fun fd ->
+              List.iteri
+                (fun i u ->
+                  match
+                    rpc fd
+                      { P.id = i; op = P.Insert { index = 0; doc = U.to_text u } }
+                  with
+                  | _, P.Ack id -> Alcotest.(check int) "sequential id" i id
+                  | _ -> Alcotest.fail "insert not acked")
+                docs;
+              (* reference: a monolithic listing index over the same
+                 documents, in the corpus's canonical merge order. The
+                 wire carries [U.to_text] (12 significant digits), so
+                 the reference must be built over the round-tripped
+                 docs — what the server actually indexed *)
+              let l =
+                L.build ~relevance:L.Rel_max ~tau_min
+                  (List.map (fun u -> U.parse (U.to_text u)) docs)
+              in
+              let canon hits =
+                List.sort
+                  (fun (i1, p1) (i2, p2) ->
+                    match Logp.compare p2 p1 with
+                    | 0 -> compare i1 i2
+                    | c -> c)
+                  hits
+              in
+              let expect pat tau =
+                wire (canon (L.query l ~pattern:(Sym.of_string pat) ~tau))
+              in
+              let q i pat tau =
+                snd
+                  (rpc fd
+                     { P.id = i; op = P.Query { index = 0; pattern = pat; tau } })
+              in
+              Alcotest.(check bool)
+                "fixture produces hits" true
+                (expect "A" 0.3 <> []);
+              check_hits "memtable-served query" (expect "A" 0.3)
+                (q 1000 "A" 0.3);
+              (match rpc fd { P.id = 2000; op = P.Flush { index = 0 } } with
+              | _, P.Ack gen ->
+                  Alcotest.(check bool) "generation advanced" true (gen >= 1)
+              | _ -> Alcotest.fail "flush not acked");
+              check_hits "segment-served query identical" (expect "A" 0.3)
+                (q 2001 "A" 0.3);
+              (match expect "A" 0.3 with
+              | [] -> ()
+              | (victim, _) :: _ ->
+                  (match
+                     rpc fd
+                       { P.id = 3000; op = P.Delete { index = 0; doc_id = victim } }
+                   with
+                  | _, P.Ack r -> Alcotest.(check int) "delete acked live" 1 r
+                  | _ -> Alcotest.fail "delete not acked");
+                  (match
+                     rpc fd
+                       { P.id = 3001; op = P.Delete { index = 0; doc_id = victim } }
+                   with
+                  | _, P.Ack r -> Alcotest.(check int) "double delete is 0" 0 r
+                  | _ -> Alcotest.fail "delete not acked");
+                  let want =
+                    List.filter (fun (i, _) -> i <> victim) (expect "A" 0.3)
+                  in
+                  check_hits "tombstone filtered" want (q 3002 "A" 0.3));
+              (* a flush of an empty memtable still acks the generation *)
+              (match rpc fd { P.id = 4000; op = P.Flush { index = 0 } } with
+              | _, P.Ack _ -> ()
+              | _ -> Alcotest.fail "empty flush not acked");
+              (* typed errors: out-of-range index, malformed document *)
+              (match
+                 rpc fd { P.id = 5000; op = P.Insert { index = 9; doc = "A" } }
+               with
+              | _, P.Error (P.Bad_index, _) -> ()
+              | _ -> Alcotest.fail "out-of-range insert not bad_index");
+              (match
+                 rpc fd { P.id = 5001; op = P.Insert { index = 0; doc = "" } }
+               with
+              | _, P.Error (P.Bad_request, _) -> ()
+              | _ -> Alcotest.fail "malformed insert not bad_request");
+              match rpc fd { P.id = 6000; op = P.Stats } with
+              | _, P.Stats_reply js ->
+                  Alcotest.(check bool) "corpora gauges present" true
+                    (contains js "\"corpora\"");
+                  Alcotest.(check bool) "segment gauge present" true
+                    (contains js "\"segments\"")
+              | _ -> Alcotest.fail "no stats reply")))
+
+let test_corpus_mutation_invalidates_cache () =
+  (* result-cache coherence without any flush: corpus cache keys carry
+     the store's volatile version, so an insert makes the cached reply
+     unreachable and the next identical query reflects the new
+     document *)
+  let docs = D.collection (D.default ~total:300 ~theta:0.3) in
+  with_tmpdir (fun dir ->
+      let config =
+        { (Store.default_config ~tau_min) with memtable_max_docs = 0 }
+      in
+      let store = Store.create ~config dir in
+      List.iter (fun u -> ignore (Store.insert store u : int)) docs;
+      with_server [ Server.Source_corpus store ] (fun srv port ->
+          with_conn port (fun fd ->
+              let q i = snd
+                  (rpc fd
+                     { P.id = i; op = P.Query { index = 0; pattern = "A"; tau = 0.3 } })
+              in
+              let hits_of_reply = function
+                | P.Hits hs -> hs
+                | _ -> Alcotest.fail "expected hits"
+              in
+              let before = hits_of_reply (q 1) in
+              let cached = hits_of_reply (q 2) in
+              Alcotest.(check bool) "repeat identical" true (before = cached);
+              let m = Server.metrics srv in
+              Alcotest.(check bool) "cache served the repeat" true
+                (Pti_server.Metrics.result_cache_hits m >= 1);
+              (* insert a certain single-symbol document: it must appear
+                 in the next answer with probability 1 *)
+              (match
+                 rpc fd { P.id = 3; op = P.Insert { index = 0; doc = "A" } }
+               with
+              | _, P.Ack _ -> ()
+              | _ -> Alcotest.fail "insert not acked");
+              let after = hits_of_reply (q 4) in
+              Alcotest.(check bool) "mutation visible despite cache" true
+                (List.length after = List.length before + 1);
+              Alcotest.(check bool) "new doc has probability 1" true
+                (List.exists (fun (_, p) -> p = 0.0) after))))
+
+let test_reload_invalidation_ordering () =
+  (* SIGHUP ordering (DESIGN.md §15): the result-cache generation bump
+     must land BEFORE the engine cache revalidates. A delay failpoint
+     inside the engine reopen holds the revalidate mid-flight; at the
+     moment the reopen is first observed, the invalidation counter must
+     already have moved — were the order reversed, a request hitting
+     the reopened engine could still be answered from pre-reload cached
+     bytes *)
+  let _, _, g, _, _, _ = Lazy.force fixture in
+  let path = Filename.temp_file "pti_reload_order" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      G.save g path;
+      with_faults (fun () ->
+          with_server [ Server.Source_file path ] (fun srv port ->
+              with_conn port (fun fd ->
+                  let _ =
+                    rpc fd
+                      { P.id = 1; op = P.Query { index = 0; pattern = "A"; tau = 0.5 } }
+                  in
+                  let m = Server.metrics srv in
+                  let inv0 = Pti_server.Metrics.result_cache_invalidations m in
+                  let reloads0 = Pti_server.Metrics.reloads m in
+                  F.arm "cache.open" (F.Delay 400) F.Always;
+                  let c0 = F.hit_count "cache.open" in
+                  Server.request_reload srv;
+                  let deadline = Unix.gettimeofday () +. 5.0 in
+                  while
+                    F.hit_count "cache.open" = c0
+                    && Unix.gettimeofday () < deadline
+                  do
+                    Unix.sleepf 0.005
+                  done;
+                  Alcotest.(check bool) "revalidate reached the reopen" true
+                    (F.hit_count "cache.open" > c0);
+                  (* the reopen is mid-delay: reload not yet counted,
+                     but the result cache is already invalidated *)
+                  Alcotest.(check bool)
+                    "result cache invalidated before engine revalidate" true
+                    (Pti_server.Metrics.result_cache_invalidations m > inv0);
+                  Alcotest.(check bool) "observed mid-reload" true
+                    (Pti_server.Metrics.reloads m = reloads0);
+                  F.disarm "cache.open"))))
+
+let test_reload_races_batched_group () =
+  (* a SIGHUP reload racing an in-flight batched query group: with the
+     single worker stalled at its batch-pop failpoint, a pipelined
+     burst of identical queries queues up as one batch, the container
+     is atomically replaced and reloaded mid-stall, and then every
+     reply must decode and be byte-identical to the old engine's
+     answer, the new engine's answer, or a typed bad_index — never a
+     torn frame or a mix of generations within one reply *)
+  let u1 = D.single (D.default ~total:700 ~theta:0.3) in
+  let u2 = D.single (D.default ~total:450 ~theta:0.2) in
+  let g1 = G.build ~tau_min u1 in
+  let g2 = G.build ~tau_min u2 in
+  let want_old = wire (G.query g1 ~pattern:(Sym.of_string "A") ~tau:0.4) in
+  let want_new = wire (G.query g2 ~pattern:(Sym.of_string "A") ~tau:0.4) in
+  Alcotest.(check bool) "fixture: answers differ" true (want_old <> want_new);
+  let path = Filename.temp_file "pti_reload_race" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      G.save g1 path;
+      let config = { (base_config 1) with deadline_ms = 30_000.0 } in
+      with_faults (fun () ->
+          with_server ~config [ Server.Source_file path ] (fun srv port ->
+              with_conn port (fun fd ->
+                  let query_op = P.Query { index = 0; pattern = "A"; tau = 0.4 } in
+                  (match rpc fd { P.id = 1; op = query_op } with
+                  | _, P.Hits hs ->
+                      Alcotest.(check bool) "pre-race answer" true
+                        (hs = want_old)
+                  | _ -> Alcotest.fail "pre-race query failed");
+                  (* stall the only worker before each batch pop *)
+                  F.arm "server.worker" (F.Delay 300) F.Always;
+                  let n = 20 in
+                  let buf = Buffer.create 1024 in
+                  for i = 100 to 100 + n - 1 do
+                    Buffer.add_string buf
+                      (P.encode_request { P.id = i; op = query_op })
+                  done;
+                  P.write_all fd (Buffer.contents buf);
+                  (* mid-stall: atomically swap the container and reload *)
+                  Unix.sleepf 0.05;
+                  let tmp = path ^ ".new" in
+                  G.save g2 tmp;
+                  Sys.rename tmp path;
+                  Server.request_reload srv;
+                  let got = Hashtbl.create n in
+                  for _ = 1 to n do
+                    match P.read_frame fd with
+                    | Some payload ->
+                        let id, reply = P.decode_reply payload in
+                        Hashtbl.replace got id reply
+                    | None -> Alcotest.fail "connection torn mid-race"
+                  done;
+                  F.disarm "server.worker";
+                  for i = 100 to 100 + n - 1 do
+                    match Hashtbl.find_opt got i with
+                    | Some (P.Hits hs) ->
+                        Alcotest.(check bool)
+                          (Printf.sprintf "reply %d is one generation" i)
+                          true
+                          (hs = want_old || hs = want_new)
+                    | Some (P.Error (P.Bad_index, _)) -> ()
+                    | Some _ ->
+                        Alcotest.failf "reply %d: unexpected reply kind" i
+                    | None -> Alcotest.failf "reply %d missing" i
+                  done;
+                  (* convergence: once the race settles, the new
+                     container's bytes are served *)
+                  match rpc fd { P.id = 9999; op = query_op } with
+                  | _, P.Hits hs ->
+                      Alcotest.(check bool) "settled on the new container"
+                        true (hs = want_new)
+                  | _ -> Alcotest.fail "post-race query failed"))))
+
 let test_backoff_determinism () =
   let a = Loadgen.backoff_delays ~seed:9 ~stream:0 ~backoff_ms:50.0 6 in
   let b = Loadgen.backoff_delays ~seed:9 ~stream:0 ~backoff_ms:50.0 6 in
@@ -1364,6 +1645,10 @@ let () =
           Alcotest.test_case "json line cap" `Quick test_json_line_cap;
           Alcotest.test_case "loadgen verified at concurrency 8" `Quick
             test_loadgen_verified;
+          Alcotest.test_case "corpus mutations over the wire" `Quick
+            test_corpus_over_wire;
+          Alcotest.test_case "corpus mutation invalidates cached replies"
+            `Quick test_corpus_mutation_invalidates_cache;
         ] );
       ( "pressure",
         [
@@ -1392,6 +1677,10 @@ let () =
             test_hot_reload;
           Alcotest.test_case "reload evicts cached replies" `Quick
             test_result_cache_reload_invalidation;
+          Alcotest.test_case "reload invalidates cache before revalidate"
+            `Quick test_reload_invalidation_ordering;
+          Alcotest.test_case "reload races a batched query group" `Quick
+            test_reload_races_batched_group;
           Alcotest.test_case "open failure does not poison result cache"
             `Quick test_result_cache_open_failure;
           Alcotest.test_case "loadgen rides out a torn reply" `Quick
