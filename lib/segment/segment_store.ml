@@ -11,12 +11,41 @@
    succeeded, so a failed commit (ENOSPC, injected fault) leaves both
    the directory and the store exactly at the previous generation.
 
-   Concurrency: one mutex serializes mutations and snapshots. Queries
-   hold it only long enough to (lazily build and) snapshot the
-   memtable engine plus the segment list; the scatter-gather itself
-   runs lock-free on the snapshot. Tombstone bitmaps are never mutated
-   in place — a delete installs a copy — so a snapshot taken before a
-   delete keeps answering from consistent pre-delete state. *)
+   Concurrency: two locks plus two atomics.
+
+   - [m], the state lock, guards every mutable field and is only ever
+     held for short, IO-free critical sections. Queries take it just
+     long enough to (lazily build and) snapshot the memtable engine
+     plus the segment list; the scatter-gather itself runs lock-free
+     on the snapshot. Tombstone bitmaps are never mutated in place — a
+     delete installs a copy — so a snapshot taken before a delete
+     keeps answering from consistent pre-delete state.
+   - [cm], the commit lock, serializes everything that writes or
+     adopts a manifest: seal, delete-commit, compaction's swap and
+     orphan sweep, and reload. Manifest builds and fsyncs run while
+     holding [cm] but never [m], so a burst of tombstone commits
+     cannot stall reader snapshots behind the disk.
+   - [generation] and [vversion] are atomics so server worker domains
+     can key result caches off them without taking any lock (a plain
+     mutable int would let a worker read an arbitrarily stale value
+     under the multicore memory model and serve stale cached replies
+     after an acked mutation).
+
+   Lock order: [cm] before [m]; nothing acquires [cm] (or the
+   directory lock below) while holding [m].
+
+   Cross-process writers: the documented external-compaction flow
+   means a second process may commit to the same directory. Every
+   manifest commit therefore (1) takes an exclusive [Unix.lockf] lock
+   on the sidecar LOCK file and (2) re-reads the on-disk generation
+   under that lock; if it no longer matches the generation this store
+   last loaded, the commit raises [Conflict] — failing loudly instead
+   of clobbering the other writer's commit (last-writer-wins would
+   silently resurrect its deletes). [reload] is how the loser adopts
+   the winner's generation. POSIX record locks neither exclude nor
+   survive other threads of the same process touching the lock file,
+   which is exactly why in-process writers serialize on [cm] first
+   and only one LOCK fd is ever open per store. *)
 
 module Logp = Pti_prob.Logp
 module U = Pti_ustring.Ustring
@@ -43,6 +72,18 @@ let default_config ~tau_min =
     compact_min_segments = 4;
   }
 
+exception Conflict of { dir : string; disk_gen : int; mem_gen : int }
+
+let () =
+  Printexc.register_printer (function
+    | Conflict { dir; disk_gen; mem_gen } ->
+        Some
+          (Printf.sprintf
+             "Segment_store.Conflict(%s: on-disk generation %d, in-memory %d \
+              — another writer committed; reload to adopt it)"
+             dir disk_gen mem_gen)
+    | _ -> None)
+
 (* An immutable sealed segment: a mapped listing container plus its
    slot → corpus-id section and the manifest-owned tombstone bitmap. *)
 type seg = {
@@ -60,9 +101,10 @@ type t = {
   cfg : config;
   read_only : bool;
   verify : bool;
-  m : Mutex.t;
-  mutable generation : int;
-  mutable vversion : int;
+  m : Mutex.t; (* state lock: short, IO-free sections only *)
+  cm : Mutex.t; (* commit lock: serializes manifest writers; see above *)
+  generation : int Atomic.t;
+  vversion : int Atomic.t;
   mutable next_doc_id : int;
   mutable seg_seq : int; (* next segment file number (monotonic) *)
   mutable segs : seg list; (* manifest order *)
@@ -72,13 +114,23 @@ type t = {
 }
 
 let manifest_name = "MANIFEST"
+let lock_name = "LOCK"
 let manifest_path dir = Filename.concat dir manifest_name
 let seg_path t name = Filename.concat t.dir name
 let seg_file_name seq = Printf.sprintf "seg-%06d.pti" seq
 
+(* [Some seq] iff [name] is a well-formed segment file name. *)
+let seg_file_seq name =
+  if
+    String.length name > 4
+    && String.sub name 0 4 = "seg-"
+    && Filename.check_suffix name ".pti"
+  then int_of_string_opt (String.sub name 4 (String.length name - 8))
+  else None
+
 let dir t = t.dir
-let generation t = t.generation
-let version t = t.vversion
+let generation t = Atomic.get t.generation
+let version t = Atomic.get t.vversion
 
 let is_corpus_dir d =
   (try Sys.is_directory d with Sys_error _ -> false)
@@ -87,6 +139,25 @@ let is_corpus_dir d =
 let locked t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let committing t f =
+  Mutex.lock t.cm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cm) f
+
+(* Exclusive cross-process lock held for the duration of one manifest
+   commit. Closing the fd releases the lock even if the process dies
+   mid-commit (the kernel drops record locks with the descriptor). *)
+let with_dir_lock dir f =
+  let fd =
+    Unix.openfile (Filename.concat dir lock_name)
+      [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ]
+      0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      f ())
 
 (* ------------------------------------------------------------------ *)
 (* Tombstone bitmaps *)
@@ -130,8 +201,8 @@ let backend_of_tag = function
              reason = Printf.sprintf "unknown backend tag %d" n;
            })
 
-(* caller holds [t.m]; raises on any write/fsync/rename fault with the
-   destination manifest untouched *)
+(* raises on any write/fsync/rename fault with the destination
+   manifest untouched *)
 let write_manifest ~dir ~cfg ~gen ~next_doc_id ~seg_seq ~segs =
   let w = S.Writer.create (manifest_path dir) in
   S.Writer.add_ints w "corpus.meta" [| manifest_format; gen; next_doc_id; seg_seq |];
@@ -208,6 +279,14 @@ let read_manifest ?(verify = true) dir =
     mf_segs = segs;
   }
 
+(* The generation currently committed on disk; [~verify:false] checks
+   only the envelope, enough to trust the meta words. *)
+let disk_generation dir =
+  let r = S.Reader.open_file ~verify:false (manifest_path dir) in
+  let meta = S.Reader.ints r "corpus.meta" in
+  if S.Ints.length meta < 4 then corrupt "corpus.meta" "short meta section";
+  S.Ints.get meta 1
+
 (* ------------------------------------------------------------------ *)
 (* Segment open/close *)
 
@@ -246,8 +325,9 @@ let of_manifest ~dir ~read_only ~verify (m : manifest) =
     read_only;
     verify;
     m = Mutex.create ();
-    generation = m.mf_gen;
-    vversion = 0;
+    cm = Mutex.create ();
+    generation = Atomic.make m.mf_gen;
+    vversion = Atomic.make 0;
     next_doc_id = m.mf_next_doc_id;
     seg_seq = m.mf_seg_seq;
     segs = List.map (open_segment ~dir ~verify) m.mf_segs;
@@ -266,7 +346,14 @@ let create ?config dir_ =
     invalid_arg
       (Printf.sprintf "Segment_store.create: %s already holds a manifest" dir_);
   if not (Sys.file_exists dir_) then Unix.mkdir dir_ 0o755;
-  write_manifest ~dir:dir_ ~cfg ~gen:0 ~next_doc_id:0 ~seg_seq:0 ~segs:[];
+  with_dir_lock dir_ (fun () ->
+      (* re-check under the lock: two concurrent inits must not both
+         write generation 0 *)
+      if Sys.file_exists (manifest_path dir_) then
+        invalid_arg
+          (Printf.sprintf "Segment_store.create: %s already holds a manifest"
+             dir_);
+      write_manifest ~dir:dir_ ~cfg ~gen:0 ~next_doc_id:0 ~seg_seq:0 ~segs:[]);
   of_manifest ~dir:dir_ ~read_only:false ~verify:true
     {
       mf_gen = 0;
@@ -283,16 +370,31 @@ let open_dir ?(read_only = false) ?(verify = true) dir_ =
 
 (* ------------------------------------------------------------------ *)
 (* Commit: durable manifest first, in-memory state second. The caller
-   passes the full candidate state; nothing is mutated on failure. *)
+   holds [t.cm] and passes the full candidate segment list; nothing is
+   mutated on failure. [install] runs under [t.m] in the same critical
+   section that publishes the new list, so a reader snapshot can never
+   observe the segment swap without its side effects (e.g. seal
+   clearing the sealed documents from the memtable — splitting the two
+   would let one query see a document both sealed and unsealed). *)
 
-(* caller holds [t.m] *)
-let commit t ~segs =
-  let gen = t.generation + 1 in
-  write_manifest ~dir:t.dir ~cfg:t.cfg ~gen ~next_doc_id:t.next_doc_id
-    ~seg_seq:t.seg_seq ~segs;
-  t.generation <- gen;
-  t.segs <- segs;
-  t.vversion <- t.vversion + 1
+let commit t ?(install = fun () -> ()) ~segs () =
+  let mem_gen = Atomic.get t.generation in
+  let gen = mem_gen + 1 in
+  let next_doc_id, seg_seq = locked t (fun () -> (t.next_doc_id, t.seg_seq)) in
+  with_dir_lock t.dir (fun () ->
+      (* commit-time check, race-free under the directory lock: if
+         another process moved the manifest since this store loaded
+         it, refuse — last-writer-wins here would silently resurrect
+         the other writer's deletes *)
+      let disk_gen = disk_generation t.dir in
+      if disk_gen <> mem_gen then
+        raise (Conflict { dir = t.dir; disk_gen; mem_gen });
+      write_manifest ~dir:t.dir ~cfg:t.cfg ~gen ~next_doc_id ~seg_seq ~segs);
+  locked t (fun () ->
+      Atomic.set t.generation gen;
+      t.segs <- segs;
+      Atomic.incr t.vversion;
+      install ())
 
 let check_writable t name =
   if t.read_only then invalid_arg ("Segment_store." ^ name ^ ": read-only store")
@@ -330,35 +432,58 @@ let mem_bytes_estimate docs =
 
 let seal t =
   check_writable t "seal";
-  locked t (fun () ->
-      match List.rev t.mem with
+  committing t (fun () ->
+      (* snapshot the memtable under the state lock; inserts landing
+         after this point stay in the memtable untouched. A cached
+         engine always corresponds to the current memtable (every
+         insert/delete invalidates it under the same lock). *)
+      let docs_rev, cached = locked t (fun () -> (t.mem, t.mem_engine)) in
+      match List.rev docs_rev with
       | [] -> false
       | docs ->
           ignore (F.hit "segment.seal" : int option);
           let ids = Array.of_list (List.map fst docs) in
           let l =
-            match t.mem_engine with
+            match cached with
             | Some (e, _) -> e
             | None -> build_listing t (List.map snd docs)
           in
-          let name = seg_file_name t.seg_seq in
-          L.save l (seg_path t name) ~extra:(fun w ->
-              S.Writer.add_ints w "segment.docids" ids);
-          let seg =
-            open_segment ~dir:t.dir ~verify:t.verify
-              (name, Array.length ids, Bytes.make (bitmap_len (Array.length ids)) '\000')
+          let reserved =
+            locked t (fun () ->
+                let s = t.seg_seq in
+                t.seg_seq <- s + 1;
+                s)
           in
-          t.seg_seq <- t.seg_seq + 1;
-          (match commit t ~segs:(t.segs @ [ seg ]) with
+          let name = seg_file_name reserved in
+          (match
+             L.save l (seg_path t name) ~extra:(fun w ->
+                 S.Writer.add_ints w "segment.docids" ids);
+             let seg =
+               open_segment ~dir:t.dir ~verify:t.verify
+                 ( name,
+                   Array.length ids,
+                   Bytes.make (bitmap_len (Array.length ids)) '\000' )
+             in
+             let sealed = Hashtbl.create (Array.length ids) in
+             Array.iter (fun id -> Hashtbl.replace sealed id ()) ids;
+             let segs = locked t (fun () -> t.segs) @ [ seg ] in
+             commit t ~segs
+               ~install:(fun () ->
+                 t.mem <-
+                   List.filter (fun (id, _) -> not (Hashtbl.mem sealed id)) t.mem;
+                 t.mem_engine <- None)
+               ()
+           with
           | () -> ()
           | exception e ->
-              (* the manifest still names the old set; roll the
-                 in-memory reservation back so the next attempt reuses
-                 the (orphaned) file name *)
-              t.seg_seq <- t.seg_seq - 1;
+              (* the manifest still names the old set. Release the
+                 reserved sequence number ONLY if no later reservation
+                 happened meanwhile: sequence numbers must never be
+                 handed out twice, or a retried seal could rename its
+                 file over a pending compaction output *)
+              locked t (fun () ->
+                  if t.seg_seq = reserved + 1 then t.seg_seq <- reserved);
               raise e);
-          t.mem <- [];
-          t.mem_engine <- None;
           true)
 
 (* ------------------------------------------------------------------ *)
@@ -373,7 +498,7 @@ let insert t u =
         t.next_doc_id <- id + 1;
         t.mem <- (id, u) :: t.mem;
         t.mem_engine <- None;
-        t.vversion <- t.vversion + 1;
+        Atomic.incr t.vversion;
         ( id,
           t.cfg.memtable_max_docs > 0
           && List.length t.mem >= t.cfg.memtable_max_docs ))
@@ -398,14 +523,22 @@ let slot_of_id ids n id =
 
 let delete t id =
   check_writable t "delete";
-  locked t (fun () ->
-      if List.mem_assoc id t.mem then begin
-        t.mem <- List.remove_assoc id t.mem;
-        t.mem_engine <- None;
-        t.vversion <- t.vversion + 1;
-        true
-      end
+  committing t (fun () ->
+      let removed_from_mem =
+        locked t (fun () ->
+            if List.mem_assoc id t.mem then begin
+              t.mem <- List.remove_assoc id t.mem;
+              t.mem_engine <- None;
+              Atomic.incr t.vversion;
+              true
+            end
+            else false)
+      in
+      if removed_from_mem then true
       else begin
+        (* [t.segs] is stable while [t.cm] is held — every mutator of
+           the segment list takes the commit lock *)
+        let segs = locked t (fun () -> t.segs) in
         let hit = ref false in
         let segs' =
           List.map
@@ -419,9 +552,9 @@ let delete t id =
                     bit_set tombs slot;
                     { s with sg_tombs = tombs; sg_dead = s.sg_dead + 1 }
                 | _ -> s)
-            t.segs
+            segs
         in
-        if !hit then commit t ~segs:segs';
+        if !hit then commit t ~segs:segs' ();
         !hit
       end)
 
@@ -612,7 +745,7 @@ let compact ?(force = false) t =
         ~finally:(fun () -> locked t (fun () -> t.compacting <- false))
         (fun () ->
           ignore (F.hit "segment.compact" : int option);
-          (* merge outside the lock: the snapshot bitmaps are
+          (* merge outside all locks: the snapshot bitmaps are
              copy-on-write, so concurrent deletes cannot shift what we
              read here — they are re-applied at swap time below *)
           let docs = survivors inputs in
@@ -628,83 +761,88 @@ let compact ?(force = false) t =
                 Some name
           in
           let input_names = List.map (fun s -> s.sg_name) inputs in
-          let dropped =
-            locked t (fun () ->
-                let out =
-                  match built with
-                  | None -> None
-                  | Some name ->
-                      let seg =
-                        open_segment ~dir:t.dir ~verify:t.verify
-                          ( name,
-                            List.length docs,
-                            Bytes.make (bitmap_len (List.length docs)) '\000' )
-                      in
-                      (* deletes committed while the merge ran live in
-                         the CURRENT input records; tombstone their ids
-                         in the output so they stay dead *)
-                      let tombs = ref seg.sg_tombs in
-                      let dead = ref 0 in
-                      List.iter
-                        (fun cur ->
-                          match
-                            List.find_opt (fun s -> s.sg_name = cur.sg_name) inputs
-                          with
-                          | None -> ()
-                          | Some old ->
-                              for slot = 0 to cur.sg_n - 1 do
-                                if
-                                  bit_get cur.sg_tombs slot
-                                  && not (bit_get old.sg_tombs slot)
-                                then begin
-                                  match
-                                    slot_of_id seg.sg_ids seg.sg_n
-                                      (S.Ints.get cur.sg_ids slot)
-                                  with
-                                  | None -> ()
-                                  | Some oslot ->
-                                      if not (bit_get !tombs oslot) then begin
-                                        if !dead = 0 then tombs := Bytes.copy !tombs;
-                                        bit_set !tombs oslot;
-                                        incr dead
-                                      end
-                                end
-                              done)
-                        t.segs;
-                      Some { seg with sg_tombs = !tombs; sg_dead = !dead }
-                in
-                let keep =
-                  List.filter
-                    (fun s -> not (List.mem s.sg_name input_names))
-                    t.segs
-                in
-                let segs' =
-                  match out with None -> keep | Some seg -> keep @ [ seg ]
-                in
-                commit t ~segs:segs';
-                input_names)
-          in
-          (* the new generation is durable; the inputs are garbage now.
-             Unlinking is pure cleanup — a crash before it leaves
-             orphans that the sweep below reclaims next time *)
-          let referenced =
-            manifest_name :: locked t (fun () -> List.map (fun s -> s.sg_name) t.segs)
-          in
-          List.iter
-            (fun name ->
-              if not (List.mem name referenced) then
-                try Sys.remove (seg_path t name) with Sys_error _ -> ())
-            dropped;
-          (* sweep orphan segment files older transitions left behind *)
-          Array.iter
-            (fun name ->
-              if
-                String.length name > 4
-                && String.sub name 0 4 = "seg-"
-                && Filename.check_suffix name ".pti"
-                && not (List.mem name referenced)
-              then try Sys.remove (seg_path t name) with Sys_error _ -> ())
-            (try Sys.readdir t.dir with Sys_error _ -> [||]);
+          committing t (fun () ->
+              (* [t.segs] is stable under [t.cm]; deletes committed
+                 while the merge ran live in the CURRENT records *)
+              let cur_segs = locked t (fun () -> t.segs) in
+              let out =
+                match built with
+                | None -> None
+                | Some name ->
+                    let seg =
+                      open_segment ~dir:t.dir ~verify:t.verify
+                        ( name,
+                          List.length docs,
+                          Bytes.make (bitmap_len (List.length docs)) '\000' )
+                    in
+                    (* tombstone their ids in the output so documents
+                       deleted during the merge stay dead *)
+                    let tombs = ref seg.sg_tombs in
+                    let dead = ref 0 in
+                    List.iter
+                      (fun cur ->
+                        match
+                          List.find_opt (fun s -> s.sg_name = cur.sg_name) inputs
+                        with
+                        | None -> ()
+                        | Some old ->
+                            for slot = 0 to cur.sg_n - 1 do
+                              if
+                                bit_get cur.sg_tombs slot
+                                && not (bit_get old.sg_tombs slot)
+                              then begin
+                                match
+                                  slot_of_id seg.sg_ids seg.sg_n
+                                    (S.Ints.get cur.sg_ids slot)
+                                with
+                                | None -> ()
+                                | Some oslot ->
+                                    if not (bit_get !tombs oslot) then begin
+                                      if !dead = 0 then tombs := Bytes.copy !tombs;
+                                      bit_set !tombs oslot;
+                                      incr dead
+                                    end
+                              end
+                            done)
+                      cur_segs;
+                    Some { seg with sg_tombs = !tombs; sg_dead = !dead }
+              in
+              let keep =
+                List.filter
+                  (fun s -> not (List.mem s.sg_name input_names))
+                  cur_segs
+              in
+              let segs' =
+                match out with None -> keep | Some seg -> keep @ [ seg ]
+              in
+              commit t ~segs:segs' ();
+              (* The new generation is durable; the inputs and any
+                 orphans older transitions left behind are garbage.
+                 Two guards make unlinking safe against writers whose
+                 rename→manifest-commit window could otherwise race
+                 the readdir below into unlinking a file a manifest is
+                 about to reference:
+                 - in-process writers (seal) rename and commit while
+                   holding [t.cm], which this sweep also holds;
+                 - other processes are covered by the sequence
+                   watermark: their pending output is always numbered
+                   at or above the seg_seq this store just committed
+                   (they loaded it from a manifest at least as new),
+                   while every local orphan was reserved — hence
+                   numbered — strictly below it. Sequence numbers are
+                   never re-issued while another reservation is
+                   outstanding (see seal's rollback), so nothing below
+                   the watermark can ever be referenced again. *)
+              let watermark = locked t (fun () -> t.seg_seq) in
+              let referenced = List.map (fun s -> s.sg_name) segs' in
+              Array.iter
+                (fun name ->
+                  match seg_file_seq name with
+                  | Some seq
+                    when seq < watermark && not (List.mem name referenced) -> (
+                      try Sys.remove (seg_path t name) with Sys_error _ -> ())
+                  | _ -> ())
+                (try Sys.readdir t.dir with Sys_error _ -> [||]));
           true)
 
 (* ------------------------------------------------------------------ *)
@@ -712,16 +850,27 @@ let compact ?(force = false) t =
 
 let reload t =
   let m = read_manifest ~verify:t.verify t.dir in
-  locked t (fun () ->
-      if m.mf_gen = t.generation then false
+  committing t (fun () ->
+      let mem_gen = Atomic.get t.generation in
+      if m.mf_gen <= mem_gen then begin
+        (* equal: nothing to do. Lower: a stale manifest (restored
+           backup, tampering) must never roll the live store back to
+           an older segment set — refuse and say so *)
+        if m.mf_gen < mem_gen then
+          Printf.eprintf
+            "pti: %s: on-disk manifest generation %d is behind in-memory %d; \
+             refusing to regress\n\
+             %!"
+            t.dir m.mf_gen mem_gen;
+        false
+      end
       else begin
+        let cur_segs = locked t (fun () -> t.segs) in
         let segs =
           List.map
             (fun (name, n, tombs) ->
               match
-                List.find_opt
-                  (fun s -> s.sg_name = name && s.sg_n = n)
-                  t.segs
+                List.find_opt (fun s -> s.sg_name = name && s.sg_n = n) cur_segs
               with
               | Some s ->
                   (* same immutable container: keep the mapping, adopt
@@ -730,11 +879,12 @@ let reload t =
               | None -> open_segment ~dir:t.dir ~verify:t.verify (name, n, tombs))
             m.mf_segs
         in
-        t.segs <- segs;
-        t.generation <- m.mf_gen;
-        t.next_doc_id <- Stdlib.max t.next_doc_id m.mf_next_doc_id;
-        t.seg_seq <- Stdlib.max t.seg_seq m.mf_seg_seq;
-        t.vversion <- t.vversion + 1;
+        locked t (fun () ->
+            t.segs <- segs;
+            Atomic.set t.generation m.mf_gen;
+            t.next_doc_id <- Stdlib.max t.next_doc_id m.mf_next_doc_id;
+            t.seg_seq <- Stdlib.max t.seg_seq m.mf_seg_seq;
+            Atomic.incr t.vversion);
         true
       end)
 
@@ -756,7 +906,7 @@ let stats t =
   locked t (fun () ->
       let dead, live = dead_live t.segs in
       {
-        st_generation = t.generation;
+        st_generation = Atomic.get t.generation;
         st_segments = List.length t.segs;
         st_memtable_docs = List.length t.mem;
         st_memtable_bytes = mem_bytes_estimate t.mem;

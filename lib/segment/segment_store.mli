@@ -30,13 +30,27 @@
     ([loadgen --verify] against the corpus directory) holds across
     processes.
 
-    Concurrency: mutations serialize on an internal lock; queries run
+    Concurrency: mutations serialize on internal locks; queries run
     lock-free on immutable snapshots (tombstone bitmaps are replaced
     copy-on-write, never mutated in place), so readers never block
-    writers and vice versa. One process must own mutation of a
-    directory at a time; read-only opens plus {!reload} (the daemon's
-    SIGHUP hook) are how other processes observe externally-compacted
-    manifests. *)
+    writers and vice versa — manifest fsyncs in particular happen
+    outside the lock that guards reader snapshots, so a delete storm
+    cannot stall the query path. {!generation} and {!version} are
+    readable from any domain without synchronization caveats (they
+    are atomics internally).
+
+    Cross-process safety: a directory normally has one mutating
+    process at a time, but the external-compaction flow ([pti corpus
+    compact] against a directory a daemon is serving) means two
+    writers can race. Every manifest commit takes an exclusive
+    [lockf] lock on the sidecar [LOCK] file and re-checks the on-disk
+    generation under it: if another process committed since this
+    store last loaded the manifest, the commit raises {!Conflict}
+    instead of silently clobbering the other writer's commit (which
+    would resurrect its deletes). {!reload} (the daemon's SIGHUP
+    hook) is how the losing writer — or a read-only observer — adopts
+    the winning generation; it never adopts a generation older than
+    the one already in memory. *)
 
 module Logp = Pti_prob.Logp
 module U = Pti_ustring.Ustring
@@ -56,6 +70,14 @@ type config = {
 }
 
 val default_config : tau_min:float -> config
+
+exception Conflict of { dir : string; disk_gen : int; mem_gen : int }
+(** Raised by a mutation's manifest commit ({!seal}, {!delete},
+    {!compact}, or an auto-sealing {!insert}) when the on-disk
+    manifest generation no longer matches the one this store last
+    loaded — another process committed in between. Nothing was
+    written; call {!reload} to adopt the other writer's generation,
+    then retry. *)
 
 type t
 
@@ -82,7 +104,8 @@ val version : t -> int
 (** Volatile mutation counter: bumped by {e every} visible change,
     memtable inserts and deletes included (those change query answers
     without touching the manifest). Cache keys over query results must
-    incorporate this, not {!generation}. *)
+    incorporate this, not {!generation}. Backed by an atomic: a read
+    from another domain after a mutation's return is never stale. *)
 
 val insert : t -> U.t -> int
 (** Add a document; returns its corpus-wide id (ids are never reused).
@@ -119,9 +142,13 @@ val compact : ?force:bool -> t -> bool
 
 val reload : t -> bool
 (** Re-read the manifest and swap in its segment set if the on-disk
-    generation moved (an external process sealed or compacted) —
-    the daemon's SIGHUP hook. The local memtable survives. Returns
-    [true] if a new generation was picked up. *)
+    generation moved {e forward} (an external process sealed or
+    compacted) — the daemon's SIGHUP hook, and the recovery step
+    after {!Conflict}. The local memtable survives. Returns [true]
+    if a new generation was picked up; an on-disk generation {e
+    behind} the in-memory one (a stale manifest restored behind the
+    store's back) is refused with a warning on stderr, never
+    adopted. *)
 
 val query : t -> pattern:Pti_ustring.Sym.t array -> tau:float -> (int * Logp.t) list
 (** Live document ids whose relevance for the pattern strictly exceeds
@@ -153,6 +180,11 @@ val tombstone_ratio : stats -> float
 
 val manifest_name : string
 (** ["MANIFEST"] — the manifest's file name within a corpus dir. *)
+
+val lock_name : string
+(** ["LOCK"] — the sidecar file manifest commits take an exclusive
+    [lockf] lock on (created on first commit; its contents are
+    meaningless). *)
 
 val is_corpus_dir : string -> bool
 (** [dir] exists and holds a manifest. *)

@@ -442,6 +442,13 @@ let execute_one t job =
   | Invalid_argument m | Failure m -> P.Error (P.Bad_request, m)
   | Pti_storage.Corrupt { section; reason } ->
       P.Error (P.Bad_index, Printf.sprintf "corrupt %s: %s" section reason)
+  | Store.Conflict { disk_gen; mem_gen; _ } ->
+      P.Error
+        ( P.Server_error,
+          Printf.sprintf
+            "corpus manifest moved under the daemon (disk generation %d, \
+             served %d); reload (SIGHUP) and retry"
+            disk_gen mem_gen )
   | e -> P.Error (P.Server_error, Printexc.to_string e)
 
 let record_finish t ~batched job outcome =
@@ -936,9 +943,17 @@ let run t =
                          Metrics.record_latency t.metrics ~kind:"compact"
                            ~seconds:(Unix.gettimeofday () -. t0)
                      end
-                   with e ->
-                     Printf.eprintf "pti: compaction %s: %s\n%!" (Store.dir s)
-                       (Printexc.to_string e))
+                   with
+                   | Store.Conflict _ ->
+                       (* an external writer committed first: adopt its
+                          generation now and let the next tick retry *)
+                       (try ignore (Store.reload s : bool)
+                        with e ->
+                          Printf.eprintf "pti: corpus reload %s: %s\n%!"
+                            (Store.dir s) (Printexc.to_string e))
+                   | e ->
+                       Printf.eprintf "pti: compaction %s: %s\n%!" (Store.dir s)
+                         (Printexc.to_string e))
                  corpora;
                Unix.sleepf (t.cfg.compact_interval_ms /. 1000.0)
              done))

@@ -346,6 +346,139 @@ let test_succinct_backend () =
         pats)
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent-writer safety: a second writable handle racing the first
+   must fail its commit with Conflict (never clobber the manifest), and
+   reload must refuse to adopt a generation regression. *)
+
+let test_conflict_and_reload_regression () =
+  let docs = docs_of_seed 139 ~n:12 in
+  with_tmpdir (fun dir ->
+      let t1 = store_with_cuts dir docs ~cuts:2 in
+      let t2 = Store.open_dir dir in
+      (* both handles start at the same generation; t1 commits first *)
+      Alcotest.(check bool) "t1 deletes" true (Store.delete t1 0);
+      (match Store.delete t2 1 with
+      | _ -> Alcotest.fail "stale writer must not clobber the manifest"
+      | exception Store.Conflict { disk_gen; mem_gen; _ } ->
+          Alcotest.(check bool) "disk ahead of memory" true (disk_gen > mem_gen));
+      (* the losing commit was not applied anywhere *)
+      let fresh = Store.open_dir ~read_only:true dir in
+      Alcotest.(check int)
+        "only t1's commit landed"
+        (Store.generation t1) (Store.generation fresh);
+      Alcotest.(check int)
+        "one tombstone" 1
+        (Store.stats fresh).Store.st_tombstones;
+      (* reload adopts the winner; the retried delete then commits *)
+      Alcotest.(check bool) "reload adopts t1's commit" true (Store.reload t2);
+      Alcotest.(check bool) "retry succeeds" true (Store.delete t2 1);
+      Alcotest.(check bool) "t1 adopts t2's commit" true (Store.reload t1);
+      Alcotest.(check int)
+        "handles agree" (Store.generation t1) (Store.generation t2);
+      (* a stale manifest restored behind the store's back must never
+         roll the live store back to an older segment set *)
+      let stale = read_file (Filename.concat dir Store.manifest_name) in
+      Alcotest.(check bool) "t1 deletes again" true (Store.delete t1 2);
+      let gen = Store.generation t1 in
+      let oc = open_out_bin (Filename.concat dir Store.manifest_name) in
+      output_string oc stale;
+      close_out oc;
+      Alcotest.(check bool) "regression refused" false (Store.reload t1);
+      Alcotest.(check int) "generation kept" gen (Store.generation t1);
+      Alcotest.(check int)
+        "tombstones kept" 3
+        (Store.stats t1).Store.st_tombstones)
+
+(* The orphan sweep must reclaim files no manifest can reference again
+   (sequence below the committed watermark) while sparing anything at
+   or above it — that range belongs to writers whose rename may land
+   before their manifest commit. *)
+let test_sweep_watermark () =
+  let docs = docs_of_seed 149 ~n:16 in
+  with_tmpdir (fun dir ->
+      let t = store_with_cuts dir docs ~cuts:2 in
+      (* a compaction failing at the manifest rename leaves its output
+         (seg-000002) behind as a genuine low-sequence orphan *)
+      Fun.protect ~finally:F.disarm_all (fun () ->
+          F.arm_spec "storage.rename:eio@2";
+          match Store.compact ~force:true t with
+          | _ -> Alcotest.fail "compact under manifest-rename fault must raise"
+          | exception Unix.Unix_error _ -> ());
+      Alcotest.(check bool)
+        "orphan output left behind" true
+        (Sys.file_exists (Filename.concat dir "seg-000002.pti"));
+      (* and a file numbered far above the watermark stands in for a
+         concurrent external writer's pending output *)
+      let pending = Filename.concat dir "seg-000777.pti" in
+      let oc = open_out_bin pending in
+      output_string oc "pending segment of another writer";
+      close_out oc;
+      ignore (Store.delete t 0 : bool);
+      Alcotest.(check bool)
+        "second compact succeeds" true
+        (Store.compact ~force:true t);
+      Alcotest.(check bool)
+        "orphan below watermark swept" false
+        (Sys.file_exists (Filename.concat dir "seg-000002.pti"));
+      Alcotest.(check bool)
+        "pending file at/above watermark spared" true
+        (Sys.file_exists pending);
+      Sys.remove pending)
+
+(* Mutations, background compaction and queries racing across domains:
+   nothing may raise or deadlock, and once the dust settles the corpus
+   must answer exactly like a monolithic index over the survivors. *)
+let test_concurrent_churn () =
+  let n = 48 in
+  let docs = docs_of_seed 151 ~n in
+  let pats = patterns_of_seed 151 docs ~count:6 in
+  with_tmpdir (fun dir ->
+      let config =
+        { (Store.default_config ~tau_min) with Store.memtable_max_docs = 8 }
+      in
+      let t = Store.create ~config dir in
+      let stop = Atomic.make false in
+      let reader =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              List.iter
+                (fun (pattern, tau) ->
+                  ignore (Store.query t ~pattern ~tau : (int * Logp.t) list))
+                pats
+            done)
+      in
+      let compactor =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Store.compact t : bool)
+            done)
+      in
+      let ids = List.map (fun d -> Store.insert t d) docs in
+      List.iteri
+        (fun i id -> if i mod 5 = 0 then ignore (Store.delete t id : bool))
+        ids;
+      Atomic.set stop true;
+      Domain.join reader;
+      Domain.join compactor;
+      ignore (Store.seal t : bool);
+      ignore (Store.compact ~force:true t : bool);
+      let live = List.filteri (fun i _ -> i mod 5 <> 0) docs in
+      let live_ids = List.filteri (fun i _ -> i mod 5 <> 0) (List.init n Fun.id) in
+      let renumber hits =
+        List.map (fun (d, p) -> (List.nth live_ids d, p)) hits
+        |> List.sort (fun (d1, p1) (d2, p2) ->
+               let c = Logp.compare p2 p1 in
+               if c <> 0 then c else Int.compare d1 d2)
+      in
+      List.iteri
+        (fun i (pattern, tau) ->
+          Alcotest.check hits_testable
+            (Printf.sprintf "after concurrent churn %d" i)
+            (floats (renumber (reference live ~pattern ~tau)))
+            (floats (Store.query t ~pattern ~tau)))
+        pats)
+
+(* ------------------------------------------------------------------ *)
 (* Crash-safety fault matrix, errno half: every write/fsync/rename of
    seal, delete-commit and compact either completes or raises with the
    previous generation intact — in memory AND on disk. *)
@@ -606,5 +739,12 @@ let () =
             test_fault_matrix_errno;
           Alcotest.test_case "abort fault matrix" `Quick
             test_fault_matrix_abort;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "writer conflict and reload regression" `Quick
+            test_conflict_and_reload_regression;
+          Alcotest.test_case "sweep watermark" `Quick test_sweep_watermark;
+          Alcotest.test_case "concurrent churn" `Quick test_concurrent_churn;
         ] );
     ]
