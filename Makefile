@@ -1,4 +1,4 @@
-.PHONY: check check-par bench bench-par bench-io bench-space bench-frontier bench-serve bench-multicore bench-hotpath bench-lsm serve-smoke chaos-smoke clean
+.PHONY: check check-par bench bench-par bench-io bench-space bench-frontier bench-serve bench-multicore bench-hotpath bench-lsm serve-smoke chaos-smoke fault-matrix clean
 
 check:
 	dune build @all
@@ -68,10 +68,19 @@ serve-smoke:
 
 # Fault-injection smoke: abort/ENOSPC mid-save leave the old index
 # byte-identical; kill -9 under load + restart is absorbed by
-# loadgen --retry with every reply verified.
+# loadgen --retry with every reply verified; WAL crash/replay/torn-tail
+# recovery; scrub quarantine + read-repair; serve flag validation.
 chaos-smoke:
 	dune build bin/pti.exe
 	scripts/chaos_smoke.sh
+
+# Seeded probabilistic fault matrix: @p:P:SEED triggers across every
+# storage.* and wal.* failpoint while the corpus CLI churns; the
+# corpus must come out undegraded and scrub-clean.
+# Override: FAULT_MATRIX_SEED / FAULT_MATRIX_P / FAULT_MATRIX_ROUNDS.
+fault-matrix:
+	dune build bin/pti.exe
+	scripts/fault_matrix.sh
 
 clean:
 	dune clean

@@ -343,10 +343,11 @@ let corpus_stats ~json dir =
   let st = St.stats s in
   if json then begin
     Printf.printf
-      {|{"dir":%s,"generation":%d,"segments":%d,"segment_bytes":%d,"memtable_docs":%d,"memtable_bytes":%d,"live_docs":%d,"tombstones":%d,"tombstone_ratio":%.6f,"next_doc_id":%d}|}
+      {|{"dir":%s,"generation":%d,"segments":%d,"segment_bytes":%d,"memtable_docs":%d,"memtable_bytes":%d,"live_docs":%d,"tombstones":%d,"tombstone_ratio":%.6f,"next_doc_id":%d,"degraded_segments":%d,"wal_records":%d,"wal_bytes":%d}|}
       (json_str dir) st.St.st_generation st.St.st_segments st.St.st_segment_bytes
       st.St.st_memtable_docs st.St.st_memtable_bytes st.St.st_live_docs
-      st.St.st_tombstones (St.tombstone_ratio st) st.St.st_next_doc_id;
+      st.St.st_tombstones (St.tombstone_ratio st) st.St.st_next_doc_id
+      st.St.st_degraded_segments st.St.st_wal_records st.St.st_wal_bytes;
     print_newline ()
   end
   else begin
@@ -358,7 +359,12 @@ let corpus_stats ~json dir =
     Printf.printf "tombstones:     %d (ratio %.3f)\n" st.St.st_tombstones
       (St.tombstone_ratio st);
     Printf.printf "memtable:       %d doc(s)\n" st.St.st_memtable_docs;
-    Printf.printf "next doc id:    %d\n" st.St.st_next_doc_id
+    Printf.printf "next doc id:    %d\n" st.St.st_next_doc_id;
+    if st.St.st_degraded_segments > 0 then
+      Printf.printf "DEGRADED:       %d quarantined segment(s)\n"
+        st.St.st_degraded_segments;
+    Printf.printf "wal:            %d record(s), %s\n" st.St.st_wal_records
+      (Pti_core.Space.bytes_to_string st.St.st_wal_bytes)
   end
 
 let stats index_file input tau_min json =
@@ -398,9 +404,18 @@ let worlds input limit =
 (* corpus — mutate/inspect a dynamic segment directory (DESIGN.md §15) *)
 
 let corpus_cmd_impl action dir input doc_id tau_min relevance backend mem_max
-    json =
+    wal_sync scrub_mb_s json =
   run_checked @@ fun () ->
   let module St = Pti_segment.Segment_store in
+  let wal_sync =
+    match St.wal_sync_of_string wal_sync with
+    | w -> w
+    | exception Failure _ ->
+        failwith
+          ("bad --wal-sync " ^ wal_sync ^ " (always, interval:MS or never)")
+  in
+  if Float.is_nan scrub_mb_s || scrub_mb_s < 0.0 then
+    failwith "corpus: --scrub-mb-s must be >= 0";
   match action with
   | "init" ->
       let relevance =
@@ -423,7 +438,7 @@ let corpus_cmd_impl action dir input doc_id tau_min relevance backend mem_max
           memtable_max_docs = mem_max;
         }
       in
-      let s = St.create ~config dir in
+      let s = St.create ~config ~wal_sync dir in
       Printf.eprintf "initialized corpus %s (generation %d)\n" dir
         (St.generation s)
   | "insert" ->
@@ -433,10 +448,12 @@ let corpus_cmd_impl action dir input doc_id tau_min relevance backend mem_max
         | None -> failwith "corpus insert: pass a dataset via -i"
       in
       let docs = read_docs input in
-      let s = St.open_dir dir in
+      let s = St.open_dir ~wal_sync dir in
       let ids = List.map (St.insert s) docs in
-      (* the CLI process exits right after: seal, or the documents
-         (memtable-only, volatile) would be lost *)
+      (* seal so the documents land in an immutable segment right away
+         (they would survive in the write-ahead log regardless, but a
+         one-shot CLI insert should leave a compact corpus, not a
+         replay-pending log) *)
       ignore (St.seal s : bool);
       List.iter (fun id -> Printf.printf "%d\n" id) ids;
       Printf.eprintf "inserted %d document(s) into %s (generation %d)\n"
@@ -447,7 +464,7 @@ let corpus_cmd_impl action dir input doc_id tau_min relevance backend mem_max
         | Some id -> id
         | None -> failwith "corpus delete: pass --id"
       in
-      let s = St.open_dir dir in
+      let s = St.open_dir ~wal_sync dir in
       if St.delete s id then
         Printf.eprintf "deleted document %d (generation %d)\n" id
           (St.generation s)
@@ -456,22 +473,47 @@ let corpus_cmd_impl action dir input doc_id tau_min relevance backend mem_max
         exit 1
       end
   | "flush" ->
-      let s = St.open_dir dir in
+      let s = St.open_dir ~wal_sync dir in
       if St.seal s then
         Printf.eprintf "sealed memtable (generation %d)\n" (St.generation s)
       else Printf.eprintf "memtable empty; nothing to flush\n"
   | "compact" ->
-      let s = St.open_dir dir in
+      let s = St.open_dir ~wal_sync dir in
       let did, elapsed = time (fun () -> St.compact ~force:true s) in
       if did then
         Printf.eprintf "compacted %s to generation %d in %.3fs\n" dir
           (St.generation s) elapsed
       else Printf.eprintf "nothing to compact\n"
+  | "scrub" ->
+      (* open WITHOUT per-container verification: a corrupt segment
+         must not stop the store from opening — finding and evicting it
+         is exactly this command's job *)
+      let s = St.open_dir ~verify:false ~wal_sync dir in
+      let r, elapsed = time (fun () -> St.scrub ~budget_mb_s:scrub_mb_s s) in
+      Printf.eprintf
+        "scrubbed %d segment(s), %s in %.3fs: %d corrupt, %d quarantined, %d \
+         io error(s)\n"
+        r.St.sc_scanned
+        (Pti_core.Space.bytes_to_string r.St.sc_bytes)
+        elapsed
+        (List.length r.St.sc_corrupt)
+        r.St.sc_quarantined r.St.sc_io_errors;
+      List.iter
+        (fun (seg, section) ->
+          Printf.eprintf "  %s: corrupt section %s -> %s/\n" seg section
+            St.quarantine_dir_name)
+        r.St.sc_corrupt;
+      if r.St.sc_quarantined > 0 then
+        Printf.eprintf
+          "run `pti corpus compact %s` to rewrite the survivors into a clean \
+           corpus\n"
+          dir;
+      if r.St.sc_corrupt <> [] || r.St.sc_io_errors > 0 then exit 1
   | "stats" -> corpus_stats ~json dir
   | other ->
       failwith
         ("unknown corpus action: " ^ other
-       ^ " (init, insert, delete, flush, compact or stats)")
+       ^ " (init, insert, delete, flush, compact, scrub or stats)")
 
 (* ------------------------------------------------------------------ *)
 (* serve / loadgen *)
@@ -485,7 +527,7 @@ module Store = Pti_segment.Segment_store
 let serve indexes corpora host port workers queue_cap deadline_ms cache_cap
     no_verify debug_slow send_timeout_ms drain_timeout_ms max_conns
     max_json_line batch_max result_cache_mb no_result_cache
-    compact_interval_ms =
+    compact_interval_ms wal_sync scrub_interval_ms scrub_mb_s warmup_ms =
   run_checked @@ fun () ->
   if indexes = [] && corpora = [] then
     failwith "serve: pass at least one index file or --corpus directory";
@@ -494,6 +536,22 @@ let serve indexes corpora host port workers queue_cap deadline_ms cache_cap
   if batch_max < 1 then failwith "serve: --batch-max must be >= 1";
   if result_cache_mb < 0 then
     failwith "serve: --result-cache-mb must be >= 0";
+  if Float.is_nan compact_interval_ms || compact_interval_ms < 0.0 then
+    failwith "serve: --compact-interval-ms must be >= 0 (0 disables)";
+  if Float.is_nan scrub_interval_ms || scrub_interval_ms < 0.0 then
+    failwith "serve: --scrub-interval-ms must be >= 0 (0 disables)";
+  if Float.is_nan scrub_mb_s || scrub_mb_s < 0.0 then
+    failwith "serve: --scrub-mb-s must be >= 0 (0 = unthrottled)";
+  if Float.is_nan warmup_ms || warmup_ms < 0.0 then
+    failwith "serve: --warmup-ms must be >= 0 (0 disables)";
+  let wal_sync =
+    match Store.wal_sync_of_string wal_sync with
+    | w -> w
+    | exception Failure _ ->
+        failwith
+          ("serve: bad --wal-sync " ^ wal_sync
+         ^ " (always, interval:MS or never)")
+  in
   let config =
     {
       Server.host;
@@ -512,6 +570,8 @@ let serve indexes corpora host port workers queue_cap deadline_ms cache_cap
       batch_max;
       result_cache_mb = (if no_result_cache then 0 else result_cache_mb);
       compact_interval_ms;
+      scrub_interval_ms;
+      scrub_mb_s;
     }
   in
   (* corpus directories follow the index files in the id space, so
@@ -520,9 +580,31 @@ let serve indexes corpora host port workers queue_cap deadline_ms cache_cap
     List.map (fun p -> Server.Source_file p) indexes
     @ List.map
         (fun dir ->
-          Server.Source_corpus (Store.open_dir ~verify:(not no_verify) dir))
+          Server.Source_corpus
+            (Store.open_dir ~verify:(not no_verify) ~wal_sync dir))
         corpora
   in
+  (* Warmup prefault: walk each index container's checksums before
+     accepting traffic, so the first queries hit warm page cache
+     instead of paying cold mmap faults. Best effort and bounded by
+     the deadline — a huge corpus just gets a partial prefault. *)
+  if warmup_ms > 0.0 then begin
+    let deadline = Unix.gettimeofday () +. (warmup_ms /. 1000.0) in
+    let prefault path =
+      if Unix.gettimeofday () < deadline then
+        try ignore (S.Reader.open_file ~verify:true path : S.Reader.t)
+        with _ -> ()
+    in
+    List.iter prefault indexes;
+    List.iter
+      (fun dir ->
+        Array.iter
+          (fun name ->
+            if Filename.check_suffix name ".pti" then
+              prefault (Filename.concat dir name))
+          (try Sys.readdir dir with Sys_error _ -> [||]))
+      corpora
+  end;
   let srv = Server.create ~config sources in
   (* the port line is machine-read by serve_smoke.sh; keep its shape *)
   Printf.printf "pti-serve: listening on %s:%d (%d workers, queue %d, \
@@ -820,7 +902,7 @@ let corpus_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ACTION"
           ~doc:"One of $(b,init), $(b,insert), $(b,delete), $(b,flush), \
-                $(b,compact), $(b,stats).")
+                $(b,compact), $(b,scrub), $(b,stats).")
   in
   let dir =
     Arg.(
@@ -852,18 +934,37 @@ let corpus_cmd =
       & info [ "memtable-max" ] ~docv:"N"
           ~doc:"Auto-seal threshold at $(b,init) (0 = only explicit flush).")
   in
+  let wal_sync =
+    Arg.(
+      value & opt string "interval:5"
+      & info [ "wal-sync" ] ~docv:"POLICY"
+          ~doc:"Write-ahead-log fsync policy: $(b,always) (every \
+                acknowledged mutation survives power loss), \
+                $(b,interval:MS) (fsync at most every MS milliseconds) or \
+                $(b,never). Unsealed documents survive a process crash \
+                under any policy; the knob governs OS-crash/power-loss \
+                durability only.")
+  in
+  let scrub_mb_s =
+    Arg.(
+      value & opt float 0.0
+      & info [ "scrub-mb-s" ] ~docv:"MB_S"
+          ~doc:"IO budget of $(b,scrub) in MB/s (0 = unthrottled).")
+  in
   Cmd.v
     (Cmd.info "corpus"
        ~doc:
          "Manage a dynamic corpus directory: initialize it, insert documents \
           from a dataset file (sealed into a segment on exit), tombstone a \
-          document, flush the memtable, force a full compaction, or print \
-          statistics. The same directory can be served live with pti serve \
-          --corpus; a serving daemon picks up external compactions on \
+          document, flush the memtable, force a full compaction, verify \
+          every live segment's checksums (quarantining corrupt ones), or \
+          print statistics. The same directory can be served live with pti \
+          serve --corpus; a serving daemon picks up external compactions on \
           SIGHUP.")
     Term.(
       const corpus_cmd_impl $ action $ dir $ input_opt_arg $ doc_id
-      $ tau_min_arg $ relevance $ backend $ mem_max $ json_flag)
+      $ tau_min_arg $ relevance $ backend $ mem_max $ wal_sync $ scrub_mb_s
+      $ json_flag)
 
 let worlds_cmd =
   let limit =
@@ -1005,7 +1106,45 @@ let serve_cmd =
       value & opt float 50.0
       & info [ "compact-interval-ms" ] ~docv:"MS"
           ~doc:"Poll period of the background compaction domain over \
-                --corpus sources (0 disables background compaction).")
+                --corpus sources (0 disables background compaction; must \
+                be >= 0, exit 2 otherwise). The same tick flushes each \
+                corpus's write-ahead log under interval sync policies.")
+  in
+  let wal_sync =
+    Arg.(
+      value & opt string "interval:5"
+      & info [ "wal-sync" ] ~docv:"POLICY"
+          ~doc:"Write-ahead-log fsync policy for --corpus sources: \
+                $(b,always), $(b,interval:MS) or $(b,never). Acknowledged \
+                inserts/deletes survive a daemon crash under any policy; \
+                the knob governs OS-crash/power-loss durability only \
+                (see the durability matrix in the README).")
+  in
+  let scrub_interval_ms =
+    Arg.(
+      value & opt float 600_000.0
+      & info [ "scrub-interval-ms" ] ~docv:"MS"
+          ~doc:"Period of the background integrity scrubber over --corpus \
+                sources (default 10 minutes; 0 disables; must be >= 0, \
+                exit 2 otherwise). Each pass re-verifies every live \
+                segment's checksums, quarantines corrupt segments and \
+                read-repairs via compaction.")
+  in
+  let scrub_mb_s =
+    Arg.(
+      value & opt float 64.0
+      & info [ "scrub-mb-s" ] ~docv:"MB_S"
+          ~doc:"IO budget of a scrub pass in MB/s (0 = unthrottled; must \
+                be >= 0, exit 2 otherwise).")
+  in
+  let warmup_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "warmup-ms" ] ~docv:"MS"
+          ~doc:"Prefault index and segment pages (a bounded checksum walk) \
+                for up to MS milliseconds before accepting traffic, so \
+                first queries do not pay cold mmap faults (0 disables; \
+                must be >= 0, exit 2 otherwise).")
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve saved indexes over TCP.")
@@ -1013,7 +1152,8 @@ let serve_cmd =
       const serve $ indexes $ corpora $ host_arg $ port_arg ~default:7071
       $ workers $ queue_cap $ deadline_ms $ cache_cap $ no_verify $ debug_slow
       $ send_timeout_ms $ drain_timeout_ms $ max_conns $ max_json_line
-      $ batch_max $ result_cache_mb $ no_result_cache $ compact_interval_ms)
+      $ batch_max $ result_cache_mb $ no_result_cache $ compact_interval_ms
+      $ wal_sync $ scrub_interval_ms $ scrub_mb_s $ warmup_ms)
 
 let loadgen_cmd =
   let concurrency =

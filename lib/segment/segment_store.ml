@@ -11,15 +11,37 @@
    succeeded, so a failed commit (ENOSPC, injected fault) leaves both
    the directory and the store exactly at the previous generation.
 
-   Concurrency: two locks plus two atomics.
+   The memtable is backed by a write-ahead log (wal-NNNNNN.log beside
+   the MANIFEST): insert/delete/seal append a checksummed record
+   BEFORE the in-memory mutation takes effect (same critical section),
+   fsynced per the wal_sync policy, and open_dir replays the log on
+   top of the manifest generation — so acknowledged-but-unsealed
+   operations survive a crash. The log is rotated (fresh file, old one
+   unlinked) by the first commit that leaves the memtable empty, which
+   every record then being covered by the manifest makes safe; replay
+   is therefore bounded by roughly one memtable's worth of records.
+   Replay is idempotent — a record whose document the manifest already
+   seals is skipped — which is what makes the crash windows of
+   rotation (two log files alive) and of the seal (manifest renamed,
+   log not yet rotated) recover to exactly the acknowledged state.
+
+   Concurrency: three locks plus two atomics.
 
    - [m], the state lock, guards every mutable field and is only ever
-     held for short, IO-free critical sections. Queries take it just
-     long enough to (lazily build and) snapshot the memtable engine
-     plus the segment list; the scatter-gather itself runs lock-free
-     on the snapshot. Tombstone bitmaps are never mutated in place — a
-     delete installs a copy — so a snapshot taken before a delete
-     keeps answering from consistent pre-delete state.
+     held for short critical sections — IO-free except for the single
+     buffered write(2) of a WAL record append (a memtable mutation and
+     its log record must be atomic with respect to each other, or a
+     delete racing an insert could replay in the wrong order; an fsync
+     is NEVER issued under [m]). Queries take it just long enough to
+     (lazily build and) snapshot the memtable engine plus the segment
+     list; the scatter-gather itself runs lock-free on the snapshot.
+     Tombstone bitmaps are never mutated in place — a delete installs
+     a copy — so a snapshot taken before a delete keeps answering from
+     consistent pre-delete state.
+   - [wm], the WAL lock, guards the active log writer (fd swap on
+     rotation, the dirty flag) so a policy fsync runs without blocking
+     readers behind the disk. Acquired inside [m] on the append path,
+     alone on the sync path; never the other way around.
    - [cm], the commit lock, serializes everything that writes or
      adopts a manifest: seal, delete-commit, compaction's swap and
      orphan sweep, and reload. Manifest builds and fsyncs run while
@@ -31,8 +53,8 @@
      under the multicore memory model and serve stale cached replies
      after an acked mutation).
 
-   Lock order: [cm] before [m]; nothing acquires [cm] (or the
-   directory lock below) while holding [m].
+   Lock order: [cm] before [m] before [wm]; nothing acquires [cm] (or
+   the directory lock below) while holding [m] or [wm].
 
    Cross-process writers: the documented external-compaction flow
    means a second process may commit to the same directory. Every
@@ -72,6 +94,32 @@ let default_config ~tau_min =
     compact_min_segments = 4;
   }
 
+type wal_sync = Wal_always | Wal_interval of float | Wal_never
+
+let default_wal_sync = Wal_interval 5.0
+
+let wal_sync_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match s with
+  | "always" -> Wal_always
+  | "never" -> Wal_never
+  | _ ->
+      let bad () =
+        failwith
+          (Printf.sprintf
+             "bad wal-sync policy %S (always, interval:<ms> or never)" s)
+      in
+      if String.length s > 9 && String.sub s 0 9 = "interval:" then
+        match float_of_string_opt (String.sub s 9 (String.length s - 9)) with
+        | Some ms when ms > 0.0 && Float.is_finite ms -> Wal_interval ms
+        | _ -> bad ()
+      else bad ()
+
+let wal_sync_to_string = function
+  | Wal_always -> "always"
+  | Wal_never -> "never"
+  | Wal_interval ms -> Printf.sprintf "interval:%g" ms
+
 exception Conflict of { dir : string; disk_gen : int; mem_gen : int }
 
 let () =
@@ -101,8 +149,10 @@ type t = {
   cfg : config;
   read_only : bool;
   verify : bool;
-  m : Mutex.t; (* state lock: short, IO-free sections only *)
+  wal_sync : wal_sync;
+  m : Mutex.t; (* state lock: short sections; see the header comment *)
   cm : Mutex.t; (* commit lock: serializes manifest writers; see above *)
+  wm : Mutex.t; (* WAL lock: active writer fd + dirty flag *)
   generation : int Atomic.t;
   vversion : int Atomic.t;
   mutable next_doc_id : int;
@@ -111,10 +161,18 @@ type t = {
   mutable mem : (int * U.t) list; (* memtable, newest first *)
   mutable mem_engine : (L.t * int array) option; (* lazily rebuilt *)
   mutable compacting : bool;
+  mutable wal : S.Wal.writer option; (* None iff read-only; under [wm] *)
+  mutable wal_seq : int; (* active log file number; under [m] *)
+  mutable wal_records : int; (* records in the active log; under [m] *)
+  mutable wal_bytes : int; (* bytes of the active log; under [m] *)
+  mutable wal_dirty : bool; (* appended since last fsync; under [wm] *)
+  mutable wal_last_sync : float; (* Wal_interval clock; under [wm] *)
+  mutable quarantined : string list; (* scrub evictions; under [m] *)
 }
 
 let manifest_name = "MANIFEST"
 let lock_name = "LOCK"
+let quarantine_dir_name = "quarantine"
 let manifest_path dir = Filename.concat dir manifest_name
 let seg_path t name = Filename.concat t.dir name
 let seg_file_name seq = Printf.sprintf "seg-%06d.pti" seq
@@ -127,6 +185,26 @@ let seg_file_seq name =
     && Filename.check_suffix name ".pti"
   then int_of_string_opt (String.sub name 4 (String.length name - 8))
   else None
+
+let wal_file_name seq = Printf.sprintf "wal-%06d.log" seq
+
+let wal_file_seq name =
+  if
+    String.length name > 4
+    && String.sub name 0 4 = "wal-"
+    && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 4 (String.length name - 8))
+  else None
+
+let wal_path dir seq = Filename.concat dir (wal_file_name seq)
+
+(* Every wal-*.log in [dir], ascending by sequence number. *)
+let wal_files dir =
+  (try Sys.readdir dir with Sys_error _ -> [||])
+  |> Array.to_list
+  |> List.filter_map (fun n ->
+         match wal_file_seq n with Some s -> Some (s, n) | None -> None)
+  |> List.sort compare
 
 let dir t = t.dir
 let generation t = Atomic.get t.generation
@@ -158,6 +236,68 @@ let with_dir_lock dir f =
     (fun () ->
       Unix.lockf fd Unix.F_LOCK 0;
       f ())
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead log records. One marshalled [wal_op] per framed record
+   (Pti_storage.Wal does the length + checksum framing). W_seal is a
+   marker only — the seal's durability is its manifest commit — but
+   having every mutation leave a record makes the log a complete,
+   ordered account of the write path for forensics and tests. *)
+
+type wal_op = W_insert of int * U.t | W_delete of int | W_seal of int
+
+let wal_encode (op : wal_op) = Marshal.to_string op []
+
+(* Checksum-verified payloads only (Wal.scan rejects damaged records),
+   so Marshal cannot read garbage. *)
+let wal_decode s : wal_op = Marshal.from_string s 0
+
+(* Caller holds [t.m]: the record lands in the log in exactly the
+   order the memtable mutation becomes visible. An exception here
+   (ENOSPC, injected fault) aborts the mutation before any in-memory
+   state changed — at worst a torn tail the next open truncates. *)
+let wal_append_locked t op =
+  match t.wal with
+  | None -> ()
+  | Some w ->
+      let payload = wal_encode op in
+      Mutex.lock t.wm;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.wm)
+        (fun () ->
+          S.Wal.append w payload;
+          t.wal_dirty <- true);
+      t.wal_records <- t.wal_records + 1;
+      t.wal_bytes <- t.wal_bytes + S.Wal.header_bytes + String.length payload
+
+(* Policy fsync, outside [t.m] so readers never wait on the disk.
+   [force] flushes regardless of the interval clock (but still never
+   under Wal_never) — the idle-flusher entry point. *)
+let wal_flush ?(force = false) t =
+  let due now =
+    match t.wal_sync with
+    | Wal_never -> false
+    | Wal_always -> true
+    | Wal_interval ms -> force || now -. t.wal_last_sync >= ms /. 1000.0
+  in
+  match t.wal_sync with
+  | Wal_never -> ()
+  | _ ->
+      let now = Unix.gettimeofday () in
+      if due now then begin
+        Mutex.lock t.wm;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.wm)
+          (fun () ->
+            if t.wal_dirty then begin
+              (match t.wal with Some w -> S.Wal.sync w | None -> ());
+              t.wal_dirty <- false;
+              t.wal_last_sync <- now
+            end)
+      end
+
+let sync_wal t = wal_flush ~force:true t
+let wal_policy t = t.wal_sync
 
 (* ------------------------------------------------------------------ *)
 (* Tombstone bitmaps *)
@@ -203,9 +343,15 @@ let backend_of_tag = function
 
 (* raises on any write/fsync/rename fault with the destination
    manifest untouched *)
-let write_manifest ~dir ~cfg ~gen ~next_doc_id ~seg_seq ~segs =
+let write_manifest ~dir ~cfg ~gen ~next_doc_id ~seg_seq ~quarantined ~segs =
   let w = S.Writer.create (manifest_path dir) in
   S.Writer.add_ints w "corpus.meta" [| manifest_format; gen; next_doc_id; seg_seq |];
+  (* scrubber evictions: names of segment files moved to quarantine/.
+     Written only when non-empty so older readers (and golden fixtures)
+     see an unchanged section set on healthy corpora. *)
+  if quarantined <> [] then
+    S.Writer.add_bytes w "corpus.quarantine"
+      (Marshal.to_string (Array.of_list (quarantined : string list)) []);
   S.Writer.add_bytes w "corpus.config"
     (Marshal.to_string
        ( cfg.tau_min,
@@ -232,6 +378,7 @@ type manifest = {
   mf_seg_seq : int;
   mf_cfg : config;
   mf_segs : (string * int * Bytes.t) list; (* name, n_docs, tombstones *)
+  mf_quarantine : string list; (* scrub-evicted segment files *)
 }
 
 let corrupt section reason = raise (S.Corrupt { section; reason })
@@ -264,6 +411,13 @@ let read_manifest ?(verify = true) dir =
             "tombstone bitmap shorter than segment";
         (names.(i), n, b))
   in
+  let quarantine =
+    if S.Reader.has r "corpus.quarantine" then
+      Array.to_list
+        (Marshal.from_string (S.Reader.blob r "corpus.quarantine") 0
+          : string array)
+    else []
+  in
   {
     mf_gen = S.Ints.get meta 1;
     mf_next_doc_id = S.Ints.get meta 2;
@@ -277,6 +431,7 @@ let read_manifest ?(verify = true) dir =
         compact_min_segments = compact_min;
       };
     mf_segs = segs;
+    mf_quarantine = quarantine;
   }
 
 (* The generation currently committed on disk; [~verify:false] checks
@@ -315,17 +470,34 @@ let open_segment ~dir ~verify (name, n, tombs) =
     sg_bytes = file_size path;
   }
 
+(* strictly-ascending id map: binary search for [id], None if absent *)
+let slot_of_id ids n id =
+  let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = S.Ints.get ids mid in
+    if v = id then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if v < id then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found >= 0 then Some !found else None
+
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let of_manifest ~dir ~read_only ~verify (m : manifest) =
+let of_manifest ~dir ~read_only ~verify ~wal_sync (m : manifest) =
   {
     dir;
     cfg = m.mf_cfg;
     read_only;
     verify;
+    wal_sync;
     m = Mutex.create ();
     cm = Mutex.create ();
+    wm = Mutex.create ();
     generation = Atomic.make m.mf_gen;
     vversion = Atomic.make 0;
     next_doc_id = m.mf_next_doc_id;
@@ -334,9 +506,16 @@ let of_manifest ~dir ~read_only ~verify (m : manifest) =
     mem = [];
     mem_engine = None;
     compacting = false;
+    wal = None;
+    wal_seq = 0;
+    wal_records = 0;
+    wal_bytes = 0;
+    wal_dirty = false;
+    wal_last_sync = Unix.gettimeofday ();
+    quarantined = m.mf_quarantine;
   }
 
-let create ?config dir_ =
+let create ?config ?(wal_sync = default_wal_sync) dir_ =
   let cfg =
     match config with Some c -> c | None -> default_config ~tau_min:0.1
   in
@@ -353,20 +532,114 @@ let create ?config dir_ =
         invalid_arg
           (Printf.sprintf "Segment_store.create: %s already holds a manifest"
              dir_);
-      write_manifest ~dir:dir_ ~cfg ~gen:0 ~next_doc_id:0 ~seg_seq:0 ~segs:[]);
-  of_manifest ~dir:dir_ ~read_only:false ~verify:true
-    {
-      mf_gen = 0;
-      mf_next_doc_id = 0;
-      mf_seg_seq = 0;
-      mf_cfg = cfg;
-      mf_segs = [];
-    }
+      (* a stale log from a previous life of this directory must not
+         replay into the fresh corpus *)
+      List.iter
+        (fun (seq, _) -> S.Wal.remove (wal_path dir_ seq))
+        (wal_files dir_);
+      write_manifest ~dir:dir_ ~cfg ~gen:0 ~next_doc_id:0 ~seg_seq:0
+        ~quarantined:[] ~segs:[]);
+  let t =
+    of_manifest ~dir:dir_ ~read_only:false ~verify:true ~wal_sync
+      {
+        mf_gen = 0;
+        mf_next_doc_id = 0;
+        mf_seg_seq = 0;
+        mf_cfg = cfg;
+        mf_segs = [];
+        mf_quarantine = [];
+      }
+  in
+  t.wal <- Some (S.Wal.open_writer (wal_path dir_ 0));
+  t
 
-let open_dir ?(read_only = false) ?(verify = true) dir_ =
+(* Replay one scanned WAL payload into the just-opened store. The log
+   can hold records the manifest already covers (crash after a seal's
+   manifest commit but before its WAL rotation finished), so replay is
+   idempotent: an insert whose id is already sealed — or already
+   replayed — is skipped. File order is oldest-first; prepending keeps
+   [t.mem] in its newest-first invariant. *)
+let replay_record t payload =
+  match wal_decode payload with
+  | W_seal _ -> ()
+  | W_insert (id, u) ->
+      let sealed =
+        List.exists (fun s -> slot_of_id s.sg_ids s.sg_n id <> None) t.segs
+      in
+      if (not sealed) && not (List.mem_assoc id t.mem) then
+        t.mem <- (id, u) :: t.mem;
+      t.next_doc_id <- Stdlib.max t.next_doc_id (id + 1)
+  | W_delete id ->
+      if List.mem_assoc id t.mem then t.mem <- List.remove_assoc id t.mem
+
+(* Replay every wal-NNNNNN.log (ascending) on top of the manifest
+   generation. Torn tails are truncated on disk (writable stores) or
+   ignored in memory (read-only); Pti_storage.Wal.scan already raised
+   [Corrupt] for a damaged record that is NOT the tail. A writable open
+   then consolidates: with more than one log on disk (a crash left a
+   half-finished rotation) the surviving memtable is re-logged into one
+   fresh fsynced file under the directory lock; a single clean log is
+   simply reopened for append, so an external [pti corpus ...] process
+   never destroys a live daemon's active log. *)
+let recover_wal t =
+  let files = wal_files t.dir in
+  let torn = ref false in
+  List.iter
+    (fun (seq, _) ->
+      let path = wal_path t.dir seq in
+      let scan = S.Wal.scan path in
+      if scan.S.Wal.ws_torn then begin
+        torn := true;
+        if not t.read_only then S.Wal.truncate path scan.S.Wal.ws_valid_bytes
+      end;
+      List.iter (replay_record t) scan.S.Wal.ws_records;
+      t.wal_records <- t.wal_records + List.length scan.S.Wal.ws_records;
+      t.wal_bytes <- t.wal_bytes + scan.S.Wal.ws_valid_bytes)
+    files;
+  if not t.read_only then begin
+    let max_seq = List.fold_left (fun a (s, _) -> Stdlib.max a s) (-1) files in
+    if List.length files > 1 then
+      (* consolidate under the lock so a racing external writer can't
+         observe (or produce) a second active log mid-swap *)
+      with_dir_lock t.dir (fun () ->
+          let seq = max_seq + 1 in
+          let w = S.Wal.open_writer (wal_path t.dir seq) in
+          List.iter
+            (fun (id, u) -> S.Wal.append w (wal_encode (W_insert (id, u))))
+            (List.rev t.mem);
+          S.Wal.sync w;
+          t.wal <- Some w;
+          t.wal_seq <- seq;
+          t.wal_records <- List.length t.mem;
+          t.wal_bytes <-
+            List.fold_left
+              (fun a (id, u) ->
+                a + S.Wal.header_bytes
+                + String.length (wal_encode (W_insert (id, u))))
+              0 t.mem;
+          List.iter (fun (s, _) -> S.Wal.remove (wal_path t.dir s)) files)
+    else begin
+      let seq = Stdlib.max max_seq 0 in
+      t.wal_seq <- seq;
+      t.wal <- Some (S.Wal.open_writer (wal_path t.dir seq));
+      if files = [] then begin
+        t.wal_records <- 0;
+        t.wal_bytes <- 0
+      end
+    end
+  end
+
+let open_dir ?(read_only = false) ?(verify = true)
+    ?(wal_sync = default_wal_sync) dir_ =
   if not (Sys.file_exists (manifest_path dir_)) then
     raise (Sys_error (dir_ ^ ": not a corpus directory (no MANIFEST)"));
-  of_manifest ~dir:dir_ ~read_only ~verify (read_manifest ~verify dir_)
+  let t =
+    of_manifest ~dir:dir_ ~read_only ~verify ~wal_sync
+      (read_manifest ~verify dir_)
+  in
+  recover_wal t;
+  if t.mem <> [] then Atomic.incr t.vversion;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Commit: durable manifest first, in-memory state second. The caller
@@ -377,10 +650,13 @@ let open_dir ?(read_only = false) ?(verify = true) dir_ =
    clearing the sealed documents from the memtable — splitting the two
    would let one query see a document both sealed and unsealed). *)
 
-let commit t ?(install = fun () -> ()) ~segs () =
+let commit t ?(install = fun () -> ()) ?quarantined ~segs () =
   let mem_gen = Atomic.get t.generation in
   let gen = mem_gen + 1 in
   let next_doc_id, seg_seq = locked t (fun () -> (t.next_doc_id, t.seg_seq)) in
+  let quarantined =
+    match quarantined with Some q -> q | None -> t.quarantined
+  in
   with_dir_lock t.dir (fun () ->
       (* commit-time check, race-free under the directory lock: if
          another process moved the manifest since this store loaded
@@ -389,12 +665,57 @@ let commit t ?(install = fun () -> ()) ~segs () =
       let disk_gen = disk_generation t.dir in
       if disk_gen <> mem_gen then
         raise (Conflict { dir = t.dir; disk_gen; mem_gen });
-      write_manifest ~dir:t.dir ~cfg:t.cfg ~gen ~next_doc_id ~seg_seq ~segs);
+      write_manifest ~dir:t.dir ~cfg:t.cfg ~gen ~next_doc_id ~seg_seq
+        ~quarantined ~segs);
   locked t (fun () ->
       Atomic.set t.generation gen;
       t.segs <- segs;
+      t.quarantined <- quarantined;
       Atomic.incr t.vversion;
       install ())
+
+(* Retire the write-ahead log after a commit emptied the memtable:
+   every record it holds is now manifest-covered, so the file can be
+   unlinked and a fresh (empty) one started — this is what bounds
+   replay to one memtable's worth of records. Caller holds [t.cm]
+   (seal/compact), so no concurrent seal races the swap; concurrent
+   inserts are handled by re-checking the memtable under [t.m] and
+   abandoning the rotation if one slipped in (its record is in the OLD
+   file, which must then survive). *)
+let rotate_wal t =
+  if (not t.read_only) && t.wal <> None then begin
+    let want = locked t (fun () -> t.mem = [] && t.wal_records > 0) in
+    if want then begin
+      let new_seq = t.wal_seq + 1 in
+      let nw = S.Wal.open_writer (wal_path t.dir new_seq) in
+      let retired =
+        locked t (fun () ->
+            if t.mem <> [] then None
+            else begin
+              Mutex.lock t.wm;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock t.wm)
+                (fun () ->
+                  let old = t.wal in
+                  t.wal <- Some nw;
+                  t.wal_dirty <- false;
+                  (match old with Some w -> S.Wal.close w | None -> ()));
+              let old_seq = t.wal_seq in
+              t.wal_seq <- new_seq;
+              t.wal_records <- 0;
+              t.wal_bytes <- 0;
+              Some old_seq
+            end)
+      in
+      (* the unlink (and its directory fsync) happens outside [t.m] so
+         a rotation never stalls the read path *)
+      match retired with
+      | Some old_seq -> S.Wal.remove (wal_path t.dir old_seq)
+      | None ->
+          S.Wal.close nw;
+          S.Wal.remove (wal_path t.dir new_seq)
+    end
+  end
 
 let check_writable t name =
   if t.read_only then invalid_arg ("Segment_store." ^ name ^ ": read-only store")
@@ -442,6 +763,12 @@ let seal t =
       | [] -> false
       | docs ->
           ignore (F.hit "segment.seal" : int option);
+          (* marker record: closes this memtable's run in the log, so a
+             post-crash forensic read of a retired-late WAL shows where
+             the durable boundary was *)
+          locked t (fun () ->
+              wal_append_locked t (W_seal (Atomic.get t.generation + 1)));
+          wal_flush t;
           let ids = Array.of_list (List.map fst docs) in
           let l =
             match cached with
@@ -484,6 +811,11 @@ let seal t =
               locked t (fun () ->
                   if t.seg_seq = reserved + 1 then t.seg_seq <- reserved);
               raise e);
+          (* the commit emptied the memtable (unless a concurrent
+             insert slipped in): every WAL record is now
+             manifest-covered, so retire the log — this bounds replay
+             to one memtable *)
+          rotate_wal t;
           true)
 
 (* ------------------------------------------------------------------ *)
@@ -495,6 +827,9 @@ let insert t u =
   let id, want_seal =
     locked t (fun () ->
         let id = t.next_doc_id in
+        (* log first, mutate second: if the append raises (disk full,
+           injected fault) no state changed and the id was not burned *)
+        wal_append_locked t (W_insert (id, u));
         t.next_doc_id <- id + 1;
         t.mem <- (id, u) :: t.mem;
         t.mem_engine <- None;
@@ -503,23 +838,9 @@ let insert t u =
           t.cfg.memtable_max_docs > 0
           && List.length t.mem >= t.cfg.memtable_max_docs ))
   in
+  wal_flush t;
   if want_seal then ignore (seal t : bool);
   id
-
-(* strictly-ascending id map: binary search for [id], None if absent *)
-let slot_of_id ids n id =
-  let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
-  while !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let v = S.Ints.get ids mid in
-    if v = id then begin
-      found := mid;
-      lo := !hi + 1
-    end
-    else if v < id then lo := mid + 1
-    else hi := mid - 1
-  done;
-  if !found >= 0 then Some !found else None
 
 let delete t id =
   check_writable t "delete";
@@ -527,6 +848,7 @@ let delete t id =
       let removed_from_mem =
         locked t (fun () ->
             if List.mem_assoc id t.mem then begin
+              wal_append_locked t (W_delete id);
               t.mem <- List.remove_assoc id t.mem;
               t.mem_engine <- None;
               Atomic.incr t.vversion;
@@ -534,7 +856,10 @@ let delete t id =
             end
             else false)
       in
-      if removed_from_mem then true
+      if removed_from_mem then begin
+        wal_flush t;
+        true
+      end
       else begin
         (* [t.segs] is stable while [t.cm] is held — every mutator of
            the segment list takes the commit lock *)
@@ -697,7 +1022,11 @@ let high_tombstone segs =
 (* caller holds [t.m] *)
 let candidates ~force t =
   let viable inputs =
-    List.length inputs >= 2 || List.exists (fun s -> s.sg_dead > 0) inputs
+    List.length inputs >= 2
+    || List.exists (fun s -> s.sg_dead > 0) inputs
+    (* a pending quarantine makes any rewrite worthwhile: the commit is
+       what clears the degradation marker (read-repair, DESIGN.md §15) *)
+    || (t.quarantined <> [] && inputs <> [])
   in
   let inputs =
     if force then t.segs
@@ -815,7 +1144,9 @@ let compact ?(force = false) t =
               let segs' =
                 match out with None -> keep | Some seg -> keep @ [ seg ]
               in
-              commit t ~segs:segs' ();
+              (* the rewrite re-verified everything that survived, so a
+                 successful compaction clears the degraded marker *)
+              commit t ~segs:segs' ~quarantined:[] ();
               (* The new generation is durable; the inputs and any
                  orphans older transitions left behind are garbage.
                  Two guards make unlinking safe against writers whose
@@ -842,7 +1173,8 @@ let compact ?(force = false) t =
                     when seq < watermark && not (List.mem name referenced) -> (
                       try Sys.remove (seg_path t name) with Sys_error _ -> ())
                   | _ -> ())
-                (try Sys.readdir t.dir with Sys_error _ -> [||]));
+                (try Sys.readdir t.dir with Sys_error _ -> [||]);
+              rotate_wal t);
           true)
 
 (* ------------------------------------------------------------------ *)
@@ -881,6 +1213,7 @@ let reload t =
         in
         locked t (fun () ->
             t.segs <- segs;
+            t.quarantined <- m.mf_quarantine;
             Atomic.set t.generation m.mf_gen;
             t.next_doc_id <- Stdlib.max t.next_doc_id m.mf_next_doc_id;
             t.seg_seq <- Stdlib.max t.seg_seq m.mf_seg_seq;
@@ -900,6 +1233,9 @@ type stats = {
   st_tombstones : int;
   st_segment_bytes : int;
   st_next_doc_id : int;
+  st_degraded_segments : int;
+  st_wal_records : int;
+  st_wal_bytes : int;
 }
 
 let stats t =
@@ -914,11 +1250,106 @@ let stats t =
         st_tombstones = dead;
         st_segment_bytes = List.fold_left (fun a s -> a + s.sg_bytes) 0 t.segs;
         st_next_doc_id = t.next_doc_id;
+        st_degraded_segments = List.length t.quarantined;
+        st_wal_records = t.wal_records;
+        st_wal_bytes = t.wal_bytes;
       })
 
 let tombstone_ratio st =
   let total = st.st_live_docs + st.st_tombstones in
   if total = 0 then 0.0 else float_of_int st.st_tombstones /. float_of_int total
+
+(* ------------------------------------------------------------------ *)
+(* Integrity scrubbing *)
+
+type scrub_report = {
+  sc_scanned : int;
+  sc_bytes : int;
+  sc_corrupt : (string * string) list;
+  sc_quarantined : int;
+  sc_io_errors : int;
+}
+
+(* Evict the named segments through a normal manifest commit. The
+   rename into quarantine/ happens BEFORE the commit — the other order
+   would let compact's orphan sweep unlink the evidence, or leave a
+   committed manifest referencing a file we then fail to move — and is
+   rolled back if the commit raises (Conflict, injected fault), so the
+   store never ends up with a manifest naming a segment that is not
+   where the manifest says. In-flight query snapshots keep their mmap
+   of a renamed file: the inode lives on until they drop it. *)
+let quarantine_segments t names =
+  if names = [] then 0
+  else
+    committing t (fun () ->
+        let cur = locked t (fun () -> t.segs) in
+        (* a concurrent compaction may have already retired a victim *)
+        let victims = List.filter (fun s -> List.mem s.sg_name names) cur in
+        if victims = [] then 0
+        else begin
+          let qdir = Filename.concat t.dir quarantine_dir_name in
+          if not (Sys.file_exists qdir) then Unix.mkdir qdir 0o755;
+          let moved = ref [] in
+          (try
+             List.iter
+               (fun s ->
+                 Unix.rename (seg_path t s.sg_name)
+                   (Filename.concat qdir s.sg_name);
+                 moved := s.sg_name :: !moved)
+               victims;
+             let victim_names = List.map (fun s -> s.sg_name) victims in
+             let keep =
+               List.filter (fun s -> not (List.mem s.sg_name victim_names)) cur
+             in
+             let q = locked t (fun () -> t.quarantined) in
+             commit t ~segs:keep ~quarantined:(q @ victim_names) ()
+           with e ->
+             List.iter
+               (fun n ->
+                 try Unix.rename (Filename.concat qdir n) (seg_path t n)
+                 with Unix.Unix_error _ -> ())
+               !moved;
+             raise e);
+          List.length victims
+        end)
+
+let scrub ?(budget_mb_s = 0.0) t =
+  let snapshot =
+    locked t (fun () -> List.map (fun s -> (s.sg_name, s.sg_bytes)) t.segs)
+  in
+  let scanned = ref 0 and bytes = ref 0 and io_errors = ref 0 in
+  let corrupt = ref [] in
+  List.iter
+    (fun (name, size) ->
+      (match
+         ignore (F.hit "scrub.read" : int option);
+         (* a fresh verifying reader re-walks every section checksum
+            against the bytes on disk right now — rot that crept in
+            after the serving mmap was established is still caught *)
+         ignore (S.Reader.open_file ~verify:true (seg_path t name) : S.Reader.t)
+       with
+      | () ->
+          incr scanned;
+          bytes := !bytes + size
+      | exception S.Corrupt { section; reason = _ } ->
+          incr scanned;
+          bytes := !bytes + size;
+          corrupt := (name, section) :: !corrupt
+      | exception (Unix.Unix_error _ | Sys_error _) -> incr io_errors);
+      if budget_mb_s > 0.0 && size > 0 then
+        Unix.sleepf (float_of_int size /. (budget_mb_s *. 1024. *. 1024.)))
+    snapshot;
+  let corrupt = List.rev !corrupt in
+  let quarantined =
+    if t.read_only then 0 else quarantine_segments t (List.map fst corrupt)
+  in
+  {
+    sc_scanned = !scanned;
+    sc_bytes = !bytes;
+    sc_corrupt = corrupt;
+    sc_quarantined = quarantined;
+    sc_io_errors = !io_errors;
+  }
 
 (* referenced below to keep Sym in the interface's type expressions
    without an unused-module warning under strict flags *)

@@ -71,6 +71,33 @@ type config = {
 
 val default_config : tau_min:float -> config
 
+(** When the write-ahead log is fsynced. Every [insert]/[delete]/[seal]
+    {e appends} its record synchronously under any policy, so unsealed
+    documents always survive a process crash (the bytes are in the page
+    cache); the policy only decides what survives an OS crash or power
+    loss:
+
+    - [Wal_always]: fsync before the mutation returns — every
+      acknowledged operation survives power loss;
+    - [Wal_interval ms]: fsync at most every [ms] milliseconds
+      (opportunistically on the next mutation, or from {!sync_wal});
+      power loss can drop at most the last window of acknowledged
+      operations;
+    - [Wal_never]: never fsync the log (the OS flushes eventually).
+
+    Manifest commits (seal, sealed-document deletes, compaction) are
+    always fully fsynced regardless of this policy. *)
+type wal_sync = Wal_always | Wal_interval of float | Wal_never
+
+val default_wal_sync : wal_sync
+(** [Wal_interval 5.0]. *)
+
+val wal_sync_of_string : string -> wal_sync
+(** Parse ["always"], ["interval:<ms>"] (ms > 0) or ["never"] — the
+    [--wal-sync] CLI syntax. Raises [Failure] on anything else. *)
+
+val wal_sync_to_string : wal_sync -> string
+
 exception Conflict of { dir : string; disk_gen : int; mem_gen : int }
 (** Raised by a mutation's manifest commit ({!seal}, {!delete},
     {!compact}, or an auto-sealing {!insert}) when the on-disk
@@ -81,18 +108,32 @@ exception Conflict of { dir : string; disk_gen : int; mem_gen : int }
 
 type t
 
-val create : ?config:config -> string -> t
+val create : ?config:config -> ?wal_sync:wal_sync -> string -> t
 (** Initialize [dir] as an empty corpus: create the directory if
-    missing and write the generation-0 manifest. Raises
-    [Invalid_argument] if a manifest already exists there. *)
+    missing, write the generation-0 manifest and start the write-ahead
+    log ([wal-000000.log]). Raises [Invalid_argument] if a manifest
+    already exists there. *)
 
-val open_dir : ?read_only:bool -> ?verify:bool -> string -> t
+val open_dir :
+  ?read_only:bool -> ?verify:bool -> ?wal_sync:wal_sync -> string -> t
 (** Open an existing corpus directory. [read_only] (default [false])
     refuses every mutation — the mode verifiers and external readers
     use. [verify] (default [true]) checksums each container at open.
+
+    Any [wal-NNNNNN.log] files are {e replayed} on top of the manifest
+    generation, restoring unsealed memtable documents and deletes that
+    were acknowledged before a crash. Replay is idempotent (a record
+    whose document the manifest already seals is skipped), a torn tail
+    is truncated at the first bad checksum (in-memory only when
+    [read_only]), and a bad record in the {e middle} of a log — valid
+    records after it — raises [Pti_storage.Corrupt] rather than
+    silently dropping acknowledged operations. A writable open then
+    consolidates multiple log files (a crash mid-rotation leaves at
+    most two) into one fresh fsynced log under the directory lock.
+
     Raises [Sys_error] if there is no manifest,
-    [Pti_storage.Corrupt] if the manifest or a referenced segment is
-    damaged. *)
+    [Pti_storage.Corrupt] if the manifest, a referenced segment or the
+    middle of a WAL file is damaged. *)
 
 val dir : t -> string
 
@@ -109,10 +150,11 @@ val version : t -> int
 
 val insert : t -> U.t -> int
 (** Add a document; returns its corpus-wide id (ids are never reused).
-    May auto-{!seal} per [memtable_max_docs]. Memtable contents are
-    volatile until sealed: a crash loses unsealed documents (and their
-    ids were never durable). Raises [Invalid_argument] on an empty
-    document or a read-only store. *)
+    May auto-{!seal} per [memtable_max_docs]. The document is appended
+    to the write-ahead log before this returns (fsynced per the
+    store's {!wal_sync} policy), so an acknowledged insert survives a
+    crash: {!open_dir} replays it back into the memtable. Raises
+    [Invalid_argument] on an empty document or a read-only store. *)
 
 val delete : t -> int -> bool
 (** Remove a document by id: dropped from the memtable if unsealed,
@@ -170,6 +212,13 @@ type stats = {
   st_tombstones : int;  (** Sealed documents awaiting compaction. *)
   st_segment_bytes : int;  (** Total bytes of live segment files. *)
   st_next_doc_id : int;
+  st_degraded_segments : int;
+      (** Segments the scrubber quarantined (manifest-recorded); their
+          documents are unreachable until restored by an operator.
+          Queries keep answering from the survivors — degraded, not
+          down. Reset to 0 by the next successful {!compact}. *)
+  st_wal_records : int;  (** Records in the active write-ahead log. *)
+  st_wal_bytes : int;  (** Bytes of the active write-ahead log. *)
 }
 
 val stats : t -> stats
@@ -177,6 +226,53 @@ val stats : t -> stats
 val tombstone_ratio : stats -> float
 (** [st_tombstones / (st_live_docs + st_tombstones)] ([0.] when the
     corpus has no sealed documents). *)
+
+val wal_policy : t -> wal_sync
+
+val sync_wal : t -> unit
+(** Fsync the write-ahead log now if it has unflushed records and the
+    policy is not [Wal_never] — the idle-flusher hook for
+    [Wal_interval] stores (the serve daemon calls it from its
+    background loop so an acknowledged insert is not left unfsynced
+    forever just because traffic stopped). No-op on read-only
+    stores. *)
+
+(** {2 Integrity scrubbing}
+
+    Long-lived on-disk segments rot: a flipped bit in a months-old
+    compressed segment would otherwise surface as silently wrong query
+    answers (array sections are only checksummed at open). {!scrub}
+    re-walks every live segment's section checksums; a segment that
+    fails is {e quarantined} — moved into the [quarantine/]
+    subdirectory and evicted through a normal manifest commit, so
+    queries degrade gracefully (the survivors keep answering,
+    {!stats}.[st_degraded_segments] counts the loss) instead of the
+    scatter-gather crashing or serving garbage. A subsequent
+    {!compact} rewrites the survivors and clears the degraded marker —
+    the corpus is fully verified again. Failpoint: ["scrub.read"]. *)
+
+type scrub_report = {
+  sc_scanned : int;  (** Segments whose checksums were re-walked. *)
+  sc_bytes : int;  (** Bytes covered by the walk. *)
+  sc_corrupt : (string * string) list;
+      (** (segment file, damaged section) per detected corruption. *)
+  sc_quarantined : int;
+      (** How many of those were moved to [quarantine/] and evicted
+          via a manifest commit (0 on a read-only store — it only
+          reports). *)
+  sc_io_errors : int;  (** Segments unreadable at the OS level. *)
+}
+
+val scrub : ?budget_mb_s:float -> t -> scrub_report
+(** Verify every live segment, quarantining failures (writable stores
+    only). [budget_mb_s] (default 0 = unthrottled) caps the scan's IO
+    rate by sleeping between segments. Safe concurrently with queries
+    and mutations: in-flight snapshots keep their mmap of a renamed
+    segment. Raises {!Conflict} like any committing mutation if an
+    external writer raced the quarantine commit. *)
+
+val quarantine_dir_name : string
+(** ["quarantine"] — subdirectory corrupt segments are moved into. *)
 
 val manifest_name : string
 (** ["MANIFEST"] — the manifest's file name within a corpus dir. *)

@@ -87,6 +87,11 @@ type t = {
   rcache_misses : int Atomic.t;
   rcache_waits : int Atomic.t;
   rcache_invalidations : int Atomic.t;
+  (* background integrity scrubber (see Segment_store.scrub) *)
+  scrub_passes : int Atomic.t;
+  scrub_segments : int Atomic.t;
+  scrub_corrupt : int Atomic.t;
+  scrub_quarantined : int Atomic.t;
 }
 
 let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
@@ -123,6 +128,10 @@ let create () =
     rcache_misses = Atomic.make 0;
     rcache_waits = Atomic.make 0;
     rcache_invalidations = Atomic.make 0;
+    scrub_passes = Atomic.make 0;
+    scrub_segments = Atomic.make 0;
+    scrub_corrupt = Atomic.make 0;
+    scrub_quarantined = Atomic.make 0;
   }
 
 let incr a = Atomic.incr a
@@ -200,6 +209,16 @@ let result_cache_hits t = Atomic.get t.rcache_hits
 let result_cache_misses t = Atomic.get t.rcache_misses
 let result_cache_waits t = Atomic.get t.rcache_waits
 let result_cache_invalidations t = Atomic.get t.rcache_invalidations
+
+let record_scrub_pass t ~segments ~corrupt ~quarantined =
+  Atomic.incr t.scrub_passes;
+  ignore (Atomic.fetch_and_add t.scrub_segments segments : int);
+  ignore (Atomic.fetch_and_add t.scrub_corrupt corrupt : int);
+  ignore (Atomic.fetch_and_add t.scrub_quarantined quarantined : int)
+
+let scrub_passes t = Atomic.get t.scrub_passes
+let scrub_corrupt t = Atomic.get t.scrub_corrupt
+let scrub_quarantined t = Atomic.get t.scrub_quarantined
 
 let record_latency ?(batched = false) t ~kind ~seconds =
   let hs = if batched then t.hists_batched else t.hists in
@@ -339,6 +358,14 @@ let to_json ?cache_shards ?result_cache ?corpora t ~queue_depth =
        (Atomic.get t.gc_major_words)
        (Atomic.get t.gc_minor_collections)
        (Atomic.get t.gc_major_collections));
+  field false "scrub"
+    (Printf.sprintf
+       "{\"passes\":%d,\"segments_checked\":%d,\"corrupt\":%d,\
+        \"quarantined\":%d}"
+       (Atomic.get t.scrub_passes)
+       (Atomic.get t.scrub_segments)
+       (Atomic.get t.scrub_corrupt)
+       (Atomic.get t.scrub_quarantined));
   (* pre-rendered by the server, which owns the segment stores *)
   (match corpora with None -> () | Some json -> field false "corpora" json);
   field false "dropped_replies" (string_of_int (Atomic.get t.dropped_replies));

@@ -123,6 +123,16 @@ val result_cache_misses : t -> int
 val result_cache_waits : t -> int
 val result_cache_invalidations : t -> int
 
+val record_scrub_pass :
+  t -> segments:int -> corrupt:int -> quarantined:int -> unit
+(** One completed scrubber pass over a corpus: how many segments were
+    checksum-walked, how many failed, how many were evicted to
+    quarantine (see {!Pti_segment.Segment_store.scrub}). *)
+
+val scrub_passes : t -> int
+val scrub_corrupt : t -> int
+val scrub_quarantined : t -> int
+
 val batches : t -> int
 (** Batched drain rounds executed by workers. *)
 

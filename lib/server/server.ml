@@ -33,6 +33,8 @@ type config = {
   batch_max : int;
   result_cache_mb : int;
   compact_interval_ms : float;
+  scrub_interval_ms : float;
+  scrub_mb_s : float;
 }
 
 let default_config =
@@ -52,6 +54,8 @@ let default_config =
     batch_max = 32;
     result_cache_mb = 64;
     compact_interval_ms = 50.0;
+    scrub_interval_ms = 600_000.0;
+    scrub_mb_s = 64.0;
   }
 
 (* Per-connection read buffer: a growable byte window [start, start+len)
@@ -154,6 +158,13 @@ let create ?(config = default_config) sources =
   if config.batch_max < 1 then invalid_arg "Server.create: batch_max < 1";
   if config.result_cache_mb < 0 then
     invalid_arg "Server.create: result_cache_mb < 0";
+  if
+    Float.is_nan config.compact_interval_ms || config.compact_interval_ms < 0.0
+  then invalid_arg "Server.create: compact_interval_ms < 0";
+  if Float.is_nan config.scrub_interval_ms || config.scrub_interval_ms < 0.0
+  then invalid_arg "Server.create: scrub_interval_ms < 0";
+  if Float.is_nan config.scrub_mb_s || config.scrub_mb_s < 0.0 then
+    invalid_arg "Server.create: scrub_mb_s < 0";
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -226,13 +237,18 @@ let corpora_json t =
                   "{\"dir\":\"%s\",\"generation\":%d,\"segments\":%d,\
                    \"segment_bytes\":%d,\"memtable_docs\":%d,\
                    \"memtable_bytes\":%d,\"live_docs\":%d,\"tombstones\":%d,\
-                   \"tombstone_ratio\":%.4f}"
+                   \"tombstone_ratio\":%.4f,\"degraded_segments\":%d,\
+                   \"wal_records\":%d,\"wal_bytes\":%d,\"wal_sync\":\"%s\"}"
                   (json_escape (Store.dir store))
                   st.Store.st_generation st.Store.st_segments
                   st.Store.st_segment_bytes st.Store.st_memtable_docs
                   st.Store.st_memtable_bytes st.Store.st_live_docs
                   st.Store.st_tombstones
-                  (Store.tombstone_ratio st))
+                  (Store.tombstone_ratio st)
+                  st.Store.st_degraded_segments st.Store.st_wal_records
+                  st.Store.st_wal_bytes
+                  (json_escape
+                     (Store.wal_sync_to_string (Store.wal_policy store))))
          | _ -> None)
   in
   match items with
@@ -955,7 +971,70 @@ let run t =
                        Printf.eprintf "pti: compaction %s: %s\n%!" (Store.dir s)
                          (Printexc.to_string e))
                  corpora;
+               (* idle WAL flush: an acknowledged insert on a
+                  Wal_interval store must not sit unfsynced forever
+                  just because traffic stopped *)
+               List.iter
+                 (fun s -> try Store.sync_wal s with _ -> ())
+                 corpora;
                Unix.sleepf (t.cfg.compact_interval_ms /. 1000.0)
+             done))
+  in
+  (* Background scrubber: periodically re-walks every live segment's
+     section checksums at a bounded IO rate. A corrupt segment is
+     quarantined through a manifest commit (queries degrade, they do
+     not crash), then read-repair is attempted: a forced compaction
+     rewrites the survivors and clears the degraded marker. *)
+  let scrubber =
+    if corpora = [] || t.cfg.scrub_interval_ms <= 0.0 then None
+    else
+      Some
+        (Domain.spawn (fun () ->
+             (* sleep in short slices so stop is prompt despite the
+                long interval *)
+             let sleep_until deadline =
+               while
+                 (not (Atomic.get t.stop_flag))
+                 && Unix.gettimeofday () < deadline
+               do
+                 Unix.sleepf
+                   (Stdlib.min 0.05 (deadline -. Unix.gettimeofday ()))
+               done
+             in
+             while not (Atomic.get t.stop_flag) do
+               sleep_until
+                 (Unix.gettimeofday () +. (t.cfg.scrub_interval_ms /. 1000.0));
+               if not (Atomic.get t.stop_flag) then
+                 List.iter
+                   (fun s ->
+                     try
+                       let r = Store.scrub ~budget_mb_s:t.cfg.scrub_mb_s s in
+                       Metrics.record_scrub_pass t.metrics
+                         ~segments:r.Store.sc_scanned
+                         ~corrupt:(List.length r.Store.sc_corrupt)
+                         ~quarantined:r.Store.sc_quarantined;
+                       List.iter
+                         (fun (seg, section) ->
+                           Printf.eprintf
+                             "pti: scrub %s: %s: corrupt section %s, \
+                              quarantined\n\
+                              %!"
+                             (Store.dir s) seg section)
+                         r.Store.sc_corrupt;
+                       if r.Store.sc_quarantined > 0 then
+                         (* read-repair: rewrite the survivors so the
+                            corpus is fully verified again *)
+                         ignore (Store.compact ~force:true s : bool)
+                     with
+                     | Store.Conflict _ -> (
+                         try ignore (Store.reload s : bool)
+                         with e ->
+                           Printf.eprintf "pti: corpus reload %s: %s\n%!"
+                             (Store.dir s) (Printexc.to_string e))
+                     | e ->
+                         Printf.eprintf "pti: scrub %s: %s\n%!" (Store.dir s)
+                           (Printexc.to_string e))
+                   corpora
              done))
   in
   (* Readiness set: level-triggered readable events, no FD_SETSIZE
@@ -1143,6 +1222,7 @@ let run t =
   Bq.close t.queue;
   join_workers t;
   Option.iter Domain.join compactor;
+  Option.iter Domain.join scrubber;
   (* workers are joined, so every try_close below succeeds *)
   Hashtbl.iter (fun _ conn -> ignore (try_close conn)) conns;
   List.iter (fun conn -> ignore (try_close conn)) !pending;

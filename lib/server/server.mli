@@ -98,7 +98,23 @@ type config = {
           one source is a [Source_corpus]; each tick it runs
           {!Pti_segment.Segment_store.compact} on every corpus whose
           size-tiered policy triggers, recording the merge duration
-          under the ["compact"] latency kind. *)
+          under the ["compact"] latency kind. The same tick flushes
+          each corpus's write-ahead log ({!Pti_segment.Segment_store.sync_wal}),
+          bounding how long an acknowledged insert can sit unfsynced
+          under an interval sync policy on an idle daemon. *)
+  scrub_interval_ms : float;
+      (** Period of the background integrity scrubber domain (default
+          600000 — ten minutes; [0] disables it). Each pass re-walks
+          every live segment's section checksums
+          ({!Pti_segment.Segment_store.scrub}), quarantines corrupt
+          segments through a manifest commit (queries degrade rather
+          than crash; the eviction shows up as [degraded_segments] in
+          the stats JSON and in the [scrub] metrics block) and then
+          attempts read-repair via a forced compaction. Spawned only
+          when at least one source is a [Source_corpus]. *)
+  scrub_mb_s : float;
+      (** IO budget of a scrub pass in MB/s (default 64; [0] =
+          unthrottled). *)
 }
 
 val default_config : config

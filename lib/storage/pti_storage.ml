@@ -824,3 +824,177 @@ module Reader = struct
         })
       r.order
 end
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead log framing: a flat stream of length-prefixed,
+   FNV-checksummed records, the durability layer under the segment
+   store's memtable (DESIGN.md §15). One record is
+
+     payload length   (8 bytes LE)
+     FNV-1a checksum  (8 bytes LE, over the length then the payload,
+                       seeded like every container checksum)
+     payload          (opaque bytes)
+
+   with no padding, so the file is valid iff it is a prefix of
+   appended records plus at most one torn tail. [scan] recovers the
+   longest valid prefix: a record that fails its checksum is a torn
+   tail (dropped, truncation offset reported) UNLESS complete valid
+   records follow it — corruption in the MIDDLE of the log cannot be
+   repaired by truncation without silently dropping later acknowledged
+   operations, so that raises [Corrupt] instead of guessing.
+   Failpoints: "wal.append" (short writes, errno, abort mid-append),
+   "wal.fsync", "wal.replay" (hit once per record scanned). *)
+
+module Wal = struct
+  let fp_append = "wal.append"
+  let fp_fsync = "wal.fsync"
+  let fp_replay = "wal.replay"
+
+  let header_bytes = 16
+
+  (* Byte-wise FNV-1a over the 8 little-endian length bytes then the
+     payload; masked positive so the on-disk LE encoding is stable. *)
+  let record_checksum payload =
+    let h = ref checksum_seed in
+    let fold b = h := (!h lxor b) * fnv_prime in
+    let len = String.length payload in
+    for i = 0 to 7 do
+      fold ((len lsr (8 * i)) land 0xff)
+    done;
+    String.iter (fun c -> fold (Char.code c)) payload;
+    !h land max_int
+
+  type writer = { w_fd : Unix.file_descr; w_path : string }
+
+  let open_writer path =
+    let fd =
+      Unix.openfile path
+        [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ]
+        0o644
+    in
+    { w_fd = fd; w_path = path }
+
+  let writer_path w = w.w_path
+
+  (* Write the whole record with one buffer so an O_APPEND append is a
+     single write(2) in the common case; retry EINTR and continue
+     after (possibly injected) short writes like [write_retry]. *)
+  let append w payload =
+    let len = String.length payload in
+    let buf = Bytes.create (header_bytes + len) in
+    Bytes.set_int64_le buf 0 (Int64.of_int len);
+    Bytes.set_int64_le buf 8 (Int64.of_int (record_checksum payload));
+    Bytes.blit_string payload 0 buf header_bytes len;
+    let rec go off rem =
+      if rem > 0 then begin
+        let n =
+          match
+            match Pti_fault.hit fp_append with
+            | Some short ->
+                Unix.write w.w_fd buf off (Stdlib.min rem (Stdlib.max 1 short))
+            | None -> Unix.write w.w_fd buf off rem
+          with
+          | n -> n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        in
+        go (off + n) (rem - n)
+      end
+    in
+    go 0 (header_bytes + len)
+
+  let sync w =
+    ignore (Pti_fault.hit fp_fsync : int option);
+    let rec go () =
+      try Unix.fsync w.w_fd
+      with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+  let close w = try Unix.close w.w_fd with Unix.Unix_error _ -> ()
+
+  type scan = {
+    ws_records : string list;
+    ws_valid_bytes : int;
+    ws_torn : bool;
+  }
+
+  let read_whole path =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+  (* [true] iff at least one complete, checksum-valid record starts at
+     [o] or can be parsed by walking claimed record boundaries from
+     there — the evidence that a bad record at an earlier offset is
+     middle corruption, not a torn tail. *)
+  let rec valid_record_after data size o =
+    if size - o < header_bytes then false
+    else
+      let len = Int64.to_int (String.get_int64_le data o) in
+      if len < 0 || len > size - o - header_bytes then false
+      else
+        let sum = Int64.to_int (String.get_int64_le data (o + 8)) in
+        let payload = String.sub data (o + header_bytes) len in
+        record_checksum payload = sum
+        || valid_record_after data size (o + header_bytes + len)
+
+  let scan path =
+    match read_whole path with
+    | None -> { ws_records = []; ws_valid_bytes = 0; ws_torn = false }
+    | Some data ->
+        let size = String.length data in
+        let rec go o acc =
+          if o = size then
+            { ws_records = List.rev acc; ws_valid_bytes = o; ws_torn = false }
+          else begin
+            ignore (Pti_fault.hit fp_replay : int option);
+            let torn () =
+              { ws_records = List.rev acc; ws_valid_bytes = o; ws_torn = true }
+            in
+            if size - o < header_bytes then torn ()
+            else
+              let len = Int64.to_int (String.get_int64_le data o) in
+              if len < 0 || len > size - o - header_bytes then torn ()
+              else
+                let sum = Int64.to_int (String.get_int64_le data (o + 8)) in
+                let payload = String.sub data (o + header_bytes) len in
+                if record_checksum payload <> sum then
+                  if valid_record_after data size (o + header_bytes + len) then
+                    raise
+                      (Corrupt
+                         {
+                           section = "wal";
+                           reason =
+                             Printf.sprintf
+                               "%s: bad record checksum at offset %d with \
+                                valid records after it — corrupt middle, \
+                                refusing to truncate"
+                               path o;
+                         })
+                  else torn ()
+                else go (o + header_bytes + len) (payload :: acc)
+          end
+        in
+        go 0 []
+
+  let truncate path n =
+    match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CLOEXEC ] 0o644 with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.ftruncate fd n;
+            let rec go () =
+              try Unix.fsync fd
+              with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            in
+            go ())
+
+  let remove path =
+    (try Sys.remove path with Sys_error _ -> ());
+    fsync_dir path
+end

@@ -244,3 +244,64 @@ module Reader : sig
       status (recomputing checksums for sections not yet verified) —
       powers [pti stats <index-file>]. *)
 end
+
+(** {2 Write-ahead log framing}
+
+    A flat stream of length-prefixed, FNV-checksummed records — the
+    durability layer the segment store's memtable hangs off (DESIGN.md
+    §15). One record is an 8-byte LE payload length, an 8-byte LE
+    FNV-1a checksum (folded over the length bytes then the payload,
+    seeded like every container checksum) and the opaque payload, with
+    no padding. Appends are single [write(2)] calls on an [O_APPEND]
+    descriptor, so concurrent appenders interleave whole records.
+
+    Failpoints: ["wal.append"] (errno / short-write / abort on the
+    record write), ["wal.fsync"], ["wal.replay"] (hit once per record
+    scanned — an abort here is a crash mid-recovery). *)
+module Wal : sig
+  type writer
+
+  val header_bytes : int
+  (** Per-record framing overhead: 8-byte length + 8-byte checksum. *)
+
+  val open_writer : string -> writer
+  (** Open (creating if missing) for appends. *)
+
+  val writer_path : writer -> string
+
+  val append : writer -> string -> unit
+  (** Append one record. EINTR and short writes are retried to
+      completion; an error mid-record leaves a torn tail that the next
+      {!scan} truncates. Does NOT fsync — see {!sync}. *)
+
+  val sync : writer -> unit
+  (** [fsync] the log; after it returns every previously appended
+      record survives power loss (modulo the directory entry of a
+      freshly created file, which the caller's dir-fsync covers). *)
+
+  val close : writer -> unit
+
+  type scan = {
+    ws_records : string list;  (** Valid record payloads, file order. *)
+    ws_valid_bytes : int;
+        (** Offset of the first torn byte (the file size when clean) —
+            what {!truncate} should cut to. *)
+    ws_torn : bool;  (** A torn tail was dropped. *)
+  }
+
+  val scan : string -> scan
+  (** Parse the longest valid record prefix. A record failing its
+      checksum is a torn tail (dropped and reported) {e unless}
+      complete valid records follow it, which is mid-log corruption —
+      truncating there would silently drop later acknowledged
+      operations, so it raises {!Corrupt} ([section = "wal"]) instead.
+      A missing file scans as empty. *)
+
+  val truncate : string -> int -> unit
+  (** Cut the file to this many bytes and fsync it (missing file
+      ignored) — how a torn tail found by {!scan} is retired. *)
+
+  val remove : string -> unit
+  (** Unlink (missing file ignored) and fsync the directory — how a
+      fully rotated log is retired. *)
+end

@@ -200,4 +200,92 @@ segs=$(ls "$CORP" | grep -c '^seg-.*\.pti$') || true
     || { echo "chaos-smoke: corpus stats disagree after compaction" >&2; exit 1; }
 echo "chaos-smoke: compaction recovered cleanly after the aborted attempts"
 
+# ------------------------------------------------------------------
+# Write-ahead log (DESIGN.md §15): an acknowledged insert survives a
+# crash before the seal, a torn tail is truncated (never misparsed),
+# and a crash during replay itself loses nothing.
+
+WCORP="$DIR/wal-corpus"
+"$PTI" corpus init "$WCORP" --memtable-max 0 --wal-sync always
+
+# Abort on the 3rd WAL append: exactly the first two documents of the
+# batch were acknowledged and logged; recovery must surface exactly
+# those two, replay-pending in the memtable.
+rc=0
+PTI_FAILPOINTS="wal.append:abort@3" \
+    "$PTI" corpus insert "$WCORP" -i "$DIR/corpus-docs.txt" --wal-sync always \
+    >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 70 ] || { echo "chaos-smoke: abort mid-append: expected exit 70, got $rc" >&2; exit 1; }
+"$PTI" corpus stats "$WCORP" --json | grep -q '"wal_records":2' \
+    || { echo "chaos-smoke: expected exactly 2 recovered WAL records" >&2; "$PTI" corpus stats "$WCORP" --json >&2; exit 1; }
+"$PTI" corpus stats "$WCORP" --json | grep -q '"memtable_docs":2' \
+    || { echo "chaos-smoke: recovered WAL records did not rebuild the memtable" >&2; exit 1; }
+echo "chaos-smoke: abort mid-append recovered exactly the acked inserts"
+
+# A torn tail — half a record, as a crash mid-write(2) would leave —
+# must be truncated by the next writable open, keeping every complete
+# record before it.
+WAL=$(ls "$WCORP" | grep '^wal-.*\.log$' | head -n 1)
+printf 'torn-garbage' >> "$WCORP/$WAL"
+"$PTI" corpus flush "$WCORP" --wal-sync always 2>/dev/null \
+    || { echo "chaos-smoke: writable open failed to truncate a torn tail" >&2; exit 1; }
+"$PTI" corpus stats "$WCORP" --json | grep -q '"wal_records":0' \
+    || { echo "chaos-smoke: seal did not retire the WAL" >&2; exit 1; }
+"$PTI" corpus stats "$WCORP" --json | grep -q '"live_docs":2' \
+    || { echo "chaos-smoke: torn-tail recovery lost or invented documents" >&2; exit 1; }
+echo "chaos-smoke: torn tail truncated, both recovered docs sealed"
+
+# Abort mid-replay: dying while scanning the log is just another
+# crash — the next open replays the same records.
+rc=0
+PTI_FAILPOINTS="wal.append:abort@3" \
+    "$PTI" corpus insert "$WCORP" -i "$DIR/corpus-docs2.txt" --wal-sync always \
+    >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 70 ] || { echo "chaos-smoke: second abort mid-append: expected exit 70, got $rc" >&2; exit 1; }
+rc=0
+PTI_FAILPOINTS="wal.replay:abort@2" \
+    "$PTI" corpus stats "$WCORP" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 70 ] || { echo "chaos-smoke: abort mid-replay: expected exit 70, got $rc" >&2; exit 1; }
+"$PTI" corpus stats "$WCORP" --json | grep -q '"wal_records":2' \
+    || { echo "chaos-smoke: records lost across an aborted replay" >&2; exit 1; }
+echo "chaos-smoke: abort mid-replay lost nothing"
+
+# ------------------------------------------------------------------
+# Scrub: an injected bit-flip in a live segment is detected, the
+# segment is quarantined through a manifest commit, and a compaction
+# rewrite restores a clean corpus.
+
+"$PTI" corpus flush "$WCORP" --wal-sync always 2>/dev/null
+SEG=$(ls "$WCORP" | grep '^seg-.*\.pti$' | head -n 1)
+SIZE=$(wc -c < "$WCORP/$SEG")
+OFF=$((SIZE / 2))
+printf 'XXXXXXXXXXXXXXXX' | dd of="$WCORP/$SEG" bs=1 seek="$OFF" conv=notrunc 2>/dev/null
+rc=0
+"$PTI" corpus scrub "$WCORP" > "$DIR/scrub.log" 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "chaos-smoke: scrub over damage should exit 1, got $rc" >&2; cat "$DIR/scrub.log" >&2; exit 1; }
+grep -q "1 quarantined" "$DIR/scrub.log" \
+    || { echo "chaos-smoke: scrub did not quarantine the damaged segment" >&2; cat "$DIR/scrub.log" >&2; exit 1; }
+[ -f "$WCORP/quarantine/$SEG" ] \
+    || { echo "chaos-smoke: damaged segment not moved into quarantine/" >&2; exit 1; }
+"$PTI" corpus stats "$WCORP" --json | grep -q '"degraded_segments":1' \
+    || { echo "chaos-smoke: degradation not visible in stats" >&2; exit 1; }
+"$PTI" corpus compact "$WCORP" 2>/dev/null
+"$PTI" corpus stats "$WCORP" --json | grep -q '"degraded_segments":0' \
+    || { echo "chaos-smoke: compaction did not clear the degradation" >&2; exit 1; }
+"$PTI" corpus scrub "$WCORP" > /dev/null 2>&1 \
+    || { echo "chaos-smoke: repaired corpus should scrub clean" >&2; exit 1; }
+echo "chaos-smoke: bit-flip quarantined, compaction restored a clean corpus"
+
+# ------------------------------------------------------------------
+# Flag validation: malformed serve knobs must exit 2 up front, never
+# reach runtime.
+
+for bad in "--compact-interval-ms=-1" "--warmup-ms=-1" "--batch-max=0" \
+           "--wal-sync=sometimes" "--scrub-interval-ms=-5" "--scrub-mb-s=-1"; do
+    rc=0
+    "$PTI" serve "$DIR/idx.pti" --port 0 "$bad" >/dev/null 2>&1 || rc=$?
+    [ "$rc" -eq 2 ] || { echo "chaos-smoke: serve $bad should exit 2, got $rc" >&2; exit 1; }
+done
+echo "chaos-smoke: malformed serve flags rejected with exit 2"
+
 echo "chaos-smoke: OK"

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Seeded probabilistic fault matrix (DESIGN.md §11 and §15): every
+# storage.* and wal.* failpoint armed with a deterministic @p:P:SEED
+# trigger while a corpus churns through the CLI. Individual commands
+# are EXPECTED to fail under the storm — the invariant is that the
+# corpus never corrupts: once the faults are gone, the directory must
+# open, scrub clean, seal and compact with zero data errors.
+#
+#   scripts/fault_matrix.sh [SEED] [P] [ROUNDS]
+#
+# Env overrides: FAULT_MATRIX_SEED, FAULT_MATRIX_P,
+# FAULT_MATRIX_ROUNDS, FAULT_MATRIX_LOG_DIR (kept for artifact upload;
+# defaults to a temp dir that is removed on exit).
+set -eu
+
+SEED="${FAULT_MATRIX_SEED:-${1:-1}}"
+PROB="${FAULT_MATRIX_P:-${2:-0.05}}"
+ROUNDS="${FAULT_MATRIX_ROUNDS:-${3:-40}}"
+LOG_DIR="${FAULT_MATRIX_LOG_DIR:-}"
+
+PTI=_build/default/bin/pti.exe
+[ -x "$PTI" ] || { echo "fault-matrix: build bin/pti.exe first (dune build bin/pti.exe)" >&2; exit 1; }
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/pti-fault-matrix.XXXXXX")
+[ -n "$LOG_DIR" ] || LOG_DIR="$DIR/logs"
+mkdir -p "$LOG_DIR"
+LOG="$LOG_DIR/fault-matrix-seed$SEED.log"
+: > "$LOG"
+cleanup() { rm -rf "$DIR"; }
+trap cleanup EXIT INT TERM
+
+# One failpoint per fragile syscall family, each on its own seeded
+# stream so a run is reproducible from (SEED, P) alone.
+SPEC="storage.write:enospc@p:$PROB:$SEED"
+SPEC="$SPEC,storage.fsync:eintr@p:$PROB:$((SEED + 1))"
+SPEC="$SPEC,storage.rename:eio@p:$PROB:$((SEED + 2))"
+SPEC="$SPEC,wal.append:eio@p:$PROB:$((SEED + 3))"
+SPEC="$SPEC,wal.fsync:eio@p:$PROB:$((SEED + 4))"
+SPEC="$SPEC,wal.replay:eio@p:$PROB:$((SEED + 5))"
+
+echo "fault-matrix: seed=$SEED p=$PROB rounds=$ROUNDS" | tee -a "$LOG"
+echo "fault-matrix: spec $SPEC" >> "$LOG"
+
+CORP="$DIR/corpus"
+"$PTI" gen --total 600 --theta 0.3 --seed "$SEED" --docs -o "$DIR/docs-a.txt" >> "$LOG" 2>&1
+"$PTI" gen --total 400 --theta 0.3 --seed "$((SEED + 100))" --docs -o "$DIR/docs-b.txt" >> "$LOG" 2>&1
+"$PTI" corpus init "$CORP" --memtable-max 0 --wal-sync always >> "$LOG" 2>&1
+
+fails=0
+i=0
+while [ "$i" -lt "$ROUNDS" ]; do
+    case $((i % 5)) in
+        0) cmd="insert-a"; set -- corpus insert "$CORP" -i "$DIR/docs-a.txt" --wal-sync always ;;
+        1) cmd="delete";   set -- corpus delete "$CORP" --id "$i" ;;
+        2) cmd="flush";    set -- corpus flush "$CORP" --wal-sync always ;;
+        3) cmd="insert-b"; set -- corpus insert "$CORP" -i "$DIR/docs-b.txt" --wal-sync always ;;
+        4) cmd="compact";  set -- corpus compact "$CORP" ;;
+    esac
+    rc=0
+    PTI_FAILPOINTS="$SPEC" "$PTI" "$@" >> "$LOG" 2>&1 || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        fails=$((fails + 1))
+        echo "fault-matrix: round $i ($cmd) rc=$rc (expected under faults)" >> "$LOG"
+    fi
+    i=$((i + 1))
+done
+echo "fault-matrix: $fails/$ROUNDS churn commands failed under injected faults" | tee -a "$LOG"
+
+# The invariant, checked with the faults gone: a clean open sees a
+# coherent, undegraded corpus that scrubs and compacts cleanly.
+"$PTI" corpus stats "$CORP" --json >> "$LOG" 2>&1 \
+    || { echo "fault-matrix: corpus unreadable after churn" | tee -a "$LOG" >&2; exit 1; }
+"$PTI" corpus stats "$CORP" --json | grep -q '"degraded_segments":0' \
+    || { echo "fault-matrix: corpus degraded after churn" | tee -a "$LOG" >&2; exit 1; }
+"$PTI" corpus scrub "$CORP" >> "$LOG" 2>&1 \
+    || { echo "fault-matrix: scrub found corruption after churn" | tee -a "$LOG" >&2; exit 1; }
+"$PTI" corpus flush "$CORP" >> "$LOG" 2>&1 || true
+"$PTI" corpus compact "$CORP" >> "$LOG" 2>&1 \
+    || { echo "fault-matrix: clean compaction failed after churn" | tee -a "$LOG" >&2; exit 1; }
+"$PTI" corpus scrub "$CORP" >> "$LOG" 2>&1 \
+    || { echo "fault-matrix: post-compaction scrub found corruption" | tee -a "$LOG" >&2; exit 1; }
+"$PTI" corpus stats "$CORP" --json >> "$LOG" 2>&1
+
+echo "fault-matrix: OK (seed=$SEED p=$PROB)" | tee -a "$LOG"

@@ -1489,6 +1489,185 @@ let test_corpus_mutation_invalidates_cache () =
               Alcotest.(check bool) "new doc has probability 1" true
                 (List.exists (fun (_, p) -> p = 0.0) after))))
 
+let test_compactor_conflict_retry () =
+  (* the daemon compactor's cross-process Conflict path, driven by an
+     ACTUAL concurrent external commit: a delay failpoint holds the
+     daemon's first compaction between its start and its manifest
+     commit; a second writable handle on the same directory (the moral
+     equivalent of [pti corpus delete] in another process) commits a
+     tombstone during the window. The daemon's commit must raise
+     Conflict, the compactor must reload the external generation and
+     retry — converging on a compacted corpus that still honours the
+     external delete, never clobbering it *)
+  let docs =
+    List.init 40 (fun i -> H.random_ustring (H.rng_of_seed (500 + i)) 12 4 3)
+  in
+  with_tmpdir (fun dir ->
+      let config =
+        {
+          (Store.default_config ~tau_min) with
+          memtable_max_docs = 0;
+          compact_min_segments = 2;
+        }
+      in
+      let store = Store.create ~config dir in
+      (* four sealed, equal-sized segments (10 identical-shape docs
+         each): all land in one size tier, so needs_compaction holds *)
+      List.iteri
+        (fun i u ->
+          ignore (Store.insert store u : int);
+          if (i + 1) mod 10 = 0 then ignore (Store.seal store : bool))
+        docs;
+      Alcotest.(check bool) "fixture needs compaction" true
+        (Store.needs_compaction store);
+      let gen0 = Store.generation store in
+      let n_docs = (Store.stats store).Store.st_live_docs in
+      with_faults (fun () ->
+          (* hold only the FIRST compaction open; the retry runs free *)
+          F.arm "segment.compact" (F.Delay 400) (F.Nth 1);
+          let server_config =
+            { (base_config 1) with Server.compact_interval_ms = 20.0 }
+          in
+          with_server ~config:server_config [ Server.Source_corpus store ]
+            (fun _srv port ->
+              (* wait for the compactor to enter the delayed merge *)
+              let deadline = Unix.gettimeofday () +. 5.0 in
+              while
+                F.hit_count "segment.compact" < 1
+                && Unix.gettimeofday () < deadline
+              do
+                Unix.sleepf 0.005
+              done;
+              Alcotest.(check bool) "compaction entered" true
+                (F.hit_count "segment.compact" >= 1);
+              (* external writer commits mid-merge: a second handle on
+                 the same directory tombstones doc 0 *)
+              let ext = Store.open_dir dir in
+              Alcotest.(check bool) "external delete committed" true
+                (Store.delete ext 0);
+              let ext_gen = Store.generation ext in
+              Alcotest.(check bool) "external commit advanced the disk" true
+                (ext_gen > gen0);
+              (* the daemon's first commit now conflicts; the compactor
+                 must reload and retry until the merge lands ON TOP of
+                 the external generation *)
+              let deadline = Unix.gettimeofday () +. 10.0 in
+              while
+                Store.generation store <= ext_gen
+                && Unix.gettimeofday () < deadline
+              do
+                Unix.sleepf 0.01
+              done;
+              let st = Store.stats store in
+              Alcotest.(check bool) "compaction retried after Conflict" true
+                (F.hit_count "segment.compact" >= 2);
+              Alcotest.(check bool) "merge committed past external gen" true
+                (Store.generation store > ext_gen);
+              Alcotest.(check int) "segments merged" 1 st.Store.st_segments;
+              (* the external tombstone was retired, not resurrected *)
+              Alcotest.(check int) "external delete honoured" (n_docs - 1)
+                st.Store.st_live_docs;
+              Alcotest.(check int) "tombstones retired" 0 st.Store.st_tombstones;
+              (* and the daemon is still serving *)
+              with_conn port (fun fd ->
+                  match rpc fd { P.id = 1; op = P.Ping } with
+                  | _, P.Pong -> ()
+                  | _ -> Alcotest.fail "daemon not serving after retry"))))
+
+let test_scrubber_quarantine () =
+  (* the background scrubber domain end-to-end: a bit-flip injected
+     into a live segment is detected by a scrub pass, the segment is
+     quarantined through a manifest commit while the daemon keeps
+     answering, the degradation is visible in the stats JSON and the
+     scrub metrics, and the follow-up repair compaction leaves a corpus
+     that opens clean under full verification *)
+  let docs =
+    List.init 20 (fun i -> H.random_ustring (H.rng_of_seed (700 + i)) 10 4 3)
+  in
+  with_tmpdir (fun dir ->
+      let config =
+        { (Store.default_config ~tau_min) with memtable_max_docs = 0 }
+      in
+      let store = Store.create ~config dir in
+      List.iteri
+        (fun i u ->
+          ignore (Store.insert store u : int);
+          if (i + 1) mod 5 = 0 then ignore (Store.seal store : bool))
+        docs;
+      (* flip 16 bytes mid-file in the first segment *)
+      let seg =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun n -> Filename.check_suffix n ".pti")
+        |> List.sort compare |> List.hd
+      in
+      let path = Filename.concat dir seg in
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let b = Bytes.create 16 in
+          ignore (Unix.lseek fd (size / 2) Unix.SEEK_SET : int);
+          let got = Unix.read fd b 0 16 in
+          for i = 0 to got - 1 do
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10))
+          done;
+          ignore (Unix.lseek fd (size / 2) Unix.SEEK_SET : int);
+          ignore (Unix.write fd b 0 got : int));
+      let server_config =
+        {
+          (base_config 1) with
+          (* periodic compactor OFF: it would merge the four segments —
+             damaged one included — before the scrubber's first pass,
+             erasing the corruption instead of detecting it; the repair
+             compaction is the scrubber's own *)
+          Server.compact_interval_ms = 0.0;
+          scrub_interval_ms = 30.0;
+          scrub_mb_s = 0.0;
+        }
+      in
+      with_server ~config:server_config [ Server.Source_corpus store ]
+        (fun srv port ->
+          let m = Server.metrics srv in
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while
+            Pti_server.Metrics.scrub_quarantined m < 1
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.01
+          done;
+          Alcotest.(check bool) "scrubber quarantined the damage" true
+            (Pti_server.Metrics.scrub_quarantined m >= 1);
+          Alcotest.(check bool) "corruption counted" true
+            (Pti_server.Metrics.scrub_corrupt m >= 1);
+          (* the daemon keeps serving and reports the degradation *)
+          with_conn port (fun fd ->
+              (match rpc fd { P.id = 1; op = P.Stats } with
+              | _, P.Stats_reply js ->
+                  Alcotest.(check bool) "scrub metrics in stats" true
+                    (contains js "\"scrub\"")
+              | _ -> Alcotest.fail "no stats reply");
+              match
+                rpc fd
+                  { P.id = 2; op = P.Query { index = 0; pattern = "A"; tau = 0.3 } }
+              with
+              | _, P.Hits _ -> ()
+              | _ -> Alcotest.fail "query failed during degradation");
+          (* the scrubber's repair compaction clears the degradation *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while
+            (Store.stats store).Store.st_degraded_segments > 0
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.01
+          done;
+          Alcotest.(check int) "repair compaction cleared degradation" 0
+            (Store.stats store).Store.st_degraded_segments);
+      (* after shutdown the corpus verifies clean end to end *)
+      let clean = Store.open_dir ~verify:true dir in
+      Alcotest.(check int) "clean corpus after repair" 0
+        (Store.stats clean).Store.st_degraded_segments)
+
 let test_reload_invalidation_ordering () =
   (* SIGHUP ordering (DESIGN.md §15): the result-cache generation bump
      must land BEFORE the engine cache revalidates. A delay failpoint
@@ -1649,6 +1828,10 @@ let () =
             test_corpus_over_wire;
           Alcotest.test_case "corpus mutation invalidates cached replies"
             `Quick test_corpus_mutation_invalidates_cache;
+          Alcotest.test_case "compactor conflict reload-and-retry" `Quick
+            test_compactor_conflict_retry;
+          Alcotest.test_case "scrubber quarantines a bit-flip" `Quick
+            test_scrubber_quarantine;
         ] );
       ( "pressure",
         [
